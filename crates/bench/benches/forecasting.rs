@@ -1,0 +1,33 @@
+//! Holt–Winters fitting and forecasting throughput: per-config cost of the
+//! §5.2 pipeline (the production system fits tens of thousands of these).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_forecast::{fit_auto, HoltWinters, HwParams};
+
+fn series(n: usize, m: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            let season = ((t % m) as f64 / m as f64 * std::f64::consts::TAU).sin() * 10.0;
+            50.0 + 0.01 * t as f64 + season + ((t * 2654435761) % 13) as f64 * 0.2
+        })
+        .collect()
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("holt_winters");
+    for &weeks in &[4usize, 12, 36] {
+        let m = 336; // 30-min slots per week
+        let s = series(m * weeks, m);
+        group.bench_with_input(BenchmarkId::new("fit_default", weeks), &s, |b, s| {
+            b.iter(|| HoltWinters::fit(s, HwParams::new(336)).unwrap())
+        });
+    }
+    let s = series(336 * 12, 336);
+    group.bench_function("fit_auto_grid_12w", |b| b.iter(|| fit_auto(&s, 336).unwrap()));
+    let model = fit_auto(&s, 336).unwrap();
+    group.bench_function("forecast_13w", |b| b.iter(|| model.forecast(336 * 13)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_forecast);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the LP engines on transportation problems of growing
+//! size — the dense tableau vs the revised simplex with bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_lp::{DenseSimplex, LpProblem, RevisedSimplex, Solver};
+
+fn transport_lp(sources: usize, sinks: usize) -> LpProblem {
+    let mut lp = LpProblem::new();
+    let mut xs = Vec::new();
+    for i in 0..sources {
+        for j in 0..sinks {
+            let cost = ((i * 7 + j * 13) % 10 + 1) as f64;
+            xs.push(lp.add_nonneg(format!("x{i}_{j}"), cost));
+        }
+    }
+    let supply = 10.0;
+    let demand = supply * sources as f64 / sinks as f64;
+    for i in 0..sources {
+        let coeffs = (0..sinks).map(|j| (xs[i * sinks + j], 1.0)).collect();
+        lp.add_eq(coeffs, supply);
+    }
+    for j in 0..sinks {
+        let coeffs = (0..sources).map(|i| (xs[i * sinks + j], 1.0)).collect();
+        lp.add_eq(coeffs, demand);
+    }
+    lp
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_transport");
+    group.sample_size(10);
+    for &(s, t) in &[(6usize, 8usize), (12, 15), (20, 25)] {
+        let lp = transport_lp(s, t);
+        group.bench_with_input(BenchmarkId::new("revised", format!("{s}x{t}")), &lp, |b, lp| {
+            b.iter(|| RevisedSimplex::new().solve(lp).unwrap().objective())
+        });
+        if s <= 12 {
+            group.bench_with_input(BenchmarkId::new("dense", format!("{s}x{t}")), &lp, |b, lp| {
+                b.iter(|| DenseSimplex::new().solve(lp).unwrap().objective())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

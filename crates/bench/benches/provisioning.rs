@@ -1,0 +1,58 @@
+//! End-to-end provisioning benchmarks: the F₀ scenario LP and the greedy
+//! decomposed solver on the same instance, plus the per-slot allocation LP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_core::allocation::allocation_plan;
+use sb_core::decomposed::{solve_scenario_greedy, GreedyOptions};
+use sb_core::formulation::{solve_scenario, PlanningInputs, ScenarioData, SolveOptions};
+use sb_net::FailureScenario;
+use sb_workload::{DemandMatrix, Generator, UniverseParams, WorkloadParams};
+
+struct Fixture {
+    topo: sb_net::Topology,
+    catalog: sb_workload::ConfigCatalog,
+    demand: DemandMatrix,
+}
+
+fn fixture() -> Fixture {
+    let topo = sb_net::presets::apac();
+    let params = WorkloadParams {
+        universe: UniverseParams { num_configs: 300, ..Default::default() },
+        daily_calls: 4_000.0,
+        slot_minutes: 120,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+    let demand = generator.sample_demand(0, 7, 1);
+    let selected = demand.top_configs_covering(0.7);
+    let envelope = demand.filtered(&selected).envelope_day(generator.slots_per_day());
+    let catalog = generator.universe().catalog.clone();
+    Fixture { topo, catalog, demand: envelope }
+}
+
+fn bench_provisioning(c: &mut Criterion) {
+    let f = fixture();
+    let inputs = PlanningInputs {
+        topo: &f.topo,
+        catalog: &f.catalog,
+        demand: &f.demand,
+        latency_threshold_ms: 120.0,
+    };
+    let sd = ScenarioData::compute(&f.topo, FailureScenario::None);
+    let mut group = c.benchmark_group("provisioning");
+    group.sample_size(10);
+    group.bench_function("scenario_lp_f0", |b| {
+        b.iter(|| solve_scenario(&inputs, &sd, None, &SolveOptions::default()).unwrap())
+    });
+    group.bench_function("greedy_f0", |b| {
+        b.iter(|| solve_scenario_greedy(&inputs, &sd, &GreedyOptions::default()))
+    });
+    let prov = solve_scenario(&inputs, &sd, None, &SolveOptions::default()).unwrap();
+    group.bench_function("allocation_plan_day", |b| {
+        b.iter(|| allocation_plan(&inputs, &sd, &prov.capacity, &SolveOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_provisioning);
+criterion_main!(benches);

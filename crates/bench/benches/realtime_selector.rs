@@ -1,0 +1,50 @@
+//! Latency of the real-time MP selector's critical-path operations —
+//! `call_start` (first-joiner assignment) and `config_frozen` (plan tally /
+//! migration decision). These run on every call the service admits, so they
+//! must stay microseconds-cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_core::{AllocationShares, LatencyMap, PlannedQuotas, RealtimeSelector};
+use sb_net::{CountryId, DcId};
+use sb_workload::{ConfigId, DemandMatrix};
+
+fn quotas(num_configs: usize, slots: usize) -> (LatencyMap, PlannedQuotas) {
+    let latmap = LatencyMap::from_matrix(vec![
+        vec![Some(5.0), Some(40.0), Some(60.0), Some(80.0)];
+        9
+    ]);
+    let mut shares = AllocationShares::new(slots);
+    let mut demand = DemandMatrix::zero(num_configs, slots, 30, 0);
+    for cfg in 0..num_configs {
+        for s in 0..slots {
+            demand.set(ConfigId(cfg as u32), s, 50.0);
+            shares.set(
+                ConfigId(cfg as u32),
+                s,
+                vec![(DcId(0), 0.6), (DcId(1), 0.3), (DcId(2), 0.1)],
+            );
+        }
+    }
+    (latmap, PlannedQuotas::from_plan(&shares, &demand))
+}
+
+fn bench_selector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("realtime_selector");
+    group.bench_function("call_start+freeze+end", |b| {
+        let (latmap, q) = quotas(200, 48);
+        let mut sel = RealtimeSelector::new(&latmap, q.clone());
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let cfg = ConfigId((id % 200) as u32);
+            sel.call_start(id, CountryId((id % 9) as u16));
+            let d = sel.config_frozen(id, cfg, (id * 7) % (48 * 30));
+            sel.call_end(id);
+            d
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selector);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Sharded call-state store: single-op costs and multi-threaded event
+//! replay throughput (the §6.6 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_store::{measure_throughput, CallEvent, CallStateStore, LatencyHistogram, MediaFlag};
+
+fn events(calls: u64) -> Vec<CallEvent> {
+    let mut ev = Vec::new();
+    for c in 0..calls {
+        ev.push(CallEvent::Start { call: c, country: (c % 9) as u16, dc: (c % 4) as u16 });
+        for _ in 0..5 {
+            ev.push(CallEvent::Join { call: c, country: ((c + 1) % 9) as u16 });
+        }
+        ev.push(CallEvent::Media { call: c, media: MediaFlag::Video });
+        ev.push(CallEvent::Freeze { call: c });
+        ev.push(CallEvent::End { call: c });
+    }
+    ev
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("call_state_store");
+    group.bench_function("single_event_apply", |b| {
+        let store = CallStateStore::new(64);
+        let mut hist = LatencyHistogram::new();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            store.apply(CallEvent::Start { call: id, country: 1, dc: 0 }, &mut hist);
+            store.apply(CallEvent::Join { call: id, country: 2 }, &mut hist);
+            store.apply(CallEvent::End { call: id }, &mut hist);
+        })
+    });
+    let ev = events(2_000);
+    for &threads in &[1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("replay_16k_events", threads), &ev, |b, ev| {
+            b.iter(|| {
+                let store = CallStateStore::new(256);
+                measure_throughput(&store, ev, threads).events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Fig. 10: controller throughput vs number of writer threads, normalized to
+//! the trace's peak event rate (§6.6). The paper replays a 24-hour weekday
+//! trace against Azure Redis and sustains 1.4× the peak load with 10 threads.
+//! Here the store is the in-process sharded substitute; the thread count is
+//! swept the same way, and throughput is normalized identically. Note the
+//! absolute scaling depends on the host's core count.
+
+use sb_bench::common::print_table;
+use sb_store::{measure_throughput, peak_event_rate, CallEvent, CallStateStore, MediaFlag};
+use sb_workload::{CallRecordsDb, Generator, MediaType, UniverseParams, WorkloadParams};
+
+/// Expand the call-record trace into the store's event vocabulary, with a
+/// timestamp (seconds) per event.
+fn trace_to_events(db: &CallRecordsDb) -> Vec<(u32, CallEvent)> {
+    let catalog = db.catalog();
+    let mut events = Vec::new();
+    for r in db.records() {
+        let cfg = catalog.config(r.config);
+        let start_s = (r.start_minute * 60) as u32;
+        // first joiner starts the call
+        events.push((
+            start_s,
+            CallEvent::Start { call: r.id, country: r.first_joiner.0, dc: 0 },
+        ));
+        // remaining participants join per the offset model; countries cycle
+        // through the config's spread
+        let mut countries = Vec::new();
+        for &(c, n) in cfg.participants() {
+            for _ in 0..n {
+                countries.push(c.0);
+            }
+        }
+        for (k, &off) in r.join_offsets_s.iter().enumerate().skip(1) {
+            let country = countries[k % countries.len()];
+            events.push((start_s + off as u32, CallEvent::Join { call: r.id, country }));
+        }
+        if cfg.media() != MediaType::Audio {
+            let media = match cfg.media() {
+                MediaType::ScreenShare => MediaFlag::ScreenShare,
+                _ => MediaFlag::Video,
+            };
+            events.push((start_s + 30, CallEvent::Media { call: r.id, media }));
+        }
+        events.push((start_s + 300, CallEvent::Freeze { call: r.id }));
+        events.push(((r.end_minute() * 60) as u32, CallEvent::End { call: r.id }));
+    }
+    events.sort_by_key(|&(t, ev)| (t, ev.call()));
+    events
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let daily_calls = if quick { 5_000.0 } else { 20_000.0 };
+    let topo = sb_net::presets::apac();
+    let params = WorkloadParams {
+        universe: UniverseParams { num_configs: 1_000, ..Default::default() },
+        daily_calls,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+    // a typical weekday (§6.6): day 2 is a Wednesday
+    let db = generator.sample_records(2, 1, 77);
+    let events = trace_to_events(&db);
+    let timestamps: Vec<u32> = events.iter().map(|&(t, _)| t).collect();
+    let peak = peak_event_rate(&timestamps, 60);
+    let only_events: Vec<CallEvent> = events.iter().map(|&(_, e)| e).collect();
+    println!("== Fig. 10: controller throughput vs Redis-writer threads ==\n");
+    println!(
+        "trace: {} calls → {} events; peak arrival rate {:.0} events/s (60 s window)",
+        db.len(),
+        events.len(),
+        peak
+    );
+    println!(
+        "host parallelism: {} core(s) — absolute scaling depends on this\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    // emulate the Azure Redis round trip (§6.6 reports 0.3–4.2 ms writes);
+    // this restores the latency-bound regime where threads buy throughput
+    let rtt = std::time::Duration::from_micros(300);
+    println!("simulated per-write RTT: {rtt:?}\n");
+    let mut rows = Vec::new();
+    let mut one_thread = 0.0;
+    for threads in [1usize, 2, 4, 6, 8, 10, 16] {
+        let store = CallStateStore::with_simulated_rtt(256, rtt);
+        let r = measure_throughput(&store, &only_events, threads);
+        if threads == 1 {
+            one_thread = r.events_per_sec;
+        }
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.0}", r.events_per_sec),
+            format!("{:.2}x", r.events_per_sec / one_thread),
+            format!("{:.1}x", r.events_per_sec / peak),
+            format!("{:?}", r.latency.mean()),
+            format!("{:?}", r.latency.quantile(0.99)),
+        ]);
+    }
+    print_table(
+        &["threads", "events/s", "vs 1 thread", "vs trace peak", "mean write", "p99 write"],
+        &rows,
+    );
+    println!(
+        "\npaper: supports 1.4× the trace peak with 10 threads on a 4-core VM;\n\
+         write latencies 0.3–4.2 ms against Azure Redis (in-process store here,\n\
+         so absolute latencies are much lower and normalized throughput higher)."
+    );
+}

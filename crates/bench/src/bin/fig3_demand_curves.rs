@@ -1,0 +1,72 @@
+//! Fig. 3: per-country core demand over one day (UTC), normalized to the
+//! maximum peak — showing the time-shifted peaks Switchboard exploits.
+//! The paper plots Japan, Hong Kong and India with peaks at roughly
+//! 0:00, 2:00 and 5:30 UTC.
+
+use sb_bench::common::sparkline;
+use sb_workload::{Generator, UniverseParams, WorkloadParams};
+
+fn main() {
+    let topo = sb_net::presets::apac();
+    let params = WorkloadParams {
+        universe: UniverseParams { num_configs: 1_000, ..Default::default() },
+        daily_calls: 20_000.0,
+        slot_minutes: 30,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+    // day 2 = a Wednesday
+    let demand = generator.expected_demand(2, 1);
+    let by_country = demand.country_core_demand(&generator.universe().catalog, &topo);
+
+    let global_max = by_country
+        .iter()
+        .flat_map(|v| v.iter())
+        .cloned()
+        .fold(f64::MIN, f64::max);
+
+    println!("== Fig. 3: normalized core demand per country over one day (UTC) ==\n");
+    println!("slot width 30 min, 48 slots, normalized to the max peak\n");
+    for name in ["JP", "HK", "IN"] {
+        let c = topo.country_by_name(name);
+        let series = &by_country[c.index()];
+        let peak_slot = series
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let peak_hh = peak_slot / 2;
+        let peak_mm = (peak_slot % 2) * 30;
+        let peak_norm = series[peak_slot] / global_max;
+        println!(
+            "{name:>3}  {}  peak {:.2} at {:02}:{:02} UTC",
+            sparkline(series),
+            peak_norm,
+            peak_hh,
+            peak_mm
+        );
+    }
+    println!(
+        "\npaper: peaks form at ~00:00 (JP), ~02:00 (HK) and ~05:30 (IN) UTC —\n\
+         the UTC offsets (+9, +8, +5.5) shift identical local work-hour curves."
+    );
+
+    // machine-readable series
+    println!("\nslot_utc\tJP\tHK\tIN");
+    let (jp, hk, iin) = (
+        topo.country_by_name("JP").index(),
+        topo.country_by_name("HK").index(),
+        topo.country_by_name("IN").index(),
+    );
+    for s in 0..demand.num_slots() {
+        println!(
+            "{:02}:{:02}\t{:.3}\t{:.3}\t{:.3}",
+            s / 2,
+            (s % 2) * 30,
+            by_country[jp][s] / global_max,
+            by_country[hk][s] / global_max,
+            by_country[iin][s] / global_max
+        );
+    }
+}

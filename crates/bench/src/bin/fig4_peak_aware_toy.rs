@@ -1,0 +1,108 @@
+//! Fig. 4: the peak-aware capacity-planning toy example. Three countries with
+//! time-shifted core demand (peaks 100 / 110 / 110); locality-first plus the
+//! §3.2 backup LP provisions 160/160/110 = 430 cores, while the peak-aware
+//! plan repurposes off-peak serving cores as backup and needs only
+//! 100/110/110 = 320.
+
+use sb_core::backup::min_total_backup;
+use sb_core::formulation::{PlanningInputs, ScenarioData, SolveOptions};
+use sb_core::provision::{provision, ProvisionerParams};
+use sb_core::{baselines, compute_usage, BaselinePolicy};
+use sb_net::{FailureScenario, Topology};
+use sb_workload::{CallConfig, ConfigCatalog, DemandMatrix, MediaType};
+
+/// The Fig. 4 toy reasons about compute only, so WAN is made (almost) free —
+/// otherwise the optimizer would trade failover bandwidth against cores,
+/// which the paper's illustration deliberately ignores.
+fn toy_with_free_wan() -> Topology {
+    let mut topo = sb_net::presets::toy_three_dc();
+    for l in &mut topo.links {
+        l.cost_per_gbps = 1e-6;
+    }
+    topo
+}
+
+fn main() {
+    let topo = toy_with_free_wan();
+    let jp = topo.country_by_name("JP");
+    let hk = topo.country_by_name("HK");
+    let iin = topo.country_by_name("IN");
+    let mut catalog = ConfigCatalog::new();
+    // 2-person audio calls per country; CL(audio) per call = 2 × 0.05 = 0.1
+    // cores, so "100 cores" = 1000 calls
+    let c_jp = catalog.intern(CallConfig::new(vec![(jp, 2)], MediaType::Audio));
+    let c_hk = catalog.intern(CallConfig::new(vec![(hk, 2)], MediaType::Audio));
+    let c_in = catalog.intern(CallConfig::new(vec![(iin, 2)], MediaType::Audio));
+    let per_core = 1.0 / (2.0 * MediaType::Audio.compute_load());
+    // Fig. 4(a): cores per slot  T1, T2, T3
+    let fig4a = [
+        (c_jp, [100.0, 20.0, 30.0]),
+        (c_hk, [50.0, 110.0, 40.0]),
+        (c_in, [20.0, 90.0, 110.0]),
+    ];
+    let mut demand = DemandMatrix::zero(3, 3, 30, 0);
+    for (cfg, cores) in fig4a {
+        for (slot, c) in cores.into_iter().enumerate() {
+            demand.set(cfg, slot, c * per_core);
+        }
+    }
+    let inputs = PlanningInputs {
+        topo: &topo,
+        catalog: &catalog,
+        demand: &demand,
+        latency_threshold_ms: 120.0,
+    };
+
+    println!("== Fig. 4: peak-aware capacity planning toy ==\n");
+    println!("demand (cores): JP {:?}  HK {:?}  IN {:?}\n", [100, 20, 30], [50, 110, 40], [20, 90, 110]);
+
+    // (a)+(b): locality-first serving + §3.2 backup LP
+    let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
+    let lf_shares = baselines::baseline_shares(BaselinePolicy::LocalityFirst, &inputs, &sd0);
+    let lf_serving = compute_usage(&topo, &sd0.routing, &catalog, &demand, &lf_shares).peaks();
+    let backup = min_total_backup(&lf_serving.cores, |_, _| true).expect("backup plan");
+    let name = |i: usize| topo.dcs[i].name.as_str();
+    println!("(b) locality-first + default backup plan (Eq. 1–2):");
+    let mut naive_total = 0.0;
+    for i in 0..3 {
+        let total = lf_serving.cores[i] + backup[i];
+        naive_total += total;
+        println!(
+            "    {:>9}: serving {:>5.1} + backup {:>5.1} = {:>6.1} cores",
+            name(i),
+            lf_serving.cores[i],
+            backup[i],
+            total
+        );
+    }
+    println!("    total {naive_total:.1} cores (paper: 160 + 160 + 160 = 480)\n");
+
+    // (c): peak-aware joint serving+backup (Switchboard)
+    let plan = provision(&inputs, &ProvisionerParams {
+        solve: SolveOptions::default(),
+        ..Default::default()
+    })
+    .expect("provisioning");
+    if std::env::var_os("SB_DEBUG").is_some() {
+        for (sc, cap) in &plan.scenarios {
+            eprintln!("{sc:?}: {:?}", cap.cores.iter().map(|c| *c as i64).collect::<Vec<_>>());
+        }
+    }
+    println!("(c) peak-aware plan (serving cores repurposed as backup off-peak):");
+    for i in 0..3 {
+        println!("    {:>9}: {:>6.1} cores", name(i), plan.capacity.cores[i]);
+    }
+    println!(
+        "    total {:.1} cores (paper: 100 + 110 + 110 = 320)\n",
+        plan.capacity.total_cores()
+    );
+    println!(
+        "saving vs naive backup: {:.0}%  (paper: (480−320)/480 ≈ 33%;
+note: the paper's idealized 320 slightly under-covers HongKong's T2 failure — the
+exact optimum for these demands is 330. With all three DCs priced identically the
+scenario sweep has no signal to break placement ties, so it may settle a little
+above that; on the cost-differentiated evaluation topology the sweep tracks the
+optimum much more tightly.)",
+        100.0 * (naive_total - plan.capacity.total_cores()) / naive_total
+    );
+}

@@ -1,0 +1,38 @@
+//! Fig. 8: average fraction of participants that have joined, as a function
+//! of time since the meeting started. The paper freezes the call config at
+//! A = 300 s because ~80 % of participants have joined by then.
+
+use sb_bench::common::sparkline;
+use sb_workload::joins::{fraction_joined_curve, CONFIG_FREEZE_SECONDS};
+use sb_workload::{Generator, UniverseParams, WorkloadParams};
+
+fn main() {
+    let topo = sb_net::presets::apac();
+    let params = WorkloadParams {
+        universe: UniverseParams { num_configs: 500, ..Default::default() },
+        daily_calls: 3_000.0,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+    let db = generator.sample_records(0, 2, 8);
+    let calls = db.join_offset_lists();
+    println!("== Fig. 8: avg fraction of participants joined since meeting start ==\n");
+    println!("trace: {} calls over 2 days\n", calls.len());
+    let curve = fraction_joined_curve(&calls, 900, 30);
+    let values: Vec<f64> = curve.iter().map(|&(_, f)| f).collect();
+    println!("0s {} 900s\n", sparkline(&values));
+    println!("  t(s)  fraction joined");
+    for &(t, f) in &curve {
+        let marker = if t == CONFIG_FREEZE_SECONDS { "   ← A = 300 s (config freeze)" } else { "" };
+        println!("  {t:>4}  {:>6.3}{marker}", f);
+    }
+    let at_freeze = curve
+        .iter()
+        .find(|&&(t, _)| t == CONFIG_FREEZE_SECONDS)
+        .map(|&(_, f)| f)
+        .unwrap_or(0.0);
+    println!(
+        "\nfraction joined at 300 s: {:.1}% (paper: ~80%, motivating A = 300 s)",
+        at_freeze * 100.0
+    );
+}

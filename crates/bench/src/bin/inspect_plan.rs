@@ -1,0 +1,33 @@
+//! Diagnostic: provision the quick evaluation instance and print the full
+//! plan report — per-DC capacity with its binding failure scenario, cost
+//! split, and a Graphviz export of the provisioned topology.
+//!
+//! Usage: `inspect_plan [--dot]`
+
+use sb_bench::common::{build_eval, EvalScale};
+use sb_core::formulation::PlanningInputs;
+use sb_core::provision::{provision, ProvisionerParams};
+use sb_core::report;
+
+fn main() {
+    let data = build_eval(&EvalScale::quick());
+    let inputs = PlanningInputs {
+        topo: &data.topo,
+        catalog: &data.catalog,
+        demand: &data.demand_env,
+        latency_threshold_ms: 120.0,
+    };
+    let plan = provision(&inputs, &ProvisionerParams::default()).expect("provisioning");
+    println!(
+        "quick eval: {} head configs covering {:.1}% of calls\n",
+        data.selected.len(),
+        100.0 * data.coverage_achieved
+    );
+    print!("{}", report::render(&data.topo, &plan));
+    if std::env::args().any(|a| a == "--dot") {
+        println!("\n// Graphviz (pipe to `dot -Tsvg`):");
+        print!("{}", report::to_dot(&data.topo, &plan.capacity));
+    } else {
+        println!("\n(re-run with --dot for a Graphviz export of the provisioned topology)");
+    }
+}

@@ -1,0 +1,101 @@
+//! §6.4: frequency of call migration. A call is assigned to the DC closest
+//! to its first joiner; once its config freezes (A = 300 s), it migrates if
+//! the precomputed allocation plan requires a different DC. The paper
+//! measures 1.53 % migrations for Switchboard — the same as locality-first.
+
+use sb_bench::common::print_table;
+use sb_core::allocation::allocation_plan;
+use sb_core::formulation::{PlanningInputs, ScenarioData, SolveOptions};
+use sb_core::provision::{provision, ProvisionerParams};
+use sb_core::{baselines, BaselinePolicy, PlannedQuotas, RealtimeSelector};
+use sb_net::FailureScenario;
+use sb_sim::{replay, ReplayConfig};
+use sb_workload::{Generator, UniverseParams, WorkloadParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (num_configs, daily_calls, slot_minutes, coverage) =
+        if quick { (300, 4_000.0, 120, 0.97) } else { (2_000, 20_000.0, 240, 0.90) };
+    let topo = sb_net::presets::apac();
+    let params = WorkloadParams {
+        universe: UniverseParams { num_configs, ..Default::default() },
+        daily_calls,
+        slot_minutes,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+
+    // plan for day 2 (a Wednesday) from *expected* demand (the daily offline
+    // stage, §5.3); replay the *sampled* trace of the same day
+    let day = 2;
+    let expected = generator.expected_demand(day, 1);
+    let selected = expected.top_configs_covering(coverage);
+    // §5.2 cushion: plan slots for a bit more than the expectation so Poisson
+    // noise rarely exhausts the planned quotas
+    let planned_demand = expected.filtered(&selected).scaled(1.15);
+    let db = generator.sample_records(day, 1, 9);
+    eprintln!("plan covers {} configs; trace has {} calls", selected.len(), db.len());
+
+    let inputs = PlanningInputs {
+        topo: &topo,
+        catalog: &generator.universe().catalog,
+        demand: &planned_demand,
+        latency_threshold_ms: 120.0,
+    };
+    let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
+
+    // Switchboard: provision serving capacity, then add the backup headroom
+    // factor instead of running the full 37-scenario sweep — §6.3 notes that
+    // with backup capacity SB's no-failure placement is effectively LF's, and
+    // this experiment only needs the capacity envelope the planner sees.
+    eprintln!("provisioning + planning (SB) …");
+    let plan = provision(
+        &inputs,
+        &ProvisionerParams { with_backup: false, ..Default::default() },
+    )
+    .expect("provision");
+    let mut capacity = plan.capacity.clone();
+    for c in capacity.cores.iter_mut() {
+        *c *= 4.0 / 3.0;
+    }
+    for g in capacity.gbps.iter_mut() {
+        *g *= 4.0 / 3.0;
+    }
+    let sb_shares = allocation_plan(&inputs, &sd0, &capacity, &SolveOptions::default())
+        .expect("allocation plan");
+    // Locality-first plan
+    let lf_shares = baselines::baseline_shares(BaselinePolicy::LocalityFirst, &inputs, &sd0);
+
+    println!("== §6.4: call migration frequency ==\n");
+    let mut rows = Vec::new();
+    for (name, shares) in [("SB", &sb_shares), ("LF", &lf_shares)] {
+        let quotas = PlannedQuotas::from_plan(shares, &planned_demand);
+        let mut selector = RealtimeSelector::new(&sd0.latmap, quotas);
+        let report = replay(
+            &topo,
+            &sd0.routing,
+            &sd0.latmap,
+            &generator.universe().catalog,
+            &db,
+            &mut selector,
+            &ReplayConfig::default(),
+        );
+        rows.push(vec![
+            name.to_string(),
+            report.calls.to_string(),
+            report.selector.migrations.to_string(),
+            format!("{:.2}%", 100.0 * report.selector.migration_rate()),
+            format!("{:.2}%", 100.0 * report.selector.unplanned as f64 / report.calls as f64),
+            format!("{:.2}%", 100.0 * report.selector.overflow as f64 / report.calls as f64),
+            format!("{:.1}", report.mean_acl_ms),
+        ]);
+    }
+    print_table(
+        &["Scheme", "calls", "migrations", "migration%", "unplanned%", "overflow%", "ACL(ms)"],
+        &rows,
+    );
+    println!(
+        "\npaper: SB migrates 1.53% of calls — the same as LF, since both need the\n\
+         true participant spread that is only known A minutes into the call."
+    );
+}

@@ -1,0 +1,66 @@
+//! §8: predicting the call config of recurring meetings with multi-order
+//! Markov chains feeding a logistic regression, against the previous-instance
+//! baseline. The paper trains on 24,000 records of series with ≥3 past
+//! occurrences and evaluates 3,600 unseen instances: MOMC+LR reaches
+//! RMSE 0.97 / MAE 0.90 vs the baseline's 24.90 / 23.60.
+
+use sb_bench::common::print_table;
+use sb_predict::{evaluate, ParticipantHistory, PredictorParams, SeriesHistory};
+use sb_workload::series::{generate_series, SeriesParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = SeriesParams {
+        num_series: if quick { 400 } else { 3_600 },
+        occurrences: 12,
+        max_roster: 60,
+        seed: 17,
+    };
+    let topo = sb_net::presets::apac();
+    let (series, occurrences) = generate_series(&topo, &params);
+    let records: usize = series.iter().map(|s| s.roster_size()).sum::<usize>();
+    println!("== §8: MOMC + logistic-regression call-config prediction ==\n");
+    println!(
+        "{} series, {} occurrences, {} participant histories",
+        series.len(),
+        occurrences.len(),
+        records
+    );
+
+    // reshape into sb-predict's input
+    let histories: Vec<SeriesHistory> = series
+        .iter()
+        .map(|s| {
+            let occs: Vec<_> = occurrences.iter().filter(|o| o.series == s.id).collect();
+            let participants = (0..s.roster_size())
+                .map(|i| ParticipantHistory {
+                    country: s.countries[i].0,
+                    attendance: occs.iter().map(|o| o.attended[i]).collect(),
+                })
+                .collect();
+            SeriesHistory { participants }
+        })
+        .collect();
+
+    let eval = evaluate(&histories, &PredictorParams::default());
+    println!("evaluated on the held-out final occurrence of {} series\n", eval.series);
+    let rows = vec![
+        vec![
+            "MOMC + LR".to_string(),
+            format!("{:.2}", eval.rmse),
+            format!("{:.2}", eval.mae),
+        ],
+        vec![
+            "last-instance baseline".to_string(),
+            format!("{:.2}", eval.baseline_rmse),
+            format!("{:.2}", eval.baseline_mae),
+        ],
+    ];
+    print_table(&["predictor", "RMSE", "MAE"], &rows);
+    println!(
+        "\nimprovement: RMSE ÷{:.1}, MAE ÷{:.1}   (paper: 0.97/0.90 vs 24.90/23.60 —\n\
+         the baseline is hurt most by large rosters and alternating attendees)",
+        eval.baseline_rmse / eval.rmse.max(1e-9),
+        eval.baseline_mae / eval.mae.max(1e-9)
+    );
+}

@@ -1,0 +1,35 @@
+//! Table 1: relative compute load (CL), network load (NL) and NL/CL ratio
+//! per media type, normalized to audio. The paper reports bands (audio 1×/1×,
+//! screen-share 1–2× / 10–20× / 10–15×, video 2–4× / 30–40× / 15–20×); this
+//! reproduction pins concrete values inside those bands.
+
+use sb_bench::common::print_table;
+use sb_workload::MediaType;
+
+fn main() {
+    println!("== Table 1: relative per-participant loads by media type ==\n");
+    let a_cl = MediaType::Audio.compute_load();
+    let a_nl = MediaType::Audio.network_load();
+    let rows: Vec<Vec<String>> = MediaType::all()
+        .into_iter()
+        .map(|m| {
+            let cl = m.compute_load() / a_cl;
+            let nl = m.network_load() / a_nl;
+            vec![
+                m.label().to_string(),
+                format!("{cl:.1}x"),
+                format!("{nl:.1}x"),
+                format!("{:.1}x", nl / cl),
+                format!("{:.3}", m.compute_load()),
+                format!("{:.4}", m.network_load()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["media", "CL", "NL", "NL/CL", "cores/part", "Gbps/leg"],
+        &rows,
+    );
+    println!(
+        "\npaper bands: audio 1x/1x/1x, screen-share 1-2x/10-20x/10-15x, video 2-4x/30-40x/15-20x"
+    );
+}

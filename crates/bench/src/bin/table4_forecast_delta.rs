@@ -1,0 +1,129 @@
+//! Table 4: difference between resources provisioned from *forecast* call
+//! counts and from *ground-truth* counts, per scheme, with and without
+//! backup. Negative = the forecast over-provisioned. The paper sees ±5–13 %.
+//!
+//! Pipeline (mirrors §6.2): fit Holt–Winters per selected config on 9 months
+//! of history, forecast the 3-month evaluation window, provision from both
+//! demand sets and compare.
+
+use sb_bench::common::{print_table, EvalScale};
+use sb_core::formulation::PlanningInputs;
+use sb_core::provision::{provision, ProvisionerParams};
+use sb_core::{provision_baseline, BaselinePolicy};
+use sb_forecast::fit_auto;
+use sb_net::Topology;
+use sb_workload::{DemandMatrix, Generator, UniverseParams, WorkloadParams};
+
+struct Provisioned {
+    cores: f64,
+    wan: f64,
+}
+
+fn provision_all(topo: &Topology, catalog: &sb_workload::ConfigCatalog, demand: &DemandMatrix, with_backup: bool) -> Vec<(&'static str, Provisioned)> {
+    let inputs = PlanningInputs {
+        topo,
+        catalog,
+        demand,
+        latency_threshold_ms: 120.0,
+    };
+    let mut out = Vec::new();
+    for (name, policy) in
+        [("RR", BaselinePolicy::RoundRobin), ("LF", BaselinePolicy::LocalityFirst)]
+    {
+        let p = provision_baseline(policy, &inputs, with_backup);
+        out.push((name, Provisioned {
+            cores: p.capacity.total_cores(),
+            wan: p.capacity.total_wan_gbps(topo),
+        }));
+    }
+    let p = provision(&inputs, &ProvisionerParams { with_backup, ..Default::default() })
+        .expect("SB provisioning");
+    out.push(("SB", Provisioned {
+        cores: p.capacity.total_cores(),
+        wan: p.capacity.total_wan_gbps(topo),
+    }));
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut scale = if quick { EvalScale::quick() } else { EvalScale::default_eval() };
+    // Forecast-vs-truth deltas need Teams-like per-slot volumes: at small λ the
+    // ground truth's envelope is inflated by max-of-Poisson noise, which reads
+    // as systematic forecast under-provisioning. Scale the traffic up.
+    scale.daily_calls *= if quick { 8.0 } else { 3.0 };
+    let topo = sb_net::presets::apac();
+    let workload = WorkloadParams {
+        universe: UniverseParams {
+            num_configs: scale.num_configs,
+            seed: scale.seed,
+            ..Default::default()
+        },
+        daily_calls: scale.daily_calls,
+        slot_minutes: scale.slot_minutes,
+        seed: scale.seed,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, workload);
+    let train_days = 9 * 30;
+    let eval_days = scale.days;
+    let slots_per_day = generator.slots_per_day();
+    let season = slots_per_day * 7;
+
+    eprintln!("sampling ground truth for days {train_days}..{}", train_days + eval_days);
+    let truth = generator.sample_demand(train_days, eval_days, 3);
+    let selected = truth.top_configs_covering(scale.coverage);
+    let total = truth.total_calls();
+    let covered: f64 =
+        selected.iter().map(|&id| truth.series(id).iter().sum::<f64>()).sum();
+    let inflation = total / covered.max(1.0);
+
+    eprintln!("fitting Holt–Winters for {} configs …", selected.len());
+    let mut forecast = DemandMatrix::zero(
+        truth.num_configs(),
+        truth.num_slots(),
+        truth.slot_minutes,
+        truth.start_minute,
+    );
+    for &id in &selected {
+        let history = generator.sample_config_series(id, 0, train_days, 4);
+        if let Ok(model) = fit_auto(&history, season) {
+            for (s, v) in model.forecast(truth.num_slots()).into_iter().enumerate() {
+                forecast.set(id, s, v);
+            }
+        }
+    }
+    let truth_sel = truth.filtered(&selected).scaled(inflation);
+    let forecast_sel = forecast.scaled(inflation);
+    let truth_env = truth_sel.envelope_day(slots_per_day);
+    let forecast_env = forecast_sel.envelope_day(slots_per_day);
+    let catalog = &generator.universe().catalog;
+
+    println!("== Table 4: ground-truth vs forecast provisioning delta ==\n");
+    println!(
+        "(negative = forecast over-provisioned; paper sees −13%…+10%. Residual positive
+bias at small trace volumes comes from max-of-Poisson noise in the ground
+truth's peaks, which a mean-tracking forecast cannot see.)\n"
+    );
+    for (label, with_backup) in [("Without backup", false), ("With backup", true)] {
+        eprintln!("provisioning {label} …");
+        let pt = provision_all(&topo, catalog, &truth_env, with_backup);
+        let pf = provision_all(&topo, catalog, &forecast_env, with_backup);
+        let rows: Vec<Vec<String>> = pt
+            .iter()
+            .zip(&pf)
+            .map(|((name, t), (_, f))| {
+                let dc = 100.0 * (t.cores - f.cores) / t.cores;
+                let dw = 100.0 * (t.wan - f.wan) / t.wan;
+                vec![name.to_string(), format!("{dc:+.0}%"), format!("{dw:+.0}%")]
+            })
+            .collect();
+        println!("{label}:");
+        print_table(&["Scheme", "Cores", "WAN"], &rows);
+        println!();
+    }
+    println!(
+        "paper (Table 4): without backup RR −5%/−13%, LF −6%/−8%, SB −5%/+10%;\n\
+         with backup RR −5%/−13%, LF −7%/−11%, SB −5%/−11%"
+    );
+}

@@ -1,0 +1,215 @@
+//! Shared evaluation pipeline: synthesize the workload, apply the §5.2
+//! top-coverage selection + cushion, reduce the horizon to an envelope day,
+//! and run the three provisioning schemes (RR / LF / SB).
+
+use sb_core::formulation::{PlanningInputs, ScenarioData, SolveOptions};
+use sb_core::{
+    allocation_plan, mean_acl, provision, provision_baseline, BaselinePolicy, ProvisionerParams,
+};
+use sb_net::{FailureScenario, Topology};
+use sb_workload::{ConfigCatalog, ConfigId, DemandMatrix, Generator, WorkloadParams};
+
+/// Size knobs for the evaluation pipeline.
+#[derive(Clone, Debug)]
+pub struct EvalScale {
+    /// Universe size (distinct call configs generated).
+    pub num_configs: usize,
+    /// Expected calls/day at day 0.
+    pub daily_calls: f64,
+    /// First day of the evaluation window.
+    pub start_day: u32,
+    /// Days in the evaluation window.
+    pub days: u32,
+    /// Fraction of calls the selected head configs must cover (§5.2).
+    pub coverage: f64,
+    /// Slot width in minutes.
+    pub slot_minutes: u32,
+    /// Seed for workload generation.
+    pub seed: u64,
+}
+
+impl EvalScale {
+    /// Small instance for tests and smoke runs (seconds on one core).
+    pub fn quick() -> EvalScale {
+        EvalScale {
+            num_configs: 300,
+            daily_calls: 4_000.0,
+            start_day: 0,
+            days: 7,
+            coverage: 0.70,
+            slot_minutes: 120,
+            seed: 42,
+        }
+    }
+
+    /// The default experiment scale (minutes on one core): two-hour envelope
+    /// slots, 4 weeks of trace, 80 % coverage. (The LP is exact; the slot
+    /// width and coverage bound its size so the 37-scenario backup sweep
+    /// stays tractable on a single-core runner.)
+    pub fn default_eval() -> EvalScale {
+        EvalScale {
+            num_configs: 2_000,
+            daily_calls: 20_000.0,
+            start_day: 0,
+            days: 28,
+            coverage: 0.80,
+            slot_minutes: 120,
+            seed: 42,
+        }
+    }
+}
+
+/// Everything the table/figure binaries need.
+pub struct EvalData {
+    /// The provider topology (APAC preset).
+    pub topo: Topology,
+    /// Config catalog of the generated universe.
+    pub catalog: ConfigCatalog,
+    /// Selected + cushion-inflated demand over the full window.
+    pub demand_full: DemandMatrix,
+    /// Envelope-day reduction of `demand_full` (the LP input).
+    pub demand_env: DemandMatrix,
+    /// The selected head configs.
+    pub selected: Vec<ConfigId>,
+    /// Fraction of calls the selection covers.
+    pub coverage_achieved: f64,
+    /// The workload parameters used.
+    pub workload: WorkloadParams,
+}
+
+/// Build the evaluation pipeline on the APAC preset.
+pub fn build_eval(scale: &EvalScale) -> EvalData {
+    let topo = sb_net::presets::apac();
+    let workload = WorkloadParams {
+        universe: sb_workload::UniverseParams {
+            num_configs: scale.num_configs,
+            seed: scale.seed,
+            ..Default::default()
+        },
+        daily_calls: scale.daily_calls,
+        slot_minutes: scale.slot_minutes,
+        seed: scale.seed,
+        ..Default::default()
+    };
+    let (catalog, demand) = {
+        let generator = Generator::new(&topo, workload.clone());
+        (
+            generator.universe().catalog.clone(),
+            generator.sample_demand(scale.start_day, scale.days, 1),
+        )
+    };
+    let selected = demand.top_configs_covering(scale.coverage);
+    let total = demand.total_calls();
+    let covered: f64 = selected.iter().map(|&id| demand.series(id).iter().sum::<f64>()).sum();
+    let coverage_achieved = if total > 0.0 { covered / total } else { 0.0 };
+    // §5.2 cushion: inflate the head so it stands in for the full workload
+    let inflation = if coverage_achieved > 0.0 { 1.0 / coverage_achieved } else { 1.0 };
+    let demand_full = demand.filtered(&selected).scaled(inflation);
+    let slots_per_day = (24 * 60 / scale.slot_minutes) as usize;
+    let demand_env = demand_full.envelope_day(slots_per_day);
+    EvalData { topo, catalog, demand_full, demand_env, selected, coverage_achieved, workload }
+}
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Total cores provisioned.
+    pub cores: f64,
+    /// Total inter-country WAN Gbps provisioned.
+    pub wan: f64,
+    /// Total cost.
+    pub cost: f64,
+    /// Expected mean ACL (ms).
+    pub acl: f64,
+}
+
+/// Run the three schemes on the envelope-day demand.
+pub fn table3_rows(data: &EvalData, with_backup: bool) -> Vec<Table3Row> {
+    let inputs = PlanningInputs {
+        topo: &data.topo,
+        catalog: &data.catalog,
+        demand: &data.demand_env,
+        latency_threshold_ms: 120.0,
+    };
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("RR", BaselinePolicy::RoundRobin),
+        ("LF", BaselinePolicy::LocalityFirst),
+    ] {
+        let plan = provision_baseline(policy, &inputs, with_backup);
+        rows.push(Table3Row {
+            scheme: name,
+            cores: plan.capacity.total_cores(),
+            wan: plan.capacity.total_wan_gbps(&data.topo),
+            cost: plan.cost,
+            acl: plan.mean_acl,
+        });
+    }
+    // Switchboard
+    let params = ProvisionerParams { with_backup, ..Default::default() };
+    let plan = provision(&inputs, &params).expect("SB provisioning");
+    // the daily allocation plan decides the latency actually delivered
+    let sd0 = ScenarioData::compute(&data.topo, FailureScenario::None);
+    let shares = allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default())
+        .expect("allocation plan");
+    let acl = mean_acl(&sd0.latmap, &data.catalog, &data.demand_env, &shares);
+    rows.push(Table3Row {
+        scheme: "SB",
+        cores: plan.capacity.total_cores(),
+        wan: plan.capacity.total_wan_gbps(&data.topo),
+        cost: plan.cost,
+        acl,
+    });
+    rows
+}
+
+/// Normalize rows to the first (RR) row, as the paper does.
+pub fn normalize_to_first(rows: &[Table3Row]) -> Vec<Table3Row> {
+    let base = &rows[0];
+    rows.iter()
+        .map(|r| Table3Row {
+            scheme: r.scheme,
+            cores: r.cores / base.cores,
+            wan: r.wan / base.wan,
+            cost: r.cost / base.cost,
+            acl: r.acl / base.acl,
+        })
+        .collect()
+}
+
+/// Unicode sparkline of a series (for quick terminal "figures").
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| BLOCKS[(((v - min) / span) * 7.0).round().clamp(0.0, 7.0) as usize])
+        .collect()
+}
+
+/// Simple fixed-width text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let s: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", s.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}

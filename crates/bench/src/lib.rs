@@ -1,0 +1,8 @@
+//! # sb-bench — the paper's evaluation harness
+//!
+//! One binary per table/figure (see `src/bin/`), plus Criterion
+//! micro-benchmarks of our own implementation (see `benches/`). The shared
+//! pipeline — topology, workload, top-coverage selection, envelope-day
+//! reduction — lives in [`common`].
+
+pub mod common;

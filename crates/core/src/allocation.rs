@@ -1,0 +1,233 @@
+//! The daily allocation plan (§5.3, Eq. 10): with capacities fixed to what
+//! was provisioned, choose per-slot, per-config DC shares minimizing mean
+//! ACL. Because capacities are constants here, the LP decomposes per time
+//! slot into small independent problems.
+
+use sb_lp::{LpProblem, Solver, Var};
+use sb_net::{LinkId, ProvisionedCapacity};
+use sb_workload::ConfigId;
+
+use crate::formulation::{PlanningInputs, ProvisionError, ScenarioData, SolveOptions};
+use crate::shares::AllocationShares;
+
+/// Compute the latency-optimal allocation plan under fixed capacity.
+///
+/// Returns shares for every `(config, slot)` with demand. Infeasibility (the
+/// capacity cannot place a slot's demand within the latency filter) is
+/// reported as an error naming the scenario.
+pub fn allocation_plan(
+    inputs: &PlanningInputs<'_>,
+    sd: &ScenarioData,
+    capacity: &ProvisionedCapacity,
+    opts: &SolveOptions,
+) -> Result<AllocationShares, ProvisionError> {
+    let topo = inputs.topo;
+    let demand = inputs.demand;
+    let mut shares = AllocationShares::new(demand.num_slots());
+
+    // precompute per config: allowed DCs + per-DC link loads
+    struct CfgInfo {
+        id: ConfigId,
+        allowed: Vec<(sb_net::DcId, f64)>,
+        call_cl: f64,
+        per_dc_links: Vec<Vec<(LinkId, f64)>>,
+    }
+    let mut infos: Vec<CfgInfo> = Vec::new();
+    for (cfg_id, cfg) in inputs.catalog.iter() {
+        if cfg_id.index() >= demand.num_configs() {
+            break;
+        }
+        if demand.series(cfg_id).iter().all(|&d| d <= opts.min_demand) {
+            continue;
+        }
+        let allowed = sd.latmap.allowed_dcs(cfg, inputs.latency_threshold_ms);
+        if allowed.is_empty() {
+            continue;
+        }
+        let nl = cfg.leg_network_load();
+        let per_dc_links = allowed
+            .iter()
+            .map(|&(dc, _)| {
+                let mut loads: Vec<(LinkId, f64)> = Vec::new();
+                for &(country, n) in cfg.participants() {
+                    if let Some(route) = sd.routing.route(country, dc) {
+                        for &l in &route.links {
+                            match loads.iter_mut().find(|(ll, _)| *ll == l) {
+                                Some((_, w)) => *w += n as f64 * nl,
+                                None => loads.push((l, n as f64 * nl)),
+                            }
+                        }
+                    }
+                }
+                loads
+            })
+            .collect();
+        infos.push(CfgInfo { id: cfg_id, allowed, call_cl: cfg.compute_load(), per_dc_links });
+    }
+
+    // headroom against round-off between the provisioning LP and this one
+    let slack = |v: f64| v * (1.0 + 1e-7) + 1e-7;
+
+    for slot in 0..demand.num_slots() {
+        let mut lp = LpProblem::new();
+        let mut compute_rows: Vec<Vec<(Var, f64)>> = vec![Vec::new(); topo.dcs.len()];
+        let mut network_rows: Vec<Vec<(Var, f64)>> = vec![Vec::new(); topo.links.len()];
+        let mut vars: Vec<(ConfigId, sb_net::DcId, Var, f64)> = Vec::new();
+        let mut any = false;
+        for info in &infos {
+            let d = demand.get(info.id, slot);
+            if d <= opts.min_demand {
+                continue;
+            }
+            any = true;
+            let mut completeness = Vec::with_capacity(info.allowed.len());
+            for (k, &(dc, acl)) in info.allowed.iter().enumerate() {
+                let v = lp.add_var(
+                    format!("S_{}_{}", info.id.index(), dc.index()),
+                    acl,
+                    0.0,
+                    d,
+                );
+                completeness.push((v, 1.0));
+                compute_rows[dc.index()].push((v, info.call_cl));
+                for &(l, w) in &info.per_dc_links[k] {
+                    network_rows[l.index()].push((v, w));
+                }
+                vars.push((info.id, dc, v, d));
+            }
+            lp.add_eq(completeness, d);
+        }
+        if !any {
+            continue;
+        }
+        for dc in topo.dc_ids() {
+            let row = std::mem::take(&mut compute_rows[dc.index()]);
+            if !row.is_empty() {
+                lp.add_le(row, slack(capacity.cores[dc.index()]));
+            }
+        }
+        for l in topo.link_ids() {
+            let row = std::mem::take(&mut network_rows[l.index()]);
+            if !row.is_empty() {
+                lp.add_le(row, slack(capacity.gbps[l.index()]));
+            }
+        }
+        let sol = opts
+            .solver
+            .solve(&lp)
+            .map_err(|source| ProvisionError::Lp { scenario: sd.scenario, source })?;
+        use std::collections::HashMap;
+        let mut grouped: HashMap<ConfigId, Vec<(sb_net::DcId, f64)>> = HashMap::new();
+        for (cfg, dc, v, d) in vars {
+            let val = sol.value(v).max(0.0);
+            if val > 1e-9 * d.max(1.0) {
+                grouped.entry(cfg).or_default().push((dc, val / d));
+            }
+        }
+        for (cfg, fr) in grouped {
+            shares.set(cfg, slot, fr);
+        }
+    }
+    Ok(shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulation::{solve_scenario, PlanningInputs};
+    use crate::usage::{compute_usage, mean_acl, placed_fraction};
+    use sb_net::{FailureScenario, Topology};
+    use sb_workload::{CallConfig, ConfigCatalog, DemandMatrix, MediaType};
+
+    fn instance() -> (Topology, ConfigCatalog, DemandMatrix) {
+        let topo = sb_net::presets::toy_three_dc();
+        let jp = topo.country_by_name("JP");
+        let iin = topo.country_by_name("IN");
+        let mut cat = ConfigCatalog::new();
+        let c_jp = cat.intern(CallConfig::new(vec![(jp, 2)], MediaType::Audio));
+        let c_in = cat.intern(CallConfig::new(vec![(iin, 2)], MediaType::Audio));
+        let mut demand = DemandMatrix::zero(2, 2, 30, 0);
+        demand.set(c_jp, 0, 100.0);
+        demand.set(c_jp, 1, 10.0);
+        demand.set(c_in, 0, 10.0);
+        demand.set(c_in, 1, 100.0);
+        (topo, cat, demand)
+    }
+
+    #[test]
+    fn plan_fits_capacity_and_places_everything() {
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let opts = SolveOptions::default();
+        let prov = solve_scenario(&inputs, &sd, None, &opts).unwrap();
+        let plan = allocation_plan(&inputs, &sd, &prov.capacity, &opts).unwrap();
+        assert!((placed_fraction(&demand, &plan) - 1.0).abs() < 1e-6);
+        let usage = compute_usage(&topo, &sd.routing, &cat, &demand, &plan);
+        assert!(usage.fits_within(&prov.capacity, 1e-3));
+    }
+
+    #[test]
+    fn plan_acl_no_worse_than_provisioning_shares() {
+        // Eq. 10 minimizes ACL given capacity, so it must weakly beat the
+        // cost-optimal shares on latency
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let opts = SolveOptions::default();
+        let prov = solve_scenario(&inputs, &sd, None, &opts).unwrap();
+        let plan = allocation_plan(&inputs, &sd, &prov.capacity, &opts).unwrap();
+        let acl_plan = mean_acl(&sd.latmap, &cat, &demand, &plan);
+        let acl_prov = mean_acl(&sd.latmap, &cat, &demand, &prov.shares);
+        assert!(acl_plan <= acl_prov + 1e-6, "plan {acl_plan} vs prov {acl_prov}");
+    }
+
+    #[test]
+    fn generous_capacity_yields_locality_first_allocation() {
+        // with unconstrained capacity, the latency-optimal plan is LF
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let big = ProvisionedCapacity {
+            cores: vec![1e9; topo.dcs.len()],
+            gbps: vec![1e9; topo.links.len()],
+        };
+        let plan = allocation_plan(&inputs, &sd, &big, &SolveOptions::default()).unwrap();
+        let tokyo = topo.dc_by_name("Tokyo");
+        let pune = topo.dc_by_name("Pune");
+        assert_eq!(plan.get(sb_workload::ConfigId(0), 0), &[(tokyo, 1.0)]);
+        assert_eq!(plan.get(sb_workload::ConfigId(1), 1), &[(pune, 1.0)]);
+    }
+
+    #[test]
+    fn infeasible_capacity_is_an_error() {
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let tiny = ProvisionedCapacity {
+            cores: vec![0.001; topo.dcs.len()],
+            gbps: vec![1e9; topo.links.len()],
+        };
+        assert!(allocation_plan(&inputs, &sd, &tiny, &SolveOptions::default()).is_err());
+    }
+}

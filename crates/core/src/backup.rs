@@ -1,0 +1,110 @@
+//! The baseline backup-capacity LP (§3.2, Eq. 1–2): given each DC's serving
+//! capacity, place the minimum total backup such that any single DC's
+//! serving load fits in the other DCs' backup.
+
+use sb_lp::{LpProblem, RevisedSimplex, Solver};
+
+/// Minimize `Σ_x Backup_x` subject to
+/// `Serving_x ≤ Σ_{y ≠ x, allowed(x,y)} Backup_y` for every DC `x`.
+///
+/// `allowed(failed, host)` restricts which DCs may absorb a failed DC's load
+/// (e.g. latency-feasible failover); pass `|_, _| true` for the unrestricted
+/// Eq. 1–2. Returns `None` when the system is infeasible (e.g. a DC whose
+/// load nobody may host).
+pub fn min_total_backup(
+    serving: &[f64],
+    allowed: impl Fn(usize, usize) -> bool,
+) -> Option<Vec<f64>> {
+    let n = serving.len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    if n == 1 {
+        // a single DC cannot back itself up
+        return if serving[0] > 0.0 { None } else { Some(vec![0.0]) };
+    }
+    let mut lp = LpProblem::new();
+    let backup: Vec<_> =
+        (0..n).map(|x| lp.add_nonneg(format!("backup_{x}"), 1.0)).collect();
+    for x in 0..n {
+        if serving[x] <= 0.0 {
+            continue;
+        }
+        let coeffs: Vec<_> = (0..n)
+            .filter(|&y| y != x && allowed(x, y))
+            .map(|y| (backup[y], 1.0))
+            .collect();
+        if coeffs.is_empty() {
+            return None;
+        }
+        lp.add_ge(coeffs, serving[x]);
+    }
+    let sol = RevisedSimplex::new().solve(&lp).ok()?;
+    Some(backup.iter().map(|&v| sol.value(v).max(0.0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(v: &[f64]) -> f64 {
+        v.iter().sum()
+    }
+
+    #[test]
+    fn equal_serving_splits_evenly() {
+        // §3.1's example: four equal DCs, each 25 % of total serving → each
+        // needs 25/3 ≈ 8.33 % backup, i.e. total backup 4·25/3 ≈ 33.3
+        let serving = [25.0; 4];
+        let b = min_total_backup(&serving, |_, _| true).unwrap();
+        assert!((total(&b) - 4.0 * 25.0 / 3.0).abs() < 1e-6, "total {}", total(&b));
+        // binding constraint: any failed DC's 25 fits in the others
+        for x in 0..4 {
+            let others: f64 = (0..4).filter(|&y| y != x).map(|y| b[y]).sum();
+            assert!(others >= 25.0 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn skewed_serving_needs_more_backup() {
+        // §3.2's example: one DC with 75 % of serving forces 75 % backup
+        let serving = [75.0, 8.0, 9.0, 8.0];
+        let b = min_total_backup(&serving, |_, _| true).unwrap();
+        assert!((total(&b) - 75.0).abs() < 1e-6);
+        // none of it sits on the big DC (useless there)
+        let others: f64 = b[1] + b[2] + b[3];
+        assert!((others - 75.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_dcs_mirror_each_other() {
+        let serving = [10.0, 4.0];
+        let b = min_total_backup(&serving, |_, _| true).unwrap();
+        assert!((b[1] - 10.0).abs() < 1e-6);
+        assert!((b[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allowed_filter_restricts_hosts() {
+        // DC0's load may only go to DC2
+        let serving = [10.0, 10.0, 0.0];
+        let b = min_total_backup(&serving, |x, y| !(x == 0 && y == 1)).unwrap();
+        assert!(b[2] >= 10.0 - 1e-6);
+        assert!((total(&b) - 10.0).abs() < 1e-6); // DC2's 10 also covers DC1's failure
+    }
+
+    #[test]
+    fn infeasible_when_no_host_allowed() {
+        let serving = [10.0, 5.0];
+        assert!(min_total_backup(&serving, |x, _| x != 0).is_none());
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(min_total_backup(&[], |_, _| true), Some(vec![]));
+        assert_eq!(min_total_backup(&[0.0], |_, _| true), Some(vec![0.0]));
+        assert_eq!(min_total_backup(&[5.0], |_, _| true), None);
+        let b = min_total_backup(&[0.0, 0.0], |_, _| true).unwrap();
+        assert_eq!(total(&b), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The §3 baselines: Round-Robin (RR) and Locality-First (LF) server
+//! allocation with their §3.1/§3.2 capacity-provisioning rules.
+
+use sb_net::{DcId, FailureScenario, ProvisionedCapacity};
+
+use crate::backup::min_total_backup;
+use crate::formulation::{PlanningInputs, ScenarioData};
+use crate::shares::AllocationShares;
+use crate::usage::{compute_usage, mean_acl};
+
+/// Which baseline.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BaselinePolicy {
+    /// Round-robin across the DCs of the call's region (§3.1). With equal
+    /// weights this equalizes load, minimizing serving + backup compute at
+    /// the price of WAN and latency.
+    RoundRobin,
+    /// Host at the ACL-minimizing DC (§3.2): best latency and lean WAN, but
+    /// the sum of time-shifted local peaks exceeds the global peak.
+    LocalityFirst,
+}
+
+/// Provisioning output for a baseline.
+#[derive(Clone, Debug)]
+pub struct BaselinePlan {
+    /// Serving capacity (no-failure peaks).
+    pub serving: ProvisionedCapacity,
+    /// Final capacity (serving + Eq. 1–2 compute backup, failover WAN max)
+    /// when backup was requested, otherwise equal to `serving`.
+    pub capacity: ProvisionedCapacity,
+    /// The no-failure allocation shares.
+    pub f0_shares: AllocationShares,
+    /// Expected mean ACL of the no-failure allocation.
+    pub mean_acl: f64,
+    /// Cost of the final capacity.
+    pub cost: f64,
+}
+
+/// Allocation shares a baseline produces under a given scenario.
+pub fn baseline_shares(
+    policy: BaselinePolicy,
+    inputs: &PlanningInputs<'_>,
+    sd: &ScenarioData,
+) -> AllocationShares {
+    let topo = inputs.topo;
+    let demand = inputs.demand;
+    let mut shares = AllocationShares::new(demand.num_slots());
+    for (cfg_id, cfg) in inputs.catalog.iter() {
+        if cfg_id.index() >= demand.num_configs() {
+            break;
+        }
+        if demand.series(cfg_id).iter().all(|&d| d <= 0.0) {
+            continue;
+        }
+        let per_dc: Vec<(DcId, f64)> = match policy {
+            BaselinePolicy::RoundRobin => {
+                let region = topo.countries[cfg.majority_country().index()].region;
+                // DCs of the call's region that are up and reachable
+                let mut dcs: Vec<DcId> = topo
+                    .dcs_in_region(region)
+                    .map(|d| d.id)
+                    .filter(|&d| sd.latmap.acl(cfg, d).is_some())
+                    .collect();
+                if dcs.is_empty() {
+                    // region wiped out (or unreachable): fall back to any DC
+                    dcs = topo
+                        .dc_ids()
+                        .filter(|&d| sd.latmap.acl(cfg, d).is_some())
+                        .collect();
+                }
+                let n = dcs.len();
+                dcs.into_iter().map(|d| (d, 1.0 / n as f64)).collect()
+            }
+            BaselinePolicy::LocalityFirst => match sd.latmap.acl_min_dc(cfg) {
+                Some((dc, _)) => vec![(dc, 1.0)],
+                None => Vec::new(),
+            },
+        };
+        if per_dc.is_empty() {
+            continue;
+        }
+        for slot in 0..demand.num_slots() {
+            if demand.get(cfg_id, slot) > 0.0 {
+                shares.set(cfg_id, slot, per_dc.clone());
+            }
+        }
+    }
+    shares
+}
+
+/// Provision for a baseline policy, optionally with backup.
+///
+/// Compute backup follows the paper's §3.2 LP (Eq. 1–2) on the per-DC peak
+/// serving capacities; WAN backup is the max over single-failure scenarios of
+/// the WAN usage the policy's failover produces (a failed DC's calls follow
+/// the same policy over the surviving DCs).
+pub fn provision_baseline(
+    policy: BaselinePolicy,
+    inputs: &PlanningInputs<'_>,
+    with_backup: bool,
+) -> BaselinePlan {
+    let sd0 = ScenarioData::compute(inputs.topo, FailureScenario::None);
+    let f0_shares = baseline_shares(policy, inputs, &sd0);
+    let usage0 = compute_usage(inputs.topo, &sd0.routing, inputs.catalog, inputs.demand, &f0_shares);
+    let serving = usage0.peaks();
+    let acl = mean_acl(&sd0.latmap, inputs.catalog, inputs.demand, &f0_shares);
+
+    let mut capacity = serving.clone();
+    if with_backup {
+        // compute backup via Eq. 1–2
+        let backup = min_total_backup(&serving.cores, |_, _| true)
+            .expect("multi-DC topologies always admit a backup plan");
+        for (c, b) in capacity.cores.iter_mut().zip(&backup) {
+            *c += b;
+        }
+        // WAN backup: failover usage under each failure scenario
+        for sc in FailureScenario::enumerate(inputs.topo) {
+            if sc == FailureScenario::None {
+                continue;
+            }
+            let sd = ScenarioData::compute(inputs.topo, sc);
+            let shares = baseline_shares(policy, inputs, &sd);
+            let usage =
+                compute_usage(inputs.topo, &sd.routing, inputs.catalog, inputs.demand, &shares);
+            let peaks = usage.peaks();
+            for (g, p) in capacity.gbps.iter_mut().zip(&peaks.gbps) {
+                *g = g.max(*p);
+            }
+        }
+    }
+    let cost = capacity.cost(inputs.topo);
+    BaselinePlan { serving, capacity, f0_shares, mean_acl: acl, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_net::Topology;
+    use sb_workload::{CallConfig, ConfigCatalog, ConfigId, DemandMatrix, MediaType};
+
+    fn instance() -> (Topology, ConfigCatalog, DemandMatrix) {
+        let topo = sb_net::presets::toy_three_dc();
+        let jp = topo.country_by_name("JP");
+        let iin = topo.country_by_name("IN");
+        let mut cat = ConfigCatalog::new();
+        let c_jp = cat.intern(CallConfig::new(vec![(jp, 2)], MediaType::Audio));
+        let c_in = cat.intern(CallConfig::new(vec![(iin, 2)], MediaType::Audio));
+        let mut demand = DemandMatrix::zero(2, 2, 30, 0);
+        demand.set(c_jp, 0, 90.0);
+        demand.set(c_in, 1, 90.0);
+        demand.set(c_in, 0, 10.0);
+        demand.set(c_jp, 1, 10.0);
+        (topo, cat, demand)
+    }
+
+    fn inputs<'a>(
+        topo: &'a Topology,
+        cat: &'a ConfigCatalog,
+        demand: &'a DemandMatrix,
+    ) -> PlanningInputs<'a> {
+        PlanningInputs { topo, catalog: cat, demand, latency_threshold_ms: 120.0 }
+    }
+
+    #[test]
+    fn rr_spreads_evenly() {
+        let (topo, cat, demand) = instance();
+        let inp = inputs(&topo, &cat, &demand);
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let shares = baseline_shares(BaselinePolicy::RoundRobin, &inp, &sd);
+        let s = shares.get(ConfigId(0), 0);
+        assert_eq!(s.len(), 3);
+        for &(_, f) in s {
+            assert!((f - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lf_picks_local_dc() {
+        let (topo, cat, demand) = instance();
+        let inp = inputs(&topo, &cat, &demand);
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let shares = baseline_shares(BaselinePolicy::LocalityFirst, &inp, &sd);
+        assert_eq!(shares.get(ConfigId(0), 0), &[(topo.dc_by_name("Tokyo"), 1.0)]);
+        assert_eq!(shares.get(ConfigId(1), 1), &[(topo.dc_by_name("Pune"), 1.0)]);
+    }
+
+    #[test]
+    fn lf_fails_over_when_local_dc_down() {
+        let (topo, cat, demand) = instance();
+        let inp = inputs(&topo, &cat, &demand);
+        let tokyo = topo.dc_by_name("Tokyo");
+        let sd = ScenarioData::compute(&topo, FailureScenario::DcDown(tokyo));
+        let shares = baseline_shares(BaselinePolicy::LocalityFirst, &inp, &sd);
+        let s = shares.get(ConfigId(0), 0);
+        assert_eq!(s.len(), 1);
+        assert_ne!(s[0].0, tokyo);
+    }
+
+    #[test]
+    fn rr_minimizes_cores_lf_minimizes_acl_and_wan() {
+        // the Table 3 qualitative ordering on a miniature instance
+        let (topo, cat, demand) = instance();
+        let inp = inputs(&topo, &cat, &demand);
+        let rr = provision_baseline(BaselinePolicy::RoundRobin, &inp, false);
+        let lf = provision_baseline(BaselinePolicy::LocalityFirst, &inp, false);
+        assert!(rr.serving.total_cores() <= lf.serving.total_cores() + 1e-9);
+        assert!(lf.mean_acl < rr.mean_acl);
+        assert!(lf.serving.total_wan_gbps(&topo) < rr.serving.total_wan_gbps(&topo));
+    }
+
+    #[test]
+    fn backup_adds_capacity() {
+        let (topo, cat, demand) = instance();
+        let inp = inputs(&topo, &cat, &demand);
+        for policy in [BaselinePolicy::RoundRobin, BaselinePolicy::LocalityFirst] {
+            let plain = provision_baseline(policy, &inp, false);
+            let with = provision_baseline(policy, &inp, true);
+            assert!(with.capacity.total_cores() > plain.capacity.total_cores());
+            assert!(with.cost > plain.cost);
+            assert!(with.capacity.covers(&with.serving, 1e-9));
+            // ACL unaffected by backup (allocation is the same under F0)
+            assert!((with.mean_acl - plain.mean_acl).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rr_backup_fraction_matches_paper_formula() {
+        // §3.1: n equal DCs, each serving s → each needs s/(n−1) backup,
+        // total backup n·s/(n−1). Here n = 3.
+        let (topo, cat, demand) = instance();
+        let inp = inputs(&topo, &cat, &demand);
+        let plan = provision_baseline(BaselinePolicy::RoundRobin, &inp, true);
+        let per_dc = plan.serving.cores[0];
+        for &c in &plan.serving.cores {
+            assert!((c - per_dc).abs() < 1e-6, "RR serving should be equal");
+        }
+        let backup_total = plan.capacity.total_cores() - plan.serving.total_cores();
+        assert!((backup_total - 3.0 * per_dc / 2.0).abs() < 1e-6);
+    }
+}

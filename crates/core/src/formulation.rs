@@ -1,0 +1,548 @@
+//! LP formulation of MP capacity provisioning (§5.3, Eq. 3–9), built per
+//! failure scenario and solved with `sb-lp`'s revised simplex.
+//!
+//! Variables (Table 2): `S_tcx` (share of config `c`'s calls in slot `t`
+//! hosted at DC `x`, bounded by the demand `D_tc`), `CP_x` (peak cores at DC
+//! `x`), `NP_l` (peak Gbps on link `l`). The Eq. 4 latency filter is applied
+//! structurally: `S_tcx` variables are only created for DCs whose
+//! `ACL(x,c) ≤ LAT_th` (with the single-best-DC fallback of Eq. 9's note).
+
+use sb_lp::{LpError, LpProblem, RevisedSimplex, Solver, Var};
+use sb_net::{
+    DcId, FailureScenario, LinkId, ProvisionedCapacity, RoutingTable, Topology,
+};
+use sb_workload::{ConfigCatalog, ConfigId, DemandMatrix};
+
+use crate::latency::LatencyMap;
+use crate::shares::AllocationShares;
+
+/// Everything the planner needs to know about the problem instance.
+#[derive(Copy, Clone)]
+pub struct PlanningInputs<'a> {
+    /// Provider topology (DCs, links, costs).
+    pub topo: &'a Topology,
+    /// Call-config catalog.
+    pub catalog: &'a ConfigCatalog,
+    /// `D_tc`: demand per (config, slot). Configs with zero demand are
+    /// ignored; pass the top-coverage selection here (§5.2).
+    pub demand: &'a DemandMatrix,
+    /// `LAT_th`, 120 ms in the paper.
+    pub latency_threshold_ms: f64,
+}
+
+/// Scenario-specific derived data (routing and latency under the failure).
+#[derive(Clone, Debug)]
+pub struct ScenarioData {
+    /// The failure scenario.
+    pub scenario: FailureScenario,
+    /// Shortest-path routing under the scenario.
+    pub routing: RoutingTable,
+    /// `Lat(x,u)` under the scenario.
+    pub latmap: LatencyMap,
+}
+
+impl ScenarioData {
+    /// Compute routing + latency for `scenario`.
+    pub fn compute(topo: &Topology, scenario: FailureScenario) -> ScenarioData {
+        let routing = RoutingTable::compute(topo, scenario);
+        let latmap = LatencyMap::from_routing(topo, &routing);
+        ScenarioData { scenario, routing, latmap }
+    }
+}
+
+/// Result of one scenario solve.
+#[derive(Clone, Debug)]
+pub struct ScenarioSolution {
+    /// Scenario solved.
+    pub scenario: FailureScenario,
+    /// Required capacity under this scenario (`CP`, `NP`).
+    pub capacity: ProvisionedCapacity,
+    /// The optimal shares `S_tcx / D_tc`.
+    pub shares: AllocationShares,
+    /// LP objective (provisioning cost under this scenario).
+    pub objective: f64,
+    /// Configs that could not be hosted anywhere under this scenario
+    /// (no reachable DC for some participant country).
+    pub dropped: Vec<ConfigId>,
+}
+
+/// Why provisioning failed.
+#[derive(Debug)]
+pub enum ProvisionError {
+    /// The scenario LP failed.
+    Lp {
+        /// Scenario being solved.
+        scenario: FailureScenario,
+        /// Underlying solver error.
+        source: LpError,
+    },
+    /// No demand at all.
+    EmptyDemand,
+}
+
+impl std::fmt::Display for ProvisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProvisionError::Lp { scenario, source } => {
+                write!(f, "LP failed under scenario {scenario:?}: {source}")
+            }
+            ProvisionError::EmptyDemand => write!(f, "demand matrix is empty"),
+        }
+    }
+}
+impl std::error::Error for ProvisionError {}
+
+/// Knobs for the scenario solve.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Demands below this are treated as zero. Besides shrinking the LP,
+    /// this keeps near-zero rows out of the model — sub-milli-call demand is
+    /// forecast noise, and rows with b ≈ 1e−6 are numerically hostile.
+    pub min_demand: f64,
+    /// Secondary-objective weight on `Σ S·ACL` relative to the cost
+    /// objective (Eq. 10 as a tie-break; keep ≪ 1 so cost optimality is not
+    /// compromised).
+    pub acl_epsilon: f64,
+    /// Tiny *fraction of the real resource price* charged on peak usage (as
+    /// opposed to purchased increments). Among equal-increment optima this
+    /// prefers lean usage priced consistently across scenarios, so a
+    /// scenario neither free-rides across all of the base capacity nor
+    /// reports inflated requirements to the cross-scenario union. Must
+    /// dominate `acl_epsilon`'s term and stay ≪ 1.
+    pub usage_epsilon: f64,
+    /// Simplex engine configuration.
+    pub solver: RevisedSimplex,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            min_demand: 1e-3,
+            acl_epsilon: 1e-6,
+            usage_epsilon: 1e-3,
+            solver: RevisedSimplex::new(),
+        }
+    }
+}
+
+/// Build and solve the provisioning LP for one scenario.
+///
+/// With `base = None` this is the serving-capacity LP (`F₀`, Eq. 3–6 + 9).
+/// With `base = Some(serving)` the LP prices only capacity *increments* above
+/// the already-provisioned base — the §4.2 joint serving+backup idea: a DC's
+/// off-peak serving capacity doubles as backup for free, and only genuinely
+/// new cores/Gbps cost money. The returned capacity is `base + increment`.
+pub fn solve_scenario(
+    inputs: &PlanningInputs<'_>,
+    sd: &ScenarioData,
+    base: Option<&ProvisionedCapacity>,
+    opts: &SolveOptions,
+) -> Result<ScenarioSolution, ProvisionError> {
+    let topo = inputs.topo;
+    let demand = inputs.demand;
+    let t_slots = demand.num_slots();
+    if demand.total_calls() <= 0.0 {
+        return Err(ProvisionError::EmptyDemand);
+    }
+
+    // active configs and their allowed DCs under this scenario
+    let mut active: Vec<(ConfigId, Vec<(DcId, f64)>)> = Vec::new();
+    let mut dropped = Vec::new();
+    for (cfg_id, cfg) in inputs.catalog.iter() {
+        if cfg_id.index() >= demand.num_configs() {
+            break;
+        }
+        let any_demand =
+            demand.series(cfg_id).iter().any(|&d| d > opts.min_demand);
+        if !any_demand {
+            continue;
+        }
+        let allowed = sd.latmap.allowed_dcs(cfg, inputs.latency_threshold_ms);
+        if allowed.is_empty() {
+            dropped.push(cfg_id);
+        } else {
+            active.push((cfg_id, allowed));
+        }
+    }
+
+    // Dominated-slot reduction (exact): if slot s's demand vector is
+    // component-wise ≤ slot s''s, any feasible allocation for s' scaled down
+    // per config also serves s within the same peaks — so s adds no binding
+    // constraint. Solve only the Pareto-maximal slots and copy shares to the
+    // dominated ones. Processing by descending total demand guarantees every
+    // dominator is itself a kept slot (domination implies total ≤).
+    let mut dominator: Vec<usize> = (0..t_slots).collect();
+    let kept_slots: Vec<usize> = {
+        let cfg_ids: Vec<ConfigId> = active.iter().map(|(id, _)| *id).collect();
+        let cols: Vec<Vec<f64>> = (0..t_slots)
+            .map(|s| cfg_ids.iter().map(|&id| demand.get(id, s)).collect())
+            .collect();
+        let mut order: Vec<usize> = (0..t_slots).collect();
+        let totals: Vec<f64> = cols.iter().map(|c| c.iter().sum()).collect();
+        order.sort_by(|&a, &b| totals[b].partial_cmp(&totals[a]).unwrap().then(a.cmp(&b)));
+        let mut kept: Vec<usize> = Vec::new();
+        for &s in &order {
+            match kept
+                .iter()
+                .find(|&&k| cols[s].iter().zip(&cols[k]).all(|(a, b)| a <= b))
+            {
+                Some(&k) => dominator[s] = k,
+                None => kept.push(s),
+            }
+        }
+        kept.sort_unstable();
+        kept
+    };
+
+    let mut lp = LpProblem::new();
+
+    // Capacity variables come in pairs: `UP` tracks the scenario's peak
+    // *usage* (tiny price, keeps requirements lean) and `CP` the purchased
+    // *increment* above `base` (real price): `usage ≤ UP`, `UP − CP ≤ base`.
+    let mut cp: Vec<Option<(Var, Var)>> = vec![None; topo.dcs.len()];
+    for dc in topo.dc_ids() {
+        if sd.scenario.dc_up(dc) {
+            let up = lp.add_nonneg(
+                format!("UP_{}", dc.index()),
+                opts.usage_epsilon * topo.dcs[dc.index()].core_cost,
+            );
+            let inc =
+                lp.add_nonneg(format!("CP_{}", dc.index()), topo.dcs[dc.index()].core_cost);
+            let rhs = base.map(|b| b.cores[dc.index()]).unwrap_or(0.0);
+            lp.add_le(vec![(up, 1.0), (inc, -1.0)], rhs);
+            cp[dc.index()] = Some((up, inc));
+        }
+    }
+    let mut np: Vec<Option<(Var, Var)>> = vec![None; topo.links.len()];
+    // only links actually usable & on some allowed route need variables;
+    // created lazily below
+    let link_var =
+        |lp: &mut LpProblem, np: &mut Vec<Option<(Var, Var)>>, l: LinkId| -> (Var, Var) {
+            if let Some(v) = np[l.index()] {
+                return v;
+            }
+            let up = lp.add_nonneg(
+                format!("UN_{}", l.index()),
+                opts.usage_epsilon * topo.links[l.index()].cost_per_gbps,
+            );
+            let inc = lp.add_nonneg(
+                format!("NP_{}", l.index()),
+                topo.links[l.index()].cost_per_gbps,
+            );
+            let rhs = base.map(|b| b.gbps[l.index()]).unwrap_or(0.0);
+            lp.add_le(vec![(up, 1.0), (inc, -1.0)], rhs);
+            np[l.index()] = Some((up, inc));
+            (up, inc)
+        };
+
+    // per-slot accumulation rows: compute[(t, dc)] and network[(t, link)]
+    let mut compute_rows: Vec<Vec<(Var, f64)>> = vec![Vec::new(); t_slots * topo.dcs.len()];
+    let mut network_rows: Vec<Vec<(Var, f64)>> = vec![Vec::new(); t_slots * topo.links.len()];
+
+    // share variables
+    struct ShareVar {
+        cfg: ConfigId,
+        slot: usize,
+        dc: DcId,
+        var: Var,
+        demand: f64,
+    }
+    let mut share_vars: Vec<ShareVar> = Vec::new();
+
+    for (cfg_id, allowed) in &active {
+        let cfg = inputs.catalog.config(*cfg_id);
+        let call_cl = cfg.compute_load();
+        let nl = cfg.leg_network_load();
+        // per allowed DC: the per-call link loads (slot-independent)
+        let per_dc_links: Vec<Vec<(LinkId, f64)>> = allowed
+            .iter()
+            .map(|&(dc, _)| {
+                let mut loads: Vec<(LinkId, f64)> = Vec::new();
+                for &(country, n) in cfg.participants() {
+                    if let Some(route) = sd.routing.route(country, dc) {
+                        for &l in &route.links {
+                            match loads.iter_mut().find(|(ll, _)| *ll == l) {
+                                Some((_, w)) => *w += n as f64 * nl,
+                                None => loads.push((l, n as f64 * nl)),
+                            }
+                        }
+                    }
+                }
+                loads
+            })
+            .collect();
+
+        for &slot in &kept_slots {
+            let d = demand.get(*cfg_id, slot);
+            if d <= opts.min_demand {
+                continue;
+            }
+            let mut completeness: Vec<(Var, f64)> = Vec::with_capacity(allowed.len());
+            for (k, &(dc, acl)) in allowed.iter().enumerate() {
+                let cost = opts.acl_epsilon * acl;
+                let v = lp.add_var(
+                    format!("S_{}_{}_{}", cfg_id.index(), slot, dc.index()),
+                    cost,
+                    0.0,
+                    d,
+                );
+                completeness.push((v, 1.0));
+                compute_rows[slot * topo.dcs.len() + dc.index()].push((v, call_cl));
+                for &(l, w) in &per_dc_links[k] {
+                    // ensure the link variable exists
+                    let _ = link_var(&mut lp, &mut np, l);
+                    network_rows[slot * topo.links.len() + l.index()].push((v, w));
+                }
+                share_vars.push(ShareVar { cfg: *cfg_id, slot, dc, var: v, demand: d });
+            }
+            // Eq. 9 completeness
+            lp.add_eq(completeness, d);
+        }
+    }
+
+    // Eq. 5: Σ_c CL·S_tcx ≤ UP_x  (and UP_x − CP_x ≤ base_x above)
+    for &slot in &kept_slots {
+        for dc in topo.dc_ids() {
+            let row = std::mem::take(&mut compute_rows[slot * topo.dcs.len() + dc.index()]);
+            if row.is_empty() {
+                continue;
+            }
+            let mut coeffs = row;
+            let (up, _) = cp[dc.index()].expect("S var exists only for up DCs");
+            coeffs.push((up, -1.0));
+            lp.add_le(coeffs, 0.0);
+        }
+    }
+    // Eq. 6: Σ traffic ≤ UN_l  (and UN_l − NP_l ≤ base_l above)
+    for &slot in &kept_slots {
+        for l in topo.link_ids() {
+            let row = std::mem::take(&mut network_rows[slot * topo.links.len() + l.index()]);
+            if row.is_empty() {
+                continue;
+            }
+            let mut coeffs = row;
+            let (up, _) = np[l.index()].expect("link var created with usage");
+            coeffs.push((up, -1.0));
+            lp.add_le(coeffs, 0.0);
+        }
+    }
+
+    // Debugging hook: dump the exact model before solving (CPLEX LP format).
+    if let Some(path) = std::env::var_os("SB_DUMP_LP") {
+        let _ = std::fs::write(path, sb_lp::to_lp_format(&lp));
+    }
+    let sol = opts
+        .solver
+        .solve(&lp)
+        .map_err(|source| ProvisionError::Lp { scenario: sd.scenario, source })?;
+
+    // extract capacity: base plus purchased increment (base counts only where
+    // the resource is actually usable under this scenario)
+    let mut capacity = ProvisionedCapacity::zero(topo);
+    for dc in topo.dc_ids() {
+        if let Some((_, inc)) = cp[dc.index()] {
+            let b = base.map(|b| b.cores[dc.index()]).unwrap_or(0.0);
+            capacity.cores[dc.index()] = b + sol.value(inc).max(0.0);
+        }
+    }
+    for l in topo.link_ids() {
+        if let Some((_, inc)) = np[l.index()] {
+            let b = base.map(|b| b.gbps[l.index()]).unwrap_or(0.0);
+            capacity.gbps[l.index()] = b + sol.value(inc).max(0.0);
+        }
+    }
+
+    // extract shares (normalized)
+    let mut shares = AllocationShares::new(t_slots);
+    {
+        use std::collections::HashMap;
+        let mut grouped: HashMap<(ConfigId, usize), Vec<(DcId, f64)>> = HashMap::new();
+        for sv in &share_vars {
+            let val = sol.value(sv.var).max(0.0);
+            if val > 1e-9 * sv.demand.max(1.0) {
+                grouped
+                    .entry((sv.cfg, sv.slot))
+                    .or_default()
+                    .push((sv.dc, val / sv.demand));
+            }
+        }
+        for ((cfg, slot), fracs) in grouped {
+            shares.set(cfg, slot, fracs);
+        }
+        // dominated slots reuse their dominator's shares (see above: demand
+        // is component-wise smaller, so the scaled allocation stays feasible)
+        for slot in 0..t_slots {
+            let dom = dominator[slot];
+            if dom == slot {
+                continue;
+            }
+            for (cfg_id, _) in &active {
+                let d = demand.get(*cfg_id, slot);
+                if d <= opts.min_demand {
+                    continue;
+                }
+                let fr = shares.get(*cfg_id, dom).to_vec();
+                if !fr.is_empty() {
+                    shares.set(*cfg_id, slot, fr);
+                }
+            }
+        }
+    }
+
+    // objective without the ACL tie-break term
+    let objective = capacity.cost(topo);
+
+    Ok(ScenarioSolution { scenario: sd.scenario, capacity, shares, objective, dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_workload::{CallConfig, MediaType};
+
+    /// Two-slot instance on the toy topology: JP-heavy demand in slot 0,
+    /// IN-heavy in slot 1 — the peak-shaving structure of §4.1.
+    fn instance() -> (Topology, ConfigCatalog, DemandMatrix) {
+        let topo = sb_net::presets::toy_three_dc();
+        let jp = topo.country_by_name("JP");
+        let iin = topo.country_by_name("IN");
+        let mut cat = ConfigCatalog::new();
+        let c_jp = cat.intern(CallConfig::new(vec![(jp, 2)], MediaType::Audio));
+        let c_in = cat.intern(CallConfig::new(vec![(iin, 2)], MediaType::Audio));
+        let mut demand = DemandMatrix::zero(2, 2, 30, 0);
+        demand.set(c_jp, 0, 100.0);
+        demand.set(c_jp, 1, 10.0);
+        demand.set(c_in, 0, 10.0);
+        demand.set(c_in, 1, 100.0);
+        (topo, cat, demand)
+    }
+
+    #[test]
+    fn f0_solve_places_all_demand() {
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let sol = solve_scenario(&inputs, &sd, None, &SolveOptions::default()).unwrap();
+        assert!(sol.dropped.is_empty());
+        let placed = crate::usage::placed_fraction(&demand, &sol.shares);
+        assert!((placed - 1.0).abs() < 1e-6, "placed {placed}");
+        // capacity must cover the usage implied by the shares
+        let usage =
+            crate::usage::compute_usage(&topo, &sd.routing, &cat, &demand, &sol.shares);
+        assert!(usage.fits_within(&sol.capacity, 1e-6));
+        assert!(sol.objective > 0.0);
+    }
+
+    #[test]
+    fn tight_latency_forces_local_hosting() {
+        let (topo, cat, demand) = instance();
+        // threshold below any cross-country ACL: each config must stay home
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 10.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let sol = solve_scenario(&inputs, &sd, None, &SolveOptions::default()).unwrap();
+        let tokyo = topo.dc_by_name("Tokyo");
+        let pune = topo.dc_by_name("Pune");
+        // JP config slot 0 entirely in Tokyo
+        let s = sol.shares.get(sb_workload::ConfigId(0), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, tokyo);
+        let s = sol.shares.get(sb_workload::ConfigId(1), 1);
+        assert_eq!(s[0].0, pune);
+    }
+
+    #[test]
+    fn loose_latency_shaves_peaks() {
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let loose = solve_scenario(&inputs, &sd, None, &SolveOptions::default()).unwrap();
+        let tight_inputs = PlanningInputs { latency_threshold_ms: 10.0, ..inputs };
+        let tight = solve_scenario(&tight_inputs, &sd, None, &SolveOptions::default()).unwrap();
+        // more freedom can only reduce cost
+        assert!(loose.objective <= tight.objective + 1e-6);
+    }
+
+    #[test]
+    fn dc_failure_scenario_shifts_load() {
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let tokyo = topo.dc_by_name("Tokyo");
+        let sd = ScenarioData::compute(&topo, FailureScenario::DcDown(tokyo));
+        let sol = solve_scenario(&inputs, &sd, None, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.capacity.cores[tokyo.index()], 0.0);
+        // all demand still placed (JP calls go to HK/Pune)
+        let placed = crate::usage::placed_fraction(&demand, &sol.shares);
+        assert!((placed - 1.0).abs() < 1e-6);
+        // any usage on Tokyo's links is impossible
+        for (i, l) in topo.links.iter().enumerate() {
+            let touches_tokyo = l.a == sb_net::Node::Dc(tokyo) || l.b == sb_net::Node::Dc(tokyo);
+            if touches_tokyo {
+                assert_eq!(sol.capacity.gbps[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn peak_aware_beats_sum_of_local_peaks() {
+        // §4.1: shifted peaks let the LP provision less than locality-first
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let sol = solve_scenario(&inputs, &sd, None, &SolveOptions::default()).unwrap();
+        // Locality-first would provision each local peak (100 calls × 2
+        // participants × CL) at both Tokyo and Pune; the LP can exploit the
+        // shifted peaks and land strictly below that sum (and no lower than
+        // the global per-slot peak).
+        let cl = MediaType::Audio.compute_load();
+        let lf_total = 2.0 * (100.0 * 2.0 * cl);
+        let global_peak = 110.0 * 2.0 * cl;
+        let got = sol.capacity.total_cores();
+        assert!(
+            got < lf_total - 0.05 * lf_total,
+            "LP total {got} not meaningfully below LF {lf_total}"
+        );
+        assert!(got >= global_peak - 1e-6, "LP total {got} below global peak {global_peak}");
+    }
+
+    #[test]
+    fn empty_demand_rejected() {
+        let (topo, cat, _) = instance();
+        let demand = DemandMatrix::zero(2, 2, 30, 0);
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        assert!(matches!(
+            solve_scenario(&inputs, &sd, None, &SolveOptions::default()),
+            Err(ProvisionError::EmptyDemand)
+        ));
+    }
+}

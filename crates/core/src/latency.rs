@@ -1,0 +1,184 @@
+//! Latency map and Average Call Latency (ACL) math.
+//!
+//! `Lat(x,u)` — the one-way latency between DC `x` and country `u` — comes
+//! either from scenario-aware routing (planning time) or from pooled call-leg
+//! measurements (the paper medianizes recorded leg latencies, §6.2; see
+//! `sb-sim`'s estimator). `ACL(x,c)` is the participant-weighted mean leg
+//! latency of hosting config `c` at DC `x` (Table 2).
+
+use sb_net::{CountryId, DcId, RoutingTable, Topology};
+use sb_workload::CallConfig;
+
+/// Dense `[country][dc]` one-way latency matrix; `None` = unreachable.
+#[derive(Clone, Debug)]
+pub struct LatencyMap {
+    ms: Vec<Vec<Option<f64>>>,
+}
+
+impl LatencyMap {
+    /// Build from explicit values.
+    pub fn from_matrix(ms: Vec<Vec<Option<f64>>>) -> LatencyMap {
+        LatencyMap { ms }
+    }
+
+    /// Build from a scenario-aware routing table.
+    pub fn from_routing(topo: &Topology, rt: &RoutingTable) -> LatencyMap {
+        let ms = topo
+            .country_ids()
+            .map(|c| topo.dc_ids().map(|d| rt.latency_ms(c, d)).collect())
+            .collect();
+        LatencyMap { ms }
+    }
+
+    /// `Lat(x,u)`.
+    pub fn get(&self, country: CountryId, dc: DcId) -> Option<f64> {
+        self.ms[country.index()][dc.index()]
+    }
+
+    /// Number of countries.
+    pub fn num_countries(&self) -> usize {
+        self.ms.len()
+    }
+
+    /// Number of DCs.
+    pub fn num_dcs(&self) -> usize {
+        self.ms.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// `ACL(x,c) = Σ_p Lat(x,p) / |P(c)|` (participant-weighted); `None` when
+    /// any participant country cannot reach `x`.
+    pub fn acl(&self, cfg: &CallConfig, dc: DcId) -> Option<f64> {
+        let mut acc = 0.0;
+        let mut total = 0u32;
+        for &(country, n) in cfg.participants() {
+            let lat = self.get(country, dc)?;
+            acc += lat * n as f64;
+            total += n as u32;
+        }
+        Some(acc / total as f64)
+    }
+
+    /// DC minimizing `ACL(x,c)` (ties: lower id); `None` if no DC can host.
+    pub fn acl_min_dc(&self, cfg: &CallConfig) -> Option<(DcId, f64)> {
+        let mut best: Option<(DcId, f64)> = None;
+        for x in 0..self.num_dcs() {
+            let dc = DcId(x as u16);
+            if let Some(a) = self.acl(cfg, dc) {
+                if best.is_none() || a < best.unwrap().1 {
+                    best = Some((dc, a));
+                }
+            }
+        }
+        best
+    }
+
+    /// DCs allowed for `cfg` under the Eq. 4 latency filter: all DCs with
+    /// `ACL ≤ threshold`; when none qualifies, the single ACL-minimizing DC
+    /// (the note under Eq. 9).
+    pub fn allowed_dcs(&self, cfg: &CallConfig, threshold_ms: f64) -> Vec<(DcId, f64)> {
+        let mut ok: Vec<(DcId, f64)> = (0..self.num_dcs())
+            .filter_map(|x| {
+                let dc = DcId(x as u16);
+                self.acl(cfg, dc).filter(|&a| a <= threshold_ms).map(|a| (dc, a))
+            })
+            .collect();
+        if ok.is_empty() {
+            if let Some(best) = self.acl_min_dc(cfg) {
+                ok.push(best);
+            }
+        }
+        ok
+    }
+
+    /// Closest DC to a single country (used by the first-joiner heuristic,
+    /// §5.4).
+    pub fn closest_dc(&self, country: CountryId) -> Option<DcId> {
+        let row = &self.ms[country.index()];
+        row.iter()
+            .enumerate()
+            .filter_map(|(x, l)| l.map(|v| (x, v)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(x, _)| DcId(x as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_net::FailureScenario;
+    use sb_workload::MediaType;
+
+    fn map() -> LatencyMap {
+        // 2 countries × 3 DCs
+        LatencyMap::from_matrix(vec![
+            vec![Some(10.0), Some(50.0), None],
+            vec![Some(40.0), Some(5.0), Some(90.0)],
+        ])
+    }
+
+    fn cfg(parts: Vec<(u16, u16)>) -> CallConfig {
+        CallConfig::new(
+            parts.into_iter().map(|(c, n)| (CountryId(c), n)).collect(),
+            MediaType::Audio,
+        )
+    }
+
+    #[test]
+    fn acl_weighting() {
+        let m = map();
+        let c = cfg(vec![(0, 3), (1, 1)]);
+        // DC0: (3*10 + 1*40)/4 = 17.5
+        assert_eq!(m.acl(&c, DcId(0)), Some(17.5));
+        // DC2 unreachable from country 0
+        assert_eq!(m.acl(&c, DcId(2)), None);
+    }
+
+    #[test]
+    fn acl_min_dc_picks_best() {
+        let m = map();
+        let c = cfg(vec![(1, 2)]);
+        assert_eq!(m.acl_min_dc(&c), Some((DcId(1), 5.0)));
+    }
+
+    #[test]
+    fn allowed_dcs_threshold_and_fallback() {
+        let m = map();
+        let c = cfg(vec![(0, 1), (1, 1)]);
+        // ACLs: DC0 = 25, DC1 = 27.5, DC2 = None
+        let allowed = m.allowed_dcs(&c, 26.0);
+        assert_eq!(allowed.len(), 1);
+        assert_eq!(allowed[0].0, DcId(0));
+        let allowed = m.allowed_dcs(&c, 30.0);
+        assert_eq!(allowed.len(), 2);
+        // nothing qualifies → fall back to the single ACL-min DC
+        let allowed = m.allowed_dcs(&c, 1.0);
+        assert_eq!(allowed.len(), 1);
+        assert_eq!(allowed[0].0, DcId(0));
+    }
+
+    #[test]
+    fn closest_dc() {
+        let m = map();
+        assert_eq!(m.closest_dc(CountryId(0)), Some(DcId(0)));
+        assert_eq!(m.closest_dc(CountryId(1)), Some(DcId(1)));
+    }
+
+    #[test]
+    fn from_routing_consistent() {
+        let topo = sb_net::presets::toy_three_dc();
+        let rt = RoutingTable::compute(&topo, FailureScenario::None);
+        let m = LatencyMap::from_routing(&topo, &rt);
+        for c in topo.country_ids() {
+            for d in topo.dc_ids() {
+                assert_eq!(m.get(c, d), rt.latency_ms(c, d));
+            }
+        }
+        // a DC failure propagates as None
+        let dc0 = sb_net::DcId(0);
+        let rt_f = RoutingTable::compute(&topo, FailureScenario::DcDown(dc0));
+        let m_f = LatencyMap::from_routing(&topo, &rt_f);
+        for c in topo.country_ids() {
+            assert_eq!(m_f.get(c, dc0), None);
+        }
+    }
+}

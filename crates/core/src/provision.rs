@@ -1,0 +1,307 @@
+//! The full MP capacity provisioning pass (§5.3): solve the LP once per
+//! failure scenario (`F₀`, every DC down, every link down) and take the
+//! component-wise maximum (Eq. 7–8). Scenario solves are independent and run
+//! on a thread pool.
+
+use sb_net::{FailureScenario, ProvisionedCapacity};
+
+use crate::formulation::{
+    solve_scenario, PlanningInputs, ProvisionError, ScenarioData, ScenarioSolution, SolveOptions,
+};
+use crate::shares::AllocationShares;
+
+/// Provisioner configuration.
+#[derive(Clone, Debug)]
+pub struct ProvisionerParams {
+    /// Provision backup capacity by sweeping all single-failure scenarios
+    /// (`true` = the paper's "with backup" column).
+    pub with_backup: bool,
+    /// Scenario-LP options.
+    pub solve: SolveOptions,
+    /// Max worker threads for the scenario sweep (0 = available parallelism).
+    pub threads: usize,
+    /// Cross-scenario refinement passes: each pass re-solves every scenario
+    /// (including `F₀`) against the capacity the *other* scenarios already
+    /// require, letting serving and backup share capacity in both directions
+    /// (§4.2). 0 disables refinement.
+    pub refine_passes: usize,
+}
+
+impl Default for ProvisionerParams {
+    fn default() -> Self {
+        ProvisionerParams {
+            with_backup: true,
+            solve: SolveOptions::default(),
+            threads: 0,
+            refine_passes: 2,
+        }
+    }
+}
+
+/// Output of provisioning.
+#[derive(Clone, Debug)]
+pub struct ProvisioningPlan {
+    /// Final capacity to provision: max over scenarios (Eq. 7–8).
+    pub capacity: ProvisionedCapacity,
+    /// Serving capacity: the no-failure scenario's requirement.
+    pub serving: ProvisionedCapacity,
+    /// Optimal `F₀` shares (used to seed the daily allocation plan).
+    pub f0_shares: AllocationShares,
+    /// Per-scenario capacities (for inspection/drills).
+    pub scenarios: Vec<(FailureScenario, ProvisionedCapacity)>,
+    /// Total cost of the final capacity.
+    pub cost: f64,
+}
+
+/// Run provisioning for `inputs`.
+///
+/// Two stages, matching §4.2/§5.3: first the no-failure LP fixes the
+/// *serving* capacity; then every single-failure scenario LP buys only the
+/// cheapest *increment* on top of it (off-peak serving capacity at surviving
+/// DCs is reused as backup for free). The final capacity is the
+/// component-wise max across scenarios (Eq. 7–8).
+pub fn provision(
+    inputs: &PlanningInputs<'_>,
+    params: &ProvisionerParams,
+) -> Result<ProvisioningPlan, ProvisionError> {
+    // requirement of one scenario = the usage peaks of its solution
+    let peaks_of = |sd: &ScenarioData, shares: &crate::shares::AllocationShares| {
+        crate::usage::compute_usage(inputs.topo, &sd.routing, inputs.catalog, inputs.demand, shares)
+            .peaks()
+    };
+
+    // stage 1: serving capacity (F0)
+    let sd0 = ScenarioData::compute(inputs.topo, FailureScenario::None);
+    let f0 = solve_scenario(inputs, &sd0, None, &params.solve)?;
+    let mut f0_shares = f0.shares.clone();
+    let serving = f0.capacity.clone();
+
+    if !params.with_backup {
+        let capacity = serving.clone();
+        let cost = capacity.cost(inputs.topo);
+        return Ok(ProvisioningPlan {
+            capacity,
+            serving,
+            f0_shares,
+            scenarios: vec![(FailureScenario::None, f0.capacity)],
+            cost,
+        });
+    }
+
+    // Stage 2: per-failure increments, accumulated sequentially — backup
+    // capacity bought for one failure scenario is reused by the next for
+    // free (only one failure happens at a time, §5.3), which is the §4.2
+    // sharing that makes SB's backup cheap. DC failures are the big
+    // perturbations, so they go first.
+    let mut scenarios: Vec<FailureScenario> = FailureScenario::enumerate(inputs.topo)
+        .into_iter()
+        .filter(|s| *s != FailureScenario::None)
+        .collect();
+    scenarios.sort_by_key(|s| match s {
+        FailureScenario::DcDown(_) => 0,
+        _ => 1,
+    });
+    // requirements per scenario (usage peaks), F0 first
+    let mut reqs: Vec<(FailureScenario, ProvisionedCapacity)> =
+        vec![(FailureScenario::None, peaks_of(&sd0, &f0.shares))];
+    let debug = std::env::var_os("SB_DEBUG").is_some();
+    {
+        let mut union = reqs[0].1.clone();
+        for &sc in &scenarios {
+            let sd = ScenarioData::compute(inputs.topo, sc);
+            let sol = solve_scenario(inputs, &sd, Some(&union), &params.solve)?;
+            let peaks = peaks_of(&sd, &sol.shares);
+            union.max_with(&peaks);
+            if debug {
+                eprintln!(
+                    "pass0 {sc:?}: req {:?}",
+                    peaks.cores.iter().map(|c| *c as i64).collect::<Vec<_>>()
+                );
+            }
+            reqs.push((sc, peaks));
+        }
+    }
+
+    // Stage 3: cross-scenario refinement — re-solve each scenario (F0 too)
+    // against the union of the *other* scenarios' requirements, so serving
+    // can also sit in capacity that failures forced anyway. Scenarios whose
+    // requirement the others already cover are skipped (zero-increment).
+    for _ in 0..params.refine_passes {
+        for i in 0..reqs.len() {
+            let mut others = ProvisionedCapacity::zero(inputs.topo);
+            for (j, (_, r)) in reqs.iter().enumerate() {
+                if j != i {
+                    others.max_with(r);
+                }
+            }
+            if others.covers(&reqs[i].1, 1e-9) {
+                continue;
+            }
+            let sc = reqs[i].0;
+            let sd = ScenarioData::compute(inputs.topo, sc);
+            let sol = solve_scenario(inputs, &sd, Some(&others), &params.solve)?;
+            reqs[i].1 = peaks_of(&sd, &sol.shares);
+            if debug {
+                eprintln!(
+                    "refine {sc:?}: others {:?} -> req {:?}",
+                    others.cores.iter().map(|c| *c as i64).collect::<Vec<_>>(),
+                    reqs[i].1.cores.iter().map(|c| *c as i64).collect::<Vec<_>>()
+                );
+            }
+            if sc == FailureScenario::None {
+                f0_shares = sol.shares;
+            }
+        }
+    }
+
+    let mut capacity = ProvisionedCapacity::zero(inputs.topo);
+    for (_, r) in &reqs {
+        capacity.max_with(r);
+    }
+    let cost = capacity.cost(inputs.topo);
+    Ok(ProvisioningPlan { capacity, serving, f0_shares, scenarios: reqs, cost })
+}
+
+/// Solve a set of scenarios (optionally above a base capacity) in parallel,
+/// preserving order.
+pub fn solve_scenarios(
+    inputs: &PlanningInputs<'_>,
+    scenarios: &[FailureScenario],
+    base: Option<&ProvisionedCapacity>,
+    params: &ProvisionerParams,
+) -> Result<Vec<ScenarioSolution>, ProvisionError> {
+    let threads = if params.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        params.threads
+    }
+    .min(scenarios.len().max(1));
+
+    if threads <= 1 || scenarios.len() <= 1 {
+        return scenarios
+            .iter()
+            .map(|&sc| {
+                let sd = ScenarioData::compute(inputs.topo, sc);
+                solve_scenario(inputs, &sd, base, &params.solve)
+            })
+            .collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<Result<ScenarioSolution, ProvisionError>>>> =
+        scenarios.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let sd = ScenarioData::compute(inputs.topo, scenarios[i]);
+                let r = solve_scenario(inputs, &sd, base, &params.solve);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_net::Topology;
+    use sb_workload::{CallConfig, ConfigCatalog, DemandMatrix, MediaType};
+
+    fn instance() -> (Topology, ConfigCatalog, DemandMatrix) {
+        let topo = sb_net::presets::toy_three_dc();
+        let jp = topo.country_by_name("JP");
+        let iin = topo.country_by_name("IN");
+        let hk = topo.country_by_name("HK");
+        let mut cat = ConfigCatalog::new();
+        let c_jp = cat.intern(CallConfig::new(vec![(jp, 2)], MediaType::Audio));
+        let c_in = cat.intern(CallConfig::new(vec![(iin, 2)], MediaType::Audio));
+        let c_hk = cat.intern(CallConfig::new(vec![(hk, 2)], MediaType::Video));
+        let mut demand = DemandMatrix::zero(3, 3, 30, 0);
+        demand.set(c_jp, 0, 50.0);
+        demand.set(c_in, 1, 50.0);
+        demand.set(c_hk, 2, 20.0);
+        (topo, cat, demand)
+    }
+
+    #[test]
+    fn backup_capacity_dominates_serving() {
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let plan = provision(&inputs, &ProvisionerParams::default()).unwrap();
+        assert!(plan.capacity.covers(&plan.serving, 1e-9));
+        assert!(plan.cost >= plan.serving.cost(&topo) - 1e-9);
+        // scenario list: F0 + 3 DCs + all links
+        assert_eq!(plan.scenarios.len(), 1 + 3 + topo.links.len());
+    }
+
+    #[test]
+    fn without_backup_is_cheaper() {
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let with = provision(&inputs, &ProvisionerParams::default()).unwrap();
+        let without = provision(
+            &inputs,
+            &ProvisionerParams { with_backup: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(without.cost <= with.cost + 1e-9);
+        assert_eq!(without.scenarios.len(), 1);
+    }
+
+    #[test]
+    fn capacity_survives_any_dc_failure() {
+        // the provisioned capacity must admit a feasible placement under
+        // every DC failure — by construction it covers each scenario's needs
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let plan = provision(&inputs, &ProvisionerParams::default()).unwrap();
+        for (sc, cap) in &plan.scenarios {
+            assert!(
+                plan.capacity.covers(cap, 1e-6),
+                "final capacity does not cover scenario {sc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (topo, cat, demand) = instance();
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let par = provision(&inputs, &ProvisionerParams::default()).unwrap();
+        let seq = provision(
+            &inputs,
+            &ProvisionerParams { threads: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert!((par.cost - seq.cost).abs() < 1e-6 * (1.0 + seq.cost));
+        assert_eq!(par.scenarios.len(), seq.scenarios.len());
+    }
+}

@@ -1,0 +1,326 @@
+//! The real-time MP selector (§5.4): assign a DC the moment the first
+//! participant joins (closest-DC heuristic), tally the call against the
+//! precomputed allocation plan once its config freezes (A = 300 s in), and
+//! migrate when the initial choice disagrees with the plan.
+
+use std::collections::HashMap;
+
+use sb_net::{CountryId, DcId};
+use sb_workload::{ConfigId, DemandMatrix};
+
+use crate::latency::LatencyMap;
+use crate::shares::AllocationShares;
+
+/// Integer per-DC call quotas per `(config, slot)`, derived from the
+/// fractional allocation plan by largest-remainder rounding.
+#[derive(Clone, Debug)]
+pub struct PlannedQuotas {
+    slot_minutes: u32,
+    start_minute: u64,
+    num_slots: usize,
+    quotas: HashMap<(ConfigId, usize), Vec<(DcId, u32)>>,
+}
+
+impl PlannedQuotas {
+    /// Round `share × demand` into integer slots that sum to the rounded
+    /// demand (largest-remainder method).
+    pub fn from_plan(shares: &AllocationShares, demand: &DemandMatrix) -> PlannedQuotas {
+        let mut quotas = HashMap::new();
+        for (cfg, slot, fracs) in shares.iter() {
+            let d = demand.get(cfg, slot).round() as u32;
+            if d == 0 {
+                continue;
+            }
+            let targets: Vec<(DcId, f64)> =
+                fracs.iter().map(|&(dc, f)| (dc, f * d as f64)).collect();
+            let mut counts: Vec<(DcId, u32)> =
+                targets.iter().map(|&(dc, t)| (dc, t.floor() as u32)).collect();
+            let assigned: u32 = counts.iter().map(|&(_, n)| n).sum();
+            let mut remainders: Vec<(usize, f64)> = targets
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, t))| (i, t - t.floor()))
+                .collect();
+            remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let total_target: f64 = targets.iter().map(|&(_, t)| t).sum();
+            let want = total_target.round() as u32;
+            for k in 0..(want.saturating_sub(assigned)) as usize {
+                let idx = remainders[k % remainders.len()].0;
+                counts[idx].1 += 1;
+            }
+            quotas.insert((cfg, slot), counts);
+        }
+        PlannedQuotas {
+            slot_minutes: demand.slot_minutes,
+            start_minute: demand.start_minute,
+            num_slots: demand.num_slots(),
+            quotas,
+        }
+    }
+
+    /// Slot containing an absolute minute, if within the plan horizon.
+    pub fn slot_of_minute(&self, minute: u64) -> Option<usize> {
+        if minute < self.start_minute {
+            return None;
+        }
+        let s = ((minute - self.start_minute) / self.slot_minutes as u64) as usize;
+        (s < self.num_slots).then_some(s)
+    }
+
+    /// Total planned calls for a `(config, slot)`.
+    pub fn total(&self, cfg: ConfigId, slot: usize) -> u32 {
+        self.quotas
+            .get(&(cfg, slot))
+            .map(|v| v.iter().map(|&(_, n)| n).sum())
+            .unwrap_or(0)
+    }
+}
+
+/// What happened when a call's config froze.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FreezeDecision {
+    /// Initial DC agreed with the plan (or had quota): no migration.
+    Stay(DcId),
+    /// Plan required a different DC: the call migrates.
+    Migrate {
+        /// Initial DC.
+        from: DcId,
+        /// Plan-mandated DC.
+        to: DcId,
+    },
+    /// Config was not in the plan (unanticipated config, §5.4(b) last ¶):
+    /// the call stays at the closest DC.
+    Unplanned(DcId),
+    /// Planned quotas for this (config, slot) were exhausted everywhere:
+    /// the call stays put and is served from headroom.
+    Overflow(DcId),
+}
+
+impl FreezeDecision {
+    /// The DC the call is hosted at after the decision.
+    pub fn final_dc(self) -> DcId {
+        match self {
+            FreezeDecision::Stay(d)
+            | FreezeDecision::Unplanned(d)
+            | FreezeDecision::Overflow(d) => d,
+            FreezeDecision::Migrate { to, .. } => to,
+        }
+    }
+
+    /// Did the call migrate?
+    pub fn migrated(self) -> bool {
+        matches!(self, FreezeDecision::Migrate { .. })
+    }
+}
+
+/// Aggregate selector statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SelectorStats {
+    /// Calls started.
+    pub calls: u64,
+    /// Calls migrated at config freeze (§6.4 metric).
+    pub migrations: u64,
+    /// Calls with a config absent from the plan.
+    pub unplanned: u64,
+    /// Calls whose planned quotas were exhausted.
+    pub overflow: u64,
+}
+
+impl SelectorStats {
+    /// Migration rate over all started calls.
+    pub fn migration_rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.migrations as f64 / self.calls as f64
+        }
+    }
+}
+
+/// The real-time selector state machine.
+pub struct RealtimeSelector<'a> {
+    latmap: &'a LatencyMap,
+    quotas: PlannedQuotas,
+    remaining: HashMap<(ConfigId, usize), Vec<(DcId, u32)>>,
+    active: HashMap<u64, DcId>,
+    closest: Vec<Option<DcId>>,
+    stats: SelectorStats,
+}
+
+impl<'a> RealtimeSelector<'a> {
+    /// Build a selector for one planning horizon.
+    pub fn new(latmap: &'a LatencyMap, quotas: PlannedQuotas) -> RealtimeSelector<'a> {
+        let closest = (0..latmap.num_countries())
+            .map(|c| latmap.closest_dc(CountryId(c as u16)))
+            .collect();
+        let remaining = quotas.quotas.clone();
+        RealtimeSelector { latmap, quotas, remaining, active: HashMap::new(), closest, stats: SelectorStats::default() }
+    }
+
+    /// First participant joined: assign the DC closest to them (§5.4(a)).
+    pub fn call_start(&mut self, call_id: u64, first_joiner: CountryId) -> DcId {
+        let dc = self.closest[first_joiner.index()].expect("country has a reachable DC");
+        self.stats.calls += 1;
+        self.active.insert(call_id, dc);
+        dc
+    }
+
+    /// The call's config froze (A minutes in): tally against the plan and
+    /// decide whether to migrate (§5.4(b)(c)).
+    pub fn config_frozen(
+        &mut self,
+        call_id: u64,
+        cfg: ConfigId,
+        call_start_minute: u64,
+    ) -> FreezeDecision {
+        let current = *self.active.get(&call_id).expect("unknown call id");
+        let Some(slot) = self.quotas.slot_of_minute(call_start_minute) else {
+            self.stats.unplanned += 1;
+            return FreezeDecision::Unplanned(current);
+        };
+        let Some(rem) = self.remaining.get_mut(&(cfg, slot)) else {
+            self.stats.unplanned += 1;
+            return FreezeDecision::Unplanned(current);
+        };
+        // current DC still has quota → debit and stay
+        if let Some(entry) = rem.iter_mut().find(|(dc, n)| *dc == current && *n > 0) {
+            entry.1 -= 1;
+            return FreezeDecision::Stay(current);
+        }
+        // otherwise migrate to the planned DC with the most remaining quota
+        if let Some(entry) =
+            rem.iter_mut().filter(|(_, n)| *n > 0).max_by_key(|(_, n)| *n)
+        {
+            entry.1 -= 1;
+            let to = entry.0;
+            self.active.insert(call_id, to);
+            self.stats.migrations += 1;
+            return FreezeDecision::Migrate { from: current, to };
+        }
+        self.stats.overflow += 1;
+        FreezeDecision::Overflow(current)
+    }
+
+    /// The call ended; release its bookkeeping.
+    pub fn call_end(&mut self, call_id: u64) {
+        self.active.remove(&call_id);
+    }
+
+    /// DC currently hosting a call.
+    pub fn current_dc(&self, call_id: u64) -> Option<DcId> {
+        self.active.get(&call_id).copied()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SelectorStats {
+        &self.stats
+    }
+
+    /// The latency map in use.
+    pub fn latmap(&self) -> &LatencyMap {
+        self.latmap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_workload::{CallConfig, ConfigCatalog, MediaType};
+
+    /// 2 countries × 2 DCs; country 0 → DC 0, country 1 → DC 1.
+    fn latmap() -> LatencyMap {
+        LatencyMap::from_matrix(vec![
+            vec![Some(5.0), Some(50.0)],
+            vec![Some(50.0), Some(5.0)],
+        ])
+    }
+
+    fn catalog() -> (ConfigCatalog, ConfigId) {
+        let mut cat = ConfigCatalog::new();
+        let id = cat.intern(CallConfig::new(vec![(CountryId(0), 2)], MediaType::Audio));
+        (cat, id)
+    }
+
+    fn quotas_for(cfg: ConfigId, fracs: Vec<(DcId, f64)>, demand_count: f64) -> PlannedQuotas {
+        let mut shares = AllocationShares::new(1);
+        shares.set(cfg, 0, fracs);
+        let mut demand = DemandMatrix::zero(cfg.index() + 1, 1, 30, 0);
+        demand.set(cfg, 0, demand_count);
+        PlannedQuotas::from_plan(&shares, &demand)
+    }
+
+    #[test]
+    fn largest_remainder_preserves_total() {
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 0.8), (DcId(1), 0.1), (DcId(0), 0.0)], 100.0);
+        // 0.9 placed fraction: totals round to 90
+        assert_eq!(q.total(cfg, 0), 90);
+        let q = quotas_for(cfg, vec![(DcId(0), 1.0 / 3.0), (DcId(1), 2.0 / 3.0)], 10.0);
+        assert_eq!(q.total(cfg, 0), 10);
+    }
+
+    #[test]
+    fn stay_when_quota_available() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 2.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        let dc = sel.call_start(1, CountryId(0));
+        assert_eq!(dc, DcId(0));
+        let d = sel.config_frozen(1, cfg, 0);
+        assert_eq!(d, FreezeDecision::Stay(DcId(0)));
+        assert_eq!(sel.stats().migrations, 0);
+    }
+
+    #[test]
+    fn migrate_when_plan_disagrees() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        // plan puts everything on DC1 but the first joiner is closest to DC0
+        let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        sel.call_start(7, CountryId(0));
+        let d = sel.config_frozen(7, cfg, 10);
+        assert_eq!(d, FreezeDecision::Migrate { from: DcId(0), to: DcId(1) });
+        assert!(d.migrated());
+        assert_eq!(sel.current_dc(7), Some(DcId(1)));
+        assert_eq!(sel.stats().migrations, 1);
+    }
+
+    #[test]
+    fn quota_exhaustion_forces_migration_of_later_calls() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        // plan: 2 calls at DC0, 1 at DC1
+        let q = quotas_for(cfg, vec![(DcId(0), 2.0 / 3.0), (DcId(1), 1.0 / 3.0)], 3.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        for id in 0..3u64 {
+            sel.call_start(id, CountryId(0));
+        }
+        assert_eq!(sel.config_frozen(0, cfg, 0), FreezeDecision::Stay(DcId(0)));
+        assert_eq!(sel.config_frozen(1, cfg, 0), FreezeDecision::Stay(DcId(0)));
+        // third call: DC0 exhausted → migrate to DC1
+        assert!(sel.config_frozen(2, cfg, 0).migrated());
+        // a fourth call overflows
+        sel.call_start(3, CountryId(0));
+        assert!(matches!(sel.config_frozen(3, cfg, 0), FreezeDecision::Overflow(_)));
+        assert_eq!(sel.stats().overflow, 1);
+        assert!((sel.stats().migration_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unplanned_config_stays_closest() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        sel.call_start(1, CountryId(1));
+        // a config id the plan never saw
+        let other = ConfigId(42);
+        let d = sel.config_frozen(1, other, 0);
+        assert!(matches!(d, FreezeDecision::Unplanned(_)));
+        assert_eq!(d.final_dc(), DcId(1));
+        sel.call_end(1);
+        assert_eq!(sel.current_dc(1), None);
+    }
+}

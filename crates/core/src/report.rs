@@ -1,0 +1,234 @@
+//! Human-readable plan reporting: what was provisioned where, how cost
+//! splits between compute and WAN, and which failure scenario forced each
+//! DC's capacity — the questions an operator asks of a plan.
+
+use sb_net::{FailureScenario, ProvisionedCapacity, Topology};
+
+use crate::provision::ProvisioningPlan;
+
+/// Per-DC capacity line items.
+#[derive(Clone, Debug)]
+pub struct DcLine {
+    /// DC name.
+    pub name: String,
+    /// Serving cores (no-failure requirement).
+    pub serving_cores: f64,
+    /// Final cores (incl. backup).
+    pub total_cores: f64,
+    /// Compute cost of the final cores.
+    pub cost: f64,
+    /// The scenario that forced this DC's final capacity.
+    pub binding: FailureScenario,
+}
+
+/// Structured plan summary.
+#[derive(Clone, Debug)]
+pub struct PlanSummary {
+    /// One line per DC.
+    pub dcs: Vec<DcLine>,
+    /// Total inter-country WAN Gbps.
+    pub wan_gbps: f64,
+    /// Compute share of total cost.
+    pub compute_cost: f64,
+    /// Network share of total cost.
+    pub network_cost: f64,
+    /// Backup premium over serving-only cost (fraction ≥ 0).
+    pub backup_premium: f64,
+}
+
+/// The scenario whose requirement at `dc` matches the final capacity
+/// (ties: earliest in plan order, which puts `F₀` first).
+fn binding_scenario(plan: &ProvisioningPlan, dc: usize) -> FailureScenario {
+    let target = plan.capacity.cores[dc];
+    plan.scenarios
+        .iter()
+        .find(|(_, req)| (req.cores[dc] - target).abs() <= 1e-6 * (1.0 + target))
+        .map(|(sc, _)| *sc)
+        .unwrap_or(FailureScenario::None)
+}
+
+/// Build a [`PlanSummary`].
+pub fn summarize(topo: &Topology, plan: &ProvisioningPlan) -> PlanSummary {
+    let dcs = topo
+        .dcs
+        .iter()
+        .enumerate()
+        .map(|(i, dc)| DcLine {
+            name: dc.name.clone(),
+            serving_cores: plan.serving.cores[i],
+            total_cores: plan.capacity.cores[i],
+            cost: plan.capacity.cores[i] * dc.core_cost,
+            binding: binding_scenario(plan, i),
+        })
+        .collect();
+    let compute_cost: f64 = plan
+        .capacity
+        .cores
+        .iter()
+        .zip(&topo.dcs)
+        .map(|(c, d)| c * d.core_cost)
+        .sum();
+    let network_cost = plan.cost - compute_cost;
+    let serving_cost = plan.serving.cost(topo);
+    let backup_premium = if serving_cost > 0.0 {
+        (plan.cost / serving_cost - 1.0).max(0.0)
+    } else {
+        0.0
+    };
+    PlanSummary {
+        dcs,
+        wan_gbps: plan.capacity.total_wan_gbps(topo),
+        compute_cost,
+        network_cost,
+        backup_premium,
+    }
+}
+
+/// Render the summary as a text block.
+pub fn render(topo: &Topology, plan: &ProvisioningPlan) -> String {
+    use std::fmt::Write;
+    let s = summarize(topo, plan);
+    let mut out = String::new();
+    let _ = writeln!(out, "capacity plan ({} DCs, {} links):", topo.dcs.len(), topo.links.len());
+    for line in &s.dcs {
+        let _ = writeln!(
+            out,
+            "  {:>12}: {:>8.1} cores (serving {:>8.1})  ${:>9.0}  binding: {}",
+            line.name,
+            line.total_cores,
+            line.serving_cores,
+            line.cost,
+            scenario_label(topo, line.binding)
+        );
+    }
+    let _ = writeln!(out, "  inter-country WAN: {:.2} Gbps", s.wan_gbps);
+    let _ = writeln!(
+        out,
+        "  cost: ${:.0} compute + ${:.0} network = ${:.0}  (backup premium {:.0}%)",
+        s.compute_cost,
+        s.network_cost,
+        s.compute_cost + s.network_cost,
+        100.0 * s.backup_premium
+    );
+    out
+}
+
+/// Short label for a scenario.
+pub fn scenario_label(topo: &Topology, sc: FailureScenario) -> String {
+    match sc {
+        FailureScenario::None => "no failure".to_string(),
+        FailureScenario::DcDown(d) => format!("{} down", topo.dcs[d.index()].name),
+        FailureScenario::LinkDown(l) => {
+            let link = &topo.links[l.index()];
+            let name = |n: sb_net::Node| match n {
+                sb_net::Node::Dc(d) => topo.dcs[d.index()].name.clone(),
+                sb_net::Node::Edge(c) => format!("{} edge", topo.countries[c.index()].name),
+            };
+            format!("link {}–{} down", name(link.a), name(link.b))
+        }
+    }
+}
+
+/// Export the provisioned topology to Graphviz DOT, link width scaled by
+/// provisioned Gbps — handy for eyeballing a plan.
+pub fn to_dot(topo: &Topology, cap: &ProvisionedCapacity) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("graph switchboard {\n  overlap=false;\n");
+    for (i, dc) in topo.dcs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  dc{} [shape=box,label=\"{}\\n{:.0} cores\"];",
+            i, dc.name, cap.cores[i]
+        );
+    }
+    for (i, c) in topo.countries.iter().enumerate() {
+        let _ = writeln!(out, "  c{} [shape=ellipse,label=\"{}\"];", i, c.name);
+    }
+    let max_g = cap.gbps.iter().cloned().fold(1e-9, f64::max);
+    for (i, link) in topo.links.iter().enumerate() {
+        let id = |n: sb_net::Node| match n {
+            sb_net::Node::Dc(d) => format!("dc{}", d.index()),
+            sb_net::Node::Edge(c) => format!("c{}", c.index()),
+        };
+        let w = 0.5 + 4.0 * cap.gbps[i] / max_g;
+        let _ = writeln!(
+            out,
+            "  {} -- {} [penwidth={w:.1},label=\"{:.1}G\"];",
+            id(link.a),
+            id(link.b),
+            cap.gbps[i]
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulation::PlanningInputs;
+    use crate::provision::{provision, ProvisionerParams};
+    use sb_workload::{CallConfig, ConfigCatalog, DemandMatrix, MediaType};
+
+    fn plan() -> (Topology, ProvisioningPlan) {
+        let topo = sb_net::presets::toy_three_dc();
+        let jp = topo.country_by_name("JP");
+        let mut cat = ConfigCatalog::new();
+        let id = cat.intern(CallConfig::new(vec![(jp, 2)], MediaType::Audio));
+        let mut demand = DemandMatrix::zero(1, 2, 30, 0);
+        demand.set(id, 0, 50.0);
+        demand.set(id, 1, 20.0);
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let plan = provision(&inputs, &ProvisionerParams::default()).unwrap();
+        (topo, plan)
+    }
+
+    #[test]
+    fn summary_accounts_costs_exactly() {
+        let (topo, plan) = plan();
+        let s = summarize(&topo, &plan);
+        assert_eq!(s.dcs.len(), topo.dcs.len());
+        assert!((s.compute_cost + s.network_cost - plan.cost).abs() < 1e-6);
+        assert!(s.backup_premium >= 0.0);
+        for line in &s.dcs {
+            assert!(line.total_cores >= line.serving_cores - 1e-9);
+        }
+    }
+
+    #[test]
+    fn binding_scenarios_exist_in_plan() {
+        let (topo, plan) = plan();
+        let s = summarize(&topo, &plan);
+        for line in &s.dcs {
+            // the label must render for every binding scenario
+            let label = scenario_label(&topo, line.binding);
+            assert!(!label.is_empty());
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_dc() {
+        let (topo, plan) = plan();
+        let text = render(&topo, &plan);
+        for dc in &topo.dcs {
+            assert!(text.contains(&dc.name), "missing {}", dc.name);
+        }
+        assert!(text.contains("backup premium"));
+    }
+
+    #[test]
+    fn dot_export_is_wellformed() {
+        let (topo, plan) = plan();
+        let dot = to_dot(&topo, &plan.capacity);
+        assert!(dot.starts_with("graph switchboard {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches(" -- ").count(), topo.links.len());
+        assert_eq!(dot.matches("shape=box").count(), topo.dcs.len());
+        assert_eq!(dot.matches("shape=ellipse").count(), topo.countries.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the planner: on random demand instances over the toy
+//! topology, provisioning must place all demand, cover its own usage, and
+//! respect dominance relations (more freedom ⇒ no worse cost; backup ⇒ at
+//! least serving).
+
+use proptest::prelude::*;
+use sb_core::formulation::{solve_scenario, PlanningInputs, ScenarioData, SolveOptions};
+use sb_core::provision::{provision, ProvisionerParams};
+use sb_core::usage::{compute_usage, placed_fraction};
+use sb_net::FailureScenario;
+use sb_workload::{CallConfig, ConfigCatalog, DemandMatrix, MediaType};
+
+#[derive(Debug, Clone)]
+struct Instance {
+    /// per config: (country index 0..3, participants, media tag)
+    configs: Vec<(usize, u16, u8)>,
+    /// demand per (config, slot)
+    demand: Vec<Vec<u16>>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (1usize..5, 1usize..5).prop_flat_map(|(n_cfg, n_slots)| {
+        let configs = proptest::collection::vec((0usize..3, 1u16..6, 0u8..3), n_cfg);
+        let demand =
+            proptest::collection::vec(proptest::collection::vec(0u16..80, n_slots), n_cfg);
+        (configs, demand).prop_map(|(configs, demand)| Instance { configs, demand })
+    })
+}
+
+fn build(inst: &Instance) -> (sb_net::Topology, ConfigCatalog, DemandMatrix) {
+    let topo = sb_net::presets::toy_three_dc();
+    let countries = [
+        topo.country_by_name("JP"),
+        topo.country_by_name("HK"),
+        topo.country_by_name("IN"),
+    ];
+    let mut catalog = ConfigCatalog::new();
+    let slots = inst.demand[0].len();
+    let mut demand = DemandMatrix::zero(inst.configs.len(), slots, 30, 0);
+    for (i, &(country, parts, media)) in inst.configs.iter().enumerate() {
+        let media = match media {
+            0 => MediaType::Audio,
+            1 => MediaType::ScreenShare,
+            _ => MediaType::Video,
+        };
+        let cfg = CallConfig::new(vec![(countries[country], parts)], media);
+        let id = catalog.intern(cfg);
+        for (s, &d) in inst.demand[i].iter().enumerate() {
+            demand.add(id, s, d as f64);
+        }
+    }
+    (topo, catalog, demand)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The F0 LP places all demand and its capacity covers the implied usage.
+    #[test]
+    fn f0_solution_is_complete_and_covered(inst in instance_strategy()) {
+        let (topo, catalog, demand) = build(&inst);
+        if demand.total_calls() == 0.0 {
+            return Ok(());
+        }
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &catalog,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let sol = solve_scenario(&inputs, &sd, None, &SolveOptions::default()).unwrap();
+        prop_assert!((placed_fraction(&demand, &sol.shares) - 1.0).abs() < 1e-6);
+        let usage = compute_usage(&topo, &sd.routing, &catalog, &demand, &sol.shares);
+        prop_assert!(usage.fits_within(&sol.capacity, 1e-5));
+        // fractions per (config, slot) are a distribution
+        for (cfg, slot, fr) in sol.shares.iter() {
+            if demand.get(cfg, slot) > 0.0 {
+                let total: f64 = fr.iter().map(|&(_, f)| f).sum();
+                prop_assert!((total - 1.0).abs() < 1e-6, "shares sum {total}");
+                prop_assert!(fr.iter().all(|&(_, f)| (0.0..=1.0 + 1e-9).contains(&f)));
+            }
+        }
+    }
+
+    /// Loosening the latency threshold can only lower the optimal cost, and
+    /// backup capacity dominates serving capacity.
+    #[test]
+    fn monotonicity_properties(inst in instance_strategy()) {
+        let (topo, catalog, demand) = build(&inst);
+        if demand.total_calls() == 0.0 {
+            return Ok(());
+        }
+        let tight = PlanningInputs {
+            topo: &topo,
+            catalog: &catalog,
+            demand: &demand,
+            latency_threshold_ms: 20.0,
+        };
+        let loose = PlanningInputs { latency_threshold_ms: 200.0, ..tight };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let opts = SolveOptions::default();
+        let sol_tight = solve_scenario(&tight, &sd, None, &opts).unwrap();
+        let sol_loose = solve_scenario(&loose, &sd, None, &opts).unwrap();
+        prop_assert!(
+            sol_loose.objective <= sol_tight.objective * (1.0 + 1e-6) + 1e-6,
+            "loose {} > tight {}",
+            sol_loose.objective,
+            sol_tight.objective
+        );
+
+        let no_backup =
+            provision(&loose, &ProvisionerParams { with_backup: false, ..Default::default() })
+                .unwrap();
+        let with_backup = provision(&loose, &ProvisionerParams::default()).unwrap();
+        prop_assert!(with_backup.capacity.covers(&with_backup.serving, 1e-6));
+        prop_assert!(with_backup.cost >= no_backup.cost - 1e-6);
+        for (sc, req) in &with_backup.scenarios {
+            prop_assert!(
+                with_backup.capacity.covers(req, 1e-6),
+                "scenario {sc:?} uncovered"
+            );
+        }
+    }
+
+    /// Scaling demand scales the serving requirement (LP homogeneity).
+    #[test]
+    fn demand_scaling_is_homogeneous(inst in instance_strategy()) {
+        let (topo, catalog, demand) = build(&inst);
+        if demand.total_calls() == 0.0 {
+            return Ok(());
+        }
+        let scaled = demand.scaled(3.0);
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &catalog,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let inputs_scaled = PlanningInputs { demand: &scaled, ..inputs };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let opts = SolveOptions::default();
+        let a = solve_scenario(&inputs, &sd, None, &opts).unwrap();
+        let b = solve_scenario(&inputs_scaled, &sd, None, &opts).unwrap();
+        prop_assert!(
+            (b.objective - 3.0 * a.objective).abs() < 1e-4 * (1.0 + a.objective),
+            "3x demand: {} vs 3×{}",
+            b.objective,
+            a.objective
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Forecast accuracy metrics (§6.5): RMSE and MAE normalized by the
+//! ground-truth peak so elephant and mice call configs are comparable, plus
+//! CDF helpers for Fig. 9.
+
+/// Root-mean-square error between forecast and truth.
+pub fn rmse(forecast: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(forecast.len(), truth.len());
+    assert!(!truth.is_empty());
+    let sse: f64 = forecast.iter().zip(truth).map(|(f, y)| (f - y) * (f - y)).sum();
+    (sse / truth.len() as f64).sqrt()
+}
+
+/// Mean absolute error between forecast and truth.
+pub fn mae(forecast: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(forecast.len(), truth.len());
+    assert!(!truth.is_empty());
+    forecast.iter().zip(truth).map(|(f, y)| (f - y).abs()).sum::<f64>() / truth.len() as f64
+}
+
+/// Error normalized by the peak of the ground truth (the paper's
+/// normalization, §6.5). Returns `None` when the truth is identically zero.
+pub fn peak_normalized(err: f64, truth: &[f64]) -> Option<f64> {
+    let peak = truth.iter().cloned().fold(0.0f64, f64::max);
+    (peak > 0.0).then(|| err / peak)
+}
+
+/// Empirical CDF: sorted values plus, for convenience, a quantile accessor.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs rejected).
+    pub fn new(mut values: Vec<f64>) -> Cdf {
+        assert!(values.iter().all(|v| !v.is_nan()), "CDF over NaN is meaningless");
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Is it empty?
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Quantile in `[0,1]` (nearest-rank).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        assert!(!self.sorted.is_empty());
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[idx - 1]
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced `(value, cumulative fraction)` points for plotting.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2 && !self.sorted.is_empty());
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1) as f64;
+                (self.quantile(q.max(1e-9)), q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_and_mae_basics() {
+        let f = [1.0, 2.0, 3.0];
+        let y = [1.0, 4.0, 3.0];
+        assert!((mae(&f, &y) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&f, &y) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&f, &f), 0.0);
+        assert!(rmse(&f, &y) >= mae(&f, &y)); // always
+    }
+
+    #[test]
+    fn normalization() {
+        let truth = [0.0, 10.0, 5.0];
+        assert_eq!(peak_normalized(2.0, &truth), Some(0.2));
+        assert_eq!(peak_normalized(2.0, &[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.quantile(0.25), 1.0);
+        assert_eq!(c.median(), 2.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.fraction_below(2.5), 0.5);
+        assert_eq!(c.fraction_below(0.5), 0.0);
+        assert_eq!(c.fraction_below(4.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let c = Cdf::new((0..100).map(|i| (i * 37 % 100) as f64).collect());
+        let pts = c.points(11);
+        assert_eq!(pts.len(), 11);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

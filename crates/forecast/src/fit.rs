@@ -1,0 +1,71 @@
+//! Automatic parameter selection: a small grid search over smoothing factors
+//! minimizing one-step-ahead squared error, the usual practical stand-in for
+//! statsmodels' optimizer.
+
+use crate::holt_winters::{FitError, HoltWinters, HwParams, Seasonal};
+
+/// Grid used by [`fit_auto`].
+const ALPHAS: [f64; 4] = [0.1, 0.25, 0.5, 0.8];
+const BETAS: [f64; 3] = [0.0, 0.01, 0.1];
+const GAMMAS: [f64; 3] = [0.05, 0.15, 0.4];
+
+/// Fit with the best parameters from a coarse grid (additive seasonality),
+/// selected by in-sample one-step-ahead MSE.
+pub fn fit_auto(series: &[f64], season_len: usize) -> Result<HoltWinters, FitError> {
+    let mut best: Option<HoltWinters> = None;
+    for &alpha in &ALPHAS {
+        for &beta in &BETAS {
+            for &gamma in &GAMMAS {
+                let params =
+                    HwParams { alpha, beta, gamma, season_len, seasonal: Seasonal::Additive };
+                let model = HoltWinters::fit(series, params)?;
+                if best.as_ref().is_none_or(|b| model.mse() < b.mse()) {
+                    best = Some(model);
+                }
+            }
+        }
+    }
+    Ok(best.expect("grid is non-empty"))
+}
+
+/// Fit `fit_auto` and forecast `horizon` steps in one call.
+pub fn forecast_auto(
+    series: &[f64],
+    season_len: usize,
+    horizon: usize,
+) -> Result<Vec<f64>, FitError> {
+    Ok(fit_auto(series, season_len)?.forecast(horizon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_fit_beats_or_matches_default_params() {
+        let m = 24;
+        let series: Vec<f64> = (0..m * 8)
+            .map(|t| {
+                let s = ((t % m) as f64 / m as f64 * std::f64::consts::TAU).sin() * 8.0;
+                40.0 + 0.02 * t as f64 + s + ((t * 2654435761) % 7) as f64 * 0.3
+            })
+            .collect();
+        let auto = fit_auto(&series, m).unwrap();
+        let default = HoltWinters::fit(&series, HwParams::new(m)).unwrap();
+        assert!(auto.mse() <= default.mse() + 1e-9);
+    }
+
+    #[test]
+    fn forecast_auto_shape() {
+        let m = 12;
+        let series: Vec<f64> = (0..m * 6).map(|t| (t % m) as f64).collect();
+        let fc = forecast_auto(&series, m, m * 2).unwrap();
+        assert_eq!(fc.len(), m * 2);
+        assert!(fc.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn propagates_too_short() {
+        assert_eq!(fit_auto(&[1.0, 2.0], 8).unwrap_err(), FitError::TooShort);
+    }
+}

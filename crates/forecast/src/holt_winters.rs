@@ -1,0 +1,309 @@
+//! Holt–Winters (triple exponential) smoothing — the forecasting method
+//! Switchboard applies per call config (§5.2), reimplemented from scratch
+//! (the paper uses statsmodels' `ExponentialSmoothing`).
+
+/// Seasonal component form.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Seasonal {
+    /// `y ≈ level + trend·h + s_i`
+    Additive,
+    /// `y ≈ (level + trend·h) · s_i`
+    Multiplicative,
+}
+
+/// Smoothing parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct HwParams {
+    /// Level smoothing factor `α ∈ (0,1)`.
+    pub alpha: f64,
+    /// Trend smoothing factor `β ∈ [0,1)`.
+    pub beta: f64,
+    /// Seasonal smoothing factor `γ ∈ [0,1)`.
+    pub gamma: f64,
+    /// Season length in samples (e.g. 336 = one week of 30-minute slots).
+    pub season_len: usize,
+    /// Seasonal form.
+    pub seasonal: Seasonal,
+}
+
+impl HwParams {
+    /// Sensible defaults for slowly-trending strongly-seasonal demand.
+    pub fn new(season_len: usize) -> HwParams {
+        HwParams {
+            alpha: 0.25,
+            beta: 0.01,
+            gamma: 0.15,
+            season_len,
+            seasonal: Seasonal::Additive,
+        }
+    }
+}
+
+/// Why a fit failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FitError {
+    /// Series shorter than two full seasons.
+    TooShort,
+    /// Invalid smoothing parameters.
+    BadParams,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooShort => write!(f, "series shorter than two seasons"),
+            FitError::BadParams => write!(f, "smoothing parameters out of range"),
+        }
+    }
+}
+impl std::error::Error for FitError {}
+
+/// A fitted model, ready to forecast.
+#[derive(Clone, Debug)]
+pub struct HoltWinters {
+    params: HwParams,
+    level: f64,
+    trend: f64,
+    seasonals: Vec<f64>,
+    /// Index into `seasonals` of the *next* time step.
+    phase: usize,
+    /// Sum of squared one-step-ahead errors accumulated during fitting.
+    sse: f64,
+    n_fit: usize,
+}
+
+impl HoltWinters {
+    /// Fit to `series` with the given parameters. Requires at least two full
+    /// seasons of data.
+    pub fn fit(series: &[f64], params: HwParams) -> Result<HoltWinters, FitError> {
+        let m = params.season_len;
+        if m == 0
+            || !(0.0..=1.0).contains(&params.alpha)
+            || !(0.0..=1.0).contains(&params.beta)
+            || !(0.0..=1.0).contains(&params.gamma)
+            || params.alpha == 0.0
+        {
+            return Err(FitError::BadParams);
+        }
+        if series.len() < 2 * m {
+            return Err(FitError::TooShort);
+        }
+        let seasons = series.len() / m;
+
+        // --- initial components (classical decomposition) -------------------
+        let season_mean: Vec<f64> = (0..seasons)
+            .map(|k| series[k * m..(k + 1) * m].iter().sum::<f64>() / m as f64)
+            .collect();
+        let level0 = season_mean[0];
+        let trend0 = (season_mean[1] - season_mean[0]) / m as f64;
+        let mut seasonals = vec![0.0f64; m];
+        for (i, s) in seasonals.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, mean) in season_mean.iter().enumerate() {
+                let y = series[k * m + i];
+                acc += match params.seasonal {
+                    Seasonal::Additive => y - mean,
+                    Seasonal::Multiplicative => {
+                        if *mean > 1e-12 {
+                            y / mean
+                        } else {
+                            1.0
+                        }
+                    }
+                };
+            }
+            *s = acc / seasons as f64;
+        }
+
+        // --- recurrences ------------------------------------------------------
+        let mut model = HoltWinters {
+            params,
+            level: level0,
+            trend: trend0,
+            seasonals,
+            phase: 0,
+            sse: 0.0,
+            n_fit: 0,
+        };
+        for &y in series {
+            model.update(y);
+        }
+        Ok(model)
+    }
+
+    /// One-step-ahead prediction before seeing the next observation.
+    pub fn predict_next(&self) -> f64 {
+        let s = self.seasonals[self.phase];
+        let base = self.level + self.trend;
+        match self.params.seasonal {
+            Seasonal::Additive => base + s,
+            Seasonal::Multiplicative => base * s,
+        }
+    }
+
+    /// Advance the model with an observation (online update).
+    pub fn update(&mut self, y: f64) {
+        let HwParams { alpha, beta, gamma, seasonal, .. } = self.params;
+        let pred = self.predict_next();
+        self.sse += (pred - y) * (pred - y);
+        self.n_fit += 1;
+        let s = self.seasonals[self.phase];
+        let prev_level = self.level;
+        let deseason = match seasonal {
+            Seasonal::Additive => y - s,
+            Seasonal::Multiplicative => {
+                if s.abs() > 1e-12 {
+                    y / s
+                } else {
+                    y
+                }
+            }
+        };
+        self.level = alpha * deseason + (1.0 - alpha) * (self.level + self.trend);
+        self.trend = beta * (self.level - prev_level) + (1.0 - beta) * self.trend;
+        self.seasonals[self.phase] = match seasonal {
+            Seasonal::Additive => gamma * (y - self.level) + (1.0 - gamma) * s,
+            Seasonal::Multiplicative => {
+                let ratio = if self.level.abs() > 1e-12 { y / self.level } else { 1.0 };
+                gamma * ratio + (1.0 - gamma) * s
+            }
+        };
+        self.phase = (self.phase + 1) % self.params.season_len;
+    }
+
+    /// Forecast `h` steps ahead; counts are clamped at zero.
+    pub fn forecast(&self, h: usize) -> Vec<f64> {
+        (1..=h)
+            .map(|k| {
+                let idx = (self.phase + k - 1) % self.params.season_len;
+                let base = self.level + k as f64 * self.trend;
+                let v = match self.params.seasonal {
+                    Seasonal::Additive => base + self.seasonals[idx],
+                    Seasonal::Multiplicative => base * self.seasonals[idx],
+                };
+                v.max(0.0)
+            })
+            .collect()
+    }
+
+    /// Mean squared one-step-ahead error over the fitting pass.
+    pub fn mse(&self) -> f64 {
+        if self.n_fit == 0 {
+            0.0
+        } else {
+            self.sse / self.n_fit as f64
+        }
+    }
+
+    /// Fitted smoothing parameters.
+    pub fn params(&self) -> HwParams {
+        self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noise-free seasonal series with linear trend.
+    fn synth(n: usize, m: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let season = ((t % m) as f64 / m as f64 * std::f64::consts::TAU).sin() * 10.0;
+                50.0 + 0.05 * t as f64 + season
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_short_series() {
+        let s = vec![1.0; 10];
+        assert_eq!(HoltWinters::fit(&s, HwParams::new(8)).unwrap_err(), FitError::TooShort);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let s = synth(64, 8);
+        let mut p = HwParams::new(8);
+        p.alpha = 1.5;
+        assert_eq!(HoltWinters::fit(&s, p).unwrap_err(), FitError::BadParams);
+        p = HwParams::new(0);
+        assert_eq!(HoltWinters::fit(&s, p).unwrap_err(), FitError::BadParams);
+    }
+
+    #[test]
+    fn reconstructs_noiseless_seasonal_series() {
+        let m = 24;
+        let series = synth(m * 10, m);
+        let model = HoltWinters::fit(&series[..m * 8], HwParams::new(m)).unwrap();
+        let fc = model.forecast(m * 2);
+        for (f, y) in fc.iter().zip(&series[m * 8..]) {
+            assert!(
+                (f - y).abs() < 2.5,
+                "forecast {f} vs truth {y} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn captures_trend_direction() {
+        let m = 12;
+        let series = synth(m * 8, m);
+        let model = HoltWinters::fit(&series, HwParams::new(m)).unwrap();
+        let fc = model.forecast(m * 4);
+        // later forecasts larger than earlier (0.05/step trend)
+        let early: f64 = fc[..m].iter().sum();
+        let late: f64 = fc[3 * m..].iter().sum();
+        assert!(late > early + 0.5 * m as f64 * 0.05 * (3 * m) as f64 * 0.5);
+    }
+
+    #[test]
+    fn multiplicative_handles_proportional_season() {
+        let m = 16;
+        let series: Vec<f64> = (0..m * 8)
+            .map(|t| {
+                let season = 1.0 + 0.5 * ((t % m) as f64 / m as f64 * std::f64::consts::TAU).sin();
+                (30.0 + 0.1 * t as f64) * season
+            })
+            .collect();
+        let mut p = HwParams::new(m);
+        p.seasonal = Seasonal::Multiplicative;
+        let model = HoltWinters::fit(&series[..m * 6], p).unwrap();
+        let fc = model.forecast(m * 2);
+        for (f, y) in fc.iter().zip(&series[m * 6..]) {
+            let rel = (f - y).abs() / y.max(1.0);
+            assert!(rel < 0.15, "rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn forecasts_nonnegative() {
+        let m = 8;
+        // tiny counts with zeros
+        let series: Vec<f64> = (0..m * 4).map(|t| if t % m < 4 { 2.0 } else { 0.0 }).collect();
+        let model = HoltWinters::fit(&series, HwParams::new(m)).unwrap();
+        assert!(model.forecast(m * 3).iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn online_update_matches_batch_fit() {
+        let m = 12;
+        let series = synth(m * 6, m);
+        let batch = HoltWinters::fit(&series, HwParams::new(m)).unwrap();
+        let mut online = HoltWinters::fit(&series[..m * 4], HwParams::new(m)).unwrap();
+        for &y in &series[m * 4..] {
+            online.update(y);
+        }
+        // same recurrences → identical states
+        assert!((batch.level - online.level).abs() < 1e-9);
+        assert!((batch.trend - online.trend).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_small_on_clean_data() {
+        let m = 24;
+        let series = synth(m * 8, m);
+        let model = HoltWinters::fit(&series, HwParams::new(m)).unwrap();
+        assert!(model.mse() < 4.0, "mse {}", model.mse());
+    }
+}

@@ -1,0 +1,32 @@
+//! # sb-forecast — demand forecasting for Switchboard
+//!
+//! Holt–Winters (triple exponential) smoothing as used by Switchboard's
+//! call-count forecaster (§5.2): one model per call config over 30-minute
+//! buckets, weekly seasonality, forecasting months ahead. Includes automatic
+//! parameter selection ([`fit::fit_auto`]) and the §6.5 evaluation metrics
+//! (peak-normalized RMSE/MAE, CDFs) in [`eval`].
+
+//!
+//! ```
+//! use sb_forecast::{fit_auto, peak_normalized, rmse};
+//!
+//! // two months of daily-seasonal data (24 samples/day)
+//! let series: Vec<f64> = (0..24 * 60)
+//!     .map(|t| 40.0 + 20.0 * ((t % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+//!     .collect();
+//! let model = fit_auto(&series[..24 * 50], 24).unwrap();
+//! let forecast = model.forecast(24 * 10);
+//! let err = peak_normalized(rmse(&forecast, &series[24 * 50..]), &series[24 * 50..]);
+//! assert!(err.unwrap() < 0.05); // clean seasonality forecasts almost exactly
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod fit;
+pub mod holt_winters;
+
+pub use eval::{mae, peak_normalized, rmse, Cdf};
+pub use fit::{fit_auto, forecast_auto};
+pub use holt_winters::{FitError, HoltWinters, HwParams, Seasonal};

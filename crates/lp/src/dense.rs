@@ -1,0 +1,458 @@
+//! Reference engine: two-phase primal simplex on a dense tableau.
+//!
+//! This engine is deliberately simple — it is the oracle the
+//! [`RevisedSimplex`](crate::revised::RevisedSimplex) engine is property-tested
+//! against, and the right choice for small problems (a few hundred rows).
+//! Finite upper bounds are expanded into explicit rows, so very bound-heavy
+//! models are better served by the revised engine.
+
+use crate::problem::{LpError, LpProblem, Solution, Solver};
+use crate::standard::StandardForm;
+
+/// Dense two-phase tableau simplex.
+#[derive(Clone, Debug)]
+pub struct DenseSimplex {
+    /// Hard cap on pivots per phase (`0` = automatic from problem size).
+    pub max_iterations: u64,
+    /// Pivot tolerance.
+    pub eps: f64,
+}
+
+impl Default for DenseSimplex {
+    fn default() -> Self {
+        DenseSimplex { max_iterations: 0, eps: 1e-9 }
+    }
+}
+
+impl DenseSimplex {
+    /// Engine with default tolerances.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct Tableau {
+    /// `m` rows × `n` cols of A, kept in reduced form.
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+    n: usize,
+    eps: f64,
+}
+
+impl Tableau {
+    fn pivot(&mut self, r: usize, c: usize) {
+        let piv = self.rows[r][c];
+        debug_assert!(piv.abs() > 0.0);
+        let inv = 1.0 / piv;
+        for v in self.rows[r].iter_mut() {
+            *v *= inv;
+        }
+        self.rhs[r] *= inv;
+        let pivot_row = self.rows[r].clone();
+        let pivot_rhs = self.rhs[r];
+        for i in 0..self.rows.len() {
+            if i == r {
+                continue;
+            }
+            let f = self.rows[i][c];
+            if f == 0.0 {
+                continue;
+            }
+            for j in 0..self.n {
+                self.rows[i][j] -= f * pivot_row[j];
+            }
+            self.rhs[i] -= f * pivot_rhs;
+            // clamp tiny negatives introduced by cancellation
+            if self.rhs[i] < 0.0 && self.rhs[i] > -self.eps {
+                self.rhs[i] = 0.0;
+            }
+        }
+        self.basis[r] = c;
+    }
+
+    /// Reduced costs for objective `c` under the current basis:
+    /// `red[j] = c[j] − c_Bᵀ T[·][j]`, plus the current objective value.
+    fn reduced_costs(&self, c: &[f64]) -> (Vec<f64>, f64) {
+        let m = self.rows.len();
+        let cb: Vec<f64> = self.basis.iter().map(|&b| c[b]).collect();
+        let mut red = c.to_vec();
+        let mut obj = 0.0;
+        for i in 0..m {
+            if cb[i] != 0.0 {
+                for j in 0..self.n {
+                    red[j] -= cb[i] * self.rows[i][j];
+                }
+                obj += cb[i] * self.rhs[i];
+            }
+        }
+        (red, obj)
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    IterLimit,
+}
+
+fn run_phase(
+    t: &mut Tableau,
+    cost: &[f64],
+    banned: &[bool],
+    max_iter: u64,
+    eps: f64,
+) -> (PhaseOutcome, u64) {
+    let mut iters = 0u64;
+    let mut stalled = 0u64;
+    let stall_limit = 2 * (t.rows.len() as u64 + t.n as u64) + 64;
+    let (mut red, mut obj) = t.reduced_costs(cost);
+    loop {
+        // entering column: Dantzig normally, Bland when stalled
+        let bland = stalled > stall_limit;
+        let mut enter = usize::MAX;
+        let mut best = -eps;
+        for j in 0..t.n {
+            if banned[j] || red[j] >= -eps {
+                continue;
+            }
+            if bland {
+                enter = j;
+                break;
+            }
+            if red[j] < best {
+                best = red[j];
+                enter = j;
+            }
+        }
+        if enter == usize::MAX {
+            return (PhaseOutcome::Optimal, iters);
+        }
+        // leaving row: min ratio; prefer the smallest basis index on ties so
+        // that Bland's rule fully applies when stalled
+        let mut leave = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..t.rows.len() {
+            let a = t.rows[i][enter];
+            if a > eps {
+                let ratio = t.rhs[i] / a;
+                if ratio < best_ratio - eps
+                    || (ratio < best_ratio + eps
+                        && (leave == usize::MAX || t.basis[i] < t.basis[leave]))
+                {
+                    best_ratio = ratio.min(best_ratio);
+                    leave = i;
+                }
+            }
+        }
+        if leave == usize::MAX {
+            return (PhaseOutcome::Unbounded, iters);
+        }
+        let prev_obj = obj;
+        t.pivot(leave, enter);
+        let rc = t.reduced_costs(cost);
+        red = rc.0;
+        obj = rc.1;
+        if (prev_obj - obj).abs() <= eps {
+            stalled += 1;
+        } else {
+            stalled = 0;
+        }
+        iters += 1;
+        if iters >= max_iter {
+            return (PhaseOutcome::IterLimit, iters);
+        }
+    }
+}
+
+impl Solver for DenseSimplex {
+    fn solve(&self, lp: &LpProblem) -> Result<Solution, LpError> {
+        if lp.num_vars() == 0 {
+            return Err(LpError::BadModel("no variables".into()));
+        }
+        let mut sf = StandardForm::build(lp);
+        let mut is_artificial = vec![false; sf.n];
+        for f in is_artificial.iter_mut().skip(sf.first_artificial) {
+            *f = true;
+        }
+        expand_upper_bounds(&mut sf, &mut is_artificial);
+        let m = sf.m;
+        let n = sf.n;
+
+        // dense tableau from column-sparse data
+        let mut rows = vec![vec![0.0f64; n]; m];
+        for (j, col) in sf.cols.iter().enumerate() {
+            for &(i, a) in col {
+                rows[i][j] = a;
+            }
+        }
+        let mut t = Tableau { rows, rhs: sf.b.clone(), basis: sf.basis0.clone(), n, eps: self.eps };
+
+        let max_iter = if self.max_iterations > 0 {
+            self.max_iterations
+        } else {
+            20_000 + 60 * (m as u64 + n as u64)
+        };
+
+        let mut total_iters = 0u64;
+        if is_artificial.iter().any(|&a| a) {
+            // phase 1: minimize the sum of artificials
+            let c1: Vec<f64> =
+                is_artificial.iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
+            let banned = vec![false; n];
+            let (out, it) = run_phase(&mut t, &c1, &banned, max_iter, self.eps);
+            total_iters += it;
+            match out {
+                PhaseOutcome::Optimal => {}
+                PhaseOutcome::Unbounded => {
+                    return Err(LpError::BadModel(
+                        "phase-1 objective unbounded (internal error)".into(),
+                    ))
+                }
+                PhaseOutcome::IterLimit => return Err(LpError::IterationLimit),
+            }
+            // Per-artificial feasibility test (see the revised engine): a
+            // basic artificial at value v violates its original row by v, so
+            // compare against that row's own scale rather than Σb.
+            for r in 0..m {
+                let j = t.basis[r];
+                if is_artificial[j] {
+                    let v = t.rhs[r];
+                    let row = sf.cols[j][0].0;
+                    if v > 1e-7 * (1.0 + sf.b[row].abs()) {
+                        return Err(LpError::Infeasible);
+                    }
+                }
+            }
+            // drive artificials out of the basis where possible
+            for r in 0..m {
+                if is_artificial[t.basis[r]] {
+                    if let Some(c) = (0..n)
+                        .find(|&j| !is_artificial[j] && t.rows[r][j].abs() > 1e-7)
+                    {
+                        t.pivot(r, c);
+                    }
+                    // if no pivot exists the row is redundant; the artificial
+                    // stays basic at value 0 and is banned from re-entering.
+                }
+            }
+        }
+
+        // phase 2
+        let mut c2 = vec![0.0f64; n];
+        c2[..sf.cost.len()].copy_from_slice(&sf.cost);
+        let (out, it) = run_phase(&mut t, &c2, &is_artificial, max_iter, self.eps);
+        total_iters += it;
+        match out {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded => return Err(LpError::Unbounded),
+            PhaseOutcome::IterLimit => return Err(LpError::IterationLimit),
+        }
+
+        // extract standard-form solution
+        let mut x = vec![0.0f64; n];
+        for (r, &bj) in t.basis.iter().enumerate() {
+            x[bj] = t.rhs[r].max(0.0);
+        }
+        let values = sf.recover(&x);
+        let objective = lp.objective_at(&values);
+        Ok(Solution { values, objective, duals: None, iterations: total_iters })
+    }
+}
+
+/// Rewrite finite column upper bounds as explicit `x_j + s = u` rows so the
+/// tableau engine only has to handle `x ≥ 0`.
+fn expand_upper_bounds(sf: &mut StandardForm, is_artificial: &mut Vec<bool>) {
+    let cols_with_ub: Vec<(usize, f64)> = sf
+        .upper
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.is_finite())
+        .map(|(j, &u)| (j, u))
+        .collect();
+    for (j, u) in cols_with_ub {
+        let row = sf.m;
+        sf.cols[j].push((row, 1.0));
+        let s = sf.cols.len();
+        sf.cols.push(vec![(row, 1.0)]);
+        sf.cost.push(0.0);
+        sf.upper.push(f64::INFINITY);
+        sf.upper[j] = f64::INFINITY;
+        is_artificial.push(false);
+        sf.b.push(u);
+        sf.basis0.push(s);
+        sf.m += 1;
+        sf.n = sf.cols.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Constraint, LpProblem};
+
+    fn solve(lp: &LpProblem) -> Result<Solution, LpError> {
+        DenseSimplex::new().solve(lp)
+    }
+
+    #[test]
+    fn classic_two_var() {
+        // min -3x - 5y  s.t. x<=4, 2y<=12, 3x+2y<=18 (Dantzig's example)
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", -3.0);
+        let y = lp.add_nonneg("y", -5.0);
+        lp.add_le(vec![(x, 1.0)], 4.0);
+        lp.add_le(vec![(y, 2.0)], 12.0);
+        lp.add_le(vec![(x, 3.0), (y, 2.0)], 18.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() + 36.0).abs() < 1e-8);
+        assert!((s.value(x) - 2.0).abs() < 1e-8);
+        assert!((s.value(y) - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_and_ge_need_phase1() {
+        // min x + y  s.t. x + y = 10, x >= 3
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", 1.0);
+        let y = lp.add_nonneg("y", 1.0);
+        lp.add_eq(vec![(x, 1.0), (y, 1.0)], 10.0);
+        lp.add_ge(vec![(x, 1.0)], 3.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() - 10.0).abs() < 1e-8);
+        assert!(s.value(x) >= 3.0 - 1e-8);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", 1.0);
+        lp.add_le(vec![(x, 1.0)], 1.0);
+        lp.add_ge(vec![(x, 1.0)], 2.0);
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", -1.0);
+        lp.add_ge(vec![(x, 1.0)], 1.0);
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // min -x  s.t. x <= 3 (bound), x <= 10 (row)
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", -1.0, 0.0, 3.0);
+        lp.add_le(vec![(x, 1.0)], 10.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.value(x) - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bounds_only_no_rows() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", -2.0, 1.0, 4.0);
+        let y = lp.add_var("y", 5.0, 0.5, 9.0);
+        // one trivial row keeps the model non-degenerate
+        lp.add_le(vec![(x, 1.0), (y, 1.0)], 100.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.value(x) - 4.0).abs() < 1e-8);
+        assert!((s.value(y) - 0.5).abs() < 1e-8);
+        assert!((s.objective() - (-8.0 + 2.5)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negative_lower_bound_shift() {
+        // min x  s.t. x >= -5 (bound), x >= -3 (row)
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", 1.0, -5.0, f64::INFINITY);
+        lp.add_ge(vec![(x, 1.0)], -3.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.value(x) + 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min y s.t. y >= x - 3, y >= 3 - x, x free  => optimum y = 0 at x = 3
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", 0.0, f64::NEG_INFINITY, f64::INFINITY);
+        let y = lp.add_nonneg("y", 1.0);
+        lp.add_ge(vec![(y, 1.0), (x, -1.0)], -3.0);
+        lp.add_ge(vec![(y, 1.0), (x, 1.0)], 3.0);
+        let s = solve(&lp).unwrap();
+        assert!(s.objective().abs() < 1e-8);
+        assert!((s.value(x) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Beale's cycling example — must terminate via the Bland fallback
+        let mut lp = LpProblem::new();
+        let x1 = lp.add_nonneg("x1", -0.75);
+        let x2 = lp.add_nonneg("x2", 150.0);
+        let x3 = lp.add_nonneg("x3", -0.02);
+        let x4 = lp.add_nonneg("x4", 6.0);
+        lp.add_le(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], 0.0);
+        lp.add_le(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], 0.0);
+        lp.add_le(vec![(x3, 1.0)], 1.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() + 0.05).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_rhs_zero() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", 1.0);
+        let y = lp.add_nonneg("y", 2.0);
+        lp.add_eq(vec![(x, 1.0), (y, -1.0)], 0.0);
+        lp.add_ge(vec![(x, 1.0)], 2.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn redundant_row_is_tolerated() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", 1.0);
+        let y = lp.add_nonneg("y", 1.0);
+        lp.add_eq(vec![(x, 1.0), (y, 1.0)], 4.0);
+        lp.add_eq(vec![(x, 2.0), (y, 2.0)], 8.0); // same plane
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn solution_is_feasible() {
+        let mut lp = LpProblem::new();
+        let a = lp.add_var("a", 3.0, 0.0, 10.0);
+        let b = lp.add_var("b", 1.0, 0.0, 10.0);
+        let c = lp.add_var("c", 2.0, 0.0, 10.0);
+        lp.add_ge(vec![(a, 1.0), (b, 1.0)], 6.0);
+        lp.add_ge(vec![(b, 1.0), (c, 1.0)], 8.0);
+        lp.add_le(vec![(a, 1.0), (c, 2.0)], 14.0);
+        let s = solve(&lp).unwrap();
+        assert!(lp.max_violation(s.values()) < 1e-7);
+        assert!((s.objective() - 8.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn duplicate_coefficients_summed_by_engine() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", -1.0);
+        lp.add_constraint(Constraint::le(vec![(x, 1.0), (x, 1.0)], 4.0));
+        let s = solve(&lp).unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn mirrored_variable_optimum() {
+        // x free below, x <= 7; min -x  => x = 7
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", -1.0, f64::NEG_INFINITY, 7.0);
+        lp.add_ge(vec![(x, 1.0)], -100.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.value(x) - 7.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,164 @@
+//! Export an [`LpProblem`](crate::LpProblem) in the CPLEX LP text format, so
+//! models can be inspected by hand or cross-checked against external solvers
+//! when debugging the planner.
+
+use std::fmt::Write;
+
+use crate::problem::{LpProblem, Relation};
+
+fn sanitize(name: &str, idx: usize) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("x{idx}")
+    } else {
+        cleaned
+    }
+}
+
+fn term(out: &mut String, first: &mut bool, coeff: f64, var: &str) {
+    if coeff == 0.0 {
+        return;
+    }
+    if *first {
+        if coeff < 0.0 {
+            out.push_str("- ");
+        }
+    } else if coeff < 0.0 {
+        out.push_str(" - ");
+    } else {
+        out.push_str(" + ");
+    }
+    let a = coeff.abs();
+    if (a - 1.0).abs() < 1e-15 {
+        let _ = write!(out, "{var}");
+    } else {
+        let _ = write!(out, "{a} {var}");
+    }
+    *first = false;
+}
+
+/// Render `lp` in CPLEX LP format (minimization).
+pub fn to_lp_format(lp: &LpProblem) -> String {
+    let names: Vec<String> =
+        lp.vars().map(|v| sanitize(lp.var_name(v), v.index())).collect();
+    let mut out = String::from("\\ exported by sb-lp\nMinimize\n obj: ");
+    let mut first = true;
+    for v in lp.vars() {
+        term(&mut out, &mut first, lp.var_cost(v), &names[v.index()]);
+    }
+    if first {
+        out.push('0');
+    }
+    out.push_str("\nSubject To\n");
+    for (i, row) in lp.rows().iter().enumerate() {
+        let _ = write!(out, " c{i}: ");
+        let mut first = true;
+        // merge duplicates for readability
+        let mut coeffs: Vec<(usize, f64)> =
+            row.coeffs.iter().map(|&(v, a)| (v.index(), a)).collect();
+        coeffs.sort_by_key(|&(j, _)| j);
+        coeffs.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 += later.1;
+                true
+            } else {
+                false
+            }
+        });
+        for (j, a) in coeffs {
+            term(&mut out, &mut first, a, &names[j]);
+        }
+        if first {
+            out.push('0');
+        }
+        let rel = match row.rel {
+            Relation::Le => "<=",
+            Relation::Ge => ">=",
+            Relation::Eq => "=",
+        };
+        let _ = writeln!(out, " {rel} {}", row.rhs);
+    }
+    out.push_str("Bounds\n");
+    for v in lp.vars() {
+        let (lo, hi) = lp.var_bounds(v);
+        let n = &names[v.index()];
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) if lo == hi => {
+                let _ = writeln!(out, " {n} = {lo}");
+            }
+            (true, true) => {
+                let _ = writeln!(out, " {lo} <= {n} <= {hi}");
+            }
+            (true, false) if lo == 0.0 => {} // default in LP format
+            (true, false) => {
+                let _ = writeln!(out, " {n} >= {lo}");
+            }
+            (false, true) => {
+                let _ = writeln!(out, " -inf <= {n} <= {hi}");
+            }
+            (false, false) => {
+                let _ = writeln!(out, " {n} free");
+            }
+        }
+    }
+    out.push_str("End\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LpProblem;
+
+    #[test]
+    fn small_model_renders() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", -3.0, 0.0, 4.0);
+        let y = lp.add_var("odd name!", -5.0, 0.0, f64::INFINITY);
+        let z = lp.add_var("z", 0.0, f64::NEG_INFINITY, f64::INFINITY);
+        lp.add_le(vec![(x, 3.0), (y, 2.0)], 18.0);
+        lp.add_ge(vec![(y, 1.0), (z, -1.0)], 2.0);
+        lp.add_eq(vec![(z, 1.0)], 0.5);
+        let text = to_lp_format(&lp);
+        assert!(text.contains("Minimize"));
+        assert!(text.contains("obj: - 3 x - 5 odd_name_"));
+        assert!(text.contains("c0: 3 x + 2 odd_name_ <= 18"));
+        assert!(text.contains("c1: odd_name_ - z >= 2"));
+        assert!(text.contains("c2: z = 0.5"));
+        assert!(text.contains("0 <= x <= 4"));
+        assert!(text.contains("z free"));
+        assert!(text.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn empty_objective_and_row() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", 0.0, 0.0, 1.0);
+        lp.add_le(vec![(x, 0.0)], 5.0);
+        let text = to_lp_format(&lp);
+        assert!(text.contains("obj: 0"));
+        assert!(text.contains("c0: 0 <= 5"));
+    }
+
+    #[test]
+    fn numeric_leading_names_get_replaced() {
+        let mut lp = LpProblem::new();
+        let v = lp.add_var("1bad", 1.0, 0.0, 1.0);
+        lp.add_le(vec![(v, 1.0)], 1.0);
+        let text = to_lp_format(&lp);
+        assert!(text.contains("x0"));
+        assert!(!text.contains("1bad"));
+    }
+
+    #[test]
+    fn duplicate_coefficients_merged_in_export() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", 1.0);
+        lp.add_le(vec![(x, 1.0), (x, 2.0)], 9.0);
+        let text = to_lp_format(&lp);
+        assert!(text.contains("c0: 3 x <= 9"), "{text}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Linear-program model: variables with bounds, sparse constraints, a linear
+//! objective to **minimize**.
+//!
+//! The model is solver-agnostic; see [`crate::dense::DenseSimplex`] and
+//! [`crate::revised::RevisedSimplex`] for the two engines that consume it.
+
+use std::fmt;
+
+/// Handle to a decision variable inside one [`LpProblem`].
+///
+/// Handles are plain indices; using a handle from one problem with another
+/// problem is a logic error and panics at solve time if out of range.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Index of the variable in problem order (the order of `add_var` calls).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Constraint relation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Relation::Le => "<=",
+            Relation::Ge => ">=",
+            Relation::Eq => "=",
+        })
+    }
+}
+
+/// A single linear constraint in sparse form.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Sparse coefficient list. Duplicate variables are summed.
+    pub coeffs: Vec<(Var, f64)>,
+    /// Relation between the linear form and `rhs`.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// `Σ coeffs ≤ rhs`
+    pub fn le(coeffs: Vec<(Var, f64)>, rhs: f64) -> Self {
+        Constraint { coeffs, rel: Relation::Le, rhs }
+    }
+
+    /// `Σ coeffs ≥ rhs`
+    pub fn ge(coeffs: Vec<(Var, f64)>, rhs: f64) -> Self {
+        Constraint { coeffs, rel: Relation::Ge, rhs }
+    }
+
+    /// `Σ coeffs = rhs`
+    pub fn eq(coeffs: Vec<(Var, f64)>, rhs: f64) -> Self {
+        Constraint { coeffs, rel: Relation::Eq, rhs }
+    }
+}
+
+/// A linear program `minimize cᵀx  s.t.  A x {≤,≥,=} b,  l ≤ x ≤ u`.
+///
+/// # Example
+/// ```
+/// use sb_lp::{LpProblem, Constraint, DenseSimplex, Solver};
+///
+/// // minimize -x - 2y  s.t.  x + y <= 4, y <= 3, x,y >= 0
+/// let mut lp = LpProblem::new();
+/// let x = lp.add_var("x", -1.0, 0.0, f64::INFINITY);
+/// let y = lp.add_var("y", -2.0, 0.0, f64::INFINITY);
+/// lp.add_constraint(Constraint::le(vec![(x, 1.0), (y, 1.0)], 4.0));
+/// lp.add_constraint(Constraint::le(vec![(y, 1.0)], 3.0));
+/// let sol = DenseSimplex::new().solve(&lp).unwrap();
+/// assert!((sol.objective() - (-7.0)).abs() < 1e-9);
+/// assert!((sol.value(x) - 1.0).abs() < 1e-9);
+/// assert!((sol.value(y) - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LpProblem {
+    pub(crate) names: Vec<String>,
+    pub(crate) cost: Vec<f64>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) rows: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Empty minimization problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a variable with objective coefficient `cost` and bounds
+    /// `[lower, upper]`. `lower` may be `f64::NEG_INFINITY` (free below) and
+    /// `upper` may be `f64::INFINITY`.
+    ///
+    /// Panics if `lower > upper` or either bound is NaN.
+    pub fn add_var(&mut self, name: impl Into<String>, cost: f64, lower: f64, upper: f64) -> Var {
+        assert!(!lower.is_nan() && !upper.is_nan(), "variable bounds must not be NaN");
+        assert!(lower <= upper, "variable lower bound exceeds upper bound");
+        assert!(
+            self.names.len() < u32::MAX as usize,
+            "too many variables in one LpProblem"
+        );
+        let v = Var(self.names.len() as u32);
+        self.names.push(name.into());
+        self.cost.push(cost);
+        self.lower.push(lower);
+        self.upper.push(upper);
+        v
+    }
+
+    /// Convenience: non-negative continuous variable with no upper bound.
+    pub fn add_nonneg(&mut self, name: impl Into<String>, cost: f64) -> Var {
+        self.add_var(name, cost, 0.0, f64::INFINITY)
+    }
+
+    /// Append a constraint; returns its row index.
+    pub fn add_constraint(&mut self, c: Constraint) -> usize {
+        for &(v, _) in &c.coeffs {
+            assert!(
+                (v.0 as usize) < self.names.len(),
+                "constraint references unknown variable"
+            );
+        }
+        assert!(!c.rhs.is_nan(), "constraint rhs must not be NaN");
+        self.rows.push(c);
+        self.rows.len() - 1
+    }
+
+    /// Shorthand for `add_constraint(Constraint::le(..))`.
+    pub fn add_le(&mut self, coeffs: Vec<(Var, f64)>, rhs: f64) -> usize {
+        self.add_constraint(Constraint::le(coeffs, rhs))
+    }
+
+    /// Shorthand for `add_constraint(Constraint::ge(..))`.
+    pub fn add_ge(&mut self, coeffs: Vec<(Var, f64)>, rhs: f64) -> usize {
+        self.add_constraint(Constraint::ge(coeffs, rhs))
+    }
+
+    /// Shorthand for `add_constraint(Constraint::eq(..))`.
+    pub fn add_eq(&mut self, coeffs: Vec<(Var, f64)>, rhs: f64) -> usize {
+        self.add_constraint(Constraint::eq(coeffs, rhs))
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// All constraints, in insertion order.
+    pub fn rows(&self) -> &[Constraint] {
+        &self.rows
+    }
+
+    /// Variable name (as passed to `add_var`).
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Objective coefficient of `v`.
+    pub fn var_cost(&self, v: Var) -> f64 {
+        self.cost[v.index()]
+    }
+
+    /// Bounds `[lower, upper]` of `v`.
+    pub fn var_bounds(&self, v: Var) -> (f64, f64) {
+        (self.lower[v.index()], self.upper[v.index()])
+    }
+
+    /// Iterate over all variable handles in index order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.names.len() as u32).map(Var)
+    }
+
+    /// Evaluate the objective at a full assignment (one value per variable).
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars());
+        self.cost.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Maximum constraint violation of `x` (0.0 when feasible), considering
+    /// rows and bounds. Useful for tests and post-solve verification.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars());
+        let mut worst = 0.0f64;
+        for (j, &v) in x.iter().enumerate() {
+            worst = worst.max(self.lower[j] - v).max(v - self.upper[j]);
+        }
+        for row in &self.rows {
+            let lhs: f64 = row.coeffs.iter().map(|&(v, a)| a * x[v.index()]).sum();
+            let viol = match row.rel {
+                Relation::Le => lhs - row.rhs,
+                Relation::Ge => row.rhs - lhs,
+                Relation::Eq => (lhs - row.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst.max(0.0)
+    }
+}
+
+/// Why a solve did not return an optimal solution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpError {
+    /// No point satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective can be driven to −∞.
+    Unbounded,
+    /// The iteration budget was exhausted (numerical trouble or a budget set
+    /// too low for the problem size).
+    IterationLimit,
+    /// The model was malformed (e.g. empty, or NaN coefficients).
+    BadModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "LP is infeasible"),
+            LpError::Unbounded => write!(f, "LP is unbounded below"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            LpError::BadModel(m) => write!(f, "malformed LP model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    pub(crate) values: Vec<f64>,
+    pub(crate) objective: f64,
+    /// Dual values per constraint row, when the engine produces them.
+    pub(crate) duals: Option<Vec<f64>>,
+    /// Simplex iterations spent.
+    pub(crate) iterations: u64,
+}
+
+impl Solution {
+    /// Optimal value of variable `v`.
+    pub fn value(&self, v: Var) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Full primal assignment in variable index order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Optimal objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Dual value (shadow price) of constraint `row`, if the engine exposes
+    /// duals. Signs follow the minimization convention: for a binding `≤` row
+    /// the dual is ≤ 0 contribution-wise as `y·b` reconstructs the objective.
+    pub fn dual(&self, row: usize) -> Option<f64> {
+        self.duals.as_ref().map(|d| d[row])
+    }
+
+    /// Simplex iterations used.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+}
+
+/// A linear-programming engine.
+pub trait Solver {
+    /// Solve to optimality or report why that is impossible.
+    fn solve(&self, lp: &LpProblem) -> Result<Solution, LpError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", 2.0, 0.0, 5.0);
+        let y = lp.add_nonneg("y", -1.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.var_name(x), "x");
+        assert_eq!(lp.var_cost(y), -1.0);
+        assert_eq!(lp.var_bounds(x), (0.0, 5.0));
+        let r = lp.add_le(vec![(x, 1.0), (y, 2.0)], 10.0);
+        assert_eq!(r, 0);
+        assert_eq!(lp.num_constraints(), 1);
+    }
+
+    #[test]
+    fn objective_and_violation() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", 1.0, 0.0, 2.0);
+        let y = lp.add_var("y", 3.0, 0.0, f64::INFINITY);
+        lp.add_ge(vec![(x, 1.0), (y, 1.0)], 4.0);
+        assert_eq!(lp.objective_at(&[1.0, 2.0]), 7.0);
+        // x=1, y=2 violates x+y>=4 by 1
+        assert!((lp.max_violation(&[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        // feasible point
+        assert_eq!(lp.max_violation(&[2.0, 2.0]), 0.0);
+        // bound violation
+        assert!((lp.max_violation(&[3.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds")]
+    fn bad_bounds_panic() {
+        let mut lp = LpProblem::new();
+        lp.add_var("x", 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn foreign_var_panics() {
+        let mut lp = LpProblem::new();
+        lp.add_var("x", 0.0, 0.0, 1.0);
+        lp.add_constraint(Constraint::le(vec![(Var(7), 1.0)], 1.0));
+    }
+
+    #[test]
+    fn duplicate_coeffs_allowed_in_model() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", 1.0);
+        // duplicates are legal; engines must sum them
+        lp.add_le(vec![(x, 1.0), (x, 1.0)], 4.0);
+        assert_eq!(lp.num_constraints(), 1);
+    }
+}

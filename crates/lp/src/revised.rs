@@ -1,0 +1,711 @@
+//! Production engine: revised simplex with implicit variable bounds.
+//!
+//! Differences from the dense tableau engine:
+//!
+//! * upper bounds `0 ≤ x ≤ u` are handled natively (bound flips instead of
+//!   extra rows), which matters for the provisioning LPs where most
+//!   allocation-share variables carry a demand upper bound;
+//! * only the basis inverse `B⁻¹` (m×m, dense) is maintained, updated in
+//!   `O(m²)` per pivot with periodic refactorization for numerical hygiene;
+//! * the constraint matrix stays column-sparse, so pricing costs
+//!   `O(m² + nnz)` per iteration rather than `O(m·n)`.
+//!
+//! Anti-cycling: Dantzig pricing normally, switching to Bland's rule after a
+//! run of degenerate pivots; this guarantees termination.
+
+use crate::problem::{LpError, LpProblem, Solution, Solver};
+use crate::standard::StandardForm;
+
+/// Revised simplex with bounded variables.
+#[derive(Clone, Debug)]
+pub struct RevisedSimplex {
+    /// Hard iteration cap across both phases (`0` = automatic).
+    pub max_iterations: u64,
+    /// Reduced-cost / pivot tolerance.
+    pub eps: f64,
+    /// Primal feasibility tolerance used for the phase-1 decision.
+    pub feas_eps: f64,
+    /// Refactorize (recompute `B⁻¹` from scratch) every this many pivots.
+    pub refactor_every: u64,
+}
+
+impl Default for RevisedSimplex {
+    fn default() -> Self {
+        RevisedSimplex {
+            max_iterations: 0,
+            eps: 1e-9,
+            feas_eps: 1e-7,
+            refactor_every: 2_000,
+        }
+    }
+}
+
+impl RevisedSimplex {
+    /// Engine with default tolerances.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum VStat {
+    Basic(u32),
+    Lower,
+    Upper,
+}
+
+struct Engine<'a> {
+    sf: &'a StandardForm,
+    /// Effective upper bound per column (artificials pinned to 0 in phase 2).
+    upper: Vec<f64>,
+    /// Current objective coefficients (phase 1 or phase 2).
+    cost: Vec<f64>,
+    status: Vec<VStat>,
+    basis: Vec<usize>,
+    /// Row-major `m × m` basis inverse.
+    binv: Vec<f64>,
+    /// Values of basic variables, `xb[i]` belongs to column `basis[i]`.
+    xb: Vec<f64>,
+    m: usize,
+    eps: f64,
+    iterations: u64,
+    pivots_since_refactor: u64,
+    refactor_every: u64,
+}
+
+enum StepOutcome {
+    Optimal,
+    Unbounded,
+    Moved,
+}
+
+impl<'a> Engine<'a> {
+    fn new(sf: &'a StandardForm, eps: f64, refactor_every: u64) -> Engine<'a> {
+        let m = sf.m;
+        let mut status = vec![VStat::Lower; sf.n];
+        for (i, &b) in sf.basis0.iter().enumerate() {
+            status[b] = VStat::Basic(i as u32);
+        }
+        let mut binv = vec![0.0f64; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+        Engine {
+            sf,
+            upper: sf.upper.clone(),
+            cost: vec![0.0; sf.n],
+            status,
+            basis: sf.basis0.clone(),
+            binv,
+            xb: sf.b.clone(),
+            m,
+            eps,
+            iterations: 0,
+            pivots_since_refactor: 0,
+            refactor_every,
+        }
+    }
+
+    /// `y = c_Bᵀ B⁻¹`
+    fn duals(&self) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0f64; m];
+        for i in 0..m {
+            let cb = self.cost[self.basis[i]];
+            if cb != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for (k, yk) in y.iter_mut().enumerate() {
+                    *yk += cb * row[k];
+                }
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let mut d = self.cost[j];
+        for &(r, v) in &self.sf.cols[j] {
+            d -= y[r] * v;
+        }
+        d
+    }
+
+    /// `w = B⁻¹ A_j`
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0f64; m];
+        for &(r, v) in &self.sf.cols[j] {
+            // add v * column r of binv
+            for i in 0..m {
+                w[i] += v * self.binv[i * m + r];
+            }
+        }
+        w
+    }
+
+    fn current_objective(&self) -> f64 {
+        let mut obj = 0.0;
+        for (i, &b) in self.basis.iter().enumerate() {
+            obj += self.cost[b] * self.xb[i];
+        }
+        for j in 0..self.sf.n {
+            if self.status[j] == VStat::Upper {
+                obj += self.cost[j] * self.upper[j];
+            }
+        }
+        obj
+    }
+
+    /// Recompute `B⁻¹` and `xb` from scratch (numerical hygiene).
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let m = self.m;
+        // dense B from basis columns
+        let mut a = vec![0.0f64; m * m];
+        for (col_idx, &j) in self.basis.iter().enumerate() {
+            for &(r, v) in &self.sf.cols[j] {
+                a[r * m + col_idx] = v;
+            }
+        }
+        // Gauss-Jordan with partial pivoting: invert `a` into `inv`
+        let mut inv = vec![0.0f64; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // pivot search
+            let mut piv_row = col;
+            let mut piv_val = a[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = a[r * m + col].abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = r;
+                }
+            }
+            if piv_val < 1e-12 {
+                return Err(LpError::BadModel("singular basis during refactorization".into()));
+            }
+            if piv_row != col {
+                for k in 0..m {
+                    a.swap(col * m + k, piv_row * m + k);
+                    inv.swap(col * m + k, piv_row * m + k);
+                }
+            }
+            let d = 1.0 / a[col * m + col];
+            for k in 0..m {
+                a[col * m + k] *= d;
+                inv[col * m + k] *= d;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = a[r * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for k in 0..m {
+                    a[r * m + k] -= f * a[col * m + k];
+                    inv[r * m + k] -= f * inv[col * m + k];
+                }
+            }
+        }
+        self.binv = inv;
+        self.recompute_xb();
+        self.pivots_since_refactor = 0;
+        Ok(())
+    }
+
+    /// `xb = B⁻¹ (b − Σ_{j at upper} A_j u_j)`
+    fn recompute_xb(&mut self) {
+        let m = self.m;
+        let mut rhs = self.sf.b.clone();
+        for j in 0..self.sf.n {
+            if self.status[j] == VStat::Upper {
+                let u = self.upper[j];
+                if u != 0.0 {
+                    for &(r, v) in &self.sf.cols[j] {
+                        rhs[r] -= v * u;
+                    }
+                }
+            }
+        }
+        let mut xb = vec![0.0f64; m];
+        for (i, x) in xb.iter_mut().enumerate() {
+            let row = &self.binv[i * m..(i + 1) * m];
+            let mut acc = 0.0;
+            for (k, &r) in rhs.iter().enumerate() {
+                acc += row[k] * r;
+            }
+            *x = acc;
+        }
+        self.xb = xb;
+    }
+
+    /// One simplex step. `bland` selects Bland's rule.
+    fn step(&mut self, bland: bool) -> StepOutcome {
+        let y = self.duals();
+
+        // --- pricing -------------------------------------------------------
+        let mut enter = usize::MAX;
+        let mut enter_sigma = 1.0f64; // +1: increase from lower, −1: decrease from upper
+        let mut best = self.eps;
+        for j in 0..self.sf.n {
+            match self.status[j] {
+                VStat::Basic(_) => continue,
+                VStat::Lower => {
+                    if self.upper[j] <= self.eps {
+                        continue; // fixed column (artificial after phase 1, or u = 0)
+                    }
+                    let d = self.reduced_cost(j, &y);
+                    if d < -best || (bland && d < -self.eps) {
+                        enter = j;
+                        enter_sigma = 1.0;
+                        if bland {
+                            break;
+                        }
+                        best = -d;
+                    }
+                }
+                VStat::Upper => {
+                    let d = self.reduced_cost(j, &y);
+                    if d > best || (bland && d > self.eps) {
+                        enter = j;
+                        enter_sigma = -1.0;
+                        if bland {
+                            break;
+                        }
+                        best = d;
+                    }
+                }
+            }
+        }
+        if enter == usize::MAX {
+            return StepOutcome::Optimal;
+        }
+
+        // --- ratio test (two-pass Harris style) -----------------------------
+        let w = self.ftran(enter);
+        let sigma = enter_sigma;
+        // entering var moves by t >= 0 in direction sigma; basic values change
+        // by −t·σ·w. Pass 1 finds the tightest limit; pass 2 picks, among the
+        // rows within a tolerance of it, the numerically best (largest) pivot
+        // — tiny pivots breed singular bases.
+        let bound_flip_t = if self.upper[enter].is_finite() {
+            self.upper[enter] // bound-to-bound distance (lower is 0)
+        } else {
+            f64::INFINITY
+        };
+        let mut t_min = bound_flip_t;
+        let limit_of = |i: usize, this: &Self| -> Option<(f64, bool)> {
+            let wi = sigma * w[i];
+            let bi = this.basis[i];
+            if wi > this.eps {
+                Some(((this.xb[i]).max(0.0) / wi, false))
+            } else if wi < -this.eps {
+                let ub = this.upper[bi];
+                ub.is_finite().then(|| ((ub - this.xb[i]).max(0.0) / (-wi), true))
+            } else {
+                None
+            }
+        };
+        for i in 0..self.m {
+            if let Some((lim, _)) = limit_of(i, self) {
+                t_min = t_min.min(lim);
+            }
+        }
+        if !t_min.is_finite() {
+            return StepOutcome::Unbounded;
+        }
+        let tie_tol = self.eps * 10.0 * (1.0 + t_min.abs());
+        let mut leave_row = usize::MAX;
+        let mut leave_to_upper = false;
+        let mut best_pivot = 0.0f64;
+        for i in 0..self.m {
+            if let Some((lim, to_upper)) = limit_of(i, self) {
+                if lim <= t_min + tie_tol {
+                    let piv = w[i].abs();
+                    let better = if bland {
+                        // Bland: smallest basis index among eligible rows
+                        leave_row == usize::MAX || self.basis[i] < self.basis[leave_row]
+                    } else {
+                        piv > best_pivot
+                    };
+                    if better {
+                        best_pivot = piv;
+                        leave_row = i;
+                        leave_to_upper = to_upper;
+                    }
+                }
+            }
+        }
+        let t_star = if leave_row == usize::MAX { bound_flip_t } else { t_min };
+        let t = t_star.max(0.0);
+
+        // --- apply ----------------------------------------------------------
+        if leave_row == usize::MAX {
+            // bound flip: entering var runs to its other bound
+            for i in 0..self.m {
+                self.xb[i] -= t * sigma * w[i];
+            }
+            self.status[enter] =
+                if sigma > 0.0 { VStat::Upper } else { VStat::Lower };
+            return StepOutcome::Moved;
+        }
+
+        // basis change
+        for i in 0..self.m {
+            if i != leave_row {
+                self.xb[i] -= t * sigma * w[i];
+                if self.xb[i] < 0.0 && self.xb[i] > -1e-9 {
+                    self.xb[i] = 0.0;
+                }
+            }
+        }
+        let leaving = self.basis[leave_row];
+        self.status[leaving] = if leave_to_upper { VStat::Upper } else { VStat::Lower };
+        // entering variable's new value
+        let enter_val = if sigma > 0.0 { t } else { self.upper[enter] - t };
+        self.xb[leave_row] = enter_val;
+        self.basis[leave_row] = enter;
+        self.status[enter] = VStat::Basic(leave_row as u32);
+
+        // update B⁻¹: eliminate with pivot w[leave_row]
+        let m = self.m;
+        let piv = w[leave_row];
+        debug_assert!(piv.abs() > 1e-12);
+        let inv_piv = 1.0 / piv;
+        // scale pivot row
+        {
+            let row = &mut self.binv[leave_row * m..(leave_row + 1) * m];
+            for v in row.iter_mut() {
+                *v *= inv_piv;
+            }
+        }
+        for i in 0..m {
+            if i == leave_row {
+                continue;
+            }
+            let f = w[i];
+            if f == 0.0 {
+                continue;
+            }
+            // binv[i] -= f * binv[leave_row] (already scaled)
+            let (head, tail) = self.binv.split_at_mut(leave_row.max(i) * m);
+            let (src, dst) = if i < leave_row {
+                (&tail[..m], &mut head[i * m..i * m + m])
+            } else {
+                (&head[leave_row * m..leave_row * m + m], &mut tail[..m])
+            };
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d -= f * s;
+            }
+        }
+        self.pivots_since_refactor += 1;
+        StepOutcome::Moved
+    }
+
+    fn run_phase(&mut self, max_iter: u64) -> Result<(), LpError> {
+        let mut stalled: u64 = 0;
+        let stall_limit = 4 * (self.m as u64 + self.sf.n as u64) + 64;
+        let mut last_obj = self.current_objective();
+        loop {
+            if self.iterations >= max_iter {
+                return Err(LpError::IterationLimit);
+            }
+            if self.pivots_since_refactor >= self.refactor_every {
+                self.refactorize()?;
+            }
+            let bland = stalled > stall_limit;
+            match self.step(bland) {
+                StepOutcome::Optimal => return Ok(()),
+                StepOutcome::Unbounded => return Err(LpError::Unbounded),
+                StepOutcome::Moved => {}
+            }
+            self.iterations += 1;
+            let obj = self.current_objective();
+            if last_obj - obj > self.eps * (1.0 + last_obj.abs()) {
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+            last_obj = obj;
+        }
+    }
+
+    /// Full standard-form assignment.
+    fn extract(&self) -> Vec<f64> {
+        let mut x = vec![0.0f64; self.sf.n];
+        for j in 0..self.sf.n {
+            match self.status[j] {
+                VStat::Basic(i) => x[j] = self.xb[i as usize].max(0.0),
+                VStat::Lower => x[j] = 0.0,
+                VStat::Upper => x[j] = self.upper[j],
+            }
+        }
+        x
+    }
+}
+
+impl Solver for RevisedSimplex {
+    fn solve(&self, lp: &LpProblem) -> Result<Solution, LpError> {
+        if lp.num_vars() == 0 {
+            return Err(LpError::BadModel("no variables".into()));
+        }
+        let sf = StandardForm::build(lp);
+        let mut eng = Engine::new(&sf, self.eps, self.refactor_every);
+        let max_iter = if self.max_iterations > 0 {
+            self.max_iterations
+        } else {
+            50_000 + 40 * (sf.m as u64 + sf.n as u64)
+        };
+
+        // ---- phase 1 --------------------------------------------------------
+        if sf.first_artificial < sf.n {
+            for j in sf.first_artificial..sf.n {
+                eng.cost[j] = 1.0;
+            }
+            // Per-artificial feasibility test: an artificial's column is a
+            // unit vector on its original row, so a basic artificial at value
+            // v means that row is violated by v. Compare v against the row's
+            // own scale — an aggregate Σb-scaled test would let a huge-RHS
+            // row mask a real violation on a small-RHS row.
+            let residual_violation = |eng: &Engine<'_>| -> bool {
+                (0..sf.m).any(|i| {
+                    let j = eng.basis[i];
+                    j >= sf.first_artificial && {
+                        let row = sf.cols[j][0].0;
+                        eng.xb[i] > self.feas_eps * (1.0 + sf.b[row].abs())
+                    }
+                })
+            };
+            // Numerical drift can make phase 1 stop early with artificials
+            // still carrying value; refactorize (exact recompute of B⁻¹ and
+            // x_B) and resume before declaring the model infeasible.
+            let mut attempts = 0;
+            loop {
+                match eng.run_phase(max_iter) {
+                    Ok(()) => {}
+                    Err(LpError::Unbounded) => {
+                        return Err(LpError::BadModel(
+                            "phase-1 objective unbounded (internal error)".into(),
+                        ))
+                    }
+                    Err(e) => return Err(e),
+                }
+                if !residual_violation(&eng) {
+                    break;
+                }
+                if attempts >= 2 || eng.refactorize().is_err() {
+                    return Err(LpError::Infeasible);
+                }
+                if !residual_violation(&eng) {
+                    break;
+                }
+                attempts += 1;
+            }
+            // pin artificials to zero; reset costs
+            for j in sf.first_artificial..sf.n {
+                eng.upper[j] = 0.0;
+                eng.cost[j] = 0.0;
+                if eng.status[j] == VStat::Upper {
+                    eng.status[j] = VStat::Lower;
+                }
+            }
+        }
+
+        // ---- phase 2 --------------------------------------------------------
+        for (j, &c) in sf.cost.iter().enumerate() {
+            eng.cost[j] = c;
+        }
+        eng.run_phase(max_iter)?;
+
+        // Final hygiene: refactorize to squeeze out accumulated drift. A
+        // (rare) singular refactorization means the incrementally-maintained
+        // inverse is still the best state we have — keep it; `refactorize`
+        // only commits on success.
+        let _ = eng.refactorize();
+        let x = eng.extract();
+        let values = sf.recover(&x);
+        let objective = lp.objective_at(&values);
+        let duals = Some(sf.recover_duals(&eng.duals()));
+        Ok(Solution { values, objective, duals, iterations: eng.iterations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseSimplex;
+    use crate::problem::LpProblem;
+
+    fn solve(lp: &LpProblem) -> Result<Solution, LpError> {
+        RevisedSimplex::new().solve(lp)
+    }
+
+    #[test]
+    fn classic_two_var() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", -3.0);
+        let y = lp.add_nonneg("y", -5.0);
+        lp.add_le(vec![(x, 1.0)], 4.0);
+        lp.add_le(vec![(y, 2.0)], 12.0);
+        lp.add_le(vec![(x, 3.0), (y, 2.0)], 18.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() + 36.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bound_flip_path() {
+        // min -x - y with x <= 1, y <= 1 as *bounds* and x + y <= 1.5 as a row
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", -1.0, 0.0, 1.0);
+        let y = lp.add_var("y", -1.0, 0.0, 1.0);
+        lp.add_le(vec![(x, 1.0), (y, 1.0)], 1.5);
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() + 1.5).abs() < 1e-8);
+        assert!(lp.max_violation(s.values()) < 1e-9);
+    }
+
+    #[test]
+    fn infeasible() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", 1.0, 0.0, 1.0);
+        lp.add_ge(vec![(x, 1.0)], 2.0);
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", -1.0);
+        let y = lp.add_nonneg("y", 0.0);
+        lp.add_ge(vec![(x, 1.0), (y, -1.0)], 0.0);
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn equality_with_bounds() {
+        // min 2a + b  s.t. a + b = 5, a <= 2
+        let mut lp = LpProblem::new();
+        let a = lp.add_var("a", 2.0, 0.0, 2.0);
+        let b = lp.add_nonneg("b", 1.0);
+        lp.add_eq(vec![(a, 1.0), (b, 1.0)], 5.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() - 5.0).abs() < 1e-8);
+        assert!((s.value(a) - 0.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn agrees_with_dense_on_mixed_model() {
+        let mut lp = LpProblem::new();
+        let a = lp.add_var("a", 3.0, 0.0, 10.0);
+        let b = lp.add_var("b", 1.0, 0.5, 10.0);
+        let c = lp.add_var("c", 2.0, 0.0, 4.0);
+        let d = lp.add_var("d", -1.0, 0.0, 2.0);
+        lp.add_ge(vec![(a, 1.0), (b, 1.0)], 6.0);
+        lp.add_ge(vec![(b, 1.0), (c, 1.0)], 8.0);
+        lp.add_le(vec![(a, 1.0), (c, 2.0), (d, 1.0)], 14.0);
+        lp.add_eq(vec![(d, 1.0), (a, 0.5)], 2.0);
+        let s1 = solve(&lp).unwrap();
+        let s2 = DenseSimplex::new().solve(&lp).unwrap();
+        assert!((s1.objective() - s2.objective()).abs() < 1e-7);
+        assert!(lp.max_violation(s1.values()) < 1e-7);
+    }
+
+    #[test]
+    fn duals_reconstruct_objective_for_tight_lp() {
+        // A pure ≤ model with optimum away from bounds: strong duality gives
+        // obj = yᵀb.
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", -3.0);
+        let y = lp.add_nonneg("y", -5.0);
+        lp.add_le(vec![(x, 1.0)], 4.0);
+        lp.add_le(vec![(y, 2.0)], 12.0);
+        lp.add_le(vec![(x, 3.0), (y, 2.0)], 18.0);
+        let s = solve(&lp).unwrap();
+        let yb: f64 = (0..3).map(|i| s.dual(i).unwrap() * [4.0, 12.0, 18.0][i]).sum();
+        assert!((yb - s.objective()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_terminates() {
+        let mut lp = LpProblem::new();
+        let x1 = lp.add_nonneg("x1", -0.75);
+        let x2 = lp.add_nonneg("x2", 150.0);
+        let x3 = lp.add_nonneg("x3", -0.02);
+        let x4 = lp.add_nonneg("x4", 6.0);
+        lp.add_le(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], 0.0);
+        lp.add_le(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], 0.0);
+        lp.add_le(vec![(x3, 1.0)], 1.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() + 0.05).abs() < 1e-8);
+    }
+
+    #[test]
+    fn moderately_sized_transport_problem() {
+        // 12 sources × 15 sinks transportation LP with known optimum
+        // (verified against the dense engine).
+        let ns = 12;
+        let nd = 15;
+        let mut lp = LpProblem::new();
+        let mut xs = Vec::new();
+        for i in 0..ns {
+            for j in 0..nd {
+                let cost = ((i * 7 + j * 13) % 10 + 1) as f64;
+                xs.push(lp.add_nonneg(format!("x{i}_{j}"), cost));
+            }
+        }
+        let supply = 10.0;
+        let demand = supply * ns as f64 / nd as f64;
+        for i in 0..ns {
+            let coeffs = (0..nd).map(|j| (xs[i * nd + j], 1.0)).collect();
+            lp.add_eq(coeffs, supply);
+        }
+        for j in 0..nd {
+            let coeffs = (0..ns).map(|i| (xs[i * nd + j], 1.0)).collect();
+            lp.add_eq(coeffs, demand);
+        }
+        let s1 = solve(&lp).unwrap();
+        let s2 = DenseSimplex::new().solve(&lp).unwrap();
+        assert!(
+            (s1.objective() - s2.objective()).abs() < 1e-6 * (1.0 + s2.objective().abs())
+        );
+        assert!(lp.max_violation(s1.values()) < 1e-6);
+    }
+
+    #[test]
+    fn peak_minimization_structure() {
+        // miniature of the provisioning LP: two slots, two sites, one config;
+        // min peak subject to demand split per slot
+        let mut lp = LpProblem::new();
+        let p1 = lp.add_nonneg("peak1", 1.0);
+        let p2 = lp.add_nonneg("peak2", 1.0);
+        // slot 0 demand 10, slot 1 demand 10, shares s_tx
+        let mut s = Vec::new();
+        for t in 0..2 {
+            for x in 0..2 {
+                s.push(lp.add_var(format!("s{t}{x}"), 0.0, 0.0, 10.0));
+            }
+        }
+        for t in 0..2 {
+            lp.add_eq(vec![(s[t * 2], 1.0), (s[t * 2 + 1], 1.0)], 10.0);
+            lp.add_le(vec![(s[t * 2], 1.0), (p1, -1.0)], 0.0);
+            lp.add_le(vec![(s[t * 2 + 1], 1.0), (p2, -1.0)], 0.0);
+        }
+        let sol = solve(&lp).unwrap();
+        // optimal: split 5/5 each slot → total peak 10
+        assert!((sol.objective() - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variable_is_respected() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", -5.0, 2.0, 2.0); // fixed at 2
+        let y = lp.add_var("y", 1.0, 0.0, f64::INFINITY);
+        lp.add_ge(vec![(x, 1.0), (y, 1.0)], 3.0);
+        let s = solve(&lp).unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-9);
+        assert!((s.value(y) - 1.0).abs() < 1e-8);
+    }
+}

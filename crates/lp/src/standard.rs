@@ -1,0 +1,310 @@
+//! Conversion of an [`LpProblem`](crate::LpProblem) into the computational
+//! standard form shared by both simplex engines:
+//!
+//! ```text
+//! minimize  cᵀx + k      s.t.  A x = b,   0 ≤ x ≤ u,   b ≥ 0
+//! ```
+//!
+//! * variables with a finite lower bound are shifted (`x = l + x'`),
+//! * variables bounded only above are mirrored (`x = u − x'`),
+//! * fully free variables are split (`x = x⁺ − x⁻`),
+//! * `≤` rows gain a slack, `≥` rows a surplus + artificial, `=` rows an
+//!   artificial; rows are sign-normalized so every `bᵢ ≥ 0`,
+//! * the initial basis (one column per row) is the slack where available and
+//!   the artificial otherwise, so `B = I` at the start of phase 1.
+
+use crate::problem::{LpProblem, Relation};
+
+/// How one user variable maps onto standard-form columns.
+#[derive(Clone, Debug)]
+pub(crate) enum VarMap {
+    /// `x = lower + col`
+    Shifted { col: usize, lower: f64 },
+    /// `x = upper − col`
+    Mirrored { col: usize, upper: f64 },
+    /// `x = pos − neg`
+    Split { pos: usize, neg: usize },
+}
+
+/// Standard-form data consumed by the engines.
+#[derive(Clone, Debug)]
+pub(crate) struct StandardForm {
+    /// Number of rows.
+    pub m: usize,
+    /// Total number of columns (structural + slack/surplus + artificial).
+    pub n: usize,
+    /// Column-sparse constraint matrix: `cols[j]` = list of `(row, coeff)`.
+    pub cols: Vec<Vec<(usize, f64)>>,
+    /// Phase-2 objective per column (0 for slacks and artificials).
+    pub cost: Vec<f64>,
+    /// Upper bound per column (∞ allowed; artificials get `0` after phase 1
+    /// by the engines, here they carry ∞ like slacks).
+    pub upper: Vec<f64>,
+    /// Right-hand side, all entries ≥ 0.
+    pub b: Vec<f64>,
+    /// Constant added to the standard-form objective to recover the user
+    /// objective. (Engines recover the objective by evaluating the original
+    /// cost vector instead, so this is informational / test-only.)
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub obj_offset: f64,
+    /// Mapping from user variable index to standard columns.
+    pub var_map: Vec<VarMap>,
+    /// First artificial column index (`n` if there are none).
+    pub first_artificial: usize,
+    /// Initial basis: one column per row.
+    pub basis0: Vec<usize>,
+    /// Whether user row `i` was negated during normalization (for duals).
+    pub row_flip: Vec<bool>,
+}
+
+impl StandardForm {
+    /// Build the standard form of `lp`.
+    pub fn build(lp: &LpProblem) -> StandardForm {
+        let m = lp.num_constraints();
+        let nv = lp.num_vars();
+
+        // --- map user variables to structural columns -----------------------
+        let mut var_map = Vec::with_capacity(nv);
+        let mut cost: Vec<f64> = Vec::new();
+        let mut upper: Vec<f64> = Vec::new();
+        let mut obj_offset = 0.0f64;
+        for j in 0..nv {
+            let (lo, hi) = (lp.lower[j], lp.upper[j]);
+            let c = lp.cost[j];
+            if lo.is_finite() {
+                var_map.push(VarMap::Shifted { col: cost.len(), lower: lo });
+                cost.push(c);
+                upper.push(hi - lo); // may be ∞
+                obj_offset += c * lo;
+            } else if hi.is_finite() {
+                var_map.push(VarMap::Mirrored { col: cost.len(), upper: hi });
+                cost.push(-c);
+                upper.push(f64::INFINITY);
+                obj_offset += c * hi;
+            } else {
+                let pos = cost.len();
+                cost.push(c);
+                upper.push(f64::INFINITY);
+                let neg = cost.len();
+                cost.push(-c);
+                upper.push(f64::INFINITY);
+                var_map.push(VarMap::Split { pos, neg });
+            }
+        }
+        let n_structural = cost.len();
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_structural];
+
+        // --- rows ------------------------------------------------------------
+        let mut b = Vec::with_capacity(m);
+        let mut row_flip = vec![false; m];
+        let mut basis0 = vec![usize::MAX; m];
+        // collect per-row sparse entries over structural columns
+        for (i, row) in lp.rows.iter().enumerate() {
+            // merge duplicates + apply variable mapping
+            let mut entries: Vec<(usize, f64)> = Vec::with_capacity(row.coeffs.len() + 1);
+            let mut rhs = row.rhs;
+            for &(v, a) in &row.coeffs {
+                if a == 0.0 {
+                    continue;
+                }
+                match var_map[v.index()] {
+                    VarMap::Shifted { col, lower } => {
+                        rhs -= a * lower;
+                        entries.push((col, a));
+                    }
+                    VarMap::Mirrored { col, upper: u } => {
+                        rhs -= a * u;
+                        entries.push((col, -a));
+                    }
+                    VarMap::Split { pos, neg } => {
+                        entries.push((pos, a));
+                        entries.push((neg, -a));
+                    }
+                }
+            }
+            entries.sort_unstable_by_key(|e| e.0);
+            entries.dedup_by(|later, first| {
+                if later.0 == first.0 {
+                    first.1 += later.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            entries.retain(|e| e.1 != 0.0);
+
+            // sign-normalize so rhs >= 0
+            let mut rel = row.rel;
+            if rhs < 0.0 {
+                rhs = -rhs;
+                row_flip[i] = true;
+                for e in &mut entries {
+                    e.1 = -e.1;
+                }
+                rel = match rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+            b.push(rhs);
+            for (col, a) in entries {
+                cols[col].push((i, a));
+            }
+            // slack / surplus
+            match rel {
+                Relation::Le => {
+                    let s = cols.len();
+                    cols.push(vec![(i, 1.0)]);
+                    cost.push(0.0);
+                    upper.push(f64::INFINITY);
+                    basis0[i] = s;
+                }
+                Relation::Ge => {
+                    let s = cols.len();
+                    cols.push(vec![(i, -1.0)]);
+                    cost.push(0.0);
+                    upper.push(f64::INFINITY);
+                    // needs an artificial too; assigned below
+                    let _ = s;
+                }
+                Relation::Eq => {}
+            }
+        }
+
+        // --- artificials -------------------------------------------------------
+        let first_artificial = cols.len();
+        for i in 0..m {
+            if basis0[i] == usize::MAX {
+                let a = cols.len();
+                cols.push(vec![(i, 1.0)]);
+                cost.push(0.0);
+                upper.push(f64::INFINITY);
+                basis0[i] = a;
+            }
+        }
+
+        StandardForm {
+            m,
+            n: cols.len(),
+            cols,
+            cost,
+            upper,
+            b,
+            obj_offset,
+            var_map,
+            first_artificial,
+            basis0,
+            row_flip,
+        }
+    }
+
+    /// Recover user-variable values from a standard-form assignment.
+    pub fn recover(&self, x: &[f64]) -> Vec<f64> {
+        self.var_map
+            .iter()
+            .map(|mp| match *mp {
+                VarMap::Shifted { col, lower } => lower + x[col],
+                VarMap::Mirrored { col, upper } => upper - x[col],
+                VarMap::Split { pos, neg } => x[pos] - x[neg],
+            })
+            .collect()
+    }
+
+    /// Map standard-form row duals back to user rows (undo sign flips).
+    pub fn recover_duals(&self, y: &[f64]) -> Vec<f64> {
+        y.iter()
+            .zip(&self.row_flip)
+            .map(|(&yi, &flip)| if flip { -yi } else { yi })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Constraint, LpProblem};
+
+    #[test]
+    fn slack_and_artificial_assignment() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", 1.0);
+        lp.add_constraint(Constraint::le(vec![(x, 1.0)], 4.0));
+        lp.add_constraint(Constraint::ge(vec![(x, 1.0)], 1.0));
+        lp.add_constraint(Constraint::eq(vec![(x, 1.0)], 2.0));
+        let sf = StandardForm::build(&lp);
+        assert_eq!(sf.m, 3);
+        // x + slack(le) + surplus(ge) + artificial(ge) + artificial(eq)
+        assert_eq!(sf.n, 5);
+        assert_eq!(sf.first_artificial, 3);
+        // row 0 basis is the slack, rows 1&2 artificials
+        assert_eq!(sf.basis0[0], 1);
+        assert!(sf.basis0[1] >= sf.first_artificial);
+        assert!(sf.basis0[2] >= sf.first_artificial);
+        assert!(sf.b.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn negative_rhs_flips_relation() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", 1.0);
+        // x >= -3 is trivially true; flipped to -x <= 3
+        lp.add_constraint(Constraint::ge(vec![(x, 1.0)], -3.0));
+        let sf = StandardForm::build(&lp);
+        assert!(sf.row_flip[0]);
+        assert_eq!(sf.b[0], 3.0);
+        // flipped Ge becomes Le, so the row basis is a slack (no artificial)
+        assert_eq!(sf.first_artificial, sf.n);
+    }
+
+    #[test]
+    fn shifting_adjusts_rhs_and_offset() {
+        let mut lp = LpProblem::new();
+        // 2 <= x <= 5, cost 3
+        let x = lp.add_var("x", 3.0, 2.0, 5.0);
+        lp.add_constraint(Constraint::le(vec![(x, 2.0)], 10.0));
+        let sf = StandardForm::build(&lp);
+        // 2(x'+2) <= 10  =>  2x' <= 6
+        assert_eq!(sf.b[0], 6.0);
+        assert_eq!(sf.obj_offset, 6.0);
+        assert_eq!(sf.upper[0], 3.0);
+        let user = sf.recover(&[1.5, 0.0]);
+        assert_eq!(user[0], 3.5);
+    }
+
+    #[test]
+    fn free_variable_splits() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", 1.0, f64::NEG_INFINITY, f64::INFINITY);
+        lp.add_constraint(Constraint::eq(vec![(x, 1.0)], -4.0));
+        let sf = StandardForm::build(&lp);
+        // pos, neg, artificial
+        assert_eq!(sf.n, 3);
+        let user = sf.recover(&[0.0, 4.0, 0.0]);
+        assert_eq!(user[0], -4.0);
+    }
+
+    #[test]
+    fn mirrored_upper_only_variable() {
+        let mut lp = LpProblem::new();
+        // x <= 7, free below, cost 1  =>  mirrored col with cost -1
+        let x = lp.add_var("x", 1.0, f64::NEG_INFINITY, 7.0);
+        lp.add_constraint(Constraint::le(vec![(x, 1.0)], 5.0));
+        let sf = StandardForm::build(&lp);
+        assert_eq!(sf.cost[0], -1.0);
+        assert_eq!(sf.obj_offset, 7.0);
+        // 7 - x' <= 5  =>  -x' <= -2  =>  flipped to x' >= 2
+        assert!(sf.row_flip[0]);
+        let user = sf.recover(&[3.0, 0.0, 0.0]);
+        assert_eq!(user[0], 4.0);
+    }
+
+    #[test]
+    fn duplicate_coefficients_are_summed() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_nonneg("x", 1.0);
+        lp.add_constraint(Constraint::le(vec![(x, 1.0), (x, 2.5)], 7.0));
+        let sf = StandardForm::build(&lp);
+        assert_eq!(sf.cols[0], vec![(0, 3.5)]);
+    }
+}

@@ -1,0 +1,15 @@
+use sb_lp::{DenseSimplex, LpError, LpProblem, RevisedSimplex, Solver};
+
+#[test]
+fn bounded_equality_infeasibility_detected() {
+    let mut lp = LpProblem::new();
+    let s1 = lp.add_var("s1", 1.0, 0.0, 100.0);
+    let s2 = lp.add_var("s2", 2.0, 0.0, 100.0);
+    let s3 = lp.add_var("s3", 3.0, 0.0, 100.0);
+    lp.add_eq(vec![(s1, 1.0), (s2, 1.0), (s3, 1.0)], 100.0);
+    lp.add_le(vec![(s1, 0.1)], 0.001);
+    lp.add_le(vec![(s2, 0.1)], 0.001);
+    lp.add_le(vec![(s3, 0.1)], 0.001);
+    assert_eq!(DenseSimplex::new().solve(&lp).unwrap_err(), LpError::Infeasible);
+    assert_eq!(RevisedSimplex::new().solve(&lp).unwrap_err(), LpError::Infeasible);
+}

@@ -1,0 +1,20 @@
+use sb_lp::{DenseSimplex, LpError, LpProblem, RevisedSimplex, Solver};
+
+#[test]
+fn scaled_infeasibility_detected() {
+    let mut lp = LpProblem::new();
+    let s1 = lp.add_var("s1", 3.3, 0.0, 100.0);
+    let s2 = lp.add_var("s2", 50.3, 0.0, 100.0);
+    let s3 = lp.add_var("s3", 48.9, 0.0, 100.0);
+    lp.add_eq(vec![(s1, 1.0), (s2, 1.0), (s3, 1.0)], 100.0);
+    let cap = 0.001 * (1.0 + 1e-7) + 1e-7;
+    lp.add_le(vec![(s1, 0.1)], cap);
+    lp.add_le(vec![(s2, 0.1)], cap);
+    lp.add_le(vec![(s3, 0.1)], cap);
+    let d = DenseSimplex::new().solve(&lp);
+    let r = RevisedSimplex::new().solve(&lp);
+    eprintln!("dense {:?}", d.as_ref().map(|s| s.objective()).map_err(|e| e.clone()));
+    eprintln!("revised {:?}", r.as_ref().map(|s| s.objective()).map_err(|e| e.clone()));
+    assert!(matches!(d, Err(LpError::Infeasible)));
+    assert!(matches!(r, Err(LpError::Infeasible)));
+}

@@ -1,0 +1,109 @@
+//! Property tests: the two simplex engines must agree on random LPs, and any
+//! reported optimum must be primal-feasible.
+
+use proptest::prelude::*;
+use sb_lp::{Constraint, DenseSimplex, LpError, LpProblem, Relation, RevisedSimplex, Solver};
+
+/// A randomly generated LP description with small integer data, so that
+/// tolerance differences between engines cannot flip feasibility verdicts.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    n: usize,
+    costs: Vec<i8>,
+    uppers: Vec<Option<u8>>,
+    rows: Vec<(Vec<i8>, u8, i8)>, // coeffs per var, relation tag, rhs
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (1usize..5).prop_flat_map(|n| {
+        let costs = proptest::collection::vec(-4i8..5, n);
+        let uppers = proptest::collection::vec(proptest::option::of(1u8..9), n);
+        let row = (
+            proptest::collection::vec(-3i8..4, n),
+            0u8..3,
+            -6i8..7,
+        );
+        let rows = proptest::collection::vec(row, 1..5);
+        (costs, uppers, rows).prop_map(move |(costs, uppers, rows)| RandomLp {
+            n,
+            costs,
+            uppers,
+            rows,
+        })
+    })
+}
+
+fn build(r: &RandomLp) -> LpProblem {
+    let mut lp = LpProblem::new();
+    let vars: Vec<_> = (0..r.n)
+        .map(|j| {
+            let upper = r.uppers[j].map(|u| u as f64).unwrap_or(f64::INFINITY);
+            lp.add_var(format!("x{j}"), r.costs[j] as f64, 0.0, upper)
+        })
+        .collect();
+    for (coeffs, rel, rhs) in &r.rows {
+        let cs: Vec<_> = coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a != 0)
+            .map(|(j, &a)| (vars[j], a as f64))
+            .collect();
+        if cs.is_empty() {
+            continue;
+        }
+        let rel = match rel {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        lp.add_constraint(Constraint { coeffs: cs, rel, rhs: *rhs as f64 });
+    }
+    if lp.num_constraints() == 0 {
+        // ensure at least one row so the model is non-trivial
+        lp.add_le(vec![(vars[0], 1.0)], 100.0);
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Engines agree on the outcome class, and on the objective when optimal.
+    #[test]
+    fn engines_agree(r in random_lp()) {
+        let lp = build(&r);
+        let d = DenseSimplex::new().solve(&lp);
+        let rv = RevisedSimplex::new().solve(&lp);
+        match (d, rv) {
+            (Ok(a), Ok(b)) => {
+                let scale = 1.0 + a.objective().abs();
+                prop_assert!((a.objective() - b.objective()).abs() < 1e-6 * scale,
+                    "objectives differ: dense={} revised={}", a.objective(), b.objective());
+                prop_assert!(lp.max_violation(a.values()) < 1e-6);
+                prop_assert!(lp.max_violation(b.values()) < 1e-6);
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            (a, b) => prop_assert!(false, "engines disagree: dense={a:?} revised={b:?}"),
+        }
+    }
+
+    /// A feasible random point can never beat the reported optimum.
+    #[test]
+    fn optimum_dominates_random_feasible_points(
+        r in random_lp(),
+        point in proptest::collection::vec(0.0f64..8.0, 1..5)
+    ) {
+        let lp = build(&r);
+        if let Ok(sol) = RevisedSimplex::new().solve(&lp) {
+            let mut x = vec![0.0; lp.num_vars()];
+            for (j, v) in x.iter_mut().enumerate() {
+                *v = *point.get(j).unwrap_or(&0.0);
+            }
+            if lp.max_violation(&x) < 1e-12 {
+                prop_assert!(lp.objective_at(&x) >= sol.objective() - 1e-6,
+                    "random feasible point beats 'optimum'");
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Provisioned-capacity accounting: total cores, total inter-country WAN
+//! Gbps, and dollar cost — the three resource metrics of §6.1.
+
+use crate::topology::Topology;
+
+/// A capacity assignment: cores per DC and Gbps per link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProvisionedCapacity {
+    /// Cores provisioned at each DC (indexed by `DcId`).
+    pub cores: Vec<f64>,
+    /// Bandwidth provisioned on each link in Gbps (indexed by `LinkId`).
+    pub gbps: Vec<f64>,
+}
+
+impl ProvisionedCapacity {
+    /// All-zero capacity for `topo`.
+    pub fn zero(topo: &Topology) -> Self {
+        ProvisionedCapacity {
+            cores: vec![0.0; topo.dcs.len()],
+            gbps: vec![0.0; topo.links.len()],
+        }
+    }
+
+    /// Component-wise maximum (used for the failure-scenario sweep, Eq. 7–8).
+    pub fn max_with(&mut self, other: &ProvisionedCapacity) {
+        assert_eq!(self.cores.len(), other.cores.len());
+        assert_eq!(self.gbps.len(), other.gbps.len());
+        for (a, b) in self.cores.iter_mut().zip(&other.cores) {
+            *a = a.max(*b);
+        }
+        for (a, b) in self.gbps.iter_mut().zip(&other.gbps) {
+            *a = a.max(*b);
+        }
+    }
+
+    /// Sum of per-DC core peaks (§6.1 metric 3).
+    pub fn total_cores(&self) -> f64 {
+        self.cores.iter().sum()
+    }
+
+    /// Sum of per-link peaks over *inter-country* links only (§6.1 metric 2).
+    pub fn total_wan_gbps(&self, topo: &Topology) -> f64 {
+        self.gbps
+            .iter()
+            .zip(&topo.links)
+            .filter(|(_, l)| l.inter_country)
+            .map(|(g, _)| g)
+            .sum()
+    }
+
+    /// Total provisioning cost (§6.1 metric 4):
+    /// `Σ_x DC_Cost(x)·cores_x + Σ_l WAN_Cost(l)·gbps_l`.
+    pub fn cost(&self, topo: &Topology) -> f64 {
+        let compute: f64 = self
+            .cores
+            .iter()
+            .zip(&topo.dcs)
+            .map(|(c, dc)| c * dc.core_cost)
+            .sum();
+        let network: f64 = self
+            .gbps
+            .iter()
+            .zip(&topo.links)
+            .map(|(g, l)| g * l.cost_per_gbps)
+            .sum();
+        compute + network
+    }
+
+    /// Does `self` cover `other` in every component (with tolerance)?
+    pub fn covers(&self, other: &ProvisionedCapacity, tol: f64) -> bool {
+        self.cores.iter().zip(&other.cores).all(|(a, b)| a + tol >= *b)
+            && self.gbps.iter().zip(&other.gbps).all(|(a, b)| a + tol >= *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+    use crate::topology::{Node, TopologyBuilder};
+
+    fn topo() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let r = b.region("APAC");
+        let d1 = b.datacenter("Tokyo", r, GeoPoint::new(35.7, 139.7), 2.0);
+        let d2 = b.datacenter("Singapore", r, GeoPoint::new(1.35, 103.8), 3.0);
+        let jp = b.country("JP", r, GeoPoint::new(36.0, 138.0), 9.0, 1.0);
+        b.link_with_latency(Node::Dc(d1), Node::Dc(d2), 35.0, 5.0); // inter-country
+        b.link_with_latency(Node::Edge(jp), Node::Dc(d1), 4.0, 1.0); // intra
+        b.build()
+    }
+
+    #[test]
+    fn cost_combines_compute_and_network() {
+        let t = topo();
+        let cap = ProvisionedCapacity { cores: vec![10.0, 5.0], gbps: vec![2.0, 8.0] };
+        // 10*2 + 5*3 + 2*5 + 8*1 = 20 + 15 + 10 + 8
+        assert_eq!(cap.cost(&t), 53.0);
+        assert_eq!(cap.total_cores(), 15.0);
+        // only the inter-country Tokyo–Singapore link counts
+        assert_eq!(cap.total_wan_gbps(&t), 2.0);
+    }
+
+    #[test]
+    fn max_with_and_covers() {
+        let t = topo();
+        let mut a = ProvisionedCapacity { cores: vec![1.0, 9.0], gbps: vec![3.0, 1.0] };
+        let b = ProvisionedCapacity { cores: vec![4.0, 2.0], gbps: vec![2.0, 5.0] };
+        assert!(!a.covers(&b, 1e-9));
+        a.max_with(&b);
+        assert_eq!(a.cores, vec![4.0, 9.0]);
+        assert_eq!(a.gbps, vec![3.0, 5.0]);
+        assert!(a.covers(&b, 1e-9));
+        let z = ProvisionedCapacity::zero(&t);
+        assert!(a.covers(&z, 0.0));
+        assert_eq!(z.cost(&t), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Geographic primitives: coordinates, great-circle distance and the
+//! distance→latency model used to synthesize WAN link latencies.
+
+/// A point on the globe, degrees.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Construct from degrees.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        GeoPoint { lat_deg, lon_deg }
+    }
+}
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Great-circle (haversine) distance in kilometres.
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let lat1 = a.lat_deg.to_radians();
+    let lat2 = b.lat_deg.to_radians();
+    let dlat = (b.lat_deg - a.lat_deg).to_radians();
+    let dlon = (b.lon_deg - a.lon_deg).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Light propagation speed in optical fibre, km per millisecond (~2/3 c).
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// Typical inflation of fibre routes over the great-circle path.
+pub const PATH_INFLATION: f64 = 1.6;
+
+/// Fixed per-hop overhead (forwarding, queuing headroom), milliseconds.
+pub const HOP_OVERHEAD_MS: f64 = 1.5;
+
+/// One-way latency estimate for a direct WAN hop between two points.
+///
+/// `latency = inflated_distance / fibre_speed + overhead`, matching commonly
+/// measured inter-DC RTT/2 figures (e.g. Tokyo–Singapore ≈ 35 ms one-way).
+pub fn hop_latency_ms(a: GeoPoint, b: GeoPoint) -> f64 {
+    haversine_km(a, b) * PATH_INFLATION / FIBER_KM_PER_MS + HOP_OVERHEAD_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOKYO: GeoPoint = GeoPoint { lat_deg: 35.68, lon_deg: 139.69 };
+    const SINGAPORE: GeoPoint = GeoPoint { lat_deg: 1.35, lon_deg: 103.82 };
+    const LONDON: GeoPoint = GeoPoint { lat_deg: 51.51, lon_deg: -0.13 };
+
+    #[test]
+    fn zero_distance() {
+        assert_eq!(haversine_km(TOKYO, TOKYO), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let d1 = haversine_km(TOKYO, SINGAPORE);
+        let d2 = haversine_km(SINGAPORE, TOKYO);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tokyo_singapore_distance_plausible() {
+        let d = haversine_km(TOKYO, SINGAPORE);
+        // true great-circle distance ≈ 5,300 km
+        assert!((5200.0..5500.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn tokyo_london_distance_plausible() {
+        let d = haversine_km(TOKYO, LONDON);
+        // ≈ 9,560 km
+        assert!((9300.0..9900.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn hop_latency_plausible() {
+        let l = hop_latency_ms(TOKYO, SINGAPORE);
+        // one-way Tokyo–Singapore typically ~35–50 ms
+        assert!((30.0..60.0).contains(&l), "got {l}");
+        assert!(hop_latency_ms(TOKYO, TOKYO) == HOP_OVERHEAD_MS);
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = haversine_km(a, b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0);
+    }
+}

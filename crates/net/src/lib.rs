@@ -1,0 +1,47 @@
+//! # sb-net — geography, WAN topology, routing and cost substrate
+//!
+//! Everything the Switchboard controller needs to know about the provider
+//! network:
+//!
+//! * [`geo`] — coordinates, great-circle distance and the distance→latency
+//!   model used to synthesize realistic link latencies;
+//! * [`topology`] — regions, datacenters, country edge sites, links and the
+//!   single-DC / single-link [`FailureScenario`] model of §5.3;
+//! * [`routing`] — latency-shortest paths (Dijkstra) providing `Lat(x,u)`,
+//!   `Path(x,u)` and `InPath(l,x,u)` from the paper's Table 2;
+//! * [`cost`] — the §6.1 resource metrics (total cores, inter-country WAN
+//!   Gbps, dollar cost);
+//! * [`presets`] — the APAC topology of the paper's running example, a
+//!   ten-DC world topology, and the Fig. 4 toy.
+
+//!
+//! ```
+//! use sb_net::{FailureScenario, RoutingTable};
+//!
+//! let topo = sb_net::presets::apac();
+//! let routing = RoutingTable::compute(&topo, FailureScenario::None);
+//! let jp = topo.country_by_name("JP");
+//! let tokyo = topo.dc_by_name("Tokyo");
+//! // Japan's edge reaches its local DC in a few milliseconds …
+//! assert!(routing.latency_ms(jp, tokyo).unwrap() < 10.0);
+//! // … and still reaches *some* DC when Tokyo is down
+//! let failed = RoutingTable::compute(&topo, FailureScenario::DcDown(tokyo));
+//! assert!(topo.dc_ids().any(|d| failed.route(jp, d).is_some()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod geo;
+pub mod presets;
+pub mod routing;
+pub mod topology;
+
+pub use cost::ProvisionedCapacity;
+pub use geo::GeoPoint;
+pub use routing::{Route, RoutingTable};
+pub use topology::{
+    Country, CountryId, Datacenter, DcId, FailureScenario, Link, LinkId, Node, Region, RegionId,
+    Topology, TopologyBuilder,
+};

@@ -1,0 +1,314 @@
+//! Ready-made topologies used by the evaluation and the examples.
+//!
+//! Costs are synthetic (Azure's real prices are confidential) but keep the
+//! paper's qualitative structure: compute prices vary significantly across
+//! DCs, long-haul links are priced per distance, and some hubs (Singapore)
+//! have cheaper connectivity than others (Japan) — which is what makes the
+//! §4.3 joint compute+network example meaningful.
+
+use crate::geo::{haversine_km, GeoPoint};
+use crate::topology::{CountryId, DcId, Node, Topology, TopologyBuilder};
+
+/// Per-Gbps link cost: distance-based long-haul pricing times the endpoint
+/// hub multipliers.
+fn link_cost(a: GeoPoint, b: GeoPoint, mult: f64) -> f64 {
+    let d = haversine_km(a, b);
+    (1_000.0 + 1.4 * d) * mult
+}
+
+/// Connectivity-hub cost multiplier per DC name (submarine-cable hubs are
+/// cheaper to reach, reproducing the §4.3 Indonesia→Singapore example).
+fn hub_multiplier(dc_name: &str) -> f64 {
+    match dc_name {
+        "Singapore" => 0.65,
+        "Tokyo" => 1.35,
+        "HongKong" => 1.0,
+        "Pune" => 1.05,
+        "Virginia" => 0.8,
+        "California" => 0.9,
+        "SaoPaulo" => 1.3,
+        "Dublin" => 0.8,
+        "Amsterdam" => 0.75,
+        "Dubai" => 1.2,
+        _ => 1.0,
+    }
+}
+
+struct PresetBuilder {
+    b: TopologyBuilder,
+    dcs: Vec<(DcId, GeoPoint, String)>,
+    countries: Vec<(CountryId, GeoPoint)>,
+}
+
+impl PresetBuilder {
+    fn new() -> Self {
+        PresetBuilder { b: TopologyBuilder::new(), dcs: Vec::new(), countries: Vec::new() }
+    }
+
+    fn dc(
+        &mut self,
+        name: &str,
+        region: crate::topology::RegionId,
+        lat: f64,
+        lon: f64,
+        core_cost: f64,
+    ) -> DcId {
+        let p = GeoPoint::new(lat, lon);
+        let id = self.b.datacenter(name, region, p, core_cost);
+        self.dcs.push((id, p, name.to_string()));
+        id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn country(
+        &mut self,
+        name: &str,
+        region: crate::topology::RegionId,
+        lat: f64,
+        lon: f64,
+        utc: f64,
+        weight: f64,
+    ) -> CountryId {
+        let p = GeoPoint::new(lat, lon);
+        let id = self.b.country(name, region, p, utc, weight);
+        self.countries.push((id, p));
+        id
+    }
+
+    /// Full mesh among the given DCs.
+    fn mesh(&mut self, ids: &[DcId]) {
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                self.dc_link(a, b);
+            }
+        }
+    }
+
+    fn dc_info(&self, id: DcId) -> &(DcId, GeoPoint, String) {
+        self.dcs.iter().find(|(d, _, _)| *d == id).expect("unknown dc")
+    }
+
+    fn dc_link(&mut self, a: DcId, b: DcId) {
+        let (_, pa, na) = self.dc_info(a).clone();
+        let (_, pb, nb) = self.dc_info(b).clone();
+        let mult = 0.5 * (hub_multiplier(&na) + hub_multiplier(&nb));
+        let cost = link_cost(pa, pb, mult);
+        self.b.link(Node::Dc(a), Node::Dc(b), cost);
+    }
+
+    /// Connect every country to its `k` nearest DCs (globally; regional
+    /// presets only contain regional DCs anyway).
+    fn connect_edges(&mut self, k: usize) {
+        let dcs = self.dcs.clone();
+        let countries = self.countries.clone();
+        for (cid, cp) in countries {
+            let mut by_dist: Vec<_> = dcs
+                .iter()
+                .map(|(did, dp, name)| (haversine_km(cp, *dp), *did, *dp, name.clone()))
+                .collect();
+            by_dist.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+            for (_, did, dp, name) in by_dist.into_iter().take(k) {
+                let cost = link_cost(cp, dp, hub_multiplier(&name));
+                self.b.link(Node::Edge(cid), Node::Dc(did), cost);
+            }
+        }
+    }
+
+    fn build(self) -> Topology {
+        self.b.build()
+    }
+}
+
+/// Asia-Pacific topology modelled on the paper's running example: four DCs
+/// (Tokyo, Hong Kong, Singapore, India/Pune — §2.1) and nine countries whose
+/// UTC offsets span +5.5 … +10, giving the time-shifted peaks of Fig. 3.
+pub fn apac() -> Topology {
+    let mut p = PresetBuilder::new();
+    let apac = p.b.region("APAC");
+
+    let tokyo = p.dc("Tokyo", apac, 35.68, 139.69, 100.0);
+    let hk = p.dc("HongKong", apac, 22.32, 114.17, 110.0);
+    let sing = p.dc("Singapore", apac, 1.35, 103.82, 135.0);
+    let pune = p.dc("Pune", apac, 18.52, 73.86, 72.0);
+
+    p.country("JP", apac, 36.20, 138.25, 9.0, 1.0);
+    p.country("KR", apac, 36.50, 127.80, 9.0, 0.55);
+    p.country("HK", apac, 22.30, 114.20, 8.0, 0.40);
+    p.country("TW", apac, 23.70, 121.00, 8.0, 0.35);
+    p.country("PH", apac, 14.60, 121.00, 8.0, 0.30);
+    p.country("ID", apac, -6.20, 106.80, 7.0, 0.60);
+    p.country("SG", apac, 1.29, 103.85, 8.0, 0.30);
+    p.country("IN", apac, 21.00, 78.00, 5.5, 1.30);
+    p.country("AU", apac, -33.87, 151.20, 10.0, 0.45);
+
+    p.mesh(&[tokyo, hk, sing, pune]);
+    p.connect_edges(3);
+    p.build()
+}
+
+/// Global topology with three regions and ten DCs, for larger-scale runs.
+pub fn world() -> Topology {
+    let mut p = PresetBuilder::new();
+    let amer = p.b.region("Americas");
+    let emea = p.b.region("EMEA");
+    let apac = p.b.region("APAC");
+
+    let virginia = p.dc("Virginia", amer, 39.00, -77.50, 70.0);
+    let california = p.dc("California", amer, 37.40, -121.90, 90.0);
+    let saopaulo = p.dc("SaoPaulo", amer, -23.55, -46.63, 125.0);
+    let dublin = p.dc("Dublin", emea, 53.35, -6.26, 85.0);
+    let amsterdam = p.dc("Amsterdam", emea, 52.37, 4.90, 95.0);
+    let dubai = p.dc("Dubai", emea, 25.20, 55.27, 125.0);
+    let tokyo = p.dc("Tokyo", apac, 35.68, 139.69, 100.0);
+    let hk = p.dc("HongKong", apac, 22.32, 114.17, 110.0);
+    let sing = p.dc("Singapore", apac, 1.35, 103.82, 135.0);
+    let pune = p.dc("Pune", apac, 18.52, 73.86, 72.0);
+
+    // Americas
+    p.country("US-E", amer, 40.70, -74.00, -5.0, 1.40);
+    p.country("US-W", amer, 34.05, -118.20, -8.0, 1.00);
+    p.country("CA", amer, 43.70, -79.40, -5.0, 0.40);
+    p.country("MX", amer, 19.40, -99.10, -6.0, 0.35);
+    p.country("BR", amer, -23.50, -46.60, -3.0, 0.60);
+    // EMEA
+    p.country("UK", emea, 51.50, -0.10, 0.0, 0.90);
+    p.country("DE", emea, 50.10, 8.70, 1.0, 0.90);
+    p.country("FR", emea, 48.90, 2.30, 1.0, 0.70);
+    p.country("AE", emea, 25.20, 55.30, 4.0, 0.30);
+    p.country("ZA", emea, -26.20, 28.00, 2.0, 0.30);
+    // APAC
+    p.country("JP", apac, 36.20, 138.25, 9.0, 1.00);
+    p.country("KR", apac, 36.50, 127.80, 9.0, 0.55);
+    p.country("HK", apac, 22.30, 114.20, 8.0, 0.40);
+    p.country("ID", apac, -6.20, 106.80, 7.0, 0.60);
+    p.country("SG", apac, 1.29, 103.85, 8.0, 0.30);
+    p.country("IN", apac, 21.00, 78.00, 5.5, 1.30);
+    p.country("AU", apac, -33.87, 151.20, 10.0, 0.45);
+
+    p.mesh(&[virginia, california, saopaulo]);
+    p.mesh(&[dublin, amsterdam, dubai]);
+    p.mesh(&[tokyo, hk, sing, pune]);
+    // inter-region backbone
+    p.dc_link(california, tokyo);
+    p.dc_link(virginia, dublin);
+    p.dc_link(amsterdam, dubai);
+    p.dc_link(dubai, pune);
+    p.dc_link(amsterdam, sing);
+    p.dc_link(saopaulo, dublin);
+
+    p.connect_edges(3);
+    p.build()
+}
+
+/// Minimal three-site topology matching the Fig. 4 toy example: Japan,
+/// Hong Kong and India, each with a co-located DC, all mutually reachable
+/// within the latency bound.
+pub fn toy_three_dc() -> Topology {
+    let mut p = PresetBuilder::new();
+    let apac = p.b.region("APAC");
+    let tokyo = p.dc("Tokyo", apac, 35.68, 139.69, 100.0);
+    let hk = p.dc("HongKong", apac, 22.32, 114.17, 100.0);
+    let pune = p.dc("Pune", apac, 18.52, 73.86, 100.0);
+    p.country("JP", apac, 36.20, 138.25, 9.0, 1.0);
+    p.country("HK", apac, 22.30, 114.20, 8.0, 1.0);
+    p.country("IN", apac, 21.00, 78.00, 5.5, 1.0);
+    p.mesh(&[tokyo, hk, pune]);
+    p.connect_edges(3);
+    p.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingTable;
+    use crate::topology::FailureScenario;
+
+    #[test]
+    fn apac_shape() {
+        let t = apac();
+        assert_eq!(t.dcs.len(), 4);
+        assert_eq!(t.countries.len(), 9);
+        // mesh (6) + 9 countries × 3 uplinks
+        assert_eq!(t.links.len(), 6 + 27);
+    }
+
+    #[test]
+    fn apac_routable_and_latencies_sane() {
+        let t = apac();
+        let rt = RoutingTable::compute(&t, FailureScenario::None);
+        for c in t.country_ids() {
+            for d in t.dc_ids() {
+                let lat = rt.latency_ms(c, d).expect("all pairs reachable");
+                assert!(lat > 0.0 && lat < 200.0, "latency {lat} out of range");
+            }
+        }
+        // local country → local DC must be fast
+        let jp = t.country_by_name("JP");
+        let tokyo = t.dc_by_name("Tokyo");
+        assert!(rt.latency_ms(jp, tokyo).unwrap() < 10.0);
+        // India → Tokyo should be noticeably slower than India → Pune
+        let iin = t.country_by_name("IN");
+        let pune = t.dc_by_name("Pune");
+        assert!(rt.latency_ms(iin, tokyo).unwrap() > 2.0 * rt.latency_ms(iin, pune).unwrap());
+    }
+
+    #[test]
+    fn singapore_links_cheaper_than_tokyo_links_for_indonesia() {
+        // the §4.3 joint-provisioning example requires this cost asymmetry
+        let t = apac();
+        let id = t.country_by_name("ID");
+        let rt = RoutingTable::compute(&t, FailureScenario::None);
+        let cost_of = |dc: &str| -> f64 {
+            rt.route(id, t.dc_by_name(dc))
+                .unwrap()
+                .links
+                .iter()
+                .map(|l| t.links[l.index()].cost_per_gbps)
+                .sum()
+        };
+        assert!(cost_of("Singapore") < cost_of("Tokyo"));
+    }
+
+    #[test]
+    fn world_shape_and_reachability() {
+        let t = world();
+        assert_eq!(t.dcs.len(), 10);
+        assert_eq!(t.countries.len(), 17);
+        let rt = RoutingTable::compute(&t, FailureScenario::None);
+        for c in t.country_ids() {
+            for d in t.dc_ids() {
+                assert!(rt.route(c, d).is_some(), "unreachable pair");
+            }
+        }
+        // cross-ocean latency must exceed the 120 ms one-way bound for at
+        // least one pair (so the latency filter actually binds)
+        let au = t.country_by_name("AU");
+        let dublin = t.dc_by_name("Dublin");
+        assert!(rt.latency_ms(au, dublin).unwrap() > 120.0);
+    }
+
+    #[test]
+    fn every_dc_failure_leaves_countries_served() {
+        let t = apac();
+        for dc in t.dc_ids() {
+            let rt = RoutingTable::compute(&t, FailureScenario::DcDown(dc));
+            for c in t.country_ids() {
+                let reachable = t.dc_ids().any(|d| rt.route(c, d).is_some());
+                assert!(reachable, "country {c:?} stranded when {dc:?} down");
+            }
+        }
+    }
+
+    #[test]
+    fn toy_three_dc_symmetry() {
+        let t = toy_three_dc();
+        assert_eq!(t.dcs.len(), 3);
+        let rt = RoutingTable::compute(&t, FailureScenario::None);
+        // every country reaches every DC under 120 ms in the toy
+        for c in t.country_ids() {
+            for d in t.dc_ids() {
+                assert!(rt.latency_ms(c, d).unwrap() < 120.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Latency-shortest-path routing between country edge sites and datacenters.
+//!
+//! Routes are computed with Dijkstra over link latencies. Edge sites never
+//! transit traffic: a route from country `u` to DC `x` may only use `u`'s own
+//! edge node plus DC nodes. Routing is scenario-aware so the provisioning LP
+//! can reason about paths with a DC or link removed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::topology::{CountryId, DcId, FailureScenario, LinkId, Node, Topology};
+
+/// A concrete path from an edge site to a DC.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Route {
+    /// Links traversed, edge-site first.
+    pub links: Vec<LinkId>,
+    /// Total one-way latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl Route {
+    /// Does the route traverse `link`?
+    pub fn uses(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+}
+
+/// All-pairs (country → DC) routes under one failure scenario.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    /// `routes[country][dc]`, `None` when the DC is unreachable (or down).
+    routes: Vec<Vec<Option<Route>>>,
+    scenario: FailureScenario,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // min-heap on dist
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl RoutingTable {
+    /// Compute routing under `scenario`.
+    pub fn compute(topo: &Topology, scenario: FailureScenario) -> RoutingTable {
+        let routes = topo
+            .country_ids()
+            .map(|c| Self::dijkstra_from(topo, c, scenario))
+            .collect();
+        RoutingTable { routes, scenario }
+    }
+
+    /// Scenario this table was computed for.
+    pub fn scenario(&self) -> FailureScenario {
+        self.scenario
+    }
+
+    /// Route from `country` to `dc`, if reachable under the scenario.
+    pub fn route(&self, country: CountryId, dc: DcId) -> Option<&Route> {
+        self.routes[country.index()][dc.index()].as_ref()
+    }
+
+    /// One-way latency from `country` to `dc` in milliseconds.
+    pub fn latency_ms(&self, country: CountryId, dc: DcId) -> Option<f64> {
+        self.route(country, dc).map(|r| r.latency_ms)
+    }
+
+    /// `InPath(l, x, u)` from the paper's Table 2: 1 when link `l` lies on the
+    /// route between DC `x` and location `u`.
+    pub fn in_path(&self, link: LinkId, dc: DcId, country: CountryId) -> bool {
+        self.route(country, dc).is_some_and(|r| r.uses(link))
+    }
+
+    fn dijkstra_from(
+        topo: &Topology,
+        source: CountryId,
+        scenario: FailureScenario,
+    ) -> Vec<Option<Route>> {
+        let n = topo.num_nodes();
+        let src = topo.node_index(Node::Edge(source));
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<(usize, LinkId)>> = vec![None; n];
+        let mut done = vec![false; n];
+        dist[src] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { dist: 0.0, node: src });
+        while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+            if done[node] {
+                continue;
+            }
+            done[node] = true;
+            // Edge sites other than the source do not transit traffic.
+            if node != src && node >= topo.dcs.len() {
+                continue;
+            }
+            let node_enum = if node < topo.dcs.len() {
+                Node::Dc(DcId(node as u16))
+            } else {
+                Node::Edge(CountryId((node - topo.dcs.len()) as u16))
+            };
+            for &(lid, nb) in topo.neighbours(node_enum) {
+                if !scenario.link_up(topo, lid) {
+                    continue;
+                }
+                if let Node::Dc(dc) = nb {
+                    if !scenario.dc_up(dc) {
+                        continue;
+                    }
+                }
+                let j = topo.node_index(nb);
+                let nd = d + topo.links[lid.index()].latency_ms;
+                if nd < dist[j] {
+                    dist[j] = nd;
+                    prev[j] = Some((node, lid));
+                    heap.push(HeapEntry { dist: nd, node: j });
+                }
+            }
+        }
+        // extract routes to each DC
+        topo.dc_ids()
+            .map(|dc| {
+                let target = dc.index();
+                if !dist[target].is_finite() || !scenario.dc_up(dc) {
+                    return None;
+                }
+                let mut links = Vec::new();
+                let mut cur = target;
+                while cur != src {
+                    let (p, l) = prev[cur].expect("path backtrack broke");
+                    links.push(l);
+                    cur = p;
+                }
+                links.reverse();
+                Some(Route { links, latency_ms: dist[target] })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+    use crate::topology::TopologyBuilder;
+
+    /// JP—Tokyo—Singapore line plus an SG country hanging off Singapore.
+    fn line() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let r = b.region("APAC");
+        let tokyo = b.datacenter("Tokyo", r, GeoPoint::new(35.7, 139.7), 1.0);
+        let sing = b.datacenter("Singapore", r, GeoPoint::new(1.35, 103.8), 1.0);
+        let jp = b.country("JP", r, GeoPoint::new(36.0, 138.0), 9.0, 1.0);
+        let sg = b.country("SG", r, GeoPoint::new(1.29, 103.85), 8.0, 1.0);
+        b.link_with_latency(Node::Edge(jp), Node::Dc(tokyo), 5.0, 1.0);
+        b.link_with_latency(Node::Dc(tokyo), Node::Dc(sing), 35.0, 1.0);
+        b.link_with_latency(Node::Edge(sg), Node::Dc(sing), 3.0, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn shortest_paths_follow_line() {
+        let t = line();
+        let rt = RoutingTable::compute(&t, FailureScenario::None);
+        let jp = t.country_by_name("JP");
+        let tokyo = t.dc_by_name("Tokyo");
+        let sing = t.dc_by_name("Singapore");
+        assert_eq!(rt.latency_ms(jp, tokyo), Some(5.0));
+        assert_eq!(rt.latency_ms(jp, sing), Some(40.0));
+        let route = rt.route(jp, sing).unwrap();
+        assert_eq!(route.links.len(), 2);
+        assert!(rt.in_path(LinkId(0), tokyo, jp));
+        assert!(rt.in_path(LinkId(1), sing, jp));
+        assert!(!rt.in_path(LinkId(2), sing, jp));
+    }
+
+    #[test]
+    fn edge_sites_do_not_transit() {
+        // Give SG a short "shortcut" to Tokyo; JP→Singapore must not route
+        // through the SG edge site even if that were shorter.
+        let mut b = TopologyBuilder::new();
+        let r = b.region("APAC");
+        let tokyo = b.datacenter("Tokyo", r, GeoPoint::new(35.7, 139.7), 1.0);
+        let sing = b.datacenter("Singapore", r, GeoPoint::new(1.35, 103.8), 1.0);
+        let jp = b.country("JP", r, GeoPoint::new(36.0, 138.0), 9.0, 1.0);
+        let sg = b.country("SG", r, GeoPoint::new(1.29, 103.85), 8.0, 1.0);
+        b.link_with_latency(Node::Edge(jp), Node::Dc(tokyo), 5.0, 1.0);
+        b.link_with_latency(Node::Dc(tokyo), Node::Dc(sing), 100.0, 1.0);
+        b.link_with_latency(Node::Edge(sg), Node::Dc(sing), 1.0, 1.0);
+        b.link_with_latency(Node::Edge(sg), Node::Dc(tokyo), 1.0, 1.0);
+        let t = b.build();
+        let rt = RoutingTable::compute(&t, FailureScenario::None);
+        // must take the 5 + 100 path, not 5 + 1 + 1 through SG's edge
+        assert_eq!(rt.latency_ms(t.country_by_name("JP"), sing), Some(105.0));
+    }
+
+    #[test]
+    fn dc_failure_removes_routes_and_reroutes() {
+        let t = line();
+        let tokyo = t.dc_by_name("Tokyo");
+        let sing = t.dc_by_name("Singapore");
+        let jp = t.country_by_name("JP");
+        let rt = RoutingTable::compute(&t, FailureScenario::DcDown(tokyo));
+        assert!(rt.route(jp, tokyo).is_none());
+        // Tokyo down also kills JP's only uplink: Singapore unreachable
+        assert!(rt.route(jp, sing).is_none());
+        // SG unaffected for its local DC
+        assert!(rt.route(t.country_by_name("SG"), sing).is_some());
+    }
+
+    #[test]
+    fn link_failure_reroutes_when_alternative_exists() {
+        let mut b = TopologyBuilder::new();
+        let r = b.region("APAC");
+        let d1 = b.datacenter("A", r, GeoPoint::new(0.0, 0.0), 1.0);
+        let d2 = b.datacenter("B", r, GeoPoint::new(0.0, 10.0), 1.0);
+        let c = b.country("C", r, GeoPoint::new(1.0, 0.0), 0.0, 1.0);
+        let direct = b.link_with_latency(Node::Edge(c), Node::Dc(d2), 4.0, 1.0);
+        b.link_with_latency(Node::Edge(c), Node::Dc(d1), 1.0, 1.0);
+        b.link_with_latency(Node::Dc(d1), Node::Dc(d2), 10.0, 1.0);
+        let t = b.build();
+        let rt0 = RoutingTable::compute(&t, FailureScenario::None);
+        assert_eq!(rt0.latency_ms(c, d2), Some(4.0));
+        let rt1 = RoutingTable::compute(&t, FailureScenario::LinkDown(direct));
+        assert_eq!(rt1.latency_ms(c, d2), Some(11.0));
+    }
+
+    #[test]
+    fn routes_start_at_edge_link() {
+        let t = line();
+        let rt = RoutingTable::compute(&t, FailureScenario::None);
+        let jp = t.country_by_name("JP");
+        for dc in t.dc_ids() {
+            if let Some(route) = rt.route(jp, dc) {
+                let first = &t.links[route.links[0].index()];
+                assert!(
+                    first.a == Node::Edge(jp) || first.b == Node::Edge(jp),
+                    "route must start at the edge site"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! WAN topology: regions, datacenters, countries (edge sites), and links.
+//!
+//! Node model: every country has one *edge site* — the aggregation point where
+//! its participants enter the provider network — plus the datacenters that can
+//! host MP servers. Links connect edge sites to DCs and DCs to each other.
+//! Edge sites never transit traffic (only originate/terminate), matching how
+//! conferencing traffic actually flows: participant → edge → WAN → MP server.
+
+use crate::geo::{hop_latency_ms, GeoPoint};
+
+/// Region identifier (e.g. APAC, EMEA, Americas).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RegionId(pub u16);
+
+/// Datacenter identifier; indexes [`Topology::dcs`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct DcId(pub u16);
+
+/// Country identifier; indexes [`Topology::countries`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CountryId(pub u16);
+
+/// Link identifier; indexes [`Topology::links`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+impl DcId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl CountryId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl LinkId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl RegionId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Endpoint of a link.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Node {
+    /// A datacenter.
+    Dc(DcId),
+    /// A country edge site.
+    Edge(CountryId),
+}
+
+/// A named region.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Identifier.
+    pub id: RegionId,
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// A datacenter that can host MP servers.
+#[derive(Clone, Debug)]
+pub struct Datacenter {
+    /// Identifier.
+    pub id: DcId,
+    /// Human-readable name.
+    pub name: String,
+    /// Region this DC belongs to.
+    pub region: RegionId,
+    /// Location used to derive link latencies.
+    pub location: GeoPoint,
+    /// Cost of one provisioned core for the planning horizon (arbitrary $
+    /// units; only relative values matter — results are normalized to RR).
+    pub core_cost: f64,
+}
+
+/// A country: the location granularity for call participants (§5.1).
+#[derive(Clone, Debug)]
+pub struct Country {
+    /// Identifier.
+    pub id: CountryId,
+    /// ISO-like short name.
+    pub name: String,
+    /// Region this country belongs to.
+    pub region: RegionId,
+    /// Location of its edge aggregation site.
+    pub location: GeoPoint,
+    /// UTC offset in hours (drives the diurnal demand shift).
+    pub utc_offset_hours: f64,
+    /// Relative user population weight (drives demand volume).
+    pub weight: f64,
+}
+
+/// A WAN link.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Identifier.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: Node,
+    /// Other endpoint.
+    pub b: Node,
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+    /// Cost of one provisioned Gbps for the planning horizon (arbitrary $
+    /// units).
+    pub cost_per_gbps: f64,
+    /// Whether the link crosses a country border (only inter-country links are
+    /// charged in the paper's "Total WAN capacity" metric, §6.1).
+    pub inter_country: bool,
+}
+
+/// The full provider topology.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    /// Regions.
+    pub regions: Vec<Region>,
+    /// Datacenters.
+    pub dcs: Vec<Datacenter>,
+    /// Countries / edge sites.
+    pub countries: Vec<Country>,
+    /// Links.
+    pub links: Vec<Link>,
+    /// Adjacency: for each node, `(link, neighbour)` pairs. Indexed by
+    /// [`Topology::node_index`].
+    adjacency: Vec<Vec<(LinkId, Node)>>,
+}
+
+impl Topology {
+    /// Dense node index: DCs first, then edge sites.
+    pub fn node_index(&self, n: Node) -> usize {
+        match n {
+            Node::Dc(d) => d.index(),
+            Node::Edge(c) => self.dcs.len() + c.index(),
+        }
+    }
+
+    /// Total node count (DCs + edge sites).
+    pub fn num_nodes(&self) -> usize {
+        self.dcs.len() + self.countries.len()
+    }
+
+    /// Links incident to `n`.
+    pub fn neighbours(&self, n: Node) -> &[(LinkId, Node)] {
+        &self.adjacency[self.node_index(n)]
+    }
+
+    /// All DCs in `region`.
+    pub fn dcs_in_region(&self, region: RegionId) -> impl Iterator<Item = &Datacenter> {
+        self.dcs.iter().filter(move |d| d.region == region)
+    }
+
+    /// Iterate over DC ids.
+    pub fn dc_ids(&self) -> impl Iterator<Item = DcId> {
+        (0..self.dcs.len() as u16).map(DcId)
+    }
+
+    /// Iterate over country ids.
+    pub fn country_ids(&self) -> impl Iterator<Item = CountryId> {
+        (0..self.countries.len() as u16).map(CountryId)
+    }
+
+    /// Iterate over link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// Look up a DC by name (panics if missing; intended for presets/tests).
+    pub fn dc_by_name(&self, name: &str) -> DcId {
+        self.dcs
+            .iter()
+            .find(|d| d.name == name)
+            .unwrap_or_else(|| panic!("no datacenter named {name}"))
+            .id
+    }
+
+    /// Look up a country by name (panics if missing; intended for
+    /// presets/tests).
+    pub fn country_by_name(&self, name: &str) -> CountryId {
+        self.countries
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no country named {name}"))
+            .id
+    }
+}
+
+/// Incremental [`Topology`] construction with automatic latency derivation
+/// and validation.
+#[derive(Default)]
+pub struct TopologyBuilder {
+    topo: Topology,
+}
+
+impl TopologyBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a region.
+    pub fn region(&mut self, name: impl Into<String>) -> RegionId {
+        let id = RegionId(self.topo.regions.len() as u16);
+        self.topo.regions.push(Region { id, name: name.into() });
+        id
+    }
+
+    /// Add a datacenter.
+    pub fn datacenter(
+        &mut self,
+        name: impl Into<String>,
+        region: RegionId,
+        location: GeoPoint,
+        core_cost: f64,
+    ) -> DcId {
+        assert!(core_cost > 0.0, "core cost must be positive");
+        let id = DcId(self.topo.dcs.len() as u16);
+        self.topo.dcs.push(Datacenter { id, name: name.into(), region, location, core_cost });
+        id
+    }
+
+    /// Add a country / edge site.
+    pub fn country(
+        &mut self,
+        name: impl Into<String>,
+        region: RegionId,
+        location: GeoPoint,
+        utc_offset_hours: f64,
+        weight: f64,
+    ) -> CountryId {
+        assert!(weight > 0.0, "country weight must be positive");
+        let id = CountryId(self.topo.countries.len() as u16);
+        self.topo.countries.push(Country {
+            id,
+            name: name.into(),
+            region,
+            location,
+            utc_offset_hours,
+            weight,
+        });
+        id
+    }
+
+    fn location(&self, n: Node) -> GeoPoint {
+        match n {
+            Node::Dc(d) => self.topo.dcs[d.index()].location,
+            Node::Edge(c) => self.topo.countries[c.index()].location,
+        }
+    }
+
+    /// Add a link with latency derived from endpoint geography.
+    pub fn link(&mut self, a: Node, b: Node, cost_per_gbps: f64) -> LinkId {
+        let latency = hop_latency_ms(self.location(a), self.location(b));
+        self.link_with_latency(a, b, latency, cost_per_gbps)
+    }
+
+    /// Add a link with an explicit latency.
+    pub fn link_with_latency(
+        &mut self,
+        a: Node,
+        b: Node,
+        latency_ms: f64,
+        cost_per_gbps: f64,
+    ) -> LinkId {
+        assert!(a != b, "self-links are not allowed");
+        assert!(latency_ms >= 0.0 && cost_per_gbps >= 0.0);
+        let inter_country = self.crosses_country_border(a, b);
+        let id = LinkId(self.topo.links.len() as u32);
+        self.topo.links.push(Link { id, a, b, latency_ms, cost_per_gbps, inter_country });
+        id
+    }
+
+    /// Heuristic: a link is inter-country when its endpoints are not
+    /// co-located within the same country footprint. DC–DC links are always
+    /// inter-country unless the DCs are within ~300 km; edge–DC links are
+    /// intra-country when the DC sits within ~700 km of the edge site.
+    fn crosses_country_border(&self, a: Node, b: Node) -> bool {
+        use crate::geo::haversine_km;
+        let d = haversine_km(self.location(a), self.location(b));
+        match (a, b) {
+            (Node::Dc(_), Node::Dc(_)) => d > 300.0,
+            _ => d > 700.0,
+        }
+    }
+
+    /// Finalize: builds adjacency and validates the graph (no duplicate links,
+    /// every country connected to at least one DC, every DC reachable).
+    pub fn build(mut self) -> Topology {
+        let n = self.topo.num_nodes();
+        let mut adjacency = vec![Vec::new(); n];
+        for link in &self.topo.links {
+            let ia = self.topo.node_index(link.a);
+            let ib = self.topo.node_index(link.b);
+            adjacency[ia].push((link.id, link.b));
+            adjacency[ib].push((link.id, link.a));
+        }
+        self.topo.adjacency = adjacency;
+
+        // validation: every edge site has a link; undirected reachability over
+        // the full graph
+        for c in &self.topo.countries {
+            assert!(
+                !self.topo.neighbours(Node::Edge(c.id)).is_empty(),
+                "country {} has no uplink",
+                c.name
+            );
+        }
+        if n > 0 {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(i) = stack.pop() {
+                for &(_, nb) in &self.topo.adjacency[i] {
+                    let j = self.topo.node_index(nb);
+                    if !seen[j] {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "topology is not connected");
+        }
+        self.topo
+    }
+}
+
+/// A failure scenario for provisioning and drills (§5.3 failure model:
+/// at most one DC *or* one WAN link down at a time).
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub enum FailureScenario {
+    /// No failure (`F₀`).
+    #[default]
+    None,
+    /// An entire DC is down; all its links are unusable too.
+    DcDown(DcId),
+    /// A single WAN link is down.
+    LinkDown(LinkId),
+}
+
+impl FailureScenario {
+    /// Is `dc` usable under this scenario?
+    pub fn dc_up(&self, dc: DcId) -> bool {
+        !matches!(self, FailureScenario::DcDown(d) if *d == dc)
+    }
+
+    /// Is `link` usable under this scenario (given the topology, since a DC
+    /// failure takes its links down with it)?
+    pub fn link_up(&self, topo: &Topology, link: LinkId) -> bool {
+        match *self {
+            FailureScenario::None => true,
+            FailureScenario::LinkDown(l) => l != link,
+            FailureScenario::DcDown(d) => {
+                let l = &topo.links[link.index()];
+                l.a != Node::Dc(d) && l.b != Node::Dc(d)
+            }
+        }
+    }
+
+    /// Enumerate `F₀`, every DC failure and every link failure for `topo`.
+    pub fn enumerate(topo: &Topology) -> Vec<FailureScenario> {
+        let mut v = vec![FailureScenario::None];
+        v.extend(topo.dc_ids().map(FailureScenario::DcDown));
+        v.extend(topo.link_ids().map(FailureScenario::LinkDown));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+
+    fn tiny() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let r = b.region("APAC");
+        let d1 = b.datacenter("Tokyo", r, GeoPoint::new(35.7, 139.7), 1.0);
+        let d2 = b.datacenter("Singapore", r, GeoPoint::new(1.35, 103.8), 1.2);
+        let jp = b.country("JP", r, GeoPoint::new(36.0, 138.0), 9.0, 1.0);
+        b.link(Node::Dc(d1), Node::Dc(d2), 2.0);
+        b.link(Node::Edge(jp), Node::Dc(d1), 1.0);
+        b.link(Node::Edge(jp), Node::Dc(d2), 1.5);
+        b.build()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let t = tiny();
+        assert_eq!(t.dcs.len(), 2);
+        assert_eq!(t.countries.len(), 1);
+        assert_eq!(t.links.len(), 3);
+        assert_eq!(t.dc_by_name("Tokyo"), DcId(0));
+        assert_eq!(t.country_by_name("JP"), CountryId(0));
+        assert_eq!(t.neighbours(Node::Edge(CountryId(0))).len(), 2);
+        assert_eq!(t.neighbours(Node::Dc(DcId(0))).len(), 2);
+    }
+
+    #[test]
+    fn latency_autoderivation_monotone_in_distance() {
+        let t = tiny();
+        // JP→Tokyo is much shorter than JP→Singapore
+        let l_near = t.links[1].latency_ms;
+        let l_far = t.links[2].latency_ms;
+        assert!(l_near < l_far);
+    }
+
+    #[test]
+    fn inter_country_flag() {
+        let t = tiny();
+        assert!(t.links[0].inter_country); // Tokyo–Singapore
+        assert!(!t.links[1].inter_country); // JP edge–Tokyo
+        assert!(t.links[2].inter_country); // JP edge–Singapore
+    }
+
+    #[test]
+    #[should_panic(expected = "no uplink")]
+    fn dangling_country_rejected() {
+        let mut b = TopologyBuilder::new();
+        let r = b.region("APAC");
+        let d1 = b.datacenter("Tokyo", r, GeoPoint::new(35.7, 139.7), 1.0);
+        let d2 = b.datacenter("Osaka", r, GeoPoint::new(34.7, 135.5), 1.0);
+        b.country("JP", r, GeoPoint::new(36.0, 138.0), 9.0, 1.0);
+        b.link(Node::Dc(d1), Node::Dc(d2), 1.0);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn disconnected_rejected() {
+        let mut b = TopologyBuilder::new();
+        let r = b.region("APAC");
+        let d1 = b.datacenter("Tokyo", r, GeoPoint::new(35.7, 139.7), 1.0);
+        b.datacenter("Island", r, GeoPoint::new(0.0, 0.0), 1.0);
+        let jp = b.country("JP", r, GeoPoint::new(36.0, 138.0), 9.0, 1.0);
+        b.link(Node::Edge(jp), Node::Dc(d1), 1.0);
+        b.build();
+    }
+
+    #[test]
+    fn failure_scenarios() {
+        let t = tiny();
+        let scenarios = FailureScenario::enumerate(&t);
+        assert_eq!(scenarios.len(), 1 + 2 + 3);
+        let f = FailureScenario::DcDown(DcId(0));
+        assert!(!f.dc_up(DcId(0)));
+        assert!(f.dc_up(DcId(1)));
+        // Tokyo's links are down with it
+        assert!(!f.link_up(&t, LinkId(0)));
+        assert!(!f.link_up(&t, LinkId(1)));
+        assert!(f.link_up(&t, LinkId(2)));
+        let f = FailureScenario::LinkDown(LinkId(2));
+        assert!(f.dc_up(DcId(0)));
+        assert!(!f.link_up(&t, LinkId(2)));
+        assert!(f.link_up(&t, LinkId(0)));
+    }
+}

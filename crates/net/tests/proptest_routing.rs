@@ -1,0 +1,177 @@
+//! Property tests for routing: on random topologies, shortest-path routes
+//! must be internally consistent and failures can only make latency worse.
+
+use proptest::prelude::*;
+use sb_net::{
+    CountryId, DcId, FailureScenario, GeoPoint, LinkId, Node, RoutingTable, Topology,
+    TopologyBuilder,
+};
+
+/// A random connected topology: `n_dcs` DCs on a ring of DC–DC links plus
+/// random chords, and countries hooked to `k` random DCs.
+fn random_topology(
+    n_dcs: usize,
+    n_countries: usize,
+    chords: &[(usize, usize)],
+    uplinks: &[Vec<usize>],
+    lats: &[u16],
+) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let r = b.region("R");
+    let mut dcs = Vec::new();
+    for i in 0..n_dcs {
+        let p = GeoPoint::new(10.0 + i as f64 * 3.0, 100.0 + i as f64 * 5.0);
+        dcs.push(b.datacenter(format!("dc{i}"), r, p, 100.0));
+    }
+    let mut lat_iter = lats.iter().cycle();
+    let mut next_lat = || 1.0 + *lat_iter.next().unwrap() as f64;
+    for i in 0..n_dcs {
+        let j = (i + 1) % n_dcs;
+        if i != j {
+            b.link_with_latency(Node::Dc(dcs[i]), Node::Dc(dcs[j]), next_lat(), 10.0);
+        }
+    }
+    for &(i, j) in chords {
+        let (i, j) = (i % n_dcs, j % n_dcs);
+        if i != j {
+            b.link_with_latency(Node::Dc(dcs[i]), Node::Dc(dcs[j]), next_lat(), 10.0);
+        }
+    }
+    for (c, ups) in uplinks.iter().enumerate().take(n_countries) {
+        let p = GeoPoint::new(-10.0 - c as f64 * 2.0, 80.0 + c as f64 * 4.0);
+        let cid = b.country(format!("c{c}"), r, p, c as f64, 1.0);
+        let mut connected = std::collections::HashSet::new();
+        for &u in ups {
+            connected.insert(u % n_dcs);
+        }
+        connected.insert(c % n_dcs); // at least one uplink
+        for u in connected {
+            b.link_with_latency(Node::Edge(cid), Node::Dc(dcs[u]), next_lat(), 5.0);
+        }
+    }
+    b.build()
+}
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    (
+        2usize..6,
+        1usize..4,
+        proptest::collection::vec((0usize..6, 0usize..6), 0..4),
+        proptest::collection::vec(proptest::collection::vec(0usize..6, 1..3), 1..4),
+        proptest::collection::vec(1u16..40, 8..20),
+    )
+        .prop_map(|(n_dcs, n_countries, chords, uplinks, lats)| {
+            let n_countries = n_countries.min(uplinks.len());
+            random_topology(n_dcs, n_countries, &chords, &uplinks, &lats)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Route latency equals the sum of its links' latencies, the route's
+    /// links form a connected chain starting at the edge site, and `in_path`
+    /// agrees with the route.
+    #[test]
+    fn routes_are_consistent(topo in topo_strategy()) {
+        let rt = RoutingTable::compute(&topo, FailureScenario::None);
+        for c in topo.country_ids() {
+            for d in topo.dc_ids() {
+                let Some(route) = rt.route(c, d) else { continue };
+                let sum: f64 = route
+                    .links
+                    .iter()
+                    .map(|l| topo.links[l.index()].latency_ms)
+                    .sum();
+                prop_assert!((sum - route.latency_ms).abs() < 1e-9);
+                // chain check: walk from the edge site
+                let mut at = Node::Edge(c);
+                for &lid in &route.links {
+                    let link = &topo.links[lid.index()];
+                    prop_assert!(link.a == at || link.b == at, "route not a chain");
+                    at = if link.a == at { link.b } else { link.a };
+                }
+                prop_assert_eq!(at, Node::Dc(d), "route must end at the DC");
+                for l in topo.link_ids() {
+                    prop_assert_eq!(rt.in_path(l, d, c), route.uses(l));
+                }
+            }
+        }
+    }
+
+    /// A failure can only remove options: latency never improves, and routes
+    /// never use failed elements.
+    #[test]
+    fn failures_only_hurt(topo in topo_strategy()) {
+        let rt0 = RoutingTable::compute(&topo, FailureScenario::None);
+        let mut scenarios = vec![];
+        scenarios.extend(topo.dc_ids().map(FailureScenario::DcDown));
+        scenarios.extend(topo.link_ids().map(FailureScenario::LinkDown));
+        for sc in scenarios {
+            let rt = RoutingTable::compute(&topo, sc);
+            for c in topo.country_ids() {
+                for d in topo.dc_ids() {
+                    match (rt0.latency_ms(c, d), rt.latency_ms(c, d)) {
+                        (None, Some(_)) => prop_assert!(false, "failure created a route"),
+                        (Some(base), Some(failed)) => {
+                            prop_assert!(failed >= base - 1e-9, "failure improved latency")
+                        }
+                        _ => {}
+                    }
+                    if let Some(route) = rt.route(c, d) {
+                        if let FailureScenario::DcDown(down) = sc {
+                            prop_assert!(d != down);
+                            for &l in &route.links {
+                                let link = &topo.links[l.index()];
+                                prop_assert!(link.a != Node::Dc(down) && link.b != Node::Dc(down));
+                            }
+                        }
+                        if let FailureScenario::LinkDown(down) = sc {
+                            prop_assert!(!route.uses(down));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shortest-path optimality spot check: no single link can beat the
+    /// computed route (triangle inequality over the route set).
+    #[test]
+    fn no_direct_link_beats_route(topo in topo_strategy()) {
+        let rt = RoutingTable::compute(&topo, FailureScenario::None);
+        for c in topo.country_ids() {
+            for link in &topo.links {
+                let (edge, dc) = match (link.a, link.b) {
+                    (Node::Edge(e), Node::Dc(d)) | (Node::Dc(d), Node::Edge(e)) => (e, d),
+                    _ => continue,
+                };
+                if edge == c {
+                    let best = rt.latency_ms(c, dc).unwrap();
+                    prop_assert!(best <= link.latency_ms + 1e-9);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_tie_breaking() {
+    // equal-latency parallel paths must resolve deterministically
+    let mut b = TopologyBuilder::new();
+    let r = b.region("R");
+    let d0 = b.datacenter("a", r, GeoPoint::new(0.0, 0.0), 100.0);
+    let d1 = b.datacenter("b", r, GeoPoint::new(0.0, 10.0), 100.0);
+    let c = b.country("c", r, GeoPoint::new(1.0, 0.0), 0.0, 1.0);
+    b.link_with_latency(Node::Edge(c), Node::Dc(d0), 5.0, 1.0);
+    b.link_with_latency(Node::Edge(c), Node::Dc(d1), 5.0, 1.0);
+    b.link_with_latency(Node::Dc(d0), Node::Dc(d1), 5.0, 1.0);
+    let topo = b.build();
+    let r1 = RoutingTable::compute(&topo, FailureScenario::None);
+    let r2 = RoutingTable::compute(&topo, FailureScenario::None);
+    for dc in topo.dc_ids() {
+        assert_eq!(r1.route(CountryId(0), dc), r2.route(CountryId(0), dc));
+        assert_eq!(r1.route(CountryId(0), dc).unwrap().links.len(), 1);
+    }
+    let _ = (DcId(0), LinkId(0));
+}

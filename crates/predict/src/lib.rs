@@ -1,0 +1,44 @@
+//! # sb-predict — call-config prediction for recurring meetings (§8)
+//!
+//! If Switchboard could predict the config of an incoming call it could
+//! eliminate inter-DC migrations. For recurring meetings the paper trains a
+//! variable-length multi-order Markov chain (MOMC) over each participant's
+//! attendance history and feeds its outputs into a logistic regression that
+//! predicts next-instance attendance; aggregating per-country probabilities
+//! yields the predicted call config. The evaluation compares per-country
+//! participant-count RMSE/MAE against a previous-instance baseline.
+
+//!
+//! ```
+//! use sb_predict::{ConfigPredictor, ParticipantHistory, PredictorParams, SeriesHistory};
+//!
+//! // ten series of one habitual attendee + one alternator
+//! let series: Vec<SeriesHistory> = (0..10)
+//!     .map(|i| SeriesHistory {
+//!         participants: vec![
+//!             ParticipantHistory { country: 0, attendance: vec![true; 8] },
+//!             ParticipantHistory {
+//!                 country: 1,
+//!                 attendance: (0..8).map(|t| (t + i) % 2 == 0).collect(),
+//!             },
+//!         ],
+//!     })
+//!     .collect();
+//! let predictor = ConfigPredictor::train(&series, &PredictorParams::default());
+//! // the habitual attendee is predicted present
+//! assert!(predictor.attend_probability(&[true; 8]) > 0.7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod logistic;
+pub mod momc;
+pub mod predictor;
+
+pub use logistic::{Logistic, LogisticParams};
+pub use momc::Momc;
+pub use predictor::{
+    count_error, evaluate, ConfigPredictor, ParticipantHistory, PredictionEval, PredictorParams,
+    SeriesHistory,
+};

@@ -1,0 +1,118 @@
+//! Logistic regression (batch gradient descent with L2) — the second stage
+//! of the §8 predictor, consuming MOMC features.
+
+/// A trained logistic model: `P(y=1|x) = σ(w·x + b)`.
+#[derive(Clone, Debug)]
+pub struct Logistic {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+/// Training hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct LogisticParams {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticParams {
+    fn default() -> Self {
+        LogisticParams { epochs: 300, lr: 0.5, l2: 1e-4 }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Logistic {
+    /// Train on feature rows `xs` with labels `ys`.
+    pub fn train(xs: &[Vec<f64>], ys: &[bool], params: &LogisticParams) -> Logistic {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "empty training set");
+        let dim = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == dim));
+        let n = xs.len() as f64;
+        let mut w = vec![0.0f64; dim];
+        let mut b = 0.0f64;
+        for _ in 0..params.epochs {
+            let mut gw = vec![0.0f64; dim];
+            let mut gb = 0.0f64;
+            for (x, &y) in xs.iter().zip(ys) {
+                let z: f64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                let err = sigmoid(z) - (y as u8 as f64);
+                for (g, xi) in gw.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= params.lr * (g / n + params.l2 * *wi);
+            }
+            b -= params.lr * gb / n;
+        }
+        Logistic { weights: w, bias: b }
+    }
+
+    /// Predicted probability.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len());
+        let z: f64 =
+            self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.bias;
+        sigmoid(z)
+    }
+
+    /// Model weights (for inspection).
+    pub fn weights(&self) -> (&[f64], f64) {
+        (&self.weights, self.bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        // y = x0 > 0.5
+        let xs: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![(i % 100) as f64 / 100.0, 0.3]).collect();
+        let ys: Vec<bool> = xs.iter().map(|x| x[0] > 0.5).collect();
+        let m = Logistic::train(&xs, &ys, &LogisticParams { epochs: 3000, lr: 2.0, l2: 0.0 });
+        let acc = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| (m.predict(x) > 0.5) == y)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn calibrated_on_bernoulli_noise() {
+        // constant feature, 70% positives → predicted prob ≈ 0.7
+        let xs: Vec<Vec<f64>> = (0..1000).map(|_| vec![1.0]).collect();
+        let ys: Vec<bool> = (0..1000).map(|i| i % 10 < 7).collect();
+        let m = Logistic::train(&xs, &ys, &LogisticParams::default());
+        let p = m.predict(&[1.0]);
+        assert!((p - 0.7).abs() < 0.05, "p {p}");
+    }
+
+    #[test]
+    fn probability_monotone_in_feature() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let ys: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let m = Logistic::train(&xs, &ys, &LogisticParams::default());
+        assert!(m.predict(&[0.9]) > m.predict(&[0.1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_panics() {
+        Logistic::train(&[], &[], &LogisticParams::default());
+    }
+}

@@ -1,0 +1,139 @@
+//! Variable-length multi-order Markov chains over attendance histories (§8):
+//! for each order `k ≤ K`, estimate `P(attend next | last k attendance
+//! outcomes)` with Laplace smoothing, pooled across participants.
+
+use std::collections::HashMap;
+
+/// Pooled multi-order Markov model of binary attendance.
+#[derive(Clone, Debug)]
+pub struct Momc {
+    max_order: usize,
+    /// `counts[k-1][pattern] = (attended, total)`, pattern bit `i` =
+    /// attendance at `t-1-i`.
+    counts: Vec<HashMap<u32, (u64, u64)>>,
+    base_rate: f64,
+}
+
+impl Momc {
+    /// Fit on a set of attendance histories.
+    pub fn fit(histories: &[Vec<bool>], max_order: usize) -> Momc {
+        assert!((1..=16).contains(&max_order));
+        let mut counts: Vec<HashMap<u32, (u64, u64)>> = vec![HashMap::new(); max_order];
+        let mut attended = 0u64;
+        let mut total = 0u64;
+        for h in histories {
+            for t in 0..h.len() {
+                attended += h[t] as u64;
+                total += 1;
+                for k in 1..=max_order.min(t) {
+                    let pattern = Self::pattern(&h[..t], k);
+                    let e = counts[k - 1].entry(pattern).or_insert((0, 0));
+                    e.0 += h[t] as u64;
+                    e.1 += 1;
+                }
+            }
+        }
+        let base_rate = if total > 0 { attended as f64 / total as f64 } else { 0.5 };
+        Momc { max_order, counts, base_rate }
+    }
+
+    /// Encode the last `k` outcomes of `history` (`history.len() >= k`).
+    fn pattern(history: &[bool], k: usize) -> u32 {
+        let mut p = 0u32;
+        for i in 0..k {
+            if history[history.len() - 1 - i] {
+                p |= 1 << i;
+            }
+        }
+        p
+    }
+
+    /// Max order.
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+
+    /// Overall attendance base rate in the training data.
+    pub fn base_rate(&self) -> f64 {
+        self.base_rate
+    }
+
+    /// Smoothed `P(attend | last k outcomes)`; falls back to the base rate
+    /// when the history is shorter than `k` or the pattern is unseen.
+    pub fn order_prob(&self, history: &[bool], k: usize) -> f64 {
+        assert!((1..=self.max_order).contains(&k));
+        if history.len() < k {
+            return self.base_rate;
+        }
+        let pattern = Self::pattern(history, k);
+        match self.counts[k - 1].get(&pattern) {
+            Some(&(a, t)) => (a as f64 + 1.0) / (t as f64 + 2.0),
+            None => self.base_rate,
+        }
+    }
+
+    /// Feature vector `[P₁, P₂, …, P_K]` for a history tail.
+    pub fn features(&self, history: &[bool]) -> Vec<f64> {
+        (1..=self.max_order).map(|k| self.order_prob(history, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_encoding() {
+        // history …, T, F (most recent last): bit0 = last = F, bit1 = T
+        assert_eq!(Momc::pattern(&[true, false], 2), 0b10);
+        assert_eq!(Momc::pattern(&[false, true], 2), 0b01);
+        assert_eq!(Momc::pattern(&[true, true, false], 1), 0b0);
+    }
+
+    #[test]
+    fn learns_persistence() {
+        // sticky sequences: next == last almost always
+        let histories: Vec<Vec<bool>> = (0..50)
+            .map(|i| {
+                let start = i % 2 == 0;
+                (0..20).map(|t| if t < 10 { start } else { !start }).collect()
+            })
+            .collect();
+        let m = Momc::fit(&histories, 2);
+        // after seeing [.., true], attending is much likelier than after
+        // [.., false]
+        let p_after_t = m.order_prob(&[true, true], 1);
+        let p_after_f = m.order_prob(&[false, false], 1);
+        assert!(p_after_t > 0.8, "{p_after_t}");
+        assert!(p_after_f < 0.2, "{p_after_f}");
+    }
+
+    #[test]
+    fn learns_alternation_via_order_two() {
+        // strict alternators: T,F,T,F,…
+        let histories: Vec<Vec<bool>> =
+            (0..40).map(|i| (0..20).map(|t| (t + i) % 2 == 0).collect()).collect();
+        let m = Momc::fit(&histories, 2);
+        // last = F → next = T
+        let p = m.order_prob(&[true, false], 1);
+        assert!(p > 0.9, "{p}");
+        let p = m.order_prob(&[false, true], 1);
+        assert!(p < 0.1, "{p}");
+    }
+
+    #[test]
+    fn short_history_falls_back_to_base_rate() {
+        let histories = vec![vec![true, true, false, true]];
+        let m = Momc::fit(&histories, 3);
+        assert_eq!(m.order_prob(&[], 1), m.base_rate());
+        assert_eq!(m.order_prob(&[true], 3), m.base_rate());
+        assert_eq!(m.features(&[]).len(), 3);
+    }
+
+    #[test]
+    fn base_rate_matches_data() {
+        let histories = vec![vec![true, false, true, false]];
+        let m = Momc::fit(&histories, 1);
+        assert!((m.base_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,303 @@
+//! The full §8 call-config predictor: MOMC features per participant feed a
+//! logistic regression that predicts next-instance attendance; per-country
+//! expected participant counts aggregate into the predicted call config.
+
+use crate::logistic::{Logistic, LogisticParams};
+use crate::momc::Momc;
+
+/// One rostered participant's data within a series.
+#[derive(Clone, Debug)]
+pub struct ParticipantHistory {
+    /// Country index of the participant.
+    pub country: u16,
+    /// Attendance at each past occurrence (aligned across the series).
+    pub attendance: Vec<bool>,
+}
+
+/// A recurring meeting series: rostered participants with aligned histories.
+#[derive(Clone, Debug)]
+pub struct SeriesHistory {
+    /// Roster.
+    pub participants: Vec<ParticipantHistory>,
+}
+
+impl SeriesHistory {
+    /// Number of occurrences (0 when the roster is empty).
+    pub fn occurrences(&self) -> usize {
+        self.participants.first().map(|p| p.attendance.len()).unwrap_or(0)
+    }
+
+    /// Per-country attended counts at occurrence `t`.
+    pub fn counts_at(&self, t: usize) -> Vec<(u16, f64)> {
+        let mut counts: Vec<(u16, f64)> = Vec::new();
+        for p in &self.participants {
+            if p.attendance[t] {
+                match counts.iter_mut().find(|(c, _)| *c == p.country) {
+                    Some((_, n)) => *n += 1.0,
+                    None => counts.push((p.country, 1.0)),
+                }
+            }
+        }
+        counts.sort_unstable_by_key(|&(c, _)| c);
+        counts
+    }
+}
+
+/// Predictor configuration.
+#[derive(Clone, Debug)]
+pub struct PredictorParams {
+    /// MOMC max order `K`.
+    pub max_order: usize,
+    /// Logistic-regression training parameters.
+    pub logistic: LogisticParams,
+}
+
+impl Default for PredictorParams {
+    fn default() -> Self {
+        PredictorParams { max_order: 3, logistic: LogisticParams::default() }
+    }
+}
+
+/// A trained MOMC + logistic-regression config predictor.
+pub struct ConfigPredictor {
+    momc: Momc,
+    model: Logistic,
+    max_order: usize,
+}
+
+/// Build the feature row for a participant whose history so far is `hist`:
+/// the MOMC order probabilities, the participant's own attendance rate, and
+/// the most recent outcome.
+fn features(momc: &Momc, hist: &[bool]) -> Vec<f64> {
+    let mut x = momc.features(hist);
+    let own_rate = if hist.is_empty() {
+        momc.base_rate()
+    } else {
+        hist.iter().filter(|&&a| a).count() as f64 / hist.len() as f64
+    };
+    x.push(own_rate);
+    x.push(hist.last().copied().unwrap_or(false) as u8 as f64);
+    x
+}
+
+impl ConfigPredictor {
+    /// Train on the given series: every `(participant, occurrence t ≥ 1)`
+    /// prefix is one training example predicting attendance at `t`.
+    pub fn train(series: &[SeriesHistory], params: &PredictorParams) -> ConfigPredictor {
+        let histories: Vec<Vec<bool>> = series
+            .iter()
+            .flat_map(|s| s.participants.iter().map(|p| p.attendance.clone()))
+            .collect();
+        let momc = Momc::fit(&histories, params.max_order);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for h in &histories {
+            for t in 1..h.len() {
+                xs.push(features(&momc, &h[..t]));
+                ys.push(h[t]);
+            }
+        }
+        let model = Logistic::train(&xs, &ys, &params.logistic);
+        ConfigPredictor { momc, model, max_order: params.max_order }
+    }
+
+    /// Probability that a participant with history `hist` attends next time.
+    pub fn attend_probability(&self, hist: &[bool]) -> f64 {
+        self.model.predict(&features(&self.momc, hist))
+    }
+
+    /// Predicted per-country expected participant counts for the next
+    /// occurrence of a series, given the first `upto` occurrences.
+    pub fn predict_counts(&self, series: &SeriesHistory, upto: usize) -> Vec<(u16, f64)> {
+        let mut counts: Vec<(u16, f64)> = Vec::new();
+        for p in &series.participants {
+            let hist = &p.attendance[..upto.min(p.attendance.len())];
+            let prob = self.attend_probability(hist);
+            match counts.iter_mut().find(|(c, _)| *c == p.country) {
+                Some((_, n)) => *n += prob,
+                None => counts.push((p.country, prob)),
+            }
+        }
+        counts.sort_unstable_by_key(|&(c, _)| c);
+        counts
+    }
+
+    /// The MOMC order in use.
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+}
+
+/// Per-country count error between prediction and ground truth:
+/// `(rmse, mae)` over the union of countries.
+pub fn count_error(pred: &[(u16, f64)], truth: &[(u16, f64)]) -> (f64, f64) {
+    let mut countries: Vec<u16> =
+        pred.iter().chain(truth).map(|&(c, _)| c).collect();
+    countries.sort_unstable();
+    countries.dedup();
+    if countries.is_empty() {
+        return (0.0, 0.0);
+    }
+    let get = |v: &[(u16, f64)], c: u16| {
+        v.iter().find(|&&(cc, _)| cc == c).map(|&(_, n)| n).unwrap_or(0.0)
+    };
+    let mut sse = 0.0;
+    let mut sae = 0.0;
+    for &c in &countries {
+        let d = get(pred, c) - get(truth, c);
+        sse += d * d;
+        sae += d.abs();
+    }
+    let n = countries.len() as f64;
+    ((sse / n).sqrt(), sae / n)
+}
+
+/// Evaluation over held-out final occurrences: the MOMC+LR predictor vs the
+/// last-instance baseline (§8's comparison).
+#[derive(Clone, Debug)]
+pub struct PredictionEval {
+    /// Mean per-series RMSE of the predictor.
+    pub rmse: f64,
+    /// Mean per-series MAE of the predictor.
+    pub mae: f64,
+    /// Mean per-series RMSE of the previous-instance baseline.
+    pub baseline_rmse: f64,
+    /// Mean per-series MAE of the previous-instance baseline.
+    pub baseline_mae: f64,
+    /// Series evaluated.
+    pub series: usize,
+}
+
+/// Train on every series' prefix (all but the final occurrence) and evaluate
+/// predictions of the final occurrence against the last-instance baseline.
+pub fn evaluate(series: &[SeriesHistory], params: &PredictorParams) -> PredictionEval {
+    // train on prefixes only to keep the held-out instance unseen
+    let train_set: Vec<SeriesHistory> = series
+        .iter()
+        .filter(|s| s.occurrences() >= 3)
+        .map(|s| SeriesHistory {
+            participants: s
+                .participants
+                .iter()
+                .map(|p| ParticipantHistory {
+                    country: p.country,
+                    attendance: p.attendance[..p.attendance.len() - 1].to_vec(),
+                })
+                .collect(),
+        })
+        .collect();
+    let predictor = ConfigPredictor::train(&train_set, params);
+    let mut rmse = 0.0;
+    let mut mae = 0.0;
+    let mut b_rmse = 0.0;
+    let mut b_mae = 0.0;
+    let mut n = 0usize;
+    for s in series {
+        let t = s.occurrences();
+        if t < 3 {
+            continue;
+        }
+        let truth = s.counts_at(t - 1);
+        let pred = predictor.predict_counts(s, t - 1);
+        let baseline = s.counts_at(t - 2);
+        let (r, m) = count_error(&pred, &truth);
+        let (br, bm) = count_error(&baseline, &truth);
+        rmse += r;
+        mae += m;
+        b_rmse += br;
+        b_mae += bm;
+        n += 1;
+    }
+    let n_f = n.max(1) as f64;
+    PredictionEval {
+        rmse: rmse / n_f,
+        mae: mae / n_f,
+        baseline_rmse: b_rmse / n_f,
+        baseline_mae: b_mae / n_f,
+        series: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regulars (always attend) + alternators (every other week).
+    fn synthetic_series(n: usize, occ: usize) -> Vec<SeriesHistory> {
+        (0..n)
+            .map(|i| {
+                let mut participants = Vec::new();
+                for p in 0..10 {
+                    let country = (p % 3) as u16;
+                    let attendance: Vec<bool> = (0..occ)
+                        .map(|t| {
+                            if p < 6 {
+                                true // regulars
+                            } else {
+                                (t + i + p) % 2 == 0 // alternators
+                            }
+                        })
+                        .collect();
+                    participants.push(ParticipantHistory { country, attendance });
+                }
+                SeriesHistory { participants }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_at_sums() {
+        let s = &synthetic_series(1, 4)[0];
+        let counts = s.counts_at(0);
+        let total: f64 = counts.iter().map(|&(_, n)| n).sum();
+        let attended = s.participants.iter().filter(|p| p.attendance[0]).count();
+        assert_eq!(total as usize, attended);
+    }
+
+    #[test]
+    fn predictor_beats_baseline_on_structured_attendance() {
+        let series = synthetic_series(30, 10);
+        let eval = evaluate(&series, &PredictorParams::default());
+        assert_eq!(eval.series, 30);
+        assert!(
+            eval.rmse < eval.baseline_rmse,
+            "MOMC RMSE {} should beat baseline {}",
+            eval.rmse,
+            eval.baseline_rmse
+        );
+        assert!(eval.mae <= eval.baseline_mae + 1e-9);
+    }
+
+    #[test]
+    fn attend_probability_tracks_pattern() {
+        let series = synthetic_series(30, 10);
+        let p = ConfigPredictor::train(&series, &PredictorParams::default());
+        // a perfect regular
+        let regular = vec![true; 9];
+        assert!(p.attend_probability(&regular) > 0.8);
+        // an alternator who just attended → likely absent next
+        let alternator = vec![true, false, true, false, true, false, true, false, true];
+        assert!(p.attend_probability(&alternator) < 0.5);
+    }
+
+    #[test]
+    fn count_error_math() {
+        let pred = vec![(0u16, 2.0), (1, 1.0)];
+        let truth = vec![(0u16, 3.0), (2, 2.0)];
+        let (rmse, mae) = count_error(&pred, &truth);
+        // diffs: c0: -1, c1: +1, c2: -2 → mae = 4/3, rmse = sqrt(6/3)
+        assert!((mae - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse - (2.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(count_error(&[], &[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn predict_counts_bounded_by_roster() {
+        let series = synthetic_series(5, 8);
+        let p = ConfigPredictor::train(&series, &PredictorParams::default());
+        let counts = p.predict_counts(&series[0], 7);
+        let total: f64 = counts.iter().map(|&(_, n)| n).sum();
+        assert!(total <= series[0].participants.len() as f64 + 1e-9);
+        assert!(total > 0.0);
+    }
+}

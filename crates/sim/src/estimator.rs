@@ -1,0 +1,213 @@
+//! Latency estimation from call legs (§6.2): the production system pools the
+//! recorded latency of every call leg and estimates `Lat(x,u)` as the median
+//! over all `(MP location, participant country)` samples. This module
+//! reproduces that estimator on simulated leg measurements.
+
+use rand::Rng;
+use sb_core::LatencyMap;
+use sb_net::{CountryId, DcId, RoutingTable, Topology};
+use sb_workload::sampling::lognormal;
+
+
+/// Accumulates leg-latency samples per `(country, dc)` pair.
+#[derive(Clone, Debug)]
+pub struct LatencyEstimator {
+    num_dcs: usize,
+    samples: Vec<Vec<Vec<f64>>>,
+}
+
+impl LatencyEstimator {
+    /// Empty estimator for a topology's dimensions.
+    pub fn new(topo: &Topology) -> LatencyEstimator {
+        LatencyEstimator {
+            num_dcs: topo.dcs.len(),
+            samples: vec![vec![Vec::new(); topo.dcs.len()]; topo.countries.len()],
+        }
+    }
+
+    /// Record one observed leg latency.
+    pub fn observe(&mut self, country: CountryId, dc: DcId, latency_ms: f64) {
+        assert!(latency_ms >= 0.0 && latency_ms.is_finite());
+        self.samples[country.index()][dc.index()].push(latency_ms);
+    }
+
+    /// Number of samples for a pair.
+    pub fn count(&self, country: CountryId, dc: DcId) -> usize {
+        self.samples[country.index()][dc.index()].len()
+    }
+
+    /// Median latency for a pair, if any samples exist.
+    pub fn median(&self, country: CountryId, dc: DcId) -> Option<f64> {
+        let v = &self.samples[country.index()][dc.index()];
+        if v.is_empty() {
+            return None;
+        }
+        let mut sorted = v.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        Some(if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        })
+    }
+
+    /// Build the `Lat(x,u)` map of medians (the counterfactual estimator of
+    /// §6.2). Pairs without samples are `None`.
+    pub fn to_latency_map(&self) -> LatencyMap {
+        let ms = (0..self.samples.len())
+            .map(|c| {
+                (0..self.num_dcs)
+                    .map(|d| self.median(CountryId(c as u16), DcId(d as u16)))
+                    .collect()
+            })
+            .collect();
+        LatencyMap::from_matrix(ms)
+    }
+}
+
+/// Sample a measured leg latency: routed base latency inflated by last-mile
+/// and queueing noise (multiplicative lognormal, median 1.0).
+pub fn sample_leg_latency<R: Rng + ?Sized>(
+    rng: &mut R,
+    routing: &RoutingTable,
+    country: CountryId,
+    dc: DcId,
+) -> Option<f64> {
+    let base = routing.latency_ms(country, dc)?;
+    let noise = lognormal(rng, 0.0, 0.18); // median exactly 1.0
+    Some(base * noise + rng.gen_range(0.0..2.0))
+}
+
+/// The full §6.2 estimation loop: replay a trace's call legs under a
+/// round-robin placement (the pre-Switchboard production behaviour, which is
+/// what gives the logs coverage of *every* (DC, country) pair), record each
+/// leg's measured latency, and pool medians into a counterfactual
+/// `Lat(x,u)` map ready for planning.
+pub fn estimate_from_trace<R: Rng + ?Sized>(
+    rng: &mut R,
+    topo: &Topology,
+    routing: &RoutingTable,
+    catalog: &sb_workload::ConfigCatalog,
+    db: &sb_workload::CallRecordsDb,
+) -> LatencyEstimator {
+    let mut est = LatencyEstimator::new(topo);
+    let n_dcs = topo.dcs.len().max(1);
+    for r in db.records() {
+        // round-robin by call id over the DCs of the majority's region
+        let cfg = catalog.config(r.config);
+        let region = topo.countries[cfg.majority_country().index()].region;
+        let dcs: Vec<DcId> = topo.dcs_in_region(region).map(|d| d.id).collect();
+        let dc = if dcs.is_empty() {
+            DcId((r.id % n_dcs as u64) as u16)
+        } else {
+            dcs[(r.id % dcs.len() as u64) as usize]
+        };
+        for &(country, n) in cfg.participants() {
+            for _ in 0..n {
+                if let Some(l) = sample_leg_latency(rng, routing, country, dc) {
+                    est.observe(country, dc, l);
+                }
+            }
+        }
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sb_net::FailureScenario;
+
+    #[test]
+    fn median_math() {
+        let topo = sb_net::presets::toy_three_dc();
+        let mut e = LatencyEstimator::new(&topo);
+        let (c, d) = (CountryId(0), DcId(0));
+        assert_eq!(e.median(c, d), None);
+        for v in [10.0, 30.0, 20.0] {
+            e.observe(c, d, v);
+        }
+        assert_eq!(e.median(c, d), Some(20.0));
+        e.observe(c, d, 40.0);
+        assert_eq!(e.median(c, d), Some(25.0));
+        assert_eq!(e.count(c, d), 4);
+    }
+
+    #[test]
+    fn median_estimate_recovers_routed_latency() {
+        let topo = sb_net::presets::apac();
+        let rt = RoutingTable::compute(&topo, FailureScenario::None);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut est = LatencyEstimator::new(&topo);
+        let jp = topo.country_by_name("JP");
+        for dc in topo.dc_ids() {
+            for _ in 0..501 {
+                let l = sample_leg_latency(&mut rng, &rt, jp, dc).unwrap();
+                est.observe(jp, dc, l);
+            }
+        }
+        for dc in topo.dc_ids() {
+            let truth = rt.latency_ms(jp, dc).unwrap();
+            let m = est.median(jp, dc).unwrap();
+            // median of the noise model ≈ truth + ~1ms
+            assert!(
+                (m - truth).abs() < 0.08 * truth + 2.5,
+                "median {m} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_estimation_recovers_planning_map() {
+        // the §6.2 loop: RR-era observations → medians → a counterfactual
+        // map close enough to the true routed latencies that ACL-min
+        // decisions match
+        use sb_core::LatencyMap;
+        use sb_workload::{Generator, UniverseParams, WorkloadParams};
+        let topo = sb_net::presets::apac();
+        let rt = RoutingTable::compute(&topo, FailureScenario::None);
+        let params = WorkloadParams {
+            universe: UniverseParams { num_configs: 120, seed: 61, ..Default::default() },
+            daily_calls: 2_500.0,
+            slot_minutes: 120,
+            seed: 61,
+            ..Default::default()
+        };
+        let generator = Generator::new(&topo, params);
+        let db = generator.sample_records(0, 2, 9);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est =
+            estimate_from_trace(&mut rng, &topo, &rt, &generator.universe().catalog, &db);
+        let estimated = est.to_latency_map();
+        let truth = LatencyMap::from_routing(&topo, &rt);
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for c in topo.country_ids() {
+            for d in topo.dc_ids() {
+                total += 1;
+                if let (Some(e), Some(t)) = (estimated.get(c, d), truth.get(c, d)) {
+                    covered += 1;
+                    assert!(
+                        (e - t).abs() < 0.1 * t + 3.0,
+                        "pair {c:?}->{d:?}: est {e} truth {t}"
+                    );
+                }
+            }
+        }
+        // RR-era traces cover the overwhelming majority of pairs
+        assert!(covered * 10 >= total * 9, "coverage {covered}/{total}");
+    }
+
+    #[test]
+    fn to_latency_map_roundtrip() {
+        let topo = sb_net::presets::toy_three_dc();
+        let mut e = LatencyEstimator::new(&topo);
+        e.observe(CountryId(1), DcId(2), 42.0);
+        let m = e.to_latency_map();
+        assert_eq!(m.get(CountryId(1), DcId(2)), Some(42.0));
+        assert_eq!(m.get(CountryId(0), DcId(0)), None);
+    }
+}

@@ -1,0 +1,341 @@
+//! Trace replay: drive the real-time MP selector (§5.4) with a call-record
+//! trace and measure what the paper's evaluation measures — per-call mean
+//! ACL, per-DC core peaks, per-link Gbps peaks, migration rate, and capacity
+//! violations.
+
+use sb_core::{LatencyMap, RealtimeSelector, SelectorStats};
+use sb_net::{DcId, ProvisionedCapacity, RoutingTable, Topology};
+use sb_workload::joins::CONFIG_FREEZE_SECONDS;
+use sb_workload::{CallRecordsDb, ConfigCatalog};
+
+/// Replay configuration.
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// Minutes into the call at which the config freezes (A; 5 in the paper).
+    pub freeze_minutes: u64,
+    /// Capacity to check usage against (violations are counted per minute).
+    pub capacity: Option<ProvisionedCapacity>,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig { freeze_minutes: (CONFIG_FREEZE_SECONDS / 60) as u64, capacity: None }
+    }
+}
+
+/// Replay results.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Mean of per-call ACLs at the final hosting DC.
+    pub mean_acl_ms: f64,
+    /// Observed peaks (per-minute accounting).
+    pub peaks: ProvisionedCapacity,
+    /// Selector statistics (migrations etc.).
+    pub selector: SelectorStats,
+    /// Minutes × resources where usage exceeded the given capacity.
+    pub capacity_violations: u64,
+    /// Worst relative overshoot across all violations.
+    pub worst_overshoot: f64,
+    /// Number of calls replayed.
+    pub calls: u64,
+}
+
+enum Ev {
+    Start(usize),
+    Freeze(usize),
+    End(usize),
+}
+
+/// Replay `db` through `selector`.
+///
+/// Usage accounting is per minute: a call contributes its compute load to its
+/// current DC and its leg traffic to the routed links from call start to call
+/// end; the first `freeze_minutes` are accounted at the initial DC, the rest
+/// at the post-freeze DC.
+pub fn replay(
+    topo: &Topology,
+    routing: &RoutingTable,
+    latmap: &LatencyMap,
+    catalog: &ConfigCatalog,
+    db: &CallRecordsDb,
+    selector: &mut RealtimeSelector<'_>,
+    cfg: &ReplayConfig,
+) -> ReplayReport {
+    let records = db.records();
+    if records.is_empty() {
+        return ReplayReport {
+            mean_acl_ms: 0.0,
+            peaks: ProvisionedCapacity::zero(topo),
+            selector: selector.stats().clone(),
+            capacity_violations: 0,
+            worst_overshoot: 0.0,
+            calls: 0,
+        };
+    }
+    let t0 = records.iter().map(|r| r.start_minute).min().unwrap();
+    let t1 = records.iter().map(|r| r.end_minute()).max().unwrap();
+    let horizon = (t1 - t0 + 1) as usize;
+
+    // events sorted by time; stable order start < freeze < end at same minute
+    let mut events: Vec<(u64, u8, Ev)> = Vec::with_capacity(records.len() * 3);
+    for (i, r) in records.iter().enumerate() {
+        let freeze = r.start_minute + cfg.freeze_minutes.min(r.duration_min as u64);
+        events.push((r.start_minute, 0, Ev::Start(i)));
+        events.push((freeze, 1, Ev::Freeze(i)));
+        events.push((r.end_minute(), 2, Ev::End(i)));
+    }
+    events.sort_by_key(|&(t, k, _)| (t, k));
+
+    // per-minute usage deltas (difference arrays), integrated afterwards
+    let mut core_delta = vec![vec![0.0f64; topo.dcs.len()]; horizon + 1];
+    let mut link_delta = vec![vec![0.0f64; topo.links.len()]; horizon + 1];
+    let mut add_interval = |r: &sb_workload::CallRecord, dc: DcId, from: u64, to: u64| {
+        if to <= from {
+            return;
+        }
+        let c = catalog.config(r.config);
+        let (a, b) = ((from - t0) as usize, (to - t0) as usize);
+        core_delta[a][dc.index()] += c.compute_load();
+        core_delta[b][dc.index()] -= c.compute_load();
+        let nl = c.leg_network_load();
+        for &(country, n) in c.participants() {
+            if let Some(route) = routing.route(country, dc) {
+                let w = n as f64 * nl;
+                for &l in &route.links {
+                    link_delta[a][l.index()] += w;
+                    link_delta[b][l.index()] -= w;
+                }
+            }
+        }
+    };
+
+    let mut acl_sum = 0.0;
+    let mut acl_n = 0u64;
+    for (_, _, ev) in events {
+        match ev {
+            Ev::Start(i) => {
+                let r = &records[i];
+                selector.call_start(r.id, r.first_joiner);
+            }
+            Ev::Freeze(i) => {
+                let r = &records[i];
+                let initial = selector.current_dc(r.id).expect("started");
+                let decision = selector.config_frozen(r.id, r.config, r.start_minute);
+                let final_dc = decision.final_dc();
+                let freeze = r.start_minute + cfg.freeze_minutes.min(r.duration_min as u64);
+                add_interval(r, initial, r.start_minute, freeze);
+                add_interval(r, final_dc, freeze, r.end_minute());
+                if let Some(a) = latmap.acl(catalog.config(r.config), final_dc) {
+                    acl_sum += a;
+                    acl_n += 1;
+                }
+            }
+            Ev::End(i) => {
+                selector.call_end(records[i].id);
+            }
+        }
+    }
+
+    // integrate deltas → usage; track peaks and violations
+    let mut peaks = ProvisionedCapacity::zero(topo);
+    let mut violations = 0u64;
+    let mut worst = 0.0f64;
+    let mut cur_cores = vec![0.0f64; topo.dcs.len()];
+    let mut cur_links = vec![0.0f64; topo.links.len()];
+    for m in 0..horizon {
+        for (c, d) in cur_cores.iter_mut().zip(&core_delta[m]) {
+            *c += d;
+        }
+        for (c, d) in cur_links.iter_mut().zip(&link_delta[m]) {
+            *c += d;
+        }
+        for (p, &u) in peaks.cores.iter_mut().zip(&cur_cores) {
+            *p = p.max(u);
+        }
+        for (p, &u) in peaks.gbps.iter_mut().zip(&cur_links) {
+            *p = p.max(u);
+        }
+        if let Some(cap) = &cfg.capacity {
+            for (i, &u) in cur_cores.iter().enumerate() {
+                if u > cap.cores[i] + 1e-9 {
+                    violations += 1;
+                    worst = worst.max((u - cap.cores[i]) / cap.cores[i].max(1e-9));
+                }
+            }
+            for (i, &u) in cur_links.iter().enumerate() {
+                if u > cap.gbps[i] + 1e-9 {
+                    violations += 1;
+                    worst = worst.max((u - cap.gbps[i]) / cap.gbps[i].max(1e-9));
+                }
+            }
+        }
+    }
+
+    ReplayReport {
+        mean_acl_ms: if acl_n > 0 { acl_sum / acl_n as f64 } else { 0.0 },
+        peaks,
+        selector: selector.stats().clone(),
+        capacity_violations: violations,
+        worst_overshoot: worst,
+        calls: records.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_core::{AllocationShares, PlannedQuotas};
+    use sb_net::FailureScenario;
+    use sb_workload::{CallConfig, CallRecord, ConfigCatalog, DemandMatrix, MediaType};
+
+    fn world() -> (Topology, RoutingTable, LatencyMap, ConfigCatalog, sb_workload::ConfigId)
+    {
+        let topo = sb_net::presets::toy_three_dc();
+        let rt = RoutingTable::compute(&topo, FailureScenario::None);
+        let lm = LatencyMap::from_routing(&topo, &rt);
+        let mut cat = ConfigCatalog::new();
+        let jp = topo.country_by_name("JP");
+        let id = cat.intern(CallConfig::new(vec![(jp, 2)], MediaType::Audio));
+        (topo, rt, lm, cat, id)
+    }
+
+    fn record(id: u64, cfg: sb_workload::ConfigId, start: u64, dur: u16, c: sb_net::CountryId) -> CallRecord {
+        CallRecord {
+            id,
+            config: cfg,
+            start_minute: start,
+            duration_min: dur,
+            first_joiner: c,
+            join_offsets_s: vec![0, 60],
+        }
+    }
+
+    #[test]
+    fn no_migration_when_plan_matches_closest() {
+        let (topo, rt, lm, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..10 {
+            db.push(record(i, id, i, 30, jp));
+        }
+        let mut shares = AllocationShares::new(2);
+        shares.set(id, 0, vec![(tokyo, 1.0)]);
+        shares.set(id, 1, vec![(tokyo, 1.0)]);
+        let mut demand = DemandMatrix::zero(1, 2, 30, 0);
+        demand.set(id, 0, 30.0);
+        demand.set(id, 1, 30.0);
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        let mut sel = RealtimeSelector::new(&lm, quotas);
+        let report =
+            replay(&topo, &rt, &lm, &cat, &db, &mut sel, &ReplayConfig::default());
+        assert_eq!(report.calls, 10);
+        assert_eq!(report.selector.migrations, 0);
+        assert_eq!(report.selector.unplanned, 0);
+        // all compute lands at Tokyo
+        assert!(report.peaks.cores[tokyo.index()] > 0.0);
+        let others: f64 = report
+            .peaks
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != tokyo.index())
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(others, 0.0);
+        let expected_acl = lm.acl(cat.config(id), tokyo).unwrap();
+        assert!((report.mean_acl_ms - expected_acl).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_on_remote_dc_forces_migrations() {
+        let (topo, rt, lm, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let pune = topo.dc_by_name("Pune");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..10 {
+            db.push(record(i, id, 0, 30, jp));
+        }
+        let mut shares = AllocationShares::new(1);
+        shares.set(id, 0, vec![(pune, 1.0)]);
+        let mut demand = DemandMatrix::zero(1, 1, 30, 0);
+        demand.set(id, 0, 10.0);
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        let mut sel = RealtimeSelector::new(&lm, quotas);
+        let report =
+            replay(&topo, &rt, &lm, &cat, &db, &mut sel, &ReplayConfig::default());
+        assert_eq!(report.selector.migrations, 10);
+        assert!((report.selector.migration_rate() - 1.0).abs() < 1e-12);
+        // compute appears at both the initial (pre-freeze) and final DCs
+        let tokyo = topo.dc_by_name("Tokyo");
+        assert!(report.peaks.cores[tokyo.index()] > 0.0);
+        assert!(report.peaks.cores[pune.index()] > 0.0);
+    }
+
+    #[test]
+    fn peak_accounting_counts_concurrency() {
+        let (topo, rt, lm, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        // 5 concurrent calls, then 5 disjoint calls
+        for i in 0..5 {
+            db.push(record(i, id, 0, 30, jp));
+        }
+        for i in 0..5 {
+            db.push(record(100 + i, id, 100 + 40 * i, 30, jp));
+        }
+        let mut shares = AllocationShares::new(10);
+        let mut demand = DemandMatrix::zero(1, 10, 30, 0);
+        for s in 0..10 {
+            shares.set(id, s, vec![(tokyo, 1.0)]);
+            demand.set(id, s, 10.0);
+        }
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        let mut sel = RealtimeSelector::new(&lm, quotas);
+        let report =
+            replay(&topo, &rt, &lm, &cat, &db, &mut sel, &ReplayConfig::default());
+        let cl = cat.config(id).compute_load();
+        assert!((report.peaks.cores[tokyo.index()] - 5.0 * cl).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violations_detected_against_tight_capacity() {
+        let (topo, rt, lm, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..4 {
+            db.push(record(i, id, 0, 20, jp));
+        }
+        let mut shares = AllocationShares::new(1);
+        shares.set(id, 0, vec![(tokyo, 1.0)]);
+        let mut demand = DemandMatrix::zero(1, 1, 30, 0);
+        demand.set(id, 0, 4.0);
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        let mut sel = RealtimeSelector::new(&lm, quotas);
+        let mut cap = ProvisionedCapacity::zero(&topo);
+        cap.cores = vec![0.01; topo.dcs.len()];
+        cap.gbps = vec![1e9; topo.links.len()];
+        let cfg = ReplayConfig { capacity: Some(cap), ..Default::default() };
+        let report = replay(&topo, &rt, &lm, &cat, &db, &mut sel, &cfg);
+        assert!(report.capacity_violations > 0);
+        assert!(report.worst_overshoot > 0.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let (topo, rt, lm, cat, id) = world();
+        let db = CallRecordsDb::new(cat.clone());
+        let quotas = PlannedQuotas::from_plan(
+            &AllocationShares::new(1),
+            &DemandMatrix::zero(1, 1, 30, 0),
+        );
+        let _ = id;
+        let mut sel = RealtimeSelector::new(&lm, quotas);
+        let report =
+            replay(&topo, &rt, &lm, &cat, &db, &mut sel, &ReplayConfig::default());
+        assert_eq!(report.calls, 0);
+        assert_eq!(report.mean_acl_ms, 0.0);
+    }
+}

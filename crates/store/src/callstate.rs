@@ -1,0 +1,207 @@
+//! Call-state records as the real-time controller maintains them (§5.4/§6.6):
+//! as participants join a new call and media changes, worker threads write
+//! the evolving call config back to the store.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::latency::LatencyHistogram;
+use crate::map::ShardedMap;
+
+/// Media flag recorded on a call (mirrors the §5.1 classification without
+/// depending on the workload crate).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum MediaFlag {
+    /// Audio only.
+    #[default]
+    Audio,
+    /// Somebody shares their screen.
+    ScreenShare,
+    /// Somebody has video on (and no screen-share).
+    Video,
+}
+
+/// The evolving state of one call.
+#[derive(Clone, Debug, Default)]
+pub struct CallState {
+    /// `(country, participant count)` accumulated so far.
+    pub participants: Vec<(u16, u16)>,
+    /// Current media classification.
+    pub media: MediaFlag,
+    /// Assigned DC index.
+    pub dc: u16,
+    /// Whether the config has been frozen (A minutes in).
+    pub frozen: bool,
+}
+
+impl CallState {
+    /// Total participants.
+    pub fn total_participants(&self) -> u32 {
+        self.participants.iter().map(|&(_, n)| n as u32).sum()
+    }
+}
+
+/// Store events, in trace order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CallEvent {
+    /// First participant joined: create the call.
+    Start {
+        /// Call id.
+        call: u64,
+        /// First joiner's country index.
+        country: u16,
+        /// Assigned DC index.
+        dc: u16,
+    },
+    /// A participant joined.
+    Join {
+        /// Call id.
+        call: u64,
+        /// Joiner's country index.
+        country: u16,
+    },
+    /// Media classification changed.
+    Media {
+        /// Call id.
+        call: u64,
+        /// New flag.
+        media: MediaFlag,
+    },
+    /// Config freeze (A minutes in).
+    Freeze {
+        /// Call id.
+        call: u64,
+    },
+    /// Call ended: delete the state.
+    End {
+        /// Call id.
+        call: u64,
+    },
+}
+
+impl CallEvent {
+    /// The call this event belongs to.
+    pub fn call(&self) -> u64 {
+        match *self {
+            CallEvent::Start { call, .. }
+            | CallEvent::Join { call, .. }
+            | CallEvent::Media { call, .. }
+            | CallEvent::Freeze { call }
+            | CallEvent::End { call } => call,
+        }
+    }
+}
+
+/// The controller-facing store: applies [`CallEvent`]s with per-write latency
+/// accounting.
+#[derive(Clone)]
+pub struct CallStateStore {
+    map: Arc<ShardedMap<u64, CallState>>,
+    simulated_rtt: std::time::Duration,
+}
+
+impl CallStateStore {
+    /// Create with the given shard count.
+    pub fn new(shards: usize) -> CallStateStore {
+        CallStateStore { map: Arc::new(ShardedMap::new(shards)), simulated_rtt: std::time::Duration::ZERO }
+    }
+
+    /// Create with a simulated per-write network round trip. The paper's
+    /// controller writes to Azure Redis (0.3–4.2 ms per write, §6.6); an
+    /// in-process map alone would make every thread count look infinitely
+    /// fast. The simulated RTT restores the latency-bound regime in which
+    /// adding writer threads increases throughput.
+    pub fn with_simulated_rtt(shards: usize, rtt: std::time::Duration) -> CallStateStore {
+        CallStateStore { map: Arc::new(ShardedMap::new(shards)), simulated_rtt: rtt }
+    }
+
+    /// Apply one event, recording the write latency into `hist`.
+    pub fn apply(&self, ev: CallEvent, hist: &mut LatencyHistogram) {
+        let t = Instant::now();
+        if !self.simulated_rtt.is_zero() {
+            std::thread::sleep(self.simulated_rtt);
+        }
+        match ev {
+            CallEvent::Start { call, country, dc } => {
+                self.map.insert(
+                    call,
+                    CallState {
+                        participants: vec![(country, 1)],
+                        media: MediaFlag::Audio,
+                        dc,
+                        frozen: false,
+                    },
+                );
+            }
+            CallEvent::Join { call, country } => {
+                self.map.update(&call, |st| {
+                    match st.participants.iter_mut().find(|(c, _)| *c == country) {
+                        Some((_, n)) => *n += 1,
+                        None => st.participants.push((country, 1)),
+                    }
+                });
+            }
+            CallEvent::Media { call, media } => {
+                self.map.update(&call, |st| st.media = media);
+            }
+            CallEvent::Freeze { call } => {
+                self.map.update(&call, |st| st.frozen = true);
+            }
+            CallEvent::End { call } => {
+                self.map.remove(&call);
+            }
+        }
+        hist.record(t.elapsed());
+    }
+
+    /// Snapshot a call's state.
+    pub fn get(&self, call: u64) -> Option<CallState> {
+        self.map.get(&call)
+    }
+
+    /// Active calls.
+    pub fn active_calls(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let store = CallStateStore::new(8);
+        let mut h = LatencyHistogram::new();
+        store.apply(CallEvent::Start { call: 1, country: 3, dc: 0 }, &mut h);
+        store.apply(CallEvent::Join { call: 1, country: 3 }, &mut h);
+        store.apply(CallEvent::Join { call: 1, country: 5 }, &mut h);
+        store.apply(CallEvent::Media { call: 1, media: MediaFlag::Video }, &mut h);
+        store.apply(CallEvent::Freeze { call: 1 }, &mut h);
+        let st = store.get(1).unwrap();
+        assert_eq!(st.total_participants(), 3);
+        assert_eq!(st.participants, vec![(3, 2), (5, 1)]);
+        assert_eq!(st.media, MediaFlag::Video);
+        assert!(st.frozen);
+        assert_eq!(store.active_calls(), 1);
+        store.apply(CallEvent::End { call: 1 }, &mut h);
+        assert!(store.get(1).is_none());
+        assert_eq!(store.active_calls(), 0);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn events_on_missing_calls_are_noops() {
+        let store = CallStateStore::new(2);
+        let mut h = LatencyHistogram::new();
+        store.apply(CallEvent::Join { call: 9, country: 1 }, &mut h);
+        store.apply(CallEvent::End { call: 9 }, &mut h);
+        assert_eq!(store.active_calls(), 0);
+    }
+
+    #[test]
+    fn event_call_accessor() {
+        assert_eq!(CallEvent::Freeze { call: 7 }.call(), 7);
+        assert_eq!(CallEvent::Start { call: 3, country: 0, dc: 0 }.call(), 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Controller throughput harness (§6.6 / Fig. 10): replay a day's worth of
+//! call events through worker threads that write call state to the store,
+//! and report sustained events/second plus write latencies. The paper
+//! normalizes throughput to the trace's peak event rate; [`peak_event_rate`]
+//! computes that normalizer.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+
+use crate::callstate::{CallEvent, CallStateStore};
+use crate::latency::LatencyHistogram;
+
+/// Result of one throughput measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputResult {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Events applied.
+    pub events: u64,
+    /// Wall time.
+    pub elapsed: Duration,
+    /// Sustained events per second.
+    pub events_per_sec: f64,
+    /// Merged write-latency histogram.
+    pub latency: LatencyHistogram,
+}
+
+/// Replay `events` through `threads` workers as fast as possible.
+///
+/// Events are partitioned by call id (hash dispatch), preserving per-call
+/// ordering — the same invariant a sharded production dispatcher provides.
+/// A dispatcher thread feeds bounded channels; workers apply events to the
+/// store and record per-write latency.
+pub fn measure_throughput(
+    store: &CallStateStore,
+    events: &[CallEvent],
+    threads: usize,
+) -> ThroughputResult {
+    assert!(threads > 0);
+    let (senders, receivers): (Vec<_>, Vec<_>) =
+        (0..threads).map(|_| channel::bounded::<CallEvent>(4096)).unzip();
+
+    let start = Instant::now();
+    let mut merged = LatencyHistogram::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for rx in receivers {
+            let store = store.clone();
+            handles.push(s.spawn(move || {
+                let mut hist = LatencyHistogram::new();
+                while let Ok(ev) = rx.recv() {
+                    store.apply(ev, &mut hist);
+                }
+                hist
+            }));
+        }
+        // dispatch on this thread
+        for &ev in events {
+            let w = (ev.call() as usize) % threads;
+            senders[w].send(ev).expect("worker alive");
+        }
+        drop(senders);
+        for h in handles {
+            merged.merge(&h.join().expect("worker panicked"));
+        }
+    });
+    let elapsed = start.elapsed();
+    let events_per_sec = events.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    ThroughputResult {
+        threads,
+        events: events.len() as u64,
+        elapsed,
+        events_per_sec,
+        latency: merged,
+    }
+}
+
+/// Peak event arrival rate (events/second) of a trace given each event's
+/// timestamp in seconds, using per-`window_s` bucketing.
+pub fn peak_event_rate(timestamps_s: &[u32], window_s: u32) -> f64 {
+    assert!(window_s > 0);
+    if timestamps_s.is_empty() {
+        return 0.0;
+    }
+    let min = *timestamps_s.iter().min().unwrap();
+    let max = *timestamps_s.iter().max().unwrap();
+    let buckets = ((max - min) / window_s + 1) as usize;
+    let mut counts = vec![0u64; buckets];
+    for &t in timestamps_s {
+        counts[((t - min) / window_s) as usize] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(0);
+    peak as f64 / window_s as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callstate::MediaFlag;
+
+    fn synth_events(calls: u64, joins_per_call: u16) -> Vec<CallEvent> {
+        let mut ev = Vec::new();
+        for c in 0..calls {
+            ev.push(CallEvent::Start { call: c, country: (c % 9) as u16, dc: (c % 4) as u16 });
+            for _ in 0..joins_per_call {
+                ev.push(CallEvent::Join { call: c, country: ((c + 1) % 9) as u16 });
+            }
+            ev.push(CallEvent::Media { call: c, media: MediaFlag::Video });
+            ev.push(CallEvent::Freeze { call: c });
+            ev.push(CallEvent::End { call: c });
+        }
+        ev
+    }
+
+    #[test]
+    fn all_events_applied_and_calls_cleaned_up() {
+        let store = CallStateStore::new(64);
+        let events = synth_events(500, 4);
+        let r = measure_throughput(&store, &events, 4);
+        assert_eq!(r.events, events.len() as u64);
+        assert_eq!(r.latency.count(), events.len() as u64);
+        assert!(r.events_per_sec > 0.0);
+        assert_eq!(store.active_calls(), 0);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let store = CallStateStore::new(8);
+        let events = synth_events(100, 2);
+        let r = measure_throughput(&store, &events, 1);
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.events, events.len() as u64);
+    }
+
+    #[test]
+    fn per_call_ordering_preserved() {
+        // Start→Join×k→End per call through many threads must leave no state
+        // behind and never drop a join (joins apply only after start).
+        let store = CallStateStore::new(64);
+        let mut events = Vec::new();
+        for c in 0..64u64 {
+            events.push(CallEvent::Start { call: c, country: 0, dc: 0 });
+            for _ in 0..10 {
+                events.push(CallEvent::Join { call: c, country: 1 });
+            }
+        }
+        let r = measure_throughput(&store, &events, 8);
+        assert_eq!(r.events as usize, events.len());
+        for c in 0..64u64 {
+            let st = store.get(c).expect("call still active");
+            assert_eq!(st.total_participants(), 11, "call {c} lost joins");
+        }
+    }
+
+    #[test]
+    fn peak_rate_bucketing() {
+        // 10 events in second 0, 2 in second 5
+        let mut ts = vec![0u32; 10];
+        ts.extend([5u32, 5]);
+        assert_eq!(peak_event_rate(&ts, 1), 10.0);
+        // 60s window: all 12 in one bucket → 12/60
+        assert!((peak_event_rate(&ts, 60) - 0.2).abs() < 1e-12);
+        assert_eq!(peak_event_rate(&[], 1), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Lightweight latency recording for store operations (the paper reports
+//! per-write latencies of 0.3–4.2 ms against Azure Redis, §6.6).
+
+use std::time::Duration;
+
+/// Fixed-bucket log-scale histogram of operation latencies.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    /// Bucket `i` counts samples in `[2^i, 2^(i+1))` nanoseconds.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram (buckets cover 1 ns … ~18 s).
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        let idx = (64 - ns.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Merge another histogram (per-thread → global aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.count as u128) as u64)
+    }
+
+    /// Maximum observed latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Minimum observed latency.
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Approximate quantile (upper edge of the bucket containing it).
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_nanos(1u64 << (i + 1).min(63));
+            }
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.mean(), Duration::ZERO);
+        for us in [10u64, 20, 30, 40] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Duration::from_micros(25));
+        assert_eq!(h.max(), Duration::from_micros(40));
+        assert_eq!(h.min(), Duration::from_micros(10));
+        // p50 bucket upper edge must be >= true median and < max bucket edge
+        assert!(h.quantile(0.5) >= Duration::from_micros(16));
+        assert!(h.quantile(1.0) >= Duration::from_micros(40));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(5));
+        b.record(Duration::from_micros(15));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Duration::from_micros(10));
+        assert_eq!(a.min(), Duration::from_micros(5));
+        assert_eq!(a.max(), Duration::from_micros(15));
+    }
+
+    #[test]
+    fn zero_duration_safe() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! A sharded concurrent hash map — the in-process stand-in for the Azure
+//! Redis instance the paper's controller writes call state to (§6.6).
+//! Sharding by key hash keeps writer threads from serializing on one lock.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+
+use parking_lot::RwLock;
+
+/// Sharded `HashMap` with per-shard `RwLock`s.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    hasher: RandomState,
+    mask: usize,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// Create with `shards` rounded up to a power of two (minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedMap {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & self.mask]
+    }
+
+    /// Insert, returning the previous value.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key).write().insert(key, value)
+    }
+
+    /// Clone-read a value.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Read through a closure without cloning.
+    pub fn with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.shard(key).read().get(key).map(f)
+    }
+
+    /// Atomic read-modify-write; returns false when the key is absent.
+    pub fn update(&self, key: &K, f: impl FnOnce(&mut V)) -> bool {
+        match self.shard(key).write().get_mut(key) {
+            Some(v) => {
+                f(v);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert-or-update.
+    pub fn upsert(&self, key: K, insert: impl FnOnce() -> V, update: impl FnOnce(&mut V)) {
+        let mut guard = self.shard(&key).write();
+        match guard.get_mut(&key) {
+            Some(v) => update(v),
+            None => {
+                guard.insert(key, insert());
+            }
+        }
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key).write().remove(key)
+    }
+
+    /// Total entries across shards (not linearizable, like Redis `DBSIZE`).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shard_count_power_of_two() {
+        assert_eq!(ShardedMap::<u64, u64>::new(0).num_shards(), 1);
+        assert_eq!(ShardedMap::<u64, u64>::new(5).num_shards(), 8);
+        assert_eq!(ShardedMap::<u64, u64>::new(16).num_shards(), 16);
+    }
+
+    #[test]
+    fn basic_ops() {
+        let m = ShardedMap::new(8);
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1u64, "a"), None);
+        assert_eq!(m.insert(1, "b"), Some("a"));
+        assert_eq!(m.get(&1), Some("b"));
+        assert_eq!(m.with(&1, |v| v.len()), Some(1));
+        assert!(m.update(&1, |v| *v = "c"));
+        assert!(!m.update(&2, |_| unreachable!()));
+        m.upsert(2, || "x", |_| unreachable!());
+        m.upsert(2, || unreachable!(), |v| *v = "y");
+        assert_eq!(m.get(&2), Some("y"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(&1), Some("c"));
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_counters_are_exact() {
+        // read-modify-write under contention must not lose updates
+        let m = Arc::new(ShardedMap::new(4));
+        for k in 0..8u64 {
+            m.insert(k, 0u64);
+        }
+        let threads = 8;
+        let per_thread = 5_000;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let k = ((t + i) % 8) as u64;
+                        m.update(&k, |v| *v += 1);
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..8u64).map(|k| m.get(&k).unwrap()).sum();
+        assert_eq!(total, (threads * per_thread) as u64);
+    }
+}

@@ -1,0 +1,281 @@
+//! Call configurations (§5.1): the size, spread and media type of a call —
+//! the unit at which Switchboard forecasts and provisions.
+
+use std::collections::HashMap;
+
+use sb_net::CountryId;
+
+/// Media type of a call (§5.1): the heaviest medium present on the call.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum MediaType {
+    /// Audio-only call.
+    Audio,
+    /// At least one participant shares their screen (and nobody... see §5.1:
+    /// screen-share dominates video for classification).
+    ScreenShare,
+    /// At least one participant has video on, nobody screen-shares.
+    Video,
+}
+
+impl MediaType {
+    /// Per-participant compute load (`CL_m`, Table 1) in **cores**: an MP
+    /// server core mixes ~20 audio participants. Relative ratios sit inside
+    /// the paper's bands: audio 1×, screen-share 1.5×, video 2×.
+    pub fn compute_load(self) -> f64 {
+        match self {
+            MediaType::Audio => 0.05,
+            MediaType::ScreenShare => 0.075,
+            MediaType::Video => 0.10,
+        }
+    }
+
+    /// Per-participant network load (`NL_m`, Table 1) in **Gbps per call
+    /// leg**: audio ≈ 200 kbps, screen-share ≈ 3 Mbps, video ≈ 7 Mbps
+    /// (up + down, incl. overhead). Relative ratios: audio 1×, screen-share
+    /// 15× (NL/CL = 10× audio's), video 35× (NL/CL = 17.5× audio's) — inside
+    /// Table 1's bands.
+    pub fn network_load(self) -> f64 {
+        match self {
+            MediaType::Audio => 0.0002,
+            MediaType::ScreenShare => 0.003,
+            MediaType::Video => 0.007,
+        }
+    }
+
+    /// All media types.
+    pub fn all() -> [MediaType; 3] {
+        [MediaType::Audio, MediaType::ScreenShare, MediaType::Video]
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MediaType::Audio => "audio",
+            MediaType::ScreenShare => "screen-share",
+            MediaType::Video => "video",
+        }
+    }
+}
+
+/// A call configuration: participant count per country plus the media type.
+///
+/// The country list is kept sorted by country id so that configurations are
+/// canonical and hash-comparable (e.g. `((India-2, Japan-1), audio)`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CallConfig {
+    participants: Vec<(CountryId, u16)>,
+    media: MediaType,
+}
+
+impl CallConfig {
+    /// Build from unsorted `(country, count)` pairs; merges duplicates and
+    /// drops zero counts. Panics when the result would be an empty call.
+    pub fn new(mut participants: Vec<(CountryId, u16)>, media: MediaType) -> CallConfig {
+        participants.retain(|&(_, n)| n > 0);
+        participants.sort_unstable_by_key(|&(c, _)| c);
+        participants.dedup_by(|later, first| {
+            if later.0 == first.0 {
+                first.1 += later.1;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(!participants.is_empty(), "a call config needs at least one participant");
+        CallConfig { participants, media }
+    }
+
+    /// Sorted `(country, participant count)` pairs.
+    pub fn participants(&self) -> &[(CountryId, u16)] {
+        &self.participants
+    }
+
+    /// Media type.
+    pub fn media(&self) -> MediaType {
+        self.media
+    }
+
+    /// Total participant count `|P(c)|`.
+    pub fn total_participants(&self) -> u32 {
+        self.participants.iter().map(|&(_, n)| n as u32).sum()
+    }
+
+    /// Number of distinct countries.
+    pub fn num_countries(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Is every participant in one country?
+    pub fn intra_country(&self) -> bool {
+        self.participants.len() == 1
+    }
+
+    /// Country with the most participants (ties broken by lower id).
+    pub fn majority_country(&self) -> CountryId {
+        self.participants
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|&(c, _)| c)
+            .expect("non-empty by construction")
+    }
+
+    /// Compute load of one call of this config: `CL_m · |P(c)|` (Eq. 5).
+    pub fn compute_load(&self) -> f64 {
+        self.media.compute_load() * self.total_participants() as f64
+    }
+
+    /// Network load *per call leg* (`NL_m`); total per-call network load on a
+    /// link depends on which legs cross it (Eq. 6).
+    pub fn leg_network_load(&self) -> f64 {
+        self.media.network_load()
+    }
+}
+
+/// Interned id for a [`CallConfig`] inside one [`ConfigCatalog`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ConfigId(pub u32);
+
+impl ConfigId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interner mapping [`CallConfig`] ⇄ [`ConfigId`].
+#[derive(Clone, Debug, Default)]
+pub struct ConfigCatalog {
+    configs: Vec<CallConfig>,
+    index: HashMap<CallConfig, ConfigId>,
+}
+
+impl ConfigCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a config, returning its stable id.
+    pub fn intern(&mut self, cfg: CallConfig) -> ConfigId {
+        if let Some(&id) = self.index.get(&cfg) {
+            return id;
+        }
+        let id = ConfigId(self.configs.len() as u32);
+        self.configs.push(cfg.clone());
+        self.index.insert(cfg, id);
+        id
+    }
+
+    /// Look up an id without interning.
+    pub fn get(&self, cfg: &CallConfig) -> Option<ConfigId> {
+        self.index.get(cfg).copied()
+    }
+
+    /// Resolve an id.
+    pub fn config(&self, id: ConfigId) -> &CallConfig {
+        &self.configs[id.index()]
+    }
+
+    /// Number of interned configs.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Iterate `(id, config)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ConfigId, &CallConfig)> {
+        self.configs.iter().enumerate().map(|(i, c)| (ConfigId(i as u32), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u16) -> CountryId {
+        CountryId(i)
+    }
+
+    #[test]
+    fn media_load_ratios_match_table1() {
+        // Table 1 expresses everything relative to audio
+        let a_cl = MediaType::Audio.compute_load();
+        let a_nl = MediaType::Audio.network_load();
+        let a_ratio = a_nl / a_cl;
+        for m in MediaType::all() {
+            let cl = m.compute_load() / a_cl;
+            let nl = m.network_load() / a_nl;
+            let ratio = (m.network_load() / m.compute_load()) / a_ratio;
+            match m {
+                MediaType::Audio => {
+                    assert_eq!((cl, nl, ratio), (1.0, 1.0, 1.0));
+                }
+                MediaType::ScreenShare => {
+                    assert!((1.0..=2.0).contains(&cl), "CL {cl}");
+                    assert!((10.0..=20.0).contains(&nl), "NL {nl}");
+                    assert!((10.0..=15.0).contains(&ratio), "NL/CL {ratio}");
+                }
+                MediaType::Video => {
+                    assert!((2.0..=4.0).contains(&cl), "CL {cl}");
+                    assert!((30.0..=40.0).contains(&nl), "NL {nl}");
+                    assert!((15.0..=20.0).contains(&ratio), "NL/CL {ratio}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalization() {
+        let a = CallConfig::new(vec![(c(2), 1), (c(0), 2)], MediaType::Audio);
+        let b = CallConfig::new(vec![(c(0), 1), (c(2), 1), (c(0), 1)], MediaType::Audio);
+        assert_eq!(a, b);
+        assert_eq!(a.total_participants(), 3);
+        assert_eq!(a.majority_country(), c(0));
+    }
+
+    #[test]
+    fn zero_counts_dropped() {
+        let a = CallConfig::new(vec![(c(1), 0), (c(3), 2)], MediaType::Video);
+        assert_eq!(a.num_countries(), 1);
+        assert!(a.intra_country());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn empty_config_rejected() {
+        CallConfig::new(vec![(c(1), 0)], MediaType::Audio);
+    }
+
+    #[test]
+    fn majority_tie_breaks_to_lower_id() {
+        let a = CallConfig::new(vec![(c(5), 2), (c(3), 2)], MediaType::Audio);
+        assert_eq!(a.majority_country(), c(3));
+    }
+
+    #[test]
+    fn loads() {
+        let a = CallConfig::new(vec![(c(0), 2), (c(1), 1)], MediaType::Video);
+        assert_eq!(a.compute_load(), 3.0 * MediaType::Video.compute_load());
+        assert_eq!(a.leg_network_load(), MediaType::Video.network_load());
+    }
+
+    #[test]
+    fn catalog_interning_stable() {
+        let mut cat = ConfigCatalog::new();
+        let a = CallConfig::new(vec![(c(0), 2)], MediaType::Audio);
+        let b = CallConfig::new(vec![(c(0), 2), (c(1), 1)], MediaType::Audio);
+        let ia = cat.intern(a.clone());
+        let ib = cat.intern(b.clone());
+        assert_ne!(ia, ib);
+        assert_eq!(cat.intern(a.clone()), ia);
+        assert_eq!(cat.get(&b), Some(ib));
+        assert_eq!(cat.config(ia), &a);
+        assert_eq!(cat.len(), 2);
+        let ids: Vec<_> = cat.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![ia, ib]);
+    }
+}

@@ -1,0 +1,387 @@
+//! Demand matrices: expected or observed call counts per `(call config, time
+//! slot)` — the `D_tc` input of the provisioning LP (Table 2) and the
+//! timeseries input of the forecaster.
+
+use sb_net::{CountryId, Topology};
+
+use crate::config::{ConfigCatalog, ConfigId};
+
+/// Call counts per `(config, slot)`, config-major so each config's timeseries
+/// is a contiguous slice.
+#[derive(Clone, Debug)]
+pub struct DemandMatrix {
+    /// Slot width in minutes (30 in the paper).
+    pub slot_minutes: u32,
+    /// Absolute UTC minute of slot 0.
+    pub start_minute: u64,
+    num_configs: usize,
+    num_slots: usize,
+    counts: Vec<f64>,
+}
+
+impl DemandMatrix {
+    /// Zero matrix.
+    pub fn zero(
+        num_configs: usize,
+        num_slots: usize,
+        slot_minutes: u32,
+        start_minute: u64,
+    ) -> DemandMatrix {
+        assert!(slot_minutes > 0);
+        DemandMatrix {
+            slot_minutes,
+            start_minute,
+            num_configs,
+            num_slots,
+            counts: vec![0.0; num_configs * num_slots],
+        }
+    }
+
+    /// Number of configs (rows).
+    pub fn num_configs(&self) -> usize {
+        self.num_configs
+    }
+
+    /// Number of slots (columns).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Call count for `(config, slot)`.
+    pub fn get(&self, cfg: ConfigId, slot: usize) -> f64 {
+        self.counts[cfg.index() * self.num_slots + slot]
+    }
+
+    /// Set a count.
+    pub fn set(&mut self, cfg: ConfigId, slot: usize, v: f64) {
+        assert!(v >= 0.0);
+        self.counts[cfg.index() * self.num_slots + slot] = v;
+    }
+
+    /// Add to a count.
+    pub fn add(&mut self, cfg: ConfigId, slot: usize, v: f64) {
+        self.counts[cfg.index() * self.num_slots + slot] += v;
+    }
+
+    /// The full timeseries of one config.
+    pub fn series(&self, cfg: ConfigId) -> &[f64] {
+        &self.counts[cfg.index() * self.num_slots..(cfg.index() + 1) * self.num_slots]
+    }
+
+    /// Absolute UTC minute at which `slot` starts.
+    pub fn slot_start_minute(&self, slot: usize) -> u64 {
+        self.start_minute + slot as u64 * self.slot_minutes as u64
+    }
+
+    /// Slot containing an absolute UTC minute, if in range.
+    pub fn slot_of_minute(&self, minute: u64) -> Option<usize> {
+        if minute < self.start_minute {
+            return None;
+        }
+        let s = ((minute - self.start_minute) / self.slot_minutes as u64) as usize;
+        (s < self.num_slots).then_some(s)
+    }
+
+    /// Total calls across everything.
+    pub fn total_calls(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total calls per config.
+    pub fn config_totals(&self) -> Vec<f64> {
+        (0..self.num_configs)
+            .map(|c| self.series(ConfigId(c as u32)).iter().sum())
+            .collect()
+    }
+
+    /// Total calls per slot.
+    pub fn slot_totals(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_slots];
+        for c in 0..self.num_configs {
+            for (s, v) in self.series(ConfigId(c as u32)).iter().enumerate() {
+                out[s] += v;
+            }
+        }
+        out
+    }
+
+    /// Configs ordered by descending total call count.
+    pub fn configs_by_popularity(&self) -> Vec<(ConfigId, f64)> {
+        let mut v: Vec<(ConfigId, f64)> = self
+            .config_totals()
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (ConfigId(i as u32), t))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The most popular configs covering at least `frac ∈ (0,1]` of all calls
+    /// (the "top 1 %" selection of §5.2).
+    pub fn top_configs_covering(&self, frac: f64) -> Vec<ConfigId> {
+        assert!((0.0..=1.0).contains(&frac));
+        let total = self.total_calls();
+        let mut acc = 0.0;
+        let mut out = Vec::new();
+        for (id, t) in self.configs_by_popularity() {
+            if acc >= frac * total || t == 0.0 {
+                break;
+            }
+            acc += t;
+            out.push(id);
+        }
+        out
+    }
+
+    /// Top `n` most popular configs.
+    pub fn top_n_configs(&self, n: usize) -> Vec<ConfigId> {
+        self.configs_by_popularity()
+            .into_iter()
+            .take(n)
+            .filter(|&(_, t)| t > 0.0)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Coverage curve for Fig. 7c: for each prefix of the popularity ranking,
+    /// `(fraction of configs, fraction of calls, fraction of participants)`.
+    pub fn coverage_curve(&self, catalog: &ConfigCatalog) -> Vec<(f64, f64, f64)> {
+        let ranked = self.configs_by_popularity();
+        let total_calls = self.total_calls();
+        let total_participants: f64 = ranked
+            .iter()
+            .map(|&(id, t)| t * catalog.config(id).total_participants() as f64)
+            .sum();
+        let n = ranked.len() as f64;
+        let mut calls_acc = 0.0;
+        let mut part_acc = 0.0;
+        ranked
+            .iter()
+            .enumerate()
+            .map(|(i, &(id, t))| {
+                calls_acc += t;
+                part_acc += t * catalog.config(id).total_participants() as f64;
+                (
+                    (i + 1) as f64 / n,
+                    if total_calls > 0.0 { calls_acc / total_calls } else { 0.0 },
+                    if total_participants > 0.0 { part_acc / total_participants } else { 0.0 },
+                )
+            })
+            .collect()
+    }
+
+    /// Fold a multi-day matrix into one *envelope day*: for each slot-of-day,
+    /// the maximum demand across days. Provisioning for the envelope day
+    /// covers every day of the horizon (the standard reduction that keeps
+    /// the LP at `T = slots_per_day` rows; see DESIGN.md §5).
+    pub fn envelope_day(&self, slots_per_day: usize) -> DemandMatrix {
+        assert!(slots_per_day > 0 && self.num_slots >= slots_per_day);
+        let mut out =
+            DemandMatrix::zero(self.num_configs, slots_per_day, self.slot_minutes, self.start_minute);
+        for c in 0..self.num_configs {
+            let id = ConfigId(c as u32);
+            for (s, &v) in self.series(id).iter().enumerate() {
+                let sod = s % slots_per_day;
+                if v > out.get(id, sod) {
+                    out.set(id, sod, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Keep only the given configs (others zeroed) — the §5.2 top-coverage
+    /// selection.
+    pub fn filtered(&self, keep: &[ConfigId]) -> DemandMatrix {
+        let mut out = DemandMatrix::zero(
+            self.num_configs,
+            self.num_slots,
+            self.slot_minutes,
+            self.start_minute,
+        );
+        for &id in keep {
+            let src = self.series(id).to_vec();
+            for (s, v) in src.into_iter().enumerate() {
+                out.set(id, s, v);
+            }
+        }
+        out
+    }
+
+    /// Uniformly scale all demand (the §5.2 cushion for uncovered and future
+    /// configs).
+    pub fn scaled(&self, factor: f64) -> DemandMatrix {
+        assert!(factor >= 0.0);
+        let mut out = self.clone();
+        for v in out.counts.iter_mut() {
+            *v *= factor;
+        }
+        out
+    }
+
+    /// A sub-window of slots `[from, to)` (same configs).
+    pub fn window(&self, from: usize, to: usize) -> DemandMatrix {
+        assert!(from <= to && to <= self.num_slots);
+        let mut out = DemandMatrix::zero(
+            self.num_configs,
+            to - from,
+            self.slot_minutes,
+            self.slot_start_minute(from),
+        );
+        for c in 0..self.num_configs {
+            let id = ConfigId(c as u32);
+            let src = &self.series(id)[from..to];
+            out.counts[c * out.num_slots..(c + 1) * out.num_slots].copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Per-country core demand per slot (`Σ_calls CL · participants_from_u`):
+    /// the quantity plotted in Fig. 3.
+    pub fn country_core_demand(&self, catalog: &ConfigCatalog, topo: &Topology) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.num_slots]; topo.countries.len()];
+        for (id, cfg) in catalog.iter() {
+            if id.index() >= self.num_configs {
+                break;
+            }
+            let cl = cfg.media().compute_load();
+            for &(country, n) in cfg.participants() {
+                let row = &mut out[country.index()];
+                for (s, v) in self.series(id).iter().enumerate() {
+                    row[s] += v * cl * n as f64;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-country core demand for one country.
+    pub fn country_series(
+        &self,
+        catalog: &ConfigCatalog,
+        topo: &Topology,
+        country: CountryId,
+    ) -> Vec<f64> {
+        self.country_core_demand(catalog, topo)
+            .swap_remove(country.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CallConfig, MediaType};
+
+    fn catalog2() -> (ConfigCatalog, ConfigId, ConfigId) {
+        let mut cat = ConfigCatalog::new();
+        let a = cat.intern(CallConfig::new(vec![(CountryId(0), 2)], MediaType::Audio));
+        let b = cat.intern(CallConfig::new(
+            vec![(CountryId(0), 1), (CountryId(1), 3)],
+            MediaType::Video,
+        ));
+        (cat, a, b)
+    }
+
+    #[test]
+    fn get_set_series() {
+        let (_, a, b) = catalog2();
+        let mut m = DemandMatrix::zero(2, 4, 30, 0);
+        m.set(a, 0, 5.0);
+        m.add(a, 0, 1.0);
+        m.set(b, 3, 2.0);
+        assert_eq!(m.get(a, 0), 6.0);
+        assert_eq!(m.series(a), &[6.0, 0.0, 0.0, 0.0]);
+        assert_eq!(m.series(b), &[0.0, 0.0, 0.0, 2.0]);
+        assert_eq!(m.total_calls(), 8.0);
+        assert_eq!(m.slot_totals(), vec![6.0, 0.0, 0.0, 2.0]);
+        assert_eq!(m.config_totals(), vec![6.0, 2.0]);
+    }
+
+    #[test]
+    fn slot_time_mapping() {
+        let m = DemandMatrix::zero(1, 4, 30, 600);
+        assert_eq!(m.slot_start_minute(2), 660);
+        assert_eq!(m.slot_of_minute(600), Some(0));
+        assert_eq!(m.slot_of_minute(629), Some(0));
+        assert_eq!(m.slot_of_minute(630), Some(1));
+        assert_eq!(m.slot_of_minute(599), None);
+        assert_eq!(m.slot_of_minute(600 + 4 * 30), None);
+    }
+
+    #[test]
+    fn popularity_and_coverage() {
+        let (cat, a, b) = catalog2();
+        let mut m = DemandMatrix::zero(2, 2, 30, 0);
+        m.set(a, 0, 9.0);
+        m.set(b, 0, 1.0);
+        let ranked = m.configs_by_popularity();
+        assert_eq!(ranked[0].0, a);
+        assert_eq!(m.top_configs_covering(0.5), vec![a]);
+        assert_eq!(m.top_configs_covering(1.0), vec![a, b]);
+        assert_eq!(m.top_n_configs(1), vec![a]);
+        let cov = m.coverage_curve(&cat);
+        assert_eq!(cov.len(), 2);
+        assert!((cov[0].1 - 0.9).abs() < 1e-12);
+        // participants: a: 9*2=18, b: 1*4=4 → first point 18/22
+        assert!((cov[0].2 - 18.0 / 22.0).abs() < 1e-12);
+        assert!((cov[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn envelope_day_takes_per_slot_max() {
+        let (_, a, b) = catalog2();
+        // 2 days × 2 slots/day
+        let mut m = DemandMatrix::zero(2, 4, 30, 0);
+        m.set(a, 0, 1.0);
+        m.set(a, 2, 5.0); // day 2, slot-of-day 0
+        m.set(b, 1, 4.0);
+        m.set(b, 3, 2.0);
+        let e = m.envelope_day(2);
+        assert_eq!(e.num_slots(), 2);
+        assert_eq!(e.get(a, 0), 5.0);
+        assert_eq!(e.get(b, 1), 4.0);
+    }
+
+    #[test]
+    fn filtered_and_scaled() {
+        let (_, a, b) = catalog2();
+        let mut m = DemandMatrix::zero(2, 2, 30, 0);
+        m.set(a, 0, 3.0);
+        m.set(b, 1, 7.0);
+        let f = m.filtered(&[a]);
+        assert_eq!(f.get(a, 0), 3.0);
+        assert_eq!(f.get(b, 1), 0.0);
+        let s = m.scaled(2.0);
+        assert_eq!(s.get(b, 1), 14.0);
+        assert_eq!(s.get(a, 0), 6.0);
+    }
+
+    #[test]
+    fn window_slices() {
+        let (_, a, _) = catalog2();
+        let mut m = DemandMatrix::zero(2, 4, 30, 0);
+        for s in 0..4 {
+            m.set(a, s, s as f64);
+        }
+        let w = m.window(1, 3);
+        assert_eq!(w.num_slots(), 2);
+        assert_eq!(w.series(a), &[1.0, 2.0]);
+        assert_eq!(w.start_minute, 30);
+    }
+
+    #[test]
+    fn country_core_demand_attribution() {
+        let (cat, a, b) = catalog2();
+        let topo = sb_net::presets::toy_three_dc();
+        let mut m = DemandMatrix::zero(2, 1, 30, 0);
+        m.set(a, 0, 2.0); // 2 audio calls, 2 participants each, country 0
+        m.set(b, 0, 1.0); // 1 video call: 1 from country 0, 3 from country 1
+        let d = m.country_core_demand(&cat, &topo);
+        let audio_cl = MediaType::Audio.compute_load();
+        let video_cl = MediaType::Video.compute_load();
+        assert!((d[0][0] - (2.0 * 2.0 * audio_cl + 1.0 * 1.0 * video_cl)).abs() < 1e-12);
+        assert!((d[1][0] - 1.0 * 3.0 * video_cl).abs() < 1e-12);
+        assert_eq!(d[2][0], 0.0);
+    }
+}

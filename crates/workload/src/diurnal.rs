@@ -1,0 +1,151 @@
+//! Diurnal / weekly activity model: conferencing demand follows local work
+//! hours, which is what creates the time-shifted peaks across time zones that
+//! Switchboard exploits (Fig. 3).
+
+/// Minutes per day.
+pub const MINUTES_PER_DAY: u64 = 24 * 60;
+
+/// Day-of-week for an absolute day index; day 0 is a Monday.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DayOfWeek {
+    /// Monday.
+    Mon,
+    /// Tuesday.
+    Tue,
+    /// Wednesday.
+    Wed,
+    /// Thursday.
+    Thu,
+    /// Friday.
+    Fri,
+    /// Saturday.
+    Sat,
+    /// Sunday.
+    Sun,
+}
+
+impl DayOfWeek {
+    /// From an absolute day index (day 0 = Monday).
+    pub fn from_day(day: i64) -> DayOfWeek {
+        match day.rem_euclid(7) {
+            0 => DayOfWeek::Mon,
+            1 => DayOfWeek::Tue,
+            2 => DayOfWeek::Wed,
+            3 => DayOfWeek::Thu,
+            4 => DayOfWeek::Fri,
+            5 => DayOfWeek::Sat,
+            _ => DayOfWeek::Sun,
+        }
+    }
+
+    /// Weekly demand multiplier: business days full, weekends quiet.
+    pub fn factor(self) -> f64 {
+        match self {
+            DayOfWeek::Mon => 0.97,
+            DayOfWeek::Tue => 1.02,
+            DayOfWeek::Wed => 1.03,
+            DayOfWeek::Thu => 1.0,
+            DayOfWeek::Fri => 0.9,
+            DayOfWeek::Sat => 0.14,
+            DayOfWeek::Sun => 0.11,
+        }
+    }
+}
+
+fn gaussian(x: f64, mu: f64, sigma: f64) -> f64 {
+    (-((x - mu) / sigma).powi(2) / 2.0).exp()
+}
+
+/// Within-day activity at local hour `h ∈ [0, 24)`: a business-hours bimodal
+/// curve (morning peak ≈ 9:30, afternoon peak ≈ 14:00) over a small
+/// out-of-hours floor. Peak value is ≈ 1.0.
+pub fn local_activity(h: f64) -> f64 {
+    let h = h.rem_euclid(24.0);
+    let morning = gaussian(h, 9.5, 1.3);
+    let afternoon = 0.62 * gaussian(h, 14.0, 1.9);
+    let evening = 0.08 * gaussian(h, 19.5, 1.8);
+    0.02 + morning + afternoon + evening
+}
+
+/// Full activity multiplier for a country at an absolute UTC minute:
+/// converts to local time via `utc_offset_hours`, then applies the local
+/// time-of-day curve and the local day-of-week factor.
+pub fn activity_at(utc_minute: u64, utc_offset_hours: f64) -> f64 {
+    let local_min = utc_minute as f64 + utc_offset_hours * 60.0;
+    let local_day = (local_min / MINUTES_PER_DAY as f64).floor() as i64;
+    let local_hour = (local_min - local_day as f64 * MINUTES_PER_DAY as f64) / 60.0;
+    local_activity(local_hour) * DayOfWeek::from_day(local_day).factor()
+}
+
+/// UTC hour (fractional) at which the given offset's local activity peaks —
+/// useful for Fig. 3-style assertions.
+pub fn peak_utc_hour(utc_offset_hours: f64) -> f64 {
+    // local peak is at the maximum of `local_activity`
+    let mut best = (0.0, f64::MIN);
+    for i in 0..(24 * 60) {
+        let h = i as f64 / 60.0;
+        let a = local_activity(h);
+        if a > best.1 {
+            best = (h, a);
+        }
+    }
+    (best.0 - utc_offset_hours).rem_euclid(24.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_of_week_cycles() {
+        assert_eq!(DayOfWeek::from_day(0), DayOfWeek::Mon);
+        assert_eq!(DayOfWeek::from_day(5), DayOfWeek::Sat);
+        assert_eq!(DayOfWeek::from_day(7), DayOfWeek::Mon);
+        assert_eq!(DayOfWeek::from_day(-1), DayOfWeek::Sun);
+    }
+
+    #[test]
+    fn business_hours_dominate_nights() {
+        assert!(local_activity(10.0) > 10.0 * local_activity(3.0));
+        assert!(local_activity(14.0) > 5.0 * local_activity(22.0));
+    }
+
+    #[test]
+    fn peak_near_mid_morning() {
+        let mut best = (0.0, f64::MIN);
+        for i in 0..(24 * 60) {
+            let h = i as f64 / 60.0;
+            let a = local_activity(h);
+            if a > best.1 {
+                best = (h, a);
+            }
+        }
+        assert!((9.0..10.5).contains(&best.0), "peak at {}", best.0);
+    }
+
+    #[test]
+    fn timezone_shift_moves_utc_peak() {
+        // Japan (+9) peaks ~0:30 UTC; India (+5.5) ~4:00 UTC — shifted by 3.5h
+        let jp = peak_utc_hour(9.0);
+        let ind = peak_utc_hour(5.5);
+        assert!((jp..jp + 4.0).contains(&ind), "jp {jp} in {ind}");
+        assert!(((ind - jp) - 3.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn weekend_suppression_in_activity_at() {
+        // day 2 (Wed) vs day 5 (Sat) at local 10:00, offset 0
+        let wed = activity_at(2 * MINUTES_PER_DAY + 10 * 60, 0.0);
+        let sat = activity_at(5 * MINUTES_PER_DAY + 10 * 60, 0.0);
+        assert!(wed > 5.0 * sat);
+    }
+
+    #[test]
+    fn offset_crosses_day_boundary_correctly() {
+        // UTC Friday 23:00 is Saturday 08:00 in a +9 zone: weekend factor
+        let fri_23_utc = 4 * MINUTES_PER_DAY + 23 * 60;
+        let a = activity_at(fri_23_utc, 9.0);
+        let same_local_hour_weekday = activity_at(2 * MINUTES_PER_DAY + 8 * 60, 0.0);
+        assert!(a < 0.3 * same_local_hour_weekday);
+    }
+}

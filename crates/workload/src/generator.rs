@@ -1,0 +1,417 @@
+//! Top-level workload generator: expected demand matrices (the provisioning
+//! ground truth), Poisson-sampled demand, and full call-record traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_net::Topology;
+
+use crate::config::ConfigId;
+use crate::demand::DemandMatrix;
+use crate::diurnal::{activity_at, MINUTES_PER_DAY};
+use crate::joins::sample_join_offsets;
+use crate::records::{CallRecord, CallRecordsDb};
+use crate::sampling::{lognormal, poisson, weighted_index};
+use crate::universe::{growth_multiplier, Universe, UniverseParams};
+
+/// Workload generation parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadParams {
+    /// Universe (config population) parameters.
+    pub universe: UniverseParams,
+    /// Expected calls per day at day 0 (before growth).
+    pub daily_calls: f64,
+    /// Slot width in minutes (30 in the paper).
+    pub slot_minutes: u32,
+    /// Mean call duration in minutes.
+    pub duration_mean_min: f64,
+    /// Probability that the first joiner is from the majority country
+    /// (95.2 % in the paper, §5.4).
+    pub first_joiner_majority_prob: f64,
+    /// RNG seed for trace sampling.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            universe: UniverseParams::default(),
+            daily_calls: 20_000.0,
+            slot_minutes: 30,
+            duration_mean_min: 35.0,
+            first_joiner_majority_prob: 0.952,
+            seed: 11,
+        }
+    }
+}
+
+/// A workload generator bound to one topology. Construction precomputes the
+/// config universe; demand and traces are then derived deterministically from
+/// the seed.
+pub struct Generator<'t> {
+    topo: &'t Topology,
+    params: WorkloadParams,
+    universe: Universe,
+    /// Per-config normalization so `weight` equals the share of calls in an
+    /// average (reference-week) day.
+    day_norm: Vec<f64>,
+}
+
+impl<'t> Generator<'t> {
+    /// Build a generator (precomputes the universe and normalizations).
+    pub fn new(topo: &'t Topology, params: WorkloadParams) -> Generator<'t> {
+        let universe = Universe::generate(topo, &params.universe);
+        let slots_per_day = (MINUTES_PER_DAY / params.slot_minutes as u64) as usize;
+        // reference week: average per-day activity mass per config
+        let week_slots = slots_per_day * 7;
+        let activity = Self::country_activity(topo, params.slot_minutes, 0, week_slots);
+        let day_norm = universe
+            .specs
+            .iter()
+            .map(|spec| {
+                let total: f64 = (0..week_slots)
+                    .map(|s| {
+                        spec.country_mix
+                            .iter()
+                            .map(|&(c, share)| share * activity[c.index()][s])
+                            .sum::<f64>()
+                    })
+                    .sum();
+                (total / 7.0).max(1e-12)
+            })
+            .collect();
+        Generator { topo, params, universe, day_norm }
+    }
+
+    /// The underlying universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The generation parameters.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Slots per day at the configured slot width.
+    pub fn slots_per_day(&self) -> usize {
+        (MINUTES_PER_DAY / self.params.slot_minutes as u64) as usize
+    }
+
+    /// Per-country activity per slot over a window (precomputed once per
+    /// call; `activity[country][slot]`).
+    fn country_activity(
+        topo: &Topology,
+        slot_minutes: u32,
+        start_minute: u64,
+        num_slots: usize,
+    ) -> Vec<Vec<f64>> {
+        topo.countries
+            .iter()
+            .map(|c| {
+                (0..num_slots)
+                    .map(|s| {
+                        // mid-slot sampling
+                        let minute = start_minute
+                            + s as u64 * slot_minutes as u64
+                            + slot_minutes as u64 / 2;
+                        activity_at(minute, c.utc_offset_hours)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Expected (fractional) demand matrix for `[start_day, start_day+days)`.
+    ///
+    /// `λ_{c,t} = daily_calls · weight_c · growth_c(day) · shape_c(t) / norm_c`.
+    pub fn expected_demand(&self, start_day: u32, days: u32) -> DemandMatrix {
+        let slots_per_day = self.slots_per_day();
+        let num_slots = slots_per_day * days as usize;
+        let start_minute = start_day as u64 * MINUTES_PER_DAY;
+        let activity =
+            Self::country_activity(self.topo, self.params.slot_minutes, start_minute, num_slots);
+        let mut m = DemandMatrix::zero(
+            self.universe.catalog.len(),
+            num_slots,
+            self.params.slot_minutes,
+            start_minute,
+        );
+        for (ci, spec) in self.universe.specs.iter().enumerate() {
+            let base = self.params.daily_calls * spec.weight / self.day_norm[ci];
+            for s in 0..num_slots {
+                let day = start_day as f64 + (s / slots_per_day) as f64;
+                let shape: f64 = spec
+                    .country_mix
+                    .iter()
+                    .map(|&(c, share)| share * activity[c.index()][s])
+                    .sum();
+                let lambda = base * shape * growth_multiplier(day, spec.annual_growth);
+                if lambda > 0.0 {
+                    m.set(spec.id, s, lambda);
+                }
+            }
+        }
+        m
+    }
+
+    /// Poisson-sampled integer demand around the expectation — the "ground
+    /// truth" call counts for an as-yet-unseen period.
+    pub fn sample_demand(&self, start_day: u32, days: u32, seed_offset: u64) -> DemandMatrix {
+        let expected = self.expected_demand(start_day, days);
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ seed_offset);
+        let mut m = DemandMatrix::zero(
+            expected.num_configs(),
+            expected.num_slots(),
+            expected.slot_minutes,
+            expected.start_minute,
+        );
+        for c in 0..expected.num_configs() {
+            let id = ConfigId(c as u32);
+            for s in 0..expected.num_slots() {
+                let lambda = expected.get(id, s);
+                if lambda > 0.0 {
+                    m.set(id, s, poisson(&mut rng, lambda) as f64);
+                }
+            }
+        }
+        m
+    }
+
+    /// Expected per-slot rate series for one config (cheaper than building
+    /// the full matrix when only a few configs matter, e.g. forecasting).
+    pub fn expected_config_series(&self, id: ConfigId, start_day: u32, days: u32) -> Vec<f64> {
+        let slots_per_day = self.slots_per_day();
+        let num_slots = slots_per_day * days as usize;
+        let start_minute = start_day as u64 * MINUTES_PER_DAY;
+        let spec = &self.universe.specs[id.index()];
+        let base = self.params.daily_calls * spec.weight / self.day_norm[id.index()];
+        (0..num_slots)
+            .map(|s| {
+                let minute =
+                    start_minute + s as u64 * self.params.slot_minutes as u64
+                        + self.params.slot_minutes as u64 / 2;
+                let day = start_day as f64 + (s / slots_per_day) as f64;
+                let shape: f64 = spec
+                    .country_mix
+                    .iter()
+                    .map(|&(c, share)| {
+                        share * activity_at(minute, self.topo.countries[c.index()].utc_offset_hours)
+                    })
+                    .sum();
+                base * shape * growth_multiplier(day, spec.annual_growth)
+            })
+            .collect()
+    }
+
+    /// Poisson-sampled call counts for one config over a window.
+    pub fn sample_config_series(
+        &self,
+        id: ConfigId,
+        start_day: u32,
+        days: u32,
+        seed_offset: u64,
+    ) -> Vec<f64> {
+        let expected = self.expected_config_series(id, start_day, days);
+        let mut rng =
+            StdRng::seed_from_u64(self.params.seed ^ seed_offset ^ (id.0 as u64).wrapping_mul(0x9E37_79B9));
+        expected.into_iter().map(|l| poisson(&mut rng, l) as f64).collect()
+    }
+
+    /// Full call-record trace for `[start_day, start_day+days)`.
+    pub fn sample_records(&self, start_day: u32, days: u32, seed_offset: u64) -> CallRecordsDb {
+        let expected = self.expected_demand(start_day, days);
+        let mut rng = StdRng::seed_from_u64(self.params.seed.wrapping_mul(31) ^ seed_offset);
+        let mut db = CallRecordsDb::new(self.universe.catalog.clone());
+        let mut next_id = 0u64;
+        let dur_sigma = 0.7f64;
+        // lognormal(mu, sigma) has mean exp(mu + sigma²/2)
+        let dur_mu = self.params.duration_mean_min.ln() - dur_sigma * dur_sigma / 2.0;
+        for (ci, spec) in self.universe.specs.iter().enumerate() {
+            let cfg = self.universe.catalog.config(spec.id).clone();
+            let majority = cfg.majority_country();
+            let n_participants = cfg.total_participants();
+            let country_weights: Vec<f64> =
+                cfg.participants().iter().map(|&(_, n)| n as f64).collect();
+            let countries: Vec<_> = cfg.participants().iter().map(|&(c, _)| c).collect();
+            let _ = ci;
+            for s in 0..expected.num_slots() {
+                let lambda = expected.get(spec.id, s);
+                if lambda <= 0.0 {
+                    continue;
+                }
+                let n = poisson(&mut rng, lambda);
+                for _ in 0..n {
+                    let start_minute = expected.slot_start_minute(s)
+                        + rng.gen_range(0..self.params.slot_minutes as u64);
+                    let duration =
+                        lognormal(&mut rng, dur_mu, dur_sigma).clamp(2.0, 8.0 * 60.0) as u16;
+                    let first_joiner =
+                        if rng.gen::<f64>() < self.params.first_joiner_majority_prob
+                            || countries.len() == 1
+                        {
+                            majority
+                        } else {
+                            countries[weighted_index(&mut rng, &country_weights)]
+                        };
+                    let join_offsets_s = sample_join_offsets(&mut rng, n_participants);
+                    db.push(CallRecord {
+                        id: next_id,
+                        config: spec.id,
+                        start_minute,
+                        duration_min: duration.max(2),
+                        first_joiner,
+                        join_offsets_s,
+                    });
+                    next_id += 1;
+                }
+            }
+        }
+        db.sort_by_start();
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_net::presets;
+
+    fn small_params() -> WorkloadParams {
+        WorkloadParams {
+            universe: UniverseParams { num_configs: 60, seed: 3, ..Default::default() },
+            daily_calls: 800.0,
+            seed: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn expected_demand_total_tracks_daily_calls() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        // week 0 (reference): total over 7 days ≈ 7 × daily_calls (modulo
+        // growth within the week)
+        let m = g.expected_demand(0, 7);
+        let total = m.total_calls();
+        assert!(
+            (total - 7.0 * 800.0).abs() < 0.15 * 7.0 * 800.0,
+            "weekly total {total}"
+        );
+    }
+
+    #[test]
+    fn weekday_peaks_dominate_weekend() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let m = g.expected_demand(0, 7);
+        let per_slot = m.slot_totals();
+        let spd = g.slots_per_day();
+        // Compare the APAC business window (UTC 00:00–15:00 covers local
+        // 05:30–24:00 across UTC+5.5…+10) of a Wednesday vs a Sunday; the
+        // UTC tail of Sunday belongs to local Monday morning and must be
+        // excluded from the weekend measurement.
+        let window = 30 * spd / 48; // first 15 hours
+        let wed_peak = per_slot[2 * spd..2 * spd + window].iter().cloned().fold(0.0, f64::max);
+        let sun_peak = per_slot[6 * spd..6 * spd + window].iter().cloned().fold(0.0, f64::max);
+        assert!(wed_peak > 4.0 * sun_peak, "wed {wed_peak} sun {sun_peak}");
+    }
+
+    #[test]
+    fn growth_increases_demand_over_months() {
+        let topo = presets::apac();
+        let mut p = small_params();
+        p.universe.growth_mean = 0.5;
+        p.universe.growth_std = 0.0;
+        let g = Generator::new(&topo, p);
+        let early = g.expected_demand(0, 7).total_calls();
+        let late = g.expected_demand(180, 7).total_calls();
+        let ratio = late / early;
+        // 1.5^(180/365) ≈ 1.22
+        assert!((1.15..1.35).contains(&ratio), "growth ratio {ratio}");
+    }
+
+    #[test]
+    fn country_peaks_shift_with_timezone() {
+        // Fig. 3: Japan peaks earlier (UTC) than India
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let m = g.expected_demand(2, 1); // a Wednesday
+        let by_country = m.country_core_demand(&g.universe().catalog, &topo);
+        let jp = topo.country_by_name("JP");
+        let iin = topo.country_by_name("IN");
+        let argmax = |v: &[f64]| {
+            v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        };
+        let jp_peak = argmax(&by_country[jp.index()]);
+        let in_peak = argmax(&by_country[iin.index()]);
+        // 3.5h offset = 7 half-hour slots
+        assert!(in_peak > jp_peak, "jp {jp_peak} in {in_peak}");
+        assert!((in_peak - jp_peak) >= 5 && (in_peak - jp_peak) <= 9);
+    }
+
+    #[test]
+    fn sampled_demand_near_expectation() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let e = g.expected_demand(0, 2);
+        let s = g.sample_demand(0, 2, 99);
+        let (te, ts) = (e.total_calls(), s.total_calls());
+        assert!((ts - te).abs() < 0.1 * te, "expected {te} sampled {ts}");
+    }
+
+    #[test]
+    fn records_match_demand_statistics() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let db = g.sample_records(0, 2, 1);
+        assert!(db.len() > 800, "trace too small: {}", db.len());
+        // grouping records back reproduces a plausible demand matrix
+        let m = db.demand_matrix(30, 0, 2 * g.slots_per_day());
+        assert_eq!(m.total_calls() as usize, db.len());
+        // first-joiner majority statistic close to parameter
+        let f = db.majority_matches_first_joiner_frac();
+        assert!(f > 0.93, "majority-match fraction {f}");
+    }
+
+    #[test]
+    fn per_config_series_matches_matrix_row() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let m = g.expected_demand(3, 2);
+        for raw in [0u32, 5, 20] {
+            let id = crate::ConfigId(raw);
+            let series = g.expected_config_series(id, 3, 2);
+            assert_eq!(series.len(), m.num_slots());
+            for (a, b) in series.iter().zip(m.series(id)) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_config_series_tracks_expectation() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let id = crate::ConfigId(1);
+        let e: f64 = g.expected_config_series(id, 0, 14).iter().sum();
+        let s: f64 = g.sample_config_series(id, 0, 14, 7).iter().sum();
+        assert!((s - e).abs() < 0.35 * e.max(10.0), "sum e={e} s={s}");
+    }
+
+    #[test]
+    fn records_sorted_and_time_bounded() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let db = g.sample_records(3, 1, 2);
+        let lo = 3 * MINUTES_PER_DAY;
+        let hi = 4 * MINUTES_PER_DAY;
+        let mut prev = 0;
+        for r in db.records() {
+            assert!((lo..hi).contains(&r.start_minute));
+            assert!(r.start_minute >= prev);
+            prev = r.start_minute;
+            assert!(r.duration_min >= 2);
+            assert_eq!(r.join_offsets_s[0], 0);
+        }
+    }
+}

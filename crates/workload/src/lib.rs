@@ -1,0 +1,58 @@
+//! # sb-workload — synthetic conferencing workload and call-records database
+//!
+//! Microsoft Teams' 15 months of production call records are proprietary;
+//! this crate generates a synthetic workload calibrated to every property the
+//! paper states about the real one:
+//!
+//! * demand peaks follow local work hours, shifted across time zones
+//!   ([`diurnal`], Fig. 3);
+//! * call-config popularity is extremely head-heavy ([`universe`], Fig. 7c:
+//!   top 0.1 % / 1 % of configs ≈ 86 % / 93 % of calls);
+//! * per-config growth trends differ widely ([`universe`], Fig. 7b);
+//! * ~80 % of participants have joined by 300 s ([`joins`], Fig. 8);
+//! * ~95 % of calls have their majority in the first joiner's country
+//!   ([`generator`], §5.4);
+//! * recurring meeting series show habitual/alternating attendance
+//!   ([`series`], §8).
+//!
+//! The [`generator::Generator`] produces expected demand matrices
+//! (provisioning ground truth), Poisson-sampled counts, and full call-record
+//! traces ([`records::CallRecordsDb`]) for replay.
+
+//!
+//! ```
+//! use sb_workload::{Generator, UniverseParams, WorkloadParams};
+//!
+//! let topo = sb_net::presets::apac();
+//! let params = WorkloadParams {
+//!     universe: UniverseParams { num_configs: 50, ..Default::default() },
+//!     daily_calls: 500.0,
+//!     slot_minutes: 120,
+//!     ..Default::default()
+//! };
+//! let generator = Generator::new(&topo, params);
+//! let demand = generator.expected_demand(0, 7);           // a week of rates
+//! let trace = generator.sample_records(0, 1, 7);           // one day of calls
+//! assert!(demand.total_calls() > 0.0);
+//! assert!(trace.majority_matches_first_joiner_frac() > 0.9); // §5.4 statistic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod demand;
+pub mod diurnal;
+pub mod generator;
+pub mod joins;
+pub mod persist;
+pub mod records;
+pub mod sampling;
+pub mod series;
+pub mod universe;
+
+pub use config::{CallConfig, ConfigCatalog, ConfigId, MediaType};
+pub use demand::DemandMatrix;
+pub use generator::{Generator, WorkloadParams};
+pub use records::{CallRecord, CallRecordsDb};
+pub use universe::{Universe, UniverseParams};

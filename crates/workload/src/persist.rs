@@ -1,0 +1,252 @@
+//! Plain-text persistence for call-record traces, so experiments can be
+//! re-run bit-identically and traces can be inspected with standard tools.
+//!
+//! Format: one tab-separated line per call —
+//!
+//! ```text
+//! id  start_minute  duration_min  first_joiner  media  spread  offsets
+//! ```
+//!
+//! where `spread` is `country:count[,country:count…]` and `offsets` the
+//! comma-separated join offsets in seconds. The config catalog is rebuilt by
+//! interning on load, so ids are stable within a file but not across files.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use sb_net::CountryId;
+
+use crate::config::{CallConfig, ConfigCatalog, MediaType};
+use crate::records::{CallRecord, CallRecordsDb};
+
+/// Serialization or parse failure.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PersistError {
+    /// 1-based line number (0 for structural problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+impl std::error::Error for PersistError {}
+
+fn media_tag(m: MediaType) -> &'static str {
+    match m {
+        MediaType::Audio => "A",
+        MediaType::ScreenShare => "S",
+        MediaType::Video => "V",
+    }
+}
+
+fn parse_media(s: &str) -> Option<MediaType> {
+    match s {
+        "A" => Some(MediaType::Audio),
+        "S" => Some(MediaType::ScreenShare),
+        "V" => Some(MediaType::Video),
+        _ => None,
+    }
+}
+
+/// Serialize a trace to the TSV format (with a header line).
+pub fn to_tsv(db: &CallRecordsDb) -> String {
+    let mut out = String::new();
+    out.push_str("#id\tstart_minute\tduration_min\tfirst_joiner\tmedia\tspread\toffsets_s\n");
+    for r in db.records() {
+        let cfg = db.catalog().config(r.config);
+        let spread = cfg
+            .participants()
+            .iter()
+            .map(|(c, n)| format!("{}:{}", c.0, n))
+            .collect::<Vec<_>>()
+            .join(",");
+        let offsets = r
+            .join_offsets_s
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.id,
+            r.start_minute,
+            r.duration_min,
+            r.first_joiner.0,
+            media_tag(cfg.media()),
+            spread,
+            offsets
+        );
+    }
+    out
+}
+
+fn field<'a, T: FromStr>(
+    parts: &[&'a str],
+    idx: usize,
+    line: usize,
+    name: &str,
+) -> Result<T, PersistError> {
+    parts
+        .get(idx)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PersistError { line, message: format!("bad or missing field `{name}`") })
+}
+
+/// Parse a trace from the TSV format.
+pub fn from_tsv(text: &str) -> Result<CallRecordsDb, PersistError> {
+    let mut catalog = ConfigCatalog::new();
+    let mut records = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() != 7 {
+            return Err(PersistError {
+                line: line_no,
+                message: format!("expected 7 fields, got {}", parts.len()),
+            });
+        }
+        let id: u64 = field(&parts, 0, line_no, "id")?;
+        let start_minute: u64 = field(&parts, 1, line_no, "start_minute")?;
+        let duration_min: u16 = field(&parts, 2, line_no, "duration_min")?;
+        let first: u16 = field(&parts, 3, line_no, "first_joiner")?;
+        let media = parse_media(parts[4])
+            .ok_or_else(|| PersistError { line: line_no, message: "bad media tag".into() })?;
+        let mut spread = Vec::new();
+        for item in parts[5].split(',') {
+            let (c, n) = item.split_once(':').ok_or_else(|| PersistError {
+                line: line_no,
+                message: format!("bad spread item `{item}`"),
+            })?;
+            let c: u16 = c.parse().map_err(|_| PersistError {
+                line: line_no,
+                message: format!("bad country `{c}`"),
+            })?;
+            let n: u16 = n.parse().map_err(|_| PersistError {
+                line: line_no,
+                message: format!("bad count `{n}`"),
+            })?;
+            spread.push((CountryId(c), n));
+        }
+        let mut offsets = Vec::new();
+        for o in parts[6].split(',') {
+            offsets.push(o.parse::<u16>().map_err(|_| PersistError {
+                line: line_no,
+                message: format!("bad offset `{o}`"),
+            })?);
+        }
+        let config = catalog.intern(CallConfig::new(spread, media));
+        records.push(CallRecord {
+            id,
+            config,
+            start_minute,
+            duration_min,
+            first_joiner: CountryId(first),
+            join_offsets_s: offsets,
+        });
+    }
+    let mut db = CallRecordsDb::new(catalog);
+    for r in records {
+        db.push(r);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> CallRecordsDb {
+        let mut catalog = ConfigCatalog::new();
+        let a = catalog.intern(CallConfig::new(vec![(CountryId(0), 2)], MediaType::Audio));
+        let b = catalog.intern(CallConfig::new(
+            vec![(CountryId(0), 1), (CountryId(3), 4)],
+            MediaType::Video,
+        ));
+        let mut db = CallRecordsDb::new(catalog);
+        db.push(CallRecord {
+            id: 10,
+            config: a,
+            start_minute: 1000,
+            duration_min: 45,
+            first_joiner: CountryId(0),
+            join_offsets_s: vec![0, 33],
+        });
+        db.push(CallRecord {
+            id: 11,
+            config: b,
+            start_minute: 1003,
+            duration_min: 20,
+            first_joiner: CountryId(3),
+            join_offsets_s: vec![0, 15, 400, 500, 900],
+        });
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = sample_db();
+        let text = to_tsv(&db);
+        let back = from_tsv(&text).unwrap();
+        assert_eq!(back.len(), db.len());
+        for (x, y) in db.records().iter().zip(back.records()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.start_minute, y.start_minute);
+            assert_eq!(x.duration_min, y.duration_min);
+            assert_eq!(x.first_joiner, y.first_joiner);
+            assert_eq!(x.join_offsets_s, y.join_offsets_s);
+            let cx = db.catalog().config(x.config);
+            let cy = back.catalog().config(y.config);
+            assert_eq!(cx, cy);
+        }
+    }
+
+    #[test]
+    fn generated_trace_roundtrips() {
+        let topo = sb_net::presets::apac();
+        let params = crate::WorkloadParams {
+            universe: crate::UniverseParams { num_configs: 60, ..Default::default() },
+            daily_calls: 300.0,
+            ..Default::default()
+        };
+        let g = crate::Generator::new(&topo, params);
+        let db = g.sample_records(0, 1, 1);
+        let back = from_tsv(&to_tsv(&db)).unwrap();
+        assert_eq!(back.len(), db.len());
+        assert_eq!(
+            back.majority_matches_first_joiner_frac(),
+            db.majority_matches_first_joiner_frac()
+        );
+        // demand matrices agree (catalog ids may differ, totals must match)
+        let a = db.demand_matrix(30, 0, 48);
+        let b = back.demand_matrix(30, 0, 48);
+        assert_eq!(a.total_calls(), b.total_calls());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let db = from_tsv("# header\n\n# another comment\n").unwrap();
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn error_reporting_points_at_line() {
+        let text = "#h\n5\t10\t30\t0\tA\t0:2\t0\nbroken line\n";
+        let err = from_tsv(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        let text = "5\t10\t30\t0\tX\t0:2\t0\n";
+        assert!(from_tsv(text).unwrap_err().message.contains("media"));
+        let text = "5\t10\t30\t0\tA\tzz\t0\n";
+        assert!(from_tsv(text).unwrap_err().message.contains("spread"));
+        let text = "5\t10\t30\t0\tA\t0:2\tqq\n";
+        assert!(from_tsv(text).unwrap_err().message.contains("offset"));
+    }
+}

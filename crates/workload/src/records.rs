@@ -1,0 +1,204 @@
+//! The call-records database (§5, "Call Records Database"): one row per call
+//! with its config, timing and join dynamics. This is the synthetic stand-in
+//! for Microsoft Teams' 15 months of production records.
+
+use sb_net::CountryId;
+
+use crate::config::{ConfigCatalog, ConfigId};
+use crate::demand::DemandMatrix;
+
+/// One call.
+#[derive(Clone, Debug)]
+pub struct CallRecord {
+    /// Unique id.
+    pub id: u64,
+    /// Interned call configuration.
+    pub config: ConfigId,
+    /// Absolute UTC minute the first participant joined.
+    pub start_minute: u64,
+    /// Call duration in minutes.
+    pub duration_min: u16,
+    /// Country of the first joiner (drives the real-time assigner, §5.4).
+    pub first_joiner: CountryId,
+    /// Sorted join offsets in seconds per participant (first = 0).
+    pub join_offsets_s: Vec<u16>,
+}
+
+impl CallRecord {
+    /// Absolute UTC minute the call ends.
+    pub fn end_minute(&self) -> u64 {
+        self.start_minute + self.duration_min as u64
+    }
+}
+
+/// An in-memory, append-only call-records table.
+#[derive(Clone, Debug)]
+pub struct CallRecordsDb {
+    catalog: ConfigCatalog,
+    records: Vec<CallRecord>,
+}
+
+impl CallRecordsDb {
+    /// Empty database with the given catalog.
+    pub fn new(catalog: ConfigCatalog) -> Self {
+        CallRecordsDb { catalog, records: Vec::new() }
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, r: CallRecord) {
+        debug_assert!(r.config.index() < self.catalog.len());
+        self.records.push(r);
+    }
+
+    /// Number of calls.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[CallRecord] {
+        &self.records
+    }
+
+    /// The shared config catalog.
+    pub fn catalog(&self) -> &ConfigCatalog {
+        &self.catalog
+    }
+
+    /// Sort by start time (generators may emit out of order).
+    pub fn sort_by_start(&mut self) {
+        self.records.sort_by_key(|r| (r.start_minute, r.id));
+    }
+
+    /// Group calls into a `(config, slot)` demand matrix — the §5.2 "group
+    /// calls happening every 30-minute by their call config" step. Calls
+    /// outside `[start_minute, start_minute + num_slots·slot)` are dropped.
+    pub fn demand_matrix(
+        &self,
+        slot_minutes: u32,
+        start_minute: u64,
+        num_slots: usize,
+    ) -> DemandMatrix {
+        let mut m =
+            DemandMatrix::zero(self.catalog.len(), num_slots, slot_minutes, start_minute);
+        for r in &self.records {
+            if let Some(slot) = m.slot_of_minute(r.start_minute) {
+                m.add(r.config, slot, 1.0);
+            }
+        }
+        m
+    }
+
+    /// Fraction of calls whose majority country equals the first joiner's
+    /// country (the §5.4 statistic; 95.2 % in the paper).
+    pub fn majority_matches_first_joiner_frac(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .records
+            .iter()
+            .filter(|r| self.catalog.config(r.config).majority_country() == r.first_joiner)
+            .count();
+        hits as f64 / self.records.len() as f64
+    }
+
+    /// Join-offset lists for Fig. 8.
+    pub fn join_offset_lists(&self) -> Vec<Vec<u16>> {
+        self.records.iter().map(|r| r.join_offsets_s.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CallConfig, MediaType};
+
+    fn db() -> (CallRecordsDb, ConfigId, ConfigId) {
+        let mut cat = ConfigCatalog::new();
+        let a = cat.intern(CallConfig::new(vec![(CountryId(0), 3)], MediaType::Audio));
+        let b = cat.intern(CallConfig::new(
+            vec![(CountryId(0), 1), (CountryId(1), 2)],
+            MediaType::Video,
+        ));
+        let mut db = CallRecordsDb::new(cat);
+        db.push(CallRecord {
+            id: 0,
+            config: a,
+            start_minute: 10,
+            duration_min: 30,
+            first_joiner: CountryId(0),
+            join_offsets_s: vec![0, 30, 60],
+        });
+        db.push(CallRecord {
+            id: 1,
+            config: b,
+            start_minute: 35,
+            duration_min: 60,
+            first_joiner: CountryId(0), // majority is country 1 → mismatch
+            join_offsets_s: vec![0, 120, 400],
+        });
+        db.push(CallRecord {
+            id: 2,
+            config: a,
+            start_minute: 45,
+            duration_min: 15,
+            first_joiner: CountryId(0),
+            join_offsets_s: vec![0, 10, 20],
+        });
+        (db, a, b)
+    }
+
+    #[test]
+    fn demand_matrix_grouping() {
+        let (db, a, b) = db();
+        let m = db.demand_matrix(30, 0, 2);
+        assert_eq!(m.get(a, 0), 1.0);
+        assert_eq!(m.get(b, 1), 1.0);
+        assert_eq!(m.get(a, 1), 1.0);
+        assert_eq!(m.total_calls(), 3.0);
+    }
+
+    #[test]
+    fn out_of_window_calls_dropped() {
+        let (db, _, _) = db();
+        let m = db.demand_matrix(30, 0, 1);
+        assert_eq!(m.total_calls(), 1.0);
+        let m = db.demand_matrix(30, 60, 2);
+        assert_eq!(m.total_calls(), 0.0);
+    }
+
+    #[test]
+    fn majority_fraction() {
+        let (db, _, _) = db();
+        // 2 of 3 calls have majority == first joiner
+        let f = db.majority_matches_first_joiner_frac();
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_minute() {
+        let (db, _, _) = db();
+        assert_eq!(db.records()[1].end_minute(), 95);
+    }
+
+    #[test]
+    fn sort_by_start_orders() {
+        let (mut db, a, _) = db();
+        db.push(CallRecord {
+            id: 3,
+            config: a,
+            start_minute: 1,
+            duration_min: 5,
+            first_joiner: CountryId(0),
+            join_offsets_s: vec![0],
+        });
+        db.sort_by_start();
+        assert_eq!(db.records()[0].id, 3);
+    }
+}

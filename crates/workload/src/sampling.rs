@@ -1,0 +1,214 @@
+//! Distribution sampling helpers built on plain `rand` (Poisson, Zipf,
+//! normal/lognormal, exponential) — implemented here so the workspace does not
+//! need `rand_distr`.
+
+use rand::Rng;
+
+/// Sample a Poisson(λ) count.
+///
+/// Knuth's product method for small λ, normal approximation (rounded,
+/// clamped at 0) for large λ — the standard trade-off.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be finite and >= 0");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        let v = lambda + lambda.sqrt() * standard_normal(rng);
+        v.round().max(0.0) as u64
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // avoid ln(0)
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0);
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Lognormal sample: `exp(N(mu, sigma))`.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Exponential sample with the given rate (mean `1/rate`).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Zipf distribution over ranks `0..n` with exponent `s`: weight of rank `r`
+/// is `(r+1)^(−s)`. Sampling is O(log n) via a precomputed CDF.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute for `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0 && s > 0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there are no ranks (never: `new` requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Normalized probability of rank `r`.
+    pub fn weight(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Sample an index proportional to `weights` (need not be normalized).
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn poisson_mean_small_lambda() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 3.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_large_lambda() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 250.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 250.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_weights_normalized_and_decreasing() {
+        let z = Zipf::new(100, 1.5);
+        let sum: f64 = (0..100).map(|r| z.weight(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for r in 1..100 {
+            assert!(z.weight(r) <= z.weight(r - 1));
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_weights() {
+        let z = Zipf::new(50, 1.2);
+        let mut r = rng();
+        let n = 100_000;
+        let mut counts = vec![0u64; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // head rank frequency ≈ weight
+        let freq0 = counts[0] as f64 / n as f64;
+        assert!((freq0 - z.weight(0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let w = [1.0, 0.0, 3.0];
+        let n = 30_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            counts[weighted_index(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac2 = counts[2] as f64 / n as f64;
+        assert!((frac2 - 0.75).abs() < 0.02);
+    }
+}

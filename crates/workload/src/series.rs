@@ -1,0 +1,267 @@
+//! Recurring meeting series (§8): weekly meetings whose per-participant
+//! attendance exhibits temporal structure (habitual attendees, alternating
+//! attendees, drop-ins). This is the training/evaluation data for the
+//! MOMC + logistic-regression call-config predictor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_net::{CountryId, Topology};
+
+use crate::config::MediaType;
+use crate::sampling::weighted_index;
+
+/// A recurring meeting series.
+#[derive(Clone, Debug)]
+pub struct MeetingSeries {
+    /// Series id.
+    pub id: u32,
+    /// Country of each rostered participant.
+    pub countries: Vec<CountryId>,
+    /// Base attendance probability per participant.
+    pub base_prob: Vec<f64>,
+    /// Persistence per participant: positive = habit (same as last time),
+    /// negative = alternation (opposite of last time).
+    pub persistence: Vec<f64>,
+    /// Media type of the series.
+    pub media: MediaType,
+}
+
+impl MeetingSeries {
+    /// Roster size.
+    pub fn roster_size(&self) -> usize {
+        self.countries.len()
+    }
+}
+
+/// One occurrence of a series: who actually attended.
+#[derive(Clone, Debug)]
+pub struct SeriesOccurrence {
+    /// Which series.
+    pub series: u32,
+    /// Occurrence index (0, 1, 2, … weekly).
+    pub index: u32,
+    /// Attendance flag per rostered participant.
+    pub attended: Vec<bool>,
+}
+
+impl SeriesOccurrence {
+    /// Participant count per country for this occurrence (the realized call
+    /// config spread).
+    pub fn country_counts(&self, series: &MeetingSeries) -> Vec<(CountryId, u16)> {
+        let mut counts: Vec<(CountryId, u16)> = Vec::new();
+        for (i, &att) in self.attended.iter().enumerate() {
+            if !att {
+                continue;
+            }
+            let c = series.countries[i];
+            match counts.iter_mut().find(|(cc, _)| *cc == c) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((c, 1)),
+            }
+        }
+        counts.sort_unstable_by_key(|&(c, _)| c);
+        counts
+    }
+}
+
+/// Parameters for series generation.
+#[derive(Clone, Debug)]
+pub struct SeriesParams {
+    /// Number of series.
+    pub num_series: usize,
+    /// Occurrences per series.
+    pub occurrences: u32,
+    /// Largest roster.
+    pub max_roster: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SeriesParams {
+    fn default() -> Self {
+        SeriesParams { num_series: 400, occurrences: 12, max_roster: 40, seed: 17 }
+    }
+}
+
+/// Generate series and their occurrence history.
+pub fn generate_series(
+    topo: &Topology,
+    params: &SeriesParams,
+) -> (Vec<MeetingSeries>, Vec<SeriesOccurrence>) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let country_weights: Vec<f64> = topo.countries.iter().map(|c| c.weight).collect();
+    let mut all_series = Vec::with_capacity(params.num_series);
+    let mut occurrences = Vec::new();
+    for id in 0..params.num_series {
+        let roster = rng.gen_range(3..=params.max_roster.max(3));
+        let home = CountryId(weighted_index(&mut rng, &country_weights) as u16);
+        let mut countries = Vec::with_capacity(roster);
+        for _ in 0..roster {
+            // ~80 % of the roster is in the home country
+            if rng.gen::<f64>() < 0.8 {
+                countries.push(home);
+            } else {
+                countries.push(CountryId(weighted_index(&mut rng, &country_weights) as u16));
+            }
+        }
+        let base_prob: Vec<f64> = (0..roster)
+            .map(|_| {
+                // bimodal: regulars (~0.9) and occasional attendees (~0.3)
+                if rng.gen::<f64>() < 0.6 {
+                    rng.gen_range(0.75..0.98)
+                } else {
+                    rng.gen_range(0.1..0.5)
+                }
+            })
+            .collect();
+        let persistence: Vec<f64> = (0..roster)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                if u < 0.15 {
+                    // alternators: skip every other instance
+                    rng.gen_range(-0.8..-0.4)
+                } else {
+                    rng.gen_range(0.2..0.9)
+                }
+            })
+            .collect();
+        let media = if rng.gen::<f64>() < 0.6 { MediaType::Video } else { MediaType::Audio };
+        let series =
+            MeetingSeries { id: id as u32, countries, base_prob, persistence, media };
+
+        // simulate attendance
+        let mut prev: Vec<bool> = Vec::new();
+        for occ in 0..params.occurrences {
+            let attended: Vec<bool> = (0..roster)
+                .map(|i| {
+                    let base = series.base_prob[i];
+                    let p = if occ == 0 {
+                        base
+                    } else {
+                        let rho = series.persistence[i];
+                        let prev_att = prev[i];
+                        // blend toward (prev or !prev) depending on sign of rho
+                        let target = if rho >= 0.0 {
+                            if prev_att {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        } else if prev_att {
+                            0.0
+                        } else {
+                            1.0
+                        };
+                        let w = rho.abs();
+                        (1.0 - w) * base + w * target
+                    };
+                    rng.gen::<f64>() < p.clamp(0.02, 0.98)
+                })
+                .collect();
+            prev = attended.clone();
+            occurrences.push(SeriesOccurrence { series: id as u32, index: occ, attended });
+        }
+        all_series.push(series);
+    }
+    (all_series, occurrences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_net::presets;
+
+    fn gen() -> (Vec<MeetingSeries>, Vec<SeriesOccurrence>) {
+        let topo = presets::apac();
+        generate_series(&topo, &SeriesParams { num_series: 50, ..Default::default() })
+    }
+
+    #[test]
+    fn shapes() {
+        let (series, occs) = gen();
+        assert_eq!(series.len(), 50);
+        assert_eq!(occs.len(), 50 * 12);
+        for s in &series {
+            assert!(s.roster_size() >= 3);
+            assert_eq!(s.base_prob.len(), s.roster_size());
+            assert_eq!(s.persistence.len(), s.roster_size());
+        }
+        for o in &occs {
+            let s = &series[o.series as usize];
+            assert_eq!(o.attended.len(), s.roster_size());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = presets::apac();
+        let p = SeriesParams { num_series: 10, ..Default::default() };
+        let (_, a) = generate_series(&topo, &p);
+        let (_, b) = generate_series(&topo, &p);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.attended, y.attended);
+        }
+    }
+
+    #[test]
+    fn regulars_attend_more_than_occasionals() {
+        let (series, occs) = gen();
+        let mut regular_rate = (0.0, 0);
+        let mut occasional_rate = (0.0, 0);
+        for o in &occs {
+            let s = &series[o.series as usize];
+            for (i, &att) in o.attended.iter().enumerate() {
+                if s.base_prob[i] > 0.7 {
+                    regular_rate.0 += att as u8 as f64;
+                    regular_rate.1 += 1;
+                } else if s.base_prob[i] < 0.5 {
+                    occasional_rate.0 += att as u8 as f64;
+                    occasional_rate.1 += 1;
+                }
+            }
+        }
+        let r = regular_rate.0 / regular_rate.1 as f64;
+        let o = occasional_rate.0 / occasional_rate.1 as f64;
+        assert!(r > o + 0.2, "regular {r} vs occasional {o}");
+    }
+
+    #[test]
+    fn alternators_alternate() {
+        let (series, occs) = gen();
+        // measure P(attend_t != attend_{t-1}) for strongly negative persistence
+        let mut flips = 0usize;
+        let mut total = 0usize;
+        for s in &series {
+            let hist: Vec<&SeriesOccurrence> =
+                occs.iter().filter(|o| o.series == s.id).collect();
+            for i in 0..s.roster_size() {
+                if s.persistence[i] < -0.5 {
+                    for w in hist.windows(2) {
+                        total += 1;
+                        if w[0].attended[i] != w[1].attended[i] {
+                            flips += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if total > 50 {
+            let rate = flips as f64 / total as f64;
+            assert!(rate > 0.5, "alternation rate {rate}");
+        }
+    }
+
+    #[test]
+    fn country_counts_sum_to_attendance() {
+        let (series, occs) = gen();
+        let o = &occs[3];
+        let s = &series[o.series as usize];
+        let counts = o.country_counts(s);
+        let total: u16 = counts.iter().map(|&(_, n)| n).sum();
+        let attended = o.attended.iter().filter(|&&a| a).count();
+        assert_eq!(total as usize, attended);
+        // sorted by country id
+        assert!(counts.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -1,0 +1,353 @@
+//! The call-config universe: which configurations exist, how popular each one
+//! is, and how fast each one grows (Fig. 7b/7c).
+//!
+//! Popularity is *compositional*: an intra-country config `(country, size,
+//! media)` carries mass `P(country) · P(size) · P(media)`, so every country's
+//! small audio calls sit in the head — matching how real conferencing
+//! workloads look. The long tail is made of inter-country configs, each a
+//! distinct combination with tiny individual mass (the paper found 10M+
+//! unique configs where the top sliver covers almost all calls; the tail here
+//! plays that role).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_net::{CountryId, Topology};
+
+use crate::config::{CallConfig, ConfigCatalog, ConfigId, MediaType};
+use crate::sampling::{weighted_index, Zipf};
+
+/// Parameters for universe generation.
+#[derive(Clone, Debug)]
+pub struct UniverseParams {
+    /// Total number of distinct call configs (structured intra-country core
+    /// plus sampled inter-country tail).
+    pub num_configs: usize,
+    /// Fraction of total *call mass* on inter-country configs.
+    pub inter_country_frac: f64,
+    /// Probability of audio / screen-share / video media type.
+    pub media_mix: [f64; 3],
+    /// Largest call size generated.
+    pub max_participants: u16,
+    /// Call-size decay: `P(size k) ∝ exp(−(k−2)/size_decay)`.
+    pub size_decay: f64,
+    /// Zipf exponent for popularity within the inter-country tail.
+    pub zipf_exponent: f64,
+    /// Mean annual growth rate across configs (0.35 = +35 %/yr).
+    pub growth_mean: f64,
+    /// Std-dev of annual growth across configs.
+    pub growth_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniverseParams {
+    fn default() -> Self {
+        UniverseParams {
+            num_configs: 2_000,
+            inter_country_frac: 0.18,
+            media_mix: [0.50, 0.16, 0.34],
+            max_participants: 50,
+            size_decay: 3.0,
+            zipf_exponent: 0.9,
+            growth_mean: 0.35,
+            growth_std: 0.40,
+            seed: 7,
+        }
+    }
+}
+
+/// One config plus its demand characteristics.
+#[derive(Clone, Debug)]
+pub struct ConfigSpec {
+    /// Which config.
+    pub id: ConfigId,
+    /// Share of total daily calls (all specs sum to 1).
+    pub weight: f64,
+    /// Annual multiplicative growth rate (0.35 = +35 %/yr).
+    pub annual_growth: f64,
+    /// Participant-share per country, used to mix diurnal curves.
+    pub country_mix: Vec<(CountryId, f64)>,
+}
+
+/// The generated universe.
+#[derive(Clone, Debug)]
+pub struct Universe {
+    /// Interned configs.
+    pub catalog: ConfigCatalog,
+    /// One spec per catalog entry, indexed by `ConfigId`.
+    pub specs: Vec<ConfigSpec>,
+}
+
+/// Demand multiplier after `day` days at `annual` growth.
+pub fn growth_multiplier(day: f64, annual: f64) -> f64 {
+    (1.0 + annual).max(0.05).powf(day / 365.0)
+}
+
+impl Universe {
+    /// Generate a universe for `topo`.
+    pub fn generate(topo: &Topology, params: &UniverseParams) -> Universe {
+        assert!(params.num_configs >= 6, "universe too small");
+        assert!((0.0..1.0).contains(&params.inter_country_frac));
+        assert!(params.size_decay > 0.0 && params.max_participants >= 2);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let country_weights: Vec<f64> = topo.countries.iter().map(|c| c.weight).collect();
+        let pop_total: f64 = country_weights.iter().sum();
+
+        let mut catalog = ConfigCatalog::new();
+        let mut specs: Vec<ConfigSpec> = Vec::new();
+        let push = |catalog: &mut ConfigCatalog,
+                        specs: &mut Vec<ConfigSpec>,
+                        rng: &mut StdRng,
+                        cfg: CallConfig,
+                        weight: f64| {
+            let id = catalog.intern(cfg.clone());
+            if id.index() < specs.len() {
+                specs[id.index()].weight += weight;
+                return;
+            }
+            let total = cfg.total_participants() as f64;
+            let country_mix = cfg
+                .participants()
+                .iter()
+                .map(|&(c, n)| (c, n as f64 / total))
+                .collect();
+            let growth =
+                crate::sampling::normal(rng, params.growth_mean, params.growth_std).max(-0.5);
+            specs.push(ConfigSpec { id, weight, annual_growth: growth, country_mix });
+        };
+
+        // --- intra-country core --------------------------------------------
+        // pick the size range so the core uses at most half the config budget
+        let n_countries = topo.countries.len().max(1);
+        let budget = params.num_configs / 2;
+        let max_size = ((budget / (n_countries * 3)).max(1) + 1)
+            .min(params.max_participants as usize)
+            .max(2) as u16;
+        let size_probs: Vec<f64> = (2..=max_size)
+            .map(|k| (-((k - 2) as f64) / params.size_decay).exp())
+            .collect();
+        let size_total: f64 = size_probs.iter().sum();
+        let intra_mass = 1.0 - params.inter_country_frac;
+        for (ci, country) in topo.countries.iter().enumerate() {
+            let p_country = country_weights[ci] / pop_total;
+            for (si, k) in (2..=max_size).enumerate() {
+                let p_size = size_probs[si] / size_total;
+                for (mi, media) in MediaType::all().into_iter().enumerate() {
+                    let w = intra_mass * p_country * p_size * params.media_mix[mi];
+                    let cfg = CallConfig::new(vec![(country.id, k)], media);
+                    push(&mut catalog, &mut specs, &mut rng, cfg, w);
+                }
+            }
+        }
+
+        // --- inter-country tail ---------------------------------------------
+        let tail_n = params.num_configs.saturating_sub(specs.len()).max(1);
+        if params.inter_country_frac > 0.0 && topo.countries.len() > 1 {
+            let zipf = Zipf::new(tail_n, params.zipf_exponent);
+            for rank in 0..tail_n {
+                let w = params.inter_country_frac * zipf.weight(rank);
+                let cfg = Self::sample_inter_config(&mut rng, &country_weights, params);
+                push(&mut catalog, &mut specs, &mut rng, cfg, w);
+            }
+        }
+
+        // normalize
+        let sum: f64 = specs.iter().map(|s| s.weight).sum();
+        for s in &mut specs {
+            s.weight /= sum;
+        }
+        Universe { catalog, specs }
+    }
+
+    fn sample_inter_config<R: Rng + ?Sized>(
+        rng: &mut R,
+        country_weights: &[f64],
+        params: &UniverseParams,
+    ) -> CallConfig {
+        let media = match weighted_index(rng, &params.media_mix) {
+            0 => MediaType::Audio,
+            1 => MediaType::ScreenShare,
+            _ => MediaType::Video,
+        };
+        // inter-country calls skew larger: 3 + exponential-ish size
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let size = (3 + (-u.ln() * 4.0) as u16).min(params.max_participants.max(3));
+        let home = CountryId(weighted_index(rng, country_weights) as u16);
+        let mut parts: Vec<(CountryId, u16)> = vec![(home, size)];
+        let n_foreign = rng.gen_range(1..=2usize.min(country_weights.len() - 1));
+        let mut moved = 0u16;
+        let max_move = size / 2; // home stays the majority
+        for _ in 0..n_foreign {
+            if moved >= max_move {
+                break;
+            }
+            let mut other = home;
+            for _ in 0..8 {
+                let cand = CountryId(weighted_index(rng, country_weights) as u16);
+                if cand != home {
+                    other = cand;
+                    break;
+                }
+            }
+            if other == home {
+                continue;
+            }
+            let k = rng.gen_range(1..=(max_move - moved).max(1));
+            parts.push((other, k));
+            moved += k;
+        }
+        parts[0].1 = size - moved;
+        CallConfig::new(parts, media)
+    }
+
+    /// Number of distinct configs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Is the universe empty?
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_net::presets;
+
+    fn universe() -> (sb_net::Topology, Universe) {
+        let topo = presets::apac();
+        let u = Universe::generate(&topo, &UniverseParams::default());
+        (topo, u)
+    }
+
+    #[test]
+    fn weights_normalized() {
+        let (_, u) = universe();
+        let sum: f64 = u.specs.iter().map(|s| s.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(u.catalog.len(), u.specs.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = presets::apac();
+        let p = UniverseParams::default();
+        let a = Universe::generate(&topo, &p);
+        let b = Universe::generate(&topo, &p);
+        assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.specs.iter().zip(&b.specs) {
+            assert_eq!(sa.weight, sb.weight);
+            assert_eq!(sa.annual_growth, sb.annual_growth);
+        }
+    }
+
+    #[test]
+    fn head_heavy_but_not_degenerate() {
+        let (_, u) = universe();
+        let mut weights: Vec<f64> = u.specs.iter().map(|s| s.weight).collect();
+        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // the top 10 % of configs carries the clear majority of calls…
+        let top10pct: f64 = weights.iter().take(u.len() / 10).sum();
+        assert!(top10pct > 0.55, "top 10% covers only {top10pct}");
+        // …but no single config dominates (the old Zipf-head pathology)
+        assert!(weights[0] < 0.10, "top config carries {}", weights[0]);
+    }
+
+    #[test]
+    fn small_audio_calls_lead_each_country() {
+        // the most popular config overall must be a 2-person call from the
+        // heaviest country
+        let (topo, u) = universe();
+        let best = u
+            .specs
+            .iter()
+            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+            .unwrap();
+        let cfg = u.catalog.config(best.id);
+        assert_eq!(cfg.total_participants(), 2);
+        assert!(cfg.intra_country());
+        let heaviest = topo
+            .countries
+            .iter()
+            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+            .unwrap();
+        assert_eq!(cfg.majority_country(), heaviest.id);
+    }
+
+    #[test]
+    fn majority_is_home_country() {
+        let (_, u) = universe();
+        for (_, cfg) in u.catalog.iter() {
+            let total = cfg.total_participants();
+            let (_, majority_n) =
+                cfg.participants().iter().max_by_key(|&&(_, n)| n).copied().unwrap();
+            assert!(
+                2 * majority_n as u32 >= total,
+                "majority country must hold at least half the participants"
+            );
+        }
+    }
+
+    #[test]
+    fn inter_country_call_mass_near_parameter() {
+        let (_, u) = universe();
+        let frac: f64 = u
+            .specs
+            .iter()
+            .filter(|s| !u.catalog.config(s.id).intra_country())
+            .map(|s| s.weight)
+            .sum();
+        assert!((0.1..0.3).contains(&frac), "inter-country call mass {frac}");
+    }
+
+    #[test]
+    fn growth_rates_spread() {
+        let (_, u) = universe();
+        let min = u.specs.iter().map(|s| s.annual_growth).fold(f64::MAX, f64::min);
+        let max = u.specs.iter().map(|s| s.annual_growth).fold(f64::MIN, f64::max);
+        assert!(min >= -0.5);
+        assert!(max > min + 0.5, "growth rates should differ across configs");
+    }
+
+    #[test]
+    fn growth_multiplier_math() {
+        assert!((growth_multiplier(365.0, 0.5) - 1.5).abs() < 1e-12);
+        assert_eq!(growth_multiplier(0.0, 0.5), 1.0);
+        assert!(growth_multiplier(365.0, -0.2) < 1.0);
+    }
+
+    #[test]
+    fn sizes_bounded() {
+        let (_, u) = universe();
+        for (_, cfg) in u.catalog.iter() {
+            let n = cfg.total_participants();
+            assert!((2..=50).contains(&n), "size {n}");
+        }
+    }
+
+    #[test]
+    fn every_country_present_in_core() {
+        let (topo, u) = universe();
+        for country in topo.country_ids() {
+            let has = u
+                .catalog
+                .iter()
+                .any(|(_, c)| c.intra_country() && c.majority_country() == country);
+            assert!(has, "country {country:?} missing from the core");
+        }
+    }
+
+    #[test]
+    fn tiny_universe_still_works() {
+        let topo = presets::toy_three_dc();
+        let u = Universe::generate(
+            &topo,
+            &UniverseParams { num_configs: 12, ..Default::default() },
+        );
+        assert!(u.len() >= 6);
+        let sum: f64 = u.specs.iter().map(|s| s.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

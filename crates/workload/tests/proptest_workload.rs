@@ -1,0 +1,112 @@
+//! Property tests for the workload pipeline: demand matrices, envelope and
+//! selection math, and trace persistence must hold for arbitrary parameters.
+
+use proptest::prelude::*;
+use sb_workload::{persist, ConfigId, Generator, UniverseParams, WorkloadParams};
+
+fn params_strategy() -> impl Strategy<Value = WorkloadParams> {
+    (10usize..80, 100.0f64..2_000.0, prop_oneof![Just(60u32), Just(120), Just(240)], 0u64..50)
+        .prop_map(|(num_configs, daily_calls, slot_minutes, seed)| WorkloadParams {
+            universe: UniverseParams { num_configs, seed, ..Default::default() },
+            daily_calls,
+            slot_minutes,
+            seed,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Expected demand is non-negative, weekly total tracks `daily_calls`,
+    /// and the envelope day dominates every day of the window.
+    #[test]
+    fn demand_matrix_invariants(params in params_strategy()) {
+        let topo = sb_net::presets::apac();
+        let g = Generator::new(&topo, params.clone());
+        let demand = g.expected_demand(0, 7);
+        let spd = g.slots_per_day();
+        prop_assert_eq!(demand.num_slots(), spd * 7);
+        let total = demand.total_calls();
+        prop_assert!(total > 0.0);
+        prop_assert!(
+            (total - 7.0 * params.daily_calls).abs() < 0.2 * 7.0 * params.daily_calls,
+            "weekly total {} vs {}/day",
+            total,
+            params.daily_calls
+        );
+        let env = demand.envelope_day(spd);
+        for c in 0..demand.num_configs() {
+            let id = ConfigId(c as u32);
+            for (s, &v) in demand.series(id).iter().enumerate() {
+                prop_assert!(v >= 0.0);
+                prop_assert!(env.get(id, s % spd) >= v - 1e-12);
+            }
+        }
+    }
+
+    /// Top-coverage selection really covers what it claims, in rank order.
+    #[test]
+    fn coverage_selection_is_correct(params in params_strategy(), frac in 0.2f64..0.95) {
+        let topo = sb_net::presets::apac();
+        let g = Generator::new(&topo, params);
+        let demand = g.expected_demand(0, 7);
+        let selected = demand.top_configs_covering(frac);
+        let total = demand.total_calls();
+        let covered: f64 = selected
+            .iter()
+            .map(|&id| demand.series(id).iter().sum::<f64>())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        prop_assert!(covered >= frac * total - 1e-9, "covered {covered} of {total}");
+        // dropping the last selected config must fall below the target
+        if selected.len() > 1 {
+            let all = demand.config_totals();
+            let without_last: f64 = covered - all[selected.last().unwrap().index()];
+            prop_assert!(without_last < frac * total + 1e-9);
+        }
+        // selection is by descending popularity
+        let totals = demand.config_totals();
+        for w in selected.windows(2) {
+            prop_assert!(totals[w[0].index()] >= totals[w[1].index()] - 1e-12);
+        }
+    }
+
+    /// Traces round-trip through the TSV persistence byte-exactly at the
+    /// record level.
+    #[test]
+    fn trace_persistence_roundtrip(params in params_strategy()) {
+        let topo = sb_net::presets::apac();
+        let g = Generator::new(&topo, params);
+        let db = g.sample_records(0, 1, 99);
+        let text = persist::to_tsv(&db);
+        let back = persist::from_tsv(&text).unwrap();
+        prop_assert_eq!(back.len(), db.len());
+        for (a, b) in db.records().iter().zip(back.records()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.start_minute, b.start_minute);
+            prop_assert_eq!(a.duration_min, b.duration_min);
+            prop_assert_eq!(a.first_joiner, b.first_joiner);
+            prop_assert_eq!(&a.join_offsets_s, &b.join_offsets_s);
+            prop_assert_eq!(
+                db.catalog().config(a.config),
+                back.catalog().config(b.config)
+            );
+        }
+    }
+
+    /// Sampling is deterministic in the seed and the sampled totals stay
+    /// near expectation.
+    #[test]
+    fn sampling_deterministic_and_unbiased(params in params_strategy()) {
+        let topo = sb_net::presets::apac();
+        let g = Generator::new(&topo, params);
+        let a = g.sample_demand(0, 3, 7);
+        let b = g.sample_demand(0, 3, 7);
+        prop_assert_eq!(a.total_calls(), b.total_calls());
+        let e = g.expected_demand(0, 3).total_calls();
+        let s = a.total_calls();
+        prop_assert!((s - e).abs() < 0.25 * e.max(50.0), "sampled {s} expected {e}");
+    }
+}

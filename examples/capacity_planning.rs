@@ -1,0 +1,77 @@
+//! Capacity planning deep-dive: compare Round-Robin, Locality-First and
+//! Switchboard on the same forecast, with and without failure backup —
+//! a runnable miniature of the paper's Table 3 analysis with commentary.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use switchboard::core::{provision, provision_baseline, BaselinePolicy, PlanningInputs, ProvisionerParams};
+use switchboard::net::Topology;
+use switchboard::workload::{DemandMatrix, Generator, UniverseParams, WorkloadParams};
+
+fn describe(topo: &Topology, name: &str, cores: f64, wan: f64, cost: f64, acl: f64) {
+    let _ = topo;
+    println!(
+        "  {name:<3} {cores:>8.0} cores  {wan:>6.2} Gbps  ${cost:>9.0}  {acl:>5.1} ms"
+    );
+}
+
+fn main() {
+    let topo = switchboard::net::presets::apac();
+    let params = WorkloadParams {
+        universe: UniverseParams { num_configs: 300, ..Default::default() },
+        daily_calls: 4_000.0,
+        slot_minutes: 120,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+    let demand = generator.sample_demand(0, 7, 1);
+    let selected = demand.top_configs_covering(0.8);
+    let envelope: DemandMatrix =
+        demand.filtered(&selected).scaled(1.1).envelope_day(generator.slots_per_day());
+    let inputs = PlanningInputs {
+        topo: &topo,
+        catalog: &generator.universe().catalog,
+        demand: &envelope,
+        latency_threshold_ms: 120.0,
+    };
+
+    for with_backup in [false, true] {
+        println!(
+            "\n== {} ==",
+            if with_backup { "with single-failure backup" } else { "serving only" }
+        );
+        for (name, policy) in
+            [("RR", BaselinePolicy::RoundRobin), ("LF", BaselinePolicy::LocalityFirst)]
+        {
+            let p = provision_baseline(policy, &inputs, with_backup);
+            describe(
+                &topo,
+                name,
+                p.capacity.total_cores(),
+                p.capacity.total_wan_gbps(&topo),
+                p.cost,
+                p.mean_acl,
+            );
+        }
+        let p = provision(&inputs, &ProvisionerParams { with_backup, ..Default::default() })
+            .expect("SB provisioning");
+        // SB's delivered latency comes from the daily allocation plan; for
+        // brevity this example reports the capacity side only
+        describe(
+            &topo,
+            "SB",
+            p.capacity.total_cores(),
+            p.capacity.total_wan_gbps(&topo),
+            p.cost,
+            f64::NAN,
+        );
+    }
+    println!(
+        "\nreading the numbers: RR needs the fewest cores but sprays calls across\n\
+         the WAN (cost + latency); LF is latency-optimal but provisions the sum of\n\
+         time-shifted local peaks; Switchboard shaves peaks within the 120 ms bound\n\
+         and reuses off-peak serving capacity as failure backup (§4.1–§4.2)."
+    );
+}

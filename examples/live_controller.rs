@@ -1,0 +1,90 @@
+//! The real-time path (§5.4): drive the MP selector with a day of call
+//! events — first-joiner assignment, config freeze at A = 300 s, plan
+//! tallying, migrations — while worker threads persist evolving call state
+//! into the sharded store.
+//!
+//! ```sh
+//! cargo run --release --example live_controller
+//! ```
+
+use switchboard::core::{
+    allocation_plan, provision, PlannedQuotas, PlanningInputs, ProvisionerParams,
+    RealtimeSelector, ScenarioData, SolveOptions,
+};
+use switchboard::net::FailureScenario;
+use switchboard::sim::{replay, ReplayConfig};
+use switchboard::store::{CallEvent, CallStateStore, LatencyHistogram};
+use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
+
+fn main() {
+    let topo = switchboard::net::presets::apac();
+    let params = WorkloadParams {
+        universe: UniverseParams { num_configs: 300, ..Default::default() },
+        daily_calls: 3_000.0,
+        slot_minutes: 120,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+
+    // offline: provision and compute today's allocation plan
+    let day = 2;
+    let expected = generator.expected_demand(day, 1);
+    let selected = expected.top_configs_covering(0.97);
+    let planned = expected.filtered(&selected).scaled(1.3);
+    let inputs = PlanningInputs {
+        topo: &topo,
+        catalog: &generator.universe().catalog,
+        demand: &planned,
+        latency_threshold_ms: 120.0,
+    };
+    let plan = provision(&inputs, &ProvisionerParams { with_backup: false, ..Default::default() })
+        .expect("provision");
+    let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
+    let shares = allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default())
+        .expect("plan");
+
+    // online: replay the day's trace through the selector
+    let db = generator.sample_records(day, 1, 3);
+    let quotas = PlannedQuotas::from_plan(&shares, &planned);
+    let mut selector = RealtimeSelector::new(&sd0.latmap, quotas);
+    let report = replay(
+        &topo,
+        &sd0.routing,
+        &sd0.latmap,
+        &generator.universe().catalog,
+        &db,
+        &mut selector,
+        &ReplayConfig::default(),
+    );
+    println!("replayed {} calls through the real-time selector:", report.calls);
+    println!("  mean ACL            {:.1} ms", report.mean_acl_ms);
+    println!(
+        "  migrations          {} ({:.2}%)",
+        report.selector.migrations,
+        100.0 * report.selector.migration_rate()
+    );
+    println!("  unplanned configs   {}", report.selector.unplanned);
+    println!("  quota overflows     {}", report.selector.overflow);
+    println!("  peak cores observed {:.1}", report.peaks.total_cores());
+
+    // meanwhile, the controller's state writes land in the sharded store
+    let store = CallStateStore::new(64);
+    let mut hist = LatencyHistogram::new();
+    for r in db.records().iter().take(1_000) {
+        store.apply(
+            CallEvent::Start { call: r.id, country: r.first_joiner.0, dc: 0 },
+            &mut hist,
+        );
+        for _ in 1..r.join_offsets_s.len() {
+            store.apply(CallEvent::Join { call: r.id, country: r.first_joiner.0 }, &mut hist);
+        }
+        store.apply(CallEvent::Freeze { call: r.id }, &mut hist);
+    }
+    println!(
+        "\nstore: {} active calls, {} writes, mean write {:?}, p99 {:?}",
+        store.active_calls(),
+        hist.count(),
+        hist.mean(),
+        hist.quantile(0.99)
+    );
+}

@@ -1,0 +1,86 @@
+//! Quickstart: provision a conferencing service end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's APAC topology, synthesizes a Teams-like workload,
+//! provisions compute + WAN jointly with failure backup, computes the daily
+//! latency-optimal allocation plan, and prints what was bought and why.
+
+use switchboard::core::{
+    allocation_plan, mean_acl, provision, PlanningInputs, ProvisionerParams, ScenarioData,
+    SolveOptions,
+};
+use switchboard::net::FailureScenario;
+use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
+
+fn main() {
+    // 1. The provider topology: 4 APAC DCs, 9 countries, WAN links with
+    //    per-Gbps prices and per-core DC prices.
+    let topo = switchboard::net::presets::apac();
+    println!("topology: {} DCs, {} countries, {} links", topo.dcs.len(), topo.countries.len(), topo.links.len());
+
+    // 2. A synthetic workload standing in for the Teams call records.
+    let params = WorkloadParams {
+        universe: UniverseParams { num_configs: 300, ..Default::default() },
+        daily_calls: 4_000.0,
+        slot_minutes: 120,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+    let demand = generator.sample_demand(0, 7, 1);
+    // §5.2: keep the head configs covering most calls, inflate as a cushion
+    let selected = demand.top_configs_covering(0.8);
+    let head = demand.filtered(&selected).scaled(1.1);
+    let envelope = head.envelope_day(generator.slots_per_day());
+    println!(
+        "workload: {:.0} calls/week, planning {} head configs on a {}-slot envelope day",
+        demand.total_calls(),
+        selected.len(),
+        envelope.num_slots()
+    );
+
+    // 3. Provision: one LP per failure scenario, max across scenarios.
+    let inputs = PlanningInputs {
+        topo: &topo,
+        catalog: &generator.universe().catalog,
+        demand: &envelope,
+        latency_threshold_ms: 120.0,
+    };
+    let plan = provision(&inputs, &ProvisionerParams::default()).expect("provisioning");
+    println!("\nprovisioned capacity (serving + backup):");
+    for (dc, cores) in topo.dcs.iter().zip(&plan.capacity.cores) {
+        println!(
+            "  {:>10}: {:>7.1} cores (serving {:>7.1})",
+            dc.name,
+            cores,
+            plan.serving.cores[dc.id.index()]
+        );
+    }
+    println!(
+        "  WAN: {:.2} Gbps across inter-country links; total cost ${:.0}",
+        plan.capacity.total_wan_gbps(&topo),
+        plan.cost
+    );
+
+    // 4. The daily allocation plan: latency-optimal placement within the
+    //    provisioned capacity (Eq. 10).
+    let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
+    let shares = allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default())
+        .expect("allocation plan");
+    let acl = mean_acl(&sd0.latmap, &generator.universe().catalog, &envelope, &shares);
+    println!("\nallocation plan: expected mean ACL {acl:.1} ms (threshold 120 ms)");
+
+    // 5. Every single-DC failure is survivable within the plan.
+    for (sc, cap) in &plan.scenarios {
+        if let FailureScenario::DcDown(dc) = sc {
+            assert!(plan.capacity.covers(cap, 1e-6));
+            println!(
+                "  {} down → requirement {:.0} cores, covered ✓",
+                topo.dcs[dc.index()].name,
+                cap.total_cores()
+            );
+        }
+    }
+}

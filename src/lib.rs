@@ -1,0 +1,63 @@
+//! # Switchboard — efficient resource management for conferencing services
+//!
+//! A from-scratch Rust reproduction of *Bothra et al., "Switchboard:
+//! Efficient Resource Management for Conferencing Services", ACM SIGCOMM
+//! 2023*: a controller that provisions media-processing (MP) compute and WAN
+//! capacity jointly, exploits time-shifted demand peaks across time zones,
+//! and assigns calls to datacenters in real time.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`lp`] | `sb-lp` | dense + revised simplex LP engines |
+//! | [`net`] | `sb-net` | geography, topology, routing, costs, presets |
+//! | [`workload`] | `sb-workload` | synthetic call records, demand, configs |
+//! | [`forecast`] | `sb-forecast` | Holt–Winters forecasting, eval metrics |
+//! | [`core`] | `sb-core` | provisioning LP, allocation plan, realtime selector, baselines |
+//! | [`sim`] | `sb-sim` | trace replay, latency estimation, failure drills |
+//! | [`store`] | `sb-store` | sharded call-state store + throughput harness |
+//! | [`predict`] | `sb-predict` | MOMC + logistic-regression config predictor |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use switchboard::core::{provision, PlanningInputs, ProvisionerParams};
+//! use switchboard::workload::{Generator, WorkloadParams, UniverseParams};
+//!
+//! // 1. a provider topology (the Fig. 4 three-DC toy; see presets::apac()
+//! //    for the paper's full running example)
+//! let topo = switchboard::net::presets::toy_three_dc();
+//!
+//! // 2. a synthetic workload (stand-in for Teams call records)
+//! let params = WorkloadParams {
+//!     universe: UniverseParams { num_configs: 10, ..Default::default() },
+//!     daily_calls: 200.0,
+//!     slot_minutes: 120,
+//!     ..Default::default()
+//! };
+//! let generator = Generator::new(&topo, params);
+//! let demand = generator.expected_demand(0, 1);
+//!
+//! // 3. provision compute + WAN jointly (add backup by flipping the flag)
+//! let inputs = PlanningInputs {
+//!     topo: &topo,
+//!     catalog: &generator.universe().catalog,
+//!     demand: &demand,
+//!     latency_threshold_ms: 120.0,
+//! };
+//! let opts = ProvisionerParams { with_backup: false, ..Default::default() };
+//! let plan = provision(&inputs, &opts).unwrap();
+//! assert!(plan.capacity.total_cores() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sb_core as core;
+pub use sb_forecast as forecast;
+pub use sb_lp as lp;
+pub use sb_net as net;
+pub use sb_predict as predict;
+pub use sb_sim as sim;
+pub use sb_store as store;
+pub use sb_workload as workload;

@@ -1,0 +1,108 @@
+//! Table 3's qualitative ordering must hold on any seeded instance:
+//! RR minimizes cores but wastes WAN and latency; LF minimizes latency; SB
+//! matches RR's cores, LF's latency regime, and beats both on cost.
+
+use switchboard::core::{
+    allocation_plan, mean_acl, provision, provision_baseline, BaselinePolicy, PlanningInputs,
+    ProvisionerParams, ScenarioData, SolveOptions,
+};
+use switchboard::net::FailureScenario;
+use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
+
+struct Row {
+    cores: f64,
+    wan: f64,
+    cost: f64,
+    acl: f64,
+}
+
+fn run(seed: u64, with_backup: bool) -> (Row, Row, Row) {
+    let topo = switchboard::net::presets::apac();
+    let params = WorkloadParams {
+        universe: UniverseParams { num_configs: 150, seed, ..Default::default() },
+        daily_calls: 2_000.0,
+        slot_minutes: 240,
+        seed,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+    let demand = generator.sample_demand(0, 7, 1);
+    let selected = demand.top_configs_covering(0.8);
+    let envelope = demand.filtered(&selected).envelope_day(generator.slots_per_day());
+    let inputs = PlanningInputs {
+        topo: &topo,
+        catalog: &generator.universe().catalog,
+        demand: &envelope,
+        latency_threshold_ms: 120.0,
+    };
+    let rr = provision_baseline(BaselinePolicy::RoundRobin, &inputs, with_backup);
+    let lf = provision_baseline(BaselinePolicy::LocalityFirst, &inputs, with_backup);
+    let sb = provision(&inputs, &ProvisionerParams { with_backup, ..Default::default() })
+        .expect("SB provisioning");
+    let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
+    let shares = allocation_plan(&inputs, &sd0, &sb.capacity, &SolveOptions::default())
+        .expect("allocation");
+    let sb_acl = mean_acl(&sd0.latmap, &generator.universe().catalog, &envelope, &shares);
+    (
+        Row {
+            cores: rr.capacity.total_cores(),
+            wan: rr.capacity.total_wan_gbps(&topo),
+            cost: rr.cost,
+            acl: rr.mean_acl,
+        },
+        Row {
+            cores: lf.capacity.total_cores(),
+            wan: lf.capacity.total_wan_gbps(&topo),
+            cost: lf.cost,
+            acl: lf.mean_acl,
+        },
+        Row {
+            cores: sb.capacity.total_cores(),
+            wan: sb.capacity.total_wan_gbps(&topo),
+            cost: sb.cost,
+            acl: sb_acl,
+        },
+    )
+}
+
+#[test]
+fn table3_ordering_without_backup() {
+    let (rr, lf, sb) = run(42, false);
+    // RR needs the fewest cores; LF pays the sum of shifted local peaks
+    assert!(rr.cores <= lf.cores * 1.001, "RR cores {} vs LF {}", rr.cores, lf.cores);
+    // SB's serving cores sit at the RR optimum (global peak)
+    assert!(sb.cores <= rr.cores * 1.02, "SB cores {} vs RR {}", sb.cores, rr.cores);
+    // LF and SB use a fraction of RR's WAN
+    assert!(lf.wan < 0.7 * rr.wan, "LF wan {} vs RR {}", lf.wan, rr.wan);
+    assert!(sb.wan < 0.7 * rr.wan, "SB wan {} vs RR {}", sb.wan, rr.wan);
+    // cost: SB < LF < RR
+    assert!(sb.cost < lf.cost * 1.001, "SB cost {} vs LF {}", sb.cost, lf.cost);
+    assert!(lf.cost < rr.cost, "LF cost {} vs RR {}", lf.cost, rr.cost);
+    // latency: LF best, SB within the threshold and far below RR
+    assert!(lf.acl <= sb.acl + 1e-9, "LF acl {} vs SB {}", lf.acl, sb.acl);
+    assert!(sb.acl < rr.acl, "SB acl {} vs RR {}", sb.acl, rr.acl);
+    assert!(sb.acl <= 120.0);
+}
+
+#[test]
+fn table3_ordering_with_backup() {
+    let (rr, lf, sb) = run(42, true);
+    // with backup, SB's joint plan beats LF on cores (peak-aware reuse)
+    assert!(sb.cores <= lf.cores * 1.001, "SB cores {} vs LF {}", sb.cores, lf.cores);
+    // and stays the cheapest overall
+    assert!(sb.cost <= lf.cost * 1.02, "SB cost {} vs LF {}", sb.cost, lf.cost);
+    assert!(sb.cost < 0.85 * rr.cost, "SB cost {} vs RR {}", sb.cost, rr.cost);
+    // backup capacity does not change the no-failure latency story
+    assert!(sb.acl <= 120.0);
+    assert!(sb.acl < rr.acl);
+}
+
+#[test]
+fn ordering_robust_across_seeds() {
+    for seed in [7u64, 99] {
+        let (rr, lf, sb) = run(seed, false);
+        assert!(sb.cost < rr.cost, "seed {seed}: SB {} vs RR {}", sb.cost, rr.cost);
+        assert!(lf.acl < rr.acl, "seed {seed}: LF {} vs RR {}", lf.acl, rr.acl);
+        assert!(sb.cores <= rr.cores * 1.02, "seed {seed}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Full-pipeline integration test: synthesize a workload, select the head
+//! configs, provision with the scenario LP, compute the daily allocation
+//! plan, and replay a sampled trace through the real-time selector — the
+//! whole §5 design running end to end.
+
+use switchboard::core::{
+    allocation_plan, mean_acl, placed_fraction, provision, PlannedQuotas, PlanningInputs,
+    ProvisionerParams, RealtimeSelector, ScenarioData, SolveOptions,
+};
+use switchboard::net::FailureScenario;
+use switchboard::sim::{replay, ReplayConfig};
+use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
+
+fn generator(topo: &switchboard::net::Topology) -> Generator<'_> {
+    let params = WorkloadParams {
+        universe: UniverseParams { num_configs: 150, seed: 21, ..Default::default() },
+        daily_calls: 2_000.0,
+        slot_minutes: 120,
+        seed: 21,
+        ..Default::default()
+    };
+    Generator::new(topo, params)
+}
+
+#[test]
+fn provision_allocate_replay() {
+    let topo = switchboard::net::presets::apac();
+    let generator = generator(&topo);
+    let day = 2;
+    let expected = generator.expected_demand(day, 1);
+    let selected = expected.top_configs_covering(0.9);
+    let planned = expected.filtered(&selected).scaled(1.2);
+    let inputs = PlanningInputs {
+        topo: &topo,
+        catalog: &generator.universe().catalog,
+        demand: &planned,
+        latency_threshold_ms: 120.0,
+    };
+
+    // provision (serving only — backup covered by the failure test)
+    let plan = provision(&inputs, &ProvisionerParams { with_backup: false, ..Default::default() })
+        .expect("provisioning succeeds");
+    assert!(plan.capacity.total_cores() > 0.0);
+    assert!((placed_fraction(&planned, &plan.f0_shares) - 1.0).abs() < 1e-6);
+
+    // daily allocation plan fits the capacity and meets the latency bound
+    let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
+    let shares = allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default())
+        .expect("allocation plan");
+    assert!((placed_fraction(&planned, &shares) - 1.0).abs() < 1e-6);
+    let acl = mean_acl(&sd0.latmap, &generator.universe().catalog, &planned, &shares);
+    assert!(acl < 120.0, "planned mean ACL {acl} must sit under the threshold");
+
+    // replay the sampled day through the real-time selector
+    let db = generator.sample_records(day, 1, 13);
+    assert!(db.len() > 300, "trace too small");
+    let quotas = PlannedQuotas::from_plan(&shares, &planned);
+    let mut selector = RealtimeSelector::new(&sd0.latmap, quotas);
+    let report = replay(
+        &topo,
+        &sd0.routing,
+        &sd0.latmap,
+        &generator.universe().catalog,
+        &db,
+        &mut selector,
+        &ReplayConfig::default(),
+    );
+    assert_eq!(report.calls as usize, db.len());
+    // per-call mean ACL also under the bound (replay uses real placements)
+    assert!(report.mean_acl_ms < 120.0, "replayed ACL {}", report.mean_acl_ms);
+    // migrations occur but stay a small fraction (§6.4: ~1.5% in the paper)
+    let migration = report.selector.migration_rate();
+    assert!(migration < 0.15, "migration rate {migration} implausibly high");
+    // most calls follow the plan (quota overflow must be the exception)
+    let overflow_frac = report.selector.overflow as f64 / report.calls as f64;
+    assert!(overflow_frac < 0.30, "overflow fraction {overflow_frac}");
+}
+
+#[test]
+fn replayed_usage_stays_within_capacity_envelope() {
+    let topo = switchboard::net::presets::apac();
+    let generator = generator(&topo);
+    let day = 3;
+    let expected = generator.expected_demand(day, 1);
+    let selected = expected.top_configs_covering(0.95);
+    // generous cushion so Poisson noise stays inside the envelope
+    let planned = expected.filtered(&selected).scaled(1.6);
+    let inputs = PlanningInputs {
+        topo: &topo,
+        catalog: &generator.universe().catalog,
+        demand: &planned,
+        latency_threshold_ms: 120.0,
+    };
+    let plan = provision(&inputs, &ProvisionerParams { with_backup: false, ..Default::default() })
+        .expect("provisioning succeeds");
+    let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
+    let shares = allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default())
+        .expect("allocation plan");
+    let db = generator.sample_records(day, 1, 17);
+    let quotas = PlannedQuotas::from_plan(&shares, &planned);
+    let mut selector = RealtimeSelector::new(&sd0.latmap, quotas);
+    // §5.2: the deployed capacity carries a cushion over the head-config
+    // plan, covering unplanned tail configs and their traffic on links the
+    // plan itself never exercised.
+    let mut cushioned = plan.capacity.clone();
+    let max_g = cushioned.gbps.iter().cloned().fold(0.0f64, f64::max);
+    for g in cushioned.gbps.iter_mut() {
+        *g = (g.max(0.02 * max_g)) * 1.25;
+    }
+    for c in cushioned.cores.iter_mut() {
+        *c *= 1.25;
+    }
+    let cfg = ReplayConfig { capacity: Some(cushioned), ..Default::default() };
+    let report = replay(
+        &topo,
+        &sd0.routing,
+        &sd0.latmap,
+        &generator.universe().catalog,
+        &db,
+        &mut selector,
+        &cfg,
+    );
+    // minute-level usage must respect the provisioned envelope (a few
+    // violation-minutes from unplanned tail configs are tolerated)
+    let minutes = 24 * 60 * (topo.dcs.len() + topo.links.len()) as u64;
+    assert!(
+        report.capacity_violations < minutes / 100,
+        "too many violation-minutes: {} (worst overshoot {:.1}%)",
+        report.capacity_violations,
+        100.0 * report.worst_overshoot
+    );
+}
