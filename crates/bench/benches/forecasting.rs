@@ -23,7 +23,9 @@ fn bench_forecast(c: &mut Criterion) {
         });
     }
     let s = series(336 * 12, 336);
-    group.bench_function("fit_auto_grid_12w", |b| b.iter(|| fit_auto(&s, 336).unwrap()));
+    group.bench_function("fit_auto_grid_12w", |b| {
+        b.iter(|| fit_auto(&s, 336).unwrap())
+    });
     let model = fit_auto(&s, 336).unwrap();
     group.bench_function("forecast_13w", |b| b.iter(|| model.forecast(336 * 13)));
     group.finish();

@@ -31,13 +31,17 @@ fn bench_engines(c: &mut Criterion) {
     group.sample_size(10);
     for &(s, t) in &[(6usize, 8usize), (12, 15), (20, 25)] {
         let lp = transport_lp(s, t);
-        group.bench_with_input(BenchmarkId::new("revised", format!("{s}x{t}")), &lp, |b, lp| {
-            b.iter(|| RevisedSimplex::new().solve(lp).unwrap().objective())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("revised", format!("{s}x{t}")),
+            &lp,
+            |b, lp| b.iter(|| RevisedSimplex::new().solve(lp).unwrap().objective()),
+        );
         if s <= 12 {
-            group.bench_with_input(BenchmarkId::new("dense", format!("{s}x{t}")), &lp, |b, lp| {
-                b.iter(|| DenseSimplex::new().solve(lp).unwrap().objective())
-            });
+            group.bench_with_input(
+                BenchmarkId::new("dense", format!("{s}x{t}")),
+                &lp,
+                |b, lp| b.iter(|| DenseSimplex::new().solve(lp).unwrap().objective()),
+            );
         }
     }
     group.finish();

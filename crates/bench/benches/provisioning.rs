@@ -17,7 +17,10 @@ struct Fixture {
 fn fixture() -> Fixture {
     let topo = sb_net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 300, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 300,
+            ..Default::default()
+        },
         daily_calls: 4_000.0,
         slot_minutes: 120,
         ..Default::default()
@@ -25,9 +28,15 @@ fn fixture() -> Fixture {
     let generator = Generator::new(&topo, params);
     let demand = generator.sample_demand(0, 7, 1);
     let selected = demand.top_configs_covering(0.7);
-    let envelope = demand.filtered(&selected).envelope_day(generator.slots_per_day());
+    let envelope = demand
+        .filtered(&selected)
+        .envelope_day(generator.slots_per_day());
     let catalog = generator.universe().catalog.clone();
-    Fixture { topo, catalog, demand: envelope }
+    Fixture {
+        topo,
+        catalog,
+        demand: envelope,
+    }
 }
 
 fn bench_provisioning(c: &mut Criterion) {

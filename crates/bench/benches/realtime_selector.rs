@@ -9,10 +9,8 @@ use sb_net::{CountryId, DcId};
 use sb_workload::{ConfigId, DemandMatrix};
 
 fn quotas(num_configs: usize, slots: usize) -> (LatencyMap, PlannedQuotas) {
-    let latmap = LatencyMap::from_matrix(vec![
-        vec![Some(5.0), Some(40.0), Some(60.0), Some(80.0)];
-        9
-    ]);
+    let latmap =
+        LatencyMap::from_matrix(vec![vec![Some(5.0), Some(40.0), Some(60.0), Some(80.0)]; 9]);
     let mut shares = AllocationShares::new(slots);
     let mut demand = DemandMatrix::zero(num_configs, slots, 30, 0);
     for cfg in 0..num_configs {

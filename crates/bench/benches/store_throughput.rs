@@ -7,11 +7,21 @@ use sb_store::{measure_throughput, CallEvent, CallStateStore, LatencyHistogram, 
 fn events(calls: u64) -> Vec<CallEvent> {
     let mut ev = Vec::new();
     for c in 0..calls {
-        ev.push(CallEvent::Start { call: c, country: (c % 9) as u16, dc: (c % 4) as u16 });
+        ev.push(CallEvent::Start {
+            call: c,
+            country: (c % 9) as u16,
+            dc: (c % 4) as u16,
+        });
         for _ in 0..5 {
-            ev.push(CallEvent::Join { call: c, country: ((c + 1) % 9) as u16 });
+            ev.push(CallEvent::Join {
+                call: c,
+                country: ((c + 1) % 9) as u16,
+            });
         }
-        ev.push(CallEvent::Media { call: c, media: MediaFlag::Video });
+        ev.push(CallEvent::Media {
+            call: c,
+            media: MediaFlag::Video,
+        });
         ev.push(CallEvent::Freeze { call: c });
         ev.push(CallEvent::End { call: c });
     }
@@ -26,19 +36,36 @@ fn bench_store(c: &mut Criterion) {
         let mut id = 0u64;
         b.iter(|| {
             id += 1;
-            store.apply(CallEvent::Start { call: id, country: 1, dc: 0 }, &mut hist);
-            store.apply(CallEvent::Join { call: id, country: 2 }, &mut hist);
+            store.apply(
+                CallEvent::Start {
+                    call: id,
+                    country: 1,
+                    dc: 0,
+                },
+                &mut hist,
+            );
+            store.apply(
+                CallEvent::Join {
+                    call: id,
+                    country: 2,
+                },
+                &mut hist,
+            );
             store.apply(CallEvent::End { call: id }, &mut hist);
         })
     });
     let ev = events(2_000);
     for &threads in &[1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("replay_16k_events", threads), &ev, |b, ev| {
-            b.iter(|| {
-                let store = CallStateStore::new(256);
-                measure_throughput(&store, ev, threads).events
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("replay_16k_events", threads),
+            &ev,
+            |b, ev| {
+                b.iter(|| {
+                    let store = CallStateStore::new(256);
+                    measure_throughput(&store, ev, threads).events
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -4,8 +4,10 @@
 //! Here the store is the in-process sharded substitute; the thread count is
 //! swept the same way, and throughput is normalized identically. Note the
 //! absolute scaling depends on the host's core count.
+//!
+//! Usage: `fig10_controller_throughput [--quick] [--metrics <path>]`
 
-use sb_bench::common::print_table;
+use sb_bench::common::{dump_metrics, metrics_path_from_args, print_table};
 use sb_store::{measure_throughput, peak_event_rate, CallEvent, CallStateStore, MediaFlag};
 use sb_workload::{CallRecordsDb, Generator, MediaType, UniverseParams, WorkloadParams};
 
@@ -20,7 +22,11 @@ fn trace_to_events(db: &CallRecordsDb) -> Vec<(u32, CallEvent)> {
         // first joiner starts the call
         events.push((
             start_s,
-            CallEvent::Start { call: r.id, country: r.first_joiner.0, dc: 0 },
+            CallEvent::Start {
+                call: r.id,
+                country: r.first_joiner.0,
+                dc: 0,
+            },
         ));
         // remaining participants join per the offset model; countries cycle
         // through the config's spread
@@ -32,7 +38,13 @@ fn trace_to_events(db: &CallRecordsDb) -> Vec<(u32, CallEvent)> {
         }
         for (k, &off) in r.join_offsets_s.iter().enumerate().skip(1) {
             let country = countries[k % countries.len()];
-            events.push((start_s + off as u32, CallEvent::Join { call: r.id, country }));
+            events.push((
+                start_s + off as u32,
+                CallEvent::Join {
+                    call: r.id,
+                    country,
+                },
+            ));
         }
         if cfg.media() != MediaType::Audio {
             let media = match cfg.media() {
@@ -50,10 +62,14 @@ fn trace_to_events(db: &CallRecordsDb) -> Vec<(u32, CallEvent)> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let metrics_path = metrics_path_from_args();
     let daily_calls = if quick { 5_000.0 } else { 20_000.0 };
     let topo = sb_net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 1_000, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 1_000,
+            ..Default::default()
+        },
         daily_calls,
         ..Default::default()
     };
@@ -73,7 +89,9 @@ fn main() {
     );
     println!(
         "host parallelism: {} core(s) — absolute scaling depends on this\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 
     // emulate the Azure Redis round trip (§6.6 reports 0.3–4.2 ms writes);
@@ -98,7 +116,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["threads", "events/s", "vs 1 thread", "vs trace peak", "mean write", "p99 write"],
+        &[
+            "threads",
+            "events/s",
+            "vs 1 thread",
+            "vs trace peak",
+            "mean write",
+            "p99 write",
+        ],
         &rows,
     );
     println!(
@@ -106,4 +131,7 @@ fn main() {
          write latencies 0.3–4.2 ms against Azure Redis (in-process store here,\n\
          so absolute latencies are much lower and normalized throughput higher)."
     );
+    if let Some(path) = metrics_path {
+        dump_metrics(&path);
+    }
 }

@@ -9,7 +9,10 @@ use sb_workload::{Generator, UniverseParams, WorkloadParams};
 fn main() {
     let topo = sb_net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 1_000, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 1_000,
+            ..Default::default()
+        },
         daily_calls: 20_000.0,
         slot_minutes: 30,
         ..Default::default()

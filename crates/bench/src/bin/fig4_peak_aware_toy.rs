@@ -54,7 +54,12 @@ fn main() {
     };
 
     println!("== Fig. 4: peak-aware capacity planning toy ==\n");
-    println!("demand (cores): JP {:?}  HK {:?}  IN {:?}\n", [100, 20, 30], [50, 110, 40], [20, 90, 110]);
+    println!(
+        "demand (cores): JP {:?}  HK {:?}  IN {:?}\n",
+        [100, 20, 30],
+        [50, 110, 40],
+        [20, 90, 110]
+    );
 
     // (a)+(b): locality-first serving + §3.2 backup LP
     let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
@@ -78,14 +83,20 @@ fn main() {
     println!("    total {naive_total:.1} cores (paper: 160 + 160 + 160 = 480)\n");
 
     // (c): peak-aware joint serving+backup (Switchboard)
-    let plan = provision(&inputs, &ProvisionerParams {
-        solve: SolveOptions::default(),
-        ..Default::default()
-    })
+    let plan = provision(
+        &inputs,
+        &ProvisionerParams {
+            solve: SolveOptions::default(),
+            ..Default::default()
+        },
+    )
     .expect("provisioning");
     if std::env::var_os("SB_DEBUG").is_some() {
         for (sc, cap) in &plan.scenarios {
-            eprintln!("{sc:?}: {:?}", cap.cores.iter().map(|c| *c as i64).collect::<Vec<_>>());
+            eprintln!(
+                "{sc:?}: {:?}",
+                cap.cores.iter().map(|c| *c as i64).collect::<Vec<_>>()
+            );
         }
     }
     println!("(c) peak-aware plan (serving cores repurposed as backup off-peak):");

@@ -40,8 +40,7 @@ fn part_a(generator: &Generator<'_>) {
 fn part_b(generator: &Generator<'_>) {
     println!("-- (b) growth of 15 randomly selected configs over 4 months --\n");
     let n = generator.universe().len();
-    let ids: Vec<ConfigId> =
-        (0..15).map(|i| ConfigId(((i * 7919) % n) as u32)).collect();
+    let ids: Vec<ConfigId> = (0..15).map(|i| ConfigId(((i * 7919) % n) as u32)).collect();
     // growth measured as (month-4 weekly calls) / (month-1 weekly calls)
     let mut rates: Vec<(ConfigId, f64)> = ids
         .iter()
@@ -55,7 +54,12 @@ fn part_b(generator: &Generator<'_>) {
     let max_rate = rates[0].1;
     println!("config        growth (4mo)   normalized to max (paper's Fig. 7b normalization)");
     for (id, r) in &rates {
-        println!("  {:>8}    {:>6.2}x        {:>5.2}", format!("{id:?}"), r, r / max_rate);
+        println!(
+            "  {:>8}    {:>6.2}x        {:>5.2}",
+            format!("{id:?}"),
+            r,
+            r / max_rate
+        );
     }
     println!();
 }
@@ -67,17 +71,28 @@ fn part_c() {
     let topo = sb_net::presets::apac();
     let universe = Universe::generate(
         &topo,
-        &UniverseParams { num_configs: 100_000, seed: 5, ..Default::default() },
+        &UniverseParams {
+            num_configs: 100_000,
+            seed: 5,
+            ..Default::default()
+        },
     );
     let mut weights: Vec<f64> = universe.specs.iter().map(|s| s.weight).collect();
     weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
     let n = weights.len();
     let coverage = |frac: f64| -> f64 {
-        weights.iter().take(((n as f64 * frac) as usize).max(1)).sum::<f64>()
+        weights
+            .iter()
+            .take(((n as f64 * frac) as usize).max(1))
+            .sum::<f64>()
     };
     println!("universe: {n} distinct configs");
     for frac in [0.001, 0.01, 0.05, 0.10, 0.25] {
-        println!("  top {:>5.1}% of configs → {:>5.1}% of calls", frac * 100.0, coverage(frac) * 100.0);
+        println!(
+            "  top {:>5.1}% of configs → {:>5.1}% of calls",
+            frac * 100.0,
+            coverage(frac) * 100.0
+        );
     }
     println!("\npaper: top 0.1% → 86% of calls, top 1% → 93% (10M+ configs; the knee of\nthe curve is the property Switchboard's §5.2 selection relies on)");
 }
@@ -85,7 +100,10 @@ fn part_c() {
 fn main() {
     let topo = sb_net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 2_000, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 2_000,
+            ..Default::default()
+        },
         daily_calls: 20_000.0,
         slot_minutes: 30,
         ..Default::default()

@@ -9,7 +9,10 @@ use sb_workload::{Generator, UniverseParams, WorkloadParams};
 fn main() {
     let topo = sb_net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 500, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 500,
+            ..Default::default()
+        },
         daily_calls: 3_000.0,
         ..Default::default()
     };
@@ -23,7 +26,11 @@ fn main() {
     println!("0s {} 900s\n", sparkline(&values));
     println!("  t(s)  fraction joined");
     for &(t, f) in &curve {
-        let marker = if t == CONFIG_FREEZE_SECONDS { "   ← A = 300 s (config freeze)" } else { "" };
+        let marker = if t == CONFIG_FREEZE_SECONDS {
+            "   ← A = 300 s (config freeze)"
+        } else {
+            ""
+        };
         println!("  {t:>4}  {:>6.3}{marker}", f);
     }
     let at_freeze = curve

@@ -11,7 +11,10 @@ fn main() {
     let (n_configs, slot_minutes) = if quick { (60, 120) } else { (400, 30) };
     let topo = sb_net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 2_000, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 2_000,
+            ..Default::default()
+        },
         daily_calls: 20_000.0,
         slot_minutes,
         ..Default::default()
@@ -29,7 +32,9 @@ fn main() {
     for (i, spec) in ranked.iter().take(n_configs).enumerate() {
         let train = generator.sample_config_series(spec.id, 0, train_days, 200);
         let truth = generator.sample_config_series(spec.id, train_days, test_days, 201);
-        let Ok(model) = fit_auto(&train, season) else { continue };
+        let Ok(model) = fit_auto(&train, season) else {
+            continue;
+        };
         let forecast = model.forecast(truth.len());
         if let (Some(r), Some(m)) = (
             peak_normalized(rmse(&forecast, &truth), &truth),
@@ -43,7 +48,10 @@ fn main() {
         }
     }
 
-    println!("== Fig. 9: CDF of normalized RMSE / MAE across top {} configs ==\n", rmses.len());
+    println!(
+        "== Fig. 9: CDF of normalized RMSE / MAE across top {} configs ==\n",
+        rmses.len()
+    );
     let rc = Cdf::new(rmses);
     let mc = Cdf::new(maes);
     println!("  quantile   RMSE     MAE");

@@ -14,11 +14,17 @@ use sb_workload::{Generator, UniverseParams, WorkloadParams};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (num_configs, daily_calls, slot_minutes, coverage) =
-        if quick { (300, 4_000.0, 120, 0.97) } else { (2_000, 20_000.0, 240, 0.90) };
+    let (num_configs, daily_calls, slot_minutes, coverage) = if quick {
+        (300, 4_000.0, 120, 0.97)
+    } else {
+        (2_000, 20_000.0, 240, 0.90)
+    };
     let topo = sb_net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs, ..Default::default() },
+        universe: UniverseParams {
+            num_configs,
+            ..Default::default()
+        },
         daily_calls,
         slot_minutes,
         ..Default::default()
@@ -34,7 +40,11 @@ fn main() {
     // noise rarely exhausts the planned quotas
     let planned_demand = expected.filtered(&selected).scaled(1.15);
     let db = generator.sample_records(day, 1, 9);
-    eprintln!("plan covers {} configs; trace has {} calls", selected.len(), db.len());
+    eprintln!(
+        "plan covers {} configs; trace has {} calls",
+        selected.len(),
+        db.len()
+    );
 
     let inputs = PlanningInputs {
         topo: &topo,
@@ -51,7 +61,10 @@ fn main() {
     eprintln!("provisioning + planning (SB) …");
     let plan = provision(
         &inputs,
-        &ProvisionerParams { with_backup: false, ..Default::default() },
+        &ProvisionerParams {
+            with_backup: false,
+            ..Default::default()
+        },
     )
     .expect("provision");
     let mut capacity = plan.capacity.clone();
@@ -85,13 +98,27 @@ fn main() {
             report.calls.to_string(),
             report.selector.migrations.to_string(),
             format!("{:.2}%", 100.0 * report.selector.migration_rate()),
-            format!("{:.2}%", 100.0 * report.selector.unplanned as f64 / report.calls as f64),
-            format!("{:.2}%", 100.0 * report.selector.overflow as f64 / report.calls as f64),
+            format!(
+                "{:.2}%",
+                100.0 * report.selector.unplanned as f64 / report.calls as f64
+            ),
+            format!(
+                "{:.2}%",
+                100.0 * report.selector.overflow as f64 / report.calls as f64
+            ),
             format!("{:.1}", report.mean_acl_ms),
         ]);
     }
     print_table(
-        &["Scheme", "calls", "migrations", "migration%", "unplanned%", "overflow%", "ACL(ms)"],
+        &[
+            "Scheme",
+            "calls",
+            "migrations",
+            "migration%",
+            "unplanned%",
+            "overflow%",
+            "ACL(ms)",
+        ],
         &rows,
     );
     println!(

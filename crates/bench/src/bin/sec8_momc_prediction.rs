@@ -43,7 +43,10 @@ fn main() {
         .collect();
 
     let eval = evaluate(&histories, &PredictorParams::default());
-    println!("evaluated on the held-out final occurrence of {} series\n", eval.series);
+    println!(
+        "evaluated on the held-out final occurrence of {} series\n",
+        eval.series
+    );
     let rows = vec![
         vec![
             "MOMC + LR".to_string(),

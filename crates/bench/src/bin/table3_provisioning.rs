@@ -2,13 +2,25 @@
 //! mean ACL for RR, LF and Switchboard, with and without backup capacity,
 //! normalized to RR.
 //!
-//! Usage: `table3_provisioning [--quick]`
+//! Usage: `table3_provisioning [--quick] [--metrics <path>]`
+//!
+//! `--metrics` enables the observability registry and writes per-scenario LP
+//! metrics (rows/cols, simplex iterations, wall times, increment cost) plus
+//! aggregate counters to the given path (TSV, or NDJSON for `.ndjson`).
 
-use sb_bench::common::{build_eval, normalize_to_first, print_table, table3_rows, EvalScale};
+use sb_bench::common::{
+    build_eval, dump_metrics, metrics_path_from_args, normalize_to_first, print_table, table3_rows,
+    EvalScale,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { EvalScale::quick() } else { EvalScale::default_eval() };
+    let metrics_path = metrics_path_from_args();
+    let scale = if quick {
+        EvalScale::quick()
+    } else {
+        EvalScale::default_eval()
+    };
     eprintln!(
         "building workload: {} configs, {:.0} calls/day, {} days, {}-min slots …",
         scale.num_configs, scale.daily_calls, scale.days, scale.slot_minutes
@@ -47,8 +59,7 @@ fn main() {
             .collect();
         print_table(
             &[
-                "Scheme", "Cores", "WAN", "Cost", "MeanACL", "(cores)", "(Gbps)", "($)",
-                "(ms)",
+                "Scheme", "Cores", "WAN", "Cost", "MeanACL", "(cores)", "(Gbps)", "($)", "(ms)",
             ],
             &table,
         );
@@ -59,4 +70,7 @@ fn main() {
          \x20 without backup: RR 1.00/1.00/1.00/1.00, LF 1.08/0.18/0.35/0.45, SB 1.00/0.14/0.29/0.51\n\
          \x20 with    backup: RR 1.00/1.00/1.00/1.00, LF 1.10/0.55/0.64/0.45, SB 1.00/0.43/0.49/0.45"
     );
+    if let Some(path) = metrics_path {
+        dump_metrics(&path);
+    }
 }

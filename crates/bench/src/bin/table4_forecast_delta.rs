@@ -19,7 +19,12 @@ struct Provisioned {
     wan: f64,
 }
 
-fn provision_all(topo: &Topology, catalog: &sb_workload::ConfigCatalog, demand: &DemandMatrix, with_backup: bool) -> Vec<(&'static str, Provisioned)> {
+fn provision_all(
+    topo: &Topology,
+    catalog: &sb_workload::ConfigCatalog,
+    demand: &DemandMatrix,
+    with_backup: bool,
+) -> Vec<(&'static str, Provisioned)> {
     let inputs = PlanningInputs {
         topo,
         catalog,
@@ -27,27 +32,44 @@ fn provision_all(topo: &Topology, catalog: &sb_workload::ConfigCatalog, demand: 
         latency_threshold_ms: 120.0,
     };
     let mut out = Vec::new();
-    for (name, policy) in
-        [("RR", BaselinePolicy::RoundRobin), ("LF", BaselinePolicy::LocalityFirst)]
-    {
+    for (name, policy) in [
+        ("RR", BaselinePolicy::RoundRobin),
+        ("LF", BaselinePolicy::LocalityFirst),
+    ] {
         let p = provision_baseline(policy, &inputs, with_backup);
-        out.push((name, Provisioned {
+        out.push((
+            name,
+            Provisioned {
+                cores: p.capacity.total_cores(),
+                wan: p.capacity.total_wan_gbps(topo),
+            },
+        ));
+    }
+    let p = provision(
+        &inputs,
+        &ProvisionerParams {
+            with_backup,
+            ..Default::default()
+        },
+    )
+    .expect("SB provisioning");
+    out.push((
+        "SB",
+        Provisioned {
             cores: p.capacity.total_cores(),
             wan: p.capacity.total_wan_gbps(topo),
-        }));
-    }
-    let p = provision(&inputs, &ProvisionerParams { with_backup, ..Default::default() })
-        .expect("SB provisioning");
-    out.push(("SB", Provisioned {
-        cores: p.capacity.total_cores(),
-        wan: p.capacity.total_wan_gbps(topo),
-    }));
+        },
+    ));
     out
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let mut scale = if quick { EvalScale::quick() } else { EvalScale::default_eval() };
+    let mut scale = if quick {
+        EvalScale::quick()
+    } else {
+        EvalScale::default_eval()
+    };
     // Forecast-vs-truth deltas need Teams-like per-slot volumes: at small λ the
     // ground truth's envelope is inflated by max-of-Poisson noise, which reads
     // as systematic forecast under-provisioning. Scale the traffic up.
@@ -70,12 +92,17 @@ fn main() {
     let slots_per_day = generator.slots_per_day();
     let season = slots_per_day * 7;
 
-    eprintln!("sampling ground truth for days {train_days}..{}", train_days + eval_days);
+    eprintln!(
+        "sampling ground truth for days {train_days}..{}",
+        train_days + eval_days
+    );
     let truth = generator.sample_demand(train_days, eval_days, 3);
     let selected = truth.top_configs_covering(scale.coverage);
     let total = truth.total_calls();
-    let covered: f64 =
-        selected.iter().map(|&id| truth.series(id).iter().sum::<f64>()).sum();
+    let covered: f64 = selected
+        .iter()
+        .map(|&id| truth.series(id).iter().sum::<f64>())
+        .sum();
     let inflation = total / covered.max(1.0);
 
     eprintln!("fitting Holt–Winters for {} configs …", selected.len());

@@ -100,14 +100,29 @@ pub fn build_eval(scale: &EvalScale) -> EvalData {
     };
     let selected = demand.top_configs_covering(scale.coverage);
     let total = demand.total_calls();
-    let covered: f64 = selected.iter().map(|&id| demand.series(id).iter().sum::<f64>()).sum();
+    let covered: f64 = selected
+        .iter()
+        .map(|&id| demand.series(id).iter().sum::<f64>())
+        .sum();
     let coverage_achieved = if total > 0.0 { covered / total } else { 0.0 };
     // §5.2 cushion: inflate the head so it stands in for the full workload
-    let inflation = if coverage_achieved > 0.0 { 1.0 / coverage_achieved } else { 1.0 };
+    let inflation = if coverage_achieved > 0.0 {
+        1.0 / coverage_achieved
+    } else {
+        1.0
+    };
     let demand_full = demand.filtered(&selected).scaled(inflation);
     let slots_per_day = (24 * 60 / scale.slot_minutes) as usize;
     let demand_env = demand_full.envelope_day(slots_per_day);
-    EvalData { topo, catalog, demand_full, demand_env, selected, coverage_achieved, workload }
+    EvalData {
+        topo,
+        catalog,
+        demand_full,
+        demand_env,
+        selected,
+        coverage_achieved,
+        workload,
+    }
 }
 
 /// One row of Table 3.
@@ -148,7 +163,10 @@ pub fn table3_rows(data: &EvalData, with_backup: bool) -> Vec<Table3Row> {
         });
     }
     // Switchboard
-    let params = ProvisionerParams { with_backup, ..Default::default() };
+    let params = ProvisionerParams {
+        with_backup,
+        ..Default::default()
+    };
     let plan = provision(&inputs, &params).expect("SB provisioning");
     // the daily allocation plan decides the latency actually delivered
     let sd0 = ScenarioData::compute(&data.topo, FailureScenario::None);
@@ -211,5 +229,35 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
     for row in rows {
         line(row.clone());
+    }
+}
+
+/// Parse `--metrics <path>` from the process args. When present, enables the
+/// global [`sb_obs`] registry and returns the path; call
+/// [`dump_metrics`] at the end of the run to write the report.
+pub fn metrics_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("--metrics requires a path argument");
+                std::process::exit(2);
+            });
+            sb_obs::global().set_enabled(true);
+            return Some(path.into());
+        }
+        if let Some(path) = a.strip_prefix("--metrics=") {
+            sb_obs::global().set_enabled(true);
+            return Some(path.into());
+        }
+    }
+    None
+}
+
+/// Write the global registry to `path` (TSV, or NDJSON for `.ndjson`/`.jsonl`).
+pub fn dump_metrics(path: &std::path::Path) {
+    match sb_obs::global().dump_to_path(path) {
+        Ok(()) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics to {}: {e}", path.display()),
     }
 }

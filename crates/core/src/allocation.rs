@@ -62,7 +62,12 @@ pub fn allocation_plan(
                 loads
             })
             .collect();
-        infos.push(CfgInfo { id: cfg_id, allowed, call_cl: cfg.compute_load(), per_dc_links });
+        infos.push(CfgInfo {
+            id: cfg_id,
+            allowed,
+            call_cl: cfg.compute_load(),
+            per_dc_links,
+        });
     }
 
     // headroom against round-off between the provisioning LP and this one
@@ -82,12 +87,7 @@ pub fn allocation_plan(
             any = true;
             let mut completeness = Vec::with_capacity(info.allowed.len());
             for (k, &(dc, acl)) in info.allowed.iter().enumerate() {
-                let v = lp.add_var(
-                    format!("S_{}_{}", info.id.index(), dc.index()),
-                    acl,
-                    0.0,
-                    d,
-                );
+                let v = lp.add_var(format!("S_{}_{}", info.id.index(), dc.index()), acl, 0.0, d);
                 completeness.push((v, 1.0));
                 compute_rows[dc.index()].push((v, info.call_cl));
                 for &(l, w) in &info.per_dc_links[k] {
@@ -115,7 +115,10 @@ pub fn allocation_plan(
         let sol = opts
             .solver
             .solve(&lp)
-            .map_err(|source| ProvisionError::Lp { scenario: sd.scenario, source })?;
+            .map_err(|source| ProvisionError::Lp {
+                scenario: sd.scenario,
+                source,
+            })?;
         use std::collections::HashMap;
         let mut grouped: HashMap<ConfigId, Vec<(sb_net::DcId, f64)>> = HashMap::new();
         for (cfg, dc, v, d) in vars {
@@ -189,7 +192,10 @@ mod tests {
         let plan = allocation_plan(&inputs, &sd, &prov.capacity, &opts).unwrap();
         let acl_plan = mean_acl(&sd.latmap, &cat, &demand, &plan);
         let acl_prov = mean_acl(&sd.latmap, &cat, &demand, &prov.shares);
-        assert!(acl_plan <= acl_prov + 1e-6, "plan {acl_plan} vs prov {acl_prov}");
+        assert!(
+            acl_plan <= acl_prov + 1e-6,
+            "plan {acl_plan} vs prov {acl_prov}"
+        );
     }
 
     #[test]

@@ -21,11 +21,16 @@ pub fn min_total_backup(
     }
     if n == 1 {
         // a single DC cannot back itself up
-        return if serving[0] > 0.0 { None } else { Some(vec![0.0]) };
+        return if serving[0] > 0.0 {
+            None
+        } else {
+            Some(vec![0.0])
+        };
     }
     let mut lp = LpProblem::new();
-    let backup: Vec<_> =
-        (0..n).map(|x| lp.add_nonneg(format!("backup_{x}"), 1.0)).collect();
+    let backup: Vec<_> = (0..n)
+        .map(|x| lp.add_nonneg(format!("backup_{x}"), 1.0))
+        .collect();
     for x in 0..n {
         if serving[x] <= 0.0 {
             continue;
@@ -57,7 +62,11 @@ mod tests {
         // needs 25/3 ≈ 8.33 % backup, i.e. total backup 4·25/3 ≈ 33.3
         let serving = [25.0; 4];
         let b = min_total_backup(&serving, |_, _| true).unwrap();
-        assert!((total(&b) - 4.0 * 25.0 / 3.0).abs() < 1e-6, "total {}", total(&b));
+        assert!(
+            (total(&b) - 4.0 * 25.0 / 3.0).abs() < 1e-6,
+            "total {}",
+            total(&b)
+        );
         // binding constraint: any failed DC's 25 fits in the others
         for x in 0..4 {
             let others: f64 = (0..4).filter(|&y| y != x).map(|y| b[y]).sum();

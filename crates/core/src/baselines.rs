@@ -101,7 +101,13 @@ pub fn provision_baseline(
 ) -> BaselinePlan {
     let sd0 = ScenarioData::compute(inputs.topo, FailureScenario::None);
     let f0_shares = baseline_shares(policy, inputs, &sd0);
-    let usage0 = compute_usage(inputs.topo, &sd0.routing, inputs.catalog, inputs.demand, &f0_shares);
+    let usage0 = compute_usage(
+        inputs.topo,
+        &sd0.routing,
+        inputs.catalog,
+        inputs.demand,
+        &f0_shares,
+    );
     let serving = usage0.peaks();
     let acl = mean_acl(&sd0.latmap, inputs.catalog, inputs.demand, &f0_shares);
 
@@ -120,8 +126,13 @@ pub fn provision_baseline(
             }
             let sd = ScenarioData::compute(inputs.topo, sc);
             let shares = baseline_shares(policy, inputs, &sd);
-            let usage =
-                compute_usage(inputs.topo, &sd.routing, inputs.catalog, inputs.demand, &shares);
+            let usage = compute_usage(
+                inputs.topo,
+                &sd.routing,
+                inputs.catalog,
+                inputs.demand,
+                &shares,
+            );
             let peaks = usage.peaks();
             for (g, p) in capacity.gbps.iter_mut().zip(&peaks.gbps) {
                 *g = g.max(*p);
@@ -129,7 +140,13 @@ pub fn provision_baseline(
         }
     }
     let cost = capacity.cost(inputs.topo);
-    BaselinePlan { serving, capacity, f0_shares, mean_acl: acl, cost }
+    BaselinePlan {
+        serving,
+        capacity,
+        f0_shares,
+        mean_acl: acl,
+        cost,
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +175,12 @@ mod tests {
         cat: &'a ConfigCatalog,
         demand: &'a DemandMatrix,
     ) -> PlanningInputs<'a> {
-        PlanningInputs { topo, catalog: cat, demand, latency_threshold_ms: 120.0 }
+        PlanningInputs {
+            topo,
+            catalog: cat,
+            demand,
+            latency_threshold_ms: 120.0,
+        }
     }
 
     #[test]
@@ -180,8 +202,14 @@ mod tests {
         let inp = inputs(&topo, &cat, &demand);
         let sd = ScenarioData::compute(&topo, FailureScenario::None);
         let shares = baseline_shares(BaselinePolicy::LocalityFirst, &inp, &sd);
-        assert_eq!(shares.get(ConfigId(0), 0), &[(topo.dc_by_name("Tokyo"), 1.0)]);
-        assert_eq!(shares.get(ConfigId(1), 1), &[(topo.dc_by_name("Pune"), 1.0)]);
+        assert_eq!(
+            shares.get(ConfigId(0), 0),
+            &[(topo.dc_by_name("Tokyo"), 1.0)]
+        );
+        assert_eq!(
+            shares.get(ConfigId(1), 1),
+            &[(topo.dc_by_name("Pune"), 1.0)]
+        );
     }
 
     #[test]

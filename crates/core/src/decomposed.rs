@@ -26,7 +26,11 @@ pub struct GreedyOptions {
 
 impl Default for GreedyOptions {
     fn default() -> Self {
-        GreedyOptions { min_demand: 1e-6, acl_epsilon: 1e-6, sweeps: 2 }
+        GreedyOptions {
+            min_demand: 1e-6,
+            acl_epsilon: 1e-6,
+            sweeps: 2,
+        }
     }
 }
 
@@ -102,7 +106,9 @@ pub fn solve_scenario_greedy(
     }
     // big rocks first
     items.sort_by(|a, b| {
-        (b.demand * b.call_cl).partial_cmp(&(a.demand * a.call_cl)).unwrap()
+        (b.demand * b.call_cl)
+            .partial_cmp(&(a.demand * a.call_cl))
+            .unwrap()
     });
 
     let t_slots = demand.num_slots();
@@ -120,12 +126,10 @@ pub fn solve_scenario_greedy(
         let (dc, acl) = item.allowed[k];
         let add_cores = item.demand * item.call_cl;
         let new_core = use_cores[item.slot][dc.index()] + add_cores;
-        let mut cost = topo.dcs[dc.index()].core_cost
-            * (new_core - cap_cores[dc.index()]).max(0.0);
+        let mut cost = topo.dcs[dc.index()].core_cost * (new_core - cap_cores[dc.index()]).max(0.0);
         for &(l, w) in &item.links[k] {
             let new_bw = use_gbps[item.slot][l.index()] + item.demand * w;
-            cost += topo.links[l.index()].cost_per_gbps
-                * (new_bw - cap_gbps[l.index()]).max(0.0);
+            cost += topo.links[l.index()].cost_per_gbps * (new_bw - cap_gbps[l.index()]).max(0.0);
         }
         cost + opts.acl_epsilon * acl * item.demand
     };
@@ -142,15 +146,18 @@ pub fn solve_scenario_greedy(
         }
     };
 
-    let grow_caps =
-        |item: &Item, k: usize, use_cores: &[Vec<f64>], use_gbps: &[Vec<f64>], cap_cores: &mut [f64], cap_gbps: &mut [f64]| {
-            let (dc, _) = item.allowed[k];
-            cap_cores[dc.index()] =
-                cap_cores[dc.index()].max(use_cores[item.slot][dc.index()]);
-            for &(l, _) in &item.links[k] {
-                cap_gbps[l.index()] = cap_gbps[l.index()].max(use_gbps[item.slot][l.index()]);
-            }
-        };
+    let grow_caps = |item: &Item,
+                     k: usize,
+                     use_cores: &[Vec<f64>],
+                     use_gbps: &[Vec<f64>],
+                     cap_cores: &mut [f64],
+                     cap_gbps: &mut [f64]| {
+        let (dc, _) = item.allowed[k];
+        cap_cores[dc.index()] = cap_cores[dc.index()].max(use_cores[item.slot][dc.index()]);
+        for &(l, _) in &item.links[k] {
+            cap_gbps[l.index()] = cap_gbps[l.index()].max(use_gbps[item.slot][l.index()]);
+        }
+    };
 
     // constructive pass
     for i in 0..items.len() {
@@ -165,7 +172,14 @@ pub fn solve_scenario_greedy(
             .expect("allowed is non-empty");
         items[i].choice = best;
         apply(&items[i], best, 1.0, &mut use_cores, &mut use_gbps);
-        grow_caps(&items[i], best, &use_cores, &use_gbps, &mut cap_cores, &mut cap_gbps);
+        grow_caps(
+            &items[i],
+            best,
+            &use_cores,
+            &use_gbps,
+            &mut cap_cores,
+            &mut cap_gbps,
+        );
     }
 
     // improvement sweeps: re-place each item against current state
@@ -187,19 +201,40 @@ pub fn solve_scenario_greedy(
                 .unwrap();
             items[i].choice = best;
             apply(&items[i], best, 1.0, &mut use_cores, &mut use_gbps);
-            grow_caps(&items[i], best, &use_cores, &use_gbps, &mut cap_cores, &mut cap_gbps);
+            grow_caps(
+                &items[i],
+                best,
+                &use_cores,
+                &use_gbps,
+                &mut cap_cores,
+                &mut cap_gbps,
+            );
         }
     }
     recompute_caps(&use_cores, &use_gbps, &mut cap_cores, &mut cap_gbps);
 
-    let capacity = ProvisionedCapacity { cores: cap_cores, gbps: cap_gbps };
+    let capacity = ProvisionedCapacity {
+        cores: cap_cores,
+        gbps: cap_gbps,
+    };
     let mut shares = AllocationShares::new(t_slots);
     for item in &items {
         let (dc, _) = item.allowed[item.choice];
         shares.set(item.cfg, item.slot, vec![(dc, 1.0)]);
     }
     let objective = capacity.cost(topo);
-    ScenarioSolution { scenario: sd.scenario, capacity, shares, objective, dropped }
+    // the greedy path has no LP and no base capacity: all capacity is "bought"
+    ScenarioSolution {
+        scenario: sd.scenario,
+        capacity,
+        shares,
+        objective,
+        dropped,
+        iterations: 0,
+        lp_rows: 0,
+        lp_cols: 0,
+        increment_cost: objective,
+    }
 }
 
 fn recompute_caps(
@@ -280,7 +315,10 @@ mod tests {
         let sd = ScenarioData::compute(&topo, FailureScenario::None);
         let exact = solve_scenario(&inputs, &sd, None, &SolveOptions::default()).unwrap();
         let greedy = solve_scenario_greedy(&inputs, &sd, &GreedyOptions::default());
-        assert!(greedy.objective >= exact.objective - 1e-6, "greedy cannot beat the LP");
+        assert!(
+            greedy.objective >= exact.objective - 1e-6,
+            "greedy cannot beat the LP"
+        );
         let gap = (greedy.objective - exact.objective) / exact.objective;
         assert!(gap < 0.35, "greedy gap {gap} too large");
     }
@@ -298,7 +336,10 @@ mod tests {
         let zero = solve_scenario_greedy(
             &inputs,
             &sd,
-            &GreedyOptions { sweeps: 0, ..Default::default() },
+            &GreedyOptions {
+                sweeps: 0,
+                ..Default::default()
+            },
         );
         let two = solve_scenario_greedy(&inputs, &sd, &GreedyOptions::default());
         assert!(two.objective <= zero.objective + 1e-9);

@@ -8,9 +8,7 @@
 //! `ACL(x,c) ≤ LAT_th` (with the single-best-DC fallback of Eq. 9's note).
 
 use sb_lp::{LpError, LpProblem, RevisedSimplex, Solver, Var};
-use sb_net::{
-    DcId, FailureScenario, LinkId, ProvisionedCapacity, RoutingTable, Topology,
-};
+use sb_net::{DcId, FailureScenario, LinkId, ProvisionedCapacity, RoutingTable, Topology};
 use sb_workload::{ConfigCatalog, ConfigId, DemandMatrix};
 
 use crate::latency::LatencyMap;
@@ -30,6 +28,26 @@ pub struct PlanningInputs<'a> {
     pub latency_threshold_ms: f64,
 }
 
+impl<'a> PlanningInputs<'a> {
+    /// Inputs with the paper's default latency threshold (120 ms, §5.3).
+    pub fn new(topo: &'a Topology, catalog: &'a ConfigCatalog, demand: &'a DemandMatrix) -> Self {
+        PlanningInputs {
+            topo,
+            catalog,
+            demand,
+            latency_threshold_ms: 120.0,
+        }
+    }
+
+    /// Same inputs with a different `LAT_th`.
+    pub fn with_latency_threshold(self, latency_threshold_ms: f64) -> Self {
+        PlanningInputs {
+            latency_threshold_ms,
+            ..self
+        }
+    }
+}
+
 /// Scenario-specific derived data (routing and latency under the failure).
 #[derive(Clone, Debug)]
 pub struct ScenarioData {
@@ -46,7 +64,11 @@ impl ScenarioData {
     pub fn compute(topo: &Topology, scenario: FailureScenario) -> ScenarioData {
         let routing = RoutingTable::compute(topo, scenario);
         let latmap = LatencyMap::from_routing(topo, &routing);
-        ScenarioData { scenario, routing, latmap }
+        ScenarioData {
+            scenario,
+            routing,
+            latmap,
+        }
     }
 }
 
@@ -64,6 +86,15 @@ pub struct ScenarioSolution {
     /// Configs that could not be hosted anywhere under this scenario
     /// (no reachable DC for some participant country).
     pub dropped: Vec<ConfigId>,
+    /// Simplex iterations the scenario LP took (deterministic per model).
+    pub iterations: u64,
+    /// Constraint rows in the scenario LP.
+    pub lp_rows: usize,
+    /// Variables (columns) in the scenario LP.
+    pub lp_cols: usize,
+    /// Cost of capacity purchased *above* the base handed to the solve
+    /// (equals the full capacity cost when there was no base).
+    pub increment_cost: f64,
 }
 
 /// Why provisioning failed.
@@ -90,7 +121,27 @@ impl std::fmt::Display for ProvisionError {
         }
     }
 }
-impl std::error::Error for ProvisionError {}
+
+impl std::error::Error for ProvisionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProvisionError::Lp { source, .. } => Some(source),
+            ProvisionError::EmptyDemand => None,
+        }
+    }
+}
+
+impl From<ProvisionError> for LpError {
+    /// Forget the scenario context, keeping the solver error (`EmptyDemand`
+    /// maps to `BadModel`). Useful when a caller funnels everything into
+    /// `LpError`-shaped plumbing.
+    fn from(e: ProvisionError) -> LpError {
+        match e {
+            ProvisionError::Lp { source, .. } => source,
+            ProvisionError::EmptyDemand => LpError::BadModel("demand matrix is empty".into()),
+        }
+    }
+}
 
 /// Knobs for the scenario solve.
 #[derive(Clone, Debug)]
@@ -144,6 +195,7 @@ pub fn solve_scenario(
     if demand.total_calls() <= 0.0 {
         return Err(ProvisionError::EmptyDemand);
     }
+    let build_start = std::time::Instant::now();
 
     // active configs and their allowed DCs under this scenario
     let mut active: Vec<(ConfigId, Vec<(DcId, f64)>)> = Vec::new();
@@ -152,8 +204,7 @@ pub fn solve_scenario(
         if cfg_id.index() >= demand.num_configs() {
             break;
         }
-        let any_demand =
-            demand.series(cfg_id).iter().any(|&d| d > opts.min_demand);
+        let any_demand = demand.series(cfg_id).iter().any(|&d| d > opts.min_demand);
         if !any_demand {
             continue;
         }
@@ -206,8 +257,7 @@ pub fn solve_scenario(
                 format!("UP_{}", dc.index()),
                 opts.usage_epsilon * topo.dcs[dc.index()].core_cost,
             );
-            let inc =
-                lp.add_nonneg(format!("CP_{}", dc.index()), topo.dcs[dc.index()].core_cost);
+            let inc = lp.add_nonneg(format!("CP_{}", dc.index()), topo.dcs[dc.index()].core_cost);
             let rhs = base.map(|b| b.cores[dc.index()]).unwrap_or(0.0);
             lp.add_le(vec![(up, 1.0), (inc, -1.0)], rhs);
             cp[dc.index()] = Some((up, inc));
@@ -293,7 +343,13 @@ pub fn solve_scenario(
                     let _ = link_var(&mut lp, &mut np, l);
                     network_rows[slot * topo.links.len() + l.index()].push((v, w));
                 }
-                share_vars.push(ShareVar { cfg: *cfg_id, slot, dc, var: v, demand: d });
+                share_vars.push(ShareVar {
+                    cfg: *cfg_id,
+                    slot,
+                    dc,
+                    var: v,
+                    demand: d,
+                });
             }
             // Eq. 9 completeness
             lp.add_eq(completeness, d);
@@ -331,24 +387,33 @@ pub fn solve_scenario(
     if let Some(path) = std::env::var_os("SB_DUMP_LP") {
         let _ = std::fs::write(path, sb_lp::to_lp_format(&lp));
     }
+    let build_wall = build_start.elapsed();
     let sol = opts
         .solver
         .solve(&lp)
-        .map_err(|source| ProvisionError::Lp { scenario: sd.scenario, source })?;
+        .map_err(|source| ProvisionError::Lp {
+            scenario: sd.scenario,
+            source,
+        })?;
 
     // extract capacity: base plus purchased increment (base counts only where
     // the resource is actually usable under this scenario)
     let mut capacity = ProvisionedCapacity::zero(topo);
+    let mut increment_cost = 0.0;
     for dc in topo.dc_ids() {
         if let Some((_, inc)) = cp[dc.index()] {
             let b = base.map(|b| b.cores[dc.index()]).unwrap_or(0.0);
-            capacity.cores[dc.index()] = b + sol.value(inc).max(0.0);
+            let bought = sol.value(inc).max(0.0);
+            capacity.cores[dc.index()] = b + bought;
+            increment_cost += bought * topo.dcs[dc.index()].core_cost;
         }
     }
     for l in topo.link_ids() {
         if let Some((_, inc)) = np[l.index()] {
             let b = base.map(|b| b.gbps[l.index()]).unwrap_or(0.0);
-            capacity.gbps[l.index()] = b + sol.value(inc).max(0.0);
+            let bought = sol.value(inc).max(0.0);
+            capacity.gbps[l.index()] = b + bought;
+            increment_cost += bought * topo.links[l.index()].cost_per_gbps;
         }
     }
 
@@ -392,7 +457,27 @@ pub fn solve_scenario(
     // objective without the ACL tie-break term
     let objective = capacity.cost(topo);
 
-    Ok(ScenarioSolution { scenario: sd.scenario, capacity, shares, objective, dropped })
+    crate::metrics::provision_metrics().record_scenario(
+        sd.scenario,
+        lp.num_constraints(),
+        lp.num_vars(),
+        &sol,
+        build_wall,
+        increment_cost,
+        dropped.len(),
+    );
+
+    Ok(ScenarioSolution {
+        scenario: sd.scenario,
+        capacity,
+        shares,
+        objective,
+        dropped,
+        iterations: sol.iterations(),
+        lp_rows: lp.num_constraints(),
+        lp_cols: lp.num_vars(),
+        increment_cost,
+    })
 }
 
 #[cfg(test)]
@@ -432,8 +517,7 @@ mod tests {
         let placed = crate::usage::placed_fraction(&demand, &sol.shares);
         assert!((placed - 1.0).abs() < 1e-6, "placed {placed}");
         // capacity must cover the usage implied by the shares
-        let usage =
-            crate::usage::compute_usage(&topo, &sd.routing, &cat, &demand, &sol.shares);
+        let usage = crate::usage::compute_usage(&topo, &sd.routing, &cat, &demand, &sol.shares);
         assert!(usage.fits_within(&sol.capacity, 1e-6));
         assert!(sol.objective > 0.0);
     }
@@ -471,7 +555,10 @@ mod tests {
         };
         let sd = ScenarioData::compute(&topo, FailureScenario::None);
         let loose = solve_scenario(&inputs, &sd, None, &SolveOptions::default()).unwrap();
-        let tight_inputs = PlanningInputs { latency_threshold_ms: 10.0, ..inputs };
+        let tight_inputs = PlanningInputs {
+            latency_threshold_ms: 10.0,
+            ..inputs
+        };
         let tight = solve_scenario(&tight_inputs, &sd, None, &SolveOptions::default()).unwrap();
         // more freedom can only reduce cost
         assert!(loose.objective <= tight.objective + 1e-6);
@@ -526,7 +613,10 @@ mod tests {
             got < lf_total - 0.05 * lf_total,
             "LP total {got} not meaningfully below LF {lf_total}"
         );
-        assert!(got >= global_peak - 1e-6, "LP total {got} below global peak {global_peak}");
+        assert!(
+            got >= global_peak - 1e-6,
+            "LP total {got} below global peak {global_peak}"
+        );
     }
 
     #[test]

@@ -79,7 +79,9 @@ impl LatencyMap {
         let mut ok: Vec<(DcId, f64)> = (0..self.num_dcs())
             .filter_map(|x| {
                 let dc = DcId(x as u16);
-                self.acl(cfg, dc).filter(|&a| a <= threshold_ms).map(|a| (dc, a))
+                self.acl(cfg, dc)
+                    .filter(|&a| a <= threshold_ms)
+                    .map(|a| (dc, a))
             })
             .collect();
         if ok.is_empty() {

@@ -29,12 +29,7 @@
 //! let mut demand = DemandMatrix::zero(1, 2, 30, 0);
 //! demand.set(cfg, 0, 25.0);
 //! demand.set(cfg, 1, 10.0);
-//! let inputs = PlanningInputs {
-//!     topo: &topo,
-//!     catalog: &catalog,
-//!     demand: &demand,
-//!     latency_threshold_ms: 120.0,
-//! };
+//! let inputs = PlanningInputs::new(&topo, &catalog, &demand);
 //! let plan = provision(&inputs, &ProvisionerParams::default()).unwrap();
 //! assert!(plan.capacity.total_cores() > 0.0);
 //! assert!(plan.capacity.covers(&plan.serving, 1e-9));
@@ -49,6 +44,7 @@ pub mod baselines;
 pub mod decomposed;
 pub mod formulation;
 pub mod latency;
+mod metrics;
 pub mod provision;
 pub mod realtime;
 pub mod report;

@@ -1,0 +1,111 @@
+//! Cached handles into the global [`sb_obs`] registry for the controller.
+//!
+//! All recording is against `sb_obs::global()`, which starts disabled —
+//! every call below then costs one relaxed atomic load. Enable it (e.g. via
+//! the bench binaries' `--metrics` flag) to collect per-scenario solve rows
+//! and real-time selector counters.
+
+use sb_lp::Solution;
+use sb_net::FailureScenario;
+use sb_obs::{Counter, Histogram, Table, Value};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Columns of the `provision.scenarios` table: one row per scenario LP.
+pub const SCENARIO_TABLE_COLUMNS: [&str; 10] = [
+    "scenario",
+    "lp_rows",
+    "lp_cols",
+    "iterations",
+    "phase1_iterations",
+    "refactorizations",
+    "build_ns",
+    "solve_ns",
+    "increment_cost",
+    "dropped_configs",
+];
+
+pub(crate) struct ProvisionMetrics {
+    scenario_solves: Counter,
+    build_wall_ns: Histogram,
+    solve_wall_ns: Histogram,
+    refine_skipped: Counter,
+    scenarios: Table,
+}
+
+impl ProvisionMetrics {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_scenario(
+        &self,
+        scenario: FailureScenario,
+        lp_rows: usize,
+        lp_cols: usize,
+        sol: &Solution,
+        build_wall: Duration,
+        increment_cost: f64,
+        dropped: usize,
+    ) {
+        self.scenario_solves.inc();
+        self.build_wall_ns.record_duration(build_wall);
+        let stats = sol.stats();
+        self.solve_wall_ns.record_duration(stats.wall);
+        if sb_obs::global().enabled() {
+            self.scenarios.push(vec![
+                Value::from(format!("{scenario:?}")),
+                Value::from(lp_rows),
+                Value::from(lp_cols),
+                Value::from(sol.iterations()),
+                Value::from(stats.phase1_iterations),
+                Value::from(stats.refactorizations),
+                Value::from(u64::try_from(build_wall.as_nanos()).unwrap_or(u64::MAX)),
+                Value::from(u64::try_from(stats.wall.as_nanos()).unwrap_or(u64::MAX)),
+                Value::from(increment_cost),
+                Value::from(dropped),
+            ]);
+        }
+    }
+
+    /// A refinement pass skipped a scenario because the other scenarios'
+    /// union already covered its requirement (zero increment to buy).
+    pub(crate) fn record_refine_skipped(&self) {
+        self.refine_skipped.inc();
+    }
+}
+
+pub(crate) fn provision_metrics() -> &'static ProvisionMetrics {
+    static METRICS: OnceLock<ProvisionMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = sb_obs::global();
+        ProvisionMetrics {
+            scenario_solves: reg.counter("provision.scenario_solves"),
+            build_wall_ns: reg.histogram("provision.build_wall_ns"),
+            solve_wall_ns: reg.histogram("provision.solve_wall_ns"),
+            refine_skipped: reg.counter("provision.refine_skipped_zero_increment"),
+            scenarios: reg.table("provision.scenarios", &SCENARIO_TABLE_COLUMNS),
+        }
+    })
+}
+
+pub(crate) struct RealtimeMetrics {
+    pub(crate) assignments: Counter,
+    pub(crate) freezes: Counter,
+    pub(crate) migrations: Counter,
+    pub(crate) unplanned: Counter,
+    pub(crate) overflow: Counter,
+    pub(crate) selection_ns: Histogram,
+}
+
+pub(crate) fn realtime_metrics() -> &'static RealtimeMetrics {
+    static METRICS: OnceLock<RealtimeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = sb_obs::global();
+        RealtimeMetrics {
+            assignments: reg.counter("realtime.assignments"),
+            freezes: reg.counter("realtime.freezes"),
+            migrations: reg.counter("realtime.migrations"),
+            unplanned: reg.counter("realtime.unplanned"),
+            overflow: reg.counter("realtime.overflow"),
+            selection_ns: reg.histogram("realtime.selection_ns"),
+        }
+    })
+}

@@ -66,8 +66,14 @@ pub fn provision(
 ) -> Result<ProvisioningPlan, ProvisionError> {
     // requirement of one scenario = the usage peaks of its solution
     let peaks_of = |sd: &ScenarioData, shares: &crate::shares::AllocationShares| {
-        crate::usage::compute_usage(inputs.topo, &sd.routing, inputs.catalog, inputs.demand, shares)
-            .peaks()
+        crate::usage::compute_usage(
+            inputs.topo,
+            &sd.routing,
+            inputs.catalog,
+            inputs.demand,
+            shares,
+        )
+        .peaks()
     };
 
     // stage 1: serving capacity (F0)
@@ -104,7 +110,6 @@ pub fn provision(
     // requirements per scenario (usage peaks), F0 first
     let mut reqs: Vec<(FailureScenario, ProvisionedCapacity)> =
         vec![(FailureScenario::None, peaks_of(&sd0, &f0.shares))];
-    let debug = std::env::var_os("SB_DEBUG").is_some();
     {
         let mut union = reqs[0].1.clone();
         for &sc in &scenarios {
@@ -112,12 +117,6 @@ pub fn provision(
             let sol = solve_scenario(inputs, &sd, Some(&union), &params.solve)?;
             let peaks = peaks_of(&sd, &sol.shares);
             union.max_with(&peaks);
-            if debug {
-                eprintln!(
-                    "pass0 {sc:?}: req {:?}",
-                    peaks.cores.iter().map(|c| *c as i64).collect::<Vec<_>>()
-                );
-            }
             reqs.push((sc, peaks));
         }
     }
@@ -135,19 +134,13 @@ pub fn provision(
                 }
             }
             if others.covers(&reqs[i].1, 1e-9) {
+                crate::metrics::provision_metrics().record_refine_skipped();
                 continue;
             }
             let sc = reqs[i].0;
             let sd = ScenarioData::compute(inputs.topo, sc);
             let sol = solve_scenario(inputs, &sd, Some(&others), &params.solve)?;
             reqs[i].1 = peaks_of(&sd, &sol.shares);
-            if debug {
-                eprintln!(
-                    "refine {sc:?}: others {:?} -> req {:?}",
-                    others.cores.iter().map(|c| *c as i64).collect::<Vec<_>>(),
-                    reqs[i].1.cores.iter().map(|c| *c as i64).collect::<Vec<_>>()
-                );
-            }
             if sc == FailureScenario::None {
                 f0_shares = sol.shares;
             }
@@ -159,7 +152,13 @@ pub fn provision(
         capacity.max_with(r);
     }
     let cost = capacity.cost(inputs.topo);
-    Ok(ProvisioningPlan { capacity, serving, f0_shares, scenarios: reqs, cost })
+    Ok(ProvisioningPlan {
+        capacity,
+        serving,
+        f0_shares,
+        scenarios: reqs,
+        cost,
+    })
 }
 
 /// Solve a set of scenarios (optionally above a base capacity) in parallel,
@@ -171,7 +170,9 @@ pub fn solve_scenarios(
     params: &ProvisionerParams,
 ) -> Result<Vec<ScenarioSolution>, ProvisionError> {
     let threads = if params.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         params.threads
     }
@@ -189,7 +190,10 @@ pub fn solve_scenarios(
 
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Vec<std::sync::Mutex<Option<Result<ScenarioSolution, ProvisionError>>>> =
-        scenarios.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        scenarios
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -259,7 +263,10 @@ mod tests {
         let with = provision(&inputs, &ProvisionerParams::default()).unwrap();
         let without = provision(
             &inputs,
-            &ProvisionerParams { with_backup: false, ..Default::default() },
+            &ProvisionerParams {
+                with_backup: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(without.cost <= with.cost + 1e-9);
@@ -298,7 +305,10 @@ mod tests {
         let par = provision(&inputs, &ProvisionerParams::default()).unwrap();
         let seq = provision(
             &inputs,
-            &ProvisionerParams { threads: 1, ..Default::default() },
+            &ProvisionerParams {
+                threads: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!((par.cost - seq.cost).abs() < 1e-6 * (1.0 + seq.cost));

@@ -33,8 +33,10 @@ impl PlannedQuotas {
             }
             let targets: Vec<(DcId, f64)> =
                 fracs.iter().map(|&(dc, f)| (dc, f * d as f64)).collect();
-            let mut counts: Vec<(DcId, u32)> =
-                targets.iter().map(|&(dc, t)| (dc, t.floor() as u32)).collect();
+            let mut counts: Vec<(DcId, u32)> = targets
+                .iter()
+                .map(|&(dc, t)| (dc, t.floor() as u32))
+                .collect();
             let assigned: u32 = counts.iter().map(|&(_, n)| n).sum();
             let mut remainders: Vec<(usize, f64)> = targets
                 .iter()
@@ -154,32 +156,59 @@ impl<'a> RealtimeSelector<'a> {
             .map(|c| latmap.closest_dc(CountryId(c as u16)))
             .collect();
         let remaining = quotas.quotas.clone();
-        RealtimeSelector { latmap, quotas, remaining, active: HashMap::new(), closest, stats: SelectorStats::default() }
+        RealtimeSelector {
+            latmap,
+            quotas,
+            remaining,
+            active: HashMap::new(),
+            closest,
+            stats: SelectorStats::default(),
+        }
     }
 
     /// First participant joined: assign the DC closest to them (§5.4(a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_joiner` has no reachable DC in the latency map —
+    /// such countries can never host a call and must be filtered upstream.
     pub fn call_start(&mut self, call_id: u64, first_joiner: CountryId) -> DcId {
+        let m = crate::metrics::realtime_metrics();
+        let _t = m.selection_ns.start_timer();
         let dc = self.closest[first_joiner.index()].expect("country has a reachable DC");
         self.stats.calls += 1;
+        m.assignments.inc();
         self.active.insert(call_id, dc);
         dc
     }
 
     /// The call's config froze (A minutes in): tally against the plan and
     /// decide whether to migrate (§5.4(b)(c)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `call_id` was never passed to [`call_start`] (or has
+    /// already ended) — freezing an unknown call is a protocol violation.
+    ///
+    /// [`call_start`]: RealtimeSelector::call_start
     pub fn config_frozen(
         &mut self,
         call_id: u64,
         cfg: ConfigId,
         call_start_minute: u64,
     ) -> FreezeDecision {
+        let m = crate::metrics::realtime_metrics();
+        let _t = m.selection_ns.start_timer();
+        m.freezes.inc();
         let current = *self.active.get(&call_id).expect("unknown call id");
         let Some(slot) = self.quotas.slot_of_minute(call_start_minute) else {
             self.stats.unplanned += 1;
+            m.unplanned.inc();
             return FreezeDecision::Unplanned(current);
         };
         let Some(rem) = self.remaining.get_mut(&(cfg, slot)) else {
             self.stats.unplanned += 1;
+            m.unplanned.inc();
             return FreezeDecision::Unplanned(current);
         };
         // current DC still has quota → debit and stay
@@ -188,16 +217,20 @@ impl<'a> RealtimeSelector<'a> {
             return FreezeDecision::Stay(current);
         }
         // otherwise migrate to the planned DC with the most remaining quota
-        if let Some(entry) =
-            rem.iter_mut().filter(|(_, n)| *n > 0).max_by_key(|(_, n)| *n)
+        if let Some(entry) = rem
+            .iter_mut()
+            .filter(|(_, n)| *n > 0)
+            .max_by_key(|(_, n)| *n)
         {
             entry.1 -= 1;
             let to = entry.0;
             self.active.insert(call_id, to);
             self.stats.migrations += 1;
+            m.migrations.inc();
             return FreezeDecision::Migrate { from: current, to };
         }
         self.stats.overflow += 1;
+        m.overflow.inc();
         FreezeDecision::Overflow(current)
     }
 
@@ -252,7 +285,11 @@ mod tests {
     #[test]
     fn largest_remainder_preserves_total() {
         let (_, cfg) = catalog();
-        let q = quotas_for(cfg, vec![(DcId(0), 0.8), (DcId(1), 0.1), (DcId(0), 0.0)], 100.0);
+        let q = quotas_for(
+            cfg,
+            vec![(DcId(0), 0.8), (DcId(1), 0.1), (DcId(0), 0.0)],
+            100.0,
+        );
         // 0.9 placed fraction: totals round to 90
         assert_eq!(q.total(cfg, 0), 90);
         let q = quotas_for(cfg, vec![(DcId(0), 1.0 / 3.0), (DcId(1), 2.0 / 3.0)], 10.0);
@@ -281,7 +318,13 @@ mod tests {
         let mut sel = RealtimeSelector::new(&lm, q);
         sel.call_start(7, CountryId(0));
         let d = sel.config_frozen(7, cfg, 10);
-        assert_eq!(d, FreezeDecision::Migrate { from: DcId(0), to: DcId(1) });
+        assert_eq!(
+            d,
+            FreezeDecision::Migrate {
+                from: DcId(0),
+                to: DcId(1)
+            }
+        );
         assert!(d.migrated());
         assert_eq!(sel.current_dc(7), Some(DcId(1)));
         assert_eq!(sel.stats().migrations, 1);
@@ -303,7 +346,10 @@ mod tests {
         assert!(sel.config_frozen(2, cfg, 0).migrated());
         // a fourth call overflows
         sel.call_start(3, CountryId(0));
-        assert!(matches!(sel.config_frozen(3, cfg, 0), FreezeDecision::Overflow(_)));
+        assert!(matches!(
+            sel.config_frozen(3, cfg, 0),
+            FreezeDecision::Overflow(_)
+        ));
         assert_eq!(sel.stats().overflow, 1);
         assert!((sel.stats().migration_rate() - 0.25).abs() < 1e-12);
     }

@@ -89,7 +89,12 @@ pub fn render(topo: &Topology, plan: &ProvisioningPlan) -> String {
     use std::fmt::Write;
     let s = summarize(topo, plan);
     let mut out = String::new();
-    let _ = writeln!(out, "capacity plan ({} DCs, {} links):", topo.dcs.len(), topo.links.len());
+    let _ = writeln!(
+        out,
+        "capacity plan ({} DCs, {} links):",
+        topo.dcs.len(),
+        topo.links.len()
+    );
     for line in &s.dcs {
         let _ = writeln!(
             out,

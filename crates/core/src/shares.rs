@@ -17,7 +17,10 @@ pub struct AllocationShares {
 impl AllocationShares {
     /// Empty shares over `num_slots` slots.
     pub fn new(num_slots: usize) -> AllocationShares {
-        AllocationShares { num_slots, shares: HashMap::new() }
+        AllocationShares {
+            num_slots,
+            shares: HashMap::new(),
+        }
     }
 
     /// Number of slots.
@@ -33,15 +36,20 @@ impl AllocationShares {
         for &(_, f) in &fracs {
             assert!(f.is_finite() && f >= 0.0);
         }
-        let per_slot =
-            self.shares.entry(cfg).or_insert_with(|| vec![Vec::new(); self.num_slots]);
+        let per_slot = self
+            .shares
+            .entry(cfg)
+            .or_insert_with(|| vec![Vec::new(); self.num_slots]);
         per_slot[slot] = fracs;
     }
 
     /// Share list for `(cfg, slot)`; empty when unset.
     pub fn get(&self, cfg: ConfigId, slot: usize) -> &[(DcId, f64)] {
         static EMPTY: Vec<(DcId, f64)> = Vec::new();
-        self.shares.get(&cfg).map(|v| &v[slot][..]).unwrap_or(&EMPTY)
+        self.shares
+            .get(&cfg)
+            .map(|v| &v[slot][..])
+            .unwrap_or(&EMPTY)
     }
 
     /// Does the plan mention this config at all?

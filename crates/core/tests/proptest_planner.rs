@@ -21,8 +21,7 @@ struct Instance {
 fn instance_strategy() -> impl Strategy<Value = Instance> {
     (1usize..5, 1usize..5).prop_flat_map(|(n_cfg, n_slots)| {
         let configs = proptest::collection::vec((0usize..3, 1u16..6, 0u8..3), n_cfg);
-        let demand =
-            proptest::collection::vec(proptest::collection::vec(0u16..80, n_slots), n_cfg);
+        let demand = proptest::collection::vec(proptest::collection::vec(0u16..80, n_slots), n_cfg);
         (configs, demand).prop_map(|(configs, demand)| Instance { configs, demand })
     })
 }

@@ -6,7 +6,11 @@
 pub fn rmse(forecast: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(forecast.len(), truth.len());
     assert!(!truth.is_empty());
-    let sse: f64 = forecast.iter().zip(truth).map(|(f, y)| (f - y) * (f - y)).sum();
+    let sse: f64 = forecast
+        .iter()
+        .zip(truth)
+        .map(|(f, y)| (f - y) * (f - y))
+        .sum();
     (sse / truth.len() as f64).sqrt()
 }
 
@@ -14,7 +18,12 @@ pub fn rmse(forecast: &[f64], truth: &[f64]) -> f64 {
 pub fn mae(forecast: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(forecast.len(), truth.len());
     assert!(!truth.is_empty());
-    forecast.iter().zip(truth).map(|(f, y)| (f - y).abs()).sum::<f64>() / truth.len() as f64
+    forecast
+        .iter()
+        .zip(truth)
+        .map(|(f, y)| (f - y).abs())
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 /// Error normalized by the peak of the ground truth (the paper's
@@ -33,7 +42,10 @@ pub struct Cdf {
 impl Cdf {
     /// Build from samples (NaNs rejected).
     pub fn new(mut values: Vec<f64>) -> Cdf {
-        assert!(values.iter().all(|v| !v.is_nan()), "CDF over NaN is meaningless");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "CDF over NaN is meaningless"
+        );
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         Cdf { sorted: values }
     }

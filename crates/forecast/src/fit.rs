@@ -16,8 +16,13 @@ pub fn fit_auto(series: &[f64], season_len: usize) -> Result<HoltWinters, FitErr
     for &alpha in &ALPHAS {
         for &beta in &BETAS {
             for &gamma in &GAMMAS {
-                let params =
-                    HwParams { alpha, beta, gamma, season_len, seasonal: Seasonal::Additive };
+                let params = HwParams {
+                    alpha,
+                    beta,
+                    gamma,
+                    season_len,
+                    seasonal: Seasonal::Additive,
+                };
                 let model = HoltWinters::fit(series, params)?;
                 if best.as_ref().is_none_or(|b| model.mse() < b.mse()) {
                     best = Some(model);

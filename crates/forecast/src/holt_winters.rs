@@ -143,7 +143,13 @@ impl HoltWinters {
 
     /// Advance the model with an observation (online update).
     pub fn update(&mut self, y: f64) {
-        let HwParams { alpha, beta, gamma, seasonal, .. } = self.params;
+        let HwParams {
+            alpha,
+            beta,
+            gamma,
+            seasonal,
+            ..
+        } = self.params;
         let pred = self.predict_next();
         self.sse += (pred - y) * (pred - y);
         self.n_fit += 1;
@@ -164,7 +170,11 @@ impl HoltWinters {
         self.seasonals[self.phase] = match seasonal {
             Seasonal::Additive => gamma * (y - self.level) + (1.0 - gamma) * s,
             Seasonal::Multiplicative => {
-                let ratio = if self.level.abs() > 1e-12 { y / self.level } else { 1.0 };
+                let ratio = if self.level.abs() > 1e-12 {
+                    y / self.level
+                } else {
+                    1.0
+                };
                 gamma * ratio + (1.0 - gamma) * s
             }
         };
@@ -218,7 +228,10 @@ mod tests {
     #[test]
     fn rejects_short_series() {
         let s = vec![1.0; 10];
-        assert_eq!(HoltWinters::fit(&s, HwParams::new(8)).unwrap_err(), FitError::TooShort);
+        assert_eq!(
+            HoltWinters::fit(&s, HwParams::new(8)).unwrap_err(),
+            FitError::TooShort
+        );
     }
 
     #[test]
@@ -238,10 +251,7 @@ mod tests {
         let model = HoltWinters::fit(&series[..m * 8], HwParams::new(m)).unwrap();
         let fc = model.forecast(m * 2);
         for (f, y) in fc.iter().zip(&series[m * 8..]) {
-            assert!(
-                (f - y).abs() < 2.5,
-                "forecast {f} vs truth {y} diverges"
-            );
+            assert!((f - y).abs() < 2.5, "forecast {f} vs truth {y} diverges");
         }
     }
 
@@ -280,7 +290,9 @@ mod tests {
     fn forecasts_nonnegative() {
         let m = 8;
         // tiny counts with zeros
-        let series: Vec<f64> = (0..m * 4).map(|t| if t % m < 4 { 2.0 } else { 0.0 }).collect();
+        let series: Vec<f64> = (0..m * 4)
+            .map(|t| if t % m < 4 { 2.0 } else { 0.0 })
+            .collect();
         let model = HoltWinters::fit(&series, HwParams::new(m)).unwrap();
         assert!(model.forecast(m * 3).iter().all(|&v| v >= 0.0));
     }

@@ -6,8 +6,9 @@
 //! Finite upper bounds are expanded into explicit rows, so very bound-heavy
 //! models are better served by the revised engine.
 
-use crate::problem::{LpError, LpProblem, Solution, Solver};
+use crate::problem::{LpError, LpProblem, Solution, SolveStats, Solver};
 use crate::standard::StandardForm;
+use std::time::Instant;
 
 /// Dense two-phase tableau simplex.
 #[derive(Clone, Debug)]
@@ -20,7 +21,10 @@ pub struct DenseSimplex {
 
 impl Default for DenseSimplex {
     fn default() -> Self {
-        DenseSimplex { max_iterations: 0, eps: 1e-9 }
+        DenseSimplex {
+            max_iterations: 0,
+            eps: 1e-9,
+        }
     }
 }
 
@@ -170,6 +174,7 @@ impl Solver for DenseSimplex {
         if lp.num_vars() == 0 {
             return Err(LpError::BadModel("no variables".into()));
         }
+        let wall_start = Instant::now();
         let mut sf = StandardForm::build(lp);
         let mut is_artificial = vec![false; sf.n];
         for f in is_artificial.iter_mut().skip(sf.first_artificial) {
@@ -186,7 +191,13 @@ impl Solver for DenseSimplex {
                 rows[i][j] = a;
             }
         }
-        let mut t = Tableau { rows, rhs: sf.b.clone(), basis: sf.basis0.clone(), n, eps: self.eps };
+        let mut t = Tableau {
+            rows,
+            rhs: sf.b.clone(),
+            basis: sf.basis0.clone(),
+            n,
+            eps: self.eps,
+        };
 
         let max_iter = if self.max_iterations > 0 {
             self.max_iterations
@@ -197,8 +208,10 @@ impl Solver for DenseSimplex {
         let mut total_iters = 0u64;
         if is_artificial.iter().any(|&a| a) {
             // phase 1: minimize the sum of artificials
-            let c1: Vec<f64> =
-                is_artificial.iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
+            let c1: Vec<f64> = is_artificial
+                .iter()
+                .map(|&a| if a { 1.0 } else { 0.0 })
+                .collect();
             let banned = vec![false; n];
             let (out, it) = run_phase(&mut t, &c1, &banned, max_iter, self.eps);
             total_iters += it;
@@ -227,8 +240,8 @@ impl Solver for DenseSimplex {
             // drive artificials out of the basis where possible
             for r in 0..m {
                 if is_artificial[t.basis[r]] {
-                    if let Some(c) = (0..n)
-                        .find(|&j| !is_artificial[j] && t.rows[r][j].abs() > 1e-7)
+                    if let Some(c) =
+                        (0..n).find(|&j| !is_artificial[j] && t.rows[r][j].abs() > 1e-7)
                     {
                         t.pivot(r, c);
                     }
@@ -239,6 +252,7 @@ impl Solver for DenseSimplex {
         }
 
         // phase 2
+        let phase1_iterations = total_iters;
         let mut c2 = vec![0.0f64; n];
         c2[..sf.cost.len()].copy_from_slice(&sf.cost);
         let (out, it) = run_phase(&mut t, &c2, &is_artificial, max_iter, self.eps);
@@ -256,7 +270,19 @@ impl Solver for DenseSimplex {
         }
         let values = sf.recover(&x);
         let objective = lp.objective_at(&values);
-        Ok(Solution { values, objective, duals: None, iterations: total_iters })
+        let stats = SolveStats {
+            phase1_iterations,
+            phase2_iterations: total_iters - phase1_iterations,
+            refactorizations: 0, // dense tableau never refactorizes
+            wall: wall_start.elapsed(),
+        };
+        Ok(Solution {
+            values,
+            objective,
+            duals: None,
+            iterations: total_iters,
+            stats,
+        })
     }
 }
 

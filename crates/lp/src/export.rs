@@ -9,7 +9,13 @@ use crate::problem::{LpProblem, Relation};
 fn sanitize(name: &str, idx: usize) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("x{idx}")
@@ -42,8 +48,10 @@ fn term(out: &mut String, first: &mut bool, coeff: f64, var: &str) {
 
 /// Render `lp` in CPLEX LP format (minimization).
 pub fn to_lp_format(lp: &LpProblem) -> String {
-    let names: Vec<String> =
-        lp.vars().map(|v| sanitize(lp.var_name(v), v.index())).collect();
+    let names: Vec<String> = lp
+        .vars()
+        .map(|v| sanitize(lp.var_name(v), v.index()))
+        .collect();
     let mut out = String::from("\\ exported by sb-lp\nMinimize\n obj: ");
     let mut first = true;
     for v in lp.vars() {

@@ -32,11 +32,12 @@
 
 mod dense;
 mod export;
+mod metrics;
 mod problem;
 mod revised;
 mod standard;
 
 pub use dense::DenseSimplex;
 pub use export::to_lp_format;
-pub use problem::{Constraint, LpError, LpProblem, Relation, Solution, Solver, Var};
+pub use problem::{Constraint, LpError, LpProblem, Relation, Solution, SolveStats, Solver, Var};
 pub use revised::RevisedSimplex;

@@ -1,0 +1,40 @@
+//! Cached handles into the global [`sb_obs`] registry for the LP engines.
+//!
+//! Handles are resolved once per process; when the global registry is
+//! disabled (the default) every record below is a single relaxed load.
+
+use crate::problem::SolveStats;
+use sb_obs::{Counter, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct LpMetrics {
+    solves: Counter,
+    phase1_iterations: Counter,
+    phase2_iterations: Counter,
+    refactorizations: Counter,
+    solve_wall_ns: Histogram,
+}
+
+impl LpMetrics {
+    pub(crate) fn record_solve(&self, stats: &SolveStats) {
+        self.solves.inc();
+        self.phase1_iterations.add(stats.phase1_iterations);
+        self.phase2_iterations.add(stats.phase2_iterations);
+        self.refactorizations.add(stats.refactorizations);
+        self.solve_wall_ns.record_duration(stats.wall);
+    }
+}
+
+pub(crate) fn lp_metrics() -> &'static LpMetrics {
+    static METRICS: OnceLock<LpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = sb_obs::global();
+        LpMetrics {
+            solves: reg.counter("lp.solves"),
+            phase1_iterations: reg.counter("lp.phase1_iterations"),
+            phase2_iterations: reg.counter("lp.phase2_iterations"),
+            refactorizations: reg.counter("lp.refactorizations"),
+            solve_wall_ns: reg.histogram("lp.solve_wall_ns"),
+        }
+    })
+}

@@ -55,17 +55,29 @@ pub struct Constraint {
 impl Constraint {
     /// `Σ coeffs ≤ rhs`
     pub fn le(coeffs: Vec<(Var, f64)>, rhs: f64) -> Self {
-        Constraint { coeffs, rel: Relation::Le, rhs }
+        Constraint {
+            coeffs,
+            rel: Relation::Le,
+            rhs,
+        }
     }
 
     /// `Σ coeffs ≥ rhs`
     pub fn ge(coeffs: Vec<(Var, f64)>, rhs: f64) -> Self {
-        Constraint { coeffs, rel: Relation::Ge, rhs }
+        Constraint {
+            coeffs,
+            rel: Relation::Ge,
+            rhs,
+        }
     }
 
     /// `Σ coeffs = rhs`
     pub fn eq(coeffs: Vec<(Var, f64)>, rhs: f64) -> Self {
-        Constraint { coeffs, rel: Relation::Eq, rhs }
+        Constraint {
+            coeffs,
+            rel: Relation::Eq,
+            rhs,
+        }
     }
 }
 
@@ -107,7 +119,10 @@ impl LpProblem {
     ///
     /// Panics if `lower > upper` or either bound is NaN.
     pub fn add_var(&mut self, name: impl Into<String>, cost: f64, lower: f64, upper: f64) -> Var {
-        assert!(!lower.is_nan() && !upper.is_nan(), "variable bounds must not be NaN");
+        assert!(
+            !lower.is_nan() && !upper.is_nan(),
+            "variable bounds must not be NaN"
+        );
         assert!(lower <= upper, "variable lower bound exceeds upper bound");
         assert!(
             self.names.len() < u32::MAX as usize,
@@ -127,6 +142,16 @@ impl LpProblem {
     }
 
     /// Append a constraint; returns its row index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint references a [`Var`] that was not created by
+    /// `add_var` on **this** problem, or if `c.rhs` is NaN. Both are logic
+    /// errors in the calling code (handles are only obtainable from
+    /// `add_var`, and a NaN rhs silently corrupts every simplex ratio test),
+    /// so they fail fast here rather than during the solve. Data-driven
+    /// callers building constraints from external input should validate the
+    /// rhs before calling.
     pub fn add_constraint(&mut self, c: Constraint) -> usize {
         for &(v, _) in &c.coeffs {
             assert!(
@@ -243,6 +268,26 @@ impl fmt::Display for LpError {
 
 impl std::error::Error for LpError {}
 
+/// Per-solve engine statistics: how the simplex got to the optimum.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SolveStats {
+    /// Iterations spent driving artificials out (0 when no phase 1 ran).
+    pub phase1_iterations: u64,
+    /// Iterations spent optimizing the real objective.
+    pub phase2_iterations: u64,
+    /// Number of from-scratch basis refactorizations.
+    pub refactorizations: u64,
+    /// Wall-clock time of the whole solve.
+    pub wall: std::time::Duration,
+}
+
+impl SolveStats {
+    /// Total simplex iterations across both phases.
+    pub fn total_iterations(&self) -> u64 {
+        self.phase1_iterations + self.phase2_iterations
+    }
+}
+
 /// An optimal solution.
 #[derive(Clone, Debug)]
 pub struct Solution {
@@ -252,6 +297,8 @@ pub struct Solution {
     pub(crate) duals: Option<Vec<f64>>,
     /// Simplex iterations spent.
     pub(crate) iterations: u64,
+    /// Detailed engine statistics.
+    pub(crate) stats: SolveStats,
 }
 
 impl Solution {
@@ -280,6 +327,11 @@ impl Solution {
     /// Simplex iterations used.
     pub fn iterations(&self) -> u64 {
         self.iterations
+    }
+
+    /// Detailed engine statistics (phase split, refactorizations, wall time).
+    pub fn stats(&self) -> SolveStats {
+        self.stats
     }
 }
 

@@ -13,8 +13,10 @@
 //! Anti-cycling: Dantzig pricing normally, switching to Bland's rule after a
 //! run of degenerate pivots; this guarantees termination.
 
-use crate::problem::{LpError, LpProblem, Solution, Solver};
+use crate::metrics::lp_metrics;
+use crate::problem::{LpError, LpProblem, Solution, SolveStats, Solver};
 use crate::standard::StandardForm;
+use std::time::Instant;
 
 /// Revised simplex with bounded variables.
 #[derive(Clone, Debug)]
@@ -71,6 +73,7 @@ struct Engine<'a> {
     iterations: u64,
     pivots_since_refactor: u64,
     refactor_every: u64,
+    refactorizations: u64,
 }
 
 enum StepOutcome {
@@ -103,6 +106,7 @@ impl<'a> Engine<'a> {
             iterations: 0,
             pivots_since_refactor: 0,
             refactor_every,
+            refactorizations: 0,
         }
     }
 
@@ -183,7 +187,9 @@ impl<'a> Engine<'a> {
                 }
             }
             if piv_val < 1e-12 {
-                return Err(LpError::BadModel("singular basis during refactorization".into()));
+                return Err(LpError::BadModel(
+                    "singular basis during refactorization".into(),
+                ));
             }
             if piv_row != col {
                 for k in 0..m {
@@ -213,6 +219,7 @@ impl<'a> Engine<'a> {
         self.binv = inv;
         self.recompute_xb();
         self.pivots_since_refactor = 0;
+        self.refactorizations += 1;
         Ok(())
     }
 
@@ -304,7 +311,8 @@ impl<'a> Engine<'a> {
                 Some(((this.xb[i]).max(0.0) / wi, false))
             } else if wi < -this.eps {
                 let ub = this.upper[bi];
-                ub.is_finite().then(|| ((ub - this.xb[i]).max(0.0) / (-wi), true))
+                ub.is_finite()
+                    .then(|| ((ub - this.xb[i]).max(0.0) / (-wi), true))
             } else {
                 None
             }
@@ -339,7 +347,11 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        let t_star = if leave_row == usize::MAX { bound_flip_t } else { t_min };
+        let t_star = if leave_row == usize::MAX {
+            bound_flip_t
+        } else {
+            t_min
+        };
         let t = t_star.max(0.0);
 
         // --- apply ----------------------------------------------------------
@@ -348,8 +360,11 @@ impl<'a> Engine<'a> {
             for i in 0..self.m {
                 self.xb[i] -= t * sigma * w[i];
             }
-            self.status[enter] =
-                if sigma > 0.0 { VStat::Upper } else { VStat::Lower };
+            self.status[enter] = if sigma > 0.0 {
+                VStat::Upper
+            } else {
+                VStat::Lower
+            };
             return StepOutcome::Moved;
         }
 
@@ -363,9 +378,17 @@ impl<'a> Engine<'a> {
             }
         }
         let leaving = self.basis[leave_row];
-        self.status[leaving] = if leave_to_upper { VStat::Upper } else { VStat::Lower };
+        self.status[leaving] = if leave_to_upper {
+            VStat::Upper
+        } else {
+            VStat::Lower
+        };
         // entering variable's new value
-        let enter_val = if sigma > 0.0 { t } else { self.upper[enter] - t };
+        let enter_val = if sigma > 0.0 {
+            t
+        } else {
+            self.upper[enter] - t
+        };
         self.xb[leave_row] = enter_val;
         self.basis[leave_row] = enter;
         self.status[enter] = VStat::Basic(leave_row as u32);
@@ -452,6 +475,7 @@ impl Solver for RevisedSimplex {
         if lp.num_vars() == 0 {
             return Err(LpError::BadModel("no variables".into()));
         }
+        let wall_start = Instant::now();
         let sf = StandardForm::build(lp);
         let mut eng = Engine::new(&sf, self.eps, self.refactor_every);
         let max_iter = if self.max_iterations > 0 {
@@ -515,6 +539,7 @@ impl Solver for RevisedSimplex {
         }
 
         // ---- phase 2 --------------------------------------------------------
+        let phase1_iterations = eng.iterations;
         for (j, &c) in sf.cost.iter().enumerate() {
             eng.cost[j] = c;
         }
@@ -529,7 +554,20 @@ impl Solver for RevisedSimplex {
         let values = sf.recover(&x);
         let objective = lp.objective_at(&values);
         let duals = Some(sf.recover_duals(&eng.duals()));
-        Ok(Solution { values, objective, duals, iterations: eng.iterations })
+        let stats = SolveStats {
+            phase1_iterations,
+            phase2_iterations: eng.iterations - phase1_iterations,
+            refactorizations: eng.refactorizations,
+            wall: wall_start.elapsed(),
+        };
+        lp_metrics().record_solve(&stats);
+        Ok(Solution {
+            values,
+            objective,
+            duals,
+            iterations: eng.iterations,
+            stats,
+        })
     }
 }
 
@@ -624,7 +662,9 @@ mod tests {
         lp.add_le(vec![(y, 2.0)], 12.0);
         lp.add_le(vec![(x, 3.0), (y, 2.0)], 18.0);
         let s = solve(&lp).unwrap();
-        let yb: f64 = (0..3).map(|i| s.dual(i).unwrap() * [4.0, 12.0, 18.0][i]).sum();
+        let yb: f64 = (0..3)
+            .map(|i| s.dual(i).unwrap() * [4.0, 12.0, 18.0][i])
+            .sum();
         assert!((yb - s.objective()).abs() < 1e-7);
     }
 
@@ -668,9 +708,7 @@ mod tests {
         }
         let s1 = solve(&lp).unwrap();
         let s2 = DenseSimplex::new().solve(&lp).unwrap();
-        assert!(
-            (s1.objective() - s2.objective()).abs() < 1e-6 * (1.0 + s2.objective().abs())
-        );
+        assert!((s1.objective() - s2.objective()).abs() < 1e-6 * (1.0 + s2.objective().abs()));
         assert!(lp.max_violation(s1.values()) < 1e-6);
     }
 

@@ -72,12 +72,18 @@ impl StandardForm {
             let (lo, hi) = (lp.lower[j], lp.upper[j]);
             let c = lp.cost[j];
             if lo.is_finite() {
-                var_map.push(VarMap::Shifted { col: cost.len(), lower: lo });
+                var_map.push(VarMap::Shifted {
+                    col: cost.len(),
+                    lower: lo,
+                });
                 cost.push(c);
                 upper.push(hi - lo); // may be ∞
                 obj_offset += c * lo;
             } else if hi.is_finite() {
-                var_map.push(VarMap::Mirrored { col: cost.len(), upper: hi });
+                var_map.push(VarMap::Mirrored {
+                    col: cost.len(),
+                    upper: hi,
+                });
                 cost.push(-c);
                 upper.push(f64::INFINITY);
                 obj_offset += c * hi;

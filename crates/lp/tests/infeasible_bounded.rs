@@ -10,6 +10,12 @@ fn bounded_equality_infeasibility_detected() {
     lp.add_le(vec![(s1, 0.1)], 0.001);
     lp.add_le(vec![(s2, 0.1)], 0.001);
     lp.add_le(vec![(s3, 0.1)], 0.001);
-    assert_eq!(DenseSimplex::new().solve(&lp).unwrap_err(), LpError::Infeasible);
-    assert_eq!(RevisedSimplex::new().solve(&lp).unwrap_err(), LpError::Infeasible);
+    assert_eq!(
+        DenseSimplex::new().solve(&lp).unwrap_err(),
+        LpError::Infeasible
+    );
+    assert_eq!(
+        RevisedSimplex::new().solve(&lp).unwrap_err(),
+        LpError::Infeasible
+    );
 }

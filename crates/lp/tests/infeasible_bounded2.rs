@@ -13,8 +13,14 @@ fn scaled_infeasibility_detected() {
     lp.add_le(vec![(s3, 0.1)], cap);
     let d = DenseSimplex::new().solve(&lp);
     let r = RevisedSimplex::new().solve(&lp);
-    eprintln!("dense {:?}", d.as_ref().map(|s| s.objective()).map_err(|e| e.clone()));
-    eprintln!("revised {:?}", r.as_ref().map(|s| s.objective()).map_err(|e| e.clone()));
+    eprintln!(
+        "dense {:?}",
+        d.as_ref().map(|s| s.objective()).map_err(|e| e.clone())
+    );
+    eprintln!(
+        "revised {:?}",
+        r.as_ref().map(|s| s.objective()).map_err(|e| e.clone())
+    );
     assert!(matches!(d, Err(LpError::Infeasible)));
     assert!(matches!(r, Err(LpError::Infeasible)));
 }

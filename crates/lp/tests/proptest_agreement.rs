@@ -18,11 +18,7 @@ fn random_lp() -> impl Strategy<Value = RandomLp> {
     (1usize..5).prop_flat_map(|n| {
         let costs = proptest::collection::vec(-4i8..5, n);
         let uppers = proptest::collection::vec(proptest::option::of(1u8..9), n);
-        let row = (
-            proptest::collection::vec(-3i8..4, n),
-            0u8..3,
-            -6i8..7,
-        );
+        let row = (proptest::collection::vec(-3i8..4, n), 0u8..3, -6i8..7);
         let rows = proptest::collection::vec(row, 1..5);
         (costs, uppers, rows).prop_map(move |(costs, uppers, rows)| RandomLp {
             n,
@@ -56,7 +52,11 @@ fn build(r: &RandomLp) -> LpProblem {
             1 => Relation::Ge,
             _ => Relation::Eq,
         };
-        lp.add_constraint(Constraint { coeffs: cs, rel, rhs: *rhs as f64 });
+        lp.add_constraint(Constraint {
+            coeffs: cs,
+            rel,
+            rhs: *rhs as f64,
+        });
     }
     if lp.num_constraints() == 0 {
         // ensure at least one row so the model is non-trivial

@@ -68,8 +68,15 @@ impl ProvisionedCapacity {
 
     /// Does `self` cover `other` in every component (with tolerance)?
     pub fn covers(&self, other: &ProvisionedCapacity, tol: f64) -> bool {
-        self.cores.iter().zip(&other.cores).all(|(a, b)| a + tol >= *b)
-            && self.gbps.iter().zip(&other.gbps).all(|(a, b)| a + tol >= *b)
+        self.cores
+            .iter()
+            .zip(&other.cores)
+            .all(|(a, b)| a + tol >= *b)
+            && self
+                .gbps
+                .iter()
+                .zip(&other.gbps)
+                .all(|(a, b)| a + tol >= *b)
     }
 }
 
@@ -93,7 +100,10 @@ mod tests {
     #[test]
     fn cost_combines_compute_and_network() {
         let t = topo();
-        let cap = ProvisionedCapacity { cores: vec![10.0, 5.0], gbps: vec![2.0, 8.0] };
+        let cap = ProvisionedCapacity {
+            cores: vec![10.0, 5.0],
+            gbps: vec![2.0, 8.0],
+        };
         // 10*2 + 5*3 + 2*5 + 8*1 = 20 + 15 + 10 + 8
         assert_eq!(cap.cost(&t), 53.0);
         assert_eq!(cap.total_cores(), 15.0);
@@ -104,8 +114,14 @@ mod tests {
     #[test]
     fn max_with_and_covers() {
         let t = topo();
-        let mut a = ProvisionedCapacity { cores: vec![1.0, 9.0], gbps: vec![3.0, 1.0] };
-        let b = ProvisionedCapacity { cores: vec![4.0, 2.0], gbps: vec![2.0, 5.0] };
+        let mut a = ProvisionedCapacity {
+            cores: vec![1.0, 9.0],
+            gbps: vec![3.0, 1.0],
+        };
+        let b = ProvisionedCapacity {
+            cores: vec![4.0, 2.0],
+            gbps: vec![2.0, 5.0],
+        };
         assert!(!a.covers(&b, 1e-9));
         a.max_with(&b);
         assert_eq!(a.cores, vec![4.0, 9.0]);

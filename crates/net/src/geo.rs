@@ -51,9 +51,18 @@ pub fn hop_latency_ms(a: GeoPoint, b: GeoPoint) -> f64 {
 mod tests {
     use super::*;
 
-    const TOKYO: GeoPoint = GeoPoint { lat_deg: 35.68, lon_deg: 139.69 };
-    const SINGAPORE: GeoPoint = GeoPoint { lat_deg: 1.35, lon_deg: 103.82 };
-    const LONDON: GeoPoint = GeoPoint { lat_deg: 51.51, lon_deg: -0.13 };
+    const TOKYO: GeoPoint = GeoPoint {
+        lat_deg: 35.68,
+        lon_deg: 139.69,
+    };
+    const SINGAPORE: GeoPoint = GeoPoint {
+        lat_deg: 1.35,
+        lon_deg: 103.82,
+    };
+    const LONDON: GeoPoint = GeoPoint {
+        lat_deg: 51.51,
+        lon_deg: -0.13,
+    };
 
     #[test]
     fn zero_distance() {

@@ -42,7 +42,11 @@ struct PresetBuilder {
 
 impl PresetBuilder {
     fn new() -> Self {
-        PresetBuilder { b: TopologyBuilder::new(), dcs: Vec::new(), countries: Vec::new() }
+        PresetBuilder {
+            b: TopologyBuilder::new(),
+            dcs: Vec::new(),
+            countries: Vec::new(),
+        }
     }
 
     fn dc(
@@ -85,7 +89,10 @@ impl PresetBuilder {
     }
 
     fn dc_info(&self, id: DcId) -> &(DcId, GeoPoint, String) {
-        self.dcs.iter().find(|(d, _, _)| *d == id).expect("unknown dc")
+        self.dcs
+            .iter()
+            .find(|(d, _, _)| *d == id)
+            .expect("unknown dc")
     }
 
     fn dc_link(&mut self, a: DcId, b: DcId) {

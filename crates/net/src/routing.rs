@@ -99,7 +99,10 @@ impl RoutingTable {
         let mut done = vec![false; n];
         dist[src] = 0.0;
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry { dist: 0.0, node: src });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: src,
+        });
         while let Some(HeapEntry { dist: d, node }) = heap.pop() {
             if done[node] {
                 continue;
@@ -147,7 +150,10 @@ impl RoutingTable {
                     cur = p;
                 }
                 links.reverse();
-                Some(Route { links, latency_ms: dist[target] })
+                Some(Route {
+                    links,
+                    latency_ms: dist[target],
+                })
             })
             .collect()
     }

@@ -210,7 +210,10 @@ impl TopologyBuilder {
     /// Add a region.
     pub fn region(&mut self, name: impl Into<String>) -> RegionId {
         let id = RegionId(self.topo.regions.len() as u16);
-        self.topo.regions.push(Region { id, name: name.into() });
+        self.topo.regions.push(Region {
+            id,
+            name: name.into(),
+        });
         id
     }
 
@@ -224,7 +227,13 @@ impl TopologyBuilder {
     ) -> DcId {
         assert!(core_cost > 0.0, "core cost must be positive");
         let id = DcId(self.topo.dcs.len() as u16);
-        self.topo.dcs.push(Datacenter { id, name: name.into(), region, location, core_cost });
+        self.topo.dcs.push(Datacenter {
+            id,
+            name: name.into(),
+            region,
+            location,
+            core_cost,
+        });
         id
     }
 
@@ -275,7 +284,14 @@ impl TopologyBuilder {
         assert!(latency_ms >= 0.0 && cost_per_gbps >= 0.0);
         let inter_country = self.crosses_country_border(a, b);
         let id = LinkId(self.topo.links.len() as u32);
-        self.topo.links.push(Link { id, a, b, latency_ms, cost_per_gbps, inter_country });
+        self.topo.links.push(Link {
+            id,
+            a,
+            b,
+            latency_ms,
+            cost_per_gbps,
+            inter_country,
+        });
         id
     }
 

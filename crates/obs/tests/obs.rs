@@ -1,0 +1,203 @@
+//! Behavioural tests for the observability layer: correctness under
+//! concurrent writers, timer monotonicity, disabled-mode no-ops, and the
+//! report formats.
+
+use sb_obs::{MetricsRegistry, Value};
+use std::time::Duration;
+
+#[test]
+fn counter_correct_under_concurrent_writers() {
+    let reg = MetricsRegistry::new();
+    let c = reg.counter("ops");
+    const THREADS: usize = 8;
+    const PER: u64 = 25_000;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = c.clone();
+            s.spawn(move || {
+                for _ in 0..PER {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER);
+    // a later lookup of the same name sees the same cell
+    assert_eq!(reg.counter("ops").get(), THREADS as u64 * PER);
+}
+
+#[test]
+fn histogram_correct_under_concurrent_writers() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("lat");
+    const THREADS: u64 = 4;
+    const PER: u64 = 10_000;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let h = h.clone();
+            s.spawn(move || {
+                // values 1..=PER, identical per thread
+                for i in 0..PER {
+                    h.record(i + 1);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS * PER);
+    assert_eq!(h.sum(), THREADS * (PER * (PER + 1) / 2));
+    assert_eq!(h.min(), Some(1));
+    assert_eq!(h.max(), Some(PER));
+    let mean = h.mean();
+    assert!((mean - (PER + 1) as f64 / 2.0).abs() < 1e-9, "mean {mean}");
+    // quantiles are bucket upper bounds: within 2x of the true value
+    let p50 = h.quantile(0.5);
+    assert!((PER / 2..=PER).contains(&p50), "p50 {p50}");
+    assert!(h.quantile(1.0) == PER);
+}
+
+#[test]
+fn gauge_last_write_wins() {
+    let reg = MetricsRegistry::new();
+    let g = reg.gauge("load");
+    g.set(0.25);
+    g.set(1.75);
+    assert_eq!(g.get(), 1.75);
+}
+
+#[test]
+fn scoped_timer_is_monotone_and_counts() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("wall_ns");
+    {
+        let _t = h.start_timer();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let short = h.max().unwrap();
+    assert_eq!(h.count(), 1);
+    assert!(short >= 2_000_000, "timer under-reported: {short}ns < 2ms");
+    {
+        let t = h.start_timer();
+        std::thread::sleep(Duration::from_millis(8));
+        let el = t.stop().expect("enabled timer returns elapsed");
+        assert!(el >= Duration::from_millis(8));
+    }
+    assert_eq!(h.count(), 2);
+    // a strictly longer wait records a strictly larger sample
+    assert!(h.max().unwrap() > short);
+}
+
+#[test]
+fn disabled_registry_records_nothing() {
+    let reg = MetricsRegistry::with_enabled(false);
+    let c = reg.counter("c");
+    let g = reg.gauge("g");
+    let h = reg.histogram("h");
+    let t = reg.table("t", &["a"]);
+    c.inc();
+    c.add(10);
+    g.set(3.5);
+    h.record(7);
+    assert!(
+        h.start_timer().stop().is_none(),
+        "disabled timer must be inert"
+    );
+    t.push(vec![Value::from(1u64)]);
+    assert_eq!(c.get(), 0);
+    assert_eq!(g.get(), 0.0);
+    assert_eq!(h.count(), 0);
+    assert!(t.is_empty());
+
+    // flipping the shared flag re-activates already-handed-out handles
+    reg.set_enabled(true);
+    c.inc();
+    h.record(7);
+    t.push(vec![Value::from(2u64)]);
+    assert_eq!(c.get(), 1);
+    assert_eq!(h.count(), 1);
+    assert_eq!(t.len(), 1);
+
+    // and disabling again freezes them
+    reg.set_enabled(false);
+    c.inc();
+    assert_eq!(c.get(), 1);
+}
+
+#[test]
+fn reset_clears_values_but_keeps_names() {
+    let reg = MetricsRegistry::new();
+    let c = reg.counter("c");
+    c.add(5);
+    reg.histogram("h").record(9);
+    let t = reg.table("t", &["x"]);
+    t.push(vec![Value::from(1u64)]);
+    reg.reset();
+    assert_eq!(c.get(), 0, "counter handles observe the reset");
+    assert_eq!(reg.histogram("h").count(), 0);
+    assert!(reg.table("t", &["x"]).is_empty());
+}
+
+#[test]
+fn tsv_report_contains_all_sections() {
+    let reg = MetricsRegistry::new();
+    reg.counter("lp.solves").add(3);
+    reg.gauge("load").set(0.5);
+    reg.histogram("wall").record(100);
+    let t = reg.table("scenarios", &["scenario", "iters", "wall_ns"]);
+    t.push(vec![
+        Value::from("none"),
+        Value::from(12u64),
+        Value::from(34u64),
+    ]);
+    t.push(vec![
+        Value::from("dc:1"),
+        Value::from(9u64),
+        Value::from(21u64),
+    ]);
+    let s = reg.render_tsv();
+    assert!(s.contains("# counters"), "{s}");
+    assert!(s.contains("lp.solves\t3"), "{s}");
+    assert!(s.contains("# gauges"), "{s}");
+    assert!(s.contains("load\t0.5"), "{s}");
+    assert!(s.contains("# histograms"), "{s}");
+    assert!(s.contains("# table scenarios"), "{s}");
+    assert!(s.contains("scenario\titers\twall_ns"), "{s}");
+    assert!(s.contains("none\t12\t34"), "{s}");
+    assert!(s.contains("dc:1\t9\t21"), "{s}");
+}
+
+#[test]
+fn dump_to_path_picks_format_by_extension() {
+    let reg = MetricsRegistry::new();
+    reg.counter("n").add(2);
+    let dir = std::env::temp_dir().join(format!("sb_obs_test_{}", std::process::id()));
+    let tsv = dir.join("m.tsv");
+    let ndjson = dir.join("m.ndjson");
+    reg.dump_to_path(&tsv).unwrap();
+    reg.dump_to_path(&ndjson).unwrap();
+    let tsv_s = std::fs::read_to_string(&tsv).unwrap();
+    let nd_s = std::fs::read_to_string(&ndjson).unwrap();
+    assert!(tsv_s.contains("n\t2"), "{tsv_s}");
+    assert!(
+        nd_s.contains(r#"{"kind":"counter","name":"n","value":2}"#),
+        "{nd_s}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn global_registry_starts_disabled() {
+    // Other tests in this binary never enable the global registry, so this
+    // holds regardless of test order.
+    assert!(!sb_obs::global().enabled());
+    let c = sb_obs::global().counter("obs.test.disabled_probe");
+    c.inc();
+    assert_eq!(c.get(), 0);
+}
+
+#[test]
+#[should_panic(expected = "different schema")]
+fn table_schema_conflict_panics() {
+    let reg = MetricsRegistry::new();
+    let _ = reg.table("t", &["a", "b"]);
+    let _ = reg.table("t", &["a"]);
+}

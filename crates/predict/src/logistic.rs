@@ -21,7 +21,11 @@ pub struct LogisticParams {
 
 impl Default for LogisticParams {
     fn default() -> Self {
-        LogisticParams { epochs: 300, lr: 0.5, l2: 1e-4 }
+        LogisticParams {
+            epochs: 300,
+            lr: 0.5,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -55,14 +59,22 @@ impl Logistic {
             }
             b -= params.lr * gb / n;
         }
-        Logistic { weights: w, bias: b }
+        Logistic {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Predicted probability.
     pub fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.weights.len());
-        let z: f64 =
-            self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.bias;
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(x)
+            .map(|(w, xi)| w * xi)
+            .sum::<f64>()
+            + self.bias;
         sigmoid(z)
     }
 
@@ -79,10 +91,19 @@ mod tests {
     #[test]
     fn learns_linearly_separable_data() {
         // y = x0 > 0.5
-        let xs: Vec<Vec<f64>> =
-            (0..200).map(|i| vec![(i % 100) as f64 / 100.0, 0.3]).collect();
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 100) as f64 / 100.0, 0.3])
+            .collect();
         let ys: Vec<bool> = xs.iter().map(|x| x[0] > 0.5).collect();
-        let m = Logistic::train(&xs, &ys, &LogisticParams { epochs: 3000, lr: 2.0, l2: 0.0 });
+        let m = Logistic::train(
+            &xs,
+            &ys,
+            &LogisticParams {
+                epochs: 3000,
+                lr: 2.0,
+                l2: 0.0,
+            },
+        );
         let acc = xs
             .iter()
             .zip(&ys)

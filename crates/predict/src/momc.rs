@@ -33,8 +33,16 @@ impl Momc {
                 }
             }
         }
-        let base_rate = if total > 0 { attended as f64 / total as f64 } else { 0.5 };
-        Momc { max_order, counts, base_rate }
+        let base_rate = if total > 0 {
+            attended as f64 / total as f64
+        } else {
+            0.5
+        };
+        Momc {
+            max_order,
+            counts,
+            base_rate,
+        }
     }
 
     /// Encode the last `k` outcomes of `history` (`history.len() >= k`).
@@ -74,7 +82,9 @@ impl Momc {
 
     /// Feature vector `[P₁, P₂, …, P_K]` for a history tail.
     pub fn features(&self, history: &[bool]) -> Vec<f64> {
-        (1..=self.max_order).map(|k| self.order_prob(history, k)).collect()
+        (1..=self.max_order)
+            .map(|k| self.order_prob(history, k))
+            .collect()
     }
 }
 
@@ -96,7 +106,9 @@ mod tests {
         let histories: Vec<Vec<bool>> = (0..50)
             .map(|i| {
                 let start = i % 2 == 0;
-                (0..20).map(|t| if t < 10 { start } else { !start }).collect()
+                (0..20)
+                    .map(|t| if t < 10 { start } else { !start })
+                    .collect()
             })
             .collect();
         let m = Momc::fit(&histories, 2);
@@ -111,8 +123,9 @@ mod tests {
     #[test]
     fn learns_alternation_via_order_two() {
         // strict alternators: T,F,T,F,…
-        let histories: Vec<Vec<bool>> =
-            (0..40).map(|i| (0..20).map(|t| (t + i) % 2 == 0).collect()).collect();
+        let histories: Vec<Vec<bool>> = (0..40)
+            .map(|i| (0..20).map(|t| (t + i) % 2 == 0).collect())
+            .collect();
         let m = Momc::fit(&histories, 2);
         // last = F → next = T
         let p = m.order_prob(&[true, false], 1);

@@ -24,7 +24,10 @@ pub struct SeriesHistory {
 impl SeriesHistory {
     /// Number of occurrences (0 when the roster is empty).
     pub fn occurrences(&self) -> usize {
-        self.participants.first().map(|p| p.attendance.len()).unwrap_or(0)
+        self.participants
+            .first()
+            .map(|p| p.attendance.len())
+            .unwrap_or(0)
     }
 
     /// Per-country attended counts at occurrence `t`.
@@ -54,7 +57,10 @@ pub struct PredictorParams {
 
 impl Default for PredictorParams {
     fn default() -> Self {
-        PredictorParams { max_order: 3, logistic: LogisticParams::default() }
+        PredictorParams {
+            max_order: 3,
+            logistic: LogisticParams::default(),
+        }
     }
 }
 
@@ -98,7 +104,11 @@ impl ConfigPredictor {
             }
         }
         let model = Logistic::train(&xs, &ys, &params.logistic);
-        ConfigPredictor { momc, model, max_order: params.max_order }
+        ConfigPredictor {
+            momc,
+            model,
+            max_order: params.max_order,
+        }
     }
 
     /// Probability that a participant with history `hist` attends next time.
@@ -131,15 +141,17 @@ impl ConfigPredictor {
 /// Per-country count error between prediction and ground truth:
 /// `(rmse, mae)` over the union of countries.
 pub fn count_error(pred: &[(u16, f64)], truth: &[(u16, f64)]) -> (f64, f64) {
-    let mut countries: Vec<u16> =
-        pred.iter().chain(truth).map(|&(c, _)| c).collect();
+    let mut countries: Vec<u16> = pred.iter().chain(truth).map(|&(c, _)| c).collect();
     countries.sort_unstable();
     countries.dedup();
     if countries.is_empty() {
         return (0.0, 0.0);
     }
     let get = |v: &[(u16, f64)], c: u16| {
-        v.iter().find(|&&(cc, _)| cc == c).map(|&(_, n)| n).unwrap_or(0.0)
+        v.iter()
+            .find(|&&(cc, _)| cc == c)
+            .map(|&(_, n)| n)
+            .unwrap_or(0.0)
     };
     let mut sse = 0.0;
     let mut sae = 0.0;
@@ -238,7 +250,10 @@ mod tests {
                             }
                         })
                         .collect();
-                    participants.push(ParticipantHistory { country, attendance });
+                    participants.push(ParticipantHistory {
+                        country,
+                        attendance,
+                    });
                 }
                 SeriesHistory { participants }
             })

@@ -8,7 +8,6 @@ use sb_core::LatencyMap;
 use sb_net::{CountryId, DcId, RoutingTable, Topology};
 use sb_workload::sampling::lognormal;
 
-
 /// Accumulates leg-latency samples per `(country, dc)` pair.
 #[derive(Clone, Debug)]
 pub struct LatencyEstimator {
@@ -170,7 +169,11 @@ mod tests {
         let topo = sb_net::presets::apac();
         let rt = RoutingTable::compute(&topo, FailureScenario::None);
         let params = WorkloadParams {
-            universe: UniverseParams { num_configs: 120, seed: 61, ..Default::default() },
+            universe: UniverseParams {
+                num_configs: 120,
+                seed: 61,
+                ..Default::default()
+            },
             daily_calls: 2_500.0,
             slot_minutes: 120,
             seed: 61,
@@ -179,8 +182,7 @@ mod tests {
         let generator = Generator::new(&topo, params);
         let db = generator.sample_records(0, 2, 9);
         let mut rng = StdRng::seed_from_u64(4);
-        let est =
-            estimate_from_trace(&mut rng, &topo, &rt, &generator.universe().catalog, &db);
+        let est = estimate_from_trace(&mut rng, &topo, &rt, &generator.universe().catalog, &db);
         let estimated = est.to_latency_map();
         let truth = LatencyMap::from_routing(&topo, &rt);
         let mut covered = 0usize;

@@ -82,7 +82,10 @@ fn drill_with(
                 }
                 acl_sum += acl;
                 acl_n += 1;
-                let (a, b) = ((r.start_minute - t0) as usize, (r.end_minute() - t0) as usize);
+                let (a, b) = (
+                    (r.start_minute - t0) as usize,
+                    (r.end_minute() - t0) as usize,
+                );
                 core_delta[a][dc.index()] += cfg.compute_load();
                 core_delta[b][dc.index()] -= cfg.compute_load();
                 let nl = cfg.leg_network_load();
@@ -134,7 +137,11 @@ fn drill_with(
         stranded,
         peaks,
         violations,
-        mean_acl_ms: if acl_n > 0 { acl_sum / acl_n as f64 } else { 0.0 },
+        mean_acl_ms: if acl_n > 0 {
+            acl_sum / acl_n as f64
+        } else {
+            0.0
+        },
     }
 }
 

@@ -3,10 +3,33 @@
 //! ACL, per-DC core peaks, per-link Gbps peaks, migration rate, and capacity
 //! violations.
 
+use std::sync::OnceLock;
+
 use sb_core::{LatencyMap, RealtimeSelector, SelectorStats};
 use sb_net::{DcId, ProvisionedCapacity, RoutingTable, Topology};
+use sb_obs::{Counter, Histogram};
 use sb_workload::joins::CONFIG_FREEZE_SECONDS;
 use sb_workload::{CallRecordsDb, ConfigCatalog};
+
+struct ReplayMetrics {
+    runs: Counter,
+    calls: Counter,
+    violations: Counter,
+    wall_ns: Histogram,
+}
+
+fn replay_metrics() -> &'static ReplayMetrics {
+    static METRICS: OnceLock<ReplayMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = sb_obs::global();
+        ReplayMetrics {
+            runs: reg.counter("replay.runs"),
+            calls: reg.counter("replay.calls"),
+            violations: reg.counter("replay.capacity_violations"),
+            wall_ns: reg.histogram("replay.wall_ns"),
+        }
+    })
+}
 
 /// Replay configuration.
 #[derive(Clone, Debug)]
@@ -19,7 +42,10 @@ pub struct ReplayConfig {
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        ReplayConfig { freeze_minutes: (CONFIG_FREEZE_SECONDS / 60) as u64, capacity: None }
+        ReplayConfig {
+            freeze_minutes: (CONFIG_FREEZE_SECONDS / 60) as u64,
+            capacity: None,
+        }
     }
 }
 
@@ -61,6 +87,9 @@ pub fn replay(
     selector: &mut RealtimeSelector<'_>,
     cfg: &ReplayConfig,
 ) -> ReplayReport {
+    let m = replay_metrics();
+    m.runs.inc();
+    let _t = m.wall_ns.start_timer();
     let records = db.records();
     if records.is_empty() {
         return ReplayReport {
@@ -171,8 +200,14 @@ pub fn replay(
         }
     }
 
+    m.calls.add(records.len() as u64);
+    m.violations.add(violations);
     ReplayReport {
-        mean_acl_ms: if acl_n > 0 { acl_sum / acl_n as f64 } else { 0.0 },
+        mean_acl_ms: if acl_n > 0 {
+            acl_sum / acl_n as f64
+        } else {
+            0.0
+        },
         peaks,
         selector: selector.stats().clone(),
         capacity_violations: violations,
@@ -188,8 +223,13 @@ mod tests {
     use sb_net::FailureScenario;
     use sb_workload::{CallConfig, CallRecord, ConfigCatalog, DemandMatrix, MediaType};
 
-    fn world() -> (Topology, RoutingTable, LatencyMap, ConfigCatalog, sb_workload::ConfigId)
-    {
+    fn world() -> (
+        Topology,
+        RoutingTable,
+        LatencyMap,
+        ConfigCatalog,
+        sb_workload::ConfigId,
+    ) {
         let topo = sb_net::presets::toy_three_dc();
         let rt = RoutingTable::compute(&topo, FailureScenario::None);
         let lm = LatencyMap::from_routing(&topo, &rt);
@@ -199,7 +239,13 @@ mod tests {
         (topo, rt, lm, cat, id)
     }
 
-    fn record(id: u64, cfg: sb_workload::ConfigId, start: u64, dur: u16, c: sb_net::CountryId) -> CallRecord {
+    fn record(
+        id: u64,
+        cfg: sb_workload::ConfigId,
+        start: u64,
+        dur: u16,
+        c: sb_net::CountryId,
+    ) -> CallRecord {
         CallRecord {
             id,
             config: cfg,
@@ -227,8 +273,15 @@ mod tests {
         demand.set(id, 1, 30.0);
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
         let mut sel = RealtimeSelector::new(&lm, quotas);
-        let report =
-            replay(&topo, &rt, &lm, &cat, &db, &mut sel, &ReplayConfig::default());
+        let report = replay(
+            &topo,
+            &rt,
+            &lm,
+            &cat,
+            &db,
+            &mut sel,
+            &ReplayConfig::default(),
+        );
         assert_eq!(report.calls, 10);
         assert_eq!(report.selector.migrations, 0);
         assert_eq!(report.selector.unplanned, 0);
@@ -262,8 +315,15 @@ mod tests {
         demand.set(id, 0, 10.0);
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
         let mut sel = RealtimeSelector::new(&lm, quotas);
-        let report =
-            replay(&topo, &rt, &lm, &cat, &db, &mut sel, &ReplayConfig::default());
+        let report = replay(
+            &topo,
+            &rt,
+            &lm,
+            &cat,
+            &db,
+            &mut sel,
+            &ReplayConfig::default(),
+        );
         assert_eq!(report.selector.migrations, 10);
         assert!((report.selector.migration_rate() - 1.0).abs() < 1e-12);
         // compute appears at both the initial (pre-freeze) and final DCs
@@ -293,8 +353,15 @@ mod tests {
         }
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
         let mut sel = RealtimeSelector::new(&lm, quotas);
-        let report =
-            replay(&topo, &rt, &lm, &cat, &db, &mut sel, &ReplayConfig::default());
+        let report = replay(
+            &topo,
+            &rt,
+            &lm,
+            &cat,
+            &db,
+            &mut sel,
+            &ReplayConfig::default(),
+        );
         let cl = cat.config(id).compute_load();
         assert!((report.peaks.cores[tokyo.index()] - 5.0 * cl).abs() < 1e-9);
     }
@@ -317,7 +384,10 @@ mod tests {
         let mut cap = ProvisionedCapacity::zero(&topo);
         cap.cores = vec![0.01; topo.dcs.len()];
         cap.gbps = vec![1e9; topo.links.len()];
-        let cfg = ReplayConfig { capacity: Some(cap), ..Default::default() };
+        let cfg = ReplayConfig {
+            capacity: Some(cap),
+            ..Default::default()
+        };
         let report = replay(&topo, &rt, &lm, &cat, &db, &mut sel, &cfg);
         assert!(report.capacity_violations > 0);
         assert!(report.worst_overshoot > 0.0);
@@ -327,14 +397,19 @@ mod tests {
     fn empty_trace() {
         let (topo, rt, lm, cat, id) = world();
         let db = CallRecordsDb::new(cat.clone());
-        let quotas = PlannedQuotas::from_plan(
-            &AllocationShares::new(1),
-            &DemandMatrix::zero(1, 1, 30, 0),
-        );
+        let quotas =
+            PlannedQuotas::from_plan(&AllocationShares::new(1), &DemandMatrix::zero(1, 1, 30, 0));
         let _ = id;
         let mut sel = RealtimeSelector::new(&lm, quotas);
-        let report =
-            replay(&topo, &rt, &lm, &cat, &db, &mut sel, &ReplayConfig::default());
+        let report = replay(
+            &topo,
+            &rt,
+            &lm,
+            &cat,
+            &db,
+            &mut sel,
+            &ReplayConfig::default(),
+        );
         assert_eq!(report.calls, 0);
         assert_eq!(report.mean_acl_ms, 0.0);
     }

@@ -103,7 +103,10 @@ pub struct CallStateStore {
 impl CallStateStore {
     /// Create with the given shard count.
     pub fn new(shards: usize) -> CallStateStore {
-        CallStateStore { map: Arc::new(ShardedMap::new(shards)), simulated_rtt: std::time::Duration::ZERO }
+        CallStateStore {
+            map: Arc::new(ShardedMap::new(shards)),
+            simulated_rtt: std::time::Duration::ZERO,
+        }
     }
 
     /// Create with a simulated per-write network round trip. The paper's
@@ -112,7 +115,10 @@ impl CallStateStore {
     /// fast. The simulated RTT restores the latency-bound regime in which
     /// adding writer threads increases throughput.
     pub fn with_simulated_rtt(shards: usize, rtt: std::time::Duration) -> CallStateStore {
-        CallStateStore { map: Arc::new(ShardedMap::new(shards)), simulated_rtt: rtt }
+        CallStateStore {
+            map: Arc::new(ShardedMap::new(shards)),
+            simulated_rtt: rtt,
+        }
     }
 
     /// Apply one event, recording the write latency into `hist`.
@@ -173,10 +179,35 @@ mod tests {
     fn lifecycle() {
         let store = CallStateStore::new(8);
         let mut h = LatencyHistogram::new();
-        store.apply(CallEvent::Start { call: 1, country: 3, dc: 0 }, &mut h);
-        store.apply(CallEvent::Join { call: 1, country: 3 }, &mut h);
-        store.apply(CallEvent::Join { call: 1, country: 5 }, &mut h);
-        store.apply(CallEvent::Media { call: 1, media: MediaFlag::Video }, &mut h);
+        store.apply(
+            CallEvent::Start {
+                call: 1,
+                country: 3,
+                dc: 0,
+            },
+            &mut h,
+        );
+        store.apply(
+            CallEvent::Join {
+                call: 1,
+                country: 3,
+            },
+            &mut h,
+        );
+        store.apply(
+            CallEvent::Join {
+                call: 1,
+                country: 5,
+            },
+            &mut h,
+        );
+        store.apply(
+            CallEvent::Media {
+                call: 1,
+                media: MediaFlag::Video,
+            },
+            &mut h,
+        );
         store.apply(CallEvent::Freeze { call: 1 }, &mut h);
         let st = store.get(1).unwrap();
         assert_eq!(st.total_participants(), 3);
@@ -194,7 +225,13 @@ mod tests {
     fn events_on_missing_calls_are_noops() {
         let store = CallStateStore::new(2);
         let mut h = LatencyHistogram::new();
-        store.apply(CallEvent::Join { call: 9, country: 1 }, &mut h);
+        store.apply(
+            CallEvent::Join {
+                call: 9,
+                country: 1,
+            },
+            &mut h,
+        );
         store.apply(CallEvent::End { call: 9 }, &mut h);
         assert_eq!(store.active_calls(), 0);
     }
@@ -202,6 +239,14 @@ mod tests {
     #[test]
     fn event_call_accessor() {
         assert_eq!(CallEvent::Freeze { call: 7 }.call(), 7);
-        assert_eq!(CallEvent::Start { call: 3, country: 0, dc: 0 }.call(), 3);
+        assert_eq!(
+            CallEvent::Start {
+                call: 3,
+                country: 0,
+                dc: 0
+            }
+            .call(),
+            3
+        );
     }
 }

@@ -38,8 +38,9 @@ pub fn measure_throughput(
     threads: usize,
 ) -> ThroughputResult {
     assert!(threads > 0);
-    let (senders, receivers): (Vec<_>, Vec<_>) =
-        (0..threads).map(|_| channel::bounded::<CallEvent>(4096)).unzip();
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..threads)
+        .map(|_| channel::bounded::<CallEvent>(4096))
+        .unzip();
 
     let start = Instant::now();
     let mut merged = LatencyHistogram::new();
@@ -102,11 +103,21 @@ mod tests {
     fn synth_events(calls: u64, joins_per_call: u16) -> Vec<CallEvent> {
         let mut ev = Vec::new();
         for c in 0..calls {
-            ev.push(CallEvent::Start { call: c, country: (c % 9) as u16, dc: (c % 4) as u16 });
+            ev.push(CallEvent::Start {
+                call: c,
+                country: (c % 9) as u16,
+                dc: (c % 4) as u16,
+            });
             for _ in 0..joins_per_call {
-                ev.push(CallEvent::Join { call: c, country: ((c + 1) % 9) as u16 });
+                ev.push(CallEvent::Join {
+                    call: c,
+                    country: ((c + 1) % 9) as u16,
+                });
             }
-            ev.push(CallEvent::Media { call: c, media: MediaFlag::Video });
+            ev.push(CallEvent::Media {
+                call: c,
+                media: MediaFlag::Video,
+            });
             ev.push(CallEvent::Freeze { call: c });
             ev.push(CallEvent::End { call: c });
         }
@@ -140,9 +151,16 @@ mod tests {
         let store = CallStateStore::new(64);
         let mut events = Vec::new();
         for c in 0..64u64 {
-            events.push(CallEvent::Start { call: c, country: 0, dc: 0 });
+            events.push(CallEvent::Start {
+                call: c,
+                country: 0,
+                dc: 0,
+            });
             for _ in 0..10 {
-                events.push(CallEvent::Join { call: c, country: 1 });
+                events.push(CallEvent::Join {
+                    call: c,
+                    country: 1,
+                });
             }
         }
         let r = measure_throughput(&store, &events, 8);

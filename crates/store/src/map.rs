@@ -4,13 +4,41 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use sb_obs::{Counter, Histogram};
+
+struct StoreMetrics {
+    read_ops: Counter,
+    write_ops: Counter,
+    lock_wait_ns: Histogram,
+}
+
+fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = sb_obs::global();
+        StoreMetrics {
+            read_ops: reg.counter("store.read_ops"),
+            write_ops: reg.counter("store.write_ops"),
+            lock_wait_ns: reg.histogram("store.lock_wait_ns"),
+        }
+    })
+}
+
+/// One shard: its lock plus a relaxed op counter for hot-spot diagnosis.
+#[derive(Debug)]
+struct Shard<K, V> {
+    lock: RwLock<HashMap<K, V>>,
+    ops: AtomicU64,
+}
 
 /// Sharded `HashMap` with per-shard `RwLock`s.
 #[derive(Debug)]
 pub struct ShardedMap<K, V> {
-    shards: Vec<RwLock<HashMap<K, V>>>,
+    shards: Vec<Shard<K, V>>,
     hasher: RandomState,
     mask: usize,
 }
@@ -20,7 +48,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     pub fn new(shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         ShardedMap {
-            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..n)
+                .map(|_| Shard {
+                    lock: RwLock::new(HashMap::new()),
+                    ops: AtomicU64::new(0),
+                })
+                .collect(),
             hasher: RandomState::new(),
             mask: n - 1,
         }
@@ -31,14 +64,43 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.shards.len()
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+    /// Ops (any kind) that have touched each shard since creation. A skewed
+    /// distribution here means the key hash is concentrating load.
+    pub fn shard_ops(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.ops.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
         let h = self.hasher.hash_one(key) as usize;
         &self.shards[h & self.mask]
     }
 
+    /// Acquire a shard's read lock, recording the wait in the global registry.
+    fn read_shard(&self, key: &K) -> RwLockReadGuard<'_, HashMap<K, V>> {
+        let s = self.shard(key);
+        s.ops.fetch_add(1, Ordering::Relaxed);
+        let m = store_metrics();
+        m.read_ops.inc();
+        let _t = m.lock_wait_ns.start_timer();
+        s.lock.read()
+    }
+
+    /// Acquire a shard's write lock, recording the wait in the global registry.
+    fn write_shard(&self, key: &K) -> RwLockWriteGuard<'_, HashMap<K, V>> {
+        let s = self.shard(key);
+        s.ops.fetch_add(1, Ordering::Relaxed);
+        let m = store_metrics();
+        m.write_ops.inc();
+        let _t = m.lock_wait_ns.start_timer();
+        s.lock.write()
+    }
+
     /// Insert, returning the previous value.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
-        self.shard(&key).write().insert(key, value)
+        self.write_shard(&key).insert(key, value)
     }
 
     /// Clone-read a value.
@@ -46,17 +108,17 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     where
         V: Clone,
     {
-        self.shard(key).read().get(key).cloned()
+        self.read_shard(key).get(key).cloned()
     }
 
     /// Read through a closure without cloning.
     pub fn with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
-        self.shard(key).read().get(key).map(f)
+        self.read_shard(key).get(key).map(f)
     }
 
     /// Atomic read-modify-write; returns false when the key is absent.
     pub fn update(&self, key: &K, f: impl FnOnce(&mut V)) -> bool {
-        match self.shard(key).write().get_mut(key) {
+        match self.write_shard(key).get_mut(key) {
             Some(v) => {
                 f(v);
                 true
@@ -67,7 +129,7 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
 
     /// Insert-or-update.
     pub fn upsert(&self, key: K, insert: impl FnOnce() -> V, update: impl FnOnce(&mut V)) {
-        let mut guard = self.shard(&key).write();
+        let mut guard = self.write_shard(&key);
         match guard.get_mut(&key) {
             Some(v) => update(v),
             None => {
@@ -78,12 +140,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
 
     /// Remove a key, returning its value.
     pub fn remove(&self, key: &K) -> Option<V> {
-        self.shard(key).write().remove(key)
+        self.write_shard(key).remove(key)
     }
 
     /// Total entries across shards (not linearizable, like Redis `DBSIZE`).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.lock.read().len()).sum()
     }
 
     /// Is the map empty?

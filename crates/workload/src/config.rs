@@ -81,8 +81,14 @@ impl CallConfig {
                 false
             }
         });
-        assert!(!participants.is_empty(), "a call config needs at least one participant");
-        CallConfig { participants, media }
+        assert!(
+            !participants.is_empty(),
+            "a call config needs at least one participant"
+        );
+        CallConfig {
+            participants,
+            media,
+        }
     }
 
     /// Sorted `(country, participant count)` pairs.
@@ -188,7 +194,10 @@ impl ConfigCatalog {
 
     /// Iterate `(id, config)`.
     pub fn iter(&self) -> impl Iterator<Item = (ConfigId, &CallConfig)> {
-        self.configs.iter().enumerate().map(|(i, c)| (ConfigId(i as u32), c))
+        self.configs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ConfigId(i as u32), c))
     }
 }
 

@@ -164,8 +164,16 @@ impl DemandMatrix {
                 part_acc += t * catalog.config(id).total_participants() as f64;
                 (
                     (i + 1) as f64 / n,
-                    if total_calls > 0.0 { calls_acc / total_calls } else { 0.0 },
-                    if total_participants > 0.0 { part_acc / total_participants } else { 0.0 },
+                    if total_calls > 0.0 {
+                        calls_acc / total_calls
+                    } else {
+                        0.0
+                    },
+                    if total_participants > 0.0 {
+                        part_acc / total_participants
+                    } else {
+                        0.0
+                    },
                 )
             })
             .collect()
@@ -177,8 +185,12 @@ impl DemandMatrix {
     /// the LP at `T = slots_per_day` rows; see DESIGN.md §5).
     pub fn envelope_day(&self, slots_per_day: usize) -> DemandMatrix {
         assert!(slots_per_day > 0 && self.num_slots >= slots_per_day);
-        let mut out =
-            DemandMatrix::zero(self.num_configs, slots_per_day, self.slot_minutes, self.start_minute);
+        let mut out = DemandMatrix::zero(
+            self.num_configs,
+            slots_per_day,
+            self.slot_minutes,
+            self.start_minute,
+        );
         for c in 0..self.num_configs {
             let id = ConfigId(c as u32);
             for (s, &v) in self.series(id).iter().enumerate() {

@@ -79,7 +79,12 @@ impl<'t> Generator<'t> {
                 (total / 7.0).max(1e-12)
             })
             .collect();
-        Generator { topo, params, universe, day_norm }
+        Generator {
+            topo,
+            params,
+            universe,
+            day_norm,
+        }
     }
 
     /// The underlying universe.
@@ -111,9 +116,8 @@ impl<'t> Generator<'t> {
                 (0..num_slots)
                     .map(|s| {
                         // mid-slot sampling
-                        let minute = start_minute
-                            + s as u64 * slot_minutes as u64
-                            + slot_minutes as u64 / 2;
+                        let minute =
+                            start_minute + s as u64 * slot_minutes as u64 + slot_minutes as u64 / 2;
                         activity_at(minute, c.utc_offset_hours)
                     })
                     .collect()
@@ -187,9 +191,9 @@ impl<'t> Generator<'t> {
         let base = self.params.daily_calls * spec.weight / self.day_norm[id.index()];
         (0..num_slots)
             .map(|s| {
-                let minute =
-                    start_minute + s as u64 * self.params.slot_minutes as u64
-                        + self.params.slot_minutes as u64 / 2;
+                let minute = start_minute
+                    + s as u64 * self.params.slot_minutes as u64
+                    + self.params.slot_minutes as u64 / 2;
                 let day = start_day as f64 + (s / slots_per_day) as f64;
                 let shape: f64 = spec
                     .country_mix
@@ -212,9 +216,13 @@ impl<'t> Generator<'t> {
         seed_offset: u64,
     ) -> Vec<f64> {
         let expected = self.expected_config_series(id, start_day, days);
-        let mut rng =
-            StdRng::seed_from_u64(self.params.seed ^ seed_offset ^ (id.0 as u64).wrapping_mul(0x9E37_79B9));
-        expected.into_iter().map(|l| poisson(&mut rng, l) as f64).collect()
+        let mut rng = StdRng::seed_from_u64(
+            self.params.seed ^ seed_offset ^ (id.0 as u64).wrapping_mul(0x9E37_79B9),
+        );
+        expected
+            .into_iter()
+            .map(|l| poisson(&mut rng, l) as f64)
+            .collect()
     }
 
     /// Full call-record trace for `[start_day, start_day+days)`.
@@ -245,14 +253,13 @@ impl<'t> Generator<'t> {
                         + rng.gen_range(0..self.params.slot_minutes as u64);
                     let duration =
                         lognormal(&mut rng, dur_mu, dur_sigma).clamp(2.0, 8.0 * 60.0) as u16;
-                    let first_joiner =
-                        if rng.gen::<f64>() < self.params.first_joiner_majority_prob
-                            || countries.len() == 1
-                        {
-                            majority
-                        } else {
-                            countries[weighted_index(&mut rng, &country_weights)]
-                        };
+                    let first_joiner = if rng.gen::<f64>() < self.params.first_joiner_majority_prob
+                        || countries.len() == 1
+                    {
+                        majority
+                    } else {
+                        countries[weighted_index(&mut rng, &country_weights)]
+                    };
                     let join_offsets_s = sample_join_offsets(&mut rng, n_participants);
                     db.push(CallRecord {
                         id: next_id,
@@ -278,7 +285,11 @@ mod tests {
 
     fn small_params() -> WorkloadParams {
         WorkloadParams {
-            universe: UniverseParams { num_configs: 60, seed: 3, ..Default::default() },
+            universe: UniverseParams {
+                num_configs: 60,
+                seed: 3,
+                ..Default::default()
+            },
             daily_calls: 800.0,
             seed: 5,
             ..Default::default()
@@ -311,8 +322,14 @@ mod tests {
         // UTC tail of Sunday belongs to local Monday morning and must be
         // excluded from the weekend measurement.
         let window = 30 * spd / 48; // first 15 hours
-        let wed_peak = per_slot[2 * spd..2 * spd + window].iter().cloned().fold(0.0, f64::max);
-        let sun_peak = per_slot[6 * spd..6 * spd + window].iter().cloned().fold(0.0, f64::max);
+        let wed_peak = per_slot[2 * spd..2 * spd + window]
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        let sun_peak = per_slot[6 * spd..6 * spd + window]
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
         assert!(wed_peak > 4.0 * sun_peak, "wed {wed_peak} sun {sun_peak}");
     }
 
@@ -340,7 +357,11 @@ mod tests {
         let jp = topo.country_by_name("JP");
         let iin = topo.country_by_name("IN");
         let argmax = |v: &[f64]| {
-            v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
         };
         let jp_peak = argmax(&by_country[jp.index()]);
         let in_peak = argmax(&by_country[iin.index()]);

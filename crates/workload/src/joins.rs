@@ -79,8 +79,9 @@ mod tests {
     fn eighty_percent_by_five_minutes() {
         // the Fig. 8 calibration target: ≈80 % joined at 300 s
         let mut rng = StdRng::seed_from_u64(2);
-        let calls: Vec<Vec<u16>> =
-            (0..2_000).map(|_| sample_join_offsets(&mut rng, 6)).collect();
+        let calls: Vec<Vec<u16>> = (0..2_000)
+            .map(|_| sample_join_offsets(&mut rng, 6))
+            .collect();
         let curve = fraction_joined_curve(&calls, 900, 60);
         let at_300 = curve.iter().find(|&&(t, _)| t == 300).unwrap().1;
         // 6-person rosters: (1 + 5·p)/6 with p ≈ 0.66 → ≈0.72; the trace-level

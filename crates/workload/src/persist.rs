@@ -30,7 +30,11 @@ pub struct PersistError {
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 impl std::error::Error for PersistError {}
@@ -85,8 +89,8 @@ pub fn to_tsv(db: &CallRecordsDb) -> String {
     out
 }
 
-fn field<'a, T: FromStr>(
-    parts: &[&'a str],
+fn field<T: FromStr>(
+    parts: &[&str],
     idx: usize,
     line: usize,
     name: &str,
@@ -94,7 +98,10 @@ fn field<'a, T: FromStr>(
     parts
         .get(idx)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| PersistError { line, message: format!("bad or missing field `{name}`") })
+        .ok_or_else(|| PersistError {
+            line,
+            message: format!("bad or missing field `{name}`"),
+        })
 }
 
 /// Parse a trace from the TSV format.
@@ -118,8 +125,10 @@ pub fn from_tsv(text: &str) -> Result<CallRecordsDb, PersistError> {
         let start_minute: u64 = field(&parts, 1, line_no, "start_minute")?;
         let duration_min: u16 = field(&parts, 2, line_no, "duration_min")?;
         let first: u16 = field(&parts, 3, line_no, "first_joiner")?;
-        let media = parse_media(parts[4])
-            .ok_or_else(|| PersistError { line: line_no, message: "bad media tag".into() })?;
+        let media = parse_media(parts[4]).ok_or_else(|| PersistError {
+            line: line_no,
+            message: "bad media tag".into(),
+        })?;
         let mut spread = Vec::new();
         for item in parts[5].split(',') {
             let (c, n) = item.split_once(':').ok_or_else(|| PersistError {
@@ -213,7 +222,10 @@ mod tests {
     fn generated_trace_roundtrips() {
         let topo = sb_net::presets::apac();
         let params = crate::WorkloadParams {
-            universe: crate::UniverseParams { num_configs: 60, ..Default::default() },
+            universe: crate::UniverseParams {
+                num_configs: 60,
+                ..Default::default()
+            },
             daily_calls: 300.0,
             ..Default::default()
         };

@@ -41,7 +41,10 @@ pub struct CallRecordsDb {
 impl CallRecordsDb {
     /// Empty database with the given catalog.
     pub fn new(catalog: ConfigCatalog) -> Self {
-        CallRecordsDb { catalog, records: Vec::new() }
+        CallRecordsDb {
+            catalog,
+            records: Vec::new(),
+        }
     }
 
     /// Append a record.
@@ -84,8 +87,7 @@ impl CallRecordsDb {
         start_minute: u64,
         num_slots: usize,
     ) -> DemandMatrix {
-        let mut m =
-            DemandMatrix::zero(self.catalog.len(), num_slots, slot_minutes, start_minute);
+        let mut m = DemandMatrix::zero(self.catalog.len(), num_slots, slot_minutes, start_minute);
         for r in &self.records {
             if let Some(slot) = m.slot_of_minute(r.start_minute) {
                 m.add(r.config, slot, 1.0);
@@ -110,7 +112,10 @@ impl CallRecordsDb {
 
     /// Join-offset lists for Fig. 8.
     pub fn join_offset_lists(&self) -> Vec<Vec<u16>> {
-        self.records.iter().map(|r| r.join_offsets_s.clone()).collect()
+        self.records
+            .iter()
+            .map(|r| r.join_offsets_s.clone())
+            .collect()
     }
 }
 

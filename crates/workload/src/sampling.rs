@@ -9,7 +9,10 @@ use rand::Rng;
 /// Knuth's product method for small λ, normal approximation (rounded,
 /// clamped at 0) for large λ — the standard trade-off.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be finite and >= 0");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be finite and >= 0"
+    );
     if lambda == 0.0 {
         return 0;
     }

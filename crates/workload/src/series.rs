@@ -79,7 +79,12 @@ pub struct SeriesParams {
 
 impl Default for SeriesParams {
     fn default() -> Self {
-        SeriesParams { num_series: 400, occurrences: 12, max_roster: 40, seed: 17 }
+        SeriesParams {
+            num_series: 400,
+            occurrences: 12,
+            max_roster: 40,
+            seed: 17,
+        }
     }
 }
 
@@ -125,9 +130,18 @@ pub fn generate_series(
                 }
             })
             .collect();
-        let media = if rng.gen::<f64>() < 0.6 { MediaType::Video } else { MediaType::Audio };
-        let series =
-            MeetingSeries { id: id as u32, countries, base_prob, persistence, media };
+        let media = if rng.gen::<f64>() < 0.6 {
+            MediaType::Video
+        } else {
+            MediaType::Audio
+        };
+        let series = MeetingSeries {
+            id: id as u32,
+            countries,
+            base_prob,
+            persistence,
+            media,
+        };
 
         // simulate attendance
         let mut prev: Vec<bool> = Vec::new();
@@ -159,7 +173,11 @@ pub fn generate_series(
                 })
                 .collect();
             prev = attended.clone();
-            occurrences.push(SeriesOccurrence { series: id as u32, index: occ, attended });
+            occurrences.push(SeriesOccurrence {
+                series: id as u32,
+                index: occ,
+                attended,
+            });
         }
         all_series.push(series);
     }
@@ -173,7 +191,13 @@ mod tests {
 
     fn gen() -> (Vec<MeetingSeries>, Vec<SeriesOccurrence>) {
         let topo = presets::apac();
-        generate_series(&topo, &SeriesParams { num_series: 50, ..Default::default() })
+        generate_series(
+            &topo,
+            &SeriesParams {
+                num_series: 50,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -195,7 +219,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let topo = presets::apac();
-        let p = SeriesParams { num_series: 10, ..Default::default() };
+        let p = SeriesParams {
+            num_series: 10,
+            ..Default::default()
+        };
         let (_, a) = generate_series(&topo, &p);
         let (_, b) = generate_series(&topo, &p);
         assert_eq!(a.len(), b.len());
@@ -233,8 +260,7 @@ mod tests {
         let mut flips = 0usize;
         let mut total = 0usize;
         for s in &series {
-            let hist: Vec<&SeriesOccurrence> =
-                occs.iter().filter(|o| o.series == s.id).collect();
+            let hist: Vec<&SeriesOccurrence> = occs.iter().filter(|o| o.series == s.id).collect();
             for i in 0..s.roster_size() {
                 if s.persistence[i] < -0.5 {
                     for w in hist.windows(2) {

@@ -96,10 +96,10 @@ impl Universe {
         let mut catalog = ConfigCatalog::new();
         let mut specs: Vec<ConfigSpec> = Vec::new();
         let push = |catalog: &mut ConfigCatalog,
-                        specs: &mut Vec<ConfigSpec>,
-                        rng: &mut StdRng,
-                        cfg: CallConfig,
-                        weight: f64| {
+                    specs: &mut Vec<ConfigSpec>,
+                    rng: &mut StdRng,
+                    cfg: CallConfig,
+                    weight: f64| {
             let id = catalog.intern(cfg.clone());
             if id.index() < specs.len() {
                 specs[id.index()].weight += weight;
@@ -113,7 +113,12 @@ impl Universe {
                 .collect();
             let growth =
                 crate::sampling::normal(rng, params.growth_mean, params.growth_std).max(-0.5);
-            specs.push(ConfigSpec { id, weight, annual_growth: growth, country_mix });
+            specs.push(ConfigSpec {
+                id,
+                weight,
+                annual_growth: growth,
+                country_mix,
+            });
         };
 
         // --- intra-country core --------------------------------------------
@@ -281,8 +286,12 @@ mod tests {
         let (_, u) = universe();
         for (_, cfg) in u.catalog.iter() {
             let total = cfg.total_participants();
-            let (_, majority_n) =
-                cfg.participants().iter().max_by_key(|&&(_, n)| n).copied().unwrap();
+            let (_, majority_n) = cfg
+                .participants()
+                .iter()
+                .max_by_key(|&&(_, n)| n)
+                .copied()
+                .unwrap();
             assert!(
                 2 * majority_n as u32 >= total,
                 "majority country must hold at least half the participants"
@@ -305,8 +314,16 @@ mod tests {
     #[test]
     fn growth_rates_spread() {
         let (_, u) = universe();
-        let min = u.specs.iter().map(|s| s.annual_growth).fold(f64::MAX, f64::min);
-        let max = u.specs.iter().map(|s| s.annual_growth).fold(f64::MIN, f64::max);
+        let min = u
+            .specs
+            .iter()
+            .map(|s| s.annual_growth)
+            .fold(f64::MAX, f64::min);
+        let max = u
+            .specs
+            .iter()
+            .map(|s| s.annual_growth)
+            .fold(f64::MIN, f64::max);
         assert!(min >= -0.5);
         assert!(max > min + 0.5, "growth rates should differ across configs");
     }
@@ -344,7 +361,10 @@ mod tests {
         let topo = presets::toy_three_dc();
         let u = Universe::generate(
             &topo,
-            &UniverseParams { num_configs: 12, ..Default::default() },
+            &UniverseParams {
+                num_configs: 12,
+                ..Default::default()
+            },
         );
         assert!(u.len() >= 6);
         let sum: f64 = u.specs.iter().map(|s| s.weight).sum();

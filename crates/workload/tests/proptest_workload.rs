@@ -5,14 +5,25 @@ use proptest::prelude::*;
 use sb_workload::{persist, ConfigId, Generator, UniverseParams, WorkloadParams};
 
 fn params_strategy() -> impl Strategy<Value = WorkloadParams> {
-    (10usize..80, 100.0f64..2_000.0, prop_oneof![Just(60u32), Just(120), Just(240)], 0u64..50)
-        .prop_map(|(num_configs, daily_calls, slot_minutes, seed)| WorkloadParams {
-            universe: UniverseParams { num_configs, seed, ..Default::default() },
-            daily_calls,
-            slot_minutes,
-            seed,
-            ..Default::default()
-        })
+    (
+        10usize..80,
+        100.0f64..2_000.0,
+        prop_oneof![Just(60u32), Just(120), Just(240)],
+        0u64..50,
+    )
+        .prop_map(
+            |(num_configs, daily_calls, slot_minutes, seed)| WorkloadParams {
+                universe: UniverseParams {
+                    num_configs,
+                    seed,
+                    ..Default::default()
+                },
+                daily_calls,
+                slot_minutes,
+                seed,
+                ..Default::default()
+            },
+        )
 }
 
 proptest! {

@@ -6,21 +6,21 @@
 //! cargo run --release --example capacity_planning
 //! ```
 
-use switchboard::core::{provision, provision_baseline, BaselinePolicy, PlanningInputs, ProvisionerParams};
-use switchboard::net::Topology;
-use switchboard::workload::{DemandMatrix, Generator, UniverseParams, WorkloadParams};
+use switchboard::core::provision_baseline;
+use switchboard::prelude::*;
 
 fn describe(topo: &Topology, name: &str, cores: f64, wan: f64, cost: f64, acl: f64) {
     let _ = topo;
-    println!(
-        "  {name:<3} {cores:>8.0} cores  {wan:>6.2} Gbps  ${cost:>9.0}  {acl:>5.1} ms"
-    );
+    println!("  {name:<3} {cores:>8.0} cores  {wan:>6.2} Gbps  ${cost:>9.0}  {acl:>5.1} ms");
 }
 
 fn main() {
     let topo = switchboard::net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 300, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 300,
+            ..Default::default()
+        },
         daily_calls: 4_000.0,
         slot_minutes: 120,
         ..Default::default()
@@ -28,23 +28,25 @@ fn main() {
     let generator = Generator::new(&topo, params);
     let demand = generator.sample_demand(0, 7, 1);
     let selected = demand.top_configs_covering(0.8);
-    let envelope: DemandMatrix =
-        demand.filtered(&selected).scaled(1.1).envelope_day(generator.slots_per_day());
-    let inputs = PlanningInputs {
-        topo: &topo,
-        catalog: &generator.universe().catalog,
-        demand: &envelope,
-        latency_threshold_ms: 120.0,
-    };
+    let envelope: DemandMatrix = demand
+        .filtered(&selected)
+        .scaled(1.1)
+        .envelope_day(generator.slots_per_day());
+    let inputs = PlanningInputs::new(&topo, &generator.universe().catalog, &envelope);
 
     for with_backup in [false, true] {
         println!(
             "\n== {} ==",
-            if with_backup { "with single-failure backup" } else { "serving only" }
+            if with_backup {
+                "with single-failure backup"
+            } else {
+                "serving only"
+            }
         );
-        for (name, policy) in
-            [("RR", BaselinePolicy::RoundRobin), ("LF", BaselinePolicy::LocalityFirst)]
-        {
+        for (name, policy) in [
+            ("RR", BaselinePolicy::RoundRobin),
+            ("LF", BaselinePolicy::LocalityFirst),
+        ] {
             let p = provision_baseline(policy, &inputs, with_backup);
             describe(
                 &topo,
@@ -55,8 +57,14 @@ fn main() {
                 p.mean_acl,
             );
         }
-        let p = provision(&inputs, &ProvisionerParams { with_backup, ..Default::default() })
-            .expect("SB provisioning");
+        let p = provision(
+            &inputs,
+            &ProvisionerParams {
+                with_backup,
+                ..Default::default()
+            },
+        )
+        .expect("SB provisioning");
         // SB's delivered latency comes from the daily allocation plan; for
         // brevity this example reports the capacity side only
         describe(

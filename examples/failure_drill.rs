@@ -5,15 +5,16 @@
 //! cargo run --release --example failure_drill
 //! ```
 
-use switchboard::core::{provision, PlanningInputs, ProvisionerParams};
-use switchboard::net::FailureScenario;
+use switchboard::prelude::*;
 use switchboard::sim::drill;
-use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
 
 fn main() {
     let topo = switchboard::net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 300, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 300,
+            ..Default::default()
+        },
         daily_calls: 3_000.0,
         slot_minutes: 120,
         ..Default::default()
@@ -21,14 +22,11 @@ fn main() {
     let generator = Generator::new(&topo, params);
     let demand = generator.sample_demand(0, 7, 1);
     let selected = demand.top_configs_covering(0.9);
-    let envelope =
-        demand.filtered(&selected).scaled(1.1).envelope_day(generator.slots_per_day());
-    let inputs = PlanningInputs {
-        topo: &topo,
-        catalog: &generator.universe().catalog,
-        demand: &envelope,
-        latency_threshold_ms: 120.0,
-    };
+    let envelope = demand
+        .filtered(&selected)
+        .scaled(1.1)
+        .envelope_day(generator.slots_per_day());
+    let inputs = PlanningInputs::new(&topo, &generator.universe().catalog, &envelope);
     println!("provisioning with single-failure backup …");
     let plan = provision(&inputs, &ProvisionerParams::default()).expect("provision");
     println!(

@@ -7,12 +7,15 @@
 //! ```
 
 use switchboard::forecast::{fit_auto, mae, peak_normalized, rmse, Cdf};
-use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
+use switchboard::prelude::*;
 
 fn main() {
     let topo = switchboard::net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 500, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 500,
+            ..Default::default()
+        },
         daily_calls: 10_000.0,
         slot_minutes: 60,
         ..Default::default()
@@ -27,7 +30,11 @@ fn main() {
     ranked.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
     let head: Vec<_> = ranked.iter().take(40).map(|s| s.id).collect();
 
-    println!("fitting Holt–Winters for {} head configs ({} train days)…", head.len(), train_days);
+    println!(
+        "fitting Holt–Winters for {} head configs ({} train days)…",
+        head.len(),
+        train_days
+    );
     let mut rmses = Vec::new();
     let mut maes = Vec::new();
     for &id in &head {

@@ -7,19 +7,17 @@
 //! cargo run --release --example live_controller
 //! ```
 
-use switchboard::core::{
-    allocation_plan, provision, PlannedQuotas, PlanningInputs, ProvisionerParams,
-    RealtimeSelector, ScenarioData, SolveOptions,
-};
-use switchboard::net::FailureScenario;
-use switchboard::sim::{replay, ReplayConfig};
-use switchboard::store::{CallEvent, CallStateStore, LatencyHistogram};
-use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
+use switchboard::core::formulation::{ScenarioData, SolveOptions};
+use switchboard::prelude::*;
+use switchboard::store::{CallEvent, LatencyHistogram};
 
 fn main() {
     let topo = switchboard::net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 300, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 300,
+            ..Default::default()
+        },
         daily_calls: 3_000.0,
         slot_minutes: 120,
         ..Default::default()
@@ -31,17 +29,18 @@ fn main() {
     let expected = generator.expected_demand(day, 1);
     let selected = expected.top_configs_covering(0.97);
     let planned = expected.filtered(&selected).scaled(1.3);
-    let inputs = PlanningInputs {
-        topo: &topo,
-        catalog: &generator.universe().catalog,
-        demand: &planned,
-        latency_threshold_ms: 120.0,
-    };
-    let plan = provision(&inputs, &ProvisionerParams { with_backup: false, ..Default::default() })
-        .expect("provision");
+    let inputs = PlanningInputs::new(&topo, &generator.universe().catalog, &planned);
+    let plan = provision(
+        &inputs,
+        &ProvisionerParams {
+            with_backup: false,
+            ..Default::default()
+        },
+    )
+    .expect("provision");
     let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
-    let shares = allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default())
-        .expect("plan");
+    let shares =
+        allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default()).expect("plan");
 
     // online: replay the day's trace through the selector
     let db = generator.sample_records(day, 1, 3);
@@ -56,7 +55,10 @@ fn main() {
         &mut selector,
         &ReplayConfig::default(),
     );
-    println!("replayed {} calls through the real-time selector:", report.calls);
+    println!(
+        "replayed {} calls through the real-time selector:",
+        report.calls
+    );
     println!("  mean ACL            {:.1} ms", report.mean_acl_ms);
     println!(
         "  migrations          {} ({:.2}%)",
@@ -72,11 +74,21 @@ fn main() {
     let mut hist = LatencyHistogram::new();
     for r in db.records().iter().take(1_000) {
         store.apply(
-            CallEvent::Start { call: r.id, country: r.first_joiner.0, dc: 0 },
+            CallEvent::Start {
+                call: r.id,
+                country: r.first_joiner.0,
+                dc: 0,
+            },
             &mut hist,
         );
         for _ in 1..r.join_offsets_s.len() {
-            store.apply(CallEvent::Join { call: r.id, country: r.first_joiner.0 }, &mut hist);
+            store.apply(
+                CallEvent::Join {
+                    call: r.id,
+                    country: r.first_joiner.0,
+                },
+                &mut hist,
+            );
         }
         store.apply(CallEvent::Freeze { call: r.id }, &mut hist);
     }

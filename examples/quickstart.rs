@@ -8,22 +8,27 @@
 //! provisions compute + WAN jointly with failure backup, computes the daily
 //! latency-optimal allocation plan, and prints what was bought and why.
 
-use switchboard::core::{
-    allocation_plan, mean_acl, provision, PlanningInputs, ProvisionerParams, ScenarioData,
-    SolveOptions,
-};
-use switchboard::net::FailureScenario;
-use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
+use switchboard::core::formulation::{ScenarioData, SolveOptions};
+use switchboard::core::usage::mean_acl;
+use switchboard::prelude::*;
 
 fn main() {
     // 1. The provider topology: 4 APAC DCs, 9 countries, WAN links with
     //    per-Gbps prices and per-core DC prices.
     let topo = switchboard::net::presets::apac();
-    println!("topology: {} DCs, {} countries, {} links", topo.dcs.len(), topo.countries.len(), topo.links.len());
+    println!(
+        "topology: {} DCs, {} countries, {} links",
+        topo.dcs.len(),
+        topo.countries.len(),
+        topo.links.len()
+    );
 
     // 2. A synthetic workload standing in for the Teams call records.
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 300, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 300,
+            ..Default::default()
+        },
         daily_calls: 4_000.0,
         slot_minutes: 120,
         ..Default::default()
@@ -42,12 +47,7 @@ fn main() {
     );
 
     // 3. Provision: one LP per failure scenario, max across scenarios.
-    let inputs = PlanningInputs {
-        topo: &topo,
-        catalog: &generator.universe().catalog,
-        demand: &envelope,
-        latency_threshold_ms: 120.0,
-    };
+    let inputs = PlanningInputs::new(&topo, &generator.universe().catalog, &envelope);
     let plan = provision(&inputs, &ProvisionerParams::default()).expect("provisioning");
     println!("\nprovisioned capacity (serving + backup):");
     for (dc, cores) in topo.dcs.iter().zip(&plan.capacity.cores) {
@@ -69,7 +69,12 @@ fn main() {
     let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
     let shares = allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default())
         .expect("allocation plan");
-    let acl = mean_acl(&sd0.latmap, &generator.universe().catalog, &envelope, &shares);
+    let acl = mean_acl(
+        &sd0.latmap,
+        &generator.universe().catalog,
+        &envelope,
+        &shares,
+    );
     println!("\nallocation plan: expected mean ACL {acl:.1} ms (threshold 120 ms)");
 
     // 5. Every single-DC failure is survivable within the plan.

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: formatting, lints, and the tier-1 build+test pass.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests: cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "all checks passed"

@@ -1,0 +1,273 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! reproduces the surface the workspace benches use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `bench_with_input`
+//! / `finish`, `BenchmarkId::new`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! warmup + N timed samples of the closure, reporting median per-iteration
+//! time. `--bench` and test-runner flags passed by cargo are accepted and
+//! ignored; the binaries also honor `--quick`-style extra args upstream.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: brief warmup, then timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count that takes ~5ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t0.elapsed();
+            if el >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut per: Vec<Duration> = Vec::with_capacity(self.samples);
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per.push(t0.elapsed() / batch as u32);
+            iters += batch;
+        }
+        per.sort();
+        self.per_iter = per[per.len() / 2];
+        self.iters_done = iters;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Soft target for total measurement time (accepted, unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            per_iter: Duration::ZERO,
+            iters_done: 0,
+        };
+        f(&mut b);
+        println!(
+            "{:<50} time: [{}]  ({} iters)",
+            format!("{}/{}", self.name, id),
+            fmt_duration(b.per_iter),
+            b.iters_done
+        );
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into().to_string(), f);
+        self
+    }
+
+    /// Benchmark a closure receiving `input` under `id`.
+    pub fn bench_with_input<I, IdT, F>(&mut self, id: IdT, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        IdT: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into().to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line configuration (flags accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Override the default sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            per_iter: Duration::ZERO,
+            iters_done: 0,
+        };
+        f(&mut b);
+        println!(
+            "{:<50} time: [{}]  ({} iters)",
+            name,
+            fmt_duration(b.per_iter),
+            b.iters_done
+        );
+        self
+    }
+
+    /// Final summary hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Define a benchmark group function compatible with `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_something() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        let mut acc = 0u64;
+        g.bench_function("sum", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add((0..100u64).sum::<u64>());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+        assert!(acc > 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! provides the one surface the workspace uses: `crossbeam::channel::bounded`
+//! with cloneable senders and blocking `send`/`recv` that error once the
+//! other side is fully dropped. Built on `std::sync` (`Mutex` + `Condvar`).
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: usize,
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Create a bounded channel with capacity `cap` (min 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                buf: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is space, then enqueue `value`.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.buf.len() < self.0.cap {
+                    st.buf.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders += 1;
+            drop(st);
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value is available; error once empty with no senders.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers += 1;
+            drop(st);
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn roundtrip_in_order() {
+        let (tx, rx) = channel::bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_unblocks_when_all_senders_drop() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            let mut n = 0u32;
+            while rx.recv().is_ok() {
+                n += 1;
+            }
+            n
+        });
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        for i in 0..100 {
+            tx2.send(i).unwrap();
+        }
+        drop(tx2);
+        assert_eq!(h.join().unwrap(), 200);
+    }
+
+    #[test]
+    fn bounded_blocks_producer_until_consumed() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn send_fails_without_receiver() {
+        let (tx, rx) = channel::bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(5), Err(channel::SendError(5)));
+    }
+}

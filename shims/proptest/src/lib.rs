@@ -1,0 +1,597 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! reproduces the surface the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`strategy::Just`], `prop_oneof!`, `collection::vec`,
+//! `option::of`, `ProptestConfig::with_cases`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Unlike upstream, failures are **not shrunk** — the failing case is
+//! reported as generated. Case generation is deterministic per test
+//! (fixed base seed + case index), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG handed to strategies when generating a case.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keep only values passing `f` (retries; panics if too selective).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Strategy yielding a clone of a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) whence: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.new_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 candidates in a row: {}",
+                self.whence
+            )
+        }
+    }
+
+    /// Uniform (or weighted) choice between type-erased strategies; the
+    /// expansion target of `prop_oneof!`.
+    pub struct Union<T> {
+        variants: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Uniform union.
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+            Self::new_weighted(variants.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Weighted union.
+        pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = variants.iter().map(|(w, _)| *w as u64).sum::<u64>();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Union {
+                variants,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (w, s) in &self.variants {
+                if pick < *w as u64 {
+                    return s.new_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weight bookkeeping")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec`]: an exact count, a
+    /// half-open range, or an inclusive range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a size drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_incl);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for `Option`.
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// `Some(inner)` half the time, `None` the other half.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.new_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Test-runner configuration and case loop.
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (`cases` is the only knob the shim honors).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The inputs were rejected (case does not count).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property with `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected case with `reason`.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Drive `run_one` for `config.cases` accepted cases. Deterministic:
+    /// case `i` of `test_name` always sees the same RNG stream.
+    pub fn run_cases(
+        config: ProptestConfig,
+        test_name: &str,
+        mut run_one: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let base = test_name.bytes().fold(0xcbf2_9ce4_8422_2325_u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+        let mut accepted = 0u32;
+        let mut attempts = 0u64;
+        let max_attempts = config.cases as u64 * 10 + 1_000;
+        while accepted < config.cases {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "{test_name}: too many rejected cases ({attempts} attempts for {} accepted)",
+                accepted
+            );
+            let mut rng = TestRng::seed_from_u64(base.wrapping_add(attempts));
+            match run_one(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{test_name}: property failed at case {} (attempt {attempts}): {msg}\n\
+                         (shim runner: failing inputs are not shrunk; \
+                         re-run to reproduce — generation is deterministic)",
+                        accepted + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            $crate::test_runner::run_cases($config, stringify!($name), |__rng| {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::new_value(&__strategies, __rng);
+                let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __out
+            });
+        }
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure fails the case with context
+/// instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(left == right)` with value context on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!(left != right)` with value context on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Choose uniformly (or by weight with `w => strat`) among strategies
+/// producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Widget {
+        n: usize,
+        vals: Vec<u8>,
+    }
+
+    fn widget_strategy() -> impl Strategy<Value = Widget> {
+        (1usize..5).prop_flat_map(|n| {
+            collection::vec(0u8..100, n).prop_map(move |vals| Widget { n, vals })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn flat_map_sizes_agree(w in widget_strategy()) {
+            prop_assert_eq!(w.n, w.vals.len());
+            for &v in &w.vals {
+                prop_assert!(v < 100, "value {} out of range", v);
+            }
+        }
+
+        #[test]
+        fn oneof_and_option(choice in prop_oneof![Just(1u32), Just(7), Just(9)],
+                            maybe in option::of(3u64..6)) {
+            prop_assert!(choice == 1 || choice == 7 || choice == 9);
+            if let Some(v) = maybe {
+                prop_assert!((3..6).contains(&v));
+            }
+        }
+
+        #[test]
+        fn tuple_and_ranges(x in 0.25f64..0.75, k in 2u16..9) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((2..9).contains(&k));
+        }
+    }
+
+    // no #[test] meta: expanded as a plain fn so the should_panic wrapper
+    // below can invoke it directly
+    proptest! {
+        fn always_fails(v in 0usize..10) {
+            prop_assert!(v < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::SeedableRng;
+        let s = collection::vec(0u32..1000, 3usize..9);
+        let a: Vec<Vec<u32>> = (0..10)
+            .map(|i| s.new_value(&mut TestRng::seed_from_u64(i)))
+            .collect();
+        let b: Vec<Vec<u32>> = (0..10)
+            .map(|i| s.new_value(&mut TestRng::seed_from_u64(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

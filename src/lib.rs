@@ -18,12 +18,12 @@
 //! | [`sim`] | `sb-sim` | trace replay, latency estimation, failure drills |
 //! | [`store`] | `sb-store` | sharded call-state store + throughput harness |
 //! | [`predict`] | `sb-predict` | MOMC + logistic-regression config predictor |
+//! | [`obs`] | `sb-obs` | metrics registry: counters, histograms, run reports |
 //!
-//! ## Quickstart
+//! Most programs only need [`prelude`]:
 //!
 //! ```
-//! use switchboard::core::{provision, PlanningInputs, ProvisionerParams};
-//! use switchboard::workload::{Generator, WorkloadParams, UniverseParams};
+//! use switchboard::prelude::*;
 //!
 //! // 1. a provider topology (the Fig. 4 three-DC toy; see presets::apac()
 //! //    for the paper's full running example)
@@ -40,12 +40,7 @@
 //! let demand = generator.expected_demand(0, 1);
 //!
 //! // 3. provision compute + WAN jointly (add backup by flipping the flag)
-//! let inputs = PlanningInputs {
-//!     topo: &topo,
-//!     catalog: &generator.universe().catalog,
-//!     demand: &demand,
-//!     latency_threshold_ms: 120.0,
-//! };
+//! let inputs = PlanningInputs::new(&topo, &generator.universe().catalog, &demand);
 //! let opts = ProvisionerParams { with_backup: false, ..Default::default() };
 //! let plan = provision(&inputs, &opts).unwrap();
 //! assert!(plan.capacity.total_cores() > 0.0);
@@ -57,7 +52,99 @@ pub use sb_core as core;
 pub use sb_forecast as forecast;
 pub use sb_lp as lp;
 pub use sb_net as net;
+pub use sb_obs as obs;
 pub use sb_predict as predict;
 pub use sb_sim as sim;
 pub use sb_store as store;
 pub use sb_workload as workload;
+
+use std::fmt;
+
+/// Unified error for programs driving the whole pipeline: every fallible
+/// stage (LP solve, provisioning sweep, forecast fit, trace parsing)
+/// converts into it with `?`.
+#[derive(Debug)]
+pub enum Error {
+    /// An LP engine failed (infeasible, unbounded, bad model).
+    Lp(lp::LpError),
+    /// The provisioning sweep failed (carries the failure scenario).
+    Provision(core::ProvisionError),
+    /// A Holt–Winters fit failed.
+    Forecast(forecast::FitError),
+    /// A call-record trace failed to parse.
+    Trace(workload::persist::PersistError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lp(e) => write!(f, "lp: {e}"),
+            Error::Provision(e) => write!(f, "provision: {e}"),
+            Error::Forecast(e) => write!(f, "forecast: {e}"),
+            Error::Trace(e) => write!(f, "trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Lp(e) => Some(e),
+            Error::Provision(e) => Some(e),
+            Error::Forecast(e) => Some(e),
+            Error::Trace(e) => Some(e),
+        }
+    }
+}
+
+impl From<lp::LpError> for Error {
+    fn from(e: lp::LpError) -> Error {
+        Error::Lp(e)
+    }
+}
+
+impl From<core::ProvisionError> for Error {
+    fn from(e: core::ProvisionError) -> Error {
+        Error::Provision(e)
+    }
+}
+
+impl From<forecast::FitError> for Error {
+    fn from(e: forecast::FitError) -> Error {
+        Error::Forecast(e)
+    }
+}
+
+impl From<workload::persist::PersistError> for Error {
+    fn from(e: workload::persist::PersistError) -> Error {
+        Error::Trace(e)
+    }
+}
+
+/// Convenience result alias over the unified [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The types most programs need, importable with one `use`.
+///
+/// Covers the full pipeline: build a topology and workload, provision
+/// capacity, plan the daily allocation, drive the real-time selector,
+/// replay a trace, and collect metrics.
+pub mod prelude {
+    pub use crate::{Error, Result};
+    pub use sb_core::{
+        allocation_plan, provision, AllocationShares, BaselinePlan, BaselinePolicy, FreezeDecision,
+        LatencyMap, PlannedQuotas, PlanningInputs, ProvisionError, ProvisionerParams,
+        ProvisioningPlan, RealtimeSelector, ScenarioSolution, SelectorStats,
+    };
+    pub use sb_lp::{
+        DenseSimplex, LpError, LpProblem, RevisedSimplex, Solution, SolveStats, Solver,
+    };
+    pub use sb_net::{FailureScenario, ProvisionedCapacity, RoutingTable, Topology};
+    pub use sb_obs::{MetricsRegistry, ScopedTimer};
+    pub use sb_sim::{replay, ReplayConfig, ReplayReport};
+    pub use sb_store::{measure_throughput, CallStateStore, ShardedMap};
+    pub use sb_workload::{
+        CallConfig, CallRecordsDb, ConfigCatalog, DemandMatrix, Generator, MediaType,
+        UniverseParams, WorkloadParams,
+    };
+}

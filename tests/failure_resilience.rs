@@ -11,7 +11,11 @@ use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
 fn every_single_failure_is_absorbed() {
     let topo = switchboard::net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 90, seed: 33, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 90,
+            seed: 33,
+            ..Default::default()
+        },
         daily_calls: 1_000.0,
         slot_minutes: 240,
         seed: 33,
@@ -20,8 +24,10 @@ fn every_single_failure_is_absorbed() {
     let generator = Generator::new(&topo, params);
     let demand = generator.sample_demand(0, 7, 2);
     let selected = demand.top_configs_covering(0.9);
-    let envelope =
-        demand.filtered(&selected).scaled(1.2).envelope_day(generator.slots_per_day());
+    let envelope = demand
+        .filtered(&selected)
+        .scaled(1.2)
+        .envelope_day(generator.slots_per_day());
     let inputs = PlanningInputs {
         topo: &topo,
         catalog: &generator.universe().catalog,
@@ -40,13 +46,22 @@ fn every_single_failure_is_absorbed() {
     // backup costs something, but less than doubling
     let serving_cost = plan.serving.cost(&topo);
     assert!(plan.cost > serving_cost);
-    assert!(plan.cost < 2.5 * serving_cost, "backup overhead implausible");
+    assert!(
+        plan.cost < 2.5 * serving_cost,
+        "backup overhead implausible"
+    );
 
     // drills: inject every failure against a sampled trace; nobody may be
     // stranded, and re-homed calls stay within the latency universe
     let db = generator.sample_records(2, 1, 5);
     for sc in FailureScenario::enumerate(&topo) {
-        let report = drill(&topo, &generator.universe().catalog, &db, sc, &plan.capacity);
+        let report = drill(
+            &topo,
+            &generator.universe().catalog,
+            &db,
+            sc,
+            &plan.capacity,
+        );
         assert_eq!(report.stranded, 0, "{sc:?} stranded calls");
         if let FailureScenario::DcDown(_) = sc {
             assert!(report.rehomed > 0 || report.mean_acl_ms > 0.0);
@@ -60,7 +75,11 @@ fn serving_only_plan_fails_drills_that_backup_absorbs() {
     // a serving-only plan should violate capacity under some DC failure
     let topo = switchboard::net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 90, seed: 34, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 90,
+            seed: 34,
+            ..Default::default()
+        },
         daily_calls: 1_000.0,
         slot_minutes: 240,
         seed: 34,
@@ -69,28 +88,45 @@ fn serving_only_plan_fails_drills_that_backup_absorbs() {
     let generator = Generator::new(&topo, params);
     let demand = generator.sample_demand(0, 7, 2);
     let selected = demand.top_configs_covering(0.9);
-    let envelope = demand.filtered(&selected).envelope_day(generator.slots_per_day());
+    let envelope = demand
+        .filtered(&selected)
+        .envelope_day(generator.slots_per_day());
     let inputs = PlanningInputs {
         topo: &topo,
         catalog: &generator.universe().catalog,
         demand: &envelope,
         latency_threshold_ms: 120.0,
     };
-    let serving_only =
-        provision(&inputs, &ProvisionerParams { with_backup: false, ..Default::default() })
-            .expect("provisioning");
+    let serving_only = provision(
+        &inputs,
+        &ProvisionerParams {
+            with_backup: false,
+            ..Default::default()
+        },
+    )
+    .expect("provisioning");
     let with_backup = provision(&inputs, &ProvisionerParams::default()).expect("provisioning");
     let db = generator.sample_records(2, 1, 6);
     let mut serving_violations = 0u64;
     let mut backup_violations = 0u64;
     for dc in topo.dc_ids() {
         let sc = FailureScenario::DcDown(dc);
-        serving_violations +=
-            drill(&topo, &generator.universe().catalog, &db, sc, &serving_only.capacity)
-                .violations;
-        backup_violations +=
-            drill(&topo, &generator.universe().catalog, &db, sc, &with_backup.capacity)
-                .violations;
+        serving_violations += drill(
+            &topo,
+            &generator.universe().catalog,
+            &db,
+            sc,
+            &serving_only.capacity,
+        )
+        .violations;
+        backup_violations += drill(
+            &topo,
+            &generator.universe().catalog,
+            &db,
+            sc,
+            &with_backup.capacity,
+        )
+        .violations;
     }
     assert!(
         serving_violations > backup_violations,

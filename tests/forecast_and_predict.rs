@@ -11,7 +11,11 @@ use switchboard::workload::{ConfigId, Generator, UniverseParams, WorkloadParams}
 fn per_config_forecast_accuracy() {
     let topo = switchboard::net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 200, seed: 44, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 200,
+            seed: 44,
+            ..Default::default()
+        },
         daily_calls: 8_000.0,
         slot_minutes: 120,
         seed: 44,
@@ -44,7 +48,12 @@ fn momc_beats_last_instance_baseline_on_workload_series() {
     let topo = switchboard::net::presets::apac();
     let (series, occurrences) = generate_series(
         &topo,
-        &SeriesParams { num_series: 150, occurrences: 10, max_roster: 40, seed: 5 },
+        &SeriesParams {
+            num_series: 150,
+            occurrences: 10,
+            max_roster: 40,
+            seed: 5,
+        },
     );
     let histories: Vec<SeriesHistory> = series
         .iter()
@@ -79,7 +88,11 @@ fn forecast_feeds_provisioning_demand() {
     use switchboard::workload::DemandMatrix;
     let topo = switchboard::net::presets::apac();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 100, seed: 46, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 100,
+            seed: 46,
+            ..Default::default()
+        },
         daily_calls: 2_000.0,
         slot_minutes: 120,
         seed: 46,

@@ -13,7 +13,11 @@ use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
 
 fn generator(topo: &switchboard::net::Topology) -> Generator<'_> {
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 150, seed: 21, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 150,
+            seed: 21,
+            ..Default::default()
+        },
         daily_calls: 2_000.0,
         slot_minutes: 120,
         seed: 21,
@@ -38,8 +42,14 @@ fn provision_allocate_replay() {
     };
 
     // provision (serving only — backup covered by the failure test)
-    let plan = provision(&inputs, &ProvisionerParams { with_backup: false, ..Default::default() })
-        .expect("provisioning succeeds");
+    let plan = provision(
+        &inputs,
+        &ProvisionerParams {
+            with_backup: false,
+            ..Default::default()
+        },
+    )
+    .expect("provisioning succeeds");
     assert!(plan.capacity.total_cores() > 0.0);
     assert!((placed_fraction(&planned, &plan.f0_shares) - 1.0).abs() < 1e-6);
 
@@ -48,8 +58,16 @@ fn provision_allocate_replay() {
     let shares = allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default())
         .expect("allocation plan");
     assert!((placed_fraction(&planned, &shares) - 1.0).abs() < 1e-6);
-    let acl = mean_acl(&sd0.latmap, &generator.universe().catalog, &planned, &shares);
-    assert!(acl < 120.0, "planned mean ACL {acl} must sit under the threshold");
+    let acl = mean_acl(
+        &sd0.latmap,
+        &generator.universe().catalog,
+        &planned,
+        &shares,
+    );
+    assert!(
+        acl < 120.0,
+        "planned mean ACL {acl} must sit under the threshold"
+    );
 
     // replay the sampled day through the real-time selector
     let db = generator.sample_records(day, 1, 13);
@@ -67,10 +85,17 @@ fn provision_allocate_replay() {
     );
     assert_eq!(report.calls as usize, db.len());
     // per-call mean ACL also under the bound (replay uses real placements)
-    assert!(report.mean_acl_ms < 120.0, "replayed ACL {}", report.mean_acl_ms);
+    assert!(
+        report.mean_acl_ms < 120.0,
+        "replayed ACL {}",
+        report.mean_acl_ms
+    );
     // migrations occur but stay a small fraction (§6.4: ~1.5% in the paper)
     let migration = report.selector.migration_rate();
-    assert!(migration < 0.15, "migration rate {migration} implausibly high");
+    assert!(
+        migration < 0.15,
+        "migration rate {migration} implausibly high"
+    );
     // most calls follow the plan (quota overflow must be the exception)
     let overflow_frac = report.selector.overflow as f64 / report.calls as f64;
     assert!(overflow_frac < 0.30, "overflow fraction {overflow_frac}");
@@ -91,8 +116,14 @@ fn replayed_usage_stays_within_capacity_envelope() {
         demand: &planned,
         latency_threshold_ms: 120.0,
     };
-    let plan = provision(&inputs, &ProvisionerParams { with_backup: false, ..Default::default() })
-        .expect("provisioning succeeds");
+    let plan = provision(
+        &inputs,
+        &ProvisionerParams {
+            with_backup: false,
+            ..Default::default()
+        },
+    )
+    .expect("provisioning succeeds");
     let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
     let shares = allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default())
         .expect("allocation plan");
@@ -110,7 +141,10 @@ fn replayed_usage_stays_within_capacity_envelope() {
     for c in cushioned.cores.iter_mut() {
         *c *= 1.25;
     }
-    let cfg = ReplayConfig { capacity: Some(cushioned), ..Default::default() };
+    let cfg = ReplayConfig {
+        capacity: Some(cushioned),
+        ..Default::default()
+    };
     let report = replay(
         &topo,
         &sd0.routing,

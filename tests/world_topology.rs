@@ -3,8 +3,8 @@
 //! stays in-region, and provisioning still succeeds for every scheme.
 
 use switchboard::core::{
-    provision, provision_baseline, BaselinePolicy, LatencyMap, PlanningInputs,
-    ProvisionerParams, ScenarioData,
+    provision, provision_baseline, BaselinePolicy, LatencyMap, PlanningInputs, ProvisionerParams,
+    ScenarioData,
 };
 use switchboard::net::FailureScenario;
 use switchboard::workload::{Generator, UniverseParams, WorkloadParams};
@@ -17,7 +17,10 @@ fn latency_filter_binds_across_oceans() {
     // Australia cannot be hosted in Dublin within 120 ms one-way …
     let au = topo.country_by_name("AU");
     let dublin = topo.dc_by_name("Dublin");
-    let au_cfg = switchboard::workload::CallConfig::new(vec![(au, 3)], switchboard::workload::MediaType::Audio);
+    let au_cfg = switchboard::workload::CallConfig::new(
+        vec![(au, 3)],
+        switchboard::workload::MediaType::Audio,
+    );
     assert!(latmap.acl(&au_cfg, dublin).unwrap() > 120.0);
     let allowed = latmap.allowed_dcs(&au_cfg, 120.0);
     assert!(allowed.iter().all(|&(d, _)| d != dublin));
@@ -29,7 +32,11 @@ fn latency_filter_binds_across_oceans() {
 fn world_provisioning_keeps_demand_regional() {
     let topo = switchboard::net::presets::world();
     let params = WorkloadParams {
-        universe: UniverseParams { num_configs: 200, seed: 71, ..Default::default() },
+        universe: UniverseParams {
+            num_configs: 200,
+            seed: 71,
+            ..Default::default()
+        },
         daily_calls: 3_000.0,
         slot_minutes: 240,
         seed: 71,
@@ -38,7 +45,9 @@ fn world_provisioning_keeps_demand_regional() {
     let generator = Generator::new(&topo, params);
     let demand = generator.sample_demand(0, 7, 1);
     let selected = demand.top_configs_covering(0.7);
-    let envelope = demand.filtered(&selected).envelope_day(generator.slots_per_day());
+    let envelope = demand
+        .filtered(&selected)
+        .envelope_day(generator.slots_per_day());
     let inputs = PlanningInputs {
         topo: &topo,
         catalog: &generator.universe().catalog,
@@ -47,8 +56,14 @@ fn world_provisioning_keeps_demand_regional() {
     };
     // serving-only SB plan (the full 48-scenario backup sweep is exercised on
     // the APAC tests; here the point is the multi-region structure)
-    let plan = provision(&inputs, &ProvisionerParams { with_backup: false, ..Default::default() })
-        .expect("world provisioning");
+    let plan = provision(
+        &inputs,
+        &ProvisionerParams {
+            with_backup: false,
+            ..Default::default()
+        },
+    )
+    .expect("world provisioning");
     // every region with demand gets cores somewhere in-region
     let sd = ScenarioData::compute(&topo, FailureScenario::None);
     let latmap = &sd.latmap;
@@ -64,8 +79,10 @@ fn world_provisioning_keeps_demand_regional() {
         if regional_demand < 1.0 {
             continue;
         }
-        let regional_cores: f64 =
-            topo.dcs_in_region(region.id).map(|d| plan.capacity.cores[d.id.index()]).sum();
+        let regional_cores: f64 = topo
+            .dcs_in_region(region.id)
+            .map(|d| plan.capacity.cores[d.id.index()])
+            .sum();
         assert!(
             regional_cores > 0.0,
             "region {} has demand but no cores",
