@@ -36,7 +36,7 @@ fn main() {
         let peak_slot = series
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap();
         let peak_hh = peak_slot / 2;

@@ -16,7 +16,7 @@ fn part_a(generator: &Generator<'_>) {
         .universe()
         .specs
         .iter()
-        .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+        .max_by(|a, b| a.weight.total_cmp(&b.weight))
         .unwrap()
         .id;
     let train_days = 9 * 30;
@@ -50,7 +50,7 @@ fn part_b(generator: &Generator<'_>) {
             (id, if early > 0.0 { late / early } else { 1.0 })
         })
         .collect();
-    rates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    rates.sort_by(|a, b| b.1.total_cmp(&a.1));
     let max_rate = rates[0].1;
     println!("config        growth (4mo)   normalized to max (paper's Fig. 7b normalization)");
     for (id, r) in &rates {
@@ -78,7 +78,7 @@ fn part_c() {
         },
     );
     let mut weights: Vec<f64> = universe.specs.iter().map(|s| s.weight).collect();
-    weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    weights.sort_by(|a, b| b.total_cmp(a));
     let n = weights.len();
     let coverage = |frac: f64| -> f64 {
         weights

@@ -22,7 +22,7 @@ fn main() {
     let generator = Generator::new(&topo, params);
     // rank configs by weight and take the head
     let mut ranked: Vec<_> = generator.universe().specs.iter().collect();
-    ranked.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+    ranked.sort_by(|a, b| b.weight.total_cmp(&a.weight));
     let season = generator.slots_per_day() * 7;
     let train_days = 9 * 30;
     let test_days = 3 * 30;

@@ -1,0 +1,285 @@
+//! §6.3 failure drills, mid-replay edition: sweep every single-DC and
+//! single-link failure as a *timed* chaos timeline (fault hits mid-day,
+//! recovers two hours later) against the backup-provisioned capacity, and
+//! verify the real-time selector re-homes every affected call with zero
+//! stranded calls and zero capacity violations. A deliberately undersized
+//! deployment is run as a negative control — it must violate.
+//!
+//! ```sh
+//! cargo run --release -p sb-bench --bin sec63_failure_drills            # full sweep (APAC)
+//! cargo run --release -p sb-bench --bin sec63_failure_drills -- --smoke # CI smoke (toy topo)
+//! cargo run --release -p sb-bench --bin sec63_failure_drills -- --metrics results/sec63.tsv
+//! ```
+
+use sb_bench::common::{dump_metrics, metrics_path_from_args, print_table};
+use sb_core::formulation::{PlanningInputs, ScenarioData, SolveOptions};
+use sb_core::provision::{provision, ProvisionerParams};
+use sb_core::{allocation_plan, PlannedQuotas};
+use sb_net::{FailureScenario, Node, ProvisionedCapacity, RoutingTable, Topology};
+use sb_sim::{chaos_replay, ChaosConfig, ChaosReport, FaultTimeline};
+use sb_workload::{CallRecordsDb, ConfigCatalog, Generator, UniverseParams, WorkloadParams};
+
+fn node_name(topo: &Topology, n: Node) -> String {
+    match n {
+        Node::Dc(d) => topo.dcs[d.index()].name.clone(),
+        Node::Edge(c) => topo.countries[c.index()].name.clone(),
+    }
+}
+
+fn scenario_label(topo: &Topology, sc: FailureScenario) -> String {
+    match sc {
+        FailureScenario::None => "healthy".to_string(),
+        FailureScenario::DcDown(dc) => format!("DC {} down", topo.dcs[dc.index()].name),
+        FailureScenario::LinkDown(l) => {
+            let link = &topo.links[l.index()];
+            format!(
+                "link {}–{} down",
+                node_name(topo, link.a),
+                node_name(topo, link.b)
+            )
+        }
+    }
+}
+
+struct Drill {
+    topo: Topology,
+    catalog: ConfigCatalog,
+    db: CallRecordsDb,
+    quotas: PlannedQuotas,
+    deployed: ProvisionedCapacity,
+    scenarios: Vec<FailureScenario>,
+    fault_at: u64,
+    recover_at: u64,
+}
+
+fn build(smoke: bool) -> Drill {
+    let topo = if smoke {
+        sb_net::presets::toy_three_dc()
+    } else {
+        sb_net::presets::apac()
+    };
+    let (num_configs, daily_calls) = if smoke { (60, 600.0) } else { (300, 3_000.0) };
+    let params = WorkloadParams {
+        universe: UniverseParams {
+            num_configs,
+            ..Default::default()
+        },
+        daily_calls,
+        slot_minutes: 120,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+
+    // plan day 2 from expected demand (§5.3 daily offline stage), with the
+    // §5.2 head-selection + cushion, then provision with single-failure
+    // backup capacity (the Table-3 "SB" configuration)
+    let day = 2;
+    let expected = generator.expected_demand(day, 1);
+    let selected = expected.top_configs_covering(0.9);
+    let planned = expected.filtered(&selected).scaled(1.1);
+    let inputs = PlanningInputs::new(&topo, &generator.universe().catalog, &planned);
+    eprintln!("provisioning with single-failure backup …");
+    let plan = provision(&inputs, &ProvisionerParams::default()).expect("provision");
+
+    // Deployed capacity: elementwise max of the SB plan and the
+    // locality-first baseline. The LP provisions for plan-following calls,
+    // but for the first A minutes (and whenever the ladder degrades) calls
+    // sit at the DC *closest* to their first joiner — exactly the traffic
+    // shape LF provisions for. The 1.25 cushion covers the trace's tail
+    // configs the head-selected LP never saw.
+    let lf = sb_core::provision_baseline(sb_core::BaselinePolicy::LocalityFirst, &inputs, true);
+    let mut deployed = plan.capacity.clone();
+    for (c, &l) in deployed.cores.iter_mut().zip(&lf.capacity.cores) {
+        *c = c.max(l);
+    }
+    for (g, &l) in deployed.gbps.iter_mut().zip(&lf.capacity.gbps) {
+        *g = g.max(l);
+    }
+    // Links: the plan splits a country's leg traffic across specific paths,
+    // but the first-joiner heuristic (and mid-fault re-homing) can steer all
+    // of it toward any reachable DC — over its uplinks and, for DCs the
+    // country has no direct uplink to, through transit DC–DC mesh links.
+    // Floor every link at the summed provisioned uplink traffic of each
+    // country that can route over it under any single-fault scenario.
+    let mut uplink_total = vec![0.0f64; topo.countries.len()];
+    for link in &topo.links {
+        for n in [link.a, link.b] {
+            if let Node::Edge(c) = n {
+                uplink_total[c.index()] += deployed.gbps[link.id.index()];
+            }
+        }
+    }
+    let mut can_transit = vec![vec![false; topo.links.len()]; topo.countries.len()];
+    for sc in FailureScenario::enumerate(&topo) {
+        let rt = RoutingTable::compute(&topo, sc);
+        for c in topo.country_ids() {
+            for dd in topo.dc_ids() {
+                if let Some(route) = rt.route(c, dd) {
+                    for &l in &route.links {
+                        can_transit[c.index()][l.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+    for l in topo.link_ids() {
+        let transit: f64 = topo
+            .country_ids()
+            .filter(|c| can_transit[c.index()][l.index()])
+            .map(|c| uplink_total[c.index()])
+            .sum();
+        let g = &mut deployed.gbps[l.index()];
+        *g = g.max(transit);
+    }
+    for c in deployed.cores.iter_mut() {
+        *c *= 1.25;
+    }
+    for g in deployed.gbps.iter_mut() {
+        *g *= 1.25;
+    }
+
+    let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
+    let shares = allocation_plan(&inputs, &sd0, &deployed, &SolveOptions::default())
+        .expect("allocation plan");
+    let quotas = PlannedQuotas::from_plan(&shares, &planned);
+    let db = generator.sample_records(day, 1, 4);
+    eprintln!("trace: {} calls on day {day}", db.len());
+    let catalog = generator.universe().catalog.clone();
+
+    let scenarios: Vec<FailureScenario> = if smoke {
+        vec![
+            FailureScenario::DcDown(topo.dc_by_name("Tokyo")),
+            FailureScenario::LinkDown(sb_net::LinkId(0)),
+        ]
+    } else {
+        FailureScenario::enumerate(&topo)
+            .into_iter()
+            .filter(|s| *s != FailureScenario::None)
+            .collect()
+    };
+    // fault hits 10h into the day (inside the busy period), heals 2h later
+    let day_start = day as u64 * 24 * 60;
+    Drill {
+        topo,
+        catalog,
+        db,
+        quotas,
+        deployed,
+        scenarios,
+        fault_at: day_start + 10 * 60,
+        recover_at: day_start + 12 * 60,
+    }
+}
+
+fn run_one(d: &Drill, sc: FailureScenario, capacity: &ProvisionedCapacity) -> ChaosReport {
+    let timeline = FaultTimeline::from_scenario(sc, d.fault_at, Some(d.recover_at));
+    let cfg = ChaosConfig {
+        capacity: Some(capacity.clone()),
+        window_minutes: 60,
+        ..ChaosConfig::default()
+    };
+    chaos_replay(
+        &d.topo,
+        &d.catalog,
+        &d.db,
+        &timeline,
+        d.quotas.clone(),
+        &cfg,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let metrics = metrics_path_from_args();
+    let d = build(smoke);
+
+    println!(
+        "== §6.3 failure drills: mid-replay fault at minute {} (+2h recovery) ==\n",
+        d.fault_at
+    );
+    if std::env::var_os("SB_DEBUG_PEAKS").is_some() {
+        let r = run_one(&d, FailureScenario::None, &d.deployed);
+        eprintln!("healthy replay: {} violations", r.capacity_violations);
+        for (i, (&p, &c)) in r.peaks.cores.iter().zip(&d.deployed.cores).enumerate() {
+            eprintln!(
+                "  dc {i} {}: peak {:.2} / cap {:.2}",
+                d.topo.dcs[i].name, p, c
+            );
+        }
+        for (i, (&p, &c)) in r.peaks.gbps.iter().zip(&d.deployed.gbps).enumerate() {
+            if p > c {
+                let l = &d.topo.links[i];
+                eprintln!(
+                    "  link {i} {}-{}: peak {:.4} / cap {:.4} OVER",
+                    node_name(&d.topo, l.a),
+                    node_name(&d.topo, l.b),
+                    p,
+                    c
+                );
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    let mut bad = Vec::new();
+    for &sc in &d.scenarios {
+        let r = run_one(&d, sc, &d.deployed);
+        if r.stranded > 0 || r.capacity_violations > 0 {
+            bad.push(scenario_label(&d.topo, sc));
+        }
+        rows.push(vec![
+            scenario_label(&d.topo, sc),
+            r.forced_migrations.to_string(),
+            r.plan_migrations.to_string(),
+            r.stranded.to_string(),
+            r.capacity_violations.to_string(),
+            format!("{:.2}", r.worst_overshoot),
+            format!("{:.1}", r.mean_acl_ms),
+        ]);
+    }
+    print_table(
+        &[
+            "timeline",
+            "forced",
+            "plan-migr",
+            "stranded",
+            "violations",
+            "overshoot",
+            "ACL(ms)",
+        ],
+        &rows,
+    );
+
+    // negative control: a deployment at 10% of the provisioned capacity
+    // must blow through its limits under the first DC failure — proves the
+    // violation accounting actually bites
+    let mut undersized = d.deployed.clone();
+    for c in undersized.cores.iter_mut() {
+        *c *= 0.1;
+    }
+    for g in undersized.gbps.iter_mut() {
+        *g *= 0.1;
+    }
+    let control = run_one(&d, d.scenarios[0], &undersized);
+    println!(
+        "\nnegative control (10% capacity, {}): {} violations, worst overshoot {:.2}",
+        scenario_label(&d.topo, d.scenarios[0]),
+        control.capacity_violations,
+        control.worst_overshoot
+    );
+    assert!(
+        control.capacity_violations > 0,
+        "undersized deployment must report violations"
+    );
+
+    if let Some(path) = metrics {
+        dump_metrics(&path);
+    }
+    if !bad.is_empty() {
+        eprintln!("FAILED timelines: {}", bad.join(", "));
+        std::process::exit(1);
+    }
+    println!(
+        "\nall {} single-failure timelines absorbed: 0 stranded, 0 violations ✓",
+        d.scenarios.len()
+    );
+}

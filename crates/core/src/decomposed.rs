@@ -105,11 +105,7 @@ pub fn solve_scenario_greedy(
         }
     }
     // big rocks first
-    items.sort_by(|a, b| {
-        (b.demand * b.call_cl)
-            .partial_cmp(&(a.demand * a.call_cl))
-            .unwrap()
-    });
+    items.sort_by(|a, b| (b.demand * b.call_cl).total_cmp(&(a.demand * a.call_cl)));
 
     let t_slots = demand.num_slots();
     let mut use_cores = vec![vec![0.0f64; topo.dcs.len()]; t_slots];
@@ -163,11 +159,9 @@ pub fn solve_scenario_greedy(
     for i in 0..items.len() {
         let best = (0..items[i].allowed.len())
             .min_by(|&a, &b| {
-                marginal(&items[i], a, &use_cores, &use_gbps, &cap_cores, &cap_gbps)
-                    .partial_cmp(&marginal(
-                        &items[i], b, &use_cores, &use_gbps, &cap_cores, &cap_gbps,
-                    ))
-                    .unwrap()
+                marginal(&items[i], a, &use_cores, &use_gbps, &cap_cores, &cap_gbps).total_cmp(
+                    &marginal(&items[i], b, &use_cores, &use_gbps, &cap_cores, &cap_gbps),
+                )
             })
             .expect("allowed is non-empty");
         items[i].choice = best;
@@ -192,11 +186,9 @@ pub fn solve_scenario_greedy(
             recompute_caps(&use_cores, &use_gbps, &mut cap_cores, &mut cap_gbps);
             let best = (0..items[i].allowed.len())
                 .min_by(|&a, &b| {
-                    marginal(&items[i], a, &use_cores, &use_gbps, &cap_cores, &cap_gbps)
-                        .partial_cmp(&marginal(
-                            &items[i], b, &use_cores, &use_gbps, &cap_cores, &cap_gbps,
-                        ))
-                        .unwrap()
+                    marginal(&items[i], a, &use_cores, &use_gbps, &cap_cores, &cap_gbps).total_cmp(
+                        &marginal(&items[i], b, &use_cores, &use_gbps, &cap_cores, &cap_gbps),
+                    )
                 })
                 .unwrap();
             items[i].choice = best;

@@ -7,7 +7,7 @@
 //! structurally: `S_tcx` variables are only created for DCs whose
 //! `ACL(x,c) ≤ LAT_th` (with the single-best-DC fallback of Eq. 9's note).
 
-use sb_lp::{LpError, LpProblem, RevisedSimplex, Solver, Var};
+use sb_lp::{GuardedSimplex, LpError, LpProblem, RevisedSimplex, Solver, Var};
 use sb_net::{DcId, FailureScenario, LinkId, ProvisionedCapacity, RoutingTable, Topology};
 use sb_workload::{ConfigCatalog, ConfigId, DemandMatrix};
 
@@ -161,8 +161,14 @@ pub struct SolveOptions {
     /// reports inflated requirements to the cross-scenario union. Must
     /// dominate `acl_epsilon`'s term and stay ≪ 1.
     pub usage_epsilon: f64,
-    /// Simplex engine configuration.
+    /// Simplex engine configuration (the primary engine, including any
+    /// iteration/time budget).
     pub solver: RevisedSimplex,
+    /// When the primary engine exhausts its budget or hits a numerical
+    /// wall, retry with the dense tableau engine instead of failing the
+    /// scenario (see [`sb_lp::GuardedSimplex`]). On by default: a degraded
+    /// solve beats a provisioning outage.
+    pub fallback_to_dense: bool,
 }
 
 impl Default for SolveOptions {
@@ -172,6 +178,7 @@ impl Default for SolveOptions {
             acl_epsilon: 1e-6,
             usage_epsilon: 1e-3,
             solver: RevisedSimplex::new(),
+            fallback_to_dense: true,
         }
     }
 }
@@ -230,7 +237,7 @@ pub fn solve_scenario(
             .collect();
         let mut order: Vec<usize> = (0..t_slots).collect();
         let totals: Vec<f64> = cols.iter().map(|c| c.iter().sum()).collect();
-        order.sort_by(|&a, &b| totals[b].partial_cmp(&totals[a]).unwrap().then(a.cmp(&b)));
+        order.sort_by(|&a, &b| totals[b].total_cmp(&totals[a]).then(a.cmp(&b)));
         let mut kept: Vec<usize> = Vec::new();
         for &s in &order {
             match kept
@@ -388,13 +395,15 @@ pub fn solve_scenario(
         let _ = std::fs::write(path, sb_lp::to_lp_format(&lp));
     }
     let build_wall = build_start.elapsed();
-    let sol = opts
-        .solver
-        .solve(&lp)
-        .map_err(|source| ProvisionError::Lp {
-            scenario: sd.scenario,
-            source,
-        })?;
+    let guarded = GuardedSimplex {
+        primary: opts.solver.clone(),
+        fallback_to_dense: opts.fallback_to_dense,
+        dense_var_limit: 0,
+    };
+    let sol = guarded.solve(&lp).map_err(|source| ProvisionError::Lp {
+        scenario: sd.scenario,
+        source,
+    })?;
 
     // extract capacity: base plus purchased increment (base counts only where
     // the resource is actually usable under this scenario)

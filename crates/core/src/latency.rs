@@ -95,12 +95,22 @@ impl LatencyMap {
     /// Closest DC to a single country (used by the first-joiner heuristic,
     /// §5.4).
     pub fn closest_dc(&self, country: CountryId) -> Option<DcId> {
+        self.closest_dc_where(country, |_| true).map(|(dc, _)| dc)
+    }
+
+    /// Closest DC to `country` among those passing `allow` (e.g. DCs still
+    /// up under a failure mask), with its latency.
+    pub fn closest_dc_where(
+        &self,
+        country: CountryId,
+        allow: impl Fn(DcId) -> bool,
+    ) -> Option<(DcId, f64)> {
         let row = &self.ms[country.index()];
         row.iter()
             .enumerate()
-            .filter_map(|(x, l)| l.map(|v| (x, v)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .map(|(x, _)| DcId(x as u16))
+            .filter_map(|(x, l)| l.map(|v| (DcId(x as u16), v)))
+            .filter(|&(dc, _)| allow(dc))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

@@ -92,6 +92,10 @@ pub(crate) struct RealtimeMetrics {
     pub(crate) migrations: Counter,
     pub(crate) unplanned: Counter,
     pub(crate) overflow: Counter,
+    pub(crate) forced_migrations: Counter,
+    pub(crate) stranded: Counter,
+    pub(crate) degraded_any: Counter,
+    pub(crate) unknown_events: Counter,
     pub(crate) selection_ns: Histogram,
 }
 
@@ -105,6 +109,10 @@ pub(crate) fn realtime_metrics() -> &'static RealtimeMetrics {
             migrations: reg.counter("realtime.migrations"),
             unplanned: reg.counter("realtime.unplanned"),
             overflow: reg.counter("realtime.overflow"),
+            forced_migrations: reg.counter("realtime.forced_migrations"),
+            stranded: reg.counter("realtime.stranded"),
+            degraded_any: reg.counter("realtime.degraded_any"),
+            unknown_events: reg.counter("realtime.unknown_events"),
             selection_ns: reg.histogram("realtime.selection_ns"),
         }
     })

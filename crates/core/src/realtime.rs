@@ -2,6 +2,14 @@
 //! participant joins (closest-DC heuristic), tally the call against the
 //! precomputed allocation plan once its config freezes (A = 300 s in), and
 //! migrate when the initial choice disagrees with the plan.
+//!
+//! The selector is the controller's hot path, so it must *degrade*, never
+//! panic: when the allocation plan is missing, stale, or names a failed DC,
+//! placement falls down a ladder — plan → locality-first → any-reachable-DC
+//! — and every placement reports which [`SelectorRung`] served it. The
+//! chaos engine (`sb-sim::chaos`) drives the same ladder mid-call via
+//! [`RealtimeSelector::rehome_call`] when a hosting DC fails, and pushes
+//! updated topology views in via [`RealtimeSelector::update_topology`].
 
 use std::collections::HashMap;
 
@@ -43,7 +51,7 @@ impl PlannedQuotas {
                 .enumerate()
                 .map(|(i, &(_, t))| (i, t - t.floor()))
                 .collect();
-            remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
             let total_target: f64 = targets.iter().map(|&(_, t)| t).sum();
             let want = total_target.round() as u32;
             for k in 0..(want.saturating_sub(assigned)) as usize {
@@ -90,22 +98,28 @@ pub enum FreezeDecision {
         /// Plan-mandated DC.
         to: DcId,
     },
-    /// Config was not in the plan (unanticipated config, §5.4(b) last ¶):
-    /// the call stays at the closest DC.
+    /// Config was not in the plan (unanticipated config, §5.4(b) last ¶),
+    /// or the plan was missing/stale: the call stays at its current DC.
     Unplanned(DcId),
-    /// Planned quotas for this (config, slot) were exhausted everywhere:
-    /// the call stays put and is served from headroom.
+    /// Planned quotas for this (config, slot) were exhausted everywhere
+    /// (or only at failed DCs): the call stays put, served from headroom.
     Overflow(DcId),
+    /// `call_id` was never started (or already ended). Freezing an unknown
+    /// call is a protocol anomaly; it is counted and ignored rather than
+    /// crashing the controller.
+    UnknownCall,
 }
 
 impl FreezeDecision {
-    /// The DC the call is hosted at after the decision.
-    pub fn final_dc(self) -> DcId {
+    /// The DC the call is hosted at after the decision; `None` for
+    /// [`FreezeDecision::UnknownCall`].
+    pub fn final_dc(self) -> Option<DcId> {
         match self {
             FreezeDecision::Stay(d)
             | FreezeDecision::Unplanned(d)
-            | FreezeDecision::Overflow(d) => d,
-            FreezeDecision::Migrate { to, .. } => to,
+            | FreezeDecision::Overflow(d) => Some(d),
+            FreezeDecision::Migrate { to, .. } => Some(to),
+            FreezeDecision::UnknownCall => None,
         }
     }
 
@@ -115,21 +129,81 @@ impl FreezeDecision {
     }
 }
 
+/// Which rung of the degradation ladder served a placement
+/// (plan → locality-first → any-reachable-DC).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SelectorRung {
+    /// The allocation plan named the DC (only reachable on re-homes, where
+    /// the frozen config is known).
+    Plan,
+    /// Closest reachable DC for the relevant country (the §5.4(a) heuristic;
+    /// the normal rung for call starts).
+    Locality,
+    /// No latency estimate for the country — any DC that is still up.
+    AnyReachable,
+}
+
+/// Typed outcome of a placement attempt (call start or forced re-home).
+/// Never panics: when no DC can host the call, the outcome is
+/// [`SelectorOutcome::Stranded`], not a crash.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SelectorOutcome {
+    /// The call is hosted at `dc`, served by ladder rung `rung`.
+    Placed {
+        /// Hosting DC.
+        dc: DcId,
+        /// Ladder rung that produced the placement.
+        rung: SelectorRung,
+    },
+    /// No reachable DC is up: the call cannot be hosted.
+    Stranded,
+}
+
+impl SelectorOutcome {
+    /// Hosting DC, if placed.
+    pub fn dc(self) -> Option<DcId> {
+        match self {
+            SelectorOutcome::Placed { dc, .. } => Some(dc),
+            SelectorOutcome::Stranded => None,
+        }
+    }
+
+    /// Did the placement fail?
+    pub fn is_stranded(self) -> bool {
+        matches!(self, SelectorOutcome::Stranded)
+    }
+}
+
 /// Aggregate selector statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SelectorStats {
     /// Calls started.
     pub calls: u64,
-    /// Calls migrated at config freeze (§6.4 metric).
+    /// Calls migrated at config freeze (§6.4 metric, plan-driven).
     pub migrations: u64,
     /// Calls with a config absent from the plan.
     pub unplanned: u64,
     /// Calls whose planned quotas were exhausted.
     pub overflow: u64,
+    /// Placements that found no up DC at all.
+    pub stranded: u64,
+    /// Mid-call re-homes forced by a failure (distinct from plan
+    /// migrations — see `migrations`).
+    pub forced_migrations: u64,
+    /// Forced re-homes that the plan rung absorbed (quota at an up DC).
+    pub rehomed_plan: u64,
+    /// Placements that fell through to the any-reachable rung.
+    pub degraded_any: u64,
+    /// Freezes handled while the plan was marked stale/invalid.
+    pub plan_stale: u64,
+    /// Freeze events for unknown call ids (counted no-ops).
+    pub unknown_freezes: u64,
+    /// End events for unknown call ids (counted no-ops).
+    pub unknown_ends: u64,
 }
 
 impl SelectorStats {
-    /// Migration rate over all started calls.
+    /// Plan-migration rate over all started calls.
     pub fn migration_rate(&self) -> f64 {
         if self.calls == 0 {
             0.0
@@ -139,25 +213,41 @@ impl SelectorStats {
     }
 }
 
+#[derive(Clone, Debug)]
+struct ActiveCall {
+    dc: DcId,
+    country: CountryId,
+    /// `(config, slot)` recorded at freeze so a later forced re-home can
+    /// try the plan rung first.
+    frozen: Option<(ConfigId, usize)>,
+}
+
 /// The real-time selector state machine.
-pub struct RealtimeSelector<'a> {
-    latmap: &'a LatencyMap,
+///
+/// Owns its topology view (latency map + per-DC health) so the chaos engine
+/// can swap it mid-replay as faults hit and recover.
+pub struct RealtimeSelector {
+    latmap: LatencyMap,
+    dc_up: Vec<bool>,
+    plan_valid: bool,
     quotas: PlannedQuotas,
     remaining: HashMap<(ConfigId, usize), Vec<(DcId, u32)>>,
-    active: HashMap<u64, DcId>,
+    active: HashMap<u64, ActiveCall>,
     closest: Vec<Option<DcId>>,
     stats: SelectorStats,
 }
 
-impl<'a> RealtimeSelector<'a> {
-    /// Build a selector for one planning horizon.
-    pub fn new(latmap: &'a LatencyMap, quotas: PlannedQuotas) -> RealtimeSelector<'a> {
-        let closest = (0..latmap.num_countries())
-            .map(|c| latmap.closest_dc(CountryId(c as u16)))
-            .collect();
+impl RealtimeSelector {
+    /// Build a selector for one planning horizon. All DCs start healthy and
+    /// the plan starts valid.
+    pub fn new(latmap: &LatencyMap, quotas: PlannedQuotas) -> RealtimeSelector {
+        let dc_up = vec![true; latmap.num_dcs()];
+        let closest = Self::compute_closest(latmap, &dc_up);
         let remaining = quotas.quotas.clone();
         RealtimeSelector {
-            latmap,
+            latmap: latmap.clone(),
+            dc_up,
+            plan_valid: true,
             quotas,
             remaining,
             active: HashMap::new(),
@@ -166,31 +256,112 @@ impl<'a> RealtimeSelector<'a> {
         }
     }
 
-    /// First participant joined: assign the DC closest to them (§5.4(a)).
+    fn compute_closest(latmap: &LatencyMap, dc_up: &[bool]) -> Vec<Option<DcId>> {
+        (0..latmap.num_countries())
+            .map(|c| {
+                latmap
+                    .closest_dc_where(CountryId(c as u16), |dc| dc_up[dc.index()])
+                    .map(|(dc, _)| dc)
+            })
+            .collect()
+    }
+
+    /// Swap in a new topology view (latency map + per-DC health), e.g. after
+    /// a fault or a recovery. Existing placements are untouched; call
+    /// [`rehome_call`] for calls hosted at DCs that just went down.
     ///
-    /// # Panics
-    ///
-    /// Panics if `first_joiner` has no reachable DC in the latency map —
-    /// such countries can never host a call and must be filtered upstream.
-    pub fn call_start(&mut self, call_id: u64, first_joiner: CountryId) -> DcId {
+    /// [`rehome_call`]: RealtimeSelector::rehome_call
+    pub fn update_topology(&mut self, latmap: &LatencyMap, dc_up: &[bool]) {
+        debug_assert_eq!(latmap.num_dcs(), dc_up.len());
+        self.latmap = latmap.clone();
+        self.dc_up = dc_up.to_vec();
+        self.closest = Self::compute_closest(&self.latmap, &self.dc_up);
+    }
+
+    /// Mark the allocation plan stale (`false`) or valid again (`true`). A
+    /// stale plan takes the plan rung out of the ladder: freezes degrade to
+    /// [`FreezeDecision::Unplanned`] instead of consulting quotas.
+    pub fn set_plan_valid(&mut self, valid: bool) {
+        self.plan_valid = valid;
+    }
+
+    /// Is the plan currently trusted?
+    pub fn plan_valid(&self) -> bool {
+        self.plan_valid
+    }
+
+    /// Is `dc` currently considered up?
+    pub fn dc_up(&self, dc: DcId) -> bool {
+        self.dc_up[dc.index()]
+    }
+
+    /// Locality-first → any-reachable placement for `country`.
+    fn place(&self, country: CountryId) -> SelectorOutcome {
+        if let Some(dc) = self.closest[country.index()] {
+            return SelectorOutcome::Placed {
+                dc,
+                rung: SelectorRung::Locality,
+            };
+        }
+        // no latency estimate reaches this country; last rung is any up DC
+        if let Some(i) = self.dc_up.iter().position(|&up| up) {
+            return SelectorOutcome::Placed {
+                dc: DcId(i as u16),
+                rung: SelectorRung::AnyReachable,
+            };
+        }
+        SelectorOutcome::Stranded
+    }
+
+    fn record_rung(&mut self, rung: SelectorRung) {
+        let m = crate::metrics::realtime_metrics();
+        match rung {
+            SelectorRung::Plan => self.stats.rehomed_plan += 1,
+            SelectorRung::Locality => {}
+            SelectorRung::AnyReachable => {
+                self.stats.degraded_any += 1;
+                m.degraded_any.inc();
+            }
+        }
+    }
+
+    /// First participant joined: assign the DC closest to them (§5.4(a)),
+    /// falling down the ladder when locality cannot serve. Never panics: a
+    /// country with no reachable DC yields [`SelectorOutcome::Stranded`]
+    /// and the call is not tracked.
+    pub fn call_start(&mut self, call_id: u64, first_joiner: CountryId) -> SelectorOutcome {
         let m = crate::metrics::realtime_metrics();
         let _t = m.selection_ns.start_timer();
-        let dc = self.closest[first_joiner.index()].expect("country has a reachable DC");
         self.stats.calls += 1;
-        m.assignments.inc();
-        self.active.insert(call_id, dc);
-        dc
+        let outcome = self.place(first_joiner);
+        match outcome {
+            SelectorOutcome::Placed { dc, rung } => {
+                m.assignments.inc();
+                self.record_rung(rung);
+                self.active.insert(
+                    call_id,
+                    ActiveCall {
+                        dc,
+                        country: first_joiner,
+                        frozen: None,
+                    },
+                );
+            }
+            SelectorOutcome::Stranded => {
+                self.stats.stranded += 1;
+                m.stranded.inc();
+            }
+        }
+        outcome
     }
 
     /// The call's config froze (A minutes in): tally against the plan and
     /// decide whether to migrate (§5.4(b)(c)).
     ///
-    /// # Panics
-    ///
-    /// Panics if `call_id` was never passed to [`call_start`] (or has
-    /// already ended) — freezing an unknown call is a protocol violation.
-    ///
-    /// [`call_start`]: RealtimeSelector::call_start
+    /// Never panics: an unknown `call_id` returns
+    /// [`FreezeDecision::UnknownCall`] (counted), a stale plan degrades to
+    /// [`FreezeDecision::Unplanned`], and quota held only by failed DCs
+    /// degrades to [`FreezeDecision::Overflow`].
     pub fn config_frozen(
         &mut self,
         call_id: u64,
@@ -200,8 +371,25 @@ impl<'a> RealtimeSelector<'a> {
         let m = crate::metrics::realtime_metrics();
         let _t = m.selection_ns.start_timer();
         m.freezes.inc();
-        let current = *self.active.get(&call_id).expect("unknown call id");
-        let Some(slot) = self.quotas.slot_of_minute(call_start_minute) else {
+        let Some(call) = self.active.get(&call_id) else {
+            self.stats.unknown_freezes += 1;
+            m.unknown_events.inc();
+            return FreezeDecision::UnknownCall;
+        };
+        let current = call.dc;
+        let slot = self.quotas.slot_of_minute(call_start_minute);
+        if let Some(slot) = slot {
+            if let Some(call) = self.active.get_mut(&call_id) {
+                call.frozen = Some((cfg, slot));
+            }
+        }
+        if !self.plan_valid {
+            self.stats.plan_stale += 1;
+            self.stats.unplanned += 1;
+            m.unplanned.inc();
+            return FreezeDecision::Unplanned(current);
+        }
+        let Some(slot) = slot else {
             self.stats.unplanned += 1;
             m.unplanned.inc();
             return FreezeDecision::Unplanned(current);
@@ -212,19 +400,25 @@ impl<'a> RealtimeSelector<'a> {
             return FreezeDecision::Unplanned(current);
         };
         // current DC still has quota → debit and stay
-        if let Some(entry) = rem.iter_mut().find(|(dc, n)| *dc == current && *n > 0) {
-            entry.1 -= 1;
-            return FreezeDecision::Stay(current);
+        if self.dc_up[current.index()] {
+            if let Some(entry) = rem.iter_mut().find(|(dc, n)| *dc == current && *n > 0) {
+                entry.1 -= 1;
+                return FreezeDecision::Stay(current);
+            }
         }
-        // otherwise migrate to the planned DC with the most remaining quota
+        // otherwise migrate to the up planned DC with the most remaining
+        // quota (failed DCs hold dead quota — skip them)
+        let dc_up = &self.dc_up;
         if let Some(entry) = rem
             .iter_mut()
-            .filter(|(_, n)| *n > 0)
+            .filter(|(dc, n)| *n > 0 && dc_up[dc.index()])
             .max_by_key(|(_, n)| *n)
         {
             entry.1 -= 1;
             let to = entry.0;
-            self.active.insert(call_id, to);
+            if let Some(call) = self.active.get_mut(&call_id) {
+                call.dc = to;
+            }
             self.stats.migrations += 1;
             m.migrations.inc();
             return FreezeDecision::Migrate { from: current, to };
@@ -234,14 +428,88 @@ impl<'a> RealtimeSelector<'a> {
         FreezeDecision::Overflow(current)
     }
 
-    /// The call ended; release its bookkeeping.
+    /// A failure displaced this call (its hosting DC went down): re-home it
+    /// down the full ladder — plan (if the config froze and quota remains at
+    /// an up DC) → locality → any-reachable. A successful re-home counts as
+    /// a *forced* migration; [`SelectorOutcome::Stranded`] drops the call.
+    pub fn rehome_call(&mut self, call_id: u64) -> SelectorOutcome {
+        let m = crate::metrics::realtime_metrics();
+        let _t = m.selection_ns.start_timer();
+        let Some(call) = self.active.get(&call_id) else {
+            self.stats.unknown_ends += 1;
+            m.unknown_events.inc();
+            return SelectorOutcome::Stranded;
+        };
+        let (old_dc, country, frozen) = (call.dc, call.country, call.frozen);
+        // plan rung: only for frozen calls with live quota at an up DC
+        let mut outcome = None;
+        if self.plan_valid {
+            if let Some(key) = frozen {
+                let dc_up = &self.dc_up;
+                if let Some(entry) = self.remaining.get_mut(&key).and_then(|rem| {
+                    rem.iter_mut()
+                        .filter(|(dc, n)| *n > 0 && *dc != old_dc && dc_up[dc.index()])
+                        .max_by_key(|(_, n)| *n)
+                }) {
+                    entry.1 -= 1;
+                    outcome = Some(SelectorOutcome::Placed {
+                        dc: entry.0,
+                        rung: SelectorRung::Plan,
+                    });
+                }
+            }
+        }
+        let outcome = outcome.unwrap_or_else(|| self.place(country));
+        match outcome {
+            SelectorOutcome::Placed { dc, rung } => {
+                self.record_rung(rung);
+                if dc != old_dc {
+                    self.stats.forced_migrations += 1;
+                    m.forced_migrations.inc();
+                }
+                if let Some(call) = self.active.get_mut(&call_id) {
+                    call.dc = dc;
+                }
+            }
+            SelectorOutcome::Stranded => {
+                self.stats.stranded += 1;
+                m.stranded.inc();
+                self.active.remove(&call_id);
+            }
+        }
+        outcome
+    }
+
+    /// The call ended; release its bookkeeping. Unknown ids are counted
+    /// no-ops (the call may have been stranded and dropped mid-flight).
     pub fn call_end(&mut self, call_id: u64) {
-        self.active.remove(&call_id);
+        if self.active.remove(&call_id).is_none() {
+            self.stats.unknown_ends += 1;
+            crate::metrics::realtime_metrics().unknown_events.inc();
+        }
     }
 
     /// DC currently hosting a call.
     pub fn current_dc(&self, call_id: u64) -> Option<DcId> {
-        self.active.get(&call_id).copied()
+        self.active.get(&call_id).map(|c| c.dc)
+    }
+
+    /// Ids of calls currently hosted at `dc` (chaos engine: the blast
+    /// radius of a DC failure).
+    pub fn calls_at(&self, dc: DcId) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, c)| c.dc == dc)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of currently-active calls.
+    pub fn active_calls(&self) -> usize {
+        self.active.len()
     }
 
     /// Statistics so far.
@@ -251,7 +519,7 @@ impl<'a> RealtimeSelector<'a> {
 
     /// The latency map in use.
     pub fn latmap(&self) -> &LatencyMap {
-        self.latmap
+        &self.latmap
     }
 }
 
@@ -302,8 +570,14 @@ mod tests {
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 2.0);
         let mut sel = RealtimeSelector::new(&lm, q);
-        let dc = sel.call_start(1, CountryId(0));
-        assert_eq!(dc, DcId(0));
+        let out = sel.call_start(1, CountryId(0));
+        assert_eq!(
+            out,
+            SelectorOutcome::Placed {
+                dc: DcId(0),
+                rung: SelectorRung::Locality
+            }
+        );
         let d = sel.config_frozen(1, cfg, 0);
         assert_eq!(d, FreezeDecision::Stay(DcId(0)));
         assert_eq!(sel.stats().migrations, 0);
@@ -365,8 +639,151 @@ mod tests {
         let other = ConfigId(42);
         let d = sel.config_frozen(1, other, 0);
         assert!(matches!(d, FreezeDecision::Unplanned(_)));
-        assert_eq!(d.final_dc(), DcId(1));
+        assert_eq!(d.final_dc(), Some(DcId(1)));
         sel.call_end(1);
         assert_eq!(sel.current_dc(1), None);
+    }
+
+    #[test]
+    fn unknown_ids_are_counted_noops_not_panics() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        assert_eq!(sel.config_frozen(99, cfg, 0), FreezeDecision::UnknownCall);
+        assert_eq!(sel.config_frozen(99, cfg, 0).final_dc(), None);
+        sel.call_end(99);
+        sel.call_end(99);
+        assert_eq!(sel.stats().unknown_freezes, 2);
+        assert_eq!(sel.stats().unknown_ends, 2);
+    }
+
+    #[test]
+    fn stale_plan_degrades_to_unplanned() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        // the plan would migrate this call to DC1 — but it is stale
+        let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        sel.set_plan_valid(false);
+        assert!(!sel.plan_valid());
+        sel.call_start(1, CountryId(0));
+        let d = sel.config_frozen(1, cfg, 0);
+        assert_eq!(d, FreezeDecision::Unplanned(DcId(0)));
+        assert_eq!(sel.stats().plan_stale, 1);
+        assert_eq!(sel.stats().migrations, 0);
+        // plan restored: the next call migrates again
+        sel.set_plan_valid(true);
+        sel.call_start(2, CountryId(0));
+        assert!(sel.config_frozen(2, cfg, 0).migrated());
+    }
+
+    #[test]
+    fn failed_dc_quota_is_skipped_at_freeze() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        // all quota on DC1, which is down → freeze overflows in place
+        let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        sel.update_topology(&lm, &[true, false]);
+        sel.call_start(1, CountryId(0));
+        let d = sel.config_frozen(1, cfg, 0);
+        assert_eq!(d, FreezeDecision::Overflow(DcId(0)));
+        assert_eq!(sel.stats().migrations, 0);
+    }
+
+    #[test]
+    fn ladder_falls_to_any_reachable_then_strands() {
+        let (_, cfg) = catalog();
+        // country 1 can only reach DC1
+        let lm = LatencyMap::from_matrix(vec![vec![Some(5.0), Some(50.0)], vec![None, Some(5.0)]]);
+        let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        // DC1 down: country 1 has no latency row to an up DC → any-reachable
+        sel.update_topology(&lm, &[true, false]);
+        let out = sel.call_start(1, CountryId(1));
+        assert_eq!(
+            out,
+            SelectorOutcome::Placed {
+                dc: DcId(0),
+                rung: SelectorRung::AnyReachable
+            }
+        );
+        assert_eq!(sel.stats().degraded_any, 1);
+        // both DCs down → stranded, call not tracked
+        sel.update_topology(&lm, &[false, false]);
+        let out = sel.call_start(2, CountryId(1));
+        assert!(out.is_stranded());
+        assert_eq!(out.dc(), None);
+        assert_eq!(sel.current_dc(2), None);
+        assert_eq!(sel.stats().stranded, 1);
+    }
+
+    #[test]
+    fn rehome_prefers_plan_quota_then_locality() {
+        let lm = LatencyMap::from_matrix(vec![vec![Some(5.0), Some(20.0), Some(50.0)]]);
+        let (_, cfg) = catalog();
+        // plan: quota at DC0 (closest) and DC2 (far)
+        let q = quotas_for(cfg, vec![(DcId(0), 0.5), (DcId(2), 0.5)], 4.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        sel.call_start(1, CountryId(0));
+        assert_eq!(sel.config_frozen(1, cfg, 0), FreezeDecision::Stay(DcId(0)));
+        // DC0 fails → plan rung re-homes to DC2 (has quota), not DC1
+        sel.update_topology(&lm, &[false, true, true]);
+        let out = sel.rehome_call(1);
+        assert_eq!(
+            out,
+            SelectorOutcome::Placed {
+                dc: DcId(2),
+                rung: SelectorRung::Plan
+            }
+        );
+        assert_eq!(sel.stats().forced_migrations, 1);
+        assert_eq!(sel.stats().rehomed_plan, 1);
+        assert_eq!(sel.calls_at(DcId(2)), vec![1]);
+        // a pre-freeze call has no plan info → locality rung (DC1 now
+        // closest among up DCs)
+        sel.update_topology(&lm, &[true, true, true]);
+        sel.call_start(2, CountryId(0));
+        sel.update_topology(&lm, &[false, true, true]);
+        let out = sel.rehome_call(2);
+        assert_eq!(
+            out,
+            SelectorOutcome::Placed {
+                dc: DcId(1),
+                rung: SelectorRung::Locality
+            }
+        );
+        assert_eq!(sel.stats().forced_migrations, 2);
+    }
+
+    #[test]
+    fn rehome_strands_when_nothing_up_and_drops_call() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        sel.call_start(1, CountryId(0));
+        sel.update_topology(&lm, &[false, false]);
+        assert!(sel.rehome_call(1).is_stranded());
+        assert_eq!(sel.active_calls(), 0);
+        // the trace's later End event for the dropped call is a counted no-op
+        sel.call_end(1);
+        assert_eq!(sel.stats().unknown_ends, 1);
+    }
+
+    #[test]
+    fn recovery_restores_locality_placement() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 8.0);
+        let mut sel = RealtimeSelector::new(&lm, q);
+        // DC0 down: country 0's calls land on DC1
+        sel.update_topology(&lm, &[false, true]);
+        assert_eq!(sel.call_start(1, CountryId(0)).dc(), Some(DcId(1)));
+        // DC0 recovers: new calls return to it
+        sel.update_topology(&lm, &[true, true]);
+        assert_eq!(sel.call_start(2, CountryId(0)).dc(), Some(DcId(0)));
+        let _ = cfg;
     }
 }

@@ -1,0 +1,172 @@
+//! Property tests for the real-time selector: under arbitrary single-failure
+//! topologies, arbitrary event orders (including unknown call ids), and
+//! missing or stale plans, the selector must never panic and every placement
+//! query must resolve to a typed outcome — `Placed` at an up DC, or
+//! `Stranded` exactly when no DC is up.
+
+use proptest::prelude::*;
+use sb_core::{FreezeDecision, LatencyMap, PlannedQuotas, RealtimeSelector, SelectorOutcome};
+use sb_net::{FailureScenario, GeoPoint, Node, RoutingTable, Topology, TopologyBuilder};
+use sb_workload::{CallConfig, ConfigCatalog, ConfigId, DemandMatrix, MediaType};
+
+/// A small random topology: DCs on a ring, countries with random uplinks.
+fn random_topology(n_dcs: usize, n_countries: usize, uplinks: &[Vec<usize>]) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let r = b.region("R");
+    let mut dcs = Vec::new();
+    for i in 0..n_dcs {
+        let p = GeoPoint::new(5.0 + i as f64 * 4.0, 90.0 + i as f64 * 6.0);
+        dcs.push(b.datacenter(format!("dc{i}"), r, p, 100.0));
+    }
+    for i in 0..n_dcs {
+        let j = (i + 1) % n_dcs;
+        if i != j {
+            b.link_with_latency(Node::Dc(dcs[i]), Node::Dc(dcs[j]), 2.0 + i as f64, 10.0);
+        }
+    }
+    for (c, ups) in uplinks.iter().enumerate().take(n_countries) {
+        let p = GeoPoint::new(-5.0 - c as f64 * 3.0, 70.0 + c as f64 * 5.0);
+        let cid = b.country(format!("c{c}"), r, p, 1.0 + c as f64, 1.0);
+        let mut connected: std::collections::HashSet<usize> =
+            ups.iter().map(|&u| u % n_dcs).collect();
+        connected.insert(c % n_dcs);
+        for u in connected {
+            b.link_with_latency(Node::Edge(cid), Node::Dc(dcs[u]), 3.0 + u as f64, 5.0);
+        }
+    }
+    b.build()
+}
+
+/// One driver step against the selector.
+#[derive(Clone, Debug)]
+enum Op {
+    Start { id: u64, country: usize },
+    Freeze { id: u64 },
+    End { id: u64 },
+    Rehome { id: u64 },
+    PlanValid(bool),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..8, 0usize..4).prop_map(|(id, country)| Op::Start { id, country }),
+        (0u64..8).prop_map(|id| Op::Freeze { id }),
+        (0u64..8).prop_map(|id| Op::End { id }),
+        (0u64..8).prop_map(|id| Op::Rehome { id }),
+        (0u8..2).prop_map(|b| Op::PlanValid(b == 1)),
+    ]
+}
+
+fn world_strategy() -> impl Strategy<Value = (Topology, FailureScenario, bool, Vec<Op>)> {
+    (
+        1usize..4,
+        1usize..4,
+        proptest::collection::vec(proptest::collection::vec(0usize..4, 1..3), 1..4),
+        0usize..64,
+        0u8..2,
+        proptest::collection::vec(op_strategy(), 1..50),
+    )
+        .prop_map(|(n_dcs, n_countries, uplinks, fault, with_plan, ops)| {
+            let n_countries = n_countries.min(uplinks.len());
+            let topo = random_topology(n_dcs, n_countries, &uplinks);
+            // fault index picks among None + every DC + every link
+            let mut scenarios = FailureScenario::enumerate(&topo);
+            let sc = scenarios.remove(fault % scenarios.len());
+            (topo, sc, with_plan == 1, ops)
+        })
+}
+
+/// Quotas for a one-config catalog: either a real plan that spreads the
+/// config over every DC, or an empty (missing) plan.
+fn make_quotas(topo: &Topology, cfg: ConfigId, with_plan: bool) -> PlannedQuotas {
+    let slots = 2;
+    let mut shares = sb_core::AllocationShares::new(slots);
+    let mut demand = DemandMatrix::zero(cfg.index() + 1, slots, 30, 0);
+    if with_plan {
+        let n = topo.dcs.len() as f64;
+        for s in 0..slots {
+            shares.set(
+                cfg,
+                s,
+                topo.dc_ids().map(|d| (d, 1.0 / n)).collect::<Vec<_>>(),
+            );
+            demand.set(cfg, s, 12.0);
+        }
+    }
+    PlannedQuotas::from_plan(&shares, &demand)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The selector never panics and always resolves to a typed outcome:
+    /// `Placed` at an up DC, `Stranded` exactly when every DC is down.
+    #[test]
+    fn selector_total_under_single_failures((topo, sc, with_plan, ops) in world_strategy()) {
+        let mut catalog = ConfigCatalog::new();
+        let c0 = topo.country_ids().next().unwrap();
+        let cfg = catalog.intern(CallConfig::new(vec![(c0, 2)], MediaType::Audio));
+
+        let routing = RoutingTable::compute(&topo, sc);
+        let latmap = LatencyMap::from_routing(&topo, &routing);
+        let dc_up: Vec<bool> = topo.dc_ids().map(|d| sc.dc_up(d)).collect();
+        let any_up = dc_up.iter().any(|&u| u);
+
+        let quotas = make_quotas(&topo, cfg, with_plan);
+        let mut selector = RealtimeSelector::new(&latmap, quotas);
+        selector.update_topology(&latmap, &dc_up);
+
+        let mut started = 0u64;
+        for op in ops {
+            match op {
+                Op::Start { id, country } => {
+                    let c = topo.country_ids().nth(country % topo.countries.len()).unwrap();
+                    started += 1;
+                    match selector.call_start(id, c) {
+                        SelectorOutcome::Placed { dc, .. } => {
+                            prop_assert!(dc_up[dc.index()], "placed at a down DC");
+                        }
+                        SelectorOutcome::Stranded => {
+                            prop_assert!(!any_up, "stranded while a DC was up");
+                        }
+                    }
+                }
+                Op::Freeze { id } => {
+                    match selector.config_frozen(id, cfg, 0) {
+                        FreezeDecision::Stay(dc)
+                        | FreezeDecision::Migrate { to: dc, .. } => {
+                            prop_assert!(dc_up[dc.index()], "froze onto a down DC");
+                        }
+                        // Unplanned/Overflow keep the current DC; UnknownCall
+                        // is the typed no-op for ids never started
+                        FreezeDecision::Unplanned(_)
+                        | FreezeDecision::Overflow(_)
+                        | FreezeDecision::UnknownCall => {}
+                    }
+                }
+                Op::End { id } => {
+                    selector.call_end(id);
+                    prop_assert!(selector.current_dc(id).is_none());
+                }
+                Op::Rehome { id } => {
+                    let known = selector.current_dc(id).is_some();
+                    match selector.rehome_call(id) {
+                        SelectorOutcome::Placed { dc, .. } => {
+                            prop_assert!(dc_up[dc.index()], "re-homed to a down DC");
+                            prop_assert!(known, "placed an unknown id");
+                        }
+                        SelectorOutcome::Stranded => {
+                            if known {
+                                prop_assert!(!any_up, "stranded while a DC was up");
+                            }
+                            prop_assert!(selector.current_dc(id).is_none());
+                        }
+                    }
+                }
+                Op::PlanValid(v) => selector.set_plan_valid(v),
+            }
+            prop_assert!(selector.active_calls() as u64 <= started);
+        }
+        prop_assert_eq!(selector.stats().calls, started);
+    }
+}

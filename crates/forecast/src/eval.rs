@@ -46,7 +46,7 @@ impl Cdf {
             values.iter().all(|v| !v.is_nan()),
             "CDF over NaN is meaningless"
         );
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(|a, b| a.total_cmp(b));
         Cdf { sorted: values }
     }
 

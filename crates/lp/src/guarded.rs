@@ -1,0 +1,181 @@
+//! Guardrailed solving: [`RevisedSimplex`] under an iteration/time budget,
+//! with automatic fallback to the slower-but-sturdier [`DenseSimplex`].
+//!
+//! The chaos engine can hand the provisioning pipeline degenerate
+//! formulations (a scenario that strands a country, near-singular demand
+//! splits). The revised engine is the right production choice, but when it
+//! hits its budget or a numerical wall mid-incident, the controller must
+//! degrade — not spin. [`GuardedSimplex`] encodes that policy as a
+//! [`Solver`] so callers pick it up with one type swap.
+
+use std::time::Duration;
+
+use crate::dense::DenseSimplex;
+use crate::metrics::lp_metrics;
+use crate::problem::{LpError, LpProblem, Solution, Solver};
+use crate::revised::RevisedSimplex;
+
+/// A [`Solver`] that tries [`RevisedSimplex`] under a budget and falls back
+/// to [`DenseSimplex`] when the primary engine gives up for a *recoverable*
+/// reason ([`LpError::IterationLimit`], [`LpError::TimeLimit`], or a
+/// numerical [`LpError::BadModel`]). Genuine infeasibility/unboundedness is
+/// propagated — the fallback could only reconfirm it, slowly.
+#[derive(Clone, Debug)]
+pub struct GuardedSimplex {
+    /// Primary engine, including its iteration/time budget.
+    pub primary: RevisedSimplex,
+    /// Disable to turn this into a plain budgeted `RevisedSimplex`.
+    pub fallback_to_dense: bool,
+    /// Skip the dense fallback for models with more variables than this —
+    /// the dense tableau is O(rows × vars) per pivot and would outlast any
+    /// budget the primary just exhausted. `0` means no cap.
+    pub dense_var_limit: usize,
+}
+
+impl Default for GuardedSimplex {
+    fn default() -> Self {
+        GuardedSimplex {
+            primary: RevisedSimplex::default(),
+            fallback_to_dense: true,
+            dense_var_limit: 0,
+        }
+    }
+}
+
+impl GuardedSimplex {
+    /// Guarded engine with default budgets (automatic iteration cap, no
+    /// time budget) and unconditional dense fallback.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Guarded engine whose primary carries a wall-clock budget.
+    pub fn with_time_budget(budget: Duration) -> Self {
+        GuardedSimplex {
+            primary: RevisedSimplex::with_time_budget(budget),
+            ..Self::default()
+        }
+    }
+
+    fn recoverable(e: &LpError) -> bool {
+        matches!(
+            e,
+            LpError::IterationLimit | LpError::TimeLimit | LpError::BadModel(_)
+        )
+    }
+}
+
+impl Solver for GuardedSimplex {
+    fn solve(&self, lp: &LpProblem) -> Result<Solution, LpError> {
+        match self.primary.solve(lp) {
+            Ok(s) => Ok(s),
+            Err(e) if self.fallback_to_dense && Self::recoverable(&e) => {
+                if self.dense_var_limit > 0 && lp.num_vars() > self.dense_var_limit {
+                    return Err(e);
+                }
+                lp_metrics().record_fallback(&e);
+                DenseSimplex::new().solve(lp)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transport_lp() -> LpProblem {
+        // a model large enough that a one-iteration budget cannot finish it
+        let ns = 6;
+        let nd = 7;
+        let mut lp = LpProblem::new();
+        let mut xs = Vec::new();
+        for i in 0..ns {
+            for j in 0..nd {
+                let cost = ((i * 5 + j * 11) % 9 + 1) as f64;
+                xs.push(lp.add_nonneg(format!("x{i}_{j}"), cost));
+            }
+        }
+        let supply = 7.0;
+        let demand = supply * ns as f64 / nd as f64;
+        for i in 0..ns {
+            lp.add_eq((0..nd).map(|j| (xs[i * nd + j], 1.0)).collect(), supply);
+        }
+        for j in 0..nd {
+            lp.add_eq((0..ns).map(|i| (xs[i * nd + j], 1.0)).collect(), demand);
+        }
+        lp
+    }
+
+    #[test]
+    fn time_budget_aborts_with_typed_error() {
+        let lp = transport_lp();
+        let solver = RevisedSimplex::with_time_budget(Duration::ZERO);
+        assert_eq!(solver.solve(&lp).unwrap_err(), LpError::TimeLimit);
+    }
+
+    #[test]
+    fn guarded_falls_back_on_iteration_limit() {
+        let lp = transport_lp();
+        let starved = RevisedSimplex {
+            max_iterations: 1,
+            ..RevisedSimplex::default()
+        };
+        // the starved primary alone fails …
+        assert_eq!(starved.solve(&lp).unwrap_err(), LpError::IterationLimit);
+        // … but guarded recovers via the dense engine and matches the
+        // unconstrained optimum
+        let guarded = GuardedSimplex {
+            primary: starved,
+            ..GuardedSimplex::default()
+        };
+        let s = guarded.solve(&lp).expect("dense fallback solves");
+        let reference = RevisedSimplex::new().solve(&lp).unwrap();
+        assert!((s.objective() - reference.objective()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn guarded_falls_back_on_time_limit() {
+        let lp = transport_lp();
+        let guarded = GuardedSimplex::with_time_budget(Duration::ZERO);
+        let s = guarded.solve(&lp).expect("dense fallback solves");
+        assert!(lp.max_violation(s.values()) < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_is_propagated_not_retried() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", 1.0, 0.0, 1.0);
+        lp.add_ge(vec![(x, 1.0)], 2.0);
+        assert_eq!(
+            GuardedSimplex::new().solve(&lp).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn var_limit_skips_fallback() {
+        let lp = transport_lp();
+        let guarded = GuardedSimplex {
+            primary: RevisedSimplex {
+                max_iterations: 1,
+                ..RevisedSimplex::default()
+            },
+            fallback_to_dense: true,
+            dense_var_limit: 3, // model has 42 vars — over the cap
+        };
+        assert_eq!(guarded.solve(&lp).unwrap_err(), LpError::IterationLimit);
+    }
+
+    #[test]
+    fn fallback_disabled_propagates() {
+        let lp = transport_lp();
+        let guarded = GuardedSimplex {
+            primary: RevisedSimplex::with_time_budget(Duration::ZERO),
+            fallback_to_dense: false,
+            dense_var_limit: 0,
+        };
+        assert_eq!(guarded.solve(&lp).unwrap_err(), LpError::TimeLimit);
+    }
+}

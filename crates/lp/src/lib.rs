@@ -32,6 +32,7 @@
 
 mod dense;
 mod export;
+mod guarded;
 mod metrics;
 mod problem;
 mod revised;
@@ -39,5 +40,6 @@ mod standard;
 
 pub use dense::DenseSimplex;
 pub use export::to_lp_format;
+pub use guarded::GuardedSimplex;
 pub use problem::{Constraint, LpError, LpProblem, Relation, Solution, SolveStats, Solver, Var};
 pub use revised::RevisedSimplex;

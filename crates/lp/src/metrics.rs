@@ -3,7 +3,7 @@
 //! Handles are resolved once per process; when the global registry is
 //! disabled (the default) every record below is a single relaxed load.
 
-use crate::problem::SolveStats;
+use crate::problem::{LpError, SolveStats};
 use sb_obs::{Counter, Histogram};
 use std::sync::OnceLock;
 
@@ -13,6 +13,8 @@ pub(crate) struct LpMetrics {
     phase2_iterations: Counter,
     refactorizations: Counter,
     solve_wall_ns: Histogram,
+    time_limit_aborts: Counter,
+    dense_fallbacks: Counter,
 }
 
 impl LpMetrics {
@@ -22,6 +24,13 @@ impl LpMetrics {
         self.phase2_iterations.add(stats.phase2_iterations);
         self.refactorizations.add(stats.refactorizations);
         self.solve_wall_ns.record_duration(stats.wall);
+    }
+
+    pub(crate) fn record_fallback(&self, cause: &LpError) {
+        self.dense_fallbacks.inc();
+        if matches!(cause, LpError::TimeLimit) {
+            self.time_limit_aborts.inc();
+        }
     }
 }
 
@@ -35,6 +44,8 @@ pub(crate) fn lp_metrics() -> &'static LpMetrics {
             phase2_iterations: reg.counter("lp.phase2_iterations"),
             refactorizations: reg.counter("lp.refactorizations"),
             solve_wall_ns: reg.histogram("lp.solve_wall_ns"),
+            time_limit_aborts: reg.counter("lp.time_limit_aborts"),
+            dense_fallbacks: reg.counter("lp.dense_fallbacks"),
         }
     })
 }

@@ -251,6 +251,8 @@ pub enum LpError {
     /// The iteration budget was exhausted (numerical trouble or a budget set
     /// too low for the problem size).
     IterationLimit,
+    /// The wall-clock budget was exhausted before reaching the optimum.
+    TimeLimit,
     /// The model was malformed (e.g. empty, or NaN coefficients).
     BadModel(String),
 }
@@ -261,6 +263,7 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "LP is infeasible"),
             LpError::Unbounded => write!(f, "LP is unbounded below"),
             LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            LpError::TimeLimit => write!(f, "simplex time budget exhausted"),
             LpError::BadModel(m) => write!(f, "malformed LP model: {m}"),
         }
     }

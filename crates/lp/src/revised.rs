@@ -16,13 +16,17 @@
 use crate::metrics::lp_metrics;
 use crate::problem::{LpError, LpProblem, Solution, SolveStats, Solver};
 use crate::standard::StandardForm;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Revised simplex with bounded variables.
 #[derive(Clone, Debug)]
 pub struct RevisedSimplex {
     /// Hard iteration cap across both phases (`0` = automatic).
     pub max_iterations: u64,
+    /// Wall-clock budget across both phases (`None` = unlimited). Exceeding
+    /// it aborts the solve with [`LpError::TimeLimit`]; checked every few
+    /// iterations so the overhead is negligible.
+    pub time_budget: Option<Duration>,
     /// Reduced-cost / pivot tolerance.
     pub eps: f64,
     /// Primal feasibility tolerance used for the phase-1 decision.
@@ -35,6 +39,7 @@ impl Default for RevisedSimplex {
     fn default() -> Self {
         RevisedSimplex {
             max_iterations: 0,
+            time_budget: None,
             eps: 1e-9,
             feas_eps: 1e-7,
             refactor_every: 2_000,
@@ -46,6 +51,14 @@ impl RevisedSimplex {
     /// Engine with default tolerances.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Same engine with a wall-clock budget.
+    pub fn with_time_budget(budget: Duration) -> Self {
+        RevisedSimplex {
+            time_budget: Some(budget),
+            ..Self::default()
+        }
     }
 }
 
@@ -428,13 +441,21 @@ impl<'a> Engine<'a> {
         StepOutcome::Moved
     }
 
-    fn run_phase(&mut self, max_iter: u64) -> Result<(), LpError> {
+    fn run_phase(&mut self, max_iter: u64, deadline: Option<Instant>) -> Result<(), LpError> {
         let mut stalled: u64 = 0;
         let stall_limit = 4 * (self.m as u64 + self.sf.n as u64) + 64;
         let mut last_obj = self.current_objective();
         loop {
             if self.iterations >= max_iter {
                 return Err(LpError::IterationLimit);
+            }
+            // amortize the clock read over a batch of pivots
+            if self.iterations.is_multiple_of(32) {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        return Err(LpError::TimeLimit);
+                    }
+                }
             }
             if self.pivots_since_refactor >= self.refactor_every {
                 self.refactorize()?;
@@ -476,6 +497,7 @@ impl Solver for RevisedSimplex {
             return Err(LpError::BadModel("no variables".into()));
         }
         let wall_start = Instant::now();
+        let deadline = self.time_budget.map(|b| wall_start + b);
         let sf = StandardForm::build(lp);
         let mut eng = Engine::new(&sf, self.eps, self.refactor_every);
         let max_iter = if self.max_iterations > 0 {
@@ -508,7 +530,7 @@ impl Solver for RevisedSimplex {
             // x_B) and resume before declaring the model infeasible.
             let mut attempts = 0;
             loop {
-                match eng.run_phase(max_iter) {
+                match eng.run_phase(max_iter, deadline) {
                     Ok(()) => {}
                     Err(LpError::Unbounded) => {
                         return Err(LpError::BadModel(
@@ -543,7 +565,7 @@ impl Solver for RevisedSimplex {
         for (j, &c) in sf.cost.iter().enumerate() {
             eng.cost[j] = c;
         }
-        eng.run_phase(max_iter)?;
+        eng.run_phase(max_iter, deadline)?;
 
         // Final hygiene: refactorize to squeeze out accumulated drift. A
         // (rare) singular refactorization means the incrementally-maintained

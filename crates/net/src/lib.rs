@@ -42,6 +42,6 @@ pub use cost::ProvisionedCapacity;
 pub use geo::GeoPoint;
 pub use routing::{Route, RoutingTable};
 pub use topology::{
-    Country, CountryId, Datacenter, DcId, FailureScenario, Link, LinkId, Node, Region, RegionId,
-    Topology, TopologyBuilder,
+    Country, CountryId, Datacenter, DcId, FailureMask, FailureScenario, Link, LinkId, Node, Region,
+    RegionId, Topology, TopologyBuilder,
 };

@@ -113,7 +113,7 @@ impl PresetBuilder {
                 .iter()
                 .map(|(did, dp, name)| (haversine_km(cp, *dp), *did, *dp, name.clone()))
                 .collect();
-            by_dist.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+            by_dist.sort_by(|x, y| x.0.total_cmp(&y.0));
             for (_, did, dp, name) in by_dist.into_iter().take(k) {
                 let cost = link_cost(cp, dp, hub_multiplier(&name));
                 self.b.link(Node::Edge(cid), Node::Dc(did), cost);

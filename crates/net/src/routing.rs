@@ -8,7 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::topology::{CountryId, DcId, FailureScenario, LinkId, Node, Topology};
+use crate::topology::{CountryId, DcId, FailureMask, FailureScenario, LinkId, Node, Topology};
 
 /// A concrete path from an edge site to a DC.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,12 +26,13 @@ impl Route {
     }
 }
 
-/// All-pairs (country → DC) routes under one failure scenario.
+/// All-pairs (country → DC) routes under one failure state (a single
+/// [`FailureScenario`] or an arbitrary multi-fault [`FailureMask`]).
 #[derive(Clone, Debug)]
 pub struct RoutingTable {
     /// `routes[country][dc]`, `None` when the DC is unreachable (or down).
     routes: Vec<Vec<Option<Route>>>,
-    scenario: FailureScenario,
+    mask: FailureMask,
 }
 
 #[derive(PartialEq)]
@@ -42,11 +43,10 @@ struct HeapEntry {
 impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // min-heap on dist
+        // min-heap on dist (total_cmp: NaN-safe)
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| self.node.cmp(&other.node))
     }
 }
@@ -57,23 +57,51 @@ impl PartialOrd for HeapEntry {
 }
 
 impl RoutingTable {
-    /// Compute routing under `scenario`.
+    /// Compute routing under a single-fault `scenario`.
     pub fn compute(topo: &Topology, scenario: FailureScenario) -> RoutingTable {
+        Self::compute_masked(topo, FailureMask::from_scenario(topo, scenario))
+    }
+
+    /// Compute routing under an arbitrary multi-fault `mask` — the chaos
+    /// engine's entry point, where several faults may overlap in time.
+    pub fn compute_masked(topo: &Topology, mask: FailureMask) -> RoutingTable {
         let routes = topo
             .country_ids()
-            .map(|c| Self::dijkstra_from(topo, c, scenario))
+            .map(|c| Self::dijkstra_from(topo, c, &mask))
             .collect();
-        RoutingTable { routes, scenario }
+        RoutingTable { routes, mask }
     }
 
-    /// Scenario this table was computed for.
-    pub fn scenario(&self) -> FailureScenario {
-        self.scenario
+    /// Failure mask this table was computed for.
+    pub fn mask(&self) -> &FailureMask {
+        &self.mask
     }
 
-    /// Route from `country` to `dc`, if reachable under the scenario.
+    /// Route from `country` to `dc`, if reachable under the failure state.
     pub fn route(&self, country: CountryId, dc: DcId) -> Option<&Route> {
         self.routes[country.index()][dc.index()].as_ref()
+    }
+
+    /// Can `country`'s edge site reach `dc` under the failure state?
+    pub fn reachable(&self, country: CountryId, dc: DcId) -> bool {
+        self.routes[country.index()][dc.index()].is_some()
+    }
+
+    /// DCs reachable from `country`, in DC-id order.
+    pub fn reachable_dcs(&self, country: CountryId) -> impl Iterator<Item = DcId> + '_ {
+        self.routes[country.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| DcId(i as u16))
+    }
+
+    /// Number of DCs reachable from `country`.
+    pub fn num_reachable(&self, country: CountryId) -> usize {
+        self.routes[country.index()]
+            .iter()
+            .filter(|r| r.is_some())
+            .count()
     }
 
     /// One-way latency from `country` to `dc` in milliseconds.
@@ -87,11 +115,7 @@ impl RoutingTable {
         self.route(country, dc).is_some_and(|r| r.uses(link))
     }
 
-    fn dijkstra_from(
-        topo: &Topology,
-        source: CountryId,
-        scenario: FailureScenario,
-    ) -> Vec<Option<Route>> {
+    fn dijkstra_from(topo: &Topology, source: CountryId, mask: &FailureMask) -> Vec<Option<Route>> {
         let n = topo.num_nodes();
         let src = topo.node_index(Node::Edge(source));
         let mut dist = vec![f64::INFINITY; n];
@@ -118,11 +142,11 @@ impl RoutingTable {
                 Node::Edge(CountryId((node - topo.dcs.len()) as u16))
             };
             for &(lid, nb) in topo.neighbours(node_enum) {
-                if !scenario.link_up(topo, lid) {
+                if !mask.link_up(topo, lid) {
                     continue;
                 }
                 if let Node::Dc(dc) = nb {
-                    if !scenario.dc_up(dc) {
+                    if !mask.dc_up(dc) {
                         continue;
                     }
                 }
@@ -139,7 +163,7 @@ impl RoutingTable {
         topo.dc_ids()
             .map(|dc| {
                 let target = dc.index();
-                if !dist[target].is_finite() || !scenario.dc_up(dc) {
+                if !dist[target].is_finite() || !mask.dc_up(dc) {
                     return None;
                 }
                 let mut links = Vec::new();
@@ -244,6 +268,41 @@ mod tests {
         assert_eq!(rt0.latency_ms(c, d2), Some(4.0));
         let rt1 = RoutingTable::compute(&t, FailureScenario::LinkDown(direct));
         assert_eq!(rt1.latency_ms(c, d2), Some(11.0));
+    }
+
+    #[test]
+    fn masked_routing_and_reachability() {
+        let mut b = TopologyBuilder::new();
+        let r = b.region("APAC");
+        let d1 = b.datacenter("A", r, GeoPoint::new(0.0, 0.0), 1.0);
+        let d2 = b.datacenter("B", r, GeoPoint::new(0.0, 10.0), 1.0);
+        let c = b.country("C", r, GeoPoint::new(1.0, 0.0), 0.0, 1.0);
+        let direct = b.link_with_latency(Node::Edge(c), Node::Dc(d2), 4.0, 1.0);
+        b.link_with_latency(Node::Edge(c), Node::Dc(d1), 1.0, 1.0);
+        b.link_with_latency(Node::Dc(d1), Node::Dc(d2), 10.0, 1.0);
+        let t = b.build();
+
+        let healthy = RoutingTable::compute_masked(&t, FailureMask::healthy(&t));
+        assert_eq!(healthy.num_reachable(c), 2);
+        assert!(healthy.reachable(c, d1) && healthy.reachable(c, d2));
+        assert_eq!(healthy.reachable_dcs(c).collect::<Vec<_>>(), vec![d1, d2]);
+
+        // two simultaneous faults: DC A down AND the direct C–B link down —
+        // no FailureScenario can express this; country C is fully cut off
+        let mut m = FailureMask::healthy(&t);
+        m.set_dc(d1, true);
+        m.set_link(direct, true);
+        let rt = RoutingTable::compute_masked(&t, m);
+        assert_eq!(rt.num_reachable(c), 0);
+        assert!(rt.reachable_dcs(c).next().is_none());
+        assert!(!rt.mask().is_healthy());
+
+        // either fault alone leaves B reachable
+        let mut m1 = FailureMask::healthy(&t);
+        m1.set_dc(d1, true);
+        let rt1 = RoutingTable::compute_masked(&t, m1);
+        assert!(rt1.reachable(c, d2));
+        assert_eq!(rt1.latency_ms(c, d2), Some(4.0));
     }
 
     #[test]

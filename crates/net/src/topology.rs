@@ -390,6 +390,96 @@ impl FailureScenario {
     }
 }
 
+/// An arbitrary set of simultaneously-failed DCs and links.
+///
+/// [`FailureScenario`] encodes the §5.3 provisioning assumption (at most one
+/// DC *or* one WAN link down); the chaos engine needs to overlap faults — a
+/// link flap during a DC outage, say — so routing and reachability queries
+/// accept this generalized mask instead. A DC being down implicitly takes all
+/// of its incident links down, mirroring `FailureScenario::DcDown`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FailureMask {
+    dc_down: Vec<bool>,
+    link_down: Vec<bool>,
+}
+
+impl FailureMask {
+    /// Everything up.
+    pub fn healthy(topo: &Topology) -> FailureMask {
+        FailureMask {
+            dc_down: vec![false; topo.dcs.len()],
+            link_down: vec![false; topo.links.len()],
+        }
+    }
+
+    /// The mask equivalent to a single `scenario`.
+    pub fn from_scenario(topo: &Topology, scenario: FailureScenario) -> FailureMask {
+        let mut m = FailureMask::healthy(topo);
+        match scenario {
+            FailureScenario::None => {}
+            FailureScenario::DcDown(d) => m.set_dc(d, true),
+            FailureScenario::LinkDown(l) => m.set_link(l, true),
+        }
+        m
+    }
+
+    /// Mark `dc` down (or back up).
+    pub fn set_dc(&mut self, dc: DcId, down: bool) {
+        self.dc_down[dc.index()] = down;
+    }
+
+    /// Mark `link` down (or back up).
+    pub fn set_link(&mut self, link: LinkId, down: bool) {
+        self.link_down[link.index()] = down;
+    }
+
+    /// Is `dc` usable?
+    pub fn dc_up(&self, dc: DcId) -> bool {
+        !self.dc_down[dc.index()]
+    }
+
+    /// Is `link` usable? A link is down if itself failed or either DC
+    /// endpoint failed.
+    pub fn link_up(&self, topo: &Topology, link: LinkId) -> bool {
+        if self.link_down[link.index()] {
+            return false;
+        }
+        let l = &topo.links[link.index()];
+        for end in [l.a, l.b] {
+            if let Node::Dc(d) = end {
+                if self.dc_down[d.index()] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True when no DC and no link is failed.
+    pub fn is_healthy(&self) -> bool {
+        !self.dc_down.iter().any(|&d| d) && !self.link_down.iter().any(|&l| l)
+    }
+
+    /// DCs currently marked down.
+    pub fn down_dcs(&self) -> impl Iterator<Item = DcId> + '_ {
+        self.dc_down
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(i, _)| DcId(i as u16))
+    }
+
+    /// Links currently marked down (not counting links implied down by a DC
+    /// failure).
+    pub fn down_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.link_down
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l)
+            .map(|(i, _)| LinkId(i as u32))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +548,44 @@ mod tests {
         let jp = b.country("JP", r, GeoPoint::new(36.0, 138.0), 9.0, 1.0);
         b.link(Node::Edge(jp), Node::Dc(d1), 1.0);
         b.build();
+    }
+
+    #[test]
+    fn failure_mask_composes_overlapping_faults() {
+        let t = tiny();
+        let mut m = FailureMask::healthy(&t);
+        assert!(m.is_healthy());
+        assert_eq!(m, FailureMask::from_scenario(&t, FailureScenario::None));
+        // a DC outage overlapping a link failure — inexpressible as a
+        // FailureScenario
+        m.set_dc(DcId(0), true);
+        m.set_link(LinkId(2), true);
+        assert!(!m.dc_up(DcId(0)));
+        assert!(m.dc_up(DcId(1)));
+        assert!(!m.link_up(&t, LinkId(0))); // implied down: touches Tokyo
+        assert!(!m.link_up(&t, LinkId(1))); // implied down: touches Tokyo
+        assert!(!m.link_up(&t, LinkId(2))); // explicitly down
+        assert_eq!(m.down_dcs().collect::<Vec<_>>(), vec![DcId(0)]);
+        assert_eq!(m.down_links().collect::<Vec<_>>(), vec![LinkId(2)]);
+        // recovery clears the fault
+        m.set_dc(DcId(0), false);
+        m.set_link(LinkId(2), false);
+        assert!(m.is_healthy());
+        assert!(m.link_up(&t, LinkId(1)));
+    }
+
+    #[test]
+    fn mask_matches_scenario_semantics() {
+        let t = tiny();
+        for scenario in FailureScenario::enumerate(&t) {
+            let m = FailureMask::from_scenario(&t, scenario);
+            for dc in t.dc_ids() {
+                assert_eq!(m.dc_up(dc), scenario.dc_up(dc));
+            }
+            for l in t.link_ids() {
+                assert_eq!(m.link_up(&t, l), scenario.link_up(&t, l));
+            }
+        }
     }
 
     #[test]

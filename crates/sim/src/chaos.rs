@@ -1,0 +1,956 @@
+//! Time-driven chaos engine: scheduled, recoverable fault injection into a
+//! running replay.
+//!
+//! The static [`crate::failures::drill`] answers "does the backup capacity
+//! cover the steady state *during* a failure?" — but never re-homes a call
+//! mid-flight and never lets a fault recover. This module closes that gap: a
+//! [`FaultTimeline`] schedules faults (`DcDown`, `LinkDown`, `LinkFlap`,
+//! `CapacityDegraded`, `PlanStale`) over absolute minutes, and
+//! [`chaos_replay`] drives a trace through the real-time selector while the
+//! fault state evolves:
+//!
+//! * at every fault transition the routing table and latency map are
+//!   recomputed under the composed [`FailureMask`] and pushed into the
+//!   selector ([`RealtimeSelector::update_topology`]);
+//! * in-flight calls hosted at a failed DC are re-homed down the selector's
+//!   degradation ladder (plan → locality → any-reachable) and counted as
+//!   *forced* migrations — distinct from the §6.4 plan migrations;
+//! * per-window stranded/violation/ACL stats are accumulated and emitted
+//!   through `sb-obs` (`chaos.*` counters and the `chaos.windows` table).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use sb_core::{LatencyMap, PlannedQuotas, RealtimeSelector, SelectorStats};
+use sb_net::{
+    DcId, FailureMask, FailureScenario, LinkId, ProvisionedCapacity, RoutingTable, Topology,
+};
+use sb_obs::{Counter, Histogram, Table, Value};
+use sb_workload::joins::CONFIG_FREEZE_SECONDS;
+use sb_workload::{CallRecordsDb, ConfigCatalog};
+
+/// Columns of the `chaos.windows` table: one row per stats window.
+pub const CHAOS_WINDOW_COLUMNS: [&str; 9] = [
+    "window_start_min",
+    "calls_started",
+    "plan_migrations",
+    "forced_migrations",
+    "stranded",
+    "violations",
+    "down_dcs",
+    "down_links",
+    "mean_acl_ms",
+];
+
+struct ChaosMetrics {
+    runs: Counter,
+    forced_migrations: Counter,
+    stranded: Counter,
+    violations: Counter,
+    wall_ns: Histogram,
+    windows: Table,
+}
+
+fn chaos_metrics() -> &'static ChaosMetrics {
+    static METRICS: OnceLock<ChaosMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = sb_obs::global();
+        ChaosMetrics {
+            runs: reg.counter("chaos.runs"),
+            forced_migrations: reg.counter("chaos.forced_migrations"),
+            stranded: reg.counter("chaos.stranded"),
+            violations: reg.counter("chaos.capacity_violations"),
+            wall_ns: reg.histogram("chaos.wall_ns"),
+            windows: reg.table("chaos.windows", &CHAOS_WINDOW_COLUMNS),
+        }
+    })
+}
+
+/// One scheduled fault. All times are absolute trace minutes; `recover_at:
+/// None` means the fault lasts to the end of the replay.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// A DC fails at `at` and (optionally) recovers at `recover_at`. Its
+    /// links go down with it.
+    DcDown {
+        /// Failed DC.
+        dc: DcId,
+        /// Failure minute (inclusive).
+        at: u64,
+        /// Recovery minute (exclusive), `None` = never.
+        recover_at: Option<u64>,
+    },
+    /// A WAN link fails and (optionally) recovers.
+    LinkDown {
+        /// Failed link.
+        link: LinkId,
+        /// Failure minute (inclusive).
+        at: u64,
+        /// Recovery minute (exclusive), `None` = never.
+        recover_at: Option<u64>,
+    },
+    /// A link flaps: alternating `period_min`-minute down/up phases
+    /// (starting down) within `[at, until)`.
+    LinkFlap {
+        /// Flapping link.
+        link: LinkId,
+        /// First down minute.
+        at: u64,
+        /// End of the flapping window (exclusive).
+        until: u64,
+        /// Length of each down/up phase in minutes (≥ 1).
+        period_min: u64,
+    },
+    /// A DC keeps running but loses part of its compute (rolling reboot,
+    /// thermal throttling): effective core capacity is multiplied by
+    /// `fraction` while active.
+    CapacityDegraded {
+        /// Degraded DC.
+        dc: DcId,
+        /// Remaining capacity fraction in `[0, 1]`.
+        fraction: f64,
+        /// Degradation start minute (inclusive).
+        at: u64,
+        /// Recovery minute (exclusive), `None` = never.
+        recover_at: Option<u64>,
+    },
+    /// The allocation plan stops being trustworthy (the controller that
+    /// refreshes it is down): the selector's plan rung is disabled.
+    PlanStale {
+        /// First stale minute (inclusive).
+        from: u64,
+        /// Minute the plan is refreshed (exclusive), `None` = never.
+        until: Option<u64>,
+    },
+}
+
+/// The composed fault state at one minute.
+#[derive(Clone, Debug)]
+pub struct ChaosState {
+    /// Which DCs/links are down.
+    pub mask: FailureMask,
+    /// Effective per-DC core-capacity fraction (1.0 = healthy).
+    pub core_fraction: Vec<f64>,
+    /// Is the allocation plan trustworthy?
+    pub plan_valid: bool,
+}
+
+/// A schedule of fault events, queryable per minute.
+#[derive(Clone, Debug, Default)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTimeline {
+    /// Empty timeline (no faults: chaos replay degenerates to plain replay).
+    pub fn new() -> FaultTimeline {
+        FaultTimeline::default()
+    }
+
+    /// Add an event (builder style).
+    pub fn with(mut self, ev: FaultEvent) -> FaultTimeline {
+        self.push(ev);
+        self
+    }
+
+    /// Add an event.
+    pub fn push(&mut self, ev: FaultEvent) {
+        if let FaultEvent::LinkFlap { period_min, .. } = &ev {
+            assert!(*period_min >= 1, "flap period must be at least one minute");
+        }
+        if let FaultEvent::CapacityDegraded { fraction, .. } = &ev {
+            assert!(
+                (0.0..=1.0).contains(fraction),
+                "capacity fraction must be within [0, 1]"
+            );
+        }
+        self.events.push(ev);
+    }
+
+    /// The §5.3 single-fault timeline: `scenario` hits at `at` and recovers
+    /// at `recover_at`.
+    pub fn from_scenario(
+        scenario: FailureScenario,
+        at: u64,
+        recover_at: Option<u64>,
+    ) -> FaultTimeline {
+        let mut t = FaultTimeline::new();
+        match scenario {
+            FailureScenario::None => {}
+            FailureScenario::DcDown(dc) => t.push(FaultEvent::DcDown { dc, at, recover_at }),
+            FailureScenario::LinkDown(link) => t.push(FaultEvent::LinkDown {
+                link,
+                at,
+                recover_at,
+            }),
+        }
+        t
+    }
+
+    /// Scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// No faults at all?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Minutes in `(t0, t1]` where the fault state may change, sorted and
+    /// deduplicated. `t0` itself is always an implicit change point.
+    pub fn change_points(&self, t0: u64, t1: u64) -> Vec<u64> {
+        let mut points = Vec::new();
+        let mut add = |m: u64| {
+            if m > t0 && m <= t1 {
+                points.push(m);
+            }
+        };
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::DcDown { at, recover_at, .. }
+                | FaultEvent::LinkDown { at, recover_at, .. }
+                | FaultEvent::CapacityDegraded { at, recover_at, .. } => {
+                    add(at);
+                    if let Some(r) = recover_at {
+                        add(r);
+                    }
+                }
+                FaultEvent::LinkFlap {
+                    at,
+                    until,
+                    period_min,
+                    ..
+                } => {
+                    let mut m = at;
+                    while m < until {
+                        add(m);
+                        m += period_min;
+                    }
+                    add(until);
+                }
+                FaultEvent::PlanStale { from, until } => {
+                    add(from);
+                    if let Some(u) = until {
+                        add(u);
+                    }
+                }
+            }
+        }
+        points.sort_unstable();
+        points.dedup();
+        points
+    }
+
+    /// Compose the fault state active at `minute`.
+    pub fn state_at(&self, topo: &Topology, minute: u64) -> ChaosState {
+        let mut mask = FailureMask::healthy(topo);
+        let mut core_fraction = vec![1.0f64; topo.dcs.len()];
+        let mut plan_valid = true;
+        let active = |at: u64, recover: Option<u64>| -> bool {
+            minute >= at && recover.is_none_or(|r| minute < r)
+        };
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::DcDown { dc, at, recover_at } => {
+                    if active(at, recover_at) {
+                        mask.set_dc(dc, true);
+                    }
+                }
+                FaultEvent::LinkDown {
+                    link,
+                    at,
+                    recover_at,
+                } => {
+                    if active(at, recover_at) {
+                        mask.set_link(link, true);
+                    }
+                }
+                FaultEvent::LinkFlap {
+                    link,
+                    at,
+                    until,
+                    period_min,
+                } => {
+                    if minute >= at
+                        && minute < until
+                        && ((minute - at) / period_min).is_multiple_of(2)
+                    {
+                        mask.set_link(link, true);
+                    }
+                }
+                FaultEvent::CapacityDegraded {
+                    dc,
+                    fraction,
+                    at,
+                    recover_at,
+                } => {
+                    if active(at, recover_at) {
+                        let f = &mut core_fraction[dc.index()];
+                        *f = f.min(fraction);
+                    }
+                }
+                FaultEvent::PlanStale { from, until } => {
+                    if active(from, until) {
+                        plan_valid = false;
+                    }
+                }
+            }
+        }
+        ChaosState {
+            mask,
+            core_fraction,
+            plan_valid,
+        }
+    }
+}
+
+/// Chaos replay configuration.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Minutes into the call at which the config freezes (A; 5 in the
+    /// paper).
+    pub freeze_minutes: u64,
+    /// Capacity to check usage against. `CapacityDegraded` faults scale the
+    /// per-DC core entries minute by minute.
+    pub capacity: Option<ProvisionedCapacity>,
+    /// Width of the per-window stats buckets.
+    pub window_minutes: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            freeze_minutes: (CONFIG_FREEZE_SECONDS / 60) as u64,
+            capacity: None,
+            window_minutes: 60,
+        }
+    }
+}
+
+/// Per-window chaos statistics.
+#[derive(Clone, Debug, Default)]
+pub struct WindowStats {
+    /// Absolute minute the window starts at.
+    pub start_minute: u64,
+    /// Calls started in the window.
+    pub calls_started: u64,
+    /// Call-start placements per DC (index = DC id) — shows traffic
+    /// draining away from a failed DC and returning after recovery.
+    pub starts_by_dc: Vec<u32>,
+    /// Plan-driven migrations at config freeze (§6.4).
+    pub plan_migrations: u64,
+    /// Fault-forced mid-call re-homes.
+    pub forced_migrations: u64,
+    /// Calls stranded (no up DC) at start or re-home.
+    pub stranded: u64,
+    /// Minutes × resources where usage exceeded effective capacity.
+    pub violations: u64,
+    /// Peak number of down DCs during the window.
+    pub down_dcs: u32,
+    /// Peak number of explicitly-down links during the window.
+    pub down_links: u32,
+    acl_sum: f64,
+    acl_n: u64,
+}
+
+impl WindowStats {
+    /// Mean ACL of placements made in this window (freeze + re-home time).
+    pub fn mean_acl_ms(&self) -> f64 {
+        if self.acl_n > 0 {
+            self.acl_sum / self.acl_n as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Chaos replay results.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Calls in the trace.
+    pub calls: u64,
+    /// Final selector statistics (plan + forced migrations, rungs, …).
+    pub selector: SelectorStats,
+    /// Calls stranded over the whole replay.
+    pub stranded: u64,
+    /// Fault-forced mid-call re-homes over the whole replay.
+    pub forced_migrations: u64,
+    /// Plan-driven freeze migrations over the whole replay.
+    pub plan_migrations: u64,
+    /// Minutes × resources where usage exceeded effective capacity.
+    pub capacity_violations: u64,
+    /// Worst relative overshoot across all violations.
+    pub worst_overshoot: f64,
+    /// Observed usage peaks.
+    pub peaks: ProvisionedCapacity,
+    /// Mean ACL over freeze- and re-home-time placements.
+    pub mean_acl_ms: f64,
+    /// Per-window breakdown.
+    pub windows: Vec<WindowStats>,
+}
+
+#[derive(Clone, Copy)]
+struct Hosting {
+    rec: usize,
+    dc: DcId,
+    since: u64,
+}
+
+enum Ev {
+    Start(usize),
+    Freeze(usize),
+    End(usize),
+}
+
+/// Replay `db` while injecting `timeline`.
+///
+/// The selector is constructed internally (its topology view changes over
+/// the run). Usage accounting matches [`crate::replay`]: per-minute compute
+/// at the hosting DC and per-leg traffic on routed links — except that
+/// hosting intervals are additionally flushed at every fault transition, so
+/// re-routed traffic and re-homed calls are charged to the right resources
+/// minute by minute. Stranded calls stop consuming resources when dropped.
+pub fn chaos_replay(
+    topo: &Topology,
+    catalog: &ConfigCatalog,
+    db: &CallRecordsDb,
+    timeline: &FaultTimeline,
+    quotas: PlannedQuotas,
+    cfg: &ChaosConfig,
+) -> ChaosReport {
+    let met = chaos_metrics();
+    met.runs.inc();
+    let _t = met.wall_ns.start_timer();
+
+    let records = db.records();
+    let healthy_routing = RoutingTable::compute(topo, FailureScenario::None);
+    let healthy_latmap = LatencyMap::from_routing(topo, &healthy_routing);
+    let mut selector = RealtimeSelector::new(&healthy_latmap, quotas);
+    if records.is_empty() {
+        return ChaosReport {
+            calls: 0,
+            selector: selector.stats().clone(),
+            stranded: 0,
+            forced_migrations: 0,
+            plan_migrations: 0,
+            capacity_violations: 0,
+            worst_overshoot: 0.0,
+            peaks: ProvisionedCapacity::zero(topo),
+            mean_acl_ms: 0.0,
+            windows: Vec::new(),
+        };
+    }
+
+    let t0 = records.iter().map(|r| r.start_minute).min().unwrap();
+    let t1 = records.iter().map(|r| r.end_minute()).max().unwrap();
+    let horizon = (t1 - t0 + 1) as usize;
+    let window_minutes = cfg.window_minutes.max(1);
+    let num_windows = (horizon as u64).div_ceil(window_minutes) as usize;
+    let mut windows: Vec<WindowStats> = (0..num_windows)
+        .map(|w| WindowStats {
+            start_minute: t0 + w as u64 * window_minutes,
+            starts_by_dc: vec![0; topo.dcs.len()],
+            ..WindowStats::default()
+        })
+        .collect();
+    let win_of = |minute: u64| (((minute - t0) / window_minutes) as usize).min(num_windows - 1);
+
+    // call events sorted by (minute, start < freeze < end)
+    let mut events: Vec<(u64, u8, Ev)> = Vec::with_capacity(records.len() * 3);
+    for (i, r) in records.iter().enumerate() {
+        let freeze = r.start_minute + cfg.freeze_minutes.min(r.duration_min as u64);
+        events.push((r.start_minute, 0, Ev::Start(i)));
+        events.push((freeze, 1, Ev::Freeze(i)));
+        events.push((r.end_minute(), 2, Ev::End(i)));
+    }
+    events.sort_by_key(|&(t, k, _)| (t, k));
+
+    // fault-state segments: [t0, cp1), [cp1, cp2), …
+    let change_points = timeline.change_points(t0, t1);
+    let mut seg_starts = vec![t0];
+    seg_starts.extend(&change_points);
+    let seg_states: Vec<ChaosState> = seg_starts
+        .iter()
+        .map(|&m| timeline.state_at(topo, m))
+        .collect();
+
+    // accounting
+    let mut core_delta = vec![vec![0.0f64; topo.dcs.len()]; horizon + 1];
+    let mut link_delta = vec![vec![0.0f64; topo.links.len()]; horizon + 1];
+    let mut hosted: HashMap<u64, Hosting> = HashMap::new();
+
+    let mut state = seg_states[0].clone();
+    let mut routing = if state.mask.is_healthy() {
+        healthy_routing.clone()
+    } else {
+        RoutingTable::compute_masked(topo, state.mask.clone())
+    };
+    let mut latmap = LatencyMap::from_routing(topo, &routing);
+    let dc_up_vec =
+        |s: &ChaosState| -> Vec<bool> { topo.dc_ids().map(|d| s.mask.dc_up(d)).collect() };
+    selector.update_topology(&latmap, &dc_up_vec(&state));
+    selector.set_plan_valid(state.plan_valid);
+
+    let mut acl_sum = 0.0;
+    let mut acl_n = 0u64;
+    let mut stranded = 0u64;
+    let mut forced = 0u64;
+    let mut plan_migrations = 0u64;
+
+    let flush = |h: &mut Hosting,
+                 to: u64,
+                 routing: &RoutingTable,
+                 core_delta: &mut Vec<Vec<f64>>,
+                 link_delta: &mut Vec<Vec<f64>>| {
+        if to <= h.since {
+            return;
+        }
+        let r = &records[h.rec];
+        let c = catalog.config(r.config);
+        let (a, b) = ((h.since - t0) as usize, (to - t0) as usize);
+        core_delta[a][h.dc.index()] += c.compute_load();
+        core_delta[b][h.dc.index()] -= c.compute_load();
+        let nl = c.leg_network_load();
+        for &(country, n) in c.participants() {
+            if let Some(route) = routing.route(country, h.dc) {
+                let w = n as f64 * nl;
+                for &l in &route.links {
+                    link_delta[a][l.index()] += w;
+                    link_delta[b][l.index()] -= w;
+                }
+            }
+        }
+        h.since = to;
+    };
+
+    let mut next_seg = 1usize;
+    for (t, _, ev) in events {
+        // apply fault transitions due before this event
+        while next_seg < seg_starts.len() && seg_starts[next_seg] <= t {
+            let tr = seg_starts[next_seg];
+            // close every open hosting interval under the old routing
+            for h in hosted.values_mut() {
+                flush(h, tr, &routing, &mut core_delta, &mut link_delta);
+            }
+            state = seg_states[next_seg].clone();
+            routing = RoutingTable::compute_masked(topo, state.mask.clone());
+            latmap = LatencyMap::from_routing(topo, &routing);
+            selector.update_topology(&latmap, &dc_up_vec(&state));
+            selector.set_plan_valid(state.plan_valid);
+            // re-home calls whose hosting DC just went down
+            let displaced: Vec<u64> = hosted
+                .iter()
+                .filter(|(_, h)| !state.mask.dc_up(h.dc))
+                .map(|(&id, _)| id)
+                .collect();
+            let w = win_of(tr);
+            for id in displaced {
+                let outcome = selector.rehome_call(id);
+                match outcome.dc() {
+                    Some(dc) => {
+                        let h = hosted.get_mut(&id).expect("hosted");
+                        h.dc = dc;
+                        forced += 1;
+                        windows[w].forced_migrations += 1;
+                        met.forced_migrations.inc();
+                        if let Some(a) = latmap.acl(catalog.config(records[h.rec].config), dc) {
+                            acl_sum += a;
+                            acl_n += 1;
+                            windows[w].acl_sum += a;
+                            windows[w].acl_n += 1;
+                        }
+                    }
+                    None => {
+                        hosted.remove(&id);
+                        stranded += 1;
+                        windows[w].stranded += 1;
+                        met.stranded.inc();
+                    }
+                }
+            }
+            next_seg += 1;
+        }
+
+        let w = win_of(t);
+        match ev {
+            Ev::Start(i) => {
+                let r = &records[i];
+                windows[w].calls_started += 1;
+                let outcome = selector.call_start(r.id, r.first_joiner);
+                match outcome.dc() {
+                    Some(dc) => {
+                        windows[w].starts_by_dc[dc.index()] += 1;
+                        hosted.insert(
+                            r.id,
+                            Hosting {
+                                rec: i,
+                                dc,
+                                since: t,
+                            },
+                        );
+                    }
+                    None => {
+                        stranded += 1;
+                        windows[w].stranded += 1;
+                        met.stranded.inc();
+                    }
+                }
+            }
+            Ev::Freeze(i) => {
+                let r = &records[i];
+                let Some(h) = hosted.get_mut(&r.id) else {
+                    continue; // stranded before freezing
+                };
+                let decision = selector.config_frozen(r.id, r.config, r.start_minute);
+                let Some(final_dc) = decision.final_dc() else {
+                    continue;
+                };
+                if decision.migrated() {
+                    plan_migrations += 1;
+                    windows[w].plan_migrations += 1;
+                }
+                if final_dc != h.dc {
+                    flush(h, t, &routing, &mut core_delta, &mut link_delta);
+                    h.dc = final_dc;
+                }
+                if let Some(a) = latmap.acl(catalog.config(r.config), final_dc) {
+                    acl_sum += a;
+                    acl_n += 1;
+                    windows[w].acl_sum += a;
+                    windows[w].acl_n += 1;
+                }
+            }
+            Ev::End(i) => {
+                let r = &records[i];
+                if let Some(mut h) = hosted.remove(&r.id) {
+                    flush(&mut h, t, &routing, &mut core_delta, &mut link_delta);
+                    selector.call_end(r.id);
+                }
+            }
+        }
+    }
+
+    // integrate deltas → usage; peaks and violations against *effective*
+    // capacity (CapacityDegraded scales per-DC cores per minute)
+    let mut peaks = ProvisionedCapacity::zero(topo);
+    let mut violations = 0u64;
+    let mut worst = 0.0f64;
+    let mut cur_cores = vec![0.0f64; topo.dcs.len()];
+    let mut cur_links = vec![0.0f64; topo.links.len()];
+    let mut seg = 0usize;
+    for m in 0..horizon {
+        let minute = t0 + m as u64;
+        while seg + 1 < seg_starts.len() && seg_starts[seg + 1] <= minute {
+            seg += 1;
+        }
+        let st = &seg_states[seg];
+        let w = win_of(minute);
+        windows[w].down_dcs = windows[w].down_dcs.max(st.mask.down_dcs().count() as u32);
+        windows[w].down_links = windows[w]
+            .down_links
+            .max(st.mask.down_links().count() as u32);
+        for (c, d) in cur_cores.iter_mut().zip(&core_delta[m]) {
+            *c += d;
+        }
+        for (c, d) in cur_links.iter_mut().zip(&link_delta[m]) {
+            *c += d;
+        }
+        for (p, &u) in peaks.cores.iter_mut().zip(&cur_cores) {
+            *p = p.max(u);
+        }
+        for (p, &u) in peaks.gbps.iter_mut().zip(&cur_links) {
+            *p = p.max(u);
+        }
+        if let Some(cap) = &cfg.capacity {
+            for (i, &u) in cur_cores.iter().enumerate() {
+                let eff = cap.cores[i] * st.core_fraction[i];
+                if u > eff + 1e-9 {
+                    violations += 1;
+                    windows[w].violations += 1;
+                    worst = worst.max((u - eff) / eff.max(1e-9));
+                }
+            }
+            for (i, &u) in cur_links.iter().enumerate() {
+                if u > cap.gbps[i] + 1e-9 {
+                    violations += 1;
+                    windows[w].violations += 1;
+                    worst = worst.max((u - cap.gbps[i]) / cap.gbps[i].max(1e-9));
+                }
+            }
+        }
+    }
+    met.violations.add(violations);
+
+    if sb_obs::global().enabled() {
+        for w in &windows {
+            met.windows.push(vec![
+                Value::from(w.start_minute),
+                Value::from(w.calls_started),
+                Value::from(w.plan_migrations),
+                Value::from(w.forced_migrations),
+                Value::from(w.stranded),
+                Value::from(w.violations),
+                Value::from(w.down_dcs as u64),
+                Value::from(w.down_links as u64),
+                Value::from(w.mean_acl_ms()),
+            ]);
+        }
+    }
+
+    ChaosReport {
+        calls: records.len() as u64,
+        selector: selector.stats().clone(),
+        stranded,
+        forced_migrations: forced,
+        plan_migrations,
+        capacity_violations: violations,
+        worst_overshoot: worst,
+        peaks,
+        mean_acl_ms: if acl_n > 0 {
+            acl_sum / acl_n as f64
+        } else {
+            0.0
+        },
+        windows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_core::AllocationShares;
+    use sb_workload::{CallConfig, CallRecord, ConfigId, DemandMatrix, MediaType};
+
+    fn world() -> (Topology, ConfigCatalog, ConfigId) {
+        let topo = sb_net::presets::toy_three_dc();
+        let jp = topo.country_by_name("JP");
+        let mut cat = ConfigCatalog::new();
+        let id = cat.intern(CallConfig::new(vec![(jp, 2)], MediaType::Audio));
+        (topo, cat, id)
+    }
+
+    fn record(id: u64, cfg: ConfigId, start: u64, dur: u16, c: sb_net::CountryId) -> CallRecord {
+        CallRecord {
+            id,
+            config: cfg,
+            start_minute: start,
+            duration_min: dur,
+            first_joiner: c,
+            join_offsets_s: vec![0, 60],
+        }
+    }
+
+    /// Quotas that put every call of `cfg` at `dc` for `slots` slots.
+    fn all_at(cfg: ConfigId, dc: DcId, slots: usize, per_slot: f64) -> PlannedQuotas {
+        let mut shares = AllocationShares::new(slots);
+        let mut demand = DemandMatrix::zero(cfg.index() + 1, slots, 30, 0);
+        for s in 0..slots {
+            shares.set(cfg, s, vec![(dc, 1.0)]);
+            demand.set(cfg, s, per_slot);
+        }
+        PlannedQuotas::from_plan(&shares, &demand)
+    }
+
+    #[test]
+    fn empty_timeline_matches_plain_replay_counters() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..10 {
+            db.push(record(i, id, i, 30, jp));
+        }
+        let quotas = all_at(id, tokyo, 2, 30.0);
+        let report = chaos_replay(
+            &topo,
+            &cat,
+            &db,
+            &FaultTimeline::new(),
+            quotas,
+            &ChaosConfig::default(),
+        );
+        assert_eq!(report.calls, 10);
+        assert_eq!(report.stranded, 0);
+        assert_eq!(report.forced_migrations, 0);
+        assert_eq!(report.plan_migrations, 0);
+        assert!(report.peaks.cores[tokyo.index()] > 0.0);
+    }
+
+    #[test]
+    fn dc_outage_rehomes_inflight_calls_and_recovery_brings_new_calls_back() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        // steady stream: one 30-minute call starting each minute for 3 hours
+        for i in 0..180 {
+            db.push(record(i, id, i, 30, jp));
+        }
+        let quotas = all_at(id, tokyo, 6, 40.0);
+        // Tokyo down minutes [60, 120)
+        let timeline = FaultTimeline::from_scenario(FailureScenario::DcDown(tokyo), 60, Some(120));
+        let cfg = ChaosConfig {
+            window_minutes: 60,
+            ..ChaosConfig::default()
+        };
+        let report = chaos_replay(&topo, &cat, &db, &timeline, quotas, &cfg);
+        assert_eq!(report.stranded, 0, "two DCs survive — nobody strands");
+        // the ~29 calls in flight at minute 60 are forcibly re-homed
+        assert!(
+            report.forced_migrations >= 25,
+            "{}",
+            report.forced_migrations
+        );
+        assert_eq!(report.selector.forced_migrations, report.forced_migrations);
+        // windows: [0,60) healthy, [60,120) outage, [120,180+) recovered
+        let w0 = &report.windows[0];
+        let w1 = &report.windows[1];
+        let w2 = &report.windows[2];
+        assert_eq!(w0.down_dcs, 0);
+        assert_eq!(w1.down_dcs, 1);
+        assert_eq!(w2.down_dcs, 0);
+        assert!(w0.starts_by_dc[tokyo.index()] > 0);
+        // during the outage no new call lands on Tokyo …
+        assert_eq!(w1.starts_by_dc[tokyo.index()], 0);
+        assert!(w1.calls_started > 0);
+        assert_eq!(w1.forced_migrations, report.forced_migrations);
+        // … and after recovery new calls return to it (mid-replay recovery)
+        assert!(w2.starts_by_dc[tokyo.index()] > 0);
+    }
+
+    #[test]
+    fn total_outage_strands_and_usage_stops() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..10 {
+            db.push(record(i, id, 0, 60, jp));
+        }
+        // all three DCs down from minute 20, forever
+        let mut timeline = FaultTimeline::new();
+        for dc in topo.dc_ids() {
+            timeline.push(FaultEvent::DcDown {
+                dc,
+                at: 20,
+                recover_at: None,
+            });
+        }
+        let quotas = all_at(id, tokyo, 2, 10.0);
+        let report = chaos_replay(&topo, &cat, &db, &timeline, quotas, &ChaosConfig::default());
+        assert_eq!(report.stranded, 10, "every in-flight call strands");
+        // dropped calls stop consuming: peak equals the pre-outage level and
+        // usage after minute 20 is zero (peaks reflect [0,20) only)
+        let cl = cat.config(id).compute_load();
+        assert!((report.peaks.cores[tokyo.index()] - 10.0 * cl).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_flap_toggles_state() {
+        let (topo, _cat, _id) = world();
+        let l = sb_net::LinkId(0);
+        let timeline = FaultTimeline::new().with(FaultEvent::LinkFlap {
+            link: l,
+            at: 10,
+            until: 50,
+            period_min: 10,
+        });
+        // down [10,20) up [20,30) down [30,40) up [40,50)
+        assert!(!timeline
+            .state_at(&topo, 9)
+            .mask
+            .down_links()
+            .any(|x| x == l));
+        assert!(timeline
+            .state_at(&topo, 10)
+            .mask
+            .down_links()
+            .any(|x| x == l));
+        assert!(timeline
+            .state_at(&topo, 15)
+            .mask
+            .down_links()
+            .any(|x| x == l));
+        assert!(!timeline
+            .state_at(&topo, 25)
+            .mask
+            .down_links()
+            .any(|x| x == l));
+        assert!(timeline
+            .state_at(&topo, 35)
+            .mask
+            .down_links()
+            .any(|x| x == l));
+        assert!(!timeline
+            .state_at(&topo, 45)
+            .mask
+            .down_links()
+            .any(|x| x == l));
+        assert!(!timeline
+            .state_at(&topo, 50)
+            .mask
+            .down_links()
+            .any(|x| x == l));
+        let cps = timeline.change_points(0, 100);
+        assert_eq!(cps, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn capacity_degradation_creates_violations_without_migrations() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..10 {
+            db.push(record(i, id, 0, 60, jp));
+        }
+        let quotas = all_at(id, tokyo, 2, 10.0);
+        let cl = cat.config(id).compute_load();
+        // capacity exactly fits 10 calls; degrade Tokyo to 40% mid-run
+        let mut cap = ProvisionedCapacity::zero(&topo);
+        cap.cores = vec![10.0 * cl; topo.dcs.len()];
+        cap.gbps = vec![1e9; topo.links.len()];
+        let timeline = FaultTimeline::new().with(FaultEvent::CapacityDegraded {
+            dc: tokyo,
+            fraction: 0.4,
+            at: 30,
+            recover_at: Some(40),
+        });
+        let cfg = ChaosConfig {
+            capacity: Some(cap),
+            ..ChaosConfig::default()
+        };
+        let report = chaos_replay(&topo, &cat, &db, &timeline, quotas, &cfg);
+        assert_eq!(report.forced_migrations, 0, "DC never went down");
+        assert_eq!(report.capacity_violations, 10, "one per degraded minute");
+        assert!(report.worst_overshoot > 0.0);
+    }
+
+    #[test]
+    fn plan_stale_window_disables_plan_migrations() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let pune = topo.dc_by_name("Pune");
+        let mut db = CallRecordsDb::new(cat.clone());
+        // calls freeze at minute start+5; first batch freezes during the
+        // stale window, second after the plan refresh
+        for i in 0..5 {
+            db.push(record(i, id, 0, 30, jp));
+        }
+        for i in 5..10 {
+            db.push(record(i, id, 60, 30, jp));
+        }
+        // plan wants everything at Pune (remote) → normally 100% migrations
+        let quotas = all_at(id, pune, 4, 10.0);
+        let timeline = FaultTimeline::new().with(FaultEvent::PlanStale {
+            from: 0,
+            until: Some(30),
+        });
+        let report = chaos_replay(&topo, &cat, &db, &timeline, quotas, &ChaosConfig::default());
+        // stale window: 5 calls stay local; refreshed plan: 5 migrate
+        assert_eq!(report.plan_migrations, 5);
+        assert_eq!(report.selector.plan_stale, 5);
+        assert_eq!(report.stranded, 0);
+    }
+}

@@ -42,7 +42,7 @@ impl LatencyEstimator {
             return None;
         }
         let mut sorted = v.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let n = sorted.len();
         Some(if n % 2 == 1 {
             sorted[n / 2]

@@ -33,10 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod estimator;
 pub mod failures;
 pub mod replay;
 
+pub use chaos::{
+    chaos_replay, ChaosConfig, ChaosReport, ChaosState, FaultEvent, FaultTimeline, WindowStats,
+};
 pub use estimator::{estimate_from_trace, sample_leg_latency, LatencyEstimator};
 pub use failures::{drill, DrillReport};
 pub use replay::{replay, ReplayConfig, ReplayReport};

@@ -84,7 +84,7 @@ pub fn replay(
     latmap: &LatencyMap,
     catalog: &ConfigCatalog,
     db: &CallRecordsDb,
-    selector: &mut RealtimeSelector<'_>,
+    selector: &mut RealtimeSelector,
     cfg: &ReplayConfig,
 ) -> ReplayReport {
     let m = replay_metrics();
@@ -148,9 +148,14 @@ pub fn replay(
             }
             Ev::Freeze(i) => {
                 let r = &records[i];
-                let initial = selector.current_dc(r.id).expect("started");
+                // a stranded call never started tracking — skip accounting
+                let Some(initial) = selector.current_dc(r.id) else {
+                    continue;
+                };
                 let decision = selector.config_frozen(r.id, r.config, r.start_minute);
-                let final_dc = decision.final_dc();
+                let Some(final_dc) = decision.final_dc() else {
+                    continue;
+                };
                 let freeze = r.start_minute + cfg.freeze_minutes.min(r.duration_min as u64);
                 add_interval(r, initial, r.start_minute, freeze);
                 add_interval(r, final_dc, freeze, r.end_minute());

@@ -165,6 +165,27 @@ impl CallStateStore {
         self.map.get(&call)
     }
 
+    /// Fail or heal a store shard (chaos drills): writes routed to a failed
+    /// shard are dropped and counted, reads serve stale state.
+    pub fn fail_shard(&self, idx: usize, down: bool) {
+        self.map.fail_shard(idx, down);
+    }
+
+    /// Which shard `call`'s state lives on.
+    pub fn shard_of(&self, call: u64) -> usize {
+        self.map.shard_index(&call)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.map.num_shards()
+    }
+
+    /// Writes dropped on failed shards since creation.
+    pub fn dropped_writes(&self) -> u64 {
+        self.map.dropped_writes()
+    }
+
     /// Active calls.
     pub fn active_calls(&self) -> usize {
         self.map.len()

@@ -22,6 +22,9 @@ pub struct ThroughputResult {
     pub elapsed: Duration,
     /// Sustained events per second.
     pub events_per_sec: f64,
+    /// Writes dropped on failed shards during this run (0 when no shard
+    /// failure was injected).
+    pub dropped_writes: u64,
     /// Merged write-latency histogram.
     pub latency: LatencyHistogram,
 }
@@ -42,6 +45,7 @@ pub fn measure_throughput(
         .map(|_| channel::bounded::<CallEvent>(4096))
         .unzip();
 
+    let dropped_before = store.dropped_writes();
     let start = Instant::now();
     let mut merged = LatencyHistogram::new();
     std::thread::scope(|s| {
@@ -73,6 +77,7 @@ pub fn measure_throughput(
         events: events.len() as u64,
         elapsed,
         events_per_sec,
+        dropped_writes: store.dropped_writes() - dropped_before,
         latency: merged,
     }
 }
@@ -169,6 +174,31 @@ mod tests {
             let st = store.get(c).expect("call still active");
             assert_eq!(st.total_participants(), 11, "call {c} lost joins");
         }
+    }
+
+    #[test]
+    fn failed_shard_during_run_is_accounted_and_survivors_progress() {
+        let store = CallStateStore::new(4);
+        // fail the shard hosting call 0's state before the run: every event
+        // routed there is dropped, everything else lands
+        let victim = store.shard_of(0);
+        store.fail_shard(victim, true);
+        let events = synth_events(200, 4);
+        let r = measure_throughput(&store, &events, 4);
+        assert_eq!(r.events, events.len() as u64);
+        assert!(r.dropped_writes > 0, "victim shard must drop writes");
+        assert!(
+            r.dropped_writes < events.len() as u64,
+            "surviving shards must still apply writes"
+        );
+        // calls on healthy shards ran Start→…→End and were cleaned up; calls
+        // on the failed shard left nothing behind (their Start was dropped)
+        assert_eq!(store.active_calls(), 0);
+        // healing restores write service with the counter frozen
+        store.fail_shard(victim, false);
+        let r2 = measure_throughput(&store, &events, 2);
+        assert_eq!(r2.dropped_writes, 0);
+        assert_eq!(store.active_calls(), 0);
     }
 
     #[test]

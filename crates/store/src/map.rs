@@ -1,10 +1,15 @@
 //! A sharded concurrent hash map — the in-process stand-in for the Azure
 //! Redis instance the paper's controller writes call state to (§6.6).
 //! Sharding by key hash keeps writer threads from serializing on one lock.
+//!
+//! Shards can be failed at runtime ([`ShardedMap::fail_shard`]) to model a
+//! Redis partition losing its primary: writes to a failed shard are dropped
+//! (and counted), reads keep serving the stale pre-failure state — the
+//! read-only failover regime of a replicated cache.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -13,6 +18,7 @@ use sb_obs::{Counter, Histogram};
 struct StoreMetrics {
     read_ops: Counter,
     write_ops: Counter,
+    dropped_writes: Counter,
     lock_wait_ns: Histogram,
 }
 
@@ -23,16 +29,19 @@ fn store_metrics() -> &'static StoreMetrics {
         StoreMetrics {
             read_ops: reg.counter("store.read_ops"),
             write_ops: reg.counter("store.write_ops"),
+            dropped_writes: reg.counter("store.dropped_writes"),
             lock_wait_ns: reg.histogram("store.lock_wait_ns"),
         }
     })
 }
 
-/// One shard: its lock plus a relaxed op counter for hot-spot diagnosis.
+/// One shard: its lock plus a relaxed op counter for hot-spot diagnosis and
+/// a failure flag for chaos drills.
 #[derive(Debug)]
 struct Shard<K, V> {
     lock: RwLock<HashMap<K, V>>,
     ops: AtomicU64,
+    failed: AtomicBool,
 }
 
 /// Sharded `HashMap` with per-shard `RwLock`s.
@@ -41,6 +50,7 @@ pub struct ShardedMap<K, V> {
     shards: Vec<Shard<K, V>>,
     hasher: RandomState,
     mask: usize,
+    dropped: AtomicU64,
 }
 
 impl<K: Hash + Eq, V> ShardedMap<K, V> {
@@ -52,10 +62,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
                 .map(|_| Shard {
                     lock: RwLock::new(HashMap::new()),
                     ops: AtomicU64::new(0),
+                    failed: AtomicBool::new(false),
                 })
                 .collect(),
             hasher: RandomState::new(),
             mask: n - 1,
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -73,9 +85,48 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
             .collect()
     }
 
+    /// Which shard `key` hashes to.
+    pub fn shard_index(&self, key: &K) -> usize {
+        self.hasher.hash_one(key) as usize & self.mask
+    }
+
+    /// Fail or heal a shard. Writes to a failed shard are dropped (and
+    /// counted in [`ShardedMap::dropped_writes`]); reads keep serving the
+    /// stale pre-failure state.
+    pub fn fail_shard(&self, idx: usize, down: bool) {
+        self.shards[idx].failed.store(down, Ordering::Relaxed);
+    }
+
+    /// Indices of currently failed shards.
+    pub fn failed_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.failed.load(Ordering::Relaxed))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Writes dropped because their shard was failed, since creation.
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     fn shard(&self, key: &K) -> &Shard<K, V> {
         let h = self.hasher.hash_one(key) as usize;
         &self.shards[h & self.mask]
+    }
+
+    /// True (and accounted) when `key`'s shard is failed: the write must be
+    /// dropped.
+    fn drop_write(&self, key: &K) -> bool {
+        if self.shard(key).failed.load(Ordering::Relaxed) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            store_metrics().dropped_writes.inc();
+            true
+        } else {
+            false
+        }
     }
 
     /// Acquire a shard's read lock, recording the wait in the global registry.
@@ -98,8 +149,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         s.lock.write()
     }
 
-    /// Insert, returning the previous value.
+    /// Insert, returning the previous value. Dropped (returning `None`)
+    /// when the key's shard is failed.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
+        if self.drop_write(&key) {
+            return None;
+        }
         self.write_shard(&key).insert(key, value)
     }
 
@@ -116,8 +171,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.read_shard(key).get(key).map(f)
     }
 
-    /// Atomic read-modify-write; returns false when the key is absent.
+    /// Atomic read-modify-write; returns false when the key is absent or
+    /// its shard is failed (the write is dropped).
     pub fn update(&self, key: &K, f: impl FnOnce(&mut V)) -> bool {
+        if self.drop_write(key) {
+            return false;
+        }
         match self.write_shard(key).get_mut(key) {
             Some(v) => {
                 f(v);
@@ -127,8 +186,11 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         }
     }
 
-    /// Insert-or-update.
+    /// Insert-or-update. Dropped when the key's shard is failed.
     pub fn upsert(&self, key: K, insert: impl FnOnce() -> V, update: impl FnOnce(&mut V)) {
+        if self.drop_write(&key) {
+            return;
+        }
         let mut guard = self.write_shard(&key);
         match guard.get_mut(&key) {
             Some(v) => update(v),
@@ -138,8 +200,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         }
     }
 
-    /// Remove a key, returning its value.
+    /// Remove a key, returning its value. Dropped (returning `None`) when
+    /// the key's shard is failed.
     pub fn remove(&self, key: &K) -> Option<V> {
+        if self.drop_write(key) {
+            return None;
+        }
         self.write_shard(key).remove(key)
     }
 
@@ -183,6 +249,30 @@ mod tests {
         assert_eq!(m.remove(&1), Some("c"));
         assert_eq!(m.remove(&1), None);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn failed_shard_drops_writes_but_serves_stale_reads() {
+        let m = ShardedMap::new(1); // one shard: every key maps to it
+        m.insert(1u64, 10u64);
+        assert_eq!(m.shard_index(&1), 0);
+        m.fail_shard(0, true);
+        assert_eq!(m.failed_shards(), vec![0]);
+        // writes of every flavor are dropped …
+        assert_eq!(m.insert(2, 20), None);
+        assert!(!m.update(&1, |v| *v = 99));
+        m.upsert(3, || 30, |_| unreachable!());
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.dropped_writes(), 4);
+        // … while stale reads keep working
+        assert_eq!(m.get(&1), Some(10));
+        assert_eq!(m.get(&2), None);
+        // healing restores writes; the drop counter is cumulative
+        m.fail_shard(0, false);
+        assert!(m.failed_shards().is_empty());
+        assert!(m.update(&1, |v| *v = 11));
+        assert_eq!(m.get(&1), Some(11));
+        assert_eq!(m.dropped_writes(), 4);
     }
 
     #[test]

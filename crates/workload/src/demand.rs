@@ -113,7 +113,7 @@ impl DemandMatrix {
             .enumerate()
             .map(|(i, t)| (ConfigId(i as u32), t))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 

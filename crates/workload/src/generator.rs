@@ -359,7 +359,7 @@ mod tests {
         let argmax = |v: &[f64]| {
             v.iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .unwrap()
                 .0
         };

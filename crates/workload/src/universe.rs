@@ -252,7 +252,7 @@ mod tests {
     fn head_heavy_but_not_degenerate() {
         let (_, u) = universe();
         let mut weights: Vec<f64> = u.specs.iter().map(|s| s.weight).collect();
-        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        weights.sort_by(|a, b| b.total_cmp(a));
         // the top 10 % of configs carries the clear majority of calls…
         let top10pct: f64 = weights.iter().take(u.len() / 10).sum();
         assert!(top10pct > 0.55, "top 10% covers only {top10pct}");
@@ -268,7 +268,7 @@ mod tests {
         let best = u
             .specs
             .iter()
-            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+            .max_by(|a, b| a.weight.total_cmp(&b.weight))
             .unwrap();
         let cfg = u.catalog.config(best.id);
         assert_eq!(cfg.total_participants(), 2);
@@ -276,7 +276,7 @@ mod tests {
         let heaviest = topo
             .countries
             .iter()
-            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+            .max_by(|a, b| a.weight.total_cmp(&b.weight))
             .unwrap();
         assert_eq!(cfg.majority_country(), heaviest.id);
     }

@@ -27,7 +27,7 @@ fn main() {
 
     // §5.2: forecast only the head configs; a cushion covers the tail
     let mut ranked: Vec<_> = generator.universe().specs.iter().collect();
-    ranked.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+    ranked.sort_by(|a, b| b.weight.total_cmp(&a.weight));
     let head: Vec<_> = ranked.iter().take(40).map(|s| s.id).collect();
 
     println!(

@@ -19,4 +19,7 @@ cargo test -q
 echo "==> workspace tests: cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> chaos smoke drill: sec63_failure_drills --smoke"
+cargo run --release -q -p sb-bench --bin sec63_failure_drills -- --smoke
+
 echo "all checks passed"

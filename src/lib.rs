@@ -134,14 +134,19 @@ pub mod prelude {
     pub use sb_core::{
         allocation_plan, provision, AllocationShares, BaselinePlan, BaselinePolicy, FreezeDecision,
         LatencyMap, PlannedQuotas, PlanningInputs, ProvisionError, ProvisionerParams,
-        ProvisioningPlan, RealtimeSelector, ScenarioSolution, SelectorStats,
+        ProvisioningPlan, RealtimeSelector, ScenarioSolution, SelectorOutcome, SelectorRung,
+        SelectorStats,
     };
     pub use sb_lp::{
-        DenseSimplex, LpError, LpProblem, RevisedSimplex, Solution, SolveStats, Solver,
+        DenseSimplex, GuardedSimplex, LpError, LpProblem, RevisedSimplex, Solution, SolveStats,
+        Solver,
     };
-    pub use sb_net::{FailureScenario, ProvisionedCapacity, RoutingTable, Topology};
+    pub use sb_net::{FailureMask, FailureScenario, ProvisionedCapacity, RoutingTable, Topology};
     pub use sb_obs::{MetricsRegistry, ScopedTimer};
-    pub use sb_sim::{replay, ReplayConfig, ReplayReport};
+    pub use sb_sim::{
+        chaos_replay, replay, ChaosConfig, ChaosReport, FaultEvent, FaultTimeline, ReplayConfig,
+        ReplayReport,
+    };
     pub use sb_store::{measure_throughput, CallStateStore, ShardedMap};
     pub use sb_workload::{
         CallConfig, CallRecordsDb, ConfigCatalog, DemandMatrix, Generator, MediaType,

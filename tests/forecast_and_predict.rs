@@ -28,7 +28,7 @@ fn per_config_forecast_accuracy() {
         .universe()
         .specs
         .iter()
-        .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+        .max_by(|a, b| a.weight.total_cmp(&b.weight))
         .unwrap()
         .id;
     let history = generator.sample_config_series(best, 0, 9 * 30, 1);
