@@ -1,0 +1,319 @@
+//! Solver perf harness for the provisioning-LP scenario sweep: cold vs
+//! warm-started solves × Dantzig vs candidate-list partial pricing, on the
+//! APAC failure-scenario set (`F₀` + every DC + every link down).
+//!
+//! Every variant runs the same [`sb_core::provision::solve_scenarios`] sweep
+//! on one thread, so the wall times compare end to end: LP patching, basis
+//! injection, pricing and extraction included. The final provisioned
+//! capacity (component-wise max across scenarios) must be identical across
+//! variants — warm starts and pricing are pure performance knobs.
+//!
+//! Usage: `lp_scenario_sweep [--smoke] [--json <path>]`
+//!
+//! `--smoke` runs a single repetition (CI gate); the default takes the best
+//! of 3. Machine-readable numbers go to `BENCH_lp.json` (see README for the
+//! format); the human-readable table goes to stdout.
+
+use std::time::Instant;
+
+use sb_bench::common::{build_eval, print_table, EvalScale};
+use sb_core::formulation::{PlanningInputs, SolveOptions};
+use sb_core::provision::{solve_scenarios, ProvisionerParams};
+use sb_core::ScenarioSolution;
+use sb_lp::{Pricing, RevisedSimplex};
+use sb_net::{FailureScenario, ProvisionedCapacity};
+
+struct Variant {
+    name: &'static str,
+    warm_start: bool,
+    pricing: Pricing,
+}
+
+#[derive(Default)]
+struct Aggregate {
+    wall_s: f64,
+    iterations: u64,
+    phase1_iterations: u64,
+    warm_started: u64,
+    phase1_iterations_saved: u64,
+    pricing_scans: u64,
+    pricing_cols_scanned: u64,
+    full_pricing_sweeps: u64,
+}
+
+fn aggregate(sols: &[ScenarioSolution], wall_s: f64) -> Aggregate {
+    let mut a = Aggregate {
+        wall_s,
+        ..Default::default()
+    };
+    for s in sols {
+        a.iterations += s.stats.phase1_iterations + s.stats.phase2_iterations;
+        a.phase1_iterations += s.stats.phase1_iterations;
+        a.warm_started += u64::from(s.stats.warm_started);
+        a.phase1_iterations_saved += s.stats.phase1_iterations_saved;
+        a.pricing_scans += s.stats.pricing_scans;
+        a.pricing_cols_scanned += s.stats.pricing_cols_scanned;
+        a.full_pricing_sweeps += s.stats.full_pricing_sweeps;
+    }
+    a
+}
+
+fn union_capacity(topo: &sb_net::Topology, sols: &[ScenarioSolution]) -> ProvisionedCapacity {
+    let mut cap = ProvisionedCapacity::zero(topo);
+    for s in sols {
+        cap.max_with(&s.capacity);
+    }
+    cap
+}
+
+/// Largest relative component difference between two capacity vectors.
+fn capacity_rel_diff(a: &ProvisionedCapacity, b: &ProvisionedCapacity) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (x, y) in a
+        .cores
+        .iter()
+        .zip(&b.cores)
+        .chain(a.gbps.iter().zip(&b.gbps))
+    {
+        worst = worst.max((x - y).abs() / x.abs().max(y.abs()).max(1.0));
+    }
+    worst
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = String::from("BENCH_lp.json");
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                path = args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                });
+            } else if let Some(p) = a.strip_prefix("--json=") {
+                path = p.to_string();
+            }
+        }
+        path
+    };
+    let reps = if smoke { 1 } else { 3 };
+
+    let scale = EvalScale::quick();
+    eprintln!(
+        "building workload: {} configs, {:.0} calls/day, {} days, {}-min slots …",
+        scale.num_configs, scale.daily_calls, scale.days, scale.slot_minutes
+    );
+    let data = build_eval(&scale);
+    let inputs = PlanningInputs {
+        topo: &data.topo,
+        catalog: &data.catalog,
+        demand: &data.demand_env,
+        latency_threshold_ms: 120.0,
+    };
+    // F₀ first: it is the seed solve the warm variants start every other
+    // scenario from
+    let scenarios = FailureScenario::enumerate(&data.topo);
+    assert_eq!(scenarios[0], FailureScenario::None);
+    eprintln!(
+        "sweeping {} scenarios ({} DCs, {} links), best of {reps}",
+        scenarios.len(),
+        data.topo.dcs.len(),
+        data.topo.links.len()
+    );
+
+    let variants = [
+        Variant {
+            name: "cold+dantzig",
+            warm_start: false,
+            pricing: Pricing::Dantzig,
+        },
+        Variant {
+            name: "cold+partial",
+            warm_start: false,
+            pricing: Pricing::partial(),
+        },
+        Variant {
+            name: "warm+dantzig",
+            warm_start: true,
+            pricing: Pricing::Dantzig,
+        },
+        Variant {
+            name: "warm+partial",
+            warm_start: true,
+            pricing: Pricing::partial(),
+        },
+    ];
+
+    let mut aggs: Vec<Aggregate> = Vec::new();
+    let mut caps: Vec<ProvisionedCapacity> = Vec::new();
+    let mut sols_ref: Option<Vec<ScenarioSolution>> = None;
+    let mut lp_dims = (0usize, 0usize);
+    for v in &variants {
+        let params = ProvisionerParams {
+            with_backup: true,
+            solve: SolveOptions {
+                warm_start: v.warm_start,
+                solver: RevisedSimplex {
+                    pricing: v.pricing,
+                    ..RevisedSimplex::new()
+                },
+                ..SolveOptions::default()
+            },
+            threads: 1,
+            refine_passes: 0,
+        };
+        let mut best: Option<(f64, Vec<ScenarioSolution>)> = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let sols = solve_scenarios(&inputs, &scenarios, None, &params).expect("sweep solves");
+            let wall = t0.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+                best = Some((wall, sols));
+            }
+        }
+        let (wall, sols) = best.expect("at least one rep");
+        if let Some(reference) = sols_ref.as_ref() {
+            for (a, b) in reference.iter().zip(&sols) {
+                let rel = (a.objective - b.objective).abs() / (1.0 + a.objective.abs());
+                if rel > 1e-6 {
+                    eprintln!(
+                        "  objective mismatch {:?}: {} vs {} (rel {rel:.3e}, rung {})",
+                        b.scenario, a.objective, b.objective, b.stats.rung
+                    );
+                }
+            }
+        } else {
+            sols_ref = Some(sols.clone());
+        }
+        lp_dims = (sols[0].lp_rows, sols[0].lp_cols);
+        caps.push(union_capacity(&data.topo, &sols));
+        let a = aggregate(&sols, wall);
+        eprintln!(
+            "{:<13} {:.3}s  iters {}  warm {}/{}  cost {:.1}",
+            v.name,
+            wall,
+            a.iterations,
+            a.warm_started,
+            sols.len(),
+            caps.last().unwrap().cost(&data.topo),
+        );
+        aggs.push(a);
+    }
+
+    // warm starts and pricing must not change what gets provisioned
+    let mut cap_diff: f64 = 0.0;
+    for cap in &caps[1..] {
+        cap_diff = cap_diff.max(capacity_rel_diff(&caps[0], cap));
+    }
+
+    let speedup = aggs[0].wall_s / aggs[3].wall_s;
+
+    println!("== LP scenario sweep: warm start × pricing ablation ==\n");
+    println!(
+        "APAC, {} scenarios, master LP {} rows × {} cols, best of {reps}\n",
+        scenarios.len(),
+        lp_dims.0,
+        lp_dims.1
+    );
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .zip(&aggs)
+        .map(|(v, a)| {
+            vec![
+                v.name.to_string(),
+                format!("{:.3}", a.wall_s),
+                a.iterations.to_string(),
+                a.phase1_iterations.to_string(),
+                format!("{}/{}", a.warm_started, scenarios.len()),
+                a.phase1_iterations_saved.to_string(),
+                a.pricing_cols_scanned.to_string(),
+                format!("{:.2}x", aggs[0].wall_s / a.wall_s),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "variant",
+            "wall(s)",
+            "iters",
+            "phase1",
+            "warm",
+            "p1_saved",
+            "cols_scanned",
+            "speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "\nwarm+partial vs cold+dantzig: {speedup:.2}x end-to-end; \
+         capacities identical (max rel diff {cap_diff:.1e})"
+    );
+    assert!(
+        cap_diff <= 1e-6,
+        "variants disagree on provisioned capacity (max rel diff {cap_diff:.3e})"
+    );
+    if !smoke {
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x end-to-end speedup, measured {speedup:.2}x"
+        );
+    }
+
+    // machine-readable dump
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"lp_scenario_sweep\",\n");
+    out.push_str("  \"topology\": \"apac\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!("  \"scenarios\": {},\n", scenarios.len()));
+    out.push_str(&format!("  \"lp_rows\": {},\n", lp_dims.0));
+    out.push_str(&format!("  \"lp_cols\": {},\n", lp_dims.1));
+    out.push_str("  \"variants\": [\n");
+    for (i, (v, a)) in variants.iter().zip(&aggs).enumerate() {
+        let pricing = match v.pricing {
+            Pricing::Dantzig => "dantzig".to_string(),
+            Pricing::Partial {
+                list_size,
+                full_sweep_every,
+            } => format!("partial({list_size},{full_sweep_every})"),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"warm_start\": {}, \"pricing\": \"{}\", \
+             \"wall_s\": {:.6}, \"iterations\": {}, \"phase1_iterations\": {}, \
+             \"warm_started\": {}, \"phase1_iterations_saved\": {}, \
+             \"pricing_scans\": {}, \"pricing_cols_scanned\": {}, \
+             \"full_pricing_sweeps\": {}}}{}\n",
+            json_escape(v.name),
+            v.warm_start,
+            json_escape(&pricing),
+            a.wall_s,
+            a.iterations,
+            a.phase1_iterations,
+            a.warm_started,
+            a.phase1_iterations_saved,
+            a.pricing_scans,
+            a.pricing_cols_scanned,
+            a.full_pricing_sweeps,
+            if i + 1 < variants.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_warm_partial_vs_cold_dantzig\": {speedup:.4},\n"
+    ));
+    out.push_str(&format!("  \"capacity_max_rel_diff\": {cap_diff:.3e}\n"));
+    out.push_str("}\n");
+    match std::fs::write(&json_path, out) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("failed to write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -226,6 +226,7 @@ pub fn solve_scenario_greedy(
         lp_rows: 0,
         lp_cols: 0,
         increment_cost: objective,
+        stats: Default::default(),
     }
 }
 

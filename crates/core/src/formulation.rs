@@ -7,7 +7,7 @@
 //! structurally: `S_tcx` variables are only created for DCs whose
 //! `ACL(x,c) ≤ LAT_th` (with the single-best-DC fallback of Eq. 9's note).
 
-use sb_lp::{GuardedSimplex, LpError, LpProblem, RevisedSimplex, Solver, Var};
+use sb_lp::{Basis, GuardedSimplex, LpError, LpProblem, PreparedProblem, RevisedSimplex, Var};
 use sb_net::{DcId, FailureScenario, LinkId, ProvisionedCapacity, RoutingTable, Topology};
 use sb_workload::{ConfigCatalog, ConfigId, DemandMatrix};
 
@@ -95,6 +95,8 @@ pub struct ScenarioSolution {
     /// Cost of capacity purchased *above* the base handed to the solve
     /// (equals the full capacity cost when there was no base).
     pub increment_cost: f64,
+    /// Engine statistics for the scenario LP (warm start, pricing, rung).
+    pub stats: sb_lp::SolveStats,
 }
 
 /// Why provisioning failed.
@@ -169,6 +171,11 @@ pub struct SolveOptions {
     /// scenario (see [`sb_lp::GuardedSimplex`]). On by default: a degraded
     /// solve beats a provisioning outage.
     pub fallback_to_dense: bool,
+    /// Warm-start scenario solves from a previously exported basis where one
+    /// is available (the scenario sweep seeds every failure scenario with
+    /// the `F₀` optimal basis). An unusable basis silently downgrades to a
+    /// cold solve, so this is purely a performance knob.
+    pub warm_start: bool,
 }
 
 impl Default for SolveOptions {
@@ -179,7 +186,590 @@ impl Default for SolveOptions {
             usage_epsilon: 1e-3,
             solver: RevisedSimplex::new(),
             fallback_to_dense: true,
+            warm_start: true,
         }
+    }
+}
+
+/// One share variable `S_tcx` of the sweep model.
+#[derive(Clone, Debug)]
+struct ShareVar {
+    cfg: ConfigId,
+    slot: usize,
+    dc: DcId,
+    var: Var,
+    demand: f64,
+}
+
+/// The scenario-sweep master LP: one model built over the **union** of every
+/// scenario's allowed `(config, slot, DC)` placements, then patched in place
+/// per scenario instead of rebuilt.
+///
+/// Structure (rows, columns, their order) is scenario-independent; what a
+/// scenario changes is only numbers: share-variable bounds (disallowed
+/// placements and failed resources pin to 0), ACL tie-break costs, network
+/// row coefficients (routing changes under failures), completeness
+/// right-hand sides (dropped configs), and capacity-row right-hand sides
+/// (the base handed to incremental solves). That stability is what makes a
+/// basis exported from one scenario's solve injectable into the next — the
+/// standard-form column layout is identical — so a sweep collapses to one
+/// cold solve plus cheap warm re-optimizations.
+///
+/// Extra columns a scenario pins to 0 never enter the basis (pricing skips
+/// them) and extra all-slack rows keep zero duals, so a single-scenario
+/// `SweepModel` solves exactly the LP [`solve_scenario`] used to build
+/// directly.
+#[derive(Clone, Debug)]
+pub struct SweepModel {
+    lp: LpProblem,
+    prep: PreparedProblem,
+    solver: GuardedSimplex,
+    warm_start: bool,
+    acl_epsilon: f64,
+    min_demand: f64,
+    latency_threshold_ms: f64,
+    t_slots: usize,
+    dominator: Vec<usize>,
+    /// Demand-active configs hostable under ≥ 1 scenario, each with the
+    /// union of allowed DCs across scenarios (first-seen order).
+    active: Vec<(ConfigId, Vec<DcId>)>,
+    /// `share_vars` range per `active` entry (configs are contiguous).
+    share_range: Vec<(usize, usize)>,
+    /// Demand-active configs unreachable under *every* scenario.
+    never_hostable: Vec<ConfigId>,
+    share_vars: Vec<ShareVar>,
+    /// `(UP, CP)` capacity-variable pair per DC (DCs down in all scenarios
+    /// have none).
+    cp: Vec<Option<(Var, Var)>>,
+    /// `(UN, NP)` pair per link (links unused by all scenarios have none).
+    np: Vec<Option<(Var, Var)>>,
+    /// Row index of `UP − CP ≤ base` per DC.
+    cp_row: Vec<usize>,
+    /// Row index of `UN − NP ≤ base` per link.
+    np_row: Vec<usize>,
+    /// `(row, active idx, demand)` per Eq. 9 completeness row.
+    completeness_rows: Vec<(usize, usize, f64)>,
+    /// `(row, slot, link)` per Eq. 6 network row.
+    network_rows: Vec<(usize, usize, LinkId)>,
+    /// `(slot, link)` → index into `network_rows` (`usize::MAX` = no row).
+    net_pos: Vec<usize>,
+}
+
+impl SweepModel {
+    /// Build the master LP for a sweep over `sds`. The model's structure is
+    /// the union over all scenarios; [`solve_one`](Self::solve_one) patches
+    /// it down to a concrete scenario. `inputs` must be the same value later
+    /// passed to `solve_one`.
+    pub fn new(
+        inputs: &PlanningInputs<'_>,
+        sds: &[ScenarioData],
+        opts: &SolveOptions,
+    ) -> Result<SweepModel, ProvisionError> {
+        assert!(!sds.is_empty(), "sweep needs at least one scenario");
+        let topo = inputs.topo;
+        let demand = inputs.demand;
+        let t_slots = demand.num_slots();
+        if demand.total_calls() <= 0.0 {
+            return Err(ProvisionError::EmptyDemand);
+        }
+
+        // demand-active configs and their union of allowed DCs
+        let mut active: Vec<(ConfigId, Vec<DcId>)> = Vec::new();
+        let mut never_hostable = Vec::new();
+        for (cfg_id, cfg) in inputs.catalog.iter() {
+            if cfg_id.index() >= demand.num_configs() {
+                break;
+            }
+            let any_demand = demand.series(cfg_id).iter().any(|&d| d > opts.min_demand);
+            if !any_demand {
+                continue;
+            }
+            let mut union: Vec<DcId> = Vec::new();
+            for sd in sds {
+                for (dc, _) in sd.latmap.allowed_dcs(cfg, inputs.latency_threshold_ms) {
+                    if !union.contains(&dc) {
+                        union.push(dc);
+                    }
+                }
+            }
+            if union.is_empty() {
+                never_hostable.push(cfg_id);
+            } else {
+                active.push((cfg_id, union));
+            }
+        }
+
+        // Dominated-slot reduction (exact): if slot s's demand vector is
+        // component-wise ≤ slot s''s, any feasible allocation for s' scaled
+        // down per config also serves s within the same peaks — so s adds no
+        // binding constraint. Solve only the Pareto-maximal slots and copy
+        // shares to the dominated ones. Processing by descending total
+        // demand guarantees every dominator is itself a kept slot
+        // (domination implies total ≤).
+        let mut dominator: Vec<usize> = (0..t_slots).collect();
+        let kept_slots: Vec<usize> = {
+            let cfg_ids: Vec<ConfigId> = active.iter().map(|(id, _)| *id).collect();
+            let cols: Vec<Vec<f64>> = (0..t_slots)
+                .map(|s| cfg_ids.iter().map(|&id| demand.get(id, s)).collect())
+                .collect();
+            let mut order: Vec<usize> = (0..t_slots).collect();
+            let totals: Vec<f64> = cols.iter().map(|c| c.iter().sum()).collect();
+            order.sort_by(|&a, &b| totals[b].total_cmp(&totals[a]).then(a.cmp(&b)));
+            let mut kept: Vec<usize> = Vec::new();
+            for &s in &order {
+                match kept
+                    .iter()
+                    .find(|&&k| cols[s].iter().zip(&cols[k]).all(|(a, b)| a <= b))
+                {
+                    Some(&k) => dominator[s] = k,
+                    None => kept.push(s),
+                }
+            }
+            kept.sort_unstable();
+            kept
+        };
+
+        let mut lp = LpProblem::new();
+
+        // Capacity variables come in pairs: `UP` tracks the scenario's peak
+        // *usage* (tiny price, keeps requirements lean) and `CP` the
+        // purchased *increment* above the base (real price): `usage ≤ UP`,
+        // `UP − CP ≤ base`. Bounds and rhs are patched per scenario.
+        let mut cp: Vec<Option<(Var, Var)>> = vec![None; topo.dcs.len()];
+        let mut cp_row = vec![usize::MAX; topo.dcs.len()];
+        for dc in topo.dc_ids() {
+            if sds.iter().any(|sd| sd.scenario.dc_up(dc)) {
+                let up = lp.add_nonneg(
+                    format!("UP_{}", dc.index()),
+                    opts.usage_epsilon * topo.dcs[dc.index()].core_cost,
+                );
+                let inc =
+                    lp.add_nonneg(format!("CP_{}", dc.index()), topo.dcs[dc.index()].core_cost);
+                lp.add_le(vec![(up, 1.0), (inc, -1.0)], 0.0);
+                cp_row[dc.index()] = lp.num_constraints() - 1;
+                cp[dc.index()] = Some((up, inc));
+            }
+        }
+        let mut np: Vec<Option<(Var, Var)>> = vec![None; topo.links.len()];
+        let mut np_row = vec![usize::MAX; topo.links.len()];
+        // only links on some allowed route under some scenario need
+        // variables; created lazily below
+        let link_var = |lp: &mut LpProblem,
+                        np: &mut Vec<Option<(Var, Var)>>,
+                        np_row: &mut Vec<usize>,
+                        l: LinkId| {
+            if np[l.index()].is_some() {
+                return;
+            }
+            let up = lp.add_nonneg(
+                format!("UN_{}", l.index()),
+                opts.usage_epsilon * topo.links[l.index()].cost_per_gbps,
+            );
+            let inc = lp.add_nonneg(
+                format!("NP_{}", l.index()),
+                topo.links[l.index()].cost_per_gbps,
+            );
+            lp.add_le(vec![(up, 1.0), (inc, -1.0)], 0.0);
+            np_row[l.index()] = lp.num_constraints() - 1;
+            np[l.index()] = Some((up, inc));
+        };
+
+        // per-slot accumulation rows: compute[(t, dc)] and network[(t, link)]
+        let mut compute_rows: Vec<Vec<(Var, f64)>> = vec![Vec::new(); t_slots * topo.dcs.len()];
+        let mut network_acc: Vec<Vec<(Var, f64)>> = vec![Vec::new(); t_slots * topo.links.len()];
+
+        let mut share_vars: Vec<ShareVar> = Vec::new();
+        let mut share_range = Vec::with_capacity(active.len());
+        let mut completeness_rows = Vec::new();
+
+        for (ai, (cfg_id, union_dcs)) in active.iter().enumerate() {
+            let cfg = inputs.catalog.config(*cfg_id);
+            let call_cl = cfg.compute_load();
+            // per union DC: links this placement can load under *some*
+            // scenario (structure only; weights are patched per scenario)
+            let per_dc_links: Vec<Vec<LinkId>> = union_dcs
+                .iter()
+                .map(|&dc| {
+                    let mut links: Vec<LinkId> = Vec::new();
+                    for sd in sds {
+                        for &(country, _) in cfg.participants() {
+                            if let Some(route) = sd.routing.route(country, dc) {
+                                for &l in &route.links {
+                                    if !links.contains(&l) {
+                                        links.push(l);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    links
+                })
+                .collect();
+
+            let start = share_vars.len();
+            for &slot in &kept_slots {
+                let d = demand.get(*cfg_id, slot);
+                if d <= opts.min_demand {
+                    continue;
+                }
+                let mut completeness: Vec<(Var, f64)> = Vec::with_capacity(union_dcs.len());
+                for (k, &dc) in union_dcs.iter().enumerate() {
+                    let v = lp.add_var(
+                        format!("S_{}_{}_{}", cfg_id.index(), slot, dc.index()),
+                        0.0, // ACL tie-break cost patched per scenario
+                        0.0,
+                        d,
+                    );
+                    completeness.push((v, 1.0));
+                    compute_rows[slot * topo.dcs.len() + dc.index()].push((v, call_cl));
+                    for &l in &per_dc_links[k] {
+                        link_var(&mut lp, &mut np, &mut np_row, l);
+                        // placeholder weight; real loads patched per scenario
+                        network_acc[slot * topo.links.len() + l.index()].push((v, 1.0));
+                    }
+                    share_vars.push(ShareVar {
+                        cfg: *cfg_id,
+                        slot,
+                        dc,
+                        var: v,
+                        demand: d,
+                    });
+                }
+                // Eq. 9 completeness (rhs patched to 0 when a scenario drops
+                // the config)
+                lp.add_eq(completeness, d);
+                completeness_rows.push((lp.num_constraints() - 1, ai, d));
+            }
+            share_range.push((start, share_vars.len()));
+        }
+
+        // Eq. 5: Σ_c CL·S_tcx ≤ UP_x — compute loads are routing-independent,
+        // so these rows are never patched.
+        for &slot in &kept_slots {
+            for dc in topo.dc_ids() {
+                let row = std::mem::take(&mut compute_rows[slot * topo.dcs.len() + dc.index()]);
+                if row.is_empty() {
+                    continue;
+                }
+                let mut coeffs = row;
+                let (up, _) = cp[dc.index()].expect("S var exists only for sometimes-up DCs");
+                coeffs.push((up, -1.0));
+                lp.add_le(coeffs, 0.0);
+            }
+        }
+        // Eq. 6: Σ traffic ≤ UN_l — coefficients follow the scenario's
+        // routing and are patched per scenario.
+        let mut network_rows = Vec::new();
+        let mut net_pos = vec![usize::MAX; t_slots * topo.links.len()];
+        for &slot in &kept_slots {
+            for l in topo.link_ids() {
+                let acc = std::mem::take(&mut network_acc[slot * topo.links.len() + l.index()]);
+                if acc.is_empty() {
+                    continue;
+                }
+                let mut coeffs = acc;
+                let (up, _) = np[l.index()].expect("link var created with usage");
+                coeffs.push((up, -1.0));
+                lp.add_le(coeffs, 0.0);
+                net_pos[slot * topo.links.len() + l.index()] = network_rows.len();
+                network_rows.push((lp.num_constraints() - 1, slot, l));
+            }
+        }
+
+        let prep = PreparedProblem::new(&lp);
+        Ok(SweepModel {
+            lp,
+            prep,
+            solver: GuardedSimplex {
+                primary: opts.solver.clone(),
+                fallback_to_dense: opts.fallback_to_dense,
+                dense_var_limit: 0,
+            },
+            warm_start: opts.warm_start,
+            acl_epsilon: opts.acl_epsilon,
+            min_demand: opts.min_demand,
+            latency_threshold_ms: inputs.latency_threshold_ms,
+            t_slots,
+            dominator,
+            active,
+            share_range,
+            never_hostable,
+            share_vars,
+            cp,
+            np,
+            cp_row,
+            np_row,
+            completeness_rows,
+            network_rows,
+            net_pos,
+        })
+    }
+
+    /// Rows in the master LP.
+    pub fn lp_rows(&self) -> usize {
+        self.lp.num_constraints()
+    }
+
+    /// Columns (variables) in the master LP.
+    pub fn lp_cols(&self) -> usize {
+        self.lp.num_vars()
+    }
+
+    /// Patch every scenario-dependent number in the master LP for `sd` /
+    /// `base`. Full-overwrite: correct regardless of which scenario was
+    /// patched in before. Returns the configs dropped under this scenario.
+    fn patch(
+        &mut self,
+        inputs: &PlanningInputs<'_>,
+        sd: &ScenarioData,
+        base: Option<&ProvisionedCapacity>,
+    ) -> Vec<ConfigId> {
+        let topo = inputs.topo;
+        // capacity pairs: pin failed resources to 0, set base rhs
+        for dc in topo.dc_ids() {
+            let Some((up, inc)) = self.cp[dc.index()] else {
+                continue;
+            };
+            let live = sd.scenario.dc_up(dc);
+            let ub = if live { f64::INFINITY } else { 0.0 };
+            self.lp.set_var_upper(up, ub);
+            self.lp.set_var_upper(inc, ub);
+            let rhs = if live {
+                base.map(|b| b.cores[dc.index()]).unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            self.lp.set_rhs(self.cp_row[dc.index()], rhs);
+        }
+        for l in topo.link_ids() {
+            let Some((up, inc)) = self.np[l.index()] else {
+                continue;
+            };
+            let live = sd.scenario.link_up(topo, l);
+            let ub = if live { f64::INFINITY } else { 0.0 };
+            self.lp.set_var_upper(up, ub);
+            self.lp.set_var_upper(inc, ub);
+            let rhs = if live {
+                base.map(|b| b.gbps[l.index()]).unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            self.lp.set_rhs(self.np_row[l.index()], rhs);
+        }
+
+        // share variables, completeness rhs and network-row coefficients
+        let mut dropped: Vec<ConfigId> = self.never_hostable.clone();
+        let mut hostable = vec![false; self.active.len()];
+        let mut net_coeffs: Vec<Vec<(Var, f64)>> = vec![Vec::new(); self.network_rows.len()];
+        for (ai, (cfg_id, union_dcs)) in self.active.iter().enumerate() {
+            let cfg = inputs.catalog.config(*cfg_id);
+            let nl = cfg.leg_network_load();
+            let allowed = sd.latmap.allowed_dcs(cfg, self.latency_threshold_ms);
+            hostable[ai] = !allowed.is_empty();
+            if !hostable[ai] {
+                dropped.push(*cfg_id);
+            }
+            // per union DC: ACL when allowed under this scenario, and the
+            // per-call link loads under this scenario's routing
+            let acl_of: Vec<Option<f64>> = union_dcs
+                .iter()
+                .map(|&dc| allowed.iter().find(|&&(a, _)| a == dc).map(|&(_, acl)| acl))
+                .collect();
+            let loads: Vec<Vec<(LinkId, f64)>> = union_dcs
+                .iter()
+                .enumerate()
+                .map(|(k, &dc)| {
+                    if acl_of[k].is_none() {
+                        return Vec::new();
+                    }
+                    let mut out: Vec<(LinkId, f64)> = Vec::new();
+                    for &(country, n) in cfg.participants() {
+                        if let Some(route) = sd.routing.route(country, dc) {
+                            for &l in &route.links {
+                                match out.iter_mut().find(|(ll, _)| *ll == l) {
+                                    Some((_, w)) => *w += n as f64 * nl,
+                                    None => out.push((l, n as f64 * nl)),
+                                }
+                            }
+                        }
+                    }
+                    out
+                })
+                .collect();
+            let (s0, s1) = self.share_range[ai];
+            for sv in &self.share_vars[s0..s1] {
+                let k = union_dcs
+                    .iter()
+                    .position(|&dc| dc == sv.dc)
+                    .expect("share var DC is in the union");
+                match acl_of[k] {
+                    Some(acl) => {
+                        self.lp.set_var_upper(sv.var, sv.demand);
+                        self.lp.set_var_cost(sv.var, self.acl_epsilon * acl);
+                        for &(l, w) in &loads[k] {
+                            let pos = self.net_pos[sv.slot * topo.links.len() + l.index()];
+                            net_coeffs[pos].push((sv.var, w));
+                        }
+                    }
+                    None => {
+                        // placement not allowed here: pin to 0
+                        self.lp.set_var_upper(sv.var, 0.0);
+                        self.lp.set_var_cost(sv.var, 0.0);
+                    }
+                }
+            }
+        }
+        for &(row, ai, d) in &self.completeness_rows {
+            self.lp.set_rhs(row, if hostable[ai] { d } else { 0.0 });
+        }
+        for (pos, &(row, _slot, l)) in self.network_rows.iter().enumerate() {
+            let mut coeffs = std::mem::take(&mut net_coeffs[pos]);
+            let (up, _) = self.np[l.index()].expect("network row implies link pair");
+            coeffs.push((up, -1.0));
+            self.lp.set_row_coeffs(row, coeffs);
+        }
+        dropped.sort_unstable_by_key(|c| c.index());
+        dropped
+    }
+
+    /// Patch the master LP for `sd` and solve it, optionally warm-starting
+    /// from `warm` (a basis returned by a previous `solve_one` on this
+    /// model). Returns the scenario solution and the optimal basis for
+    /// seeding later solves.
+    pub fn solve_one(
+        &mut self,
+        inputs: &PlanningInputs<'_>,
+        sd: &ScenarioData,
+        base: Option<&ProvisionedCapacity>,
+        warm: Option<&Basis>,
+    ) -> Result<(ScenarioSolution, Option<Basis>), ProvisionError> {
+        let topo = inputs.topo;
+        let build_start = std::time::Instant::now();
+        let dropped = self.patch(inputs, sd, base);
+        let outcome = self.prep.refresh(&self.lp);
+        debug_assert_eq!(
+            outcome,
+            sb_lp::PatchOutcome::Patched,
+            "scenario patches must be layout-stable"
+        );
+        // Debugging hook: dump the exact model before solving (CPLEX LP
+        // format).
+        if let Some(path) = std::env::var_os("SB_DUMP_LP") {
+            let _ = std::fs::write(path, sb_lp::to_lp_format(&self.lp));
+        }
+        let build_wall = build_start.elapsed();
+
+        let warm = if self.warm_start { warm } else { None };
+        let sol = self
+            .solver
+            .solve_prepared(&self.lp, &self.prep, warm)
+            .map_err(|source| ProvisionError::Lp {
+                scenario: sd.scenario,
+                source,
+            })?;
+        if std::env::var_os("SB_SWEEP_DEBUG").is_some() {
+            eprintln!(
+                "  sweep {:?}: obj {:.6} viol {:.3e} rung {} warm {}",
+                sd.scenario,
+                sol.objective(),
+                self.lp.max_violation(sol.values()),
+                sol.stats().rung,
+                sol.stats().warm_started,
+            );
+        }
+
+        // extract capacity: base plus purchased increment (base counts only
+        // where the resource is actually usable under this scenario)
+        let mut capacity = ProvisionedCapacity::zero(topo);
+        let mut increment_cost = 0.0;
+        for dc in topo.dc_ids() {
+            if let Some((_, inc)) = self.cp[dc.index()] {
+                if sd.scenario.dc_up(dc) {
+                    let b = base.map(|b| b.cores[dc.index()]).unwrap_or(0.0);
+                    let bought = sol.value(inc).max(0.0);
+                    capacity.cores[dc.index()] = b + bought;
+                    increment_cost += bought * topo.dcs[dc.index()].core_cost;
+                }
+            }
+        }
+        for l in topo.link_ids() {
+            if let Some((_, inc)) = self.np[l.index()] {
+                if sd.scenario.link_up(topo, l) {
+                    let b = base.map(|b| b.gbps[l.index()]).unwrap_or(0.0);
+                    let bought = sol.value(inc).max(0.0);
+                    capacity.gbps[l.index()] = b + bought;
+                    increment_cost += bought * topo.links[l.index()].cost_per_gbps;
+                }
+            }
+        }
+
+        // extract shares (normalized); pinned placements read back as 0
+        let mut shares = AllocationShares::new(self.t_slots);
+        {
+            use std::collections::HashMap;
+            let mut grouped: HashMap<(ConfigId, usize), Vec<(DcId, f64)>> = HashMap::new();
+            for sv in &self.share_vars {
+                let val = sol.value(sv.var).max(0.0);
+                if val > 1e-9 * sv.demand.max(1.0) {
+                    grouped
+                        .entry((sv.cfg, sv.slot))
+                        .or_default()
+                        .push((sv.dc, val / sv.demand));
+                }
+            }
+            for ((cfg, slot), fracs) in grouped {
+                shares.set(cfg, slot, fracs);
+            }
+            // dominated slots reuse their dominator's shares (see above:
+            // demand is component-wise smaller, so the scaled allocation
+            // stays feasible)
+            for slot in 0..self.t_slots {
+                let dom = self.dominator[slot];
+                if dom == slot {
+                    continue;
+                }
+                for (cfg_id, _) in &self.active {
+                    if inputs.demand.get(*cfg_id, slot) <= self.min_demand {
+                        continue;
+                    }
+                    let fr = shares.get(*cfg_id, dom).to_vec();
+                    if !fr.is_empty() {
+                        shares.set(*cfg_id, slot, fr);
+                    }
+                }
+            }
+        }
+
+        // objective without the ACL tie-break term
+        let objective = capacity.cost(topo);
+
+        crate::metrics::provision_metrics().record_scenario(
+            sd.scenario,
+            self.lp.num_constraints(),
+            self.lp.num_vars(),
+            &sol,
+            build_wall,
+            increment_cost,
+            dropped.len(),
+        );
+
+        let basis = sol.basis().cloned();
+        let stats = sol.stats();
+        Ok((
+            ScenarioSolution {
+                scenario: sd.scenario,
+                capacity,
+                shares,
+                objective,
+                dropped,
+                iterations: sol.iterations(),
+                lp_rows: self.lp.num_constraints(),
+                lp_cols: self.lp.num_vars(),
+                increment_cost,
+                stats,
+            },
+            basis,
+        ))
     }
 }
 
@@ -190,303 +780,17 @@ impl Default for SolveOptions {
 /// the already-provisioned base — the §4.2 joint serving+backup idea: a DC's
 /// off-peak serving capacity doubles as backup for free, and only genuinely
 /// new cores/Gbps cost money. The returned capacity is `base + increment`.
+///
+/// This is the single-scenario form of [`SweepModel`]; sweeps over many
+/// scenarios should build one `SweepModel` and warm-start instead.
 pub fn solve_scenario(
     inputs: &PlanningInputs<'_>,
     sd: &ScenarioData,
     base: Option<&ProvisionedCapacity>,
     opts: &SolveOptions,
 ) -> Result<ScenarioSolution, ProvisionError> {
-    let topo = inputs.topo;
-    let demand = inputs.demand;
-    let t_slots = demand.num_slots();
-    if demand.total_calls() <= 0.0 {
-        return Err(ProvisionError::EmptyDemand);
-    }
-    let build_start = std::time::Instant::now();
-
-    // active configs and their allowed DCs under this scenario
-    let mut active: Vec<(ConfigId, Vec<(DcId, f64)>)> = Vec::new();
-    let mut dropped = Vec::new();
-    for (cfg_id, cfg) in inputs.catalog.iter() {
-        if cfg_id.index() >= demand.num_configs() {
-            break;
-        }
-        let any_demand = demand.series(cfg_id).iter().any(|&d| d > opts.min_demand);
-        if !any_demand {
-            continue;
-        }
-        let allowed = sd.latmap.allowed_dcs(cfg, inputs.latency_threshold_ms);
-        if allowed.is_empty() {
-            dropped.push(cfg_id);
-        } else {
-            active.push((cfg_id, allowed));
-        }
-    }
-
-    // Dominated-slot reduction (exact): if slot s's demand vector is
-    // component-wise ≤ slot s''s, any feasible allocation for s' scaled down
-    // per config also serves s within the same peaks — so s adds no binding
-    // constraint. Solve only the Pareto-maximal slots and copy shares to the
-    // dominated ones. Processing by descending total demand guarantees every
-    // dominator is itself a kept slot (domination implies total ≤).
-    let mut dominator: Vec<usize> = (0..t_slots).collect();
-    let kept_slots: Vec<usize> = {
-        let cfg_ids: Vec<ConfigId> = active.iter().map(|(id, _)| *id).collect();
-        let cols: Vec<Vec<f64>> = (0..t_slots)
-            .map(|s| cfg_ids.iter().map(|&id| demand.get(id, s)).collect())
-            .collect();
-        let mut order: Vec<usize> = (0..t_slots).collect();
-        let totals: Vec<f64> = cols.iter().map(|c| c.iter().sum()).collect();
-        order.sort_by(|&a, &b| totals[b].total_cmp(&totals[a]).then(a.cmp(&b)));
-        let mut kept: Vec<usize> = Vec::new();
-        for &s in &order {
-            match kept
-                .iter()
-                .find(|&&k| cols[s].iter().zip(&cols[k]).all(|(a, b)| a <= b))
-            {
-                Some(&k) => dominator[s] = k,
-                None => kept.push(s),
-            }
-        }
-        kept.sort_unstable();
-        kept
-    };
-
-    let mut lp = LpProblem::new();
-
-    // Capacity variables come in pairs: `UP` tracks the scenario's peak
-    // *usage* (tiny price, keeps requirements lean) and `CP` the purchased
-    // *increment* above `base` (real price): `usage ≤ UP`, `UP − CP ≤ base`.
-    let mut cp: Vec<Option<(Var, Var)>> = vec![None; topo.dcs.len()];
-    for dc in topo.dc_ids() {
-        if sd.scenario.dc_up(dc) {
-            let up = lp.add_nonneg(
-                format!("UP_{}", dc.index()),
-                opts.usage_epsilon * topo.dcs[dc.index()].core_cost,
-            );
-            let inc = lp.add_nonneg(format!("CP_{}", dc.index()), topo.dcs[dc.index()].core_cost);
-            let rhs = base.map(|b| b.cores[dc.index()]).unwrap_or(0.0);
-            lp.add_le(vec![(up, 1.0), (inc, -1.0)], rhs);
-            cp[dc.index()] = Some((up, inc));
-        }
-    }
-    let mut np: Vec<Option<(Var, Var)>> = vec![None; topo.links.len()];
-    // only links actually usable & on some allowed route need variables;
-    // created lazily below
-    let link_var =
-        |lp: &mut LpProblem, np: &mut Vec<Option<(Var, Var)>>, l: LinkId| -> (Var, Var) {
-            if let Some(v) = np[l.index()] {
-                return v;
-            }
-            let up = lp.add_nonneg(
-                format!("UN_{}", l.index()),
-                opts.usage_epsilon * topo.links[l.index()].cost_per_gbps,
-            );
-            let inc = lp.add_nonneg(
-                format!("NP_{}", l.index()),
-                topo.links[l.index()].cost_per_gbps,
-            );
-            let rhs = base.map(|b| b.gbps[l.index()]).unwrap_or(0.0);
-            lp.add_le(vec![(up, 1.0), (inc, -1.0)], rhs);
-            np[l.index()] = Some((up, inc));
-            (up, inc)
-        };
-
-    // per-slot accumulation rows: compute[(t, dc)] and network[(t, link)]
-    let mut compute_rows: Vec<Vec<(Var, f64)>> = vec![Vec::new(); t_slots * topo.dcs.len()];
-    let mut network_rows: Vec<Vec<(Var, f64)>> = vec![Vec::new(); t_slots * topo.links.len()];
-
-    // share variables
-    struct ShareVar {
-        cfg: ConfigId,
-        slot: usize,
-        dc: DcId,
-        var: Var,
-        demand: f64,
-    }
-    let mut share_vars: Vec<ShareVar> = Vec::new();
-
-    for (cfg_id, allowed) in &active {
-        let cfg = inputs.catalog.config(*cfg_id);
-        let call_cl = cfg.compute_load();
-        let nl = cfg.leg_network_load();
-        // per allowed DC: the per-call link loads (slot-independent)
-        let per_dc_links: Vec<Vec<(LinkId, f64)>> = allowed
-            .iter()
-            .map(|&(dc, _)| {
-                let mut loads: Vec<(LinkId, f64)> = Vec::new();
-                for &(country, n) in cfg.participants() {
-                    if let Some(route) = sd.routing.route(country, dc) {
-                        for &l in &route.links {
-                            match loads.iter_mut().find(|(ll, _)| *ll == l) {
-                                Some((_, w)) => *w += n as f64 * nl,
-                                None => loads.push((l, n as f64 * nl)),
-                            }
-                        }
-                    }
-                }
-                loads
-            })
-            .collect();
-
-        for &slot in &kept_slots {
-            let d = demand.get(*cfg_id, slot);
-            if d <= opts.min_demand {
-                continue;
-            }
-            let mut completeness: Vec<(Var, f64)> = Vec::with_capacity(allowed.len());
-            for (k, &(dc, acl)) in allowed.iter().enumerate() {
-                let cost = opts.acl_epsilon * acl;
-                let v = lp.add_var(
-                    format!("S_{}_{}_{}", cfg_id.index(), slot, dc.index()),
-                    cost,
-                    0.0,
-                    d,
-                );
-                completeness.push((v, 1.0));
-                compute_rows[slot * topo.dcs.len() + dc.index()].push((v, call_cl));
-                for &(l, w) in &per_dc_links[k] {
-                    // ensure the link variable exists
-                    let _ = link_var(&mut lp, &mut np, l);
-                    network_rows[slot * topo.links.len() + l.index()].push((v, w));
-                }
-                share_vars.push(ShareVar {
-                    cfg: *cfg_id,
-                    slot,
-                    dc,
-                    var: v,
-                    demand: d,
-                });
-            }
-            // Eq. 9 completeness
-            lp.add_eq(completeness, d);
-        }
-    }
-
-    // Eq. 5: Σ_c CL·S_tcx ≤ UP_x  (and UP_x − CP_x ≤ base_x above)
-    for &slot in &kept_slots {
-        for dc in topo.dc_ids() {
-            let row = std::mem::take(&mut compute_rows[slot * topo.dcs.len() + dc.index()]);
-            if row.is_empty() {
-                continue;
-            }
-            let mut coeffs = row;
-            let (up, _) = cp[dc.index()].expect("S var exists only for up DCs");
-            coeffs.push((up, -1.0));
-            lp.add_le(coeffs, 0.0);
-        }
-    }
-    // Eq. 6: Σ traffic ≤ UN_l  (and UN_l − NP_l ≤ base_l above)
-    for &slot in &kept_slots {
-        for l in topo.link_ids() {
-            let row = std::mem::take(&mut network_rows[slot * topo.links.len() + l.index()]);
-            if row.is_empty() {
-                continue;
-            }
-            let mut coeffs = row;
-            let (up, _) = np[l.index()].expect("link var created with usage");
-            coeffs.push((up, -1.0));
-            lp.add_le(coeffs, 0.0);
-        }
-    }
-
-    // Debugging hook: dump the exact model before solving (CPLEX LP format).
-    if let Some(path) = std::env::var_os("SB_DUMP_LP") {
-        let _ = std::fs::write(path, sb_lp::to_lp_format(&lp));
-    }
-    let build_wall = build_start.elapsed();
-    let guarded = GuardedSimplex {
-        primary: opts.solver.clone(),
-        fallback_to_dense: opts.fallback_to_dense,
-        dense_var_limit: 0,
-    };
-    let sol = guarded.solve(&lp).map_err(|source| ProvisionError::Lp {
-        scenario: sd.scenario,
-        source,
-    })?;
-
-    // extract capacity: base plus purchased increment (base counts only where
-    // the resource is actually usable under this scenario)
-    let mut capacity = ProvisionedCapacity::zero(topo);
-    let mut increment_cost = 0.0;
-    for dc in topo.dc_ids() {
-        if let Some((_, inc)) = cp[dc.index()] {
-            let b = base.map(|b| b.cores[dc.index()]).unwrap_or(0.0);
-            let bought = sol.value(inc).max(0.0);
-            capacity.cores[dc.index()] = b + bought;
-            increment_cost += bought * topo.dcs[dc.index()].core_cost;
-        }
-    }
-    for l in topo.link_ids() {
-        if let Some((_, inc)) = np[l.index()] {
-            let b = base.map(|b| b.gbps[l.index()]).unwrap_or(0.0);
-            let bought = sol.value(inc).max(0.0);
-            capacity.gbps[l.index()] = b + bought;
-            increment_cost += bought * topo.links[l.index()].cost_per_gbps;
-        }
-    }
-
-    // extract shares (normalized)
-    let mut shares = AllocationShares::new(t_slots);
-    {
-        use std::collections::HashMap;
-        let mut grouped: HashMap<(ConfigId, usize), Vec<(DcId, f64)>> = HashMap::new();
-        for sv in &share_vars {
-            let val = sol.value(sv.var).max(0.0);
-            if val > 1e-9 * sv.demand.max(1.0) {
-                grouped
-                    .entry((sv.cfg, sv.slot))
-                    .or_default()
-                    .push((sv.dc, val / sv.demand));
-            }
-        }
-        for ((cfg, slot), fracs) in grouped {
-            shares.set(cfg, slot, fracs);
-        }
-        // dominated slots reuse their dominator's shares (see above: demand
-        // is component-wise smaller, so the scaled allocation stays feasible)
-        for slot in 0..t_slots {
-            let dom = dominator[slot];
-            if dom == slot {
-                continue;
-            }
-            for (cfg_id, _) in &active {
-                let d = demand.get(*cfg_id, slot);
-                if d <= opts.min_demand {
-                    continue;
-                }
-                let fr = shares.get(*cfg_id, dom).to_vec();
-                if !fr.is_empty() {
-                    shares.set(*cfg_id, slot, fr);
-                }
-            }
-        }
-    }
-
-    // objective without the ACL tie-break term
-    let objective = capacity.cost(topo);
-
-    crate::metrics::provision_metrics().record_scenario(
-        sd.scenario,
-        lp.num_constraints(),
-        lp.num_vars(),
-        &sol,
-        build_wall,
-        increment_cost,
-        dropped.len(),
-    );
-
-    Ok(ScenarioSolution {
-        scenario: sd.scenario,
-        capacity,
-        shares,
-        objective,
-        dropped,
-        iterations: sol.iterations(),
-        lp_rows: lp.num_constraints(),
-        lp_cols: lp.num_vars(),
-        increment_cost,
-    })
+    let mut model = SweepModel::new(inputs, std::slice::from_ref(sd), opts)?;
+    Ok(model.solve_one(inputs, sd, base, None)?.0)
 }
 
 #[cfg(test)]

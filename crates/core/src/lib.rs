@@ -55,6 +55,7 @@ pub use allocation::allocation_plan;
 pub use baselines::{provision_baseline, BaselinePlan, BaselinePolicy};
 pub use formulation::{
     solve_scenario, PlanningInputs, ProvisionError, ScenarioData, ScenarioSolution, SolveOptions,
+    SweepModel,
 };
 pub use latency::LatencyMap;
 pub use provision::{provision, ProvisionerParams, ProvisioningPlan};

@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Columns of the `provision.scenarios` table: one row per scenario LP.
-pub const SCENARIO_TABLE_COLUMNS: [&str; 10] = [
+pub const SCENARIO_TABLE_COLUMNS: [&str; 12] = [
     "scenario",
     "lp_rows",
     "lp_cols",
@@ -23,6 +23,8 @@ pub const SCENARIO_TABLE_COLUMNS: [&str; 10] = [
     "solve_ns",
     "increment_cost",
     "dropped_configs",
+    "warm_started",
+    "rung",
 ];
 
 pub(crate) struct ProvisionMetrics {
@@ -61,6 +63,8 @@ impl ProvisionMetrics {
                 Value::from(u64::try_from(stats.wall.as_nanos()).unwrap_or(u64::MAX)),
                 Value::from(increment_cost),
                 Value::from(dropped),
+                Value::from(u64::from(stats.warm_started)),
+                Value::from(stats.rung.to_string()),
             ]);
         }
     }

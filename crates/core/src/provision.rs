@@ -1,12 +1,19 @@
 //! The full MP capacity provisioning pass (§5.3): solve the LP once per
 //! failure scenario (`F₀`, every DC down, every link down) and take the
-//! component-wise maximum (Eq. 7–8). Scenario solves are independent and run
-//! on a thread pool.
+//! component-wise maximum (Eq. 7–8).
+//!
+//! The sweep is *warm-start-first*: one [`SweepModel`] master LP is built
+//! over the union of all scenarios, `F₀` is solved cold, and every other
+//! scenario re-optimizes from an already-optimal basis — in
+//! [`solve_scenarios`] each worker thread seeds from the `F₀` basis, and in
+//! [`provision`]'s sequential increment pass each solve chains from the
+//! previous one's basis.
 
+use sb_lp::Basis;
 use sb_net::{FailureScenario, ProvisionedCapacity};
 
 use crate::formulation::{
-    solve_scenario, PlanningInputs, ProvisionError, ScenarioData, ScenarioSolution, SolveOptions,
+    PlanningInputs, ProvisionError, ScenarioData, ScenarioSolution, SolveOptions, SweepModel,
 };
 use crate::shares::AllocationShares;
 
@@ -78,27 +85,25 @@ pub fn provision(
 
     // stage 1: serving capacity (F0)
     let sd0 = ScenarioData::compute(inputs.topo, FailureScenario::None);
-    let f0 = solve_scenario(inputs, &sd0, None, &params.solve)?;
-    let mut f0_shares = f0.shares.clone();
-    let serving = f0.capacity.clone();
 
     if !params.with_backup {
-        let capacity = serving.clone();
+        let mut model = SweepModel::new(inputs, std::slice::from_ref(&sd0), &params.solve)?;
+        let (f0, _) = model.solve_one(inputs, &sd0, None, None)?;
+        let capacity = f0.capacity.clone();
         let cost = capacity.cost(inputs.topo);
         return Ok(ProvisioningPlan {
             capacity,
-            serving,
-            f0_shares,
+            serving: f0.capacity.clone(),
+            f0_shares: f0.shares,
             scenarios: vec![(FailureScenario::None, f0.capacity)],
             cost,
         });
     }
 
-    // Stage 2: per-failure increments, accumulated sequentially — backup
-    // capacity bought for one failure scenario is reused by the next for
-    // free (only one failure happens at a time, §5.3), which is the §4.2
-    // sharing that makes SB's backup cheap. DC failures are the big
-    // perturbations, so they go first.
+    // Scenario data (routing + latency under each failure) is hoisted once:
+    // the same `ScenarioData` feeds the master LP structure, every solve of
+    // that scenario across refinement passes, and its usage peaks. DC
+    // failures are the big perturbations, so they go first.
     let mut scenarios: Vec<FailureScenario> = FailureScenario::enumerate(inputs.topo)
         .into_iter()
         .filter(|s| *s != FailureScenario::None)
@@ -107,17 +112,39 @@ pub fn provision(
         FailureScenario::DcDown(_) => 0,
         _ => 1,
     });
+    let mut sds: Vec<ScenarioData> = Vec::with_capacity(1 + scenarios.len());
+    sds.push(sd0);
+    sds.extend(
+        scenarios
+            .iter()
+            .map(|&sc| ScenarioData::compute(inputs.topo, sc)),
+    );
+    let mut model = SweepModel::new(inputs, &sds, &params.solve)?;
+
+    // One basis threads through the whole pass: F0 solves cold, everything
+    // after warm-starts from the most recent optimal basis (consecutive
+    // scenarios differ by one failure, so bases transfer almost unchanged).
+    let (f0, mut last_basis) = model.solve_one(inputs, &sds[0], None, None)?;
+    let mut f0_shares = f0.shares.clone();
+    let serving = f0.capacity.clone();
+
+    // Stage 2: per-failure increments, accumulated sequentially — backup
+    // capacity bought for one failure scenario is reused by the next for
+    // free (only one failure happens at a time, §5.3), which is the §4.2
+    // sharing that makes SB's backup cheap.
     // requirements per scenario (usage peaks), F0 first
     let mut reqs: Vec<(FailureScenario, ProvisionedCapacity)> =
-        vec![(FailureScenario::None, peaks_of(&sd0, &f0.shares))];
+        vec![(FailureScenario::None, peaks_of(&sds[0], &f0.shares))];
     {
         let mut union = reqs[0].1.clone();
-        for &sc in &scenarios {
-            let sd = ScenarioData::compute(inputs.topo, sc);
-            let sol = solve_scenario(inputs, &sd, Some(&union), &params.solve)?;
-            let peaks = peaks_of(&sd, &sol.shares);
+        for sd in &sds[1..] {
+            let (sol, basis) = model.solve_one(inputs, sd, Some(&union), last_basis.as_ref())?;
+            let peaks = peaks_of(sd, &sol.shares);
             union.max_with(&peaks);
-            reqs.push((sc, peaks));
+            reqs.push((sd.scenario, peaks));
+            if basis.is_some() {
+                last_basis = basis;
+            }
         }
     }
 
@@ -137,12 +164,14 @@ pub fn provision(
                 crate::metrics::provision_metrics().record_refine_skipped();
                 continue;
             }
-            let sc = reqs[i].0;
-            let sd = ScenarioData::compute(inputs.topo, sc);
-            let sol = solve_scenario(inputs, &sd, Some(&others), &params.solve)?;
-            reqs[i].1 = peaks_of(&sd, &sol.shares);
-            if sc == FailureScenario::None {
+            let (sol, basis) =
+                model.solve_one(inputs, &sds[i], Some(&others), last_basis.as_ref())?;
+            reqs[i].1 = peaks_of(&sds[i], &sol.shares);
+            if reqs[i].0 == FailureScenario::None {
                 f0_shares = sol.shares;
+            }
+            if basis.is_some() {
+                last_basis = basis;
             }
         }
     }
@@ -163,12 +192,36 @@ pub fn provision(
 
 /// Solve a set of scenarios (optionally above a base capacity) in parallel,
 /// preserving order.
+///
+/// Warm-start-first: the first scenario is solved cold on the shared
+/// [`SweepModel`] and its optimal basis seeds *every* remaining solve.
+/// Because each worker starts from the same seed basis (never from another
+/// worker's result), the output is bit-identical regardless of thread count;
+/// serial and threaded execution share this one code path.
 pub fn solve_scenarios(
     inputs: &PlanningInputs<'_>,
     scenarios: &[FailureScenario],
     base: Option<&ProvisionedCapacity>,
     params: &ProvisionerParams,
 ) -> Result<Vec<ScenarioSolution>, ProvisionError> {
+    if scenarios.is_empty() {
+        return Ok(Vec::new());
+    }
+    let sds: Vec<ScenarioData> = scenarios
+        .iter()
+        .map(|&sc| ScenarioData::compute(inputs.topo, sc))
+        .collect();
+    let mut model = SweepModel::new(inputs, &sds, &params.solve)?;
+
+    // seed solve: first scenario, cold
+    let (first, seed) = model.solve_one(inputs, &sds[0], base, None)?;
+    let seed: Option<&Basis> = seed.as_ref();
+
+    let mut results: Vec<Option<Result<ScenarioSolution, ProvisionError>>> =
+        (0..sds.len()).map(|_| None).collect();
+    results[0] = Some(Ok(first));
+
+    let remaining = sds.len() - 1;
     let threads = if params.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -176,40 +229,53 @@ pub fn solve_scenarios(
     } else {
         params.threads
     }
-    .min(scenarios.len().max(1));
+    .min(remaining.max(1));
 
-    if threads <= 1 || scenarios.len() <= 1 {
-        return scenarios
-            .iter()
-            .map(|&sc| {
-                let sd = ScenarioData::compute(inputs.topo, sc);
-                solve_scenario(inputs, &sd, base, &params.solve)
-            })
-            .collect();
+    if remaining > 0 {
+        if threads <= 1 {
+            for (i, slot) in results.iter_mut().enumerate().skip(1) {
+                *slot = Some(model.solve_one(inputs, &sds[i], base, seed).map(|(s, _)| s));
+            }
+        } else {
+            // strided fan-out: worker w owns indices 1+w, 1+w+threads, …;
+            // each returns (index, result) pairs scattered back afterwards,
+            // so no locks and a deterministic index → worker mapping
+            let sds_ref = &sds;
+            let filled: Vec<Vec<(usize, Result<ScenarioSolution, ProvisionError>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|w| {
+                            let mut local = model.clone();
+                            scope.spawn(move || {
+                                let mut out = Vec::new();
+                                let mut i = 1 + w;
+                                while i < sds_ref.len() {
+                                    let r = local
+                                        .solve_one(inputs, &sds_ref[i], base, seed)
+                                        .map(|(s, _)| s);
+                                    out.push((i, r));
+                                    i += threads;
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("scenario worker panicked"))
+                        .collect()
+                });
+            for chunk in filled {
+                for (i, r) in chunk {
+                    results[i] = Some(r);
+                }
+            }
+        }
     }
 
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<Result<ScenarioSolution, ProvisionError>>>> =
-        scenarios
-            .iter()
-            .map(|_| std::sync::Mutex::new(None))
-            .collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= scenarios.len() {
-                    break;
-                }
-                let sd = ScenarioData::compute(inputs.topo, scenarios[i]);
-                let r = solve_scenario(inputs, &sd, base, &params.solve);
-                *results[i].lock().unwrap() = Some(r);
-            });
-        }
-    });
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .map(|r| r.expect("every scenario slot filled"))
         .collect()
 }
 

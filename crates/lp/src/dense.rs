@@ -275,6 +275,7 @@ impl Solver for DenseSimplex {
             phase2_iterations: total_iters - phase1_iterations,
             refactorizations: 0, // dense tableau never refactorizes
             wall: wall_start.elapsed(),
+            ..SolveStats::default()
         };
         Ok(Solution {
             values,
@@ -282,6 +283,7 @@ impl Solver for DenseSimplex {
             duals: None,
             iterations: total_iters,
             stats,
+            basis: None,
         })
     }
 }

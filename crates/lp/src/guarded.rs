@@ -12,8 +12,9 @@ use std::time::Duration;
 
 use crate::dense::DenseSimplex;
 use crate::metrics::lp_metrics;
-use crate::problem::{LpError, LpProblem, Solution, Solver};
+use crate::problem::{Basis, LpError, LpProblem, Solution, SolveRung, Solver};
 use crate::revised::RevisedSimplex;
+use crate::standard::PreparedProblem;
 
 /// A [`Solver`] that tries [`RevisedSimplex`] under a budget and falls back
 /// to [`DenseSimplex`] when the primary engine gives up for a *recoverable*
@@ -63,21 +64,85 @@ impl GuardedSimplex {
             LpError::IterationLimit | LpError::TimeLimit | LpError::BadModel(_)
         )
     }
+
+    /// Solve `lp`, optionally warm-starting the primary from `warm`. The
+    /// full ladder, stopping at the first rung that succeeds:
+    ///
+    /// 1. primary, warm-started (skipped when `warm` is `None` — an
+    ///    unusable basis downgrades to a cold start inside the primary);
+    /// 2. primary, cold — only when rung 1 actually warm-started and failed
+    ///    for a *recoverable* reason (a stale basis can send the simplex on
+    ///    a long degenerate walk that a cold phase-1 avoids);
+    /// 3. dense tableau engine, subject to `fallback_to_dense` and
+    ///    `dense_var_limit`.
+    ///
+    /// The winning rung is recorded in [`SolveStats::rung`] and the ladder
+    /// metrics.
+    pub fn solve_with_basis(
+        &self,
+        lp: &LpProblem,
+        warm: Option<&Basis>,
+    ) -> Result<Solution, LpError> {
+        self.solve_ladder(lp, None, warm)
+    }
+
+    /// Like [`solve_with_basis`](Self::solve_with_basis) but reuses a cached
+    /// `LpProblem → standard form` conversion for the primary engine (the
+    /// dense fallback works from `lp` directly).
+    pub fn solve_prepared(
+        &self,
+        lp: &LpProblem,
+        prep: &PreparedProblem,
+        warm: Option<&Basis>,
+    ) -> Result<Solution, LpError> {
+        self.solve_ladder(lp, Some(prep), warm)
+    }
+
+    fn solve_ladder(
+        &self,
+        lp: &LpProblem,
+        prep: Option<&PreparedProblem>,
+        warm: Option<&Basis>,
+    ) -> Result<Solution, LpError> {
+        let primary = |warm: Option<&Basis>| match prep {
+            Some(p) => self.primary.solve_prepared(lp, p, warm),
+            None => self.primary.solve_with_basis(lp, warm),
+        };
+        let first = primary(warm);
+        let err = match first {
+            Ok(s) => return Ok(s),
+            Err(e) => e,
+        };
+        // Retry cold only when a warm start was actually attempted — a cold
+        // failure would just repeat itself.
+        let err = if warm.is_some() && Self::recoverable(&err) {
+            lp_metrics().record_cold_retry();
+            match primary(None) {
+                Ok(mut s) => {
+                    s.stats.rung = SolveRung::ColdRetry;
+                    return Ok(s);
+                }
+                Err(e) => e,
+            }
+        } else {
+            err
+        };
+        if self.fallback_to_dense && Self::recoverable(&err) {
+            if self.dense_var_limit > 0 && lp.num_vars() > self.dense_var_limit {
+                return Err(err);
+            }
+            lp_metrics().record_fallback(&err);
+            let mut s = DenseSimplex::new().solve(lp)?;
+            s.stats.rung = SolveRung::DenseFallback;
+            return Ok(s);
+        }
+        Err(err)
+    }
 }
 
 impl Solver for GuardedSimplex {
     fn solve(&self, lp: &LpProblem) -> Result<Solution, LpError> {
-        match self.primary.solve(lp) {
-            Ok(s) => Ok(s),
-            Err(e) if self.fallback_to_dense && Self::recoverable(&e) => {
-                if self.dense_var_limit > 0 && lp.num_vars() > self.dense_var_limit {
-                    return Err(e);
-                }
-                lp_metrics().record_fallback(&e);
-                DenseSimplex::new().solve(lp)
-            }
-            Err(e) => Err(e),
-        }
+        self.solve_with_basis(lp, None)
     }
 }
 

@@ -41,5 +41,9 @@ mod standard;
 pub use dense::DenseSimplex;
 pub use export::to_lp_format;
 pub use guarded::GuardedSimplex;
-pub use problem::{Constraint, LpError, LpProblem, Relation, Solution, SolveStats, Solver, Var};
-pub use revised::RevisedSimplex;
+pub use problem::{
+    Basis, Constraint, LpError, LpProblem, Relation, Solution, SolveRung, SolveStats, Solver, Var,
+    VarStatus,
+};
+pub use revised::{Pricing, RevisedSimplex};
+pub use standard::{PatchOutcome, PreparedProblem};

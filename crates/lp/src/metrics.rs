@@ -15,6 +15,14 @@ pub(crate) struct LpMetrics {
     solve_wall_ns: Histogram,
     time_limit_aborts: Counter,
     dense_fallbacks: Counter,
+    cold_retries: Counter,
+    warm_accepted: Counter,
+    warm_rejected_singular: Counter,
+    warm_rejected_infeasible: Counter,
+    phase1_iterations_saved: Counter,
+    pricing_scans: Counter,
+    pricing_cols_scanned: Counter,
+    full_pricing_sweeps: Counter,
 }
 
 impl LpMetrics {
@@ -24,12 +32,33 @@ impl LpMetrics {
         self.phase2_iterations.add(stats.phase2_iterations);
         self.refactorizations.add(stats.refactorizations);
         self.solve_wall_ns.record_duration(stats.wall);
+        self.phase1_iterations_saved
+            .add(stats.phase1_iterations_saved);
+        self.pricing_scans.add(stats.pricing_scans);
+        self.pricing_cols_scanned.add(stats.pricing_cols_scanned);
+        self.full_pricing_sweeps.add(stats.full_pricing_sweeps);
     }
 
     pub(crate) fn record_fallback(&self, cause: &LpError) {
         self.dense_fallbacks.inc();
         if matches!(cause, LpError::TimeLimit) {
             self.time_limit_aborts.inc();
+        }
+    }
+
+    pub(crate) fn record_cold_retry(&self) {
+        self.cold_retries.inc();
+    }
+
+    pub(crate) fn record_warm_accepted(&self) {
+        self.warm_accepted.inc();
+    }
+
+    pub(crate) fn record_warm_rejected(&self, singular: bool) {
+        if singular {
+            self.warm_rejected_singular.inc();
+        } else {
+            self.warm_rejected_infeasible.inc();
         }
     }
 }
@@ -46,6 +75,14 @@ pub(crate) fn lp_metrics() -> &'static LpMetrics {
             solve_wall_ns: reg.histogram("lp.solve_wall_ns"),
             time_limit_aborts: reg.counter("lp.time_limit_aborts"),
             dense_fallbacks: reg.counter("lp.dense_fallbacks"),
+            cold_retries: reg.counter("lp.cold_retries"),
+            warm_accepted: reg.counter("lp.warm_accepted"),
+            warm_rejected_singular: reg.counter("lp.warm_rejected_singular"),
+            warm_rejected_infeasible: reg.counter("lp.warm_rejected_infeasible"),
+            phase1_iterations_saved: reg.counter("lp.phase1_iterations_saved"),
+            pricing_scans: reg.counter("lp.pricing_scans"),
+            pricing_cols_scanned: reg.counter("lp.pricing_cols_scanned"),
+            full_pricing_sweeps: reg.counter("lp.full_pricing_sweeps"),
         }
     })
 }

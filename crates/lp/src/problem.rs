@@ -179,6 +179,47 @@ impl LpProblem {
         self.add_constraint(Constraint::eq(coeffs, rhs))
     }
 
+    /// Replace the upper bound of `v` (the lower bound is unchanged).
+    ///
+    /// This is the patch entry point for scenario sweeps: forcing a variable
+    /// to `0` (upper = 0) removes it from the model without disturbing the
+    /// column layout, so a [`Basis`] exported from a previous solve stays
+    /// structurally valid. Panics if the new bound is NaN or below the lower
+    /// bound.
+    pub fn set_var_upper(&mut self, v: Var, upper: f64) {
+        assert!(!upper.is_nan(), "variable bounds must not be NaN");
+        assert!(
+            self.lower[v.index()] <= upper,
+            "variable lower bound exceeds upper bound"
+        );
+        self.upper[v.index()] = upper;
+    }
+
+    /// Replace the objective coefficient of `v`.
+    pub fn set_var_cost(&mut self, v: Var, cost: f64) {
+        assert!(!cost.is_nan(), "objective coefficient must not be NaN");
+        self.cost[v.index()] = cost;
+    }
+
+    /// Replace the right-hand side of constraint `row`. Panics on NaN or an
+    /// out-of-range row.
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) {
+        assert!(!rhs.is_nan(), "constraint rhs must not be NaN");
+        self.rows[row].rhs = rhs;
+    }
+
+    /// Replace the coefficient list of constraint `row` (relation and rhs are
+    /// kept). Panics if a coefficient references an unknown variable.
+    pub fn set_row_coeffs(&mut self, row: usize, coeffs: Vec<(Var, f64)>) {
+        for &(v, _) in &coeffs {
+            assert!(
+                (v.0 as usize) < self.names.len(),
+                "constraint references unknown variable"
+            );
+        }
+        self.rows[row].coeffs = coeffs;
+    }
+
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.names.len()
@@ -271,6 +312,78 @@ impl fmt::Display for LpError {
 
 impl std::error::Error for LpError {}
 
+/// Status of one standard-form column in a [`Basis`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum VarStatus {
+    /// In the basis.
+    Basic,
+    /// Nonbasic at its lower bound (0 in standard form).
+    AtLower,
+    /// Nonbasic at its (finite) upper bound.
+    AtUpper,
+}
+
+/// A simplex basis snapshot: the basic column per row plus the bound status
+/// of every column, in the engine's internal standard-form column space.
+///
+/// Export one from a [`Solution`] via [`Solution::basis`] and inject it into
+/// a later solve of a *structurally identical* problem (same variables in
+/// the same order, same constraint rows/relations — bounds, costs, rhs and
+/// coefficients may differ) via [`crate::RevisedSimplex::solve_with_basis`].
+/// The engine validates the basis before trusting it: a singular or
+/// primal-infeasible warm basis silently falls back to a cold phase-1 start,
+/// so a stale basis can cost time but never correctness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Basis {
+    /// Basic column per row. Public so callers can persist or transform a
+    /// snapshot; the engine re-validates (and repairs) any injected basis,
+    /// so arbitrary contents degrade a solve to a cold start, never corrupt
+    /// it.
+    pub basic: Vec<usize>,
+    /// Status per standard-form column.
+    pub status: Vec<VarStatus>,
+}
+
+impl Basis {
+    /// Number of rows (basic columns) in the snapshot.
+    pub fn num_rows(&self) -> usize {
+        self.basic.len()
+    }
+
+    /// Number of standard-form columns covered by the snapshot.
+    pub fn num_cols(&self) -> usize {
+        self.status.len()
+    }
+}
+
+/// Which rung of the guarded solve ladder produced a solution (see
+/// [`crate::GuardedSimplex`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum SolveRung {
+    /// The primary engine, started cold (phase 1 + phase 2).
+    #[default]
+    ColdPrimary,
+    /// The primary engine, warm-started from an injected basis (phase 2
+    /// only).
+    WarmPrimary,
+    /// The primary engine, re-run cold after a warm-started attempt failed
+    /// for a recoverable reason.
+    ColdRetry,
+    /// The dense tableau fallback engine.
+    DenseFallback,
+}
+
+impl std::fmt::Display for SolveRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SolveRung::ColdPrimary => "cold_primary",
+            SolveRung::WarmPrimary => "warm_primary",
+            SolveRung::ColdRetry => "cold_retry",
+            SolveRung::DenseFallback => "dense_fallback",
+        })
+    }
+}
+
 /// Per-solve engine statistics: how the simplex got to the optimum.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SolveStats {
@@ -282,6 +395,22 @@ pub struct SolveStats {
     pub refactorizations: u64,
     /// Wall-clock time of the whole solve.
     pub wall: std::time::Duration,
+    /// Whether an injected warm basis was accepted and phase 1 skipped.
+    pub warm_started: bool,
+    /// Estimated phase-1 work the warm start avoided: the number of rows
+    /// whose cold start would have begun on an artificial column (each needs
+    /// at least one phase-1 pivot to leave the basis). 0 on cold solves.
+    pub phase1_iterations_saved: u64,
+    /// Pricing passes performed (one per simplex iteration attempt).
+    pub pricing_scans: u64,
+    /// Reduced costs evaluated across all pricing passes. Partial pricing
+    /// exists to shrink this number.
+    pub pricing_cols_scanned: u64,
+    /// Pricing passes that scanned every column (always all of them under
+    /// Dantzig pricing; periodic under partial pricing).
+    pub full_pricing_sweeps: u64,
+    /// Which solve-ladder rung produced this solution.
+    pub rung: SolveRung,
 }
 
 impl SolveStats {
@@ -302,6 +431,9 @@ pub struct Solution {
     pub(crate) iterations: u64,
     /// Detailed engine statistics.
     pub(crate) stats: SolveStats,
+    /// Final basis, when the engine maintains one (the revised engine does,
+    /// the dense tableau does not).
+    pub(crate) basis: Option<Basis>,
 }
 
 impl Solution {
@@ -335,6 +467,13 @@ impl Solution {
     /// Detailed engine statistics (phase split, refactorizations, wall time).
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// The optimal basis, exportable for warm-starting a structurally
+    /// identical problem. `None` when the engine does not maintain one
+    /// (e.g. [`crate::DenseSimplex`]).
+    pub fn basis(&self) -> Option<&Basis> {
+        self.basis.as_ref()
     }
 }
 

@@ -14,9 +14,45 @@
 //! run of degenerate pivots; this guarantees termination.
 
 use crate::metrics::lp_metrics;
-use crate::problem::{LpError, LpProblem, Solution, SolveStats, Solver};
-use crate::standard::StandardForm;
+use crate::problem::{
+    Basis, LpError, LpProblem, Solution, SolveRung, SolveStats, Solver, VarStatus,
+};
+use crate::standard::{PreparedProblem, StandardForm};
 use std::time::{Duration, Instant};
+
+/// Column-selection strategy for the entering variable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Pricing {
+    /// Scan every column, pick the most negative reduced cost. Simple and
+    /// steep, but each iteration costs a full `O(n)` sweep.
+    Dantzig,
+    /// Candidate-list partial pricing: a full sweep harvests the
+    /// `list_size` most attractive columns, then subsequent iterations price
+    /// only that short list (dropping entries that turn unfavorable) until
+    /// it runs dry or `full_sweep_every` iterations have passed, whichever
+    /// comes first. Optimality is only ever declared by a *full* sweep, so
+    /// the strategy trades per-iteration cost for (possibly) more
+    /// iterations — never correctness.
+    Partial {
+        /// Candidate columns kept per full sweep.
+        list_size: usize,
+        /// Force a full sweep after this many candidate-list iterations
+        /// (keeps the list from going stale on degenerate stretches).
+        full_sweep_every: u64,
+    },
+}
+
+impl Pricing {
+    /// Partial pricing with the default list size (64) and sweep period
+    /// (64) — a good fit for the provisioning LPs (thousands of columns,
+    /// few hundred pivots).
+    pub fn partial() -> Pricing {
+        Pricing::Partial {
+            list_size: 64,
+            full_sweep_every: 64,
+        }
+    }
+}
 
 /// Revised simplex with bounded variables.
 #[derive(Clone, Debug)]
@@ -29,10 +65,13 @@ pub struct RevisedSimplex {
     pub time_budget: Option<Duration>,
     /// Reduced-cost / pivot tolerance.
     pub eps: f64,
-    /// Primal feasibility tolerance used for the phase-1 decision.
+    /// Primal feasibility tolerance used for the phase-1 decision and for
+    /// accepting a warm-started basis.
     pub feas_eps: f64,
     /// Refactorize (recompute `B⁻¹` from scratch) every this many pivots.
     pub refactor_every: u64,
+    /// Entering-column selection strategy.
+    pub pricing: Pricing,
 }
 
 impl Default for RevisedSimplex {
@@ -43,6 +82,7 @@ impl Default for RevisedSimplex {
             eps: 1e-9,
             feas_eps: 1e-7,
             refactor_every: 2_000,
+            pricing: Pricing::Dantzig,
         }
     }
 }
@@ -57,6 +97,14 @@ impl RevisedSimplex {
     pub fn with_time_budget(budget: Duration) -> Self {
         RevisedSimplex {
             time_budget: Some(budget),
+            ..Self::default()
+        }
+    }
+
+    /// Same engine with candidate-list partial pricing (default parameters).
+    pub fn with_partial_pricing() -> Self {
+        RevisedSimplex {
+            pricing: Pricing::partial(),
             ..Self::default()
         }
     }
@@ -87,6 +135,15 @@ struct Engine<'a> {
     pivots_since_refactor: u64,
     refactor_every: u64,
     refactorizations: u64,
+    pricing: Pricing,
+    /// Candidate columns harvested by the last full pricing sweep (partial
+    /// pricing only).
+    cand: Vec<usize>,
+    /// Candidate-list iterations since the last full sweep.
+    iters_since_full_sweep: u64,
+    pricing_scans: u64,
+    pricing_cols_scanned: u64,
+    full_pricing_sweeps: u64,
 }
 
 enum StepOutcome {
@@ -95,8 +152,18 @@ enum StepOutcome {
     Moved,
 }
 
+/// Why an injected warm basis could not be used.
+enum WarmReject {
+    /// Wrong shape for this standard form, duplicate basic column, or a
+    /// numerically singular basis matrix.
+    Singular,
+    /// The basis factorized fine but the implied point violates bounds
+    /// beyond tolerance.
+    Infeasible,
+}
+
 impl<'a> Engine<'a> {
-    fn new(sf: &'a StandardForm, eps: f64, refactor_every: u64) -> Engine<'a> {
+    fn new(sf: &'a StandardForm, eps: f64, refactor_every: u64, pricing: Pricing) -> Engine<'a> {
         let m = sf.m;
         let mut status = vec![VStat::Lower; sf.n];
         for (i, &b) in sf.basis0.iter().enumerate() {
@@ -120,6 +187,244 @@ impl<'a> Engine<'a> {
             pivots_since_refactor: 0,
             refactor_every,
             refactorizations: 0,
+            pricing,
+            cand: Vec::new(),
+            iters_since_full_sweep: 0,
+            pricing_scans: 0,
+            pricing_cols_scanned: 0,
+            full_pricing_sweeps: 0,
+        }
+    }
+
+    /// Build an engine positioned at `warm` with artificials already pinned,
+    /// ready for phase 2. Rejects bases that don't match the standard form,
+    /// fail to factorize, or imply a primal-infeasible point.
+    fn from_basis(
+        sf: &'a StandardForm,
+        eps: f64,
+        feas_eps: f64,
+        refactor_every: u64,
+        pricing: Pricing,
+        warm: &Basis,
+    ) -> Result<Engine<'a>, WarmReject> {
+        if warm.basic.len() != sf.m || warm.status.len() != sf.n {
+            return Err(WarmReject::Singular);
+        }
+        let mut eng = Engine::new(sf, eps, refactor_every, pricing);
+        // Pin artificials before positioning: a warm basis comes from a
+        // finished solve, so any artificial it still carries must stay at 0.
+        for j in sf.first_artificial..sf.n {
+            eng.upper[j] = 0.0;
+        }
+        let mut status = vec![VStat::Lower; sf.n];
+        for (i, &j) in warm.basic.iter().enumerate() {
+            if j >= sf.n || matches!(status[j], VStat::Basic(_)) {
+                return Err(WarmReject::Singular);
+            }
+            status[j] = VStat::Basic(i as u32);
+        }
+        for (j, st) in status.iter_mut().enumerate() {
+            if matches!(st, VStat::Basic(_)) {
+                continue;
+            }
+            // `AtUpper` only survives where the (current) bound is finite
+            // and positive — a patched bound may have turned
+            // finite↔infinite since the basis was exported, and on a pinned
+            // column (upper 0) the two bounds coincide.
+            *st = match warm.status[j] {
+                VarStatus::AtUpper if eng.upper[j].is_finite() && eng.upper[j] > 0.0 => {
+                    VStat::Upper
+                }
+                _ => VStat::Lower,
+            };
+        }
+        eng.status = status;
+        eng.basis = warm.basic.clone();
+        if eng.refactorize_repair().is_err() {
+            return Err(WarmReject::Singular);
+        }
+        // Phase-2 costs: the dual ratio test below prices against the real
+        // objective (the caller re-assigns the same values before phase 2).
+        eng.cost.copy_from_slice(&sf.cost);
+        // Primal feasibility of the implied point, row-relative tolerance. A
+        // patched problem (new bounds / rhs) usually pushes the old optimal
+        // point slightly out of bounds — repair with dual-simplex pivots
+        // before giving up on the basis.
+        if !eng.primal_feasible(feas_eps) && !eng.dual_restore(feas_eps) {
+            return Err(WarmReject::Infeasible);
+        }
+        Ok(eng)
+    }
+
+    /// Does the current basic point satisfy all bounds within `feas_eps`
+    /// (row-relative)?
+    fn primal_feasible(&self, feas_eps: f64) -> bool {
+        (0..self.m).all(|i| {
+            let x = self.xb[i];
+            let tol = feas_eps * (1.0 + self.sf.b[i].abs());
+            if x < -tol {
+                return false;
+            }
+            let ub = self.upper[self.basis[i]];
+            !ub.is_finite() || x <= ub + tol
+        })
+    }
+
+    /// Dual-simplex feasibility restoration. Starting from a factorized
+    /// basis whose implied point violates bounds (the typical fate of a warm
+    /// basis after a scenario patch pins columns or moves the rhs), pivot
+    /// each violated basic variable out to its nearest bound, selecting the
+    /// entering column by the bounded-variable dual ratio test so the basis
+    /// stays close to dual feasibility.
+    ///
+    /// This is purely a restoration pass: it never declares optimality (the
+    /// primal phase 2 that follows has the full pricing-based test), so any
+    /// failure — iteration cap, no sign-eligible entering column, singular
+    /// refactorization — just returns `false` and the caller falls back to a
+    /// cold two-phase solve. Pivots performed here are counted as phase-1
+    /// iterations: they are the warm path's "get feasible" work.
+    fn dual_restore(&mut self, feas_eps: f64) -> bool {
+        let m = self.m;
+        let cap = 2 * (m as u64) + 100;
+        let start = self.iterations;
+        loop {
+            // leaving row: the most-violated basic variable
+            let mut leave_row = usize::MAX;
+            let mut worst = 0.0f64;
+            let mut above = false;
+            for i in 0..m {
+                let x = self.xb[i];
+                let tol = feas_eps * (1.0 + self.sf.b[i].abs());
+                if x < -tol {
+                    if -x > worst {
+                        worst = -x;
+                        leave_row = i;
+                        above = false;
+                    }
+                } else {
+                    let ub = self.upper[self.basis[i]];
+                    if ub.is_finite() && x > ub + tol && x - ub > worst {
+                        worst = x - ub;
+                        leave_row = i;
+                        above = true;
+                    }
+                }
+            }
+            if leave_row == usize::MAX {
+                if std::env::var_os("SB_LP_RESTORE_DEBUG").is_some() {
+                    eprintln!("restore ok after {} pivots", self.iterations - start);
+                }
+                return true; // primal feasible — basis usable for phase 2
+            }
+            if self.iterations - start >= cap {
+                if std::env::var_os("SB_LP_RESTORE_DEBUG").is_some() {
+                    eprintln!("restore cap hit ({cap}), worst viol {worst:.3e}");
+                }
+                return false;
+            }
+            if self.pivots_since_refactor >= self.refactor_every && self.refactorize().is_err() {
+                if std::env::var_os("SB_LP_RESTORE_DEBUG").is_some() {
+                    eprintln!("restore refactor singular");
+                }
+                return false;
+            }
+            // α_j = (B⁻¹ A_j)[leave_row]: one dense B⁻¹ row dotted with each
+            // sparse column, O(nnz) total.
+            let brow = self.binv[leave_row * m..(leave_row + 1) * m].to_vec();
+            let y = self.duals();
+            let mut enter = usize::MAX;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for j in 0..self.sf.n {
+                let st = self.status[j];
+                if matches!(st, VStat::Basic(_)) {
+                    continue;
+                }
+                if self.upper[j] <= self.eps {
+                    continue; // fixed column (pinned artificial or u = 0)
+                }
+                let mut alpha = 0.0;
+                for &(r, v) in &self.sf.cols[j] {
+                    alpha += brow[r] * v;
+                }
+                if alpha.abs() <= 1e-9 {
+                    continue;
+                }
+                // The entering move (up from lower / down from upper) must
+                // push the leaving variable toward its violated bound.
+                let at_upper = st == VStat::Upper;
+                let eligible = if above {
+                    (alpha > 0.0) != at_upper
+                } else {
+                    (alpha < 0.0) != at_upper
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = self.reduced_cost(j, &y).abs() / alpha.abs();
+                if ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12 && alpha.abs() > best_alpha.abs())
+                {
+                    best_ratio = ratio;
+                    best_alpha = alpha;
+                    enter = j;
+                }
+            }
+            if enter == usize::MAX {
+                if std::env::var_os("SB_LP_RESTORE_DEBUG").is_some() {
+                    eprintln!(
+                        "restore no-enter after {} pivots, worst viol {worst:.3e}",
+                        self.iterations - start
+                    );
+                }
+                return false; // no eligible pivot — give up, solve cold
+            }
+            // Pivot: the leaving variable exits exactly at its violated
+            // bound; the entering variable absorbs the difference (possibly
+            // overshooting its own bound, which a later round then repairs).
+            let leaving = self.basis[leave_row];
+            let target = if above { self.upper[leaving] } else { 0.0 };
+            let delta = (self.xb[leave_row] - target) / best_alpha;
+            let w = self.ftran(enter);
+            for i in 0..m {
+                if i != leave_row {
+                    self.xb[i] -= delta * w[i];
+                }
+            }
+            // A fixed column (pinned artificial, u = 0) leaves "above" at a
+            // bound where lower == upper: mark it Lower so phase-2 pricing
+            // treats it as fixed.
+            self.status[leaving] = if above && self.upper[leaving] > self.eps {
+                VStat::Upper
+            } else {
+                VStat::Lower
+            };
+            let enter_from = if self.status[enter] == VStat::Upper {
+                self.upper[enter]
+            } else {
+                0.0
+            };
+            self.xb[leave_row] = enter_from + delta;
+            self.basis[leave_row] = enter;
+            self.status[enter] = VStat::Basic(leave_row as u32);
+            self.update_binv(leave_row, &w);
+            self.iterations += 1;
+        }
+    }
+
+    /// Snapshot the current basis for reuse by a warm-started solve.
+    fn export_basis(&self) -> Basis {
+        Basis {
+            basic: self.basis.clone(),
+            status: self
+                .status
+                .iter()
+                .map(|st| match st {
+                    VStat::Basic(_) => VarStatus::Basic,
+                    VStat::Lower => VarStatus::AtLower,
+                    VStat::Upper => VarStatus::AtUpper,
+                })
+                .collect(),
         }
     }
 
@@ -236,6 +541,111 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
+    /// Like [`refactorize`](Self::refactorize), but instead of failing on a
+    /// rank-deficient basis it *repairs* it: a basis column that turns out
+    /// linearly dependent (the typical fate of a warm basis after a patch
+    /// rewrote matrix coefficients) is kicked out and replaced by the unit
+    /// column — slack or artificial — of a row the basis no longer covers.
+    /// The repaired point may violate bounds (an artificial forced in is
+    /// pinned at 0); callers follow up with [`dual_restore`](Self::dual_restore).
+    fn refactorize_repair(&mut self) -> Result<usize, LpError> {
+        let m = self.m;
+        let mut a = vec![0.0f64; m * m];
+        for (col_idx, &j) in self.basis.iter().enumerate() {
+            for &(r, v) in &self.sf.cols[j] {
+                a[r * m + col_idx] = v;
+            }
+        }
+        let mut inv = vec![0.0f64; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        let mut repaired = 0usize;
+        for col in 0..m {
+            let mut piv_row = col;
+            let mut piv_val = a[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = a[r * m + col].abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = r;
+                }
+            }
+            if piv_val < 1e-12 {
+                // Basis column `col` is dependent on the previous ones. Find
+                // an original row `r` whose unit column is (a) not already
+                // basic and (b) has usable support in the uneliminated rows:
+                // its reduced image under the accumulated row ops is column
+                // `r` of `inv`.
+                let mut best = 1e-8;
+                let (mut br, mut bpos) = (usize::MAX, col);
+                for r in 0..m {
+                    let unit = self.sf.basis0[r];
+                    if matches!(self.status[unit], VStat::Basic(_)) {
+                        continue;
+                    }
+                    for pos in col..m {
+                        let v = inv[pos * m + r].abs();
+                        if v > best {
+                            best = v;
+                            br = r;
+                            bpos = pos;
+                        }
+                    }
+                }
+                if br == usize::MAX {
+                    return Err(LpError::BadModel(
+                        "unrepairable singular basis during refactorization".into(),
+                    ));
+                }
+                let unit = self.sf.basis0[br];
+                let old = self.basis[col];
+                self.status[old] = VStat::Lower;
+                self.basis[col] = unit;
+                self.status[unit] = VStat::Basic(col as u32);
+                // Earlier Jordan steps zeroed columns < col everywhere and
+                // never touch them again (each pivot row is zero there), so
+                // overwriting the whole reduced column is safe.
+                for i in 0..m {
+                    a[i * m + col] = inv[i * m + br];
+                }
+                piv_row = bpos;
+                piv_val = a[bpos * m + col].abs();
+                repaired += 1;
+            }
+            debug_assert!(piv_val >= 1e-12);
+            if piv_row != col {
+                for k in 0..m {
+                    a.swap(col * m + k, piv_row * m + k);
+                    inv.swap(col * m + k, piv_row * m + k);
+                }
+            }
+            let d = 1.0 / a[col * m + col];
+            for k in 0..m {
+                a[col * m + k] *= d;
+                inv[col * m + k] *= d;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = a[r * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for k in 0..m {
+                    a[r * m + k] -= f * a[col * m + k];
+                    inv[r * m + k] -= f * inv[col * m + k];
+                }
+            }
+        }
+        self.binv = inv;
+        self.recompute_xb();
+        self.pivots_since_refactor = 0;
+        self.refactorizations += 1;
+        Ok(repaired)
+    }
+
     /// `xb = B⁻¹ (b − Σ_{j at upper} A_j u_j)`
     fn recompute_xb(&mut self) {
         let m = self.m;
@@ -262,47 +672,110 @@ impl<'a> Engine<'a> {
         self.xb = xb;
     }
 
-    /// One simplex step. `bland` selects Bland's rule.
-    fn step(&mut self, bland: bool) -> StepOutcome {
-        let y = self.duals();
-
-        // --- pricing -------------------------------------------------------
-        let mut enter = usize::MAX;
-        let mut enter_sigma = 1.0f64; // +1: increase from lower, −1: decrease from upper
-        let mut best = self.eps;
-        for j in 0..self.sf.n {
-            match self.status[j] {
-                VStat::Basic(_) => continue,
-                VStat::Lower => {
-                    if self.upper[j] <= self.eps {
-                        continue; // fixed column (artificial after phase 1, or u = 0)
-                    }
-                    let d = self.reduced_cost(j, &y);
-                    if d < -best || (bland && d < -self.eps) {
-                        enter = j;
-                        enter_sigma = 1.0;
-                        if bland {
-                            break;
-                        }
-                        best = -d;
-                    }
+    /// Favorability of nonbasic column `j`: `Some((|d|, σ))` when moving it
+    /// improves the objective (σ = +1 up from lower, −1 down from upper).
+    fn favorability(&self, j: usize, y: &[f64]) -> Option<(f64, f64)> {
+        match self.status[j] {
+            VStat::Basic(_) => None,
+            VStat::Lower => {
+                if self.upper[j] <= self.eps {
+                    return None; // fixed column (artificial after phase 1, or u = 0)
                 }
-                VStat::Upper => {
-                    let d = self.reduced_cost(j, &y);
-                    if d > best || (bland && d > self.eps) {
-                        enter = j;
-                        enter_sigma = -1.0;
-                        if bland {
-                            break;
-                        }
-                        best = d;
-                    }
+                let d = self.reduced_cost(j, y);
+                (d < -self.eps).then_some((-d, 1.0))
+            }
+            VStat::Upper => {
+                let d = self.reduced_cost(j, y);
+                (d > self.eps).then_some((d, -1.0))
+            }
+        }
+    }
+
+    /// Full Dantzig/Bland sweep over every column. Under partial pricing it
+    /// also repopulates the candidate list with the `collect` most favorable
+    /// columns. Returns the entering column and its direction.
+    fn price_full(&mut self, y: &[f64], bland: bool, collect: usize) -> Option<(usize, f64)> {
+        self.full_pricing_sweeps += 1;
+        self.iters_since_full_sweep = 0;
+        self.cand.clear();
+        let mut enter = usize::MAX;
+        let mut enter_sigma = 1.0f64;
+        let mut best = 0.0f64;
+        // (|d|, j) pairs of favorable columns, kept only when collecting.
+        let mut favorable: Vec<(f64, usize)> = Vec::new();
+        for j in 0..self.sf.n {
+            self.pricing_cols_scanned += 1;
+            let Some((d_abs, sigma)) = self.favorability(j, y) else {
+                continue;
+            };
+            if bland {
+                // Bland: first favorable column by index.
+                return Some((j, sigma));
+            }
+            if collect > 0 {
+                favorable.push((d_abs, j));
+            }
+            if d_abs > best {
+                best = d_abs;
+                enter = j;
+                enter_sigma = sigma;
+            }
+        }
+        if collect > 0 && !favorable.is_empty() {
+            favorable.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            favorable.truncate(collect);
+            self.cand.extend(favorable.iter().map(|&(_, j)| j));
+        }
+        (enter != usize::MAX).then_some((enter, enter_sigma))
+    }
+
+    /// Select the entering column. Dantzig (and Bland) always sweep every
+    /// column; partial pricing prices the candidate list and falls back to a
+    /// full sweep when the list runs dry, goes stale, or fails to produce a
+    /// favorable column — so `None` (optimality) is only ever declared by a
+    /// full sweep.
+    fn price(&mut self, y: &[f64], bland: bool) -> Option<(usize, f64)> {
+        self.pricing_scans += 1;
+        let (list_size, full_sweep_every) = match self.pricing {
+            Pricing::Partial {
+                list_size,
+                full_sweep_every,
+            } if !bland => (list_size, full_sweep_every),
+            _ => return self.price_full(y, bland, 0),
+        };
+        if self.cand.is_empty() || self.iters_since_full_sweep >= full_sweep_every {
+            return self.price_full(y, bland, list_size);
+        }
+        let mut keep: Vec<usize> = Vec::with_capacity(self.cand.len());
+        let mut enter = usize::MAX;
+        let mut enter_sigma = 1.0f64;
+        let mut best = 0.0f64;
+        for idx in 0..self.cand.len() {
+            let j = self.cand[idx];
+            self.pricing_cols_scanned += 1;
+            if let Some((d_abs, sigma)) = self.favorability(j, y) {
+                keep.push(j);
+                if d_abs > best {
+                    best = d_abs;
+                    enter = j;
+                    enter_sigma = sigma;
                 }
             }
         }
+        self.cand = keep;
         if enter == usize::MAX {
-            return StepOutcome::Optimal;
+            return self.price_full(y, bland, list_size);
         }
+        self.iters_since_full_sweep += 1;
+        Some((enter, enter_sigma))
+    }
+
+    /// One simplex step. `bland` selects Bland's rule.
+    fn step(&mut self, bland: bool) -> StepOutcome {
+        let y = self.duals();
+        let Some((enter, enter_sigma)) = self.price(&y, bland) else {
+            return StepOutcome::Optimal;
+        };
 
         // --- ratio test (two-pass Harris style) -----------------------------
         let w = self.ftran(enter);
@@ -405,8 +878,13 @@ impl<'a> Engine<'a> {
         self.xb[leave_row] = enter_val;
         self.basis[leave_row] = enter;
         self.status[enter] = VStat::Basic(leave_row as u32);
+        self.update_binv(leave_row, &w);
+        StepOutcome::Moved
+    }
 
-        // update B⁻¹: eliminate with pivot w[leave_row]
+    /// Rank-1 update of `B⁻¹` after swapping the basic column at `leave_row`
+    /// for a column whose ftran image is `w` (pivot element `w[leave_row]`).
+    fn update_binv(&mut self, leave_row: usize, w: &[f64]) {
         let m = self.m;
         let piv = w[leave_row];
         debug_assert!(piv.abs() > 1e-12);
@@ -438,7 +916,6 @@ impl<'a> Engine<'a> {
             }
         }
         self.pivots_since_refactor += 1;
-        StepOutcome::Moved
     }
 
     fn run_phase(&mut self, max_iter: u64, deadline: Option<Instant>) -> Result<(), LpError> {
@@ -491,23 +968,96 @@ impl<'a> Engine<'a> {
     }
 }
 
-impl Solver for RevisedSimplex {
-    fn solve(&self, lp: &LpProblem) -> Result<Solution, LpError> {
+impl RevisedSimplex {
+    /// Solve `lp`, optionally warm-starting from `warm` (a basis exported by
+    /// a previous [`Solution::basis`] on a layout-identical problem). An
+    /// unusable warm basis (wrong shape, singular, or primal-infeasible
+    /// beyond `feas_eps`) silently falls back to a cold two-phase solve.
+    pub fn solve_with_basis(
+        &self,
+        lp: &LpProblem,
+        warm: Option<&Basis>,
+    ) -> Result<Solution, LpError> {
         if lp.num_vars() == 0 {
             return Err(LpError::BadModel("no variables".into()));
         }
+        let sf = StandardForm::build(lp);
+        self.solve_standard(lp, &sf, warm)
+    }
+
+    /// Like [`solve_with_basis`](Self::solve_with_basis) but reuses a cached
+    /// `LpProblem → StandardForm` conversion (see [`PreparedProblem`]).
+    pub fn solve_prepared(
+        &self,
+        lp: &LpProblem,
+        prep: &PreparedProblem,
+        warm: Option<&Basis>,
+    ) -> Result<Solution, LpError> {
+        if lp.num_vars() == 0 {
+            return Err(LpError::BadModel("no variables".into()));
+        }
+        self.solve_standard(lp, &prep.sf, warm)
+    }
+
+    fn solve_standard(
+        &self,
+        lp: &LpProblem,
+        sf: &StandardForm,
+        warm: Option<&Basis>,
+    ) -> Result<Solution, LpError> {
         let wall_start = Instant::now();
         let deadline = self.time_budget.map(|b| wall_start + b);
-        let sf = StandardForm::build(lp);
-        let mut eng = Engine::new(&sf, self.eps, self.refactor_every);
         let max_iter = if self.max_iterations > 0 {
             self.max_iterations
         } else {
             50_000 + 40 * (sf.m as u64 + sf.n as u64)
         };
 
-        // ---- phase 1 --------------------------------------------------------
-        if sf.first_artificial < sf.n {
+        // ---- warm start: try to skip phase 1 entirely -----------------------
+        let mut warm_started = false;
+        let mut eng = match warm {
+            Some(basis) => {
+                match Engine::from_basis(
+                    sf,
+                    self.eps,
+                    self.feas_eps,
+                    self.refactor_every,
+                    self.pricing,
+                    basis,
+                ) {
+                    Ok(eng) => {
+                        warm_started = true;
+                        lp_metrics().record_warm_accepted();
+                        eng
+                    }
+                    Err(reject) => {
+                        if std::env::var_os("SB_LP_RESTORE_DEBUG").is_some() {
+                            eprintln!(
+                                "warm reject: {}",
+                                if matches!(reject, WarmReject::Singular) {
+                                    "singular"
+                                } else {
+                                    "infeasible"
+                                }
+                            );
+                        }
+                        lp_metrics().record_warm_rejected(matches!(reject, WarmReject::Singular));
+                        Engine::new(sf, self.eps, self.refactor_every, self.pricing)
+                    }
+                }
+            }
+            None => Engine::new(sf, self.eps, self.refactor_every, self.pricing),
+        };
+
+        // ---- phase 1 (cold starts only) -------------------------------------
+        if !warm_started && sf.first_artificial < sf.n {
+            // The phase-1 objective reshapes reduced costs on nearly every
+            // pivot, so a candidate list harvested by one sweep is stale by
+            // the next — measured on the provisioning LPs, partial pricing
+            // more than tripled phase-1 iterations. Phase 1 therefore always
+            // prices with full Dantzig sweeps; the requested strategy is
+            // restored for phase 2.
+            eng.pricing = Pricing::Dantzig;
             for j in sf.first_artificial..sf.n {
                 eng.cost[j] = 1.0;
             }
@@ -562,25 +1112,85 @@ impl Solver for RevisedSimplex {
 
         // ---- phase 2 --------------------------------------------------------
         let phase1_iterations = eng.iterations;
+        eng.pricing = self.pricing;
         for (j, &c) in sf.cost.iter().enumerate() {
             eng.cost[j] = c;
         }
+        // Phase-2 costs invalidate any phase-1 candidate list.
+        eng.cand.clear();
         eng.run_phase(max_iter, deadline)?;
 
-        // Final hygiene: refactorize to squeeze out accumulated drift. A
-        // (rare) singular refactorization means the incrementally-maintained
-        // inverse is still the best state we have — keep it; `refactorize`
-        // only commits on success.
-        let _ = eng.refactorize();
+        // Drift guard: the incrementally-updated B⁻¹ accumulates error, so
+        // the point `run_phase` stopped at can be subtly wrong in two ways —
+        // a basic variable's *exact* value (recomputed below) may sit outside
+        // its bounds, or a favorable reduced cost may have been masked by
+        // noise. Either would silently corrupt the extracted solution (the
+        // clamp in `extract` turns an out-of-bounds basic into an `Ax = b`
+        // violation). Refactorize to exact values, repair any bound
+        // violations with dual-simplex pivots, and re-price; repeat until a
+        // clean round. A (rare) singular refactorization means the
+        // incrementally-maintained inverse is still the best state we have —
+        // keep it; `refactorize` only commits on success.
+        let mut clean = false;
+        for _ in 0..6 {
+            if eng.refactorize().is_err() {
+                break;
+            }
+            let mut progressed = false;
+            if !eng.primal_feasible(self.feas_eps) {
+                if !eng.dual_restore(self.feas_eps) {
+                    return Err(LpError::BadModel(
+                        "numerical: primal feasibility lost and not restorable".into(),
+                    ));
+                }
+                progressed = true;
+            }
+            eng.cand.clear();
+            let before = eng.iterations;
+            eng.run_phase(max_iter, deadline)?;
+            if eng.iterations != before {
+                progressed = true;
+            }
+            if !progressed {
+                clean = true;
+                break;
+            }
+        }
+        if !clean && !eng.primal_feasible(self.feas_eps) {
+            return Err(LpError::BadModel(
+                "numerical: drift guard failed to converge".into(),
+            ));
+        }
         let x = eng.extract();
         let values = sf.recover(&x);
         let objective = lp.objective_at(&values);
         let duals = Some(sf.recover_duals(&eng.duals()));
+        let basis = eng.export_basis();
         let stats = SolveStats {
             phase1_iterations,
             phase2_iterations: eng.iterations - phase1_iterations,
             refactorizations: eng.refactorizations,
             wall: wall_start.elapsed(),
+            warm_started,
+            // Proxy for avoided phase-1 work: every row whose cold start
+            // would begin on an artificial column needs at least one phase-1
+            // pivot to drive it out.
+            phase1_iterations_saved: if warm_started {
+                sf.basis0
+                    .iter()
+                    .filter(|&&j| j >= sf.first_artificial)
+                    .count() as u64
+            } else {
+                0
+            },
+            pricing_scans: eng.pricing_scans,
+            pricing_cols_scanned: eng.pricing_cols_scanned,
+            full_pricing_sweeps: eng.full_pricing_sweeps,
+            rung: if warm_started {
+                SolveRung::WarmPrimary
+            } else {
+                SolveRung::ColdPrimary
+            },
         };
         lp_metrics().record_solve(&stats);
         Ok(Solution {
@@ -589,7 +1199,14 @@ impl Solver for RevisedSimplex {
             duals,
             iterations: eng.iterations,
             stats,
+            basis: Some(basis),
         })
+    }
+}
+
+impl Solver for RevisedSimplex {
+    fn solve(&self, lp: &LpProblem) -> Result<Solution, LpError> {
+        self.solve_with_basis(lp, None)
     }
 }
 
@@ -767,5 +1384,117 @@ mod tests {
         let s = solve(&lp).unwrap();
         assert!((s.value(x) - 2.0).abs() < 1e-9);
         assert!((s.value(y) - 1.0).abs() < 1e-8);
+    }
+
+    fn transport_lp(ns: usize, nd: usize) -> LpProblem {
+        let mut lp = LpProblem::new();
+        let mut xs = Vec::new();
+        for i in 0..ns {
+            for j in 0..nd {
+                let cost = ((i * 7 + j * 13) % 10 + 1) as f64;
+                xs.push(lp.add_nonneg(format!("x{i}_{j}"), cost));
+            }
+        }
+        let supply = 10.0;
+        let demand = supply * ns as f64 / nd as f64;
+        for i in 0..ns {
+            lp.add_eq((0..nd).map(|j| (xs[i * nd + j], 1.0)).collect(), supply);
+        }
+        for j in 0..nd {
+            lp.add_eq((0..ns).map(|i| (xs[i * nd + j], 1.0)).collect(), demand);
+        }
+        lp
+    }
+
+    #[test]
+    fn warm_restart_on_same_problem_skips_phase1() {
+        let lp = transport_lp(8, 9);
+        let cold = solve(&lp).unwrap();
+        assert!(!cold.stats().warm_started);
+        assert!(cold.stats().phase1_iterations > 0);
+        let warm = RevisedSimplex::new()
+            .solve_with_basis(&lp, cold.basis())
+            .unwrap();
+        assert!(warm.stats().warm_started);
+        assert_eq!(warm.stats().phase1_iterations, 0);
+        // re-solving at the optimum should take (near) zero pivots
+        assert!(warm.iterations() <= 2, "iterations = {}", warm.iterations());
+        assert!((warm.objective() - cold.objective()).abs() < 1e-7);
+        assert!(warm.stats().phase1_iterations_saved > 0);
+    }
+
+    #[test]
+    fn warm_start_after_rhs_patch_agrees_with_cold() {
+        let mut lp = transport_lp(6, 5);
+        let mut prep = crate::standard::PreparedProblem::new(&lp);
+        let base = RevisedSimplex::new()
+            .solve_prepared(&lp, &prep, None)
+            .unwrap();
+        // perturb one equality rhs pair (keep the transport balance intact)
+        lp.set_rhs(0, 12.0);
+        lp.set_rhs(6, 14.0); // first demand row: 12 + 5*10 - 4*12 = 14
+        lp.set_rhs(7, 12.0);
+        assert_eq!(
+            prep.refresh(&lp),
+            crate::standard::PatchOutcome::Patched,
+            "rhs-only change must not change the layout"
+        );
+        let warm = RevisedSimplex::new()
+            .solve_prepared(&lp, &prep, base.basis())
+            .unwrap();
+        let cold = solve(&lp).unwrap();
+        assert!(warm.stats().warm_started);
+        assert!((warm.objective() - cold.objective()).abs() < 1e-6);
+        assert!(lp.max_violation(warm.values()) < 1e-6);
+        assert!(warm.iterations() < cold.iterations());
+    }
+
+    #[test]
+    fn garbage_basis_falls_back_to_cold_solve() {
+        let lp = transport_lp(5, 6);
+        let cold = solve(&lp).unwrap();
+        // a basis from a structurally different problem: wrong shape
+        let other = solve(&transport_lp(3, 4)).unwrap();
+        let s = RevisedSimplex::new()
+            .solve_with_basis(&lp, other.basis())
+            .unwrap();
+        assert!(!s.stats().warm_started);
+        assert!((s.objective() - cold.objective()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn partial_pricing_agrees_with_dantzig() {
+        for (ns, nd) in [(8, 9), (12, 15), (4, 17)] {
+            let lp = transport_lp(ns, nd);
+            let dantzig = solve(&lp).unwrap();
+            let partial = RevisedSimplex::with_partial_pricing().solve(&lp).unwrap();
+            assert!(
+                (dantzig.objective() - partial.objective()).abs()
+                    < 1e-6 * (1.0 + dantzig.objective().abs())
+            );
+            assert!(lp.max_violation(partial.values()) < 1e-6);
+            // the whole point: fewer reduced costs evaluated
+            assert!(
+                partial.stats().pricing_cols_scanned < dantzig.stats().pricing_cols_scanned,
+                "partial {} vs dantzig {}",
+                partial.stats().pricing_cols_scanned,
+                dantzig.stats().pricing_cols_scanned
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_candidate_list_still_reaches_optimum() {
+        let lp = transport_lp(10, 11);
+        let solver = RevisedSimplex {
+            pricing: Pricing::Partial {
+                list_size: 2,
+                full_sweep_every: 3,
+            },
+            ..RevisedSimplex::default()
+        };
+        let s = solver.solve(&lp).unwrap();
+        let reference = solve(&lp).unwrap();
+        assert!((s.objective() - reference.objective()).abs() < 1e-6);
     }
 }

@@ -55,46 +55,136 @@ pub(crate) struct StandardForm {
     pub basis0: Vec<usize>,
     /// Whether user row `i` was negated during normalization (for duals).
     pub row_flip: Vec<bool>,
+    /// Normalized relation per row (after any sign flip). Together with the
+    /// per-variable mapping class this determines the whole column layout,
+    /// so it doubles as the layout fingerprint for in-place patching.
+    pub row_rel: Vec<Relation>,
+}
+
+/// Merge duplicates, apply the variable mapping and sign-normalize one user
+/// row. Returns `(entries over structural columns, rhs ≥ 0, normalized
+/// relation, flipped)`.
+fn map_row(
+    row: &crate::problem::Constraint,
+    var_map: &[VarMap],
+) -> (Vec<(usize, f64)>, f64, Relation, bool) {
+    let mut entries: Vec<(usize, f64)> = Vec::with_capacity(row.coeffs.len() + 1);
+    let mut rhs = row.rhs;
+    for &(v, a) in &row.coeffs {
+        if a == 0.0 {
+            continue;
+        }
+        match var_map[v.index()] {
+            VarMap::Shifted { col, lower } => {
+                rhs -= a * lower;
+                entries.push((col, a));
+            }
+            VarMap::Mirrored { col, upper: u } => {
+                rhs -= a * u;
+                entries.push((col, -a));
+            }
+            VarMap::Split { pos, neg } => {
+                entries.push((pos, a));
+                entries.push((neg, -a));
+            }
+        }
+    }
+    entries.sort_unstable_by_key(|e| e.0);
+    entries.dedup_by(|later, first| {
+        if later.0 == first.0 {
+            first.1 += later.1;
+            true
+        } else {
+            false
+        }
+    });
+    entries.retain(|e| e.1 != 0.0);
+
+    let mut rel = row.rel;
+    let mut flip = false;
+    if rhs < 0.0 {
+        rhs = -rhs;
+        flip = true;
+        for e in &mut entries {
+            e.1 = -e.1;
+        }
+        rel = match rel {
+            Relation::Le => Relation::Ge,
+            Relation::Ge => Relation::Le,
+            Relation::Eq => Relation::Eq,
+        };
+    }
+    (entries, rhs, rel, flip)
+}
+
+/// Compute the per-variable mapping classes for `lp` (no side effects).
+fn classify_vars(lp: &LpProblem) -> Vec<VarMap> {
+    let mut var_map = Vec::with_capacity(lp.num_vars());
+    let mut next = 0usize;
+    for j in 0..lp.num_vars() {
+        let (lo, hi) = (lp.lower[j], lp.upper[j]);
+        if lo.is_finite() {
+            var_map.push(VarMap::Shifted {
+                col: next,
+                lower: lo,
+            });
+            next += 1;
+        } else if hi.is_finite() {
+            var_map.push(VarMap::Mirrored {
+                col: next,
+                upper: hi,
+            });
+            next += 1;
+        } else {
+            var_map.push(VarMap::Split {
+                pos: next,
+                neg: next + 1,
+            });
+            next += 2;
+        }
+    }
+    var_map
+}
+
+fn same_class(a: &VarMap, b: &VarMap) -> bool {
+    matches!(
+        (a, b),
+        (VarMap::Shifted { .. }, VarMap::Shifted { .. })
+            | (VarMap::Mirrored { .. }, VarMap::Mirrored { .. })
+            | (VarMap::Split { .. }, VarMap::Split { .. })
+    )
 }
 
 impl StandardForm {
     /// Build the standard form of `lp`.
     pub fn build(lp: &LpProblem) -> StandardForm {
         let m = lp.num_constraints();
-        let nv = lp.num_vars();
 
         // --- map user variables to structural columns -----------------------
-        let mut var_map = Vec::with_capacity(nv);
+        let var_map = classify_vars(lp);
         let mut cost: Vec<f64> = Vec::new();
         let mut upper: Vec<f64> = Vec::new();
         let mut obj_offset = 0.0f64;
-        for j in 0..nv {
+        for (j, vm) in var_map.iter().enumerate() {
             let (lo, hi) = (lp.lower[j], lp.upper[j]);
             let c = lp.cost[j];
-            if lo.is_finite() {
-                var_map.push(VarMap::Shifted {
-                    col: cost.len(),
-                    lower: lo,
-                });
-                cost.push(c);
-                upper.push(hi - lo); // may be ∞
-                obj_offset += c * lo;
-            } else if hi.is_finite() {
-                var_map.push(VarMap::Mirrored {
-                    col: cost.len(),
-                    upper: hi,
-                });
-                cost.push(-c);
-                upper.push(f64::INFINITY);
-                obj_offset += c * hi;
-            } else {
-                let pos = cost.len();
-                cost.push(c);
-                upper.push(f64::INFINITY);
-                let neg = cost.len();
-                cost.push(-c);
-                upper.push(f64::INFINITY);
-                var_map.push(VarMap::Split { pos, neg });
+            match vm {
+                VarMap::Shifted { .. } => {
+                    cost.push(c);
+                    upper.push(hi - lo); // may be ∞
+                    obj_offset += c * lo;
+                }
+                VarMap::Mirrored { .. } => {
+                    cost.push(-c);
+                    upper.push(f64::INFINITY);
+                    obj_offset += c * hi;
+                }
+                VarMap::Split { .. } => {
+                    cost.push(c);
+                    upper.push(f64::INFINITY);
+                    cost.push(-c);
+                    upper.push(f64::INFINITY);
+                }
             }
         }
         let n_structural = cost.len();
@@ -103,56 +193,12 @@ impl StandardForm {
         // --- rows ------------------------------------------------------------
         let mut b = Vec::with_capacity(m);
         let mut row_flip = vec![false; m];
+        let mut row_rel = Vec::with_capacity(m);
         let mut basis0 = vec![usize::MAX; m];
-        // collect per-row sparse entries over structural columns
         for (i, row) in lp.rows.iter().enumerate() {
-            // merge duplicates + apply variable mapping
-            let mut entries: Vec<(usize, f64)> = Vec::with_capacity(row.coeffs.len() + 1);
-            let mut rhs = row.rhs;
-            for &(v, a) in &row.coeffs {
-                if a == 0.0 {
-                    continue;
-                }
-                match var_map[v.index()] {
-                    VarMap::Shifted { col, lower } => {
-                        rhs -= a * lower;
-                        entries.push((col, a));
-                    }
-                    VarMap::Mirrored { col, upper: u } => {
-                        rhs -= a * u;
-                        entries.push((col, -a));
-                    }
-                    VarMap::Split { pos, neg } => {
-                        entries.push((pos, a));
-                        entries.push((neg, -a));
-                    }
-                }
-            }
-            entries.sort_unstable_by_key(|e| e.0);
-            entries.dedup_by(|later, first| {
-                if later.0 == first.0 {
-                    first.1 += later.1;
-                    true
-                } else {
-                    false
-                }
-            });
-            entries.retain(|e| e.1 != 0.0);
-
-            // sign-normalize so rhs >= 0
-            let mut rel = row.rel;
-            if rhs < 0.0 {
-                rhs = -rhs;
-                row_flip[i] = true;
-                for e in &mut entries {
-                    e.1 = -e.1;
-                }
-                rel = match rel {
-                    Relation::Le => Relation::Ge,
-                    Relation::Ge => Relation::Le,
-                    Relation::Eq => Relation::Eq,
-                };
-            }
+            let (entries, rhs, rel, flip) = map_row(row, &var_map);
+            row_flip[i] = flip;
+            row_rel.push(rel);
             b.push(rhs);
             for (col, a) in entries {
                 cols[col].push((i, a));
@@ -167,12 +213,10 @@ impl StandardForm {
                     basis0[i] = s;
                 }
                 Relation::Ge => {
-                    let s = cols.len();
                     cols.push(vec![(i, -1.0)]);
                     cost.push(0.0);
                     upper.push(f64::INFINITY);
                     // needs an artificial too; assigned below
-                    let _ = s;
                 }
                 Relation::Eq => {}
             }
@@ -202,7 +246,88 @@ impl StandardForm {
             first_artificial,
             basis0,
             row_flip,
+            row_rel,
         }
+    }
+
+    /// Re-derive this standard form from `lp` **in place**, reusing every
+    /// allocation, provided the column layout is unchanged: same variables in
+    /// the same order with the same bound classes (finite-below / finite-above
+    /// only / free), and same rows with the same normalized relations. Bounds,
+    /// costs, right-hand sides and coefficients may all differ — that is the
+    /// point: a scenario sweep patches deltas into one cached conversion
+    /// instead of rebuilding it per scenario.
+    ///
+    /// Returns `false` (leaving `self` untouched) when the layout changed and
+    /// a full [`StandardForm::build`] is required.
+    pub fn patch_in_place(&mut self, lp: &LpProblem) -> bool {
+        if lp.num_constraints() != self.m || lp.num_vars() != self.var_map.len() {
+            return false;
+        }
+        // --- layout pre-check: variable classes ------------------------------
+        let var_map = classify_vars(lp);
+        if !var_map
+            .iter()
+            .zip(&self.var_map)
+            .all(|(a, b)| same_class(a, b))
+        {
+            return false;
+        }
+        // --- layout pre-check: normalized row relations ----------------------
+        // Mapping the rows is the bulk of the conversion work; keep the
+        // results so the commit pass below does not redo it.
+        let mut mapped = Vec::with_capacity(self.m);
+        for (i, row) in lp.rows.iter().enumerate() {
+            let (entries, rhs, rel, flip) = map_row(row, &var_map);
+            if rel != self.row_rel[i] {
+                return false;
+            }
+            mapped.push((entries, rhs, flip));
+        }
+
+        // --- commit: refill buffers ------------------------------------------
+        self.var_map = var_map;
+        self.obj_offset = 0.0;
+        let mut next = 0usize;
+        for j in 0..lp.num_vars() {
+            let (lo, hi) = (lp.lower[j], lp.upper[j]);
+            let c = lp.cost[j];
+            match self.var_map[j] {
+                VarMap::Shifted { .. } => {
+                    self.cost[next] = c;
+                    self.upper[next] = hi - lo;
+                    self.obj_offset += c * lo;
+                    next += 1;
+                }
+                VarMap::Mirrored { .. } => {
+                    self.cost[next] = -c;
+                    self.upper[next] = f64::INFINITY;
+                    self.obj_offset += c * hi;
+                    next += 1;
+                }
+                VarMap::Split { .. } => {
+                    self.cost[next] = c;
+                    self.cost[next + 1] = -c;
+                    self.upper[next] = f64::INFINITY;
+                    self.upper[next + 1] = f64::INFINITY;
+                    next += 2;
+                }
+            }
+        }
+        // structural columns are refilled from the mapped rows; slack,
+        // surplus and artificial columns are layout-stable and keep their
+        // single entry (cost/upper of non-structural columns never change)
+        for col in self.cols.iter_mut().take(next) {
+            col.clear();
+        }
+        for (i, (entries, rhs, flip)) in mapped.into_iter().enumerate() {
+            self.b[i] = rhs;
+            self.row_flip[i] = flip;
+            for (col, a) in entries {
+                self.cols[col].push((i, a));
+            }
+        }
+        true
     }
 
     /// Recover user-variable values from a standard-form assignment.
@@ -223,6 +348,66 @@ impl StandardForm {
             .zip(&self.row_flip)
             .map(|(&yi, &flip)| if flip { -yi } else { yi })
             .collect()
+    }
+}
+
+/// What [`PreparedProblem::refresh`] had to do.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PatchOutcome {
+    /// The cached conversion was patched in place (layout unchanged).
+    Patched,
+    /// The layout changed; the conversion was rebuilt from scratch.
+    Rebuilt,
+}
+
+/// A cached `LpProblem → standard form` conversion.
+///
+/// Converting a model to the engine's standard form costs `O(nnz)` per
+/// solve. A scenario sweep solves dozens of structurally identical models
+/// that differ only in bounds, costs, right-hand sides and a few
+/// coefficients; preparing once and [`refresh`](PreparedProblem::refresh)-ing
+/// per scenario patches those deltas into the cached conversion in place
+/// (reusing every allocation) instead of rebuilding it.
+///
+/// A `PreparedProblem` also guarantees a stable internal column layout
+/// across refreshes, which is exactly the precondition for re-injecting a
+/// [`crate::Basis`] exported from an earlier solve.
+///
+/// Contract: after mutating the `LpProblem`, call `refresh` before
+/// [`crate::RevisedSimplex::solve_prepared`]; solving with a stale
+/// preparation answers the previously prepared model.
+#[derive(Clone, Debug)]
+pub struct PreparedProblem {
+    pub(crate) sf: StandardForm,
+}
+
+impl PreparedProblem {
+    /// Convert `lp` and cache the result.
+    pub fn new(lp: &LpProblem) -> PreparedProblem {
+        PreparedProblem {
+            sf: StandardForm::build(lp),
+        }
+    }
+
+    /// Bring the cached conversion up to date with `lp` after mutations.
+    pub fn refresh(&mut self, lp: &LpProblem) -> PatchOutcome {
+        if self.sf.patch_in_place(lp) {
+            PatchOutcome::Patched
+        } else {
+            self.sf = StandardForm::build(lp);
+            PatchOutcome::Rebuilt
+        }
+    }
+
+    /// Rows in the prepared standard form.
+    pub fn num_rows(&self) -> usize {
+        self.sf.m
+    }
+
+    /// Columns in the prepared standard form (structural + slack/surplus +
+    /// artificial).
+    pub fn num_cols(&self) -> usize {
+        self.sf.n
     }
 }
 

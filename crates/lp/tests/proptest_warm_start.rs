@@ -1,0 +1,196 @@
+//! Property tests for warm-started solves: re-solving a patched problem from
+//! the previous optimal basis must agree with a cold solve — in objective and
+//! in feasibility — no matter how stale the basis is, and an outright
+//! corrupted basis must silently fall back to a cold start.
+//!
+//! The generated models follow the provisioning-LP shape that warm starts
+//! target in production: per-slot demand-completeness equalities, share
+//! variables with demand upper bounds, and capacity variables tying shares
+//! down through `≤` rows. The patch mirrors a failure-scenario sweep: demands
+//! move, and one site's shares get pinned to zero.
+
+use proptest::prelude::*;
+use sb_lp::{Basis, LpProblem, PatchOutcome, PreparedProblem, RevisedSimplex, Var, VarStatus};
+
+/// A miniature provisioning sweep: `slots × sites` share variables, one
+/// capacity variable per site.
+#[derive(Debug, Clone)]
+struct SweepLp {
+    slots: usize,
+    sites: usize,
+    /// Per-slot demand for the base (warm-basis) problem.
+    demand0: Vec<u8>,
+    /// Per-slot demand after the patch.
+    demand1: Vec<u8>,
+    /// Per-site capacity cost.
+    cap_cost: Vec<u8>,
+    /// Per-(slot, site) share cost (the ACL epsilon term).
+    share_cost: Vec<u8>,
+    /// Site pinned to zero by the patch (a "failed DC"), if any.
+    fail_site: Option<usize>,
+}
+
+fn sweep_lp() -> impl Strategy<Value = SweepLp> {
+    (1usize..4, 2usize..4).prop_flat_map(|(slots, sites)| {
+        let demand0 = proptest::collection::vec(1u8..9, slots);
+        let demand1 = proptest::collection::vec(1u8..9, slots);
+        let cap_cost = proptest::collection::vec(1u8..9, sites);
+        let share_cost = proptest::collection::vec(0u8..3, slots * sites);
+        let fail_site = proptest::option::of(0usize..sites);
+        (demand0, demand1, cap_cost, share_cost, fail_site).prop_map(
+            move |(demand0, demand1, cap_cost, share_cost, fail_site)| SweepLp {
+                slots,
+                sites,
+                demand0,
+                demand1,
+                cap_cost,
+                share_cost,
+                fail_site,
+            },
+        )
+    })
+}
+
+struct Built {
+    lp: LpProblem,
+    shares: Vec<Var>,
+    /// Completeness row index per slot.
+    complete_rows: Vec<usize>,
+}
+
+/// Build the base problem (demands `demand0`, nothing pinned).
+fn build(r: &SweepLp) -> Built {
+    let mut lp = LpProblem::new();
+    let caps: Vec<Var> = (0..r.sites)
+        .map(|x| lp.add_nonneg(format!("C{x}"), r.cap_cost[x] as f64))
+        .collect();
+    let mut shares = Vec::new();
+    for t in 0..r.slots {
+        for x in 0..r.sites {
+            shares.push(lp.add_var(
+                format!("s{t}_{x}"),
+                0.01 * r.share_cost[t * r.sites + x] as f64,
+                0.0,
+                r.demand0[t] as f64,
+            ));
+        }
+    }
+    let mut complete_rows = Vec::new();
+    for t in 0..r.slots {
+        let coeffs = (0..r.sites)
+            .map(|x| (shares[t * r.sites + x], 1.0))
+            .collect();
+        complete_rows.push(lp.add_eq(coeffs, r.demand0[t] as f64));
+        for x in 0..r.sites {
+            lp.add_le(vec![(shares[t * r.sites + x], 1.0), (caps[x], -1.0)], 0.0);
+        }
+    }
+    Built {
+        lp,
+        shares,
+        complete_rows,
+    }
+}
+
+/// Apply the scenario patch in place: new demands, one site pinned.
+fn patch(b: &mut Built, r: &SweepLp) {
+    for t in 0..r.slots {
+        b.lp.set_rhs(b.complete_rows[t], r.demand1[t] as f64);
+        for x in 0..r.sites {
+            let v = b.shares[t * r.sites + x];
+            let pinned = r.fail_site == Some(x);
+            b.lp.set_var_upper(v, if pinned { 0.0 } else { r.demand1[t] as f64 });
+        }
+    }
+}
+
+fn solve_pair(r: &SweepLp, mangle: Option<fn(&mut Basis)>) -> (f64, f64, bool, LpProblem) {
+    let mut b = build(r);
+    let mut prep = PreparedProblem::new(&b.lp);
+    let solver = RevisedSimplex::new();
+    let base = solver
+        .solve_prepared(&b.lp, &prep, None)
+        .expect("base problem is feasible by construction");
+    let mut basis = base.basis().expect("revised solve exports a basis").clone();
+    if let Some(m) = mangle {
+        m(&mut basis);
+    }
+    patch(&mut b, r);
+    assert_eq!(
+        prep.refresh(&b.lp),
+        PatchOutcome::Patched,
+        "demand/pin patches are layout-stable"
+    );
+    let warm = solver
+        .solve_prepared(&b.lp, &prep, Some(&basis))
+        .expect("patched problem stays feasible (capacity is purchasable)");
+    let cold = solver
+        .solve_prepared(&b.lp, &prep, None)
+        .expect("patched problem stays feasible (capacity is purchasable)");
+    (
+        warm.objective(),
+        cold.objective(),
+        warm.stats().warm_started,
+        {
+            let violation_w = b.lp.max_violation(warm.values());
+            let violation_c = b.lp.max_violation(cold.values());
+            assert!(
+                violation_w < 1e-7,
+                "warm solution infeasible: {violation_w}"
+            );
+            assert!(
+                violation_c < 1e-7,
+                "cold solution infeasible: {violation_c}"
+            );
+            b.lp
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Warm and cold solves of the patched problem agree on the optimum, and
+    /// both report feasible points — even when the patch pinned variables the
+    /// warm basis holds at positive values (the dual-restoration path).
+    #[test]
+    fn warm_agrees_with_cold_after_patch(r in sweep_lp()) {
+        let (warm_obj, cold_obj, _, _) = solve_pair(&r, None);
+        let scale = 1.0 + cold_obj.abs();
+        prop_assert!((warm_obj - cold_obj).abs() < 1e-6 * scale,
+            "warm={warm_obj} cold={cold_obj}");
+    }
+
+    /// A corrupted warm basis (duplicate basic column — structurally
+    /// singular) must downgrade to a cold start and still reach the optimum.
+    #[test]
+    fn corrupted_basis_falls_back(r in sweep_lp()) {
+        fn corrupt(b: &mut Basis) {
+            if b.basic.len() >= 2 {
+                b.basic[0] = b.basic[1];
+            }
+        }
+        let (warm_obj, cold_obj, warm_started, _) = solve_pair(&r, Some(corrupt));
+        prop_assert!(!warm_started, "a singular basis must not warm-start");
+        let scale = 1.0 + cold_obj.abs();
+        prop_assert!((warm_obj - cold_obj).abs() < 1e-6 * scale);
+    }
+
+    /// A basis with every status flipped to AtUpper (maximally stale
+    /// nonbasic information) is still either repaired or rejected — never
+    /// allowed to produce a wrong optimum.
+    #[test]
+    fn stale_statuses_never_corrupt_the_optimum(r in sweep_lp()) {
+        fn stale(b: &mut Basis) {
+            for st in &mut b.status {
+                if *st == VarStatus::AtLower {
+                    *st = VarStatus::AtUpper;
+                }
+            }
+        }
+        let (warm_obj, cold_obj, _, _) = solve_pair(&r, Some(stale));
+        let scale = 1.0 + cold_obj.abs();
+        prop_assert!((warm_obj - cold_obj).abs() < 1e-6 * scale,
+            "warm={warm_obj} cold={cold_obj}");
+    }
+}

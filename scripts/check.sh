@@ -22,4 +22,7 @@ cargo test --workspace -q
 echo "==> chaos smoke drill: sec63_failure_drills --smoke"
 cargo run --release -q -p sb-bench --bin sec63_failure_drills -- --smoke
 
+echo "==> solver perf smoke: lp_scenario_sweep --smoke"
+cargo run --release -q -p sb-bench --bin lp_scenario_sweep -- --smoke --json /tmp/BENCH_lp_smoke.json
+
 echo "all checks passed"
