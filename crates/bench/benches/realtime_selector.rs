@@ -30,7 +30,7 @@ fn bench_selector(c: &mut Criterion) {
     let mut group = c.benchmark_group("realtime_selector");
     group.bench_function("call_start+freeze+end", |b| {
         let (latmap, q) = quotas(200, 48);
-        let mut sel = RealtimeSelector::new(&latmap, q.clone());
+        let sel = RealtimeSelector::new(&latmap, q.clone());
         let mut id = 0u64;
         b.iter(|| {
             id += 1;

@@ -83,14 +83,14 @@ fn main() {
     let mut rows = Vec::new();
     for (name, shares) in [("SB", &sb_shares), ("LF", &lf_shares)] {
         let quotas = PlannedQuotas::from_plan(shares, &planned_demand);
-        let mut selector = RealtimeSelector::new(&sd0.latmap, quotas);
+        let selector = RealtimeSelector::new(&sd0.latmap, quotas);
         let report = replay(
             &topo,
             &sd0.routing,
             &sd0.latmap,
             &generator.universe().catalog,
             &db,
-            &mut selector,
+            &selector,
             &ReplayConfig::default(),
         );
         rows.push(vec![

@@ -60,7 +60,8 @@ pub use formulation::{
 pub use latency::LatencyMap;
 pub use provision::{provision, ProvisionerParams, ProvisioningPlan};
 pub use realtime::{
-    FreezeDecision, PlannedQuotas, RealtimeSelector, SelectorOutcome, SelectorRung, SelectorStats,
+    FreezeDecision, PlannedQuotas, RealtimeSelector, SelectorOutcome, SelectorRung, SelectorShard,
+    SelectorStats,
 };
 pub use shares::AllocationShares;
 pub use usage::{compute_usage, mean_acl, placed_fraction, UsageTimeline};

@@ -90,9 +90,15 @@ pub(crate) fn provision_metrics() -> &'static ProvisionMetrics {
     })
 }
 
+/// Size of the per-shard metric families below. Shard ids are taken modulo
+/// this, so any number of live [`crate::realtime::SelectorShard`]s maps onto
+/// a fixed set of metric names.
+pub(crate) const SELECTOR_SHARD_METRICS: usize = 8;
+
 pub(crate) struct RealtimeMetrics {
     pub(crate) assignments: Counter,
     pub(crate) freezes: Counter,
+    pub(crate) duplicate_freezes: Counter,
     pub(crate) migrations: Counter,
     pub(crate) unplanned: Counter,
     pub(crate) overflow: Counter,
@@ -101,6 +107,16 @@ pub(crate) struct RealtimeMetrics {
     pub(crate) degraded_any: Counter,
     pub(crate) unknown_events: Counter,
     pub(crate) selection_ns: Histogram,
+    /// Per-shard selection latency (`realtime.shard.selection_ns.<i>`).
+    pub(crate) shard_selection_ns: Vec<Histogram>,
+    /// Per-shard op counts (`realtime.shard.ops.<i>`).
+    pub(crate) shard_ops: Vec<Counter>,
+    /// Stat merges from worker shards into the shared selector.
+    pub(crate) shard_flushes: Counter,
+    /// Quota-pool lock acquisitions that found the stripe contended.
+    pub(crate) pool_contention: Counter,
+    /// Time spent blocked on a contended quota-pool stripe.
+    pub(crate) pool_wait_ns: Histogram,
 }
 
 pub(crate) fn realtime_metrics() -> &'static RealtimeMetrics {
@@ -110,6 +126,7 @@ pub(crate) fn realtime_metrics() -> &'static RealtimeMetrics {
         RealtimeMetrics {
             assignments: reg.counter("realtime.assignments"),
             freezes: reg.counter("realtime.freezes"),
+            duplicate_freezes: reg.counter("realtime.duplicate_freezes"),
             migrations: reg.counter("realtime.migrations"),
             unplanned: reg.counter("realtime.unplanned"),
             overflow: reg.counter("realtime.overflow"),
@@ -118,6 +135,12 @@ pub(crate) fn realtime_metrics() -> &'static RealtimeMetrics {
             degraded_any: reg.counter("realtime.degraded_any"),
             unknown_events: reg.counter("realtime.unknown_events"),
             selection_ns: reg.histogram("realtime.selection_ns"),
+            shard_selection_ns: reg
+                .histogram_family("realtime.shard.selection_ns", SELECTOR_SHARD_METRICS),
+            shard_ops: reg.counter_family("realtime.shard.ops", SELECTOR_SHARD_METRICS),
+            shard_flushes: reg.counter("realtime.shard.flushes"),
+            pool_contention: reg.counter("realtime.pool_contention"),
+            pool_wait_ns: reg.histogram("realtime.pool_wait_ns"),
         }
     })
 }

@@ -10,13 +10,43 @@
 //! chaos engine (`sb-sim::chaos`) drives the same ladder mid-call via
 //! [`RealtimeSelector::rehome_call`] when a hosting DC fails, and pushes
 //! updated topology views in via [`RealtimeSelector::update_topology`].
+//!
+//! # Concurrency model
+//!
+//! Calls are independent between events; the only *shared* selector state is
+//! the per-`(config, slot)` quota pools, the per-DC freeze tallies, and the
+//! aggregate statistics. The state is therefore split for parallelism:
+//!
+//! * call → DC state lives in an [`sb_store::ShardedMap`] keyed by call id
+//!   (the same store abstraction the §6.6 controller writes call state to);
+//! * quota pools live behind striped mutexes — two freezes contend only when
+//!   their `(config, slot)` keys hash to the same stripe;
+//! * per-DC freeze tallies are relaxed atomics;
+//! * the topology view (latency map + per-DC health + closest-DC cache) is
+//!   an immutable snapshot behind `RwLock<Arc<…>>`, swapped wholesale by
+//!   [`RealtimeSelector::update_topology`];
+//! * aggregate [`SelectorStats`] sit behind a mutex that worker threads
+//!   never touch per-event: workers drive a [`SelectorShard`], which batches
+//!   stats locally and merges them on [`SelectorShard::flush`] (or drop).
+//!
+//! All public methods take `&self` and are safe to call from any thread. A
+//! serial driver calling the methods in trace order remains the correctness
+//! oracle: `sb-sim`'s `replay_concurrent` reproduces its aggregate results
+//! exactly by keeping each quota pool's freeze sequence in trace order (see
+//! that module for the equivalence argument).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use sb_net::{CountryId, DcId};
+use sb_store::ShardedMap;
 use sb_workload::{ConfigId, DemandMatrix};
 
 use crate::latency::LatencyMap;
+use crate::metrics::SELECTOR_SHARD_METRICS;
 use crate::shares::AllocationShares;
 
 /// Integer per-DC call quotas per `(config, slot)`, derived from the
@@ -104,6 +134,10 @@ pub enum FreezeDecision {
     /// Planned quotas for this (config, slot) were exhausted everywhere
     /// (or only at failed DCs): the call stays put, served from headroom.
     Overflow(DcId),
+    /// The call's config already froze earlier: the duplicate event is a
+    /// counted no-op (no second quota debit, no second tally) and the call
+    /// stays where it is.
+    AlreadyFrozen(DcId),
     /// `call_id` was never started (or already ended). Freezing an unknown
     /// call is a protocol anomaly; it is counted and ignored rather than
     /// crashing the controller.
@@ -117,7 +151,8 @@ impl FreezeDecision {
         match self {
             FreezeDecision::Stay(d)
             | FreezeDecision::Unplanned(d)
-            | FreezeDecision::Overflow(d) => Some(d),
+            | FreezeDecision::Overflow(d)
+            | FreezeDecision::AlreadyFrozen(d) => Some(d),
             FreezeDecision::Migrate { to, .. } => Some(to),
             FreezeDecision::UnknownCall => None,
         }
@@ -174,11 +209,16 @@ impl SelectorOutcome {
     }
 }
 
-/// Aggregate selector statistics.
+/// Aggregate selector statistics. Order-insensitive by construction: every
+/// field is a count, so merging per-shard deltas in any order produces the
+/// same totals as a serial run over the same events.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SelectorStats {
     /// Calls started.
     pub calls: u64,
+    /// Config-freeze events that completed a tally (known call, first
+    /// freeze): every one of these contributed to the per-DC tallies.
+    pub freezes: u64,
     /// Calls migrated at config freeze (§6.4 metric, plan-driven).
     pub migrations: u64,
     /// Calls with a config absent from the plan.
@@ -196,10 +236,14 @@ pub struct SelectorStats {
     pub degraded_any: u64,
     /// Freezes handled while the plan was marked stale/invalid.
     pub plan_stale: u64,
+    /// Duplicate freeze events for already-frozen calls (counted no-ops).
+    pub duplicate_freezes: u64,
     /// Freeze events for unknown call ids (counted no-ops).
     pub unknown_freezes: u64,
     /// End events for unknown call ids (counted no-ops).
     pub unknown_ends: u64,
+    /// Re-home requests for unknown call ids (counted no-ops).
+    pub unknown_rehomes: u64,
 }
 
 impl SelectorStats {
@@ -211,9 +255,27 @@ impl SelectorStats {
             self.migrations as f64 / self.calls as f64
         }
     }
+
+    /// Add `other`'s counts into `self` (shard merge).
+    pub fn merge(&mut self, other: &SelectorStats) {
+        self.calls += other.calls;
+        self.freezes += other.freezes;
+        self.migrations += other.migrations;
+        self.unplanned += other.unplanned;
+        self.overflow += other.overflow;
+        self.stranded += other.stranded;
+        self.forced_migrations += other.forced_migrations;
+        self.rehomed_plan += other.rehomed_plan;
+        self.degraded_any += other.degraded_any;
+        self.plan_stale += other.plan_stale;
+        self.duplicate_freezes += other.duplicate_freezes;
+        self.unknown_freezes += other.unknown_freezes;
+        self.unknown_ends += other.unknown_ends;
+        self.unknown_rehomes += other.unknown_rehomes;
+    }
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct ActiveCall {
     dc: DcId,
     country: CountryId,
@@ -222,77 +284,28 @@ struct ActiveCall {
     frozen: Option<(ConfigId, usize)>,
 }
 
-/// The real-time selector state machine.
-///
-/// Owns its topology view (latency map + per-DC health) so the chaos engine
-/// can swap it mid-replay as faults hit and recover.
-pub struct RealtimeSelector {
-    latmap: LatencyMap,
+/// One immutable topology snapshot: latency map, per-DC health, and the
+/// derived closest-up-DC cache. Swapped wholesale on topology updates so
+/// readers never observe a half-applied fault.
+#[derive(Debug)]
+struct TopologyView {
     dc_up: Vec<bool>,
-    plan_valid: bool,
-    quotas: PlannedQuotas,
-    remaining: HashMap<(ConfigId, usize), Vec<(DcId, u32)>>,
-    active: HashMap<u64, ActiveCall>,
     closest: Vec<Option<DcId>>,
-    stats: SelectorStats,
 }
 
-impl RealtimeSelector {
-    /// Build a selector for one planning horizon. All DCs start healthy and
-    /// the plan starts valid.
-    pub fn new(latmap: &LatencyMap, quotas: PlannedQuotas) -> RealtimeSelector {
-        let dc_up = vec![true; latmap.num_dcs()];
-        let closest = Self::compute_closest(latmap, &dc_up);
-        let remaining = quotas.quotas.clone();
-        RealtimeSelector {
-            latmap: latmap.clone(),
-            dc_up,
-            plan_valid: true,
-            quotas,
-            remaining,
-            active: HashMap::new(),
-            closest,
-            stats: SelectorStats::default(),
-        }
-    }
-
-    fn compute_closest(latmap: &LatencyMap, dc_up: &[bool]) -> Vec<Option<DcId>> {
-        (0..latmap.num_countries())
+impl TopologyView {
+    fn build(latmap: &LatencyMap, dc_up: &[bool]) -> TopologyView {
+        let closest = (0..latmap.num_countries())
             .map(|c| {
                 latmap
                     .closest_dc_where(CountryId(c as u16), |dc| dc_up[dc.index()])
                     .map(|(dc, _)| dc)
             })
-            .collect()
-    }
-
-    /// Swap in a new topology view (latency map + per-DC health), e.g. after
-    /// a fault or a recovery. Existing placements are untouched; call
-    /// [`rehome_call`] for calls hosted at DCs that just went down.
-    ///
-    /// [`rehome_call`]: RealtimeSelector::rehome_call
-    pub fn update_topology(&mut self, latmap: &LatencyMap, dc_up: &[bool]) {
-        debug_assert_eq!(latmap.num_dcs(), dc_up.len());
-        self.latmap = latmap.clone();
-        self.dc_up = dc_up.to_vec();
-        self.closest = Self::compute_closest(&self.latmap, &self.dc_up);
-    }
-
-    /// Mark the allocation plan stale (`false`) or valid again (`true`). A
-    /// stale plan takes the plan rung out of the ladder: freezes degrade to
-    /// [`FreezeDecision::Unplanned`] instead of consulting quotas.
-    pub fn set_plan_valid(&mut self, valid: bool) {
-        self.plan_valid = valid;
-    }
-
-    /// Is the plan currently trusted?
-    pub fn plan_valid(&self) -> bool {
-        self.plan_valid
-    }
-
-    /// Is `dc` currently considered up?
-    pub fn dc_up(&self, dc: DcId) -> bool {
-        self.dc_up[dc.index()]
+            .collect();
+        TopologyView {
+            dc_up: dc_up.to_vec(),
+            closest,
+        }
     }
 
     /// Locality-first → any-reachable placement for `country`.
@@ -312,32 +325,178 @@ impl RealtimeSelector {
         }
         SelectorOutcome::Stranded
     }
+}
 
-    fn record_rung(&mut self, rung: SelectorRung) {
+/// Number of mutex stripes the quota pools are spread over.
+const POOL_STRIPES: usize = 32;
+/// Shards of the active call → DC map.
+const CALL_SHARDS: usize = 64;
+
+type QuotaPools = Vec<(DcId, u32)>;
+
+/// The real-time selector state machine.
+///
+/// Owns its topology view (latency map + per-DC health) so the chaos engine
+/// can swap it mid-replay as faults hit and recover. All methods take
+/// `&self` and are thread-safe; see the module docs for the sharding model
+/// and [`RealtimeSelector::shard`] for the batched-stats worker handle.
+pub struct RealtimeSelector {
+    topo: RwLock<Arc<TopologyView>>,
+    plan_valid: AtomicBool,
+    quotas: PlannedQuotas,
+    pools: Vec<Mutex<HashMap<(ConfigId, usize), QuotaPools>>>,
+    pool_hasher: RandomState,
+    quota_initial: u64,
+    active: ShardedMap<u64, ActiveCall>,
+    dc_tally: Vec<AtomicU64>,
+    stats: Mutex<SelectorStats>,
+    shard_seq: AtomicUsize,
+}
+
+impl RealtimeSelector {
+    /// Build a selector for one planning horizon. All DCs start healthy and
+    /// the plan starts valid.
+    pub fn new(latmap: &LatencyMap, quotas: PlannedQuotas) -> RealtimeSelector {
+        let dc_up = vec![true; latmap.num_dcs()];
+        let view = TopologyView::build(latmap, &dc_up);
+        let pool_hasher = RandomState::new();
+        let mut pools: Vec<Mutex<HashMap<(ConfigId, usize), QuotaPools>>> = (0..POOL_STRIPES)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        let mut quota_initial = 0u64;
+        for (key, rem) in quotas.quotas.iter() {
+            quota_initial += rem.iter().map(|&(_, n)| n as u64).sum::<u64>();
+            let idx = pool_hasher.hash_one(key) as usize % POOL_STRIPES;
+            pools[idx].get_mut().insert(*key, rem.clone());
+        }
+        RealtimeSelector {
+            topo: RwLock::new(Arc::new(view)),
+            plan_valid: AtomicBool::new(true),
+            quotas,
+            pools,
+            pool_hasher,
+            quota_initial,
+            active: ShardedMap::new(CALL_SHARDS),
+            dc_tally: (0..latmap.num_dcs()).map(|_| AtomicU64::new(0)).collect(),
+            stats: Mutex::new(SelectorStats::default()),
+            shard_seq: AtomicUsize::new(0),
+        }
+    }
+
+    fn topo_view(&self) -> Arc<TopologyView> {
+        self.topo.read().clone()
+    }
+
+    /// Swap in a new topology view (latency map + per-DC health), e.g. after
+    /// a fault or a recovery. Existing placements are untouched; call
+    /// [`rehome_call`] for calls hosted at DCs that just went down.
+    ///
+    /// Concurrent drivers must only call this at a window barrier (no
+    /// in-flight shard ops): live [`SelectorShard`]s keep serving their
+    /// cached snapshot until [`SelectorShard::refresh_topology`].
+    ///
+    /// [`rehome_call`]: RealtimeSelector::rehome_call
+    pub fn update_topology(&self, latmap: &LatencyMap, dc_up: &[bool]) {
+        debug_assert_eq!(latmap.num_dcs(), dc_up.len());
+        *self.topo.write() = Arc::new(TopologyView::build(latmap, dc_up));
+    }
+
+    /// Mark the allocation plan stale (`false`) or valid again (`true`). A
+    /// stale plan takes the plan rung out of the ladder: freezes degrade to
+    /// [`FreezeDecision::Unplanned`] instead of consulting quotas.
+    pub fn set_plan_valid(&self, valid: bool) {
+        self.plan_valid.store(valid, Ordering::Relaxed);
+    }
+
+    /// Is the plan currently trusted?
+    pub fn plan_valid(&self) -> bool {
+        self.plan_valid.load(Ordering::Relaxed)
+    }
+
+    /// Is `dc` currently considered up?
+    pub fn dc_up(&self, dc: DcId) -> bool {
+        self.topo.read().dc_up[dc.index()]
+    }
+
+    /// Slot of the quota plan containing `minute` (replay drivers use this
+    /// to group freeze events by the quota pool they will debit).
+    pub fn plan_slot_of_minute(&self, minute: u64) -> Option<usize> {
+        self.quotas.slot_of_minute(minute)
+    }
+
+    /// Total planned quota across all pools at construction.
+    pub fn quota_initial_total(&self) -> u64 {
+        self.quota_initial
+    }
+
+    /// Quota not yet debited, summed across all pools.
+    pub fn quota_remaining_total(&self) -> u64 {
+        self.pools
+            .iter()
+            .map(|p| {
+                p.lock()
+                    .values()
+                    .flat_map(|rem| rem.iter().map(|&(_, n)| n as u64))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Completed config-freeze tallies per DC (index = DC id): how many
+    /// calls finalized at each DC. `sum(per_dc_tallies) == stats().freezes`
+    /// under any interleaving — the invariant the concurrent property tests
+    /// pin down.
+    pub fn per_dc_tallies(&self) -> Vec<u64> {
+        self.dc_tally
+            .iter()
+            .map(|t| t.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn lock_pool(
+        &self,
+        cfg: ConfigId,
+        slot: usize,
+    ) -> MutexGuard<'_, HashMap<(ConfigId, usize), QuotaPools>> {
+        let idx = self.pool_hasher.hash_one((cfg, slot)) as usize % POOL_STRIPES;
+        match self.pools[idx].try_lock() {
+            Some(g) => g,
+            None => {
+                let m = crate::metrics::realtime_metrics();
+                m.pool_contention.inc();
+                let _t = m.pool_wait_ns.start_timer();
+                self.pools[idx].lock()
+            }
+        }
+    }
+
+    fn record_rung(st: &mut SelectorStats, rung: SelectorRung) {
         let m = crate::metrics::realtime_metrics();
         match rung {
-            SelectorRung::Plan => self.stats.rehomed_plan += 1,
+            SelectorRung::Plan => st.rehomed_plan += 1,
             SelectorRung::Locality => {}
             SelectorRung::AnyReachable => {
-                self.stats.degraded_any += 1;
+                st.degraded_any += 1;
                 m.degraded_any.inc();
             }
         }
     }
 
-    /// First participant joined: assign the DC closest to them (§5.4(a)),
-    /// falling down the ladder when locality cannot serve. Never panics: a
-    /// country with no reachable DC yields [`SelectorOutcome::Stranded`]
-    /// and the call is not tracked.
-    pub fn call_start(&mut self, call_id: u64, first_joiner: CountryId) -> SelectorOutcome {
+    fn start_core(
+        &self,
+        topo: &TopologyView,
+        st: &mut SelectorStats,
+        call_id: u64,
+        first_joiner: CountryId,
+    ) -> SelectorOutcome {
         let m = crate::metrics::realtime_metrics();
         let _t = m.selection_ns.start_timer();
-        self.stats.calls += 1;
-        let outcome = self.place(first_joiner);
+        st.calls += 1;
+        let outcome = topo.place(first_joiner);
         match outcome {
             SelectorOutcome::Placed { dc, rung } => {
                 m.assignments.inc();
-                self.record_rung(rung);
+                Self::record_rung(st, rung);
                 self.active.insert(
                     call_id,
                     ActiveCall {
@@ -348,59 +507,44 @@ impl RealtimeSelector {
                 );
             }
             SelectorOutcome::Stranded => {
-                self.stats.stranded += 1;
+                st.stranded += 1;
                 m.stranded.inc();
             }
         }
         outcome
     }
 
-    /// The call's config froze (A minutes in): tally against the plan and
-    /// decide whether to migrate (§5.4(b)(c)).
-    ///
-    /// Never panics: an unknown `call_id` returns
-    /// [`FreezeDecision::UnknownCall`] (counted), a stale plan degrades to
-    /// [`FreezeDecision::Unplanned`], and quota held only by failed DCs
-    /// degrades to [`FreezeDecision::Overflow`].
-    pub fn config_frozen(
-        &mut self,
-        call_id: u64,
+    /// Quota consultation for one freeze. Caller holds the call's shard
+    /// lock; this takes the pool stripe lock (lock order: call shard →
+    /// pool stripe, everywhere).
+    fn decide_freeze(
+        &self,
+        topo: &TopologyView,
+        st: &mut SelectorStats,
+        current: DcId,
         cfg: ConfigId,
-        call_start_minute: u64,
+        slot: Option<usize>,
     ) -> FreezeDecision {
         let m = crate::metrics::realtime_metrics();
-        let _t = m.selection_ns.start_timer();
-        m.freezes.inc();
-        let Some(call) = self.active.get(&call_id) else {
-            self.stats.unknown_freezes += 1;
-            m.unknown_events.inc();
-            return FreezeDecision::UnknownCall;
-        };
-        let current = call.dc;
-        let slot = self.quotas.slot_of_minute(call_start_minute);
-        if let Some(slot) = slot {
-            if let Some(call) = self.active.get_mut(&call_id) {
-                call.frozen = Some((cfg, slot));
-            }
-        }
-        if !self.plan_valid {
-            self.stats.plan_stale += 1;
-            self.stats.unplanned += 1;
+        if !self.plan_valid.load(Ordering::Relaxed) {
+            st.plan_stale += 1;
+            st.unplanned += 1;
             m.unplanned.inc();
             return FreezeDecision::Unplanned(current);
         }
         let Some(slot) = slot else {
-            self.stats.unplanned += 1;
+            st.unplanned += 1;
             m.unplanned.inc();
             return FreezeDecision::Unplanned(current);
         };
-        let Some(rem) = self.remaining.get_mut(&(cfg, slot)) else {
-            self.stats.unplanned += 1;
+        let mut pool = self.lock_pool(cfg, slot);
+        let Some(rem) = pool.get_mut(&(cfg, slot)) else {
+            st.unplanned += 1;
             m.unplanned.inc();
             return FreezeDecision::Unplanned(current);
         };
         // current DC still has quota → debit and stay
-        if self.dc_up[current.index()] {
+        if topo.dc_up[current.index()] {
             if let Some(entry) = rem.iter_mut().find(|(dc, n)| *dc == current && *n > 0) {
                 entry.1 -= 1;
                 return FreezeDecision::Stay(current);
@@ -408,71 +552,127 @@ impl RealtimeSelector {
         }
         // otherwise migrate to the up planned DC with the most remaining
         // quota (failed DCs hold dead quota — skip them)
-        let dc_up = &self.dc_up;
         if let Some(entry) = rem
             .iter_mut()
-            .filter(|(dc, n)| *n > 0 && dc_up[dc.index()])
+            .filter(|(dc, n)| *n > 0 && topo.dc_up[dc.index()])
             .max_by_key(|(_, n)| *n)
         {
             entry.1 -= 1;
             let to = entry.0;
-            if let Some(call) = self.active.get_mut(&call_id) {
-                call.dc = to;
-            }
-            self.stats.migrations += 1;
+            st.migrations += 1;
             m.migrations.inc();
             return FreezeDecision::Migrate { from: current, to };
         }
-        self.stats.overflow += 1;
+        st.overflow += 1;
         m.overflow.inc();
         FreezeDecision::Overflow(current)
     }
 
-    /// A failure displaced this call (its hosting DC went down): re-home it
-    /// down the full ladder — plan (if the config froze and quota remains at
-    /// an up DC) → locality → any-reachable. A successful re-home counts as
-    /// a *forced* migration; [`SelectorOutcome::Stranded`] drops the call.
-    pub fn rehome_call(&mut self, call_id: u64) -> SelectorOutcome {
+    fn freeze_core(
+        &self,
+        topo: &TopologyView,
+        st: &mut SelectorStats,
+        call_id: u64,
+        cfg: ConfigId,
+        call_start_minute: u64,
+    ) -> FreezeDecision {
         let m = crate::metrics::realtime_metrics();
         let _t = m.selection_ns.start_timer();
-        let Some(call) = self.active.get(&call_id) else {
-            self.stats.unknown_ends += 1;
+        m.freezes.inc();
+        let slot = self.quotas.slot_of_minute(call_start_minute);
+        let mut decision = None;
+        let known = self.active.update(&call_id, |call| {
+            if call.frozen.is_some() {
+                decision = Some(FreezeDecision::AlreadyFrozen(call.dc));
+                return;
+            }
+            let current = call.dc;
+            if let Some(s) = slot {
+                call.frozen = Some((cfg, s));
+            }
+            let d = self.decide_freeze(topo, st, current, cfg, slot);
+            if let FreezeDecision::Migrate { to, .. } = d {
+                call.dc = to;
+            }
+            decision = Some(d);
+        });
+        if !known {
+            st.unknown_freezes += 1;
             m.unknown_events.inc();
-            return SelectorOutcome::Stranded;
-        };
-        let (old_dc, country, frozen) = (call.dc, call.country, call.frozen);
-        // plan rung: only for frozen calls with live quota at an up DC
-        let mut outcome = None;
-        if self.plan_valid {
-            if let Some(key) = frozen {
-                let dc_up = &self.dc_up;
-                if let Some(entry) = self.remaining.get_mut(&key).and_then(|rem| {
-                    rem.iter_mut()
-                        .filter(|(dc, n)| *n > 0 && *dc != old_dc && dc_up[dc.index()])
-                        .max_by_key(|(_, n)| *n)
-                }) {
-                    entry.1 -= 1;
-                    outcome = Some(SelectorOutcome::Placed {
-                        dc: entry.0,
-                        rung: SelectorRung::Plan,
-                    });
+            return FreezeDecision::UnknownCall;
+        }
+        // `known` implies the closure ran and set `decision`; stay
+        // panic-free regardless.
+        let d = decision.unwrap_or(FreezeDecision::UnknownCall);
+        match d {
+            FreezeDecision::AlreadyFrozen(_) => {
+                st.duplicate_freezes += 1;
+                m.duplicate_freezes.inc();
+            }
+            FreezeDecision::UnknownCall => {}
+            _ => {
+                st.freezes += 1;
+                if let Some(dc) = d.final_dc() {
+                    self.dc_tally[dc.index()].fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
-        let outcome = outcome.unwrap_or_else(|| self.place(country));
+        d
+    }
+
+    fn rehome_core(
+        &self,
+        topo: &TopologyView,
+        st: &mut SelectorStats,
+        call_id: u64,
+    ) -> SelectorOutcome {
+        let m = crate::metrics::realtime_metrics();
+        let _t = m.selection_ns.start_timer();
+        let mut outcome = None;
+        let mut old_dc = None;
+        let known = self.active.update(&call_id, |call| {
+            let (old, country, frozen) = (call.dc, call.country, call.frozen);
+            old_dc = Some(old);
+            // plan rung: only for frozen calls with live quota at an up DC
+            let mut out = None;
+            if self.plan_valid.load(Ordering::Relaxed) {
+                if let Some(key) = frozen {
+                    let mut pool = self.lock_pool(key.0, key.1);
+                    if let Some(entry) = pool.get_mut(&key).and_then(|rem| {
+                        rem.iter_mut()
+                            .filter(|(dc, n)| *n > 0 && *dc != old && topo.dc_up[dc.index()])
+                            .max_by_key(|(_, n)| *n)
+                    }) {
+                        entry.1 -= 1;
+                        out = Some(SelectorOutcome::Placed {
+                            dc: entry.0,
+                            rung: SelectorRung::Plan,
+                        });
+                    }
+                }
+            }
+            let out = out.unwrap_or_else(|| topo.place(country));
+            if let SelectorOutcome::Placed { dc, .. } = out {
+                call.dc = dc;
+            }
+            outcome = Some(out);
+        });
+        if !known {
+            st.unknown_rehomes += 1;
+            m.unknown_events.inc();
+            return SelectorOutcome::Stranded;
+        }
+        let outcome = outcome.unwrap_or(SelectorOutcome::Stranded);
         match outcome {
             SelectorOutcome::Placed { dc, rung } => {
-                self.record_rung(rung);
-                if dc != old_dc {
-                    self.stats.forced_migrations += 1;
+                Self::record_rung(st, rung);
+                if old_dc != Some(dc) {
+                    st.forced_migrations += 1;
                     m.forced_migrations.inc();
-                }
-                if let Some(call) = self.active.get_mut(&call_id) {
-                    call.dc = dc;
                 }
             }
             SelectorOutcome::Stranded => {
-                self.stats.stranded += 1;
+                st.stranded += 1;
                 m.stranded.inc();
                 self.active.remove(&call_id);
             }
@@ -480,13 +680,57 @@ impl RealtimeSelector {
         outcome
     }
 
-    /// The call ended; release its bookkeeping. Unknown ids are counted
-    /// no-ops (the call may have been stranded and dropped mid-flight).
-    pub fn call_end(&mut self, call_id: u64) {
+    fn end_core(&self, st: &mut SelectorStats, call_id: u64) {
         if self.active.remove(&call_id).is_none() {
-            self.stats.unknown_ends += 1;
+            st.unknown_ends += 1;
             crate::metrics::realtime_metrics().unknown_events.inc();
         }
+    }
+
+    /// First participant joined: assign the DC closest to them (§5.4(a)),
+    /// falling down the ladder when locality cannot serve. Never panics: a
+    /// country with no reachable DC yields [`SelectorOutcome::Stranded`]
+    /// and the call is not tracked.
+    pub fn call_start(&self, call_id: u64, first_joiner: CountryId) -> SelectorOutcome {
+        let topo = self.topo_view();
+        let mut st = self.stats.lock();
+        self.start_core(&topo, &mut st, call_id, first_joiner)
+    }
+
+    /// The call's config froze (A minutes in): tally against the plan and
+    /// decide whether to migrate (§5.4(b)(c)).
+    ///
+    /// Never panics: an unknown `call_id` returns
+    /// [`FreezeDecision::UnknownCall`] (counted), a repeat freeze returns
+    /// [`FreezeDecision::AlreadyFrozen`] (counted, no second debit), a stale
+    /// plan degrades to [`FreezeDecision::Unplanned`], and quota held only
+    /// by failed DCs degrades to [`FreezeDecision::Overflow`].
+    pub fn config_frozen(
+        &self,
+        call_id: u64,
+        cfg: ConfigId,
+        call_start_minute: u64,
+    ) -> FreezeDecision {
+        let topo = self.topo_view();
+        let mut st = self.stats.lock();
+        self.freeze_core(&topo, &mut st, call_id, cfg, call_start_minute)
+    }
+
+    /// A failure displaced this call (its hosting DC went down): re-home it
+    /// down the full ladder — plan (if the config froze and quota remains at
+    /// an up DC) → locality → any-reachable. A successful re-home counts as
+    /// a *forced* migration; [`SelectorOutcome::Stranded`] drops the call.
+    pub fn rehome_call(&self, call_id: u64) -> SelectorOutcome {
+        let topo = self.topo_view();
+        let mut st = self.stats.lock();
+        self.rehome_core(&topo, &mut st, call_id)
+    }
+
+    /// The call ended; release its bookkeeping. Unknown ids are counted
+    /// no-ops (the call may have been stranded and dropped mid-flight).
+    pub fn call_end(&self, call_id: u64) {
+        let mut st = self.stats.lock();
+        self.end_core(&mut st, call_id)
     }
 
     /// DC currently hosting a call.
@@ -497,12 +741,12 @@ impl RealtimeSelector {
     /// Ids of calls currently hosted at `dc` (chaos engine: the blast
     /// radius of a DC failure).
     pub fn calls_at(&self, dc: DcId) -> Vec<u64> {
-        let mut ids: Vec<u64> = self
-            .active
-            .iter()
-            .filter(|(_, c)| c.dc == dc)
-            .map(|(&id, _)| id)
-            .collect();
+        let mut ids = Vec::new();
+        self.active.for_each(|&id, c| {
+            if c.dc == dc {
+                ids.push(id);
+            }
+        });
         ids.sort_unstable();
         ids
     }
@@ -512,14 +756,111 @@ impl RealtimeSelector {
         self.active.len()
     }
 
-    /// Statistics so far.
-    pub fn stats(&self) -> &SelectorStats {
-        &self.stats
+    /// Snapshot of the statistics so far (shared totals; un-flushed
+    /// [`SelectorShard`] deltas are not yet included).
+    pub fn stats(&self) -> SelectorStats {
+        self.stats.lock().clone()
     }
 
-    /// The latency map in use.
-    pub fn latmap(&self) -> &LatencyMap {
-        &self.latmap
+    /// A worker handle for one replay thread: caches the topology snapshot
+    /// and batches statistics locally so per-event work never touches the
+    /// shared stats mutex. Merge explicitly with [`SelectorShard::flush`];
+    /// dropping the shard flushes too.
+    pub fn shard(&self) -> SelectorShard<'_> {
+        SelectorShard {
+            sel: self,
+            topo: self.topo_view(),
+            stats: SelectorStats::default(),
+            id: self.shard_seq.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+/// A per-worker view of a [`RealtimeSelector`].
+///
+/// Shares the selector's call map, quota pools, and tallies; keeps its own
+/// [`SelectorStats`] delta and topology snapshot. Serial-equivalence rules
+/// for concurrent drivers (see `sb-sim::replay_concurrent`):
+///
+/// * one call's events must be driven in trace order (start → freeze → end);
+/// * freezes debiting the same `(config, slot)` pool must be driven in
+///   trace order relative to each other;
+/// * topology updates and plan validity flips must happen at barriers, with
+///   [`SelectorShard::refresh_topology`] called before the next window.
+pub struct SelectorShard<'a> {
+    sel: &'a RealtimeSelector,
+    topo: Arc<TopologyView>,
+    stats: SelectorStats,
+    id: usize,
+}
+
+impl SelectorShard<'_> {
+    fn metric_slot(&self) -> usize {
+        self.id % SELECTOR_SHARD_METRICS
+    }
+
+    /// Re-read the selector's topology snapshot (call after
+    /// [`RealtimeSelector::update_topology`], at a window barrier).
+    pub fn refresh_topology(&mut self) {
+        self.topo = self.sel.topo_view();
+    }
+
+    /// Shard-local [`RealtimeSelector::call_start`].
+    pub fn call_start(&mut self, call_id: u64, first_joiner: CountryId) -> SelectorOutcome {
+        let m = crate::metrics::realtime_metrics();
+        m.shard_ops[self.metric_slot()].inc();
+        let _t = m.shard_selection_ns[self.metric_slot()].start_timer();
+        self.sel
+            .start_core(&self.topo, &mut self.stats, call_id, first_joiner)
+    }
+
+    /// Shard-local [`RealtimeSelector::config_frozen`].
+    pub fn config_frozen(
+        &mut self,
+        call_id: u64,
+        cfg: ConfigId,
+        call_start_minute: u64,
+    ) -> FreezeDecision {
+        let m = crate::metrics::realtime_metrics();
+        m.shard_ops[self.metric_slot()].inc();
+        let _t = m.shard_selection_ns[self.metric_slot()].start_timer();
+        self.sel
+            .freeze_core(&self.topo, &mut self.stats, call_id, cfg, call_start_minute)
+    }
+
+    /// Shard-local [`RealtimeSelector::rehome_call`].
+    pub fn rehome_call(&mut self, call_id: u64) -> SelectorOutcome {
+        let m = crate::metrics::realtime_metrics();
+        m.shard_ops[self.metric_slot()].inc();
+        let _t = m.shard_selection_ns[self.metric_slot()].start_timer();
+        self.sel.rehome_core(&self.topo, &mut self.stats, call_id)
+    }
+
+    /// Shard-local [`RealtimeSelector::call_end`].
+    pub fn call_end(&mut self, call_id: u64) {
+        let m = crate::metrics::realtime_metrics();
+        m.shard_ops[self.metric_slot()].inc();
+        self.sel.end_core(&mut self.stats, call_id)
+    }
+
+    /// Current DC of a call (reads the shared map).
+    pub fn current_dc(&self, call_id: u64) -> Option<DcId> {
+        self.sel.current_dc(call_id)
+    }
+
+    /// Merge this shard's batched stats into the selector's shared totals.
+    pub fn flush(&mut self) {
+        let local = std::mem::take(&mut self.stats);
+        if local != SelectorStats::default() {
+            crate::metrics::realtime_metrics().shard_flushes.inc();
+            self.sel.stats.lock().merge(&local);
+        }
+    }
+}
+
+impl Drop for SelectorShard<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -569,7 +910,8 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 2.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
+        assert_eq!(sel.quota_initial_total(), 2);
         let out = sel.call_start(1, CountryId(0));
         assert_eq!(
             out,
@@ -581,6 +923,9 @@ mod tests {
         let d = sel.config_frozen(1, cfg, 0);
         assert_eq!(d, FreezeDecision::Stay(DcId(0)));
         assert_eq!(sel.stats().migrations, 0);
+        assert_eq!(sel.stats().freezes, 1);
+        assert_eq!(sel.quota_remaining_total(), 1);
+        assert_eq!(sel.per_dc_tallies(), vec![1, 0]);
     }
 
     #[test]
@@ -589,7 +934,7 @@ mod tests {
         let (_, cfg) = catalog();
         // plan puts everything on DC1 but the first joiner is closest to DC0
         let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
         sel.call_start(7, CountryId(0));
         let d = sel.config_frozen(7, cfg, 10);
         assert_eq!(
@@ -602,6 +947,7 @@ mod tests {
         assert!(d.migrated());
         assert_eq!(sel.current_dc(7), Some(DcId(1)));
         assert_eq!(sel.stats().migrations, 1);
+        assert_eq!(sel.per_dc_tallies(), vec![0, 1]);
     }
 
     #[test]
@@ -610,7 +956,7 @@ mod tests {
         let (_, cfg) = catalog();
         // plan: 2 calls at DC0, 1 at DC1
         let q = quotas_for(cfg, vec![(DcId(0), 2.0 / 3.0), (DcId(1), 1.0 / 3.0)], 3.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
         for id in 0..3u64 {
             sel.call_start(id, CountryId(0));
         }
@@ -626,6 +972,12 @@ mod tests {
         ));
         assert_eq!(sel.stats().overflow, 1);
         assert!((sel.stats().migration_rate() - 0.25).abs() < 1e-12);
+        // quota conservation: debits == freezes - unplanned - overflow
+        let st = sel.stats();
+        assert_eq!(
+            sel.quota_initial_total() - sel.quota_remaining_total(),
+            st.freezes - st.unplanned - st.overflow
+        );
     }
 
     #[test]
@@ -633,7 +985,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
         sel.call_start(1, CountryId(1));
         // a config id the plan never saw
         let other = ConfigId(42);
@@ -649,13 +1001,79 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
         assert_eq!(sel.config_frozen(99, cfg, 0), FreezeDecision::UnknownCall);
         assert_eq!(sel.config_frozen(99, cfg, 0).final_dc(), None);
         sel.call_end(99);
         sel.call_end(99);
         assert_eq!(sel.stats().unknown_freezes, 2);
         assert_eq!(sel.stats().unknown_ends, 2);
+        assert_eq!(sel.stats().freezes, 0);
+    }
+
+    #[test]
+    fn double_freeze_tallies_once() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        // plan on DC1: the first freeze migrates, the duplicate must not
+        // debit quota, tally, or migrate again
+        let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
+        let sel = RealtimeSelector::new(&lm, q);
+        sel.call_start(1, CountryId(0));
+        assert!(sel.config_frozen(1, cfg, 0).migrated());
+        let remaining = sel.quota_remaining_total();
+        let d = sel.config_frozen(1, cfg, 0);
+        assert_eq!(d, FreezeDecision::AlreadyFrozen(DcId(1)));
+        assert_eq!(d.final_dc(), Some(DcId(1)));
+        assert!(!d.migrated());
+        let st = sel.stats();
+        assert_eq!(st.freezes, 1, "duplicate freeze must not tally");
+        assert_eq!(st.duplicate_freezes, 1);
+        assert_eq!(st.migrations, 1);
+        assert_eq!(sel.quota_remaining_total(), remaining, "no second debit");
+        assert_eq!(sel.per_dc_tallies().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn rehome_after_call_end_is_counted_noop() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 2.0);
+        let sel = RealtimeSelector::new(&lm, q);
+        sel.call_start(1, CountryId(0));
+        sel.config_frozen(1, cfg, 0);
+        sel.call_end(1);
+        // the DC fails after the call already ended; the stale re-home
+        // request must not count as stranded or as a forced migration
+        let out = sel.rehome_call(1);
+        assert!(out.is_stranded());
+        let st = sel.stats();
+        assert_eq!(st.unknown_rehomes, 1);
+        assert_eq!(st.stranded, 0);
+        assert_eq!(st.forced_migrations, 0);
+    }
+
+    #[test]
+    fn dc_down_between_start_and_freeze_migrates_off_failed_dc() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        // quota at both DCs, slightly more at DC0
+        let q = quotas_for(cfg, vec![(DcId(0), 0.6), (DcId(1), 0.4)], 10.0);
+        let sel = RealtimeSelector::new(&lm, q);
+        sel.call_start(1, CountryId(0));
+        assert_eq!(sel.current_dc(1), Some(DcId(0)));
+        // DC0 fails between start and freeze: the freeze must skip DC0's
+        // quota (even though the call sits there) and migrate to DC1
+        sel.update_topology(&lm, &[false, true]);
+        let d = sel.config_frozen(1, cfg, 0);
+        assert_eq!(
+            d,
+            FreezeDecision::Migrate {
+                from: DcId(0),
+                to: DcId(1)
+            }
+        );
+        assert_eq!(sel.per_dc_tallies(), vec![0, 1]);
     }
 
     #[test]
@@ -664,7 +1082,7 @@ mod tests {
         let (_, cfg) = catalog();
         // the plan would migrate this call to DC1 — but it is stale
         let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
         sel.set_plan_valid(false);
         assert!(!sel.plan_valid());
         sel.call_start(1, CountryId(0));
@@ -684,7 +1102,7 @@ mod tests {
         let (_, cfg) = catalog();
         // all quota on DC1, which is down → freeze overflows in place
         let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
         sel.update_topology(&lm, &[true, false]);
         sel.call_start(1, CountryId(0));
         let d = sel.config_frozen(1, cfg, 0);
@@ -698,7 +1116,7 @@ mod tests {
         // country 1 can only reach DC1
         let lm = LatencyMap::from_matrix(vec![vec![Some(5.0), Some(50.0)], vec![None, Some(5.0)]]);
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
         // DC1 down: country 1 has no latency row to an up DC → any-reachable
         sel.update_topology(&lm, &[true, false]);
         let out = sel.call_start(1, CountryId(1));
@@ -725,7 +1143,7 @@ mod tests {
         let (_, cfg) = catalog();
         // plan: quota at DC0 (closest) and DC2 (far)
         let q = quotas_for(cfg, vec![(DcId(0), 0.5), (DcId(2), 0.5)], 4.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
         sel.call_start(1, CountryId(0));
         assert_eq!(sel.config_frozen(1, cfg, 0), FreezeDecision::Stay(DcId(0)));
         // DC0 fails → plan rung re-homes to DC2 (has quota), not DC1
@@ -762,7 +1180,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
         sel.call_start(1, CountryId(0));
         sel.update_topology(&lm, &[false, false]);
         assert!(sel.rehome_call(1).is_stranded());
@@ -777,7 +1195,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 8.0);
-        let mut sel = RealtimeSelector::new(&lm, q);
+        let sel = RealtimeSelector::new(&lm, q);
         // DC0 down: country 0's calls land on DC1
         sel.update_topology(&lm, &[false, true]);
         assert_eq!(sel.call_start(1, CountryId(0)).dc(), Some(DcId(1)));
@@ -785,5 +1203,61 @@ mod tests {
         sel.update_topology(&lm, &[true, true]);
         assert_eq!(sel.call_start(2, CountryId(0)).dc(), Some(DcId(0)));
         let _ = cfg;
+    }
+
+    #[test]
+    fn shards_merge_to_serial_totals() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 0.5), (DcId(1), 0.5)], 8.0);
+        let sel = RealtimeSelector::new(&lm, q);
+        {
+            let mut a = sel.shard();
+            let mut b = sel.shard();
+            // four calls driven through two shards
+            for id in 0..2u64 {
+                a.call_start(id, CountryId(0));
+            }
+            for id in 2..4u64 {
+                b.call_start(id, CountryId(1));
+            }
+            // shard-local stats are not yet visible on the selector
+            assert_eq!(sel.stats().calls, 0);
+            for id in 0..2u64 {
+                a.config_frozen(id, cfg, 0);
+            }
+            for id in 2..4u64 {
+                b.config_frozen(id, cfg, 0);
+            }
+            a.call_end(0);
+            b.call_end(2);
+            a.flush();
+            b.flush();
+        }
+        let st = sel.stats();
+        assert_eq!(st.calls, 4);
+        assert_eq!(st.freezes, 4);
+        assert_eq!(sel.per_dc_tallies().iter().sum::<u64>(), 4);
+        assert_eq!(sel.active_calls(), 2);
+        // quota conservation across shards
+        assert_eq!(
+            sel.quota_initial_total() - sel.quota_remaining_total(),
+            st.freezes - st.unplanned - st.overflow
+        );
+    }
+
+    #[test]
+    fn shard_topology_refresh_sees_update() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 4.0);
+        let sel = RealtimeSelector::new(&lm, q);
+        let mut shard = sel.shard();
+        assert_eq!(shard.call_start(1, CountryId(0)).dc(), Some(DcId(0)));
+        sel.update_topology(&lm, &[false, true]);
+        // stale snapshot until refreshed (barrier discipline)
+        assert_eq!(shard.call_start(2, CountryId(0)).dc(), Some(DcId(0)));
+        shard.refresh_topology();
+        assert_eq!(shard.call_start(3, CountryId(0)).dc(), Some(DcId(1)));
     }
 }

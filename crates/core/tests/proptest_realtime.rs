@@ -113,7 +113,7 @@ proptest! {
         let any_up = dc_up.iter().any(|&u| u);
 
         let quotas = make_quotas(&topo, cfg, with_plan);
-        let mut selector = RealtimeSelector::new(&latmap, quotas);
+        let selector = RealtimeSelector::new(&latmap, quotas);
         selector.update_topology(&latmap, &dc_up);
 
         let mut started = 0u64;
@@ -137,10 +137,12 @@ proptest! {
                         | FreezeDecision::Migrate { to: dc, .. } => {
                             prop_assert!(dc_up[dc.index()], "froze onto a down DC");
                         }
-                        // Unplanned/Overflow keep the current DC; UnknownCall
-                        // is the typed no-op for ids never started
+                        // Unplanned/Overflow/AlreadyFrozen keep the current
+                        // DC; UnknownCall is the typed no-op for ids never
+                        // started
                         FreezeDecision::Unplanned(_)
                         | FreezeDecision::Overflow(_)
+                        | FreezeDecision::AlreadyFrozen(_)
                         | FreezeDecision::UnknownCall => {}
                     }
                 }

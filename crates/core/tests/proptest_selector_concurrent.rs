@@ -1,0 +1,198 @@
+//! Property tests for the sharded selector under real thread interleavings:
+//! per-thread operation sequences run through [`SelectorShard`] handles on
+//! scoped threads, all hammering the same striped quota pools and atomic
+//! tallies. Each thread owns a disjoint call-id range, so the *per-call*
+//! event order is deterministic even though the cross-thread interleaving is
+//! not — which makes the aggregate counters exactly predictable:
+//!
+//! * no tally is ever lost: `sum(per_dc_tallies) == stats.freezes`, and
+//!   `freezes` equals the locally-simulated expectation;
+//! * no migration is double-counted: a duplicate freeze returns
+//!   `AlreadyFrozen` without a second debit, so quota conservation holds —
+//!   `initial - remaining == (freezes - unplanned - overflow) + rehomed_plan`;
+//! * `call_end`/`config_frozen`/`rehome_call` on unknown ids stay *counted*
+//!   no-ops under contention (`unknown_*` match the expectation exactly).
+
+use proptest::prelude::*;
+use sb_core::{LatencyMap, PlannedQuotas, RealtimeSelector};
+use sb_net::{FailureScenario, RoutingTable};
+use sb_workload::{CallConfig, ConfigCatalog, ConfigId, DemandMatrix, MediaType};
+
+/// One operation against the selector; `id` is an offset into the owning
+/// thread's private call-id range.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Start { id: u8, country: u8 },
+    Freeze { id: u8 },
+    Rehome { id: u8 },
+    End { id: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 0u8..4).prop_map(|(id, country)| Op::Start { id, country }),
+        (0u8..6).prop_map(|id| Op::Freeze { id }),
+        (0u8..6).prop_map(|id| Op::Rehome { id }),
+        (0u8..6).prop_map(|id| Op::End { id }),
+    ]
+}
+
+fn threads_strategy() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    proptest::collection::vec(proptest::collection::vec(op_strategy(), 1..40), 2..5)
+}
+
+/// What one thread's sequence must contribute to the aggregate counters,
+/// derived by simulating its private ids (start always places — the test
+/// topology is fully healthy — and rehome never strands).
+#[derive(Default)]
+struct Expected {
+    calls: u64,
+    freezes: u64,
+    duplicate_freezes: u64,
+    unknown_freezes: u64,
+    unknown_rehomes: u64,
+    unknown_ends: u64,
+    live: u64,
+}
+
+fn expect_thread(ops: &[Op]) -> Expected {
+    let mut e = Expected::default();
+    // per-id state: None = unknown, Some(frozen?)
+    let mut state = [None::<bool>; 6];
+    for op in ops {
+        match *op {
+            Op::Start { id, .. } => {
+                e.calls += 1;
+                // a re-start overwrites the entry, resetting the freeze claim
+                state[id as usize] = Some(false);
+            }
+            Op::Freeze { id } => match &mut state[id as usize] {
+                None => e.unknown_freezes += 1,
+                Some(frozen @ false) => {
+                    e.freezes += 1;
+                    *frozen = true;
+                }
+                Some(true) => e.duplicate_freezes += 1,
+            },
+            Op::Rehome { id } => {
+                if state[id as usize].is_none() {
+                    e.unknown_rehomes += 1;
+                }
+            }
+            Op::End { id } => {
+                if state[id as usize].take().is_none() {
+                    e.unknown_ends += 1;
+                }
+            }
+        }
+    }
+    e.live = state.iter().filter(|s| s.is_some()).count() as u64;
+    e
+}
+
+/// A healthy three-DC world with one planned config and a deliberately tiny
+/// quota, so concurrent freezes race the same pool into overflow.
+fn selector(per_slot: f64) -> (sb_net::Topology, ConfigId, RealtimeSelector) {
+    let topo = sb_net::presets::toy_three_dc();
+    let mut catalog = ConfigCatalog::new();
+    let jp = topo.country_by_name("JP");
+    let cfg = catalog.intern(CallConfig::new(vec![(jp, 2)], MediaType::Audio));
+    let routing = RoutingTable::compute(&topo, FailureScenario::None);
+    let latmap = LatencyMap::from_routing(&topo, &routing);
+    let slots = 2;
+    let mut shares = sb_core::AllocationShares::new(slots);
+    let mut demand = DemandMatrix::zero(cfg.index() + 1, slots, 30, 0);
+    let n = topo.dcs.len() as f64;
+    for s in 0..slots {
+        shares.set(
+            cfg,
+            s,
+            topo.dc_ids().map(|d| (d, 1.0 / n)).collect::<Vec<_>>(),
+        );
+        demand.set(cfg, s, per_slot);
+    }
+    let quotas = PlannedQuotas::from_plan(&shares, &demand);
+    (topo, cfg, RealtimeSelector::new(&latmap, quotas))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary cross-thread interleavings never lose or double-count.
+    #[test]
+    fn concurrent_interleavings_conserve_every_counter(
+        thread_ops in threads_strategy(),
+        per_slot in 1.0f64..20.0,
+    ) {
+        let (topo, cfg, sel) = selector(per_slot);
+        let countries: Vec<_> = topo.country_ids().collect();
+
+        std::thread::scope(|s| {
+            for (t, ops) in thread_ops.iter().enumerate() {
+                let mut shard = sel.shard();
+                let countries = &countries;
+                s.spawn(move || {
+                    let base = 1_000 * (t as u64 + 1);
+                    for op in ops {
+                        match *op {
+                            Op::Start { id, country } => {
+                                let c = countries[country as usize % countries.len()];
+                                shard.call_start(base + id as u64, c);
+                            }
+                            Op::Freeze { id } => {
+                                // start_minute 0 → slot 0: every freeze races
+                                // the same quota pool
+                                shard.config_frozen(base + id as u64, cfg, 0);
+                            }
+                            Op::Rehome { id } => {
+                                shard.rehome_call(base + id as u64);
+                            }
+                            Op::End { id } => {
+                                shard.call_end(base + id as u64);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut want = Expected::default();
+        for ops in &thread_ops {
+            let e = expect_thread(ops);
+            want.calls += e.calls;
+            want.freezes += e.freezes;
+            want.duplicate_freezes += e.duplicate_freezes;
+            want.unknown_freezes += e.unknown_freezes;
+            want.unknown_rehomes += e.unknown_rehomes;
+            want.unknown_ends += e.unknown_ends;
+            want.live += e.live;
+        }
+
+        let st = sel.stats();
+        prop_assert_eq!(st.calls, want.calls);
+        prop_assert_eq!(st.stranded, 0, "healthy topology never strands");
+
+        // no tally lost: the atomics agree with the merged shard stats, and
+        // both agree with the per-thread simulation
+        prop_assert_eq!(st.freezes, want.freezes);
+        let tallies = sel.per_dc_tallies();
+        prop_assert_eq!(tallies.iter().sum::<u64>(), st.freezes);
+
+        // no migration double-counted: dup freezes are typed no-ops and the
+        // pool debits reconcile exactly with the counted outcomes
+        prop_assert_eq!(st.duplicate_freezes, want.duplicate_freezes);
+        prop_assert!(st.migrations <= st.freezes);
+        prop_assert_eq!(
+            sel.quota_initial_total() - sel.quota_remaining_total(),
+            (st.freezes - st.unplanned - st.overflow) + st.rehomed_plan
+        );
+        prop_assert_eq!(st.unplanned, 0, "plan stays valid throughout");
+
+        // unknown-id ops stay counted no-ops under contention
+        prop_assert_eq!(st.unknown_freezes, want.unknown_freezes);
+        prop_assert_eq!(st.unknown_rehomes, want.unknown_rehomes);
+        prop_assert_eq!(st.unknown_ends, want.unknown_ends);
+
+        prop_assert_eq!(sel.active_calls() as u64, want.live);
+    }
+}

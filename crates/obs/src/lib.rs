@@ -495,6 +495,23 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Get or create an indexed family of counters named `name.0` …
+    /// `name.{n-1}` — the idiom for per-shard / per-worker counters whose
+    /// cardinality is only known at runtime (e.g. selector shards).
+    pub fn counter_family(&self, name: &str, n: usize) -> Vec<Counter> {
+        (0..n)
+            .map(|i| self.counter(&format!("{name}.{i}")))
+            .collect()
+    }
+
+    /// Get or create an indexed family of histograms named `name.0` …
+    /// `name.{n-1}` (per-shard latency distributions and the like).
+    pub fn histogram_family(&self, name: &str, n: usize) -> Vec<Histogram> {
+        (0..n)
+            .map(|i| self.histogram(&format!("{name}.{i}")))
+            .collect()
+    }
+
     /// Get or create the table `name` with the given column schema.
     /// Panics if the table exists with a different schema.
     pub fn table(&self, name: &str, columns: &[&str]) -> Table {

@@ -201,3 +201,21 @@ fn table_schema_conflict_panics() {
     let _ = reg.table("t", &["a", "b"]);
     let _ = reg.table("t", &["a"]);
 }
+
+#[test]
+fn metric_families_share_handles_by_index() {
+    let reg = MetricsRegistry::with_enabled(true);
+    let a = reg.counter_family("fam.ops", 3);
+    let b = reg.counter_family("fam.ops", 3);
+    assert_eq!(a.len(), 3);
+    a[1].inc();
+    a[1].inc();
+    // same underlying counters, addressable individually by name
+    assert_eq!(b[1].get(), 2);
+    assert_eq!(reg.counter("fam.ops.1").get(), 2);
+    assert_eq!(b[0].get(), 0);
+    let h = reg.histogram_family("fam.ns", 2);
+    h[0].record(7);
+    assert_eq!(reg.histogram("fam.ns.0").count(), 1);
+    assert_eq!(reg.histogram("fam.ns.1").count(), 0);
+}

@@ -17,17 +17,29 @@
 //!   *forced* migrations — distinct from the §6.4 plan migrations;
 //! * per-window stranded/violation/ACL stats are accumulated and emitted
 //!   through `sb-obs` (`chaos.*` counters and the `chaos.windows` table).
+//!
+//! [`chaos_replay`] is the serial oracle. [`chaos_replay_concurrent`] drives
+//! the same engine across worker threads: fault transitions are the window
+//! barriers, each fault-free segment runs the three-phase drive of
+//! [`crate::replay`] (starts ∥, freezes grouped by quota pool, ends ∥), and
+//! all bookkeeping — interval flushes, re-homes, window stats — happens on
+//! the coordinating thread in exact trace order, so the aggregate
+//! [`ChaosStats`] comes out identical to the serial run, floats included.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::OnceLock;
 
-use sb_core::{LatencyMap, PlannedQuotas, RealtimeSelector, SelectorStats};
+use sb_core::{
+    FreezeDecision, LatencyMap, PlannedQuotas, RealtimeSelector, SelectorOutcome, SelectorStats,
+};
 use sb_net::{
     DcId, FailureMask, FailureScenario, LinkId, ProvisionedCapacity, RoutingTable, Topology,
 };
 use sb_obs::{Counter, Histogram, Table, Value};
 use sb_workload::joins::CONFIG_FREEZE_SECONDS;
-use sb_workload::{CallRecordsDb, ConfigCatalog};
+use sb_workload::{CallRecord, CallRecordsDb, ConfigCatalog};
+
+use crate::replay::{build_events, group_freezes_by_pool, EV_FREEZE, EV_START};
 
 /// Columns of the `chaos.windows` table: one row per stats window.
 pub const CHAOS_WINDOW_COLUMNS: [&str; 9] = [
@@ -329,7 +341,7 @@ impl Default for ChaosConfig {
 }
 
 /// Per-window chaos statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct WindowStats {
     /// Absolute minute the window starts at.
     pub start_minute: u64,
@@ -372,6 +384,8 @@ pub struct ChaosReport {
     pub calls: u64,
     /// Final selector statistics (plan + forced migrations, rungs, …).
     pub selector: SelectorStats,
+    /// Completed freeze tallies per DC (index = DC id).
+    pub per_dc_tallies: Vec<u64>,
     /// Calls stranded over the whole replay.
     pub stranded: u64,
     /// Fault-forced mid-call re-homes over the whole replay.
@@ -390,6 +404,57 @@ pub struct ChaosReport {
     pub windows: Vec<WindowStats>,
 }
 
+/// The order-insensitive aggregate of a chaos run, comparable with `==`
+/// between the serial and concurrent engines (floats included — both
+/// engines apply all accounting on the coordinating thread in trace order).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosStats {
+    /// Calls in the trace.
+    pub calls: u64,
+    /// Final selector statistics.
+    pub selector: SelectorStats,
+    /// Completed freeze tallies per DC.
+    pub per_dc_tallies: Vec<u64>,
+    /// Calls stranded over the whole replay.
+    pub stranded: u64,
+    /// Fault-forced mid-call re-homes.
+    pub forced_migrations: u64,
+    /// Plan-driven freeze migrations.
+    pub plan_migrations: u64,
+    /// Minutes × resources where usage exceeded effective capacity.
+    pub capacity_violations: u64,
+    /// Worst relative overshoot across all violations.
+    pub worst_overshoot: f64,
+    /// Observed per-DC core peaks.
+    pub peak_cores: Vec<f64>,
+    /// Observed per-link Gbps peaks.
+    pub peak_gbps: Vec<f64>,
+    /// Mean ACL over freeze- and re-home-time placements.
+    pub mean_acl_ms: f64,
+    /// Per-window breakdown.
+    pub windows: Vec<WindowStats>,
+}
+
+impl ChaosReport {
+    /// The comparable aggregate of this run.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            calls: self.calls,
+            selector: self.selector.clone(),
+            per_dc_tallies: self.per_dc_tallies.clone(),
+            stranded: self.stranded,
+            forced_migrations: self.forced_migrations,
+            plan_migrations: self.plan_migrations,
+            capacity_violations: self.capacity_violations,
+            worst_overshoot: self.worst_overshoot,
+            peak_cores: self.peaks.cores.clone(),
+            peak_gbps: self.peaks.gbps.clone(),
+            mean_acl_ms: self.mean_acl_ms,
+            windows: self.windows.clone(),
+        }
+    }
+}
+
 #[derive(Clone, Copy)]
 struct Hosting {
     rec: usize,
@@ -397,27 +462,166 @@ struct Hosting {
     since: u64,
 }
 
-enum Ev {
-    Start(usize),
-    Freeze(usize),
-    End(usize),
+/// Selector outcomes for one fault-free segment, keyed by record index.
+/// The drive (serial in-order, or three-phase concurrent) fills these; the
+/// coordinating thread then applies all bookkeeping in trace order.
+#[derive(Default)]
+struct SegmentOutcomes {
+    starts: HashMap<usize, SelectorOutcome>,
+    freezes: HashMap<usize, FreezeDecision>,
 }
 
-/// Replay `db` while injecting `timeline`.
-///
-/// The selector is constructed internally (its topology view changes over
-/// the run). Usage accounting matches [`crate::replay`]: per-minute compute
-/// at the hosting DC and per-leg traffic on routed links — except that
-/// hosting intervals are additionally flushed at every fault transition, so
-/// re-routed traffic and re-homed calls are charged to the right resources
-/// minute by minute. Stranded calls stop consuming resources when dropped.
-pub fn chaos_replay(
+/// Serial segment drive: every selector op in trace order (the oracle).
+fn drive_segment_serial(
+    selector: &RealtimeSelector,
+    records: &[CallRecord],
+    events: &[(u64, u8, usize)],
+    alive: &mut HashSet<u64>,
+) -> SegmentOutcomes {
+    let mut out = SegmentOutcomes::default();
+    for &(_, kind, i) in events {
+        let r = &records[i];
+        match kind {
+            EV_START => {
+                let o = selector.call_start(r.id, r.first_joiner);
+                if o.dc().is_some() {
+                    alive.insert(r.id);
+                }
+                out.starts.insert(i, o);
+            }
+            EV_FREEZE => {
+                if alive.contains(&r.id) {
+                    let d = selector.config_frozen(r.id, r.config, r.start_minute);
+                    out.freezes.insert(i, d);
+                }
+            }
+            _ => {
+                if alive.remove(&r.id) {
+                    selector.call_end(r.id);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Concurrent segment drive: the topology is constant within a segment, so
+/// the three-phase schedule of [`crate::replay`] applies — starts chunked,
+/// freezes grouped by quota pool (each pool in trace order), ends chunked.
+fn drive_segment_concurrent(
+    selector: &RealtimeSelector,
+    records: &[CallRecord],
+    events: &[(u64, u8, usize)],
+    alive: &mut HashSet<u64>,
+    threads: usize,
+) -> SegmentOutcomes {
+    let threads = threads.max(1);
+    let mut starts: Vec<usize> = Vec::new();
+    let mut freezes: Vec<usize> = Vec::new();
+    let mut ends: Vec<usize> = Vec::new();
+    for &(_, kind, i) in events {
+        match kind {
+            EV_START => starts.push(i),
+            EV_FREEZE => freezes.push(i),
+            _ => ends.push(i),
+        }
+    }
+    let mut out = SegmentOutcomes::default();
+
+    // Phase S
+    let chunk = starts.len().div_ceil(threads).max(1);
+    let start_results: Vec<Vec<(usize, SelectorOutcome)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = starts
+            .chunks(chunk)
+            .map(|ch| {
+                let mut shard = selector.shard();
+                s.spawn(move || {
+                    ch.iter()
+                        .map(|&i| {
+                            let r = &records[i];
+                            (i, shard.call_start(r.id, r.first_joiner))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    for (i, o) in start_results.into_iter().flatten() {
+        if o.dc().is_some() {
+            alive.insert(records[i].id);
+        }
+        out.starts.insert(i, o);
+    }
+
+    // Phase F: only calls still tracked freeze (serial skips the rest too)
+    let eligible: Vec<usize> = freezes
+        .iter()
+        .copied()
+        .filter(|&i| alive.contains(&records[i].id))
+        .collect();
+    let groups = group_freezes_by_pool(selector, records, &eligible);
+    let mut assign: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    for (gi, g) in groups.iter().enumerate() {
+        assign[gi % threads].extend_from_slice(g);
+    }
+    let freeze_results: Vec<Vec<(usize, FreezeDecision)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = assign
+            .iter()
+            .filter(|work| !work.is_empty())
+            .map(|work| {
+                let mut shard = selector.shard();
+                s.spawn(move || {
+                    work.iter()
+                        .map(|&i| {
+                            let r = &records[i];
+                            (i, shard.config_frozen(r.id, r.config, r.start_minute))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    for (i, d) in freeze_results.into_iter().flatten() {
+        out.freezes.insert(i, d);
+    }
+
+    // Phase E
+    let eligible_ends: Vec<u64> = ends
+        .iter()
+        .filter_map(|&i| alive.remove(&records[i].id).then_some(records[i].id))
+        .collect();
+    let chunk = eligible_ends.len().div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        for ch in eligible_ends.chunks(chunk) {
+            let mut shard = selector.shard();
+            s.spawn(move || {
+                for &id in ch {
+                    shard.call_end(id);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Replay `db` while injecting `timeline`, driving the selector with
+/// `threads` workers per fault-free segment (`None` = serial oracle).
+fn chaos_replay_impl(
     topo: &Topology,
     catalog: &ConfigCatalog,
     db: &CallRecordsDb,
     timeline: &FaultTimeline,
     quotas: PlannedQuotas,
     cfg: &ChaosConfig,
+    threads: Option<usize>,
 ) -> ChaosReport {
     let met = chaos_metrics();
     met.runs.inc();
@@ -426,11 +630,12 @@ pub fn chaos_replay(
     let records = db.records();
     let healthy_routing = RoutingTable::compute(topo, FailureScenario::None);
     let healthy_latmap = LatencyMap::from_routing(topo, &healthy_routing);
-    let mut selector = RealtimeSelector::new(&healthy_latmap, quotas);
+    let selector = RealtimeSelector::new(&healthy_latmap, quotas);
     if records.is_empty() {
         return ChaosReport {
             calls: 0,
-            selector: selector.stats().clone(),
+            selector: selector.stats(),
+            per_dc_tallies: selector.per_dc_tallies(),
             stranded: 0,
             forced_migrations: 0,
             plan_migrations: 0,
@@ -456,15 +661,7 @@ pub fn chaos_replay(
         .collect();
     let win_of = |minute: u64| (((minute - t0) / window_minutes) as usize).min(num_windows - 1);
 
-    // call events sorted by (minute, start < freeze < end)
-    let mut events: Vec<(u64, u8, Ev)> = Vec::with_capacity(records.len() * 3);
-    for (i, r) in records.iter().enumerate() {
-        let freeze = r.start_minute + cfg.freeze_minutes.min(r.duration_min as u64);
-        events.push((r.start_minute, 0, Ev::Start(i)));
-        events.push((freeze, 1, Ev::Freeze(i)));
-        events.push((r.end_minute(), 2, Ev::End(i)));
-    }
-    events.sort_by_key(|&(t, k, _)| (t, k));
+    let events = build_events(records, cfg.freeze_minutes);
 
     // fault-state segments: [t0, cp1), [cp1, cp2), …
     let change_points = timeline.change_points(t0, t1);
@@ -479,6 +676,7 @@ pub fn chaos_replay(
     let mut core_delta = vec![vec![0.0f64; topo.dcs.len()]; horizon + 1];
     let mut link_delta = vec![vec![0.0f64; topo.links.len()]; horizon + 1];
     let mut hosted: HashMap<u64, Hosting> = HashMap::new();
+    let mut alive: HashSet<u64> = HashSet::new();
 
     let mut state = seg_states[0].clone();
     let mut routing = if state.mask.is_healthy() {
@@ -525,44 +723,55 @@ pub fn chaos_replay(
     };
 
     let mut next_seg = 1usize;
-    for (t, _, ev) in events {
-        // apply fault transitions due before this event
-        while next_seg < seg_starts.len() && seg_starts[next_seg] <= t {
+    let mut ei = 0usize;
+    while ei < events.len() {
+        let t_first = events[ei].0;
+
+        // apply fault transitions due before the next event; per transition:
+        // close hosting intervals under the old routing, swap topology,
+        // re-home displaced calls — all in sorted call-id order so the run
+        // is deterministic regardless of hash-map iteration order
+        while next_seg < seg_starts.len() && seg_starts[next_seg] <= t_first {
             let tr = seg_starts[next_seg];
-            // close every open hosting interval under the old routing
-            for h in hosted.values_mut() {
-                flush(h, tr, &routing, &mut core_delta, &mut link_delta);
+            let mut ids: Vec<u64> = hosted.keys().copied().collect();
+            ids.sort_unstable();
+            for id in &ids {
+                if let Some(h) = hosted.get_mut(id) {
+                    flush(h, tr, &routing, &mut core_delta, &mut link_delta);
+                }
             }
             state = seg_states[next_seg].clone();
             routing = RoutingTable::compute_masked(topo, state.mask.clone());
             latmap = LatencyMap::from_routing(topo, &routing);
             selector.update_topology(&latmap, &dc_up_vec(&state));
             selector.set_plan_valid(state.plan_valid);
-            // re-home calls whose hosting DC just went down
-            let displaced: Vec<u64> = hosted
-                .iter()
-                .filter(|(_, h)| !state.mask.dc_up(h.dc))
-                .map(|(&id, _)| id)
+            // re-home calls whose hosting DC just went down, in id order
+            // (rehome order matters: earlier re-homes may drain plan quota)
+            let displaced: Vec<u64> = ids
+                .into_iter()
+                .filter(|id| hosted.get(id).is_some_and(|h| !state.mask.dc_up(h.dc)))
                 .collect();
             let w = win_of(tr);
             for id in displaced {
                 let outcome = selector.rehome_call(id);
                 match outcome.dc() {
                     Some(dc) => {
-                        let h = hosted.get_mut(&id).expect("hosted");
-                        h.dc = dc;
-                        forced += 1;
-                        windows[w].forced_migrations += 1;
-                        met.forced_migrations.inc();
-                        if let Some(a) = latmap.acl(catalog.config(records[h.rec].config), dc) {
-                            acl_sum += a;
-                            acl_n += 1;
-                            windows[w].acl_sum += a;
-                            windows[w].acl_n += 1;
+                        if let Some(h) = hosted.get_mut(&id) {
+                            h.dc = dc;
+                            forced += 1;
+                            windows[w].forced_migrations += 1;
+                            met.forced_migrations.inc();
+                            if let Some(a) = latmap.acl(catalog.config(records[h.rec].config), dc) {
+                                acl_sum += a;
+                                acl_n += 1;
+                                windows[w].acl_sum += a;
+                                windows[w].acl_n += 1;
+                            }
                         }
                     }
                     None => {
                         hosted.remove(&id);
+                        alive.remove(&id);
                         stranded += 1;
                         windows[w].stranded += 1;
                         met.stranded.inc();
@@ -572,63 +781,80 @@ pub fn chaos_replay(
             next_seg += 1;
         }
 
-        let w = win_of(t);
-        match ev {
-            Ev::Start(i) => {
-                let r = &records[i];
-                windows[w].calls_started += 1;
-                let outcome = selector.call_start(r.id, r.first_joiner);
-                match outcome.dc() {
-                    Some(dc) => {
-                        windows[w].starts_by_dc[dc.index()] += 1;
-                        hosted.insert(
-                            r.id,
-                            Hosting {
-                                rec: i,
-                                dc,
-                                since: t,
-                            },
-                        );
+        // the fault-free segment: events up to the next transition
+        let seg_end_t = seg_starts.get(next_seg).copied();
+        let mut ej = ei;
+        while ej < events.len() && seg_end_t.is_none_or(|b| events[ej].0 < b) {
+            ej += 1;
+        }
+        let seg_events = &events[ei..ej];
+
+        // drive the selector …
+        let outcomes = match threads {
+            None => drive_segment_serial(&selector, records, seg_events, &mut alive),
+            Some(n) => drive_segment_concurrent(&selector, records, seg_events, &mut alive, n),
+        };
+
+        // … then apply bookkeeping in exact trace order (shared by both
+        // drives — this is what keeps the float accounting bit-identical)
+        for &(t, kind, i) in seg_events {
+            let w = win_of(t);
+            let r = &records[i];
+            match kind {
+                EV_START => {
+                    windows[w].calls_started += 1;
+                    match outcomes.starts.get(&i).and_then(|o| o.dc()) {
+                        Some(dc) => {
+                            windows[w].starts_by_dc[dc.index()] += 1;
+                            hosted.insert(
+                                r.id,
+                                Hosting {
+                                    rec: i,
+                                    dc,
+                                    since: t,
+                                },
+                            );
+                        }
+                        None => {
+                            stranded += 1;
+                            windows[w].stranded += 1;
+                            met.stranded.inc();
+                        }
                     }
-                    None => {
-                        stranded += 1;
-                        windows[w].stranded += 1;
-                        met.stranded.inc();
+                }
+                EV_FREEZE => {
+                    let Some(h) = hosted.get_mut(&r.id) else {
+                        continue; // stranded before freezing
+                    };
+                    let Some(decision) = outcomes.freezes.get(&i) else {
+                        continue;
+                    };
+                    let Some(final_dc) = decision.final_dc() else {
+                        continue;
+                    };
+                    if decision.migrated() {
+                        plan_migrations += 1;
+                        windows[w].plan_migrations += 1;
+                    }
+                    if final_dc != h.dc {
+                        flush(h, t, &routing, &mut core_delta, &mut link_delta);
+                        h.dc = final_dc;
+                    }
+                    if let Some(a) = latmap.acl(catalog.config(r.config), final_dc) {
+                        acl_sum += a;
+                        acl_n += 1;
+                        windows[w].acl_sum += a;
+                        windows[w].acl_n += 1;
                     }
                 }
-            }
-            Ev::Freeze(i) => {
-                let r = &records[i];
-                let Some(h) = hosted.get_mut(&r.id) else {
-                    continue; // stranded before freezing
-                };
-                let decision = selector.config_frozen(r.id, r.config, r.start_minute);
-                let Some(final_dc) = decision.final_dc() else {
-                    continue;
-                };
-                if decision.migrated() {
-                    plan_migrations += 1;
-                    windows[w].plan_migrations += 1;
-                }
-                if final_dc != h.dc {
-                    flush(h, t, &routing, &mut core_delta, &mut link_delta);
-                    h.dc = final_dc;
-                }
-                if let Some(a) = latmap.acl(catalog.config(r.config), final_dc) {
-                    acl_sum += a;
-                    acl_n += 1;
-                    windows[w].acl_sum += a;
-                    windows[w].acl_n += 1;
-                }
-            }
-            Ev::End(i) => {
-                let r = &records[i];
-                if let Some(mut h) = hosted.remove(&r.id) {
-                    flush(&mut h, t, &routing, &mut core_delta, &mut link_delta);
-                    selector.call_end(r.id);
+                _ => {
+                    if let Some(mut h) = hosted.remove(&r.id) {
+                        flush(&mut h, t, &routing, &mut core_delta, &mut link_delta);
+                    }
                 }
             }
         }
+        ei = ej;
     }
 
     // integrate deltas → usage; peaks and violations against *effective*
@@ -700,7 +926,8 @@ pub fn chaos_replay(
 
     ChaosReport {
         calls: records.len() as u64,
-        selector: selector.stats().clone(),
+        selector: selector.stats(),
+        per_dc_tallies: selector.per_dc_tallies(),
         stranded,
         forced_migrations: forced,
         plan_migrations,
@@ -714,6 +941,40 @@ pub fn chaos_replay(
         },
         windows,
     }
+}
+
+/// Replay `db` while injecting `timeline` — the serial oracle.
+///
+/// The selector is constructed internally (its topology view changes over
+/// the run). Usage accounting matches [`crate::replay`]: per-minute compute
+/// at the hosting DC and per-leg traffic on routed links — except that
+/// hosting intervals are additionally flushed at every fault transition, so
+/// re-routed traffic and re-homed calls are charged to the right resources
+/// minute by minute. Stranded calls stop consuming resources when dropped.
+pub fn chaos_replay(
+    topo: &Topology,
+    catalog: &ConfigCatalog,
+    db: &CallRecordsDb,
+    timeline: &FaultTimeline,
+    quotas: PlannedQuotas,
+    cfg: &ChaosConfig,
+) -> ChaosReport {
+    chaos_replay_impl(topo, catalog, db, timeline, quotas, cfg, None)
+}
+
+/// [`chaos_replay`] with the selector driven by `threads` worker threads
+/// inside each fault-free segment (fault transitions are barriers). The
+/// aggregate [`ChaosStats`] matches the serial engine exactly.
+pub fn chaos_replay_concurrent(
+    topo: &Topology,
+    catalog: &ConfigCatalog,
+    db: &CallRecordsDb,
+    timeline: &FaultTimeline,
+    quotas: PlannedQuotas,
+    cfg: &ChaosConfig,
+    threads: usize,
+) -> ChaosReport {
+    chaos_replay_impl(topo, catalog, db, timeline, quotas, cfg, Some(threads))
 }
 
 #[cfg(test)]
@@ -774,6 +1035,7 @@ mod tests {
         assert_eq!(report.stranded, 0);
         assert_eq!(report.forced_migrations, 0);
         assert_eq!(report.plan_migrations, 0);
+        assert_eq!(report.per_dc_tallies[tokyo.index()], 10);
         assert!(report.peaks.cores[tokyo.index()] > 0.0);
     }
 
@@ -952,5 +1214,32 @@ mod tests {
         assert_eq!(report.plan_migrations, 5);
         assert_eq!(report.selector.plan_stale, 5);
         assert_eq!(report.stranded, 0);
+    }
+
+    #[test]
+    fn concurrent_chaos_matches_serial_through_an_outage() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..180 {
+            db.push(record(i, id, i, 30, jp));
+        }
+        let quotas = all_at(id, tokyo, 6, 40.0);
+        let timeline = FaultTimeline::from_scenario(FailureScenario::DcDown(tokyo), 60, Some(120));
+        let cfg = ChaosConfig {
+            window_minutes: 60,
+            ..ChaosConfig::default()
+        };
+        let serial = chaos_replay(&topo, &cat, &db, &timeline, quotas.clone(), &cfg);
+        for threads in [1usize, 4] {
+            let conc =
+                chaos_replay_concurrent(&topo, &cat, &db, &timeline, quotas.clone(), &cfg, threads);
+            assert_eq!(serial.stats(), conc.stats(), "threads={threads}");
+        }
+        assert!(
+            serial.forced_migrations > 0,
+            "outage must exercise re-homes"
+        );
     }
 }

@@ -39,8 +39,11 @@ pub mod failures;
 pub mod replay;
 
 pub use chaos::{
-    chaos_replay, ChaosConfig, ChaosReport, ChaosState, FaultEvent, FaultTimeline, WindowStats,
+    chaos_replay, chaos_replay_concurrent, ChaosConfig, ChaosReport, ChaosState, ChaosStats,
+    FaultEvent, FaultTimeline, WindowStats,
 };
 pub use estimator::{estimate_from_trace, sample_leg_latency, LatencyEstimator};
 pub use failures::{drill, DrillReport};
-pub use replay::{replay, ReplayConfig, ReplayReport};
+pub use replay::{
+    replay, replay_concurrent, ReplayConfig, ReplayReport, ReplayStats, ReplayTiming,
+};

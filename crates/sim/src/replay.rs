@@ -2,20 +2,46 @@
 //! trace and measure what the paper's evaluation measures — per-call mean
 //! ACL, per-DC core peaks, per-link Gbps peaks, migration rate, and capacity
 //! violations.
+//!
+//! Two drivers share the same accounting:
+//!
+//! * [`replay`] — the serial oracle: one thread applies every event in trace
+//!   order. Simple enough to audit, and the reference the concurrent engine
+//!   is differential-tested against.
+//! * [`replay_concurrent`] — partitions the event timeline into fixed-width
+//!   windows and drives each window in three phases (starts ∥, freezes
+//!   grouped by quota pool, ends ∥) across worker threads, each holding a
+//!   [`sb_core::SelectorShard`]. Produces *identical* aggregate results:
+//!
+//!   - call starts and ends are mutually independent (no shared selector
+//!     state beyond the sharded call map, keyed by distinct ids);
+//!   - a freeze decision depends only on the call's own state, the (fixed,
+//!     per-window) topology/plan validity, and its `(config, slot)` quota
+//!     pool — so freezes are grouped by pool and each pool's freezes run in
+//!     trace order (pools in parallel with each other);
+//!   - a call's start ≤ freeze ≤ end in trace time, so the per-window
+//!     start→freeze→end phase order preserves per-call event order;
+//!   - every statistic is a count (order-insensitive sum), and the float
+//!     outputs (peaks, ACL, overshoot) are computed *after* the drive by
+//!     [`account`], which walks placements in record order — the identical
+//!     code path for both drivers, hence byte-identical floats.
 
+use std::collections::HashMap;
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 use sb_core::{LatencyMap, RealtimeSelector, SelectorStats};
 use sb_net::{DcId, ProvisionedCapacity, RoutingTable, Topology};
 use sb_obs::{Counter, Histogram};
 use sb_workload::joins::CONFIG_FREEZE_SECONDS;
-use sb_workload::{CallRecordsDb, ConfigCatalog};
+use sb_workload::{CallRecord, CallRecordsDb, ConfigCatalog};
 
 struct ReplayMetrics {
     runs: Counter,
     calls: Counter,
     violations: Counter,
     wall_ns: Histogram,
+    drive_ns: Histogram,
 }
 
 fn replay_metrics() -> &'static ReplayMetrics {
@@ -27,9 +53,13 @@ fn replay_metrics() -> &'static ReplayMetrics {
             calls: reg.counter("replay.calls"),
             violations: reg.counter("replay.capacity_violations"),
             wall_ns: reg.histogram("replay.wall_ns"),
+            drive_ns: reg.histogram("replay.drive_ns"),
         }
     })
 }
+
+/// Width of the concurrent driver's barrier windows, in trace minutes.
+const DRIVE_WINDOW_MINUTES: u64 = 360;
 
 /// Replay configuration.
 #[derive(Clone, Debug)]
@@ -49,6 +79,40 @@ impl Default for ReplayConfig {
     }
 }
 
+/// Wall-clock breakdown of one replay run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayTiming {
+    /// Driving the selector (the part the concurrent engine parallelizes).
+    pub drive: Duration,
+    /// Post-drive usage integration (always serial).
+    pub account: Duration,
+}
+
+/// The order-insensitive aggregate of a replay run: every field must come
+/// out identical whether the trace was driven serially or across N worker
+/// threads. The differential tests compare this with `==` — including the
+/// floats, which both drivers compute via the same record-order accounting
+/// pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayStats {
+    /// Number of calls replayed.
+    pub calls: u64,
+    /// Selector statistics (migrations etc.).
+    pub selector: SelectorStats,
+    /// Completed freeze tallies per DC (index = DC id).
+    pub per_dc_tallies: Vec<u64>,
+    /// Mean of per-call ACLs at the final hosting DC.
+    pub mean_acl_ms: f64,
+    /// Observed per-DC core peaks.
+    pub peak_cores: Vec<f64>,
+    /// Observed per-link Gbps peaks.
+    pub peak_gbps: Vec<f64>,
+    /// Minutes × resources where usage exceeded the given capacity.
+    pub capacity_violations: u64,
+    /// Worst relative overshoot across all violations.
+    pub worst_overshoot: f64,
+}
+
 /// Replay results.
 #[derive(Clone, Debug)]
 pub struct ReplayReport {
@@ -58,119 +122,116 @@ pub struct ReplayReport {
     pub peaks: ProvisionedCapacity,
     /// Selector statistics (migrations etc.).
     pub selector: SelectorStats,
+    /// Completed freeze tallies per DC (index = DC id).
+    pub per_dc_tallies: Vec<u64>,
     /// Minutes × resources where usage exceeded the given capacity.
     pub capacity_violations: u64,
     /// Worst relative overshoot across all violations.
     pub worst_overshoot: f64,
     /// Number of calls replayed.
     pub calls: u64,
+    /// Wall-clock breakdown (drive vs accounting).
+    pub timing: ReplayTiming,
 }
 
-enum Ev {
-    Start(usize),
-    Freeze(usize),
-    End(usize),
+impl ReplayReport {
+    /// The comparable aggregate of this run (everything except wall-clock).
+    pub fn stats(&self) -> ReplayStats {
+        ReplayStats {
+            calls: self.calls,
+            selector: self.selector.clone(),
+            per_dc_tallies: self.per_dc_tallies.clone(),
+            mean_acl_ms: self.mean_acl_ms,
+            peak_cores: self.peaks.cores.clone(),
+            peak_gbps: self.peaks.gbps.clone(),
+            capacity_violations: self.capacity_violations,
+            worst_overshoot: self.worst_overshoot,
+        }
+    }
 }
 
-/// Replay `db` through `selector`.
-///
-/// Usage accounting is per minute: a call contributes its compute load to its
-/// current DC and its leg traffic to the routed links from call start to call
-/// end; the first `freeze_minutes` are accounted at the initial DC, the rest
-/// at the post-freeze DC.
-pub fn replay(
+/// Event kinds, ordered so same-minute events sort start < freeze < end.
+pub(crate) const EV_START: u8 = 0;
+/// Freeze event kind.
+pub(crate) const EV_FREEZE: u8 = 1;
+/// End event kind.
+pub(crate) const EV_END: u8 = 2;
+
+/// Build the `(minute, kind, record)` event list for a trace, sorted by
+/// `(minute, kind)` with the stable record order breaking ties — the
+/// canonical serial order both replay drivers are defined against.
+pub(crate) fn build_events(records: &[CallRecord], freeze_minutes: u64) -> Vec<(u64, u8, usize)> {
+    let mut events: Vec<(u64, u8, usize)> = Vec::with_capacity(records.len() * 3);
+    for (i, r) in records.iter().enumerate() {
+        let freeze = r.start_minute + freeze_minutes.min(r.duration_min as u64);
+        events.push((r.start_minute, EV_START, i));
+        events.push((freeze, EV_FREEZE, i));
+        events.push((r.end_minute(), EV_END, i));
+    }
+    events.sort_by_key(|&(t, k, _)| (t, k));
+    events
+}
+
+/// Final hosting decision for one replayed call: where it sat before its
+/// config froze, and where it finished.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Placement {
+    pub(crate) initial: DcId,
+    pub(crate) final_dc: DcId,
+}
+
+/// Integrate per-record placements into usage, peaks, violations, and mean
+/// ACL. Record-index order, independent of which driver produced the
+/// placements — this is what makes the float outputs byte-identical across
+/// serial and concurrent drives.
+#[allow(clippy::too_many_arguments)]
+fn account(
     topo: &Topology,
     routing: &RoutingTable,
     latmap: &LatencyMap,
     catalog: &ConfigCatalog,
-    db: &CallRecordsDb,
-    selector: &mut RealtimeSelector,
+    records: &[CallRecord],
+    placements: &[Option<Placement>],
     cfg: &ReplayConfig,
-) -> ReplayReport {
-    let m = replay_metrics();
-    m.runs.inc();
-    let _t = m.wall_ns.start_timer();
-    let records = db.records();
-    if records.is_empty() {
-        return ReplayReport {
-            mean_acl_ms: 0.0,
-            peaks: ProvisionedCapacity::zero(topo),
-            selector: selector.stats().clone(),
-            capacity_violations: 0,
-            worst_overshoot: 0.0,
-            calls: 0,
-        };
-    }
-    let t0 = records.iter().map(|r| r.start_minute).min().unwrap();
-    let t1 = records.iter().map(|r| r.end_minute()).max().unwrap();
-    let horizon = (t1 - t0 + 1) as usize;
-
-    // events sorted by time; stable order start < freeze < end at same minute
-    let mut events: Vec<(u64, u8, Ev)> = Vec::with_capacity(records.len() * 3);
-    for (i, r) in records.iter().enumerate() {
-        let freeze = r.start_minute + cfg.freeze_minutes.min(r.duration_min as u64);
-        events.push((r.start_minute, 0, Ev::Start(i)));
-        events.push((freeze, 1, Ev::Freeze(i)));
-        events.push((r.end_minute(), 2, Ev::End(i)));
-    }
-    events.sort_by_key(|&(t, k, _)| (t, k));
-
-    // per-minute usage deltas (difference arrays), integrated afterwards
+    t0: u64,
+    horizon: usize,
+) -> (ProvisionedCapacity, u64, f64, f64) {
     let mut core_delta = vec![vec![0.0f64; topo.dcs.len()]; horizon + 1];
     let mut link_delta = vec![vec![0.0f64; topo.links.len()]; horizon + 1];
-    let mut add_interval = |r: &sb_workload::CallRecord, dc: DcId, from: u64, to: u64| {
-        if to <= from {
-            return;
-        }
-        let c = catalog.config(r.config);
-        let (a, b) = ((from - t0) as usize, (to - t0) as usize);
-        core_delta[a][dc.index()] += c.compute_load();
-        core_delta[b][dc.index()] -= c.compute_load();
-        let nl = c.leg_network_load();
-        for &(country, n) in c.participants() {
-            if let Some(route) = routing.route(country, dc) {
-                let w = n as f64 * nl;
-                for &l in &route.links {
-                    link_delta[a][l.index()] += w;
-                    link_delta[b][l.index()] -= w;
-                }
-            }
-        }
-    };
-
     let mut acl_sum = 0.0;
     let mut acl_n = 0u64;
-    for (_, _, ev) in events {
-        match ev {
-            Ev::Start(i) => {
-                let r = &records[i];
-                selector.call_start(r.id, r.first_joiner);
+    for (r, p) in records.iter().zip(placements) {
+        let Some(p) = p else {
+            continue; // stranded before freezing: never consumed resources
+        };
+        let c = catalog.config(r.config);
+        let freeze = r.start_minute + cfg.freeze_minutes.min(r.duration_min as u64);
+        let mut add = |dc: DcId, from: u64, to: u64| {
+            if to <= from {
+                return;
             }
-            Ev::Freeze(i) => {
-                let r = &records[i];
-                // a stranded call never started tracking — skip accounting
-                let Some(initial) = selector.current_dc(r.id) else {
-                    continue;
-                };
-                let decision = selector.config_frozen(r.id, r.config, r.start_minute);
-                let Some(final_dc) = decision.final_dc() else {
-                    continue;
-                };
-                let freeze = r.start_minute + cfg.freeze_minutes.min(r.duration_min as u64);
-                add_interval(r, initial, r.start_minute, freeze);
-                add_interval(r, final_dc, freeze, r.end_minute());
-                if let Some(a) = latmap.acl(catalog.config(r.config), final_dc) {
-                    acl_sum += a;
-                    acl_n += 1;
+            let (a, b) = ((from - t0) as usize, (to - t0) as usize);
+            core_delta[a][dc.index()] += c.compute_load();
+            core_delta[b][dc.index()] -= c.compute_load();
+            let nl = c.leg_network_load();
+            for &(country, n) in c.participants() {
+                if let Some(route) = routing.route(country, dc) {
+                    let w = n as f64 * nl;
+                    for &l in &route.links {
+                        link_delta[a][l.index()] += w;
+                        link_delta[b][l.index()] -= w;
+                    }
                 }
             }
-            Ev::End(i) => {
-                selector.call_end(records[i].id);
-            }
+        };
+        add(p.initial, r.start_minute, freeze);
+        add(p.final_dc, freeze, r.end_minute());
+        if let Some(a) = latmap.acl(c, p.final_dc) {
+            acl_sum += a;
+            acl_n += 1;
         }
     }
 
-    // integrate deltas → usage; track peaks and violations
     let mut peaks = ProvisionedCapacity::zero(topo);
     let mut violations = 0u64;
     let mut worst = 0.0f64;
@@ -204,21 +265,293 @@ pub fn replay(
             }
         }
     }
+    let mean_acl = if acl_n > 0 {
+        acl_sum / acl_n as f64
+    } else {
+        0.0
+    };
+    (peaks, violations, worst, mean_acl)
+}
+
+/// Drive every event in trace order on the calling thread (the oracle).
+fn drive_serial(
+    selector: &RealtimeSelector,
+    records: &[CallRecord],
+    events: &[(u64, u8, usize)],
+) -> Vec<Option<Placement>> {
+    let mut placements: Vec<Option<Placement>> = vec![None; records.len()];
+    for &(_, kind, i) in events {
+        let r = &records[i];
+        match kind {
+            EV_START => {
+                selector.call_start(r.id, r.first_joiner);
+            }
+            EV_FREEZE => {
+                // a stranded call never started tracking — skip accounting
+                let Some(initial) = selector.current_dc(r.id) else {
+                    continue;
+                };
+                let decision = selector.config_frozen(r.id, r.config, r.start_minute);
+                let Some(final_dc) = decision.final_dc() else {
+                    continue;
+                };
+                placements[i] = Some(Placement { initial, final_dc });
+            }
+            _ => selector.call_end(r.id),
+        }
+    }
+    placements
+}
+
+/// Split `items` into at most `threads` contiguous chunks, preserving order.
+fn chunk_count(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.max(1)).max(1)
+}
+
+/// Group a window's freeze events by the quota pool they will debit,
+/// preserving trace order within each group. Freezes outside the plan
+/// horizon never touch a pool, so each becomes its own singleton group.
+pub(crate) fn group_freezes_by_pool(
+    selector: &RealtimeSelector,
+    records: &[CallRecord],
+    freezes: &[usize],
+) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut by_key: HashMap<(sb_workload::ConfigId, usize), usize> = HashMap::new();
+    for &i in freezes {
+        let r = &records[i];
+        match selector.plan_slot_of_minute(r.start_minute) {
+            Some(slot) => {
+                let g = *by_key.entry((r.config, slot)).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[g].push(i);
+            }
+            None => groups.push(vec![i]),
+        }
+    }
+    groups
+}
+
+/// Drive the event timeline across `threads` workers, window by window.
+/// Each window runs three phases with a join barrier between them: starts
+/// (chunked), freezes (grouped by quota pool; each pool in trace order),
+/// ends (chunked). See the module docs for why this reproduces the serial
+/// drive exactly.
+fn drive_concurrent(
+    selector: &RealtimeSelector,
+    records: &[CallRecord],
+    events: &[(u64, u8, usize)],
+    threads: usize,
+) -> Vec<Option<Placement>> {
+    let threads = threads.max(1);
+    let mut placements: Vec<Option<Placement>> = vec![None; records.len()];
+    let Some(&(t0, _, _)) = events.first() else {
+        return placements;
+    };
+
+    let mut at = 0usize;
+    while at < events.len() {
+        let win = (events[at].0 - t0) / DRIVE_WINDOW_MINUTES;
+        let mut end = at;
+        let mut starts: Vec<usize> = Vec::new();
+        let mut freezes: Vec<usize> = Vec::new();
+        let mut ends: Vec<usize> = Vec::new();
+        while end < events.len() && (events[end].0 - t0) / DRIVE_WINDOW_MINUTES == win {
+            let (_, kind, i) = events[end];
+            match kind {
+                EV_START => starts.push(i),
+                EV_FREEZE => freezes.push(i),
+                _ => ends.push(i),
+            }
+            end += 1;
+        }
+        at = end;
+
+        // Phase S: starts are independent — contiguous chunks
+        std::thread::scope(|s| {
+            for chunk in starts.chunks(chunk_count(starts.len(), threads)) {
+                let mut shard = selector.shard();
+                s.spawn(move || {
+                    for &i in chunk {
+                        let r = &records[i];
+                        shard.call_start(r.id, r.first_joiner);
+                    }
+                });
+            }
+        });
+
+        // Phase F: freezes contend only within a quota pool — pools run in
+        // parallel, each pool's freezes in trace order
+        let groups = group_freezes_by_pool(selector, records, &freezes);
+        let mut assign: Vec<Vec<usize>> = vec![Vec::new(); threads];
+        for (gi, g) in groups.iter().enumerate() {
+            assign[gi % threads].extend_from_slice(g);
+        }
+        let freeze_results: Vec<Vec<(usize, Option<Placement>)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = assign
+                .iter()
+                .filter(|work| !work.is_empty())
+                .map(|work| {
+                    let mut shard = selector.shard();
+                    s.spawn(move || {
+                        let mut out = Vec::with_capacity(work.len());
+                        for &i in work {
+                            let r = &records[i];
+                            let Some(initial) = shard.current_dc(r.id) else {
+                                out.push((i, None));
+                                continue;
+                            };
+                            let decision = shard.config_frozen(r.id, r.config, r.start_minute);
+                            let p = decision
+                                .final_dc()
+                                .map(|final_dc| Placement { initial, final_dc });
+                            out.push((i, p));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
+        });
+        for (i, p) in freeze_results.into_iter().flatten() {
+            placements[i] = p;
+        }
+
+        // Phase E: ends are independent — contiguous chunks
+        std::thread::scope(|s| {
+            for chunk in ends.chunks(chunk_count(ends.len(), threads)) {
+                let mut shard = selector.shard();
+                s.spawn(move || {
+                    for &i in chunk {
+                        shard.call_end(records[i].id);
+                    }
+                });
+            }
+        });
+    }
+    placements
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay_impl(
+    topo: &Topology,
+    routing: &RoutingTable,
+    latmap: &LatencyMap,
+    catalog: &ConfigCatalog,
+    db: &CallRecordsDb,
+    selector: &RealtimeSelector,
+    cfg: &ReplayConfig,
+    threads: Option<usize>,
+) -> ReplayReport {
+    let m = replay_metrics();
+    m.runs.inc();
+    let _t = m.wall_ns.start_timer();
+    let records = db.records();
+    if records.is_empty() {
+        return ReplayReport {
+            mean_acl_ms: 0.0,
+            peaks: ProvisionedCapacity::zero(topo),
+            selector: selector.stats(),
+            per_dc_tallies: selector.per_dc_tallies(),
+            capacity_violations: 0,
+            worst_overshoot: 0.0,
+            calls: 0,
+            timing: ReplayTiming::default(),
+        };
+    }
+    let t0 = records.iter().map(|r| r.start_minute).min().unwrap();
+    let t1 = records.iter().map(|r| r.end_minute()).max().unwrap();
+    let horizon = (t1 - t0 + 1) as usize;
+
+    let events = build_events(records, cfg.freeze_minutes);
+    let drive_started = Instant::now();
+    let placements = match threads {
+        None => drive_serial(selector, records, &events),
+        Some(n) => drive_concurrent(selector, records, &events, n),
+    };
+    let drive = drive_started.elapsed();
+    m.drive_ns.record_duration(drive);
+
+    let account_started = Instant::now();
+    let (peaks, violations, worst, mean_acl) = account(
+        topo,
+        routing,
+        latmap,
+        catalog,
+        records,
+        &placements,
+        cfg,
+        t0,
+        horizon,
+    );
+    let timing = ReplayTiming {
+        drive,
+        account: account_started.elapsed(),
+    };
 
     m.calls.add(records.len() as u64);
     m.violations.add(violations);
     ReplayReport {
-        mean_acl_ms: if acl_n > 0 {
-            acl_sum / acl_n as f64
-        } else {
-            0.0
-        },
+        mean_acl_ms: mean_acl,
         peaks,
-        selector: selector.stats().clone(),
+        selector: selector.stats(),
+        per_dc_tallies: selector.per_dc_tallies(),
         capacity_violations: violations,
         worst_overshoot: worst,
         calls: records.len() as u64,
+        timing,
     }
+}
+
+/// Replay `db` through `selector`, serially, in trace order — the
+/// correctness oracle for [`replay_concurrent`].
+///
+/// Usage accounting is per minute: a call contributes its compute load to its
+/// current DC and its leg traffic to the routed links from call start to call
+/// end; the first `freeze_minutes` are accounted at the initial DC, the rest
+/// at the post-freeze DC.
+pub fn replay(
+    topo: &Topology,
+    routing: &RoutingTable,
+    latmap: &LatencyMap,
+    catalog: &ConfigCatalog,
+    db: &CallRecordsDb,
+    selector: &RealtimeSelector,
+    cfg: &ReplayConfig,
+) -> ReplayReport {
+    replay_impl(topo, routing, latmap, catalog, db, selector, cfg, None)
+}
+
+/// Replay `db` through `selector` across `threads` worker threads. Produces
+/// the same [`ReplayStats`] as [`replay`] on the same trace and a fresh
+/// selector — byte-identical, floats included (see the module docs for the
+/// argument); only wall-clock differs.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_concurrent(
+    topo: &Topology,
+    routing: &RoutingTable,
+    latmap: &LatencyMap,
+    catalog: &ConfigCatalog,
+    db: &CallRecordsDb,
+    selector: &RealtimeSelector,
+    cfg: &ReplayConfig,
+    threads: usize,
+) -> ReplayReport {
+    replay_impl(
+        topo,
+        routing,
+        latmap,
+        catalog,
+        db,
+        selector,
+        cfg,
+        Some(threads),
+    )
 }
 
 #[cfg(test)]
@@ -277,19 +610,12 @@ mod tests {
         demand.set(id, 0, 30.0);
         demand.set(id, 1, 30.0);
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
-        let mut sel = RealtimeSelector::new(&lm, quotas);
-        let report = replay(
-            &topo,
-            &rt,
-            &lm,
-            &cat,
-            &db,
-            &mut sel,
-            &ReplayConfig::default(),
-        );
+        let sel = RealtimeSelector::new(&lm, quotas);
+        let report = replay(&topo, &rt, &lm, &cat, &db, &sel, &ReplayConfig::default());
         assert_eq!(report.calls, 10);
         assert_eq!(report.selector.migrations, 0);
         assert_eq!(report.selector.unplanned, 0);
+        assert_eq!(report.per_dc_tallies[tokyo.index()], 10);
         // all compute lands at Tokyo
         assert!(report.peaks.cores[tokyo.index()] > 0.0);
         let others: f64 = report
@@ -319,16 +645,8 @@ mod tests {
         let mut demand = DemandMatrix::zero(1, 1, 30, 0);
         demand.set(id, 0, 10.0);
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
-        let mut sel = RealtimeSelector::new(&lm, quotas);
-        let report = replay(
-            &topo,
-            &rt,
-            &lm,
-            &cat,
-            &db,
-            &mut sel,
-            &ReplayConfig::default(),
-        );
+        let sel = RealtimeSelector::new(&lm, quotas);
+        let report = replay(&topo, &rt, &lm, &cat, &db, &sel, &ReplayConfig::default());
         assert_eq!(report.selector.migrations, 10);
         assert!((report.selector.migration_rate() - 1.0).abs() < 1e-12);
         // compute appears at both the initial (pre-freeze) and final DCs
@@ -357,16 +675,8 @@ mod tests {
             demand.set(id, s, 10.0);
         }
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
-        let mut sel = RealtimeSelector::new(&lm, quotas);
-        let report = replay(
-            &topo,
-            &rt,
-            &lm,
-            &cat,
-            &db,
-            &mut sel,
-            &ReplayConfig::default(),
-        );
+        let sel = RealtimeSelector::new(&lm, quotas);
+        let report = replay(&topo, &rt, &lm, &cat, &db, &sel, &ReplayConfig::default());
         let cl = cat.config(id).compute_load();
         assert!((report.peaks.cores[tokyo.index()] - 5.0 * cl).abs() < 1e-9);
     }
@@ -385,7 +695,7 @@ mod tests {
         let mut demand = DemandMatrix::zero(1, 1, 30, 0);
         demand.set(id, 0, 4.0);
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
-        let mut sel = RealtimeSelector::new(&lm, quotas);
+        let sel = RealtimeSelector::new(&lm, quotas);
         let mut cap = ProvisionedCapacity::zero(&topo);
         cap.cores = vec![0.01; topo.dcs.len()];
         cap.gbps = vec![1e9; topo.links.len()];
@@ -393,7 +703,7 @@ mod tests {
             capacity: Some(cap),
             ..Default::default()
         };
-        let report = replay(&topo, &rt, &lm, &cat, &db, &mut sel, &cfg);
+        let report = replay(&topo, &rt, &lm, &cat, &db, &sel, &cfg);
         assert!(report.capacity_violations > 0);
         assert!(report.worst_overshoot > 0.0);
     }
@@ -405,17 +715,50 @@ mod tests {
         let quotas =
             PlannedQuotas::from_plan(&AllocationShares::new(1), &DemandMatrix::zero(1, 1, 30, 0));
         let _ = id;
-        let mut sel = RealtimeSelector::new(&lm, quotas);
-        let report = replay(
-            &topo,
-            &rt,
-            &lm,
-            &cat,
-            &db,
-            &mut sel,
-            &ReplayConfig::default(),
-        );
+        let sel = RealtimeSelector::new(&lm, quotas);
+        let report = replay(&topo, &rt, &lm, &cat, &db, &sel, &ReplayConfig::default());
         assert_eq!(report.calls, 0);
         assert_eq!(report.mean_acl_ms, 0.0);
+    }
+
+    /// The in-module smoke version of the differential property; the full
+    /// seeded-workload differential lives in `tests/replay_differential.rs`.
+    #[test]
+    fn concurrent_drive_matches_serial_on_contended_pools() {
+        let (topo, rt, lm, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let pune = topo.dc_by_name("Pune");
+        let mut db = CallRecordsDb::new(cat.clone());
+        // quota forces the pool to run dry mid-trace → decisions depend on
+        // freeze order within the pool, the hard case for the phased drive
+        for i in 0..40 {
+            db.push(record(i, id, i % 7, 30, jp));
+        }
+        let mut shares = AllocationShares::new(2);
+        let mut demand = DemandMatrix::zero(1, 2, 30, 0);
+        shares.set(id, 0, vec![(tokyo, 0.4), (pune, 0.6)]);
+        demand.set(id, 0, 25.0);
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        let serial = {
+            let sel = RealtimeSelector::new(&lm, quotas.clone());
+            replay(&topo, &rt, &lm, &cat, &db, &sel, &ReplayConfig::default())
+        };
+        for threads in [1, 4] {
+            let sel = RealtimeSelector::new(&lm, quotas.clone());
+            let conc = replay_concurrent(
+                &topo,
+                &rt,
+                &lm,
+                &cat,
+                &db,
+                &sel,
+                &ReplayConfig::default(),
+                threads,
+            );
+            assert_eq!(serial.stats(), conc.stats(), "threads={threads}");
+        }
+        // sanity: the workload actually exercises pool contention
+        assert!(serial.selector.migrations > 0 || serial.selector.overflow > 0);
     }
 }

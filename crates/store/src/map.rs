@@ -209,6 +209,18 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.write_shard(key).remove(key)
     }
 
+    /// Visit every entry, one shard read-lock at a time (shard index order;
+    /// entry order within a shard is unspecified — sort the collected output
+    /// if determinism matters). Like [`ShardedMap::len`], the view is not
+    /// linearizable across shards.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in &self.shards {
+            for (k, v) in s.lock.read().iter() {
+                f(k, v);
+            }
+        }
+    }
+
     /// Total entries across shards (not linearizable, like Redis `DBSIZE`).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock.read().len()).sum()
@@ -273,6 +285,21 @@ mod tests {
         assert!(m.update(&1, |v| *v = 11));
         assert_eq!(m.get(&1), Some(11));
         assert_eq!(m.dropped_writes(), 4);
+    }
+
+    #[test]
+    fn for_each_visits_every_entry() {
+        let m = ShardedMap::new(4);
+        for k in 0..32u64 {
+            m.insert(k, k * 10);
+        }
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        m.for_each(|&k, &v| seen.push((k, v)));
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 32);
+        for (i, &(k, v)) in seen.iter().enumerate() {
+            assert_eq!((k, v), (i as u64, i as u64 * 10));
+        }
     }
 
     #[test]

@@ -45,14 +45,14 @@ fn main() {
     // online: replay the day's trace through the selector
     let db = generator.sample_records(day, 1, 3);
     let quotas = PlannedQuotas::from_plan(&shares, &planned);
-    let mut selector = RealtimeSelector::new(&sd0.latmap, quotas);
+    let selector = RealtimeSelector::new(&sd0.latmap, quotas);
     let report = replay(
         &topo,
         &sd0.routing,
         &sd0.latmap,
         &generator.universe().catalog,
         &db,
-        &mut selector,
+        &selector,
         &ReplayConfig::default(),
     );
     println!(

@@ -25,4 +25,10 @@ cargo run --release -q -p sb-bench --bin sec63_failure_drills -- --smoke
 echo "==> solver perf smoke: lp_scenario_sweep --smoke"
 cargo run --release -q -p sb-bench --bin lp_scenario_sweep -- --smoke --json /tmp/BENCH_lp_smoke.json
 
+echo "==> replay differential: serial oracle vs concurrent engine"
+cargo test -q --test replay_differential
+
+echo "==> replay equivalence smoke: replay_throughput --smoke"
+cargo run --release -q -p sb-bench --bin replay_throughput -- --smoke --json /tmp/BENCH_replay_smoke.json
+
 echo "all checks passed"

@@ -135,7 +135,7 @@ pub mod prelude {
         allocation_plan, provision, AllocationShares, BaselinePlan, BaselinePolicy, FreezeDecision,
         LatencyMap, PlannedQuotas, PlanningInputs, ProvisionError, ProvisionerParams,
         ProvisioningPlan, RealtimeSelector, ScenarioSolution, SelectorOutcome, SelectorRung,
-        SelectorStats,
+        SelectorShard, SelectorStats,
     };
     pub use sb_lp::{
         DenseSimplex, GuardedSimplex, LpError, LpProblem, RevisedSimplex, Solution, SolveStats,
@@ -144,8 +144,8 @@ pub mod prelude {
     pub use sb_net::{FailureMask, FailureScenario, ProvisionedCapacity, RoutingTable, Topology};
     pub use sb_obs::{MetricsRegistry, ScopedTimer};
     pub use sb_sim::{
-        chaos_replay, replay, ChaosConfig, ChaosReport, FaultEvent, FaultTimeline, ReplayConfig,
-        ReplayReport,
+        chaos_replay, chaos_replay_concurrent, replay, replay_concurrent, ChaosConfig, ChaosReport,
+        ChaosStats, FaultEvent, FaultTimeline, ReplayConfig, ReplayReport, ReplayStats,
     };
     pub use sb_store::{measure_throughput, CallStateStore, ShardedMap};
     pub use sb_workload::{

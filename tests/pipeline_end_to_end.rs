@@ -73,14 +73,14 @@ fn provision_allocate_replay() {
     let db = generator.sample_records(day, 1, 13);
     assert!(db.len() > 300, "trace too small");
     let quotas = PlannedQuotas::from_plan(&shares, &planned);
-    let mut selector = RealtimeSelector::new(&sd0.latmap, quotas);
+    let selector = RealtimeSelector::new(&sd0.latmap, quotas);
     let report = replay(
         &topo,
         &sd0.routing,
         &sd0.latmap,
         &generator.universe().catalog,
         &db,
-        &mut selector,
+        &selector,
         &ReplayConfig::default(),
     );
     assert_eq!(report.calls as usize, db.len());
@@ -129,7 +129,7 @@ fn replayed_usage_stays_within_capacity_envelope() {
         .expect("allocation plan");
     let db = generator.sample_records(day, 1, 17);
     let quotas = PlannedQuotas::from_plan(&shares, &planned);
-    let mut selector = RealtimeSelector::new(&sd0.latmap, quotas);
+    let selector = RealtimeSelector::new(&sd0.latmap, quotas);
     // §5.2: the deployed capacity carries a cushion over the head-config
     // plan, covering unplanned tail configs and their traffic on links the
     // plan itself never exercised.
@@ -151,7 +151,7 @@ fn replayed_usage_stays_within_capacity_envelope() {
         &sd0.latmap,
         &generator.universe().catalog,
         &db,
-        &mut selector,
+        &selector,
         &cfg,
     );
     // minute-level usage must respect the provisioned envelope (a few

@@ -1,0 +1,237 @@
+//! Differential tests for the concurrent replay engine: on seeded APAC
+//! workloads, `replay_concurrent` at 1 and 8 worker threads must reproduce
+//! the serial `replay` oracle *exactly* — every `ReplayStats` field,
+//! including the f64 peaks/ACL (both engines share the record-order
+//! accounting pass, so the floats are bitwise-identical, not merely close)
+//! and the final per-DC freeze tallies. A fourth workload drives the chaos
+//! engine through a DC outage plus a stale-plan window and holds
+//! `chaos_replay_concurrent` to the same standard on `ChaosStats`.
+
+use switchboard::core::{AllocationShares, PlannedQuotas, RealtimeSelector, ScenarioData};
+use switchboard::net::{FailureScenario, Topology};
+use switchboard::sim::{
+    chaos_replay, chaos_replay_concurrent, replay, replay_concurrent, ChaosConfig, FaultEvent,
+    FaultTimeline, ReplayConfig,
+};
+use switchboard::workload::{
+    CallRecordsDb, DemandMatrix, Generator, UniverseParams, WorkloadParams,
+};
+
+const THREADS: [usize; 2] = [1, 8];
+
+struct World {
+    topo: Topology,
+    db: CallRecordsDb,
+    quotas: PlannedQuotas,
+    sd0: ScenarioData,
+}
+
+/// A seeded APAC day: sampled trace + a synthetic plan spreading each
+/// planned config across every DC. `quota_scale` shrinks the planned demand
+/// so the quota pools run dry mid-day and the overflow/unplanned paths get
+/// exercised, not just the happy path.
+fn world(seed: u64, daily_calls: f64, coverage: f64, quota_scale: f64) -> World {
+    let topo = switchboard::net::presets::apac();
+    let params = WorkloadParams {
+        universe: UniverseParams {
+            num_configs: 250,
+            seed,
+            ..Default::default()
+        },
+        daily_calls,
+        slot_minutes: 120,
+        seed,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+    let day = 2;
+    let expected = generator.expected_demand(day, 1);
+    let selected = expected.top_configs_covering(coverage);
+    let planned: DemandMatrix = expected.filtered(&selected).scaled(quota_scale);
+    let db = generator.sample_records(day, 1, seed);
+    assert!(db.len() > 200, "trace too small to be a meaningful test");
+
+    let slots = planned.num_slots();
+    let mut shares = AllocationShares::new(slots);
+    let n = topo.dcs.len() as f64;
+    let spread: Vec<_> = topo.dc_ids().map(|d| (d, 1.0 / n)).collect();
+    for &cfg in &selected {
+        for s in 0..slots {
+            shares.set(cfg, s, spread.clone());
+        }
+    }
+    let quotas = PlannedQuotas::from_plan(&shares, &planned);
+    let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
+    World {
+        topo,
+        db,
+        quotas,
+        sd0,
+    }
+}
+
+fn assert_replay_equivalence(w: &World, cfg: &ReplayConfig, label: &str) {
+    let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
+    let serial = replay(
+        &w.topo,
+        &w.sd0.routing,
+        &w.sd0.latmap,
+        w.db.catalog(),
+        &w.db,
+        &selector,
+        cfg,
+    );
+    assert!(serial.calls > 0);
+    for threads in THREADS {
+        let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
+        let conc = replay_concurrent(
+            &w.topo,
+            &w.sd0.routing,
+            &w.sd0.latmap,
+            w.db.catalog(),
+            &w.db,
+            &selector,
+            cfg,
+            threads,
+        );
+        // one `==` over the whole aggregate, then the fields that matter
+        // most spelled out so a divergence names itself in the failure
+        let (s, c) = (serial.stats(), conc.stats());
+        assert_eq!(
+            s.selector, c.selector,
+            "{label}: selector stats, threads={threads}"
+        );
+        assert_eq!(
+            s.per_dc_tallies, c.per_dc_tallies,
+            "{label}: per-DC tallies, threads={threads}"
+        );
+        assert_eq!(
+            s.mean_acl_ms.to_bits(),
+            c.mean_acl_ms.to_bits(),
+            "{label}: mean ACL not bitwise-identical, threads={threads}"
+        );
+        assert_eq!(s, c, "{label}: ReplayStats, threads={threads}");
+    }
+}
+
+#[test]
+fn concurrent_replay_matches_serial_on_ample_quotas() {
+    // quotas cushioned over expectation: the plan rung dominates
+    let w = world(11, 6_000.0, 0.95, 1.3);
+    assert_replay_equivalence(&w, &ReplayConfig::default(), "ample");
+}
+
+#[test]
+fn concurrent_replay_matches_serial_under_quota_pressure() {
+    // quotas at 40% of expectation: pools drain, overflow + contention paths
+    let w = world(23, 8_000.0, 0.90, 0.4);
+    let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
+    let report = replay(
+        &w.topo,
+        &w.sd0.routing,
+        &w.sd0.latmap,
+        w.db.catalog(),
+        &w.db,
+        &selector,
+        &ReplayConfig::default(),
+    );
+    assert!(
+        report.selector.overflow > 0,
+        "workload must actually exhaust quota pools"
+    );
+    assert_replay_equivalence(&w, &ReplayConfig::default(), "pressure");
+}
+
+#[test]
+fn concurrent_replay_matches_serial_with_capacity_accounting() {
+    // tight capacity so the violation/overshoot floats are exercised too
+    let w = world(37, 5_000.0, 0.92, 1.0);
+    let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
+    let probe = replay(
+        &w.topo,
+        &w.sd0.routing,
+        &w.sd0.latmap,
+        w.db.catalog(),
+        &w.db,
+        &selector,
+        &ReplayConfig::default(),
+    );
+    let mut cap = probe.peaks.clone();
+    for c in cap.cores.iter_mut() {
+        *c *= 0.8; // guarantee violations
+    }
+    for g in cap.gbps.iter_mut() {
+        *g *= 0.8;
+    }
+    let cfg = ReplayConfig {
+        capacity: Some(cap),
+        ..Default::default()
+    };
+    let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
+    let serial = replay(
+        &w.topo,
+        &w.sd0.routing,
+        &w.sd0.latmap,
+        w.db.catalog(),
+        &w.db,
+        &selector,
+        &cfg,
+    );
+    assert!(
+        serial.capacity_violations > 0,
+        "capacity must actually bind"
+    );
+    assert_replay_equivalence(&w, &cfg, "capacity");
+}
+
+#[test]
+fn concurrent_chaos_replay_matches_serial_through_faults() {
+    let w = world(53, 5_000.0, 0.92, 1.2);
+    let t0 = w.db.records().iter().map(|r| r.start_minute).min().unwrap();
+    let victim = w.topo.dcs[0].id;
+    // a DC outage with recovery, plus a stale-plan window overlapping it:
+    // forced re-homes, degraded placements, and plan-rung suppression all in
+    // one trace
+    let timeline = FaultTimeline::new()
+        .with(FaultEvent::DcDown {
+            dc: victim,
+            at: t0 + 240,
+            recover_at: Some(t0 + 480),
+        })
+        .with(FaultEvent::PlanStale {
+            from: t0 + 400,
+            until: Some(t0 + 600),
+        });
+    let cfg = ChaosConfig {
+        window_minutes: 120,
+        ..ChaosConfig::default()
+    };
+    let serial = chaos_replay(
+        &w.topo,
+        w.db.catalog(),
+        &w.db,
+        &timeline,
+        w.quotas.clone(),
+        &cfg,
+    );
+    assert!(
+        serial.forced_migrations > 0,
+        "the outage must re-home in-flight calls"
+    );
+    for threads in THREADS {
+        let conc = chaos_replay_concurrent(
+            &w.topo,
+            w.db.catalog(),
+            &w.db,
+            &timeline,
+            w.quotas.clone(),
+            &cfg,
+            threads,
+        );
+        assert_eq!(
+            serial.stats(),
+            conc.stats(),
+            "chaos ChaosStats, threads={threads}"
+        );
+    }
+}
