@@ -1,0 +1,410 @@
+//! Plan-lifecycle harness: warm incremental re-planning plus mid-replay
+//! hot-swap (§6.3's refresh loop end to end).
+//!
+//! Three stages on a seeded APAC day:
+//!
+//! 1. **Initial plan** — `SlotPlanner::plan_initial` solves every slot of
+//!    the per-slot allocation LP cold and seeds the per-slot basis cache.
+//! 2. **Re-plan sweep** — for each victim DC, `replan_from` re-solves only
+//!    the remaining slots of the day warm-started from the cached bases; a
+//!    second planner with warm starts disabled re-runs the same sweep so
+//!    the wall times compare end to end. The per-slot warm-start hit rate
+//!    must clear 50 % (in practice it is ~100 %: every slot has a basis).
+//! 3. **Chaos drill** — a trace replay with a mid-day DC outage plus a
+//!    stale-plan onset; a `Replanner` with a configurable re-plan latency
+//!    rebuilds the tail of the plan and hot-swaps it into the live
+//!    selector. The stale window must close at the install (no
+//!    `plan_stale` freezes in any post-install window), nothing may
+//!    strand, and the concurrent engine must match the serial oracle
+//!    bit for bit across the swap.
+//!
+//! Usage: `replan_loop [--smoke] [--json <path>] [--metrics <path>]`
+//!
+//! `--smoke` shrinks the workload for CI. Machine-readable numbers go to
+//! `BENCH_replan.json` (see README); the table goes to stdout.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sb_bench::common::{build_eval, dump_metrics, metrics_path_from_args, print_table, EvalScale};
+use sb_core::formulation::{PlanningInputs, ScenarioData, SolveOptions};
+use sb_core::{PlanArtifact, PlanDelta, ReplanReport, SlotPlanner};
+use sb_net::{DcId, FailureScenario, ProvisionedCapacity};
+use sb_sim::{
+    chaos_replay, chaos_replay_replanned, chaos_replay_replanned_concurrent, ChaosConfig,
+    FaultEvent, FaultTimeline, ReplanRequest, Replanner,
+};
+use sb_workload::Generator;
+
+/// Re-plan latency the drill models (minutes between trigger and install).
+const REPLAN_LATENCY_MIN: u64 = 15;
+
+struct SweepOutcome {
+    wall_s: f64,
+    warm_hits: usize,
+    solved: usize,
+    iterations: u64,
+}
+
+/// Run the victim sweep: one `replan_from` per victim, all from the initial
+/// artifact, re-solving slots `from_slot..`.
+fn sweep(
+    planner: &mut SlotPlanner<'_>,
+    initial: &PlanArtifact,
+    from_slot: usize,
+    victims: &[(DcId, ScenarioData)],
+) -> (SweepOutcome, Vec<ReplanReport>) {
+    let mut out = SweepOutcome {
+        wall_s: 0.0,
+        warm_hits: 0,
+        solved: 0,
+        iterations: 0,
+    };
+    let mut reports = Vec::new();
+    for (dc, sd) in victims {
+        let t0 = Instant::now();
+        let report = planner
+            .replan_from(initial, from_slot, sd, None)
+            .unwrap_or_else(|e| panic!("re-plan under DcDown({dc:?}) failed: {e}"));
+        out.wall_s += t0.elapsed().as_secs_f64();
+        out.warm_hits += report.warm_hits();
+        out.solved += report.solved_slots();
+        out.iterations += report.artifact.provenance.total_iterations;
+        reports.push(report);
+    }
+    (out, reports)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let metrics_path = metrics_path_from_args();
+    let json_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = String::from("BENCH_replan.json");
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                path = args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                });
+            } else if let Some(p) = a.strip_prefix("--json=") {
+                path = p.to_string();
+            }
+        }
+        path
+    };
+
+    let scale = if smoke {
+        EvalScale {
+            num_configs: 80,
+            daily_calls: 1_200.0,
+            days: 2,
+            ..EvalScale::quick()
+        }
+    } else {
+        EvalScale::quick()
+    };
+    let num_victims = if smoke { 2 } else { 4 };
+    eprintln!(
+        "building workload: {} configs, {:.0} calls/day, {}-min slots …",
+        scale.num_configs, scale.daily_calls, scale.slot_minutes
+    );
+    let data = build_eval(&scale);
+    let generator = Generator::new(&data.topo, data.workload.clone());
+
+    // plan one concrete day (the day the drill replays), not the envelope
+    let day = 1;
+    let demand = generator
+        .expected_demand(day, 1)
+        .filtered(&data.selected)
+        .scaled(1.0 / data.coverage_achieved.max(1e-9));
+    let inputs = PlanningInputs {
+        topo: &data.topo,
+        catalog: &data.catalog,
+        demand: &demand,
+        latency_threshold_ms: 120.0,
+    };
+    let opts = SolveOptions::default();
+
+    // victims: the first DCs of the topology; the drill uses the first
+    let victims: Vec<(DcId, ScenarioData)> = data
+        .topo
+        .dcs
+        .iter()
+        .take(num_victims)
+        .map(|dc| {
+            (
+                dc.id,
+                ScenarioData::compute(&data.topo, FailureScenario::DcDown(dc.id)),
+            )
+        })
+        .collect();
+    let sd0 = ScenarioData::compute(&data.topo, FailureScenario::None);
+
+    // fixed capacity every plan must fit: union of the healthy + victim
+    // solves with 25% headroom, so every re-plan stays feasible
+    eprintln!(
+        "provisioning fixed capacity over {} scenarios …",
+        victims.len() + 1
+    );
+    let mut capacity = ProvisionedCapacity::zero(&data.topo);
+    let base = sb_core::solve_scenario(&inputs, &sd0, None, &opts).expect("healthy solve");
+    capacity.max_with(&base.capacity);
+    for (_, sd) in &victims {
+        let sol = sb_core::solve_scenario(&inputs, sd, None, &opts).expect("victim solve");
+        capacity.max_with(&sol.capacity);
+    }
+    for c in capacity.cores.iter_mut() {
+        *c *= 1.25;
+    }
+    for g in capacity.gbps.iter_mut() {
+        *g *= 1.25;
+    }
+
+    let all_sds: Vec<ScenarioData> = std::iter::once(sd0.clone())
+        .chain(victims.iter().map(|(_, sd)| sd.clone()))
+        .collect();
+
+    // stage 1: initial plan, all slots cold
+    let mut planner = SlotPlanner::new(&inputs, &all_sds, &capacity, &opts);
+    let t0 = Instant::now();
+    let initial = planner.plan_initial(&sd0).expect("initial plan");
+    let initial_wall = t0.elapsed().as_secs_f64();
+    let num_slots = demand.num_slots();
+    let from_slot = num_slots / 2;
+    eprintln!(
+        "initial plan: {} slots ({} solved) in {:.3}s",
+        num_slots,
+        initial.solved_slots(),
+        initial_wall
+    );
+
+    // stage 2: warm vs cold re-plan sweep over the victim scenarios
+    let (warm, warm_reports) = sweep(&mut planner, &initial.artifact, from_slot, &victims);
+    let cold_opts = SolveOptions {
+        warm_start: false,
+        ..SolveOptions::default()
+    };
+    let mut cold_planner = SlotPlanner::new(&inputs, &all_sds, &capacity, &cold_opts);
+    cold_planner.plan_initial(&sd0).expect("cold initial plan");
+    let (cold, _) = sweep(&mut cold_planner, &initial.artifact, from_slot, &victims);
+    let hit_rate = if warm.solved > 0 {
+        warm.warm_hits as f64 / warm.solved as f64
+    } else {
+        0.0
+    };
+    let speedup = cold.wall_s / warm.wall_s.max(1e-12);
+    let delta_migrations: u64 = warm_reports
+        .iter()
+        .map(|r| PlanDelta::between(&initial.artifact, &r.artifact).implied_migrations())
+        .sum();
+
+    // stage 3: chaos drill — DC-down + stale plan, re-plan hot-swapped in
+    let db = generator.sample_records(day, 1, scale.seed);
+    let trace_t0 = db
+        .records()
+        .iter()
+        .map(|r| r.start_minute)
+        .min()
+        .expect("non-empty trace");
+    let victim = victims[0].0;
+    let fault_at = trace_t0 + 240;
+    let timeline = FaultTimeline::new()
+        .with(FaultEvent::DcDown {
+            dc: victim,
+            at: fault_at,
+            recover_at: None,
+        })
+        .with(FaultEvent::PlanStale {
+            from: fault_at,
+            until: None,
+        });
+    let chaos_cfg = ChaosConfig {
+        window_minutes: 120,
+        ..ChaosConfig::default()
+    };
+    let quotas = initial.artifact.quotas.clone();
+
+    // without a replanner the plan stays stale to the end of the trace
+    let bare = chaos_replay(
+        &data.topo,
+        &data.catalog,
+        &db,
+        &timeline,
+        quotas.clone(),
+        &chaos_cfg,
+    );
+
+    // with one: re-plan the remaining slots under the outage, install after
+    // the modeled latency; record the artifacts so the concurrent run can
+    // replay the exact same installs
+    let victim_sd = &victims[0].1;
+    let mut installed: Vec<Arc<PlanArtifact>> = Vec::new();
+    let prev_art = initial.artifact.clone();
+    let mut build = |req: &ReplanRequest| {
+        let from = req.from_slot.unwrap_or(0);
+        let report = planner.replan_from(&prev_art, from, victim_sd, None).ok()?;
+        let art = Arc::new(Arc::unwrap_or_clone(report.artifact).with_epoch(req.epoch));
+        installed.push(art.clone());
+        Some(art)
+    };
+    let mut rp = Replanner::new(REPLAN_LATENCY_MIN, &mut build);
+    let replanned = chaos_replay_replanned(
+        &data.topo,
+        &data.catalog,
+        &db,
+        &timeline,
+        quotas.clone(),
+        &chaos_cfg,
+        &mut rp,
+    );
+    drop(rp);
+    assert!(
+        replanned.plan_installs >= 1,
+        "the DC-down trigger must install a re-plan"
+    );
+    assert_eq!(replanned.stranded, 0, "no call may strand in the drill");
+    let install_minute = fault_at + REPLAN_LATENCY_MIN;
+    let post_install_stale: u64 = replanned
+        .windows
+        .iter()
+        .filter(|w| w.start_minute >= install_minute)
+        .map(|w| w.plan_stale_freezes)
+        .sum();
+    assert_eq!(
+        post_install_stale, 0,
+        "plan_stale freezes must stop accruing once the re-plan lands"
+    );
+    assert!(
+        replanned.selector.plan_stale <= bare.selector.plan_stale,
+        "the re-plan cannot widen the stale window"
+    );
+
+    // serial-oracle check across the swap: replay the recorded installs
+    for threads in [1usize, 8] {
+        let mut i = 0usize;
+        let arts = installed.clone();
+        let mut replay_build = move |_req: &ReplanRequest| {
+            let a = arts.get(i).cloned();
+            i += 1;
+            a
+        };
+        let mut rp = Replanner::new(REPLAN_LATENCY_MIN, &mut replay_build);
+        let conc = chaos_replay_replanned_concurrent(
+            &data.topo,
+            &data.catalog,
+            &db,
+            &timeline,
+            quotas.clone(),
+            &chaos_cfg,
+            threads,
+            &mut rp,
+        );
+        assert_eq!(
+            replanned.stats(),
+            conc.stats(),
+            "concurrent drill diverged from serial across the swap, threads={threads}"
+        );
+    }
+
+    println!("== replan_loop: plan lifecycle (re-plan + hot-swap) ==\n");
+    println!(
+        "APAC, {} slots/day, {} active victims, re-plan from slot {}, latency {} min\n",
+        num_slots,
+        victims.len(),
+        from_slot,
+        REPLAN_LATENCY_MIN
+    );
+    let rows = vec![
+        vec![
+            "initial (cold)".to_string(),
+            format!("{:.3}", initial_wall),
+            initial.solved_slots().to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ],
+        vec![
+            "replan warm".to_string(),
+            format!("{:.3}", warm.wall_s),
+            warm.solved.to_string(),
+            format!("{}/{}", warm.warm_hits, warm.solved),
+            format!("{:.2}x", speedup),
+        ],
+        vec![
+            "replan cold".to_string(),
+            format!("{:.3}", cold.wall_s),
+            cold.solved.to_string(),
+            "0".to_string(),
+            "1.00x".to_string(),
+        ],
+    ];
+    print_table(&["stage", "wall(s)", "slots", "warm", "speedup"], &rows);
+    println!(
+        "\ndrill: {} installs at minute {}, stale freezes {} -> {} \
+         (post-install {}), stranded {}, delta migrations {}",
+        replanned.plan_installs,
+        install_minute,
+        bare.selector.plan_stale,
+        replanned.selector.plan_stale,
+        post_install_stale,
+        replanned.stranded,
+        delta_migrations,
+    );
+    println!(
+        "warm-start hit rate {:.0}% over {} re-solved slots; serial == concurrent across the swap",
+        hit_rate * 100.0,
+        warm.solved
+    );
+    assert!(
+        hit_rate > 0.5,
+        "per-slot warm-start hit rate {hit_rate:.2} must clear 50%"
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"replan_loop\",\n");
+    out.push_str("  \"topology\": \"apac\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"slots\": {num_slots},\n"));
+    out.push_str(&format!("  \"from_slot\": {from_slot},\n"));
+    out.push_str(&format!("  \"victims\": {},\n", victims.len()));
+    out.push_str(&format!(
+        "  \"replan_latency_min\": {REPLAN_LATENCY_MIN},\n"
+    ));
+    out.push_str(&format!("  \"initial_wall_s\": {initial_wall:.6},\n"));
+    out.push_str(&format!(
+        "  \"warm\": {{\"wall_s\": {:.6}, \"warm_hits\": {}, \"solved\": {}, \
+         \"hit_rate\": {:.4}, \"iterations\": {}}},\n",
+        warm.wall_s, warm.warm_hits, warm.solved, hit_rate, warm.iterations
+    ));
+    out.push_str(&format!(
+        "  \"cold\": {{\"wall_s\": {:.6}, \"solved\": {}, \"iterations\": {}}},\n",
+        cold.wall_s, cold.solved, cold.iterations
+    ));
+    out.push_str(&format!("  \"speedup_warm_vs_cold\": {speedup:.4},\n"));
+    out.push_str(&format!("  \"delta_migrations\": {delta_migrations},\n"));
+    out.push_str(&format!(
+        "  \"drill\": {{\"plan_installs\": {}, \"install_minute\": {}, \
+         \"stale_freezes_bare\": {}, \"stale_freezes_replanned\": {}, \
+         \"post_install_stale_freezes\": {}, \"stranded\": {}, \
+         \"forced_migrations\": {}, \"serial_equals_concurrent\": true}}\n",
+        replanned.plan_installs,
+        install_minute,
+        bare.selector.plan_stale,
+        replanned.selector.plan_stale,
+        post_install_stale,
+        replanned.stranded,
+        replanned.forced_migrations
+    ));
+    out.push_str("}\n");
+    match std::fs::write(&json_path, out) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("failed to write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = metrics_path {
+        dump_metrics(&path);
+    }
+}

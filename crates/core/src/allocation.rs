@@ -34,8 +34,11 @@ pub fn allocation_plan(
     }
     let mut infos: Vec<CfgInfo> = Vec::new();
     for (cfg_id, cfg) in inputs.catalog.iter() {
+        // the demand matrix may cover fewer configs than the catalog; skip
+        // (not stop at) configs beyond it — catalog order is not guaranteed
+        // to put all in-demand configs first
         if cfg_id.index() >= demand.num_configs() {
-            break;
+            continue;
         }
         if demand.series(cfg_id).iter().all(|&d| d <= opts.min_demand) {
             continue;
@@ -218,6 +221,40 @@ mod tests {
         let pune = topo.dc_by_name("Pune");
         assert_eq!(plan.get(sb_workload::ConfigId(0), 0), &[(tokyo, 1.0)]);
         assert_eq!(plan.get(sb_workload::ConfigId(1), 1), &[(pune, 1.0)]);
+    }
+
+    #[test]
+    fn sparse_catalog_beyond_demand_matrix_does_not_truncate_plan() {
+        // The catalog holds more configs than the demand matrix covers. The
+        // out-of-range configs must be skipped individually, not end the
+        // scan: every in-range config with demand still gets shares.
+        let (topo, cat, demand) = instance();
+        let jp = topo.country_by_name("JP");
+        let mut cat = cat;
+        // configs 2..6 exist in the catalog but not in the 2-config demand
+        // matrix
+        for n in 3..7 {
+            cat.intern(CallConfig::new(vec![(jp, n)], MediaType::Video));
+        }
+        assert!(cat.len() > demand.num_configs());
+        let inputs = PlanningInputs {
+            topo: &topo,
+            catalog: &cat,
+            demand: &demand,
+            latency_threshold_ms: 120.0,
+        };
+        let sd = ScenarioData::compute(&topo, FailureScenario::None);
+        let big = ProvisionedCapacity {
+            cores: vec![1e9; topo.dcs.len()],
+            gbps: vec![1e9; topo.links.len()],
+        };
+        let plan = allocation_plan(&inputs, &sd, &big, &SolveOptions::default()).unwrap();
+        // both in-demand configs are fully planned, same as with the exact
+        // catalog
+        assert!((placed_fraction(&demand, &plan) - 1.0).abs() < 1e-6);
+        assert!(plan.covers(sb_workload::ConfigId(0)));
+        assert!(plan.covers(sb_workload::ConfigId(1)));
+        assert!(!plan.covers(sb_workload::ConfigId(3)));
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`allocation`] — the daily latency-optimal allocation plan (Eq. 10);
 //! * [`realtime`] — the real-time MP selector with the first-joiner
 //!   heuristic, slot tallying, and migration (§5.4);
+//! * [`plan`] — versioned plan artifacts, plan deltas, warm incremental
+//!   re-planning, and plan persistence (§6.3's refresh loop);
 //! * [`baselines`] — Round-Robin and Locality-First (§3), with the Eq. 1–2
 //!   backup LP in [`backup`];
 //! * [`decomposed`] — a greedy scalable provisioner (ablation);
@@ -45,6 +47,7 @@ pub mod decomposed;
 pub mod formulation;
 pub mod latency;
 mod metrics;
+pub mod plan;
 pub mod provision;
 pub mod realtime;
 pub mod report;
@@ -58,10 +61,15 @@ pub use formulation::{
     SweepModel,
 };
 pub use latency::LatencyMap;
+pub use metrics::PLAN_SLOT_COLUMNS;
+pub use plan::{
+    PlanArtifact, PlanDelta, PlanParseError, PlanProvenance, QuotaChange, ReplanReport,
+    SlotPlanner, SlotSolveInfo, PLAN_EXPORT_COLUMNS,
+};
 pub use provision::{provision, ProvisionerParams, ProvisioningPlan};
 pub use realtime::{
-    FreezeDecision, PlannedQuotas, RealtimeSelector, SelectorOutcome, SelectorRung, SelectorShard,
-    SelectorStats,
+    FreezeDecision, PlanSwapStats, PlannedQuotas, RealtimeSelector, SelectorOutcome, SelectorRung,
+    SelectorShard, SelectorStats,
 };
 pub use shares::AllocationShares;
 pub use usage::{compute_usage, mean_acl, placed_fraction, UsageTimeline};

@@ -119,6 +119,50 @@ pub(crate) struct RealtimeMetrics {
     pub(crate) pool_wait_ns: Histogram,
 }
 
+/// Columns of the `plan.slot_solves` table: one row per slot re-solved (or
+/// copied) by an incremental re-plan.
+pub const PLAN_SLOT_COLUMNS: [&str; 6] =
+    ["epoch", "slot", "copied", "warm_started", "rung", "wall_ns"];
+
+pub(crate) struct PlanMetrics {
+    /// Plan epochs installed into a selector.
+    pub(crate) epochs_installed: Counter,
+    /// Consumed-quota tallies carried across swaps.
+    pub(crate) carryover_quota: Counter,
+    /// Implied migrations summed over computed plan deltas.
+    pub(crate) delta_migrations: Counter,
+    /// Re-plan slots whose warm start was accepted by the engine.
+    pub(crate) warm_slots: Counter,
+    /// Re-plan slots solved cold (rejected or absent basis).
+    pub(crate) cold_slots: Counter,
+    /// Re-plans that failed (infeasible/unbounded slot LP).
+    pub(crate) replan_failures: Counter,
+    /// install_plan swap latency.
+    pub(crate) swap_ns: Histogram,
+    /// End-to-end incremental re-plan wall time.
+    pub(crate) replan_wall_ns: Histogram,
+    /// Per-slot solve rows (see [`PLAN_SLOT_COLUMNS`]).
+    pub(crate) slot_solves: Table,
+}
+
+pub(crate) fn plan_metrics() -> &'static PlanMetrics {
+    static METRICS: OnceLock<PlanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = sb_obs::global();
+        PlanMetrics {
+            epochs_installed: reg.counter("plan.epochs_installed"),
+            carryover_quota: reg.counter("plan.carryover_quota"),
+            delta_migrations: reg.counter("plan.delta_migrations"),
+            warm_slots: reg.counter("plan.warm_slots"),
+            cold_slots: reg.counter("plan.cold_slots"),
+            replan_failures: reg.counter("plan.replan_failures"),
+            swap_ns: reg.histogram("plan.swap_ns"),
+            replan_wall_ns: reg.histogram("plan.replan_wall_ns"),
+            slot_solves: reg.table("plan.slot_solves", &PLAN_SLOT_COLUMNS),
+        }
+    })
+}
+
 pub(crate) fn realtime_metrics() -> &'static RealtimeMetrics {
     static METRICS: OnceLock<RealtimeMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {

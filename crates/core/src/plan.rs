@@ -1,0 +1,1224 @@
+//! Versioned allocation-plan lifecycle: plan **artifacts**, plan **deltas**,
+//! and warm incremental **re-planning**.
+//!
+//! The paper's controller is a loop (§5.3 → §5.4 → §6.3): a daily allocation
+//! plan feeds the real-time selector, and the plan is refreshed when
+//! forecasts drift or failures change the topology. This module makes a plan
+//! a first-class value:
+//!
+//! * [`PlanArtifact`] — an immutable, versioned snapshot of one plan epoch:
+//!   the fractional shares, the rounded per-DC quotas, and provenance
+//!   (scenario planned against, solve statistics, the slot the re-plan
+//!   started from). Installed into a selector with
+//!   [`crate::RealtimeSelector::install_plan`], persisted with
+//!   [`PlanArtifact::to_tsv`] / [`PlanArtifact::to_ndjson`].
+//! * [`PlanDelta`] — the per-`(config, slot, DC)` quota diff between two
+//!   artifacts, and the migration set it implies.
+//! * [`SlotPlanner`] — the incremental re-planner. The allocation LP (Eq.
+//!   10) decomposes per slot because capacities are constants; the planner
+//!   keeps one patch-in-place LP per slot (the `SweepModel` idiom from the
+//!   provisioning sweep) plus the last optimal [`Basis`] per slot, so
+//!   [`SlotPlanner::replan_from`] re-solves **only the remaining slots**,
+//!   warm-starting each from the previous epoch's basis and recording
+//!   per-slot [`SolveRung`] / warm-hit statistics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sb_lp::{Basis, GuardedSimplex, LpProblem, PreparedProblem, SolveRung, Var};
+use sb_net::{DcId, LinkId, ProvisionedCapacity};
+use sb_obs::{Table, Value};
+use sb_workload::{ConfigId, DemandMatrix};
+
+use crate::formulation::{PlanningInputs, ProvisionError, ScenarioData, SolveOptions};
+use crate::realtime::PlannedQuotas;
+use crate::shares::AllocationShares;
+
+/// Where a plan came from: the scenario it was solved against and the
+/// solve-effort statistics of the (re-)plan that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanProvenance {
+    /// Debug rendering of the [`sb_net::FailureScenario`] planned against.
+    pub scenario: String,
+    /// First slot re-solved by the producing re-plan (0 for a full plan).
+    pub built_at_slot: usize,
+    /// Wall time of the producing (re-)plan, nanoseconds.
+    pub solve_wall_ns: u64,
+    /// Slots whose warm start was accepted by the engine.
+    pub warm_slots: u32,
+    /// Slots solved cold (no basis, or basis rejected).
+    pub cold_slots: u32,
+    /// Slots copied verbatim from the previous epoch.
+    pub copied_slots: u32,
+    /// Total simplex iterations across re-solved slots.
+    pub total_iterations: u64,
+}
+
+impl Default for PlanProvenance {
+    fn default() -> Self {
+        PlanProvenance {
+            scenario: "None".to_string(),
+            built_at_slot: 0,
+            solve_wall_ns: 0,
+            warm_slots: 0,
+            cold_slots: 0,
+            copied_slots: 0,
+            total_iterations: 0,
+        }
+    }
+}
+
+/// One immutable, versioned allocation plan: what the selector consumes
+/// ([`PlanArtifact::quotas`]), what produced it ([`PlanArtifact::shares`]
+/// and [`PlanArtifact::provenance`]), and its position in the epoch
+/// sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanArtifact {
+    /// Monotone plan version; selectors start at epoch 0.
+    pub epoch: u64,
+    /// The fractional `S_tcx` this plan was rounded from.
+    pub shares: AllocationShares,
+    /// Integer per-DC quotas per `(config, slot)` (largest-remainder
+    /// rounding of `shares × demand`).
+    pub quotas: PlannedQuotas,
+    /// Scenario + solve-stats provenance.
+    pub provenance: PlanProvenance,
+}
+
+impl PlanArtifact {
+    /// Assemble an artifact from parts.
+    pub fn new(
+        epoch: u64,
+        shares: AllocationShares,
+        quotas: PlannedQuotas,
+        provenance: PlanProvenance,
+    ) -> PlanArtifact {
+        PlanArtifact {
+            epoch,
+            shares,
+            quotas,
+            provenance,
+        }
+    }
+
+    /// The same plan stamped with a different epoch.
+    pub fn with_epoch(mut self, epoch: u64) -> PlanArtifact {
+        self.epoch = epoch;
+        self
+    }
+}
+
+/// One quota change between two plan epochs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuotaChange {
+    /// Config whose pool changed.
+    pub config: ConfigId,
+    /// Slot whose pool changed.
+    pub slot: usize,
+    /// DC whose quota changed.
+    pub dc: DcId,
+    /// Quota in the old plan (0 when the entry is new).
+    pub before: u32,
+    /// Quota in the new plan (0 when the entry was dropped).
+    pub after: u32,
+}
+
+/// Per-`(config, slot, DC)` quota diff between two [`PlanArtifact`]s,
+/// sorted by `(config, slot, dc)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanDelta {
+    /// Entries whose quota differs between the two plans.
+    pub changes: Vec<QuotaChange>,
+}
+
+impl PlanDelta {
+    /// Diff two artifacts' quotas.
+    pub fn between(old: &PlanArtifact, new: &PlanArtifact) -> PlanDelta {
+        let mut merged: HashMap<(ConfigId, usize, DcId), (u32, u32)> = HashMap::new();
+        for (key, entries) in old.quotas.iter() {
+            for &(dc, n) in entries {
+                merged.entry((key.0, key.1, dc)).or_insert((0, 0)).0 += n;
+            }
+        }
+        for (key, entries) in new.quotas.iter() {
+            for &(dc, n) in entries {
+                merged.entry((key.0, key.1, dc)).or_insert((0, 0)).1 += n;
+            }
+        }
+        let mut changes: Vec<QuotaChange> = merged
+            .into_iter()
+            .filter(|&(_, (b, a))| b != a)
+            .map(|((config, slot, dc), (before, after))| QuotaChange {
+                config,
+                slot,
+                dc,
+                before,
+                after,
+            })
+            .collect();
+        changes.sort_unstable_by_key(|c| (c.config.index(), c.slot, c.dc.index()));
+        PlanDelta { changes }
+    }
+
+    /// No quota changed.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of changed entries.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Calls the delta implies must move: for every entry whose quota
+    /// shrank, the lost quota is demand the new plan places elsewhere
+    /// (Σ max(0, before − after)).
+    pub fn implied_migrations(&self) -> u64 {
+        self.changes
+            .iter()
+            .map(|c| c.before.saturating_sub(c.after) as u64)
+            .sum()
+    }
+
+    /// Record this delta's implied migration count into the `plan.*`
+    /// metrics (`plan.delta_migrations`).
+    pub fn record(&self) {
+        crate::metrics::plan_metrics()
+            .delta_migrations
+            .add(self.implied_migrations());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-planner
+// ---------------------------------------------------------------------------
+
+/// Per-slot solve outcome of one (re-)plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotSolveInfo {
+    /// Slot index.
+    pub slot: usize,
+    /// Copied verbatim from the previous epoch (slot < `from_slot`).
+    pub copied: bool,
+    /// Warm start accepted by the engine (re-solved slots only).
+    pub warm_started: bool,
+    /// Engine rung that produced the solve; `None` for copied slots.
+    pub rung: Option<SolveRung>,
+    /// Simplex iterations (0 for copied slots).
+    pub iterations: u64,
+    /// Wall time of this slot's patch + solve, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// What one [`SlotPlanner::replan_from`] (or
+/// [`SlotPlanner::plan_initial`]) did: the artifact plus per-slot solve
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct ReplanReport {
+    /// The plan produced.
+    pub artifact: Arc<PlanArtifact>,
+    /// One entry per slot touched (copied or re-solved).
+    pub slots: Vec<SlotSolveInfo>,
+    /// End-to-end wall time.
+    pub wall: Duration,
+}
+
+impl ReplanReport {
+    /// Slots copied from the previous epoch.
+    pub fn copied_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.copied).count()
+    }
+
+    /// Slots actually re-solved.
+    pub fn solved_slots(&self) -> usize {
+        self.slots.len() - self.copied_slots()
+    }
+
+    /// Re-solved slots whose warm start was accepted.
+    pub fn warm_hits(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !s.copied && s.warm_started)
+            .count()
+    }
+
+    /// Warm hits over re-solved slots (0.0 when nothing was re-solved).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let solved = self.solved_slots();
+        if solved == 0 {
+            0.0
+        } else {
+            self.warm_hits() as f64 / solved as f64
+        }
+    }
+}
+
+/// One share variable of a slot LP.
+#[derive(Clone, Copy, Debug)]
+struct SlotVar {
+    cfg_pos: usize,
+    dc_pos: usize,
+    var: Var,
+}
+
+/// The patch-in-place LP of one slot (the per-slot decomposition of Eq. 10
+/// under fixed capacity). Structure — variables for every `(active config,
+/// union-allowed DC)` pair, completeness rows, per-DC compute rows, per-link
+/// network rows — is scenario-independent; a re-plan only patches numbers.
+struct SlotModel {
+    lp: LpProblem,
+    prep: PreparedProblem,
+    vars: Vec<SlotVar>,
+    /// `(row, cfg_pos)` completeness equality per config in this slot.
+    completeness: Vec<(usize, usize)>,
+    /// `(row, dc)` compute-capacity rows.
+    compute_rows: Vec<(usize, DcId)>,
+    /// `(row, link)` network-capacity rows (coefficients patched per
+    /// scenario routing).
+    network_rows: Vec<(usize, LinkId)>,
+    /// `link.index()` → position in `network_rows`, `usize::MAX` if the
+    /// link is outside the modeled union.
+    net_pos: Vec<usize>,
+}
+
+/// Incremental re-planner for the per-slot allocation LP.
+///
+/// Built once per planning horizon from the scenarios you intend to re-plan
+/// against (their union defines the modeled placements and network links —
+/// pass at least the healthy scenario plus every failure you may re-plan
+/// under; a healthy scenario's allowed sets are supersets of any failure's,
+/// so including it covers latency-driven placements). Each
+/// [`SlotPlanner::replan_from`] patches the slot LPs for the given scenario
+/// and demand, re-solves only slots ≥ `from_slot` warm-started from the
+/// previous solve's exported basis, and copies earlier slots' shares from
+/// the previous artifact.
+pub struct SlotPlanner<'a> {
+    inputs: PlanningInputs<'a>,
+    capacity: ProvisionedCapacity,
+    solver: GuardedSimplex,
+    warm_start: bool,
+    min_demand: f64,
+    /// Configs with any demand: `(config, union allowed DCs)` in catalog
+    /// order; DC order is first-seen across the build scenarios (stable).
+    active: Vec<(ConfigId, Vec<DcId>)>,
+    models: Vec<Option<SlotModel>>,
+    bases: Vec<Option<Basis>>,
+}
+
+impl<'a> SlotPlanner<'a> {
+    /// Build the per-slot models over the union of `sds`' allowed
+    /// placements. `capacity` is the fixed provisioned capacity every slot
+    /// must fit in.
+    pub fn new(
+        inputs: &PlanningInputs<'a>,
+        sds: &[ScenarioData],
+        capacity: &ProvisionedCapacity,
+        opts: &SolveOptions,
+    ) -> SlotPlanner<'a> {
+        let topo = inputs.topo;
+        let demand = inputs.demand;
+        // active configs + union allowed DCs
+        let mut active: Vec<(ConfigId, Vec<DcId>)> = Vec::new();
+        for (cfg_id, cfg) in inputs.catalog.iter() {
+            if cfg_id.index() >= demand.num_configs() {
+                continue;
+            }
+            if demand.series(cfg_id).iter().all(|&d| d <= opts.min_demand) {
+                continue;
+            }
+            let mut dcs: Vec<DcId> = Vec::new();
+            for sd in sds {
+                for (dc, _) in sd.latmap.allowed_dcs(cfg, inputs.latency_threshold_ms) {
+                    if !dcs.contains(&dc) {
+                        dcs.push(dc);
+                    }
+                }
+            }
+            if !dcs.is_empty() {
+                active.push((cfg_id, dcs));
+            }
+        }
+        // union of links any modeled placement can load under any scenario
+        let mut link_used = vec![false; topo.links.len()];
+        for sd in sds {
+            for (cfg_id, dcs) in &active {
+                let cfg = inputs.catalog.config(*cfg_id);
+                for &dc in dcs {
+                    for &(country, _) in cfg.participants() {
+                        if let Some(route) = sd.routing.route(country, dc) {
+                            for &l in &route.links {
+                                link_used[l.index()] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let slack = |v: f64| v * (1.0 + 1e-7) + 1e-7;
+        let mut models: Vec<Option<SlotModel>> = Vec::with_capacity(demand.num_slots());
+        for slot in 0..demand.num_slots() {
+            let slot_cfgs: Vec<usize> = active
+                .iter()
+                .enumerate()
+                .filter(|(_, (cfg_id, _))| demand.get(*cfg_id, slot) > opts.min_demand)
+                .map(|(i, _)| i)
+                .collect();
+            if slot_cfgs.is_empty() {
+                models.push(None);
+                continue;
+            }
+            let mut lp = LpProblem::new();
+            let mut vars: Vec<SlotVar> = Vec::new();
+            let mut completeness: Vec<(usize, usize)> = Vec::new();
+            let mut compute_acc: Vec<Vec<(Var, f64)>> = vec![Vec::new(); topo.dcs.len()];
+            for &cfg_pos in &slot_cfgs {
+                let (cfg_id, dcs) = &active[cfg_pos];
+                let cfg = inputs.catalog.config(*cfg_id);
+                let cl = cfg.compute_load();
+                let d = demand.get(*cfg_id, slot);
+                let mut comp = Vec::with_capacity(dcs.len());
+                for (dc_pos, &dc) in dcs.iter().enumerate() {
+                    let v = lp.add_var(format!("S_{}_{}", cfg_id.index(), dc.index()), 0.0, 0.0, d);
+                    comp.push((v, 1.0));
+                    compute_acc[dc.index()].push((v, cl));
+                    vars.push(SlotVar {
+                        cfg_pos,
+                        dc_pos,
+                        var: v,
+                    });
+                }
+                let row = lp.add_eq(comp, d);
+                completeness.push((row, cfg_pos));
+            }
+            let mut compute_rows: Vec<(usize, DcId)> = Vec::new();
+            for dc in topo.dc_ids() {
+                let acc = std::mem::take(&mut compute_acc[dc.index()]);
+                if !acc.is_empty() {
+                    let row = lp.add_le(acc, slack(capacity.cores[dc.index()]));
+                    compute_rows.push((row, dc));
+                }
+            }
+            let mut network_rows: Vec<(usize, LinkId)> = Vec::new();
+            let mut net_pos = vec![usize::MAX; topo.links.len()];
+            for l in topo.link_ids() {
+                if !link_used[l.index()] {
+                    continue;
+                }
+                // coefficients are scenario-routing-dependent and patched
+                // before every solve; start empty
+                let row = lp.add_le(Vec::new(), slack(capacity.gbps[l.index()]));
+                net_pos[l.index()] = network_rows.len();
+                network_rows.push((row, l));
+            }
+            let prep = PreparedProblem::new(&lp);
+            models.push(Some(SlotModel {
+                lp,
+                prep,
+                vars,
+                completeness,
+                compute_rows,
+                network_rows,
+                net_pos,
+            }));
+        }
+        let num_slots = demand.num_slots();
+        SlotPlanner {
+            inputs: *inputs,
+            capacity: capacity.clone(),
+            solver: GuardedSimplex {
+                primary: opts.solver.clone(),
+                fallback_to_dense: opts.fallback_to_dense,
+                dense_var_limit: 0,
+            },
+            warm_start: opts.warm_start,
+            min_demand: opts.min_demand,
+            active,
+            models,
+            bases: (0..num_slots).map(|_| None).collect(),
+        }
+    }
+
+    /// Full plan for `sd` (epoch 1, all slots solved cold on the first
+    /// call). Seeds the per-slot basis cache for later incremental
+    /// re-plans.
+    pub fn plan_initial(&mut self, sd: &ScenarioData) -> Result<ReplanReport, ProvisionError> {
+        self.replan(None, 0, sd, None)
+    }
+
+    /// Incrementally re-plan from `prev`: slots before `from_slot` are
+    /// copied verbatim, slots `from_slot..` are patched for `sd` (and
+    /// `demand_override` if the forecast drifted — must share the base
+    /// demand's slot geometry) and re-solved warm from the last solve's
+    /// exported basis. The result carries epoch `prev.epoch + 1`.
+    pub fn replan_from(
+        &mut self,
+        prev: &PlanArtifact,
+        from_slot: usize,
+        sd: &ScenarioData,
+        demand_override: Option<&DemandMatrix>,
+    ) -> Result<ReplanReport, ProvisionError> {
+        self.replan(Some(prev), from_slot, sd, demand_override)
+    }
+
+    fn replan(
+        &mut self,
+        prev: Option<&PlanArtifact>,
+        from_slot: usize,
+        sd: &ScenarioData,
+        demand_override: Option<&DemandMatrix>,
+    ) -> Result<ReplanReport, ProvisionError> {
+        let m = crate::metrics::plan_metrics();
+        let wall_start = Instant::now();
+        let demand = demand_override.unwrap_or(self.inputs.demand);
+        let epoch = prev.map(|p| p.epoch + 1).unwrap_or(1);
+        let num_slots = self.inputs.demand.num_slots();
+        let from_slot = from_slot.min(num_slots);
+        let mut shares = AllocationShares::new(num_slots);
+        let mut slots_info: Vec<SlotSolveInfo> = Vec::new();
+
+        // copy the already-elapsed slots from the previous epoch
+        if let Some(prev) = prev {
+            for (cfg, slot, fr) in prev.shares.iter() {
+                if slot < from_slot {
+                    shares.set(cfg, slot, fr.to_vec());
+                }
+            }
+            for slot in 0..from_slot {
+                slots_info.push(SlotSolveInfo {
+                    slot,
+                    copied: true,
+                    warm_started: false,
+                    rung: None,
+                    iterations: 0,
+                    wall_ns: 0,
+                });
+            }
+        }
+
+        // scenario-dependent data shared by every slot: per (config, DC)
+        // ACL and link loads under sd
+        let threshold = self.inputs.latency_threshold_ms;
+        let acl: Vec<Vec<Option<f64>>> = self
+            .active
+            .iter()
+            .map(|(cfg_id, dcs)| {
+                let cfg = self.inputs.catalog.config(*cfg_id);
+                let allowed = sd.latmap.allowed_dcs(cfg, threshold);
+                dcs.iter()
+                    .map(|&dc| allowed.iter().find(|&&(a, _)| a == dc).map(|&(_, v)| v))
+                    .collect()
+            })
+            .collect();
+        let loads: Vec<Vec<Vec<(LinkId, f64)>>> = self
+            .active
+            .iter()
+            .enumerate()
+            .map(|(cfg_pos, (cfg_id, dcs))| {
+                let cfg = self.inputs.catalog.config(*cfg_id);
+                let nl = cfg.leg_network_load();
+                dcs.iter()
+                    .enumerate()
+                    .map(|(dc_pos, &dc)| {
+                        if acl[cfg_pos][dc_pos].is_none() {
+                            return Vec::new();
+                        }
+                        let mut out: Vec<(LinkId, f64)> = Vec::new();
+                        for &(country, n) in cfg.participants() {
+                            if let Some(route) = sd.routing.route(country, dc) {
+                                for &l in &route.links {
+                                    match out.iter_mut().find(|(ll, _)| *ll == l) {
+                                        Some((_, w)) => *w += n as f64 * nl,
+                                        None => out.push((l, n as f64 * nl)),
+                                    }
+                                }
+                            }
+                        }
+                        out
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let slack = |v: f64| v * (1.0 + 1e-7) + 1e-7;
+        let obs_on = sb_obs::global().enabled();
+        for slot in from_slot..num_slots {
+            let Some(model) = self.models[slot].as_mut() else {
+                continue; // no demand in this slot at build time
+            };
+            let slot_start = Instant::now();
+            // patch share variables and collect network coefficients
+            let mut net_coeffs: Vec<Vec<(Var, f64)>> = vec![Vec::new(); model.network_rows.len()];
+            let mut cfg_rhs = vec![0.0f64; self.active.len()];
+            for v in &model.vars {
+                let (cfg_id, _) = self.active[v.cfg_pos];
+                let d = demand.get(cfg_id, slot);
+                match acl[v.cfg_pos][v.dc_pos] {
+                    Some(a) if d > self.min_demand => {
+                        model.lp.set_var_upper(v.var, d);
+                        model.lp.set_var_cost(v.var, a);
+                        cfg_rhs[v.cfg_pos] = d;
+                        for &(l, w) in &loads[v.cfg_pos][v.dc_pos] {
+                            let pos = model.net_pos[l.index()];
+                            // links outside the build-time union are not
+                            // modeled (pass every re-plan scenario to
+                            // `SlotPlanner::new` to avoid this)
+                            if pos != usize::MAX {
+                                net_coeffs[pos].push((v.var, w));
+                            }
+                        }
+                    }
+                    _ => {
+                        model.lp.set_var_upper(v.var, 0.0);
+                        model.lp.set_var_cost(v.var, 0.0);
+                    }
+                }
+            }
+            for &(row, cfg_pos) in &model.completeness {
+                model.lp.set_rhs(row, cfg_rhs[cfg_pos]);
+            }
+            for &(row, dc) in &model.compute_rows {
+                model
+                    .lp
+                    .set_rhs(row, slack(self.capacity.cores[dc.index()]));
+            }
+            for (pos, &(row, l)) in model.network_rows.iter().enumerate() {
+                model
+                    .lp
+                    .set_row_coeffs(row, std::mem::take(&mut net_coeffs[pos]));
+                model.lp.set_rhs(row, slack(self.capacity.gbps[l.index()]));
+            }
+            let _ = model.prep.refresh(&model.lp);
+            let warm = if self.warm_start {
+                self.bases[slot].as_ref()
+            } else {
+                None
+            };
+            let sol = self
+                .solver
+                .solve_prepared(&model.lp, &model.prep, warm)
+                .map_err(|source| {
+                    m.replan_failures.inc();
+                    ProvisionError::Lp {
+                        scenario: sd.scenario,
+                        source,
+                    }
+                })?;
+            // extract shares in variable order (stable across identical
+            // re-plans — entry order is selector-tie-breaking-relevant)
+            let mut per_cfg: Vec<Vec<(DcId, f64)>> = vec![Vec::new(); self.active.len()];
+            for v in &model.vars {
+                let d = cfg_rhs[v.cfg_pos];
+                if d <= 0.0 {
+                    continue;
+                }
+                let val = sol.value(v.var).max(0.0);
+                if val > 1e-9 * d.max(1.0) {
+                    per_cfg[v.cfg_pos].push((self.active[v.cfg_pos].1[v.dc_pos], val / d));
+                }
+            }
+            for (cfg_pos, fr) in per_cfg.into_iter().enumerate() {
+                if !fr.is_empty() {
+                    shares.set(self.active[cfg_pos].0, slot, fr);
+                }
+            }
+            let stats = sol.stats();
+            self.bases[slot] = sol.basis().cloned();
+            let wall_ns = u64::try_from(slot_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if stats.warm_started {
+                m.warm_slots.inc();
+            } else {
+                m.cold_slots.inc();
+            }
+            if obs_on {
+                m.slot_solves.push(vec![
+                    Value::from(epoch),
+                    Value::from(slot),
+                    Value::from(0u64),
+                    Value::from(u64::from(stats.warm_started)),
+                    Value::from(stats.rung.to_string()),
+                    Value::from(wall_ns),
+                ]);
+            }
+            slots_info.push(SlotSolveInfo {
+                slot,
+                copied: false,
+                warm_started: stats.warm_started,
+                rung: Some(stats.rung),
+                iterations: sol.iterations(),
+                wall_ns,
+            });
+        }
+
+        let quotas = PlannedQuotas::from_plan(&shares, demand);
+        let wall = wall_start.elapsed();
+        m.replan_wall_ns.record_duration(wall);
+        let provenance = PlanProvenance {
+            scenario: format!("{:?}", sd.scenario),
+            built_at_slot: from_slot,
+            solve_wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+            warm_slots: slots_info
+                .iter()
+                .filter(|s| !s.copied && s.warm_started)
+                .count() as u32,
+            cold_slots: slots_info
+                .iter()
+                .filter(|s| !s.copied && !s.warm_started)
+                .count() as u32,
+            copied_slots: slots_info.iter().filter(|s| s.copied).count() as u32,
+            total_iterations: slots_info.iter().map(|s| s.iterations).sum(),
+        };
+        let artifact = Arc::new(PlanArtifact {
+            epoch,
+            shares,
+            quotas,
+            provenance,
+        });
+        Ok(ReplanReport {
+            artifact,
+            slots: slots_info,
+            wall,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (TSV / NDJSON via the sb-obs table writer)
+// ---------------------------------------------------------------------------
+
+/// Columns of the persisted plan table: one row per `(config, slot, dc)`
+/// share entry, in plan order (`quota` is `-` when the slot's demand
+/// rounded to zero and no quota pool exists).
+pub const PLAN_EXPORT_COLUMNS: [&str; 5] = ["config", "slot", "dc", "share", "quota"];
+
+/// A persisted plan failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError(pub String);
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed plan artifact: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn err(msg: impl Into<String>) -> PlanParseError {
+    PlanParseError(msg.into())
+}
+
+/// The export rows, built through the sb-obs [`Table`] writer. Row order:
+/// pools sorted by `(config, slot)`, entries within a pool in plan order
+/// (the order is part of the selector's tie-breaking behavior and must
+/// survive a round-trip).
+fn export_table(artifact: &PlanArtifact) -> Table {
+    type Pool<'a> = (ConfigId, usize, &'a [(DcId, f64)]);
+    let t = Table::standalone(&PLAN_EXPORT_COLUMNS);
+    let mut pools: Vec<Pool<'_>> = artifact.shares.iter().collect();
+    pools.sort_by_key(|&(cfg, slot, _)| (cfg.index(), slot));
+    for (cfg, slot, fracs) in pools {
+        let counts = artifact.quotas.get(cfg, slot);
+        for (i, &(dc, share)) in fracs.iter().enumerate() {
+            let quota: Value = counts
+                .iter()
+                .enumerate()
+                .find(|&(j, &(qdc, _))| qdc == dc && (counts.len() != fracs.len() || j == i))
+                .map(|(_, &(_, n))| Value::from(n))
+                .unwrap_or_else(|| Value::from("-"));
+            t.push(vec![
+                Value::from(cfg.index()),
+                Value::from(slot),
+                Value::from(dc.index()),
+                Value::from(share),
+                quota,
+            ]);
+        }
+    }
+    t
+}
+
+struct MetaFields {
+    epoch: u64,
+    slot_minutes: u32,
+    start_minute: u64,
+    num_slots: usize,
+    provenance: PlanProvenance,
+}
+
+fn meta_of(artifact: &PlanArtifact) -> MetaFields {
+    MetaFields {
+        epoch: artifact.epoch,
+        slot_minutes: artifact.quotas.slot_minutes(),
+        start_minute: artifact.quotas.start_minute(),
+        num_slots: artifact.quotas.num_slots(),
+        provenance: artifact.provenance.clone(),
+    }
+}
+
+fn rebuild(
+    meta: MetaFields,
+    rows: Vec<(usize, usize, usize, f64, Option<u32>)>,
+) -> Result<PlanArtifact, PlanParseError> {
+    let mut shares = AllocationShares::new(meta.num_slots);
+    let mut quotas: HashMap<(ConfigId, usize), Vec<(DcId, u32)>> = HashMap::new();
+    let mut i = 0usize;
+    while i < rows.len() {
+        let (cfg, slot, _, _, _) = rows[i];
+        if slot >= meta.num_slots {
+            return Err(err(format!("slot {slot} out of range")));
+        }
+        let cfg_id = ConfigId(u32::try_from(cfg).map_err(|_| err("config id out of range"))?);
+        let mut fracs: Vec<(DcId, f64)> = Vec::new();
+        let mut counts: Vec<(DcId, u32)> = Vec::new();
+        let mut in_plan = false;
+        while i < rows.len() && rows[i].0 == cfg && rows[i].1 == slot {
+            let (_, _, dc, share, quota) = rows[i];
+            let dc = DcId(u16::try_from(dc).map_err(|_| err("dc id out of range"))?);
+            fracs.push((dc, share));
+            if let Some(q) = quota {
+                in_plan = true;
+                counts.push((dc, q));
+            } else {
+                counts.push((dc, 0));
+            }
+            i += 1;
+        }
+        shares.set(cfg_id, slot, fracs);
+        if in_plan {
+            quotas.insert((cfg_id, slot), counts);
+        }
+    }
+    let quotas =
+        PlannedQuotas::from_parts(meta.slot_minutes, meta.start_minute, meta.num_slots, quotas);
+    Ok(PlanArtifact {
+        epoch: meta.epoch,
+        shares,
+        quotas,
+        provenance: meta.provenance,
+    })
+}
+
+impl PlanArtifact {
+    /// Serialize as TSV: a `#plan` metadata line (tab-separated `key=value`
+    /// pairs) followed by the [`PLAN_EXPORT_COLUMNS`] table rendered by the
+    /// sb-obs table writer. Shares use Rust's shortest round-trip float
+    /// formatting, so [`PlanArtifact::from_tsv`] reconstructs them exactly.
+    pub fn to_tsv(&self) -> String {
+        let m = meta_of(self);
+        let p = &m.provenance;
+        let mut out = format!(
+            "#plan\tepoch={}\tslot_minutes={}\tstart_minute={}\tnum_slots={}\t\
+             built_at_slot={}\tsolve_wall_ns={}\twarm_slots={}\tcold_slots={}\t\
+             copied_slots={}\ttotal_iterations={}\tscenario={}\n",
+            m.epoch,
+            m.slot_minutes,
+            m.start_minute,
+            m.num_slots,
+            p.built_at_slot,
+            p.solve_wall_ns,
+            p.warm_slots,
+            p.cold_slots,
+            p.copied_slots,
+            p.total_iterations,
+            p.scenario,
+        );
+        out.push_str(&export_table(self).render_tsv());
+        out
+    }
+
+    /// Parse an artifact previously written by [`PlanArtifact::to_tsv`].
+    pub fn from_tsv(s: &str) -> Result<PlanArtifact, PlanParseError> {
+        let mut lines = s.lines();
+        let meta_line = lines.next().ok_or_else(|| err("empty input"))?;
+        let rest = meta_line
+            .strip_prefix("#plan\t")
+            .ok_or_else(|| err("missing #plan metadata line"))?;
+        let mut kv: HashMap<&str, &str> = HashMap::new();
+        for field in rest.split('\t') {
+            let (k, v) = field
+                .split_once('=')
+                .ok_or_else(|| err(format!("bad metadata field {field:?}")))?;
+            kv.insert(k, v);
+        }
+        fn get<T: std::str::FromStr>(
+            kv: &HashMap<&str, &str>,
+            key: &str,
+        ) -> Result<T, PlanParseError> {
+            kv.get(key)
+                .ok_or_else(|| err(format!("missing metadata key {key}")))?
+                .parse()
+                .map_err(|_| err(format!("bad value for metadata key {key}")))
+        }
+        let meta = MetaFields {
+            epoch: get(&kv, "epoch")?,
+            slot_minutes: get(&kv, "slot_minutes")?,
+            start_minute: get(&kv, "start_minute")?,
+            num_slots: get(&kv, "num_slots")?,
+            provenance: PlanProvenance {
+                scenario: kv
+                    .get("scenario")
+                    .ok_or_else(|| err("missing metadata key scenario"))?
+                    .to_string(),
+                built_at_slot: get(&kv, "built_at_slot")?,
+                solve_wall_ns: get(&kv, "solve_wall_ns")?,
+                warm_slots: get(&kv, "warm_slots")?,
+                cold_slots: get(&kv, "cold_slots")?,
+                copied_slots: get(&kv, "copied_slots")?,
+                total_iterations: get(&kv, "total_iterations")?,
+            },
+        };
+        let header = lines.next().ok_or_else(|| err("missing header line"))?;
+        if header != PLAN_EXPORT_COLUMNS.join("\t") {
+            return Err(err(format!("unexpected header {header:?}")));
+        }
+        let mut rows = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = line.split('\t').collect();
+            if cells.len() != PLAN_EXPORT_COLUMNS.len() {
+                return Err(err(format!("bad row arity in {line:?}")));
+            }
+            let quota = match cells[4] {
+                "-" => None,
+                q => Some(q.parse().map_err(|_| err(format!("bad quota {q:?}")))?),
+            };
+            rows.push((
+                cells[0]
+                    .parse()
+                    .map_err(|_| err(format!("bad config {:?}", cells[0])))?,
+                cells[1]
+                    .parse()
+                    .map_err(|_| err(format!("bad slot {:?}", cells[1])))?,
+                cells[2]
+                    .parse()
+                    .map_err(|_| err(format!("bad dc {:?}", cells[2])))?,
+                cells[3]
+                    .parse()
+                    .map_err(|_| err(format!("bad share {:?}", cells[3])))?,
+                quota,
+            ));
+        }
+        rebuild(meta, rows)
+    }
+
+    /// Serialize as NDJSON: a `{"plan":{…}}` metadata object followed by
+    /// one object per table row (same rows as the TSV form).
+    pub fn to_ndjson(&self) -> String {
+        let m = meta_of(self);
+        let p = &m.provenance;
+        let scenario = p.scenario.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = format!(
+            concat!(
+                r#"{{"plan":{{"epoch":{},"slot_minutes":{},"start_minute":{},"#,
+                r#""num_slots":{},"built_at_slot":{},"solve_wall_ns":{},"#,
+                r#""warm_slots":{},"cold_slots":{},"copied_slots":{},"#,
+                r#""total_iterations":{},"scenario":"{}"}}}}"#,
+                "\n"
+            ),
+            m.epoch,
+            m.slot_minutes,
+            m.start_minute,
+            m.num_slots,
+            p.built_at_slot,
+            p.solve_wall_ns,
+            p.warm_slots,
+            p.cold_slots,
+            p.copied_slots,
+            p.total_iterations,
+            scenario,
+        );
+        out.push_str(&export_table(self).render_ndjson());
+        out
+    }
+
+    /// Parse an artifact previously written by [`PlanArtifact::to_ndjson`].
+    pub fn from_ndjson(s: &str) -> Result<PlanArtifact, PlanParseError> {
+        let mut lines = s.lines();
+        let meta_line = lines.next().ok_or_else(|| err("empty input"))?;
+        if !meta_line.starts_with(r#"{"plan":"#) {
+            return Err(err("missing {\"plan\":…} metadata line"));
+        }
+        fn raw_field(line: &str, key: &str) -> Result<String, PlanParseError> {
+            let pat = format!("\"{key}\":");
+            let at = line
+                .find(&pat)
+                .ok_or_else(|| err(format!("missing field {key}")))?;
+            let rest = &line[at + pat.len()..];
+            if let Some(body) = rest.strip_prefix('"') {
+                // string value with \" and \\ escapes
+                let mut out = String::new();
+                let mut chars = body.chars();
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => match chars.next() {
+                            Some(e) => out.push(e),
+                            None => return Err(err(format!("unterminated string for {key}"))),
+                        },
+                        '"' => return Ok(out),
+                        c => out.push(c),
+                    }
+                }
+                Err(err(format!("unterminated string for {key}")))
+            } else {
+                let end = rest
+                    .find([',', '}'])
+                    .ok_or_else(|| err(format!("unterminated value for {key}")))?;
+                Ok(rest[..end].to_string())
+            }
+        }
+        fn num_field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, PlanParseError> {
+            raw_field(line, key)?
+                .parse()
+                .map_err(|_| err(format!("bad value for field {key}")))
+        }
+        let meta = MetaFields {
+            epoch: num_field(meta_line, "epoch")?,
+            slot_minutes: num_field(meta_line, "slot_minutes")?,
+            start_minute: num_field(meta_line, "start_minute")?,
+            num_slots: num_field(meta_line, "num_slots")?,
+            provenance: PlanProvenance {
+                scenario: raw_field(meta_line, "scenario")?,
+                built_at_slot: num_field(meta_line, "built_at_slot")?,
+                solve_wall_ns: num_field(meta_line, "solve_wall_ns")?,
+                warm_slots: num_field(meta_line, "warm_slots")?,
+                cold_slots: num_field(meta_line, "cold_slots")?,
+                copied_slots: num_field(meta_line, "copied_slots")?,
+                total_iterations: num_field(meta_line, "total_iterations")?,
+            },
+        };
+        let mut rows = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let quota = match raw_field(line, "quota")?.as_str() {
+                "-" => None,
+                q => Some(q.parse().map_err(|_| err(format!("bad quota {q:?}")))?),
+            };
+            rows.push((
+                num_field(line, "config")?,
+                num_field(line, "slot")?,
+                num_field(line, "dc")?,
+                num_field(line, "share")?,
+                quota,
+            ));
+        }
+        rebuild(meta, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulation::solve_scenario;
+    use crate::usage::{compute_usage, placed_fraction};
+    use sb_net::{FailureScenario, Topology};
+    use sb_workload::{CallConfig, ConfigCatalog, MediaType};
+
+    fn instance() -> (Topology, ConfigCatalog, DemandMatrix) {
+        let topo = sb_net::presets::toy_three_dc();
+        let jp = topo.country_by_name("JP");
+        let iin = topo.country_by_name("IN");
+        let mut cat = ConfigCatalog::new();
+        let c_jp = cat.intern(CallConfig::new(vec![(jp, 2)], MediaType::Audio));
+        let c_in = cat.intern(CallConfig::new(vec![(iin, 2)], MediaType::Audio));
+        let mut demand = DemandMatrix::zero(2, 3, 30, 0);
+        demand.set(c_jp, 0, 100.0);
+        demand.set(c_jp, 1, 10.0);
+        demand.set(c_jp, 2, 40.0);
+        demand.set(c_in, 0, 10.0);
+        demand.set(c_in, 1, 100.0);
+        demand.set(c_in, 2, 40.0);
+        (topo, cat, demand)
+    }
+
+    fn planner_world(
+        topo: &Topology,
+        cat: &ConfigCatalog,
+        demand: &DemandMatrix,
+    ) -> (ProvisionedCapacity, ScenarioData, ScenarioData) {
+        let inputs = PlanningInputs::new(topo, cat, demand);
+        let healthy = ScenarioData::compute(topo, FailureScenario::None);
+        let prov = solve_scenario(&inputs, &healthy, None, &SolveOptions::default()).unwrap();
+        // headroom so the DC-down re-plan stays feasible
+        let capacity = ProvisionedCapacity {
+            cores: prov.capacity.cores.iter().map(|c| c * 3.0 + 10.0).collect(),
+            gbps: prov.capacity.gbps.iter().map(|g| g * 3.0 + 10.0).collect(),
+        };
+        let down = ScenarioData::compute(topo, FailureScenario::DcDown(DcId(0)));
+        (capacity, healthy, down)
+    }
+
+    #[test]
+    fn initial_plan_places_everything_within_capacity() {
+        let (topo, cat, demand) = instance();
+        let (capacity, healthy, down) = planner_world(&topo, &cat, &demand);
+        let inputs = PlanningInputs::new(&topo, &cat, &demand);
+        let mut planner = SlotPlanner::new(
+            &inputs,
+            &[healthy.clone(), down],
+            &capacity,
+            &SolveOptions::default(),
+        );
+        let report = planner.plan_initial(&healthy).unwrap();
+        let plan = &report.artifact;
+        assert_eq!(plan.epoch, 1);
+        assert_eq!(report.copied_slots(), 0);
+        assert_eq!(report.solved_slots(), 3);
+        assert!((placed_fraction(&demand, &plan.shares) - 1.0).abs() < 1e-6);
+        let usage = compute_usage(&topo, &healthy.routing, &cat, &demand, &plan.shares);
+        assert!(usage.fits_within(&capacity, 1e-3));
+        assert_eq!(plan.quotas.num_slots(), 3);
+        assert_eq!(plan.provenance.built_at_slot, 0);
+    }
+
+    #[test]
+    fn replan_is_incremental_and_warm() {
+        let (topo, cat, demand) = instance();
+        let (capacity, healthy, down) = planner_world(&topo, &cat, &demand);
+        let inputs = PlanningInputs::new(&topo, &cat, &demand);
+        let mut planner = SlotPlanner::new(
+            &inputs,
+            &[healthy.clone(), down.clone()],
+            &capacity,
+            &SolveOptions::default(),
+        );
+        let first = planner.plan_initial(&healthy).unwrap();
+        // re-plan from slot 1 under the same scenario: slot 0 copied, the
+        // rest re-solved warm to the same optimum
+        let second = planner
+            .replan_from(&first.artifact, 1, &healthy, None)
+            .unwrap();
+        assert_eq!(second.artifact.epoch, 2);
+        assert_eq!(second.copied_slots(), 1);
+        assert_eq!(second.solved_slots(), 2);
+        assert_eq!(
+            second.warm_hits(),
+            2,
+            "unchanged scenario must warm-start every re-solved slot: {:?}",
+            second.slots
+        );
+        assert!((second.warm_hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(second.artifact.shares, first.artifact.shares);
+        assert_eq!(second.artifact.quotas, first.artifact.quotas);
+        assert!(PlanDelta::between(&first.artifact, &second.artifact).is_empty());
+    }
+
+    #[test]
+    fn replan_under_dc_down_moves_quota_off_the_failed_dc() {
+        let (topo, cat, demand) = instance();
+        let (capacity, healthy, down) = planner_world(&topo, &cat, &demand);
+        let inputs = PlanningInputs::new(&topo, &cat, &demand);
+        let mut planner = SlotPlanner::new(
+            &inputs,
+            &[healthy.clone(), down.clone()],
+            &capacity,
+            &SolveOptions::default(),
+        );
+        let first = planner.plan_initial(&healthy).unwrap();
+        let second = planner
+            .replan_from(&first.artifact, 1, &down, None)
+            .unwrap();
+        // slots ≥ 1 place nothing at the failed DC
+        for (key, entries) in second.artifact.quotas.iter() {
+            if key.1 >= 1 {
+                for &(dc, n) in entries {
+                    assert!(
+                        dc != DcId(0) || n == 0,
+                        "slot {} still plans {} calls at the failed DC",
+                        key.1,
+                        n
+                    );
+                }
+            }
+        }
+        let delta = PlanDelta::between(&first.artifact, &second.artifact);
+        // the healthy plan used DC0 (it hosts JP's closest DC), so the
+        // re-plan must move quota
+        assert!(!delta.is_empty());
+        assert!(delta.implied_migrations() > 0);
+        // delta is sorted and only covers slots ≥ 1 (slot 0 was copied)
+        assert!(delta.changes.iter().all(|c| c.slot >= 1));
+    }
+
+    #[test]
+    fn tsv_round_trip_is_exact() {
+        let (topo, cat, demand) = instance();
+        let (capacity, healthy, down) = planner_world(&topo, &cat, &demand);
+        let inputs = PlanningInputs::new(&topo, &cat, &demand);
+        let mut planner = SlotPlanner::new(
+            &inputs,
+            &[healthy.clone(), down],
+            &capacity,
+            &SolveOptions::default(),
+        );
+        let report = planner.plan_initial(&healthy).unwrap();
+        let tsv = report.artifact.to_tsv();
+        let back = PlanArtifact::from_tsv(&tsv).unwrap();
+        assert_eq!(back, *report.artifact);
+        // quota entry order survives (tie-breaking-relevant)
+        for (key, entries) in report.artifact.quotas.iter() {
+            assert_eq!(back.quotas.get(key.0, key.1), entries);
+        }
+    }
+
+    #[test]
+    fn ndjson_round_trip_is_exact() {
+        let (topo, cat, demand) = instance();
+        let (capacity, healthy, down) = planner_world(&topo, &cat, &demand);
+        let inputs = PlanningInputs::new(&topo, &cat, &demand);
+        let mut planner = SlotPlanner::new(
+            &inputs,
+            &[healthy.clone(), down.clone()],
+            &capacity,
+            &SolveOptions::default(),
+        );
+        let first = planner.plan_initial(&healthy).unwrap();
+        // exercise a scenario string with structure in it
+        let report = planner
+            .replan_from(&first.artifact, 1, &down, None)
+            .unwrap();
+        let nd = report.artifact.to_ndjson();
+        let back = PlanArtifact::from_ndjson(&nd).unwrap();
+        assert_eq!(back, *report.artifact);
+        assert_eq!(back.provenance.scenario, format!("{:?}", down.scenario));
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected() {
+        assert!(PlanArtifact::from_tsv("").is_err());
+        assert!(PlanArtifact::from_tsv("not a plan\n").is_err());
+        assert!(PlanArtifact::from_tsv("#plan\tepoch=1\n").is_err());
+        assert!(PlanArtifact::from_ndjson("").is_err());
+        assert!(PlanArtifact::from_ndjson("{\"plan\":{\"epoch\":1}}\n").is_err());
+        // bad row arity
+        let bad = "#plan\tepoch=1\tslot_minutes=30\tstart_minute=0\tnum_slots=1\t\
+                   built_at_slot=0\tsolve_wall_ns=0\twarm_slots=0\tcold_slots=0\t\
+                   copied_slots=0\ttotal_iterations=0\tscenario=None\n\
+                   config\tslot\tdc\tshare\tquota\n0\t0\t0\n";
+        assert!(PlanArtifact::from_tsv(bad).is_err());
+    }
+
+    #[test]
+    fn delta_between_identical_plans_is_empty() {
+        let mut shares = AllocationShares::new(1);
+        shares.set(ConfigId(0), 0, vec![(DcId(0), 0.5), (DcId(1), 0.5)]);
+        let mut demand = DemandMatrix::zero(1, 1, 30, 0);
+        demand.set(ConfigId(0), 0, 10.0);
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        let a = PlanArtifact::new(1, shares.clone(), quotas.clone(), PlanProvenance::default());
+        let b = a.clone().with_epoch(2);
+        assert!(PlanDelta::between(&a, &b).is_empty());
+        assert_eq!(PlanDelta::between(&a, &b).implied_migrations(), 0);
+        // shrink one entry by 3 → 3 implied migrations
+        let mut shares2 = AllocationShares::new(1);
+        shares2.set(ConfigId(0), 0, vec![(DcId(0), 0.2), (DcId(1), 0.8)]);
+        let quotas2 = PlannedQuotas::from_plan(&shares2, &demand);
+        let c = PlanArtifact::new(3, shares2, quotas2, PlanProvenance::default());
+        let d = PlanDelta::between(&a, &c);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.implied_migrations(), 3);
+    }
+}

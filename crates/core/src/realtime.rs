@@ -51,7 +51,7 @@ use crate::shares::AllocationShares;
 
 /// Integer per-DC call quotas per `(config, slot)`, derived from the
 /// fractional allocation plan by largest-remainder rounding.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PlannedQuotas {
     slot_minutes: u32,
     start_minute: u64,
@@ -98,6 +98,23 @@ impl PlannedQuotas {
         }
     }
 
+    /// Rebuild quotas from explicit parts (plan reload from a persisted
+    /// artifact). Entry order within each `(config, slot)` vector is
+    /// preserved — it is part of the selector's tie-breaking behavior.
+    pub fn from_parts(
+        slot_minutes: u32,
+        start_minute: u64,
+        num_slots: usize,
+        quotas: HashMap<(ConfigId, usize), Vec<(DcId, u32)>>,
+    ) -> PlannedQuotas {
+        PlannedQuotas {
+            slot_minutes,
+            start_minute,
+            num_slots,
+            quotas,
+        }
+    }
+
     /// Slot containing an absolute minute, if within the plan horizon.
     pub fn slot_of_minute(&self, minute: u64) -> Option<usize> {
         if minute < self.start_minute {
@@ -113,6 +130,42 @@ impl PlannedQuotas {
             .get(&(cfg, slot))
             .map(|v| v.iter().map(|&(_, n)| n).sum())
             .unwrap_or(0)
+    }
+
+    /// Per-DC quota entries for a `(config, slot)`, in plan order.
+    pub fn get(&self, cfg: ConfigId, slot: usize) -> &[(DcId, u32)] {
+        self.quotas
+            .get(&(cfg, slot))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All `(config, slot)` pools with their per-DC quota entries.
+    pub fn iter(&self) -> impl Iterator<Item = ((ConfigId, usize), &[(DcId, u32)])> + '_ {
+        self.quotas.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Slot width in minutes.
+    pub fn slot_minutes(&self) -> u32 {
+        self.slot_minutes
+    }
+
+    /// Absolute minute at which slot 0 starts.
+    pub fn start_minute(&self) -> u64 {
+        self.start_minute
+    }
+
+    /// Number of slots in the plan horizon.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Total planned quota summed over every pool.
+    pub fn total_quota(&self) -> u64 {
+        self.quotas
+            .values()
+            .flat_map(|v| v.iter().map(|&(_, n)| n as u64))
+            .sum()
     }
 }
 
@@ -332,7 +385,69 @@ const POOL_STRIPES: usize = 32;
 /// Shards of the active call → DC map.
 const CALL_SHARDS: usize = 64;
 
-type QuotaPools = Vec<(DcId, u32)>;
+/// One per-DC quota pool entry. `consumed` is the number of freezes already
+/// debited against this entry in the *current* plan epoch; it is what
+/// [`RealtimeSelector::install_plan`] carries across a swap so a freeze is
+/// never double-counted and exhausted quota is never resurrected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PoolEntry {
+    dc: DcId,
+    remaining: u32,
+    consumed: u32,
+}
+
+type QuotaPools = Vec<PoolEntry>;
+
+/// Plan geometry + version, swapped atomically alongside the quota pools by
+/// [`RealtimeSelector::install_plan`] (the same snapshot-swap discipline as
+/// `TopologyView`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PlanGeom {
+    epoch: u64,
+    slot_minutes: u32,
+    start_minute: u64,
+    num_slots: usize,
+}
+
+impl PlanGeom {
+    fn of(epoch: u64, q: &PlannedQuotas) -> PlanGeom {
+        PlanGeom {
+            epoch,
+            slot_minutes: q.slot_minutes,
+            start_minute: q.start_minute,
+            num_slots: q.num_slots,
+        }
+    }
+
+    fn slot_of_minute(&self, minute: u64) -> Option<usize> {
+        if minute < self.start_minute {
+            return None;
+        }
+        let s = ((minute - self.start_minute) / self.slot_minutes as u64) as usize;
+        (s < self.num_slots).then_some(s)
+    }
+}
+
+/// What a [`RealtimeSelector::install_plan`] swap did: epochs involved,
+/// quota carried over, and totals before/after. `carried_consumed` is the
+/// sum of already-debited freezes recognized by the new plan (capped at the
+/// new per-entry quota, so over-consumption never resurrects quota).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanSwapStats {
+    /// Epoch that was live before the swap.
+    pub from_epoch: u64,
+    /// Epoch now live.
+    pub to_epoch: u64,
+    /// Consumed-quota tallies carried into the new plan (Σ min(consumed,
+    /// new quota) over surviving entries).
+    pub carried_consumed: u64,
+    /// Remaining (un-debited) quota before the swap.
+    pub quota_before: u64,
+    /// Remaining quota after the swap.
+    pub quota_after: u64,
+    /// `(config, slot)` pools in the new plan.
+    pub pools: usize,
+}
 
 /// The real-time selector state machine.
 ///
@@ -343,10 +458,10 @@ type QuotaPools = Vec<(DcId, u32)>;
 pub struct RealtimeSelector {
     topo: RwLock<Arc<TopologyView>>,
     plan_valid: AtomicBool,
-    quotas: PlannedQuotas,
+    plan: RwLock<PlanGeom>,
     pools: Vec<Mutex<HashMap<(ConfigId, usize), QuotaPools>>>,
     pool_hasher: RandomState,
-    quota_initial: u64,
+    quota_initial: AtomicU64,
     active: ShardedMap<u64, ActiveCall>,
     dc_tally: Vec<AtomicU64>,
     stats: Mutex<SelectorStats>,
@@ -355,7 +470,7 @@ pub struct RealtimeSelector {
 
 impl RealtimeSelector {
     /// Build a selector for one planning horizon. All DCs start healthy and
-    /// the plan starts valid.
+    /// the plan starts valid, at epoch 0.
     pub fn new(latmap: &LatencyMap, quotas: PlannedQuotas) -> RealtimeSelector {
         let dc_up = vec![true; latmap.num_dcs()];
         let view = TopologyView::build(latmap, &dc_up);
@@ -366,21 +481,112 @@ impl RealtimeSelector {
         let mut quota_initial = 0u64;
         for (key, rem) in quotas.quotas.iter() {
             quota_initial += rem.iter().map(|&(_, n)| n as u64).sum::<u64>();
+            let entries: QuotaPools = rem
+                .iter()
+                .map(|&(dc, n)| PoolEntry {
+                    dc,
+                    remaining: n,
+                    consumed: 0,
+                })
+                .collect();
             let idx = pool_hasher.hash_one(key) as usize % POOL_STRIPES;
-            pools[idx].get_mut().insert(*key, rem.clone());
+            pools[idx].get_mut().insert(*key, entries);
         }
         RealtimeSelector {
             topo: RwLock::new(Arc::new(view)),
             plan_valid: AtomicBool::new(true),
-            quotas,
+            plan: RwLock::new(PlanGeom::of(0, &quotas)),
             pools,
             pool_hasher,
-            quota_initial,
+            quota_initial: AtomicU64::new(quota_initial),
             active: ShardedMap::new(CALL_SHARDS),
             dc_tally: (0..latmap.num_dcs()).map(|_| AtomicU64::new(0)).collect(),
             stats: Mutex::new(SelectorStats::default()),
             shard_seq: AtomicUsize::new(0),
         }
+    }
+
+    /// Atomically swap in a new allocation plan, carrying already-consumed
+    /// quota tallies into the new pools.
+    ///
+    /// Swap semantics, for each `(config, slot, dc)` entry of the new plan:
+    ///
+    /// * `consumed` freezes already debited in the old plan stay debited —
+    ///   the entry starts with `remaining = new_quota - min(consumed,
+    ///   new_quota)`, so a freeze is never double-counted and shrinking a
+    ///   quota below what was already used cannot go negative;
+    /// * consumption beyond the new quota is remembered in full, so a later
+    ///   plan that re-grows the quota does not resurrect spent capacity;
+    /// * pools absent from the new plan are dropped outright (their quota is
+    ///   not resurrected elsewhere).
+    ///
+    /// Installing a byte-identical artifact is a behavioral no-op: every
+    /// entry rebuilds to exactly its pre-swap state, in the same order (entry
+    /// order is tie-breaking-relevant).
+    ///
+    /// The swap follows the same discipline as
+    /// [`RealtimeSelector::update_topology`]: concurrent drivers must only
+    /// call it at a window barrier with no in-flight shard operations. It
+    /// also marks the plan valid — installing a plan is what ends a
+    /// stale-plan window.
+    pub fn install_plan(&self, artifact: &crate::plan::PlanArtifact) -> PlanSwapStats {
+        let m = crate::metrics::plan_metrics();
+        let _t = m.swap_ns.start_timer();
+        let from_epoch = self.plan.read().epoch;
+        let quota_before = self.quota_remaining_total();
+        // Drain every pool, remembering consumed tallies (barrier contract:
+        // no concurrent freeze can race this).
+        let mut old: HashMap<(ConfigId, usize), QuotaPools> = HashMap::new();
+        for p in &self.pools {
+            old.extend(p.lock().drain());
+        }
+        let mut carried = 0u64;
+        let mut quota_after = 0u64;
+        let mut quota_initial = 0u64;
+        let mut pools_n = 0usize;
+        for (key, counts) in artifact.quotas.iter() {
+            let prev = old.get(&key);
+            let entries: QuotaPools = counts
+                .iter()
+                .map(|&(dc, q)| {
+                    let consumed = prev
+                        .and_then(|es| es.iter().find(|e| e.dc == dc))
+                        .map(|e| e.consumed)
+                        .unwrap_or(0);
+                    let recognized = consumed.min(q);
+                    carried += recognized as u64;
+                    quota_initial += q as u64;
+                    quota_after += (q - recognized) as u64;
+                    PoolEntry {
+                        dc,
+                        remaining: q - recognized,
+                        consumed,
+                    }
+                })
+                .collect();
+            pools_n += 1;
+            let idx = self.pool_hasher.hash_one(key) as usize % POOL_STRIPES;
+            self.pools[idx].lock().insert(key, entries);
+        }
+        self.quota_initial.store(quota_initial, Ordering::Relaxed);
+        *self.plan.write() = PlanGeom::of(artifact.epoch, &artifact.quotas);
+        self.plan_valid.store(true, Ordering::Relaxed);
+        m.epochs_installed.inc();
+        m.carryover_quota.add(carried);
+        PlanSwapStats {
+            from_epoch,
+            to_epoch: artifact.epoch,
+            carried_consumed: carried,
+            quota_before,
+            quota_after,
+            pools: pools_n,
+        }
+    }
+
+    /// Epoch of the currently installed plan (0 until the first
+    /// [`RealtimeSelector::install_plan`]).
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan.read().epoch
     }
 
     fn topo_view(&self) -> Arc<TopologyView> {
@@ -421,12 +627,12 @@ impl RealtimeSelector {
     /// Slot of the quota plan containing `minute` (replay drivers use this
     /// to group freeze events by the quota pool they will debit).
     pub fn plan_slot_of_minute(&self, minute: u64) -> Option<usize> {
-        self.quotas.slot_of_minute(minute)
+        self.plan.read().slot_of_minute(minute)
     }
 
-    /// Total planned quota across all pools at construction.
+    /// Total planned quota across all pools of the current plan epoch.
     pub fn quota_initial_total(&self) -> u64 {
-        self.quota_initial
+        self.quota_initial.load(Ordering::Relaxed)
     }
 
     /// Quota not yet debited, summed across all pools.
@@ -436,10 +642,17 @@ impl RealtimeSelector {
             .map(|p| {
                 p.lock()
                     .values()
-                    .flat_map(|rem| rem.iter().map(|&(_, n)| n as u64))
+                    .flat_map(|rem| rem.iter().map(|e| e.remaining as u64))
                     .sum::<u64>()
             })
             .sum()
+    }
+
+    /// Freezes debited against the current plan epoch and recognized by it
+    /// (Σ min(consumed, quota) per entry): equals `quota_initial_total() -
+    /// quota_remaining_total()` at all times.
+    pub fn quota_consumed_total(&self) -> u64 {
+        self.quota_initial_total() - self.quota_remaining_total()
     }
 
     /// Completed config-freeze tallies per DC (index = DC id): how many
@@ -545,8 +758,9 @@ impl RealtimeSelector {
         };
         // current DC still has quota → debit and stay
         if topo.dc_up[current.index()] {
-            if let Some(entry) = rem.iter_mut().find(|(dc, n)| *dc == current && *n > 0) {
-                entry.1 -= 1;
+            if let Some(entry) = rem.iter_mut().find(|e| e.dc == current && e.remaining > 0) {
+                entry.remaining -= 1;
+                entry.consumed += 1;
                 return FreezeDecision::Stay(current);
             }
         }
@@ -554,11 +768,12 @@ impl RealtimeSelector {
         // quota (failed DCs hold dead quota — skip them)
         if let Some(entry) = rem
             .iter_mut()
-            .filter(|(dc, n)| *n > 0 && topo.dc_up[dc.index()])
-            .max_by_key(|(_, n)| *n)
+            .filter(|e| e.remaining > 0 && topo.dc_up[e.dc.index()])
+            .max_by_key(|e| e.remaining)
         {
-            entry.1 -= 1;
-            let to = entry.0;
+            entry.remaining -= 1;
+            entry.consumed += 1;
+            let to = entry.dc;
             st.migrations += 1;
             m.migrations.inc();
             return FreezeDecision::Migrate { from: current, to };
@@ -579,7 +794,7 @@ impl RealtimeSelector {
         let m = crate::metrics::realtime_metrics();
         let _t = m.selection_ns.start_timer();
         m.freezes.inc();
-        let slot = self.quotas.slot_of_minute(call_start_minute);
+        let slot = self.plan.read().slot_of_minute(call_start_minute);
         let mut decision = None;
         let known = self.active.update(&call_id, |call| {
             if call.frozen.is_some() {
@@ -640,12 +855,13 @@ impl RealtimeSelector {
                     let mut pool = self.lock_pool(key.0, key.1);
                     if let Some(entry) = pool.get_mut(&key).and_then(|rem| {
                         rem.iter_mut()
-                            .filter(|(dc, n)| *n > 0 && *dc != old && topo.dc_up[dc.index()])
-                            .max_by_key(|(_, n)| *n)
+                            .filter(|e| e.remaining > 0 && e.dc != old && topo.dc_up[e.dc.index()])
+                            .max_by_key(|e| e.remaining)
                     }) {
-                        entry.1 -= 1;
+                        entry.remaining -= 1;
+                        entry.consumed += 1;
                         out = Some(SelectorOutcome::Placed {
-                            dc: entry.0,
+                            dc: entry.dc,
                             rung: SelectorRung::Plan,
                         });
                     }

@@ -8,7 +8,7 @@ use sb_net::DcId;
 use sb_workload::ConfigId;
 
 /// Sparse `S_tcx`: per config, per slot, a short `(dc, fraction)` list.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct AllocationShares {
     num_slots: usize,
     shares: HashMap<ConfigId, Vec<Vec<(DcId, f64)>>>,

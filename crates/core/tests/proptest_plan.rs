@@ -1,0 +1,108 @@
+//! Property tests for plan quota rounding: `PlannedQuotas::from_plan` uses
+//! largest-remainder apportionment to turn fractional per-DC shares into
+//! integer call quotas, and that conversion must conserve totals — the
+//! per-(config, slot) quotas sum to the rounded placed demand, and no DC
+//! that holds a zero share is ever handed quota.
+
+use proptest::prelude::*;
+use sb_core::{AllocationShares, PlannedQuotas};
+use sb_net::DcId;
+use sb_workload::{ConfigId, DemandMatrix};
+
+#[derive(Debug, Clone)]
+struct Instance {
+    /// per (config, slot): integer demand and raw per-DC weights (over 4 DCs);
+    /// weights are normalised to shares, zero weights dropped by `set`.
+    cells: Vec<Vec<(u16, [u8; 4])>>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (1usize..4, 1usize..5).prop_flat_map(|(n_cfg, n_slots)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                (0u16..300, (0u8..8, 0u8..8, 0u8..8, 0u8..8))
+                    .prop_map(|(d, (a, b, c, e))| (d, [a, b, c, e])),
+                n_slots,
+            ),
+            n_cfg,
+        )
+        .prop_map(|cells| Instance { cells })
+    })
+}
+
+fn build(inst: &Instance) -> (AllocationShares, DemandMatrix) {
+    let n_cfg = inst.cells.len();
+    let n_slots = inst.cells[0].len();
+    let mut demand = DemandMatrix::zero(n_cfg, n_slots, 30, 0);
+    let mut shares = AllocationShares::new(n_slots);
+    for (c, row) in inst.cells.iter().enumerate() {
+        let cfg = ConfigId(c as u32);
+        for (s, &(d, weights)) in row.iter().enumerate() {
+            demand.set(cfg, s, d as f64);
+            let total: u32 = weights.iter().map(|&w| w as u32).sum();
+            if total == 0 {
+                continue;
+            }
+            let fracs: Vec<(DcId, f64)> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (DcId(i as u16), w as f64 / total as f64))
+                .collect();
+            shares.set(cfg, s, fracs);
+        }
+    }
+    (shares, demand)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Largest-remainder rounding conserves totals: for every planned
+    /// (config, slot) the integer quotas sum to the rounded placed demand
+    /// (== rounded slot demand when shares form a full distribution).
+    #[test]
+    fn rounding_conserves_totals(inst in instance_strategy()) {
+        let (shares, demand) = build(&inst);
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        let mut expected_total = 0u64;
+        for (cfg, slot, fracs) in shares.iter() {
+            let d = demand.get(cfg, slot).round() as u32;
+            let placed: f64 = fracs.iter().map(|&(_, f)| f * d as f64).sum();
+            let want = placed.round() as u32;
+            let pool = quotas.get(cfg, slot);
+            if d == 0 {
+                prop_assert!(pool.is_empty(), "zero-demand slot got a quota pool");
+                continue;
+            }
+            let got: u32 = pool.iter().map(|&(_, q)| q).sum();
+            prop_assert_eq!(got, want, "cfg {:?} slot {}: quota {} != rounded demand {}",
+                cfg, slot, got, want);
+            // shares here sum to 1 exactly, so placed demand is slot demand
+            prop_assert_eq!(want, d);
+            expected_total += want as u64;
+        }
+        prop_assert_eq!(quotas.total_quota(), expected_total);
+    }
+
+    /// Apportionment never invents placements: every DC holding quota holds
+    /// a strictly positive share, and each DC appears at most once per pool.
+    #[test]
+    fn zero_share_dcs_get_no_quota(inst in instance_strategy()) {
+        let (shares, demand) = build(&inst);
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        for (cfg, slot, fracs) in shares.iter() {
+            let pool = quotas.get(cfg, slot);
+            let mut seen: Vec<DcId> = Vec::new();
+            for &(dc, q) in pool {
+                prop_assert!(!seen.contains(&dc), "duplicate pool entry for {dc:?}");
+                seen.push(dc);
+                let share = fracs.iter().find(|&&(d, _)| d == dc).map(|&(_, f)| f);
+                prop_assert!(
+                    share.is_some_and(|f| f > 0.0),
+                    "cfg {:?} slot {}: DC {:?} got quota {} with share {:?}",
+                    cfg, slot, dc, q, share
+                );
+            }
+        }
+    }
+}

@@ -353,6 +353,60 @@ pub struct Table {
 }
 
 impl Table {
+    /// A free-standing, always-enabled table not attached to any registry.
+    /// This is the writer used for single-table artifact exports (e.g.
+    /// persisted allocation plans), where rows must be recorded regardless
+    /// of the global registry's enablement.
+    pub fn standalone(columns: &[&str]) -> Table {
+        Table {
+            core: Arc::new(TableCore {
+                columns: columns.iter().map(|c| c.to_string()).collect(),
+                rows: Mutex::new(Vec::new()),
+            }),
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// Render this table alone as TSV: a header line of column names, then
+    /// one tab-separated line per row.
+    pub fn render_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.core.columns.join("\t"));
+        out.push('\n');
+        for row in self.core.rows.lock().iter() {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render this table alone as NDJSON: one `{"col":value,…}` object per
+    /// row, columns in schema order.
+    pub fn render_ndjson(&self) -> String {
+        let mut out = String::new();
+        for row in self.core.rows.lock().iter() {
+            let mut line = String::from("{");
+            for (i, (col, v)) in self.core.columns.iter().zip(row).enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&json_str(col));
+                line.push(':');
+                match v {
+                    Value::U64(x) => line.push_str(&x.to_string()),
+                    Value::I64(x) => line.push_str(&x.to_string()),
+                    Value::F64(x) => line.push_str(&json_f64(*x)),
+                    Value::Str(s) => line.push_str(&json_str(s)),
+                }
+            }
+            line.push('}');
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
     /// Append a row. Panics if the row arity does not match the schema —
     /// schemas are fixed at [`MetricsRegistry::table`] time and rows are
     /// produced by instrumentation code, so a mismatch is a bug.

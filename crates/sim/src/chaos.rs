@@ -27,10 +27,11 @@
 //! [`ChaosStats`] comes out identical to the serial run, floats included.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use sb_core::{
-    FreezeDecision, LatencyMap, PlannedQuotas, RealtimeSelector, SelectorOutcome, SelectorStats,
+    FreezeDecision, LatencyMap, PlanArtifact, PlanDelta, PlannedQuotas, RealtimeSelector,
+    SelectorOutcome, SelectorStats,
 };
 use sb_net::{
     DcId, FailureMask, FailureScenario, LinkId, ProvisionedCapacity, RoutingTable, Topology,
@@ -42,7 +43,7 @@ use sb_workload::{CallRecord, CallRecordsDb, ConfigCatalog};
 use crate::replay::{build_events, group_freezes_by_pool, EV_FREEZE, EV_START};
 
 /// Columns of the `chaos.windows` table: one row per stats window.
-pub const CHAOS_WINDOW_COLUMNS: [&str; 9] = [
+pub const CHAOS_WINDOW_COLUMNS: [&str; 11] = [
     "window_start_min",
     "calls_started",
     "plan_migrations",
@@ -51,6 +52,8 @@ pub const CHAOS_WINDOW_COLUMNS: [&str; 9] = [
     "violations",
     "down_dcs",
     "down_links",
+    "plan_installs",
+    "plan_stale_freezes",
     "mean_acl_ms",
 ];
 
@@ -128,11 +131,29 @@ pub enum FaultEvent {
     },
     /// The allocation plan stops being trustworthy (the controller that
     /// refreshes it is down): the selector's plan rung is disabled.
+    ///
+    /// With a [`Replanner`] attached, the plan is stale until the re-plan
+    /// lands: an install at minute ≥ `from` restores the plan rung even
+    /// inside `[from, until)`; `until` remains the fallback refresh minute
+    /// for runs without a replanner.
     PlanStale {
         /// First stale minute (inclusive).
         from: u64,
         /// Minute the plan is refreshed (exclusive), `None` = never.
         until: Option<u64>,
+    },
+    /// The demand forecast the plan was built from drifts by `factor` from
+    /// `at` onward. The trace itself is unchanged — what breaks is the
+    /// *plan*: it is considered stale from `at` until a [`Replanner`]
+    /// installs a replacement (there is no recovery minute; only a re-plan
+    /// ends the drift). The active drift product is exposed to the
+    /// replanner via [`ChaosState::demand_factor`] so its builder can
+    /// re-solve against the drifted forecast.
+    DemandDrift {
+        /// First drifted minute (inclusive).
+        at: u64,
+        /// Multiplicative forecast error (> 0, finite; 1.0 = no drift).
+        factor: f64,
     },
 }
 
@@ -143,8 +164,14 @@ pub struct ChaosState {
     pub mask: FailureMask,
     /// Effective per-DC core-capacity fraction (1.0 = healthy).
     pub core_fraction: Vec<f64>,
-    /// Is the allocation plan trustworthy?
+    /// Is the allocation plan trustworthy? (`false` during `PlanStale`
+    /// windows and from any `DemandDrift` onward.)
     pub plan_valid: bool,
+    /// Product of active `DemandDrift` factors (1.0 = no drift).
+    pub demand_factor: f64,
+    /// Latest onset minute among the active staleness events, if any — a
+    /// plan installed at or after this minute supersedes the staleness.
+    pub stale_since: Option<u64>,
 }
 
 /// A schedule of fault events, queryable per minute.
@@ -174,6 +201,12 @@ impl FaultTimeline {
             assert!(
                 (0.0..=1.0).contains(fraction),
                 "capacity fraction must be within [0, 1]"
+            );
+        }
+        if let FaultEvent::DemandDrift { factor, .. } = &ev {
+            assert!(
+                factor.is_finite() && *factor > 0.0,
+                "drift factor must be finite and positive"
             );
         }
         self.events.push(ev);
@@ -247,6 +280,7 @@ impl FaultTimeline {
                         add(u);
                     }
                 }
+                FaultEvent::DemandDrift { at, .. } => add(at),
             }
         }
         points.sort_unstable();
@@ -259,6 +293,8 @@ impl FaultTimeline {
         let mut mask = FailureMask::healthy(topo);
         let mut core_fraction = vec![1.0f64; topo.dcs.len()];
         let mut plan_valid = true;
+        let mut demand_factor = 1.0f64;
+        let mut stale_since: Option<u64> = None;
         let active = |at: u64, recover: Option<u64>| -> bool {
             minute >= at && recover.is_none_or(|r| minute < r)
         };
@@ -305,6 +341,14 @@ impl FaultTimeline {
                 FaultEvent::PlanStale { from, until } => {
                     if active(from, until) {
                         plan_valid = false;
+                        stale_since = Some(stale_since.map_or(from, |s| s.max(from)));
+                    }
+                }
+                FaultEvent::DemandDrift { at, factor } => {
+                    if minute >= at {
+                        plan_valid = false;
+                        demand_factor *= factor;
+                        stale_since = Some(stale_since.map_or(at, |s| s.max(at)));
                     }
                 }
             }
@@ -313,6 +357,8 @@ impl FaultTimeline {
             mask,
             core_fraction,
             plan_valid,
+            demand_factor,
+            stale_since,
         }
     }
 }
@@ -340,6 +386,82 @@ impl Default for ChaosConfig {
     }
 }
 
+/// What a [`Replanner`] is asked to do: produce a fresh plan for the
+/// remainder of the horizon, to be installed at `install_minute`.
+#[derive(Clone, Debug)]
+pub struct ReplanRequest {
+    /// Minute of the fault/drift/schedule entry that triggered the re-plan.
+    pub trigger_minute: u64,
+    /// Minute the produced plan will be installed (trigger + latency).
+    pub install_minute: u64,
+    /// Epoch the new plan should carry (current selector epoch + 1).
+    pub epoch: u64,
+    /// Plan slot containing `install_minute`, if within the plan horizon —
+    /// the natural `from_slot` for [`sb_core::SlotPlanner::replan_from`].
+    pub from_slot: Option<usize>,
+    /// Composed fault state at `install_minute` (mask, capacity fractions,
+    /// demand drift factor).
+    pub state: ChaosState,
+}
+
+/// The plan-building callback of a [`Replanner`]: `None` skips the install.
+type PlanBuilder<'a> = Box<dyn FnMut(&ReplanRequest) -> Option<Arc<PlanArtifact>> + 'a>;
+
+/// Mid-replay re-planning hook: reacts to triggers (DC-down faults,
+/// demand-drift/stale events, explicit schedule minutes) by building a new
+/// [`PlanArtifact`] that the engine installs `latency_min` minutes after the
+/// trigger, at a barrier window. While a staleness event is active, the
+/// plan rung stays disabled **until the re-plan lands** (see
+/// [`FaultEvent::PlanStale`]).
+pub struct Replanner<'a> {
+    /// Minutes between a trigger and the produced plan's installation (the
+    /// controller's re-plan latency).
+    pub latency_min: u64,
+    /// Trigger on `DcDown` fault onsets.
+    pub on_dc_down: bool,
+    /// Trigger on `PlanStale` / `DemandDrift` onsets.
+    pub on_stale: bool,
+    /// Additional explicit trigger minutes.
+    pub schedule: Vec<u64>,
+    builder: PlanBuilder<'a>,
+}
+
+impl<'a> Replanner<'a> {
+    /// A replanner triggering on DC-down and staleness onsets, producing
+    /// plans via `builder` (return `None` to skip an install — e.g. the
+    /// re-solve failed; the plan then stays stale).
+    pub fn new(
+        latency_min: u64,
+        builder: impl FnMut(&ReplanRequest) -> Option<Arc<PlanArtifact>> + 'a,
+    ) -> Replanner<'a> {
+        Replanner {
+            latency_min,
+            on_dc_down: true,
+            on_stale: true,
+            schedule: Vec::new(),
+            builder: Box::new(builder),
+        }
+    }
+
+    /// Add explicit trigger minutes (builder style).
+    pub fn with_schedule(mut self, minutes: Vec<u64>) -> Replanner<'a> {
+        self.schedule = minutes;
+        self
+    }
+
+    /// Enable/disable the DC-down trigger (builder style).
+    pub fn triggers_on_dc_down(mut self, yes: bool) -> Replanner<'a> {
+        self.on_dc_down = yes;
+        self
+    }
+
+    /// Enable/disable the staleness trigger (builder style).
+    pub fn triggers_on_stale(mut self, yes: bool) -> Replanner<'a> {
+        self.on_stale = yes;
+        self
+    }
+}
+
 /// Per-window chaos statistics.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct WindowStats {
@@ -362,6 +484,12 @@ pub struct WindowStats {
     pub down_dcs: u32,
     /// Peak number of explicitly-down links during the window.
     pub down_links: u32,
+    /// Plan artifacts hot-swapped into the selector during the window.
+    pub plan_installs: u64,
+    /// Freezes that fell back to Unplanned because the plan was stale —
+    /// the per-window view of `SelectorStats::plan_stale`, showing the
+    /// stale window closing once a re-plan lands.
+    pub plan_stale_freezes: u64,
     acl_sum: f64,
     acl_n: u64,
 }
@@ -400,6 +528,10 @@ pub struct ChaosReport {
     pub peaks: ProvisionedCapacity,
     /// Mean ACL over freeze- and re-home-time placements.
     pub mean_acl_ms: f64,
+    /// Plan artifacts hot-swapped into the selector over the run.
+    pub plan_installs: u64,
+    /// Epochs installed, in install order.
+    pub installed_epochs: Vec<u64>,
     /// Per-window breakdown.
     pub windows: Vec<WindowStats>,
 }
@@ -431,6 +563,10 @@ pub struct ChaosStats {
     pub peak_gbps: Vec<f64>,
     /// Mean ACL over freeze- and re-home-time placements.
     pub mean_acl_ms: f64,
+    /// Plan artifacts hot-swapped into the selector over the run.
+    pub plan_installs: u64,
+    /// Epochs installed, in install order.
+    pub installed_epochs: Vec<u64>,
     /// Per-window breakdown.
     pub windows: Vec<WindowStats>,
 }
@@ -450,6 +586,8 @@ impl ChaosReport {
             peak_cores: self.peaks.cores.clone(),
             peak_gbps: self.peaks.gbps.clone(),
             mean_acl_ms: self.mean_acl_ms,
+            plan_installs: self.plan_installs,
+            installed_epochs: self.installed_epochs.clone(),
             windows: self.windows.clone(),
         }
     }
@@ -614,6 +752,9 @@ fn drive_segment_concurrent(
 
 /// Replay `db` while injecting `timeline`, driving the selector with
 /// `threads` workers per fault-free segment (`None` = serial oracle).
+/// `replanner`, when present, turns triggers into plan installs at barrier
+/// windows after its configured latency.
+#[allow(clippy::too_many_arguments)]
 fn chaos_replay_impl(
     topo: &Topology,
     catalog: &ConfigCatalog,
@@ -622,6 +763,7 @@ fn chaos_replay_impl(
     quotas: PlannedQuotas,
     cfg: &ChaosConfig,
     threads: Option<usize>,
+    mut replanner: Option<&mut Replanner<'_>>,
 ) -> ChaosReport {
     let met = chaos_metrics();
     met.runs.inc();
@@ -643,6 +785,8 @@ fn chaos_replay_impl(
             worst_overshoot: 0.0,
             peaks: ProvisionedCapacity::zero(topo),
             mean_acl_ms: 0.0,
+            plan_installs: 0,
+            installed_epochs: Vec::new(),
             windows: Vec::new(),
         };
     }
@@ -663,10 +807,40 @@ fn chaos_replay_impl(
 
     let events = build_events(records, cfg.freeze_minutes);
 
-    // fault-state segments: [t0, cp1), [cp1, cp2), …
-    let change_points = timeline.change_points(t0, t1);
+    // re-plan installs: trigger minutes (fault onsets, staleness onsets,
+    // explicit schedule) plus the re-plan latency, landing at barriers
+    let mut installs: Vec<(u64, u64)> = Vec::new(); // (install, trigger)
+    if let Some(rp) = replanner.as_deref() {
+        let mut triggers: Vec<u64> = Vec::new();
+        for ev in timeline.events() {
+            match *ev {
+                FaultEvent::DcDown { at, .. } if rp.on_dc_down => triggers.push(at),
+                FaultEvent::PlanStale { from, .. } if rp.on_stale => triggers.push(from),
+                FaultEvent::DemandDrift { at, .. } if rp.on_stale => triggers.push(at),
+                _ => {}
+            }
+        }
+        triggers.extend(rp.schedule.iter().copied());
+        triggers.sort_unstable();
+        triggers.dedup();
+        for tr in triggers {
+            let inst = tr.saturating_add(rp.latency_min).max(t0 + 1);
+            if inst <= t1 {
+                installs.push((inst, tr));
+            }
+        }
+        installs.sort_unstable();
+        installs.dedup_by_key(|p| p.0);
+    }
+
+    // fault-state segments: [t0, cp1), [cp1, cp2), … — plan installs are
+    // additional barriers
+    let mut barriers = timeline.change_points(t0, t1);
+    barriers.extend(installs.iter().map(|&(m, _)| m));
+    barriers.sort_unstable();
+    barriers.dedup();
     let mut seg_starts = vec![t0];
-    seg_starts.extend(&change_points);
+    seg_starts.extend(&barriers);
     let seg_states: Vec<ChaosState> = seg_starts
         .iter()
         .map(|&m| timeline.state_at(topo, m))
@@ -687,14 +861,29 @@ fn chaos_replay_impl(
     let mut latmap = LatencyMap::from_routing(topo, &routing);
     let dc_up_vec =
         |s: &ChaosState| -> Vec<bool> { topo.dc_ids().map(|d| s.mask.dc_up(d)).collect() };
+    // Effective plan validity: a staleness window closes early once a
+    // re-plan has been installed at or after its onset ("stale until the
+    // re-plan lands"). Without a replanner this reduces to the raw flag.
+    let has_replanner = replanner.is_some();
+    let effective_valid = |s: &ChaosState, last_install: Option<u64>| -> bool {
+        s.plan_valid
+            || (has_replanner
+                && matches!((s.stale_since, last_install), (Some(on), Some(li)) if li >= on))
+    };
+    let mut last_install: Option<u64> = None;
+    let mut cur_valid = effective_valid(&state, last_install);
     selector.update_topology(&latmap, &dc_up_vec(&state));
-    selector.set_plan_valid(state.plan_valid);
+    selector.set_plan_valid(cur_valid);
 
     let mut acl_sum = 0.0;
     let mut acl_n = 0u64;
     let mut stranded = 0u64;
     let mut forced = 0u64;
     let mut plan_migrations = 0u64;
+    let mut plan_installs = 0u64;
+    let mut installed_epochs: Vec<u64> = Vec::new();
+    let mut last_artifact: Option<Arc<PlanArtifact>> = None;
+    let mut next_install = 0usize;
 
     let flush = |h: &mut Hosting,
                  to: u64,
@@ -744,7 +933,35 @@ fn chaos_replay_impl(
             routing = RoutingTable::compute_masked(topo, state.mask.clone());
             latmap = LatencyMap::from_routing(topo, &routing);
             selector.update_topology(&latmap, &dc_up_vec(&state));
-            selector.set_plan_valid(state.plan_valid);
+            // install a due re-plan BEFORE re-homing, so displaced calls
+            // land against the fresh quota pools
+            while next_install < installs.len() && installs[next_install].0 == tr {
+                let (inst, trigger) = installs[next_install];
+                next_install += 1;
+                let rp = replanner
+                    .as_deref_mut()
+                    .expect("installs only exist with a replanner");
+                let req = ReplanRequest {
+                    trigger_minute: trigger,
+                    install_minute: inst,
+                    epoch: selector.plan_epoch() + 1,
+                    from_slot: selector.plan_slot_of_minute(inst),
+                    state: state.clone(),
+                };
+                if let Some(artifact) = (rp.builder)(&req) {
+                    if let Some(prev) = &last_artifact {
+                        PlanDelta::between(prev, &artifact).record();
+                    }
+                    selector.install_plan(&artifact);
+                    last_install = Some(inst);
+                    plan_installs += 1;
+                    installed_epochs.push(artifact.epoch);
+                    windows[win_of(inst)].plan_installs += 1;
+                    last_artifact = Some(artifact);
+                }
+            }
+            cur_valid = effective_valid(&state, last_install);
+            selector.set_plan_valid(cur_valid);
             // re-home calls whose hosting DC just went down, in id order
             // (rehome order matters: earlier re-homes may drain plan quota)
             let displaced: Vec<u64> = ids
@@ -829,6 +1046,12 @@ fn chaos_replay_impl(
                     let Some(decision) = outcomes.freezes.get(&i) else {
                         continue;
                     };
+                    // mirror of the selector's plan_stale accrual: while the
+                    // plan is distrusted, every reached freeze comes back
+                    // Unplanned via the stale branch
+                    if !cur_valid && matches!(decision, FreezeDecision::Unplanned(_)) {
+                        windows[w].plan_stale_freezes += 1;
+                    }
                     let Some(final_dc) = decision.final_dc() else {
                         continue;
                     };
@@ -919,6 +1142,8 @@ fn chaos_replay_impl(
                 Value::from(w.violations),
                 Value::from(w.down_dcs as u64),
                 Value::from(w.down_links as u64),
+                Value::from(w.plan_installs),
+                Value::from(w.plan_stale_freezes),
                 Value::from(w.mean_acl_ms()),
             ]);
         }
@@ -939,6 +1164,8 @@ fn chaos_replay_impl(
         } else {
             0.0
         },
+        plan_installs,
+        installed_epochs,
         windows,
     }
 }
@@ -959,7 +1186,7 @@ pub fn chaos_replay(
     quotas: PlannedQuotas,
     cfg: &ChaosConfig,
 ) -> ChaosReport {
-    chaos_replay_impl(topo, catalog, db, timeline, quotas, cfg, None)
+    chaos_replay_impl(topo, catalog, db, timeline, quotas, cfg, None, None)
 }
 
 /// [`chaos_replay`] with the selector driven by `threads` worker threads
@@ -974,7 +1201,67 @@ pub fn chaos_replay_concurrent(
     cfg: &ChaosConfig,
     threads: usize,
 ) -> ChaosReport {
-    chaos_replay_impl(topo, catalog, db, timeline, quotas, cfg, Some(threads))
+    chaos_replay_impl(
+        topo,
+        catalog,
+        db,
+        timeline,
+        quotas,
+        cfg,
+        Some(threads),
+        None,
+    )
+}
+
+/// [`chaos_replay`] with a [`Replanner`] attached: triggers from the
+/// timeline (and the replanner's schedule) produce fresh plan artifacts
+/// that are hot-swapped into the selector after the re-plan latency, at
+/// barrier windows. Staleness windows close when the re-plan lands.
+pub fn chaos_replay_replanned(
+    topo: &Topology,
+    catalog: &ConfigCatalog,
+    db: &CallRecordsDb,
+    timeline: &FaultTimeline,
+    quotas: PlannedQuotas,
+    cfg: &ChaosConfig,
+    replanner: &mut Replanner<'_>,
+) -> ChaosReport {
+    chaos_replay_impl(
+        topo,
+        catalog,
+        db,
+        timeline,
+        quotas,
+        cfg,
+        None,
+        Some(replanner),
+    )
+}
+
+/// [`chaos_replay_replanned`] driven by `threads` worker threads per
+/// segment. Installs happen at barriers on the coordinating thread, so the
+/// serial-oracle stats equality holds across plan swaps too.
+#[allow(clippy::too_many_arguments)]
+pub fn chaos_replay_replanned_concurrent(
+    topo: &Topology,
+    catalog: &ConfigCatalog,
+    db: &CallRecordsDb,
+    timeline: &FaultTimeline,
+    quotas: PlannedQuotas,
+    cfg: &ChaosConfig,
+    threads: usize,
+    replanner: &mut Replanner<'_>,
+) -> ChaosReport {
+    chaos_replay_impl(
+        topo,
+        catalog,
+        db,
+        timeline,
+        quotas,
+        cfg,
+        Some(threads),
+        Some(replanner),
+    )
 }
 
 #[cfg(test)]
@@ -1214,6 +1501,188 @@ mod tests {
         assert_eq!(report.plan_migrations, 5);
         assert_eq!(report.selector.plan_stale, 5);
         assert_eq!(report.stranded, 0);
+    }
+
+    /// Shares + quotas that put every call of `cfg` at `dc`.
+    fn plan_all_at(
+        cfg: ConfigId,
+        dc: DcId,
+        slots: usize,
+        per_slot: f64,
+        epoch: u64,
+    ) -> PlanArtifact {
+        let mut shares = AllocationShares::new(slots);
+        let mut demand = DemandMatrix::zero(cfg.index() + 1, slots, 30, 0);
+        for s in 0..slots {
+            shares.set(cfg, s, vec![(dc, 1.0)]);
+            demand.set(cfg, s, per_slot);
+        }
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        PlanArtifact::new(epoch, shares, quotas, sb_core::PlanProvenance::default())
+    }
+
+    #[test]
+    fn replanner_closes_stale_window_after_latency() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let pune = topo.dc_by_name("Pune");
+        let mut db = CallRecordsDb::new(cat.clone());
+        // first batch freezes at minute 5 (inside the stale window), second
+        // at minute 65 (after the re-plan lands at 0 + 15 = 15)
+        for i in 0..5 {
+            db.push(record(i, id, 0, 90, jp));
+        }
+        for i in 5..10 {
+            db.push(record(i, id, 60, 30, jp));
+        }
+        // plan wants everything at Pune (remote) → planned freezes migrate
+        let quotas = all_at(id, pune, 4, 10.0);
+        // stale forever unless a re-plan lands
+        let timeline = FaultTimeline::new().with(FaultEvent::PlanStale {
+            from: 0,
+            until: None,
+        });
+        let cfg = ChaosConfig {
+            window_minutes: 60,
+            ..ChaosConfig::default()
+        };
+        // without a replanner every freeze is unplanned
+        let bare = chaos_replay(&topo, &cat, &db, &timeline, quotas.clone(), &cfg);
+        assert_eq!(bare.plan_migrations, 0);
+        assert_eq!(bare.selector.plan_stale, 10);
+        assert_eq!(bare.plan_installs, 0);
+        // with a 15-minute re-plan latency the stale window closes at 15:
+        // the early freezes stay local, the late ones follow the plan again
+        let mut seen_requests: Vec<(u64, u64, u64)> = Vec::new();
+        let mut rp = Replanner::new(15, |req: &ReplanRequest| {
+            seen_requests.push((req.trigger_minute, req.install_minute, req.epoch));
+            Some(Arc::new(plan_all_at(id, pune, 4, 10.0, req.epoch)))
+        });
+        let report = chaos_replay_replanned(&topo, &cat, &db, &timeline, quotas, &cfg, &mut rp);
+        drop(rp);
+        assert_eq!(seen_requests, vec![(0, 15, 1)]);
+        assert_eq!(report.plan_installs, 1);
+        assert_eq!(report.installed_epochs, vec![1]);
+        assert_eq!(report.selector.plan_stale, 5, "only the pre-install batch");
+        assert_eq!(report.plan_migrations, 5, "the post-install batch migrates");
+        assert_eq!(report.stranded, 0);
+        // per-window: stale freezes stop accruing once the re-plan lands
+        assert_eq!(report.windows[0].plan_stale_freezes, 5);
+        assert_eq!(report.windows[0].plan_installs, 1);
+        assert_eq!(report.windows[1].plan_stale_freezes, 0);
+    }
+
+    #[test]
+    fn demand_drift_is_stale_until_replan() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let pune = topo.dc_by_name("Pune");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..4 {
+            db.push(record(i, id, 0, 30, jp)); // freeze at 5: before drift
+        }
+        for i in 4..8 {
+            db.push(record(i, id, 30, 30, jp)); // freeze at 35: drifted
+        }
+        for i in 8..12 {
+            db.push(record(i, id, 90, 30, jp)); // freeze at 95: re-planned
+        }
+        let quotas = all_at(id, pune, 5, 10.0);
+        let timeline = FaultTimeline::new().with(FaultEvent::DemandDrift {
+            at: 30,
+            factor: 1.5,
+        });
+        // no recovery minute: without a replanner the drifted plan never
+        // becomes trustworthy again
+        let bare = chaos_replay(
+            &topo,
+            &cat,
+            &db,
+            &timeline,
+            quotas.clone(),
+            &ChaosConfig::default(),
+        );
+        assert_eq!(bare.plan_migrations, 4);
+        assert_eq!(bare.selector.plan_stale, 8);
+        // a replanner triggered by the drift re-plans against the drifted
+        // forecast (factor visible in the request state)
+        let mut drift_seen = 0.0f64;
+        let mut rp = Replanner::new(20, |req: &ReplanRequest| {
+            drift_seen = req.state.demand_factor;
+            Some(Arc::new(plan_all_at(id, pune, 5, 15.0, req.epoch)))
+        });
+        let report = chaos_replay_replanned(
+            &topo,
+            &cat,
+            &db,
+            &timeline,
+            quotas,
+            &ChaosConfig::default(),
+            &mut rp,
+        );
+        drop(rp);
+        assert_eq!(drift_seen, 1.5);
+        assert_eq!(report.plan_installs, 1);
+        // drifted batch froze at 35 < install 50 → stale; last batch planned
+        assert_eq!(report.selector.plan_stale, 4);
+        assert_eq!(report.plan_migrations, 8);
+    }
+
+    #[test]
+    fn concurrent_replanned_chaos_matches_serial_across_swaps() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let pune = topo.dc_by_name("Pune");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..180 {
+            db.push(record(i, id, i, 30, jp));
+        }
+        let quotas = all_at(id, tokyo, 6, 40.0);
+        // DC-down + staleness: the re-plan lands mid-outage and moves quota
+        let timeline = FaultTimeline::new()
+            .with(FaultEvent::DcDown {
+                dc: tokyo,
+                at: 60,
+                recover_at: Some(120),
+            })
+            .with(FaultEvent::PlanStale {
+                from: 60,
+                until: None,
+            });
+        let cfg = ChaosConfig {
+            window_minutes: 60,
+            ..ChaosConfig::default()
+        };
+        let build = |req: &ReplanRequest| {
+            // quota moves to Pune while Tokyo is down
+            let dc = if req.state.mask.dc_up(tokyo) {
+                tokyo
+            } else {
+                pune
+            };
+            Some(Arc::new(plan_all_at(id, dc, 6, 40.0, req.epoch)))
+        };
+        let serial = {
+            let mut rp = Replanner::new(15, build);
+            chaos_replay_replanned(&topo, &cat, &db, &timeline, quotas.clone(), &cfg, &mut rp)
+        };
+        assert!(serial.plan_installs >= 1);
+        assert!(serial.forced_migrations > 0);
+        for threads in [1usize, 4] {
+            let mut rp = Replanner::new(15, build);
+            let conc = chaos_replay_replanned_concurrent(
+                &topo,
+                &cat,
+                &db,
+                &timeline,
+                quotas.clone(),
+                &cfg,
+                threads,
+                &mut rp,
+            );
+            assert_eq!(serial.stats(), conc.stats(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -39,11 +39,12 @@ pub mod failures;
 pub mod replay;
 
 pub use chaos::{
-    chaos_replay, chaos_replay_concurrent, ChaosConfig, ChaosReport, ChaosState, ChaosStats,
-    FaultEvent, FaultTimeline, WindowStats,
+    chaos_replay, chaos_replay_concurrent, chaos_replay_replanned,
+    chaos_replay_replanned_concurrent, ChaosConfig, ChaosReport, ChaosState, ChaosStats,
+    FaultEvent, FaultTimeline, ReplanRequest, Replanner, WindowStats,
 };
 pub use estimator::{estimate_from_trace, sample_leg_latency, LatencyEstimator};
 pub use failures::{drill, DrillReport};
 pub use replay::{
-    replay, replay_concurrent, ReplayConfig, ReplayReport, ReplayStats, ReplayTiming,
+    replay, replay_concurrent, PlanSwap, ReplayConfig, ReplayReport, ReplayStats, ReplayTiming,
 };

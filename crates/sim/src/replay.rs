@@ -27,10 +27,10 @@
 //!     code path for both drivers, hence byte-identical floats.
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use sb_core::{LatencyMap, RealtimeSelector, SelectorStats};
+use sb_core::{LatencyMap, PlanArtifact, RealtimeSelector, SelectorStats};
 use sb_net::{DcId, ProvisionedCapacity, RoutingTable, Topology};
 use sb_obs::{Counter, Histogram};
 use sb_workload::joins::CONFIG_FREEZE_SECONDS;
@@ -61,6 +61,21 @@ fn replay_metrics() -> &'static ReplayMetrics {
 /// Width of the concurrent driver's barrier windows, in trace minutes.
 const DRIVE_WINDOW_MINUTES: u64 = 360;
 
+/// A scheduled mid-replay plan hot-swap: `artifact` is installed into the
+/// selector just before the first event at or after `at_minute`.
+///
+/// Swaps are barriers in both drivers: the serial drive installs between
+/// two consecutive events, and the concurrent drive ends its current window
+/// before the swap minute — so no selector operation ever races an install
+/// and the serial-oracle stats equality holds across swaps.
+#[derive(Clone, Debug)]
+pub struct PlanSwap {
+    /// First trace minute the new plan applies to.
+    pub at_minute: u64,
+    /// The plan to install.
+    pub artifact: Arc<PlanArtifact>,
+}
+
 /// Replay configuration.
 #[derive(Clone, Debug)]
 pub struct ReplayConfig {
@@ -68,6 +83,8 @@ pub struct ReplayConfig {
     pub freeze_minutes: u64,
     /// Capacity to check usage against (violations are counted per minute).
     pub capacity: Option<ProvisionedCapacity>,
+    /// Mid-replay plan hot-swaps (installed in `at_minute` order).
+    pub swaps: Vec<PlanSwap>,
 }
 
 impl Default for ReplayConfig {
@@ -75,6 +92,7 @@ impl Default for ReplayConfig {
         ReplayConfig {
             freeze_minutes: (CONFIG_FREEZE_SECONDS / 60) as u64,
             capacity: None,
+            swaps: Vec::new(),
         }
     }
 }
@@ -274,13 +292,21 @@ fn account(
 }
 
 /// Drive every event in trace order on the calling thread (the oracle).
+/// `swaps` must be sorted by `at_minute`; each is installed just before the
+/// first event at or after its minute.
 fn drive_serial(
     selector: &RealtimeSelector,
     records: &[CallRecord],
     events: &[(u64, u8, usize)],
+    swaps: &[PlanSwap],
 ) -> Vec<Option<Placement>> {
     let mut placements: Vec<Option<Placement>> = vec![None; records.len()];
-    for &(_, kind, i) in events {
+    let mut swap_at = 0usize;
+    for &(t, kind, i) in events {
+        while swap_at < swaps.len() && swaps[swap_at].at_minute <= t {
+            selector.install_plan(&swaps[swap_at].artifact);
+            swap_at += 1;
+        }
         let r = &records[i];
         match kind {
             EV_START => {
@@ -299,6 +325,11 @@ fn drive_serial(
             }
             _ => selector.call_end(r.id),
         }
+    }
+    // swaps scheduled past the last event still install (final plan state
+    // must match the concurrent drive)
+    for s in &swaps[swap_at..] {
+        selector.install_plan(&s.artifact);
     }
     placements
 }
@@ -344,21 +375,36 @@ fn drive_concurrent(
     records: &[CallRecord],
     events: &[(u64, u8, usize)],
     threads: usize,
+    swaps: &[PlanSwap],
 ) -> Vec<Option<Placement>> {
     let threads = threads.max(1);
     let mut placements: Vec<Option<Placement>> = vec![None; records.len()];
     let Some(&(t0, _, _)) = events.first() else {
+        for s in swaps {
+            selector.install_plan(&s.artifact);
+        }
         return placements;
     };
 
+    let mut swap_at = 0usize;
     let mut at = 0usize;
     while at < events.len() {
+        // install swaps due before the next event — a window never spans a
+        // swap minute, so installs happen at barriers only (matching where
+        // the serial drive installs them)
+        while swap_at < swaps.len() && swaps[swap_at].at_minute <= events[at].0 {
+            selector.install_plan(&swaps[swap_at].artifact);
+            swap_at += 1;
+        }
         let win = (events[at].0 - t0) / DRIVE_WINDOW_MINUTES;
         let mut end = at;
         let mut starts: Vec<usize> = Vec::new();
         let mut freezes: Vec<usize> = Vec::new();
         let mut ends: Vec<usize> = Vec::new();
-        while end < events.len() && (events[end].0 - t0) / DRIVE_WINDOW_MINUTES == win {
+        while end < events.len()
+            && (events[end].0 - t0) / DRIVE_WINDOW_MINUTES == win
+            && (swap_at >= swaps.len() || events[end].0 < swaps[swap_at].at_minute)
+        {
             let (_, kind, i) = events[end];
             match kind {
                 EV_START => starts.push(i),
@@ -434,6 +480,9 @@ fn drive_concurrent(
             }
         });
     }
+    for s in &swaps[swap_at..] {
+        selector.install_plan(&s.artifact);
+    }
     placements
 }
 
@@ -469,10 +518,12 @@ fn replay_impl(
     let horizon = (t1 - t0 + 1) as usize;
 
     let events = build_events(records, cfg.freeze_minutes);
+    let mut swaps = cfg.swaps.clone();
+    swaps.sort_by_key(|s| s.at_minute);
     let drive_started = Instant::now();
     let placements = match threads {
-        None => drive_serial(selector, records, &events),
-        Some(n) => drive_concurrent(selector, records, &events, n),
+        None => drive_serial(selector, records, &events, &swaps),
+        Some(n) => drive_concurrent(selector, records, &events, n, &swaps),
     };
     let drive = drive_started.elapsed();
     m.drive_ns.record_duration(drive);

@@ -31,4 +31,10 @@ cargo test -q --test replay_differential
 echo "==> replay equivalence smoke: replay_throughput --smoke"
 cargo run --release -q -p sb-bench --bin replay_throughput -- --smoke --json /tmp/BENCH_replay_smoke.json
 
+echo "==> plan-swap differential: identical-plan hot-swap is a no-op"
+cargo test -q --test plan_swap_differential
+
+echo "==> plan lifecycle smoke: replan_loop --smoke"
+cargo run --release -q -p sb-bench --bin replan_loop -- --smoke --json /tmp/BENCH_replan_smoke.json
+
 echo "all checks passed"

@@ -133,9 +133,10 @@ pub mod prelude {
     pub use crate::{Error, Result};
     pub use sb_core::{
         allocation_plan, provision, AllocationShares, BaselinePlan, BaselinePolicy, FreezeDecision,
-        LatencyMap, PlannedQuotas, PlanningInputs, ProvisionError, ProvisionerParams,
-        ProvisioningPlan, RealtimeSelector, ScenarioSolution, SelectorOutcome, SelectorRung,
-        SelectorShard, SelectorStats,
+        LatencyMap, PlanArtifact, PlanDelta, PlanProvenance, PlanSwapStats, PlannedQuotas,
+        PlanningInputs, ProvisionError, ProvisionerParams, ProvisioningPlan, RealtimeSelector,
+        ReplanReport, ScenarioSolution, SelectorOutcome, SelectorRung, SelectorShard,
+        SelectorStats, SlotPlanner,
     };
     pub use sb_lp::{
         DenseSimplex, GuardedSimplex, LpError, LpProblem, RevisedSimplex, Solution, SolveStats,
@@ -144,8 +145,9 @@ pub mod prelude {
     pub use sb_net::{FailureMask, FailureScenario, ProvisionedCapacity, RoutingTable, Topology};
     pub use sb_obs::{MetricsRegistry, ScopedTimer};
     pub use sb_sim::{
-        chaos_replay, chaos_replay_concurrent, replay, replay_concurrent, ChaosConfig, ChaosReport,
-        ChaosStats, FaultEvent, FaultTimeline, ReplayConfig, ReplayReport, ReplayStats,
+        chaos_replay, chaos_replay_concurrent, chaos_replay_replanned, replay, replay_concurrent,
+        ChaosConfig, ChaosReport, ChaosStats, FaultEvent, FaultTimeline, PlanSwap, ReplanRequest,
+        Replanner, ReplayConfig, ReplayReport, ReplayStats,
     };
     pub use sb_store::{measure_throughput, CallStateStore, ShardedMap};
     pub use sb_workload::{
