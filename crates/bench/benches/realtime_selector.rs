@@ -4,7 +4,7 @@
 //! must stay microseconds-cheap.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sb_core::{AllocationShares, LatencyMap, PlannedQuotas, RealtimeSelector};
+use sb_core::{AllocationShares, LatencyMap, PlanArtifact, PlannedQuotas, RealtimeSelector};
 use sb_net::{CountryId, DcId};
 use sb_workload::{ConfigId, DemandMatrix};
 
@@ -30,7 +30,7 @@ fn bench_selector(c: &mut Criterion) {
     let mut group = c.benchmark_group("realtime_selector");
     group.bench_function("call_start+freeze+end", |b| {
         let (latmap, q) = quotas(200, 48);
-        let sel = RealtimeSelector::new(&latmap, q.clone());
+        let sel = RealtimeSelector::from_artifact(&latmap, &PlanArtifact::seed(q.clone()));
         let mut id = 0u64;
         b.iter(|| {
             id += 1;

@@ -1,0 +1,298 @@
+//! Open-loop load test of the `sb-engine` service layer: a full APAC day
+//! trace offered to [`sb_engine::Engine`]'s admission path, serial and at
+//! 1/2/4/8 worker threads, against the serial replay oracle.
+//!
+//! Every variant must finish with selector stats and per-DC tallies equal
+//! to [`sb_sim::replay()`] over the same trace — the run aborts on the first
+//! divergence. Throughput is selector ops (admits + freezes + ends) per
+//! second of drive wall time; latency quantiles (p50/p99/p999) come from
+//! the engine's per-op [`sb_engine::FineHistogram`].
+//!
+//! Usage: `engine_load [--smoke] [--json <path>]`
+//!
+//! `--smoke` shrinks the workload and skips the performance assertions — it
+//! is the CI gate for engine/oracle equivalence. The full run asserts at
+//! least a 3x speedup over the serial replay drive and over 10M selector
+//! ops/s at 8 threads, but only when the host has 8+ hardware threads;
+//! either way the measured numbers land in `BENCH_engine.json` and
+//! `results/engine_load.txt`.
+
+use std::fmt::Write as _;
+
+use sb_bench::common::print_table;
+use sb_bench::load::{drive_concurrent, drive_serial, DriveOutcome, LoadSchedule};
+use sb_core::formulation::ScenarioData;
+use sb_core::{AllocationShares, PlanArtifact, PlannedQuotas, RealtimeSelector};
+use sb_engine::{Engine, EngineConfig, FineHistogram};
+use sb_net::FailureScenario;
+use sb_sim::{replay, ReplayConfig};
+use sb_workload::{Generator, UniverseParams, WorkloadParams};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = String::from("BENCH_engine.json");
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                path = args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                });
+            } else if let Some(p) = a.strip_prefix("--json=") {
+                path = p.to_string();
+            }
+        }
+        path
+    };
+    let reps = if smoke { 1 } else { 3 };
+    let (num_configs, daily_calls, slot_minutes, coverage) = if smoke {
+        (300, 4_000.0, 120, 0.97)
+    } else {
+        (2_000, 40_000.0, 240, 0.90)
+    };
+
+    let topo = sb_net::presets::apac();
+    let params = WorkloadParams {
+        universe: UniverseParams {
+            num_configs,
+            ..Default::default()
+        },
+        daily_calls,
+        slot_minutes,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+    let day = 2;
+    let expected = generator.expected_demand(day, 1);
+    let selected = expected.top_configs_covering(coverage);
+    let planned_demand = expected.filtered(&selected).scaled(1.15);
+    let db = generator.sample_records(day, 1, 9);
+    eprintln!(
+        "APAC day trace: {} calls, plan covers {} configs",
+        db.len(),
+        selected.len()
+    );
+
+    // same synthetic spread plan as replay_throughput: every planned config
+    // split evenly across all DCs, enough quota pressure without an LP solve
+    let slots = planned_demand.num_slots();
+    let mut shares = AllocationShares::new(slots);
+    let n = topo.dcs.len() as f64;
+    let spread: Vec<_> = topo.dc_ids().map(|d| (d, 1.0 / n)).collect();
+    for &cfg in &selected {
+        for s in 0..slots {
+            shares.set(cfg, s, spread.clone());
+        }
+    }
+    let quotas = PlannedQuotas::from_plan(&shares, &planned_demand);
+    let artifact = PlanArtifact::seed(quotas);
+    let sd0 = ScenarioData::compute(&topo, FailureScenario::None);
+    let rcfg = ReplayConfig::default();
+
+    // the serial replay oracle: reference stats and the speedup baseline
+    let mut oracle_drive = f64::MAX;
+    let mut oracle = None;
+    for _ in 0..reps {
+        let selector = RealtimeSelector::from_artifact(&sd0.latmap, &artifact);
+        let report = replay(
+            &topo,
+            &sd0.routing,
+            &sd0.latmap,
+            &generator.universe().catalog,
+            &db,
+            &selector,
+            &rcfg,
+        );
+        oracle_drive = oracle_drive.min(report.timing.drive.as_secs_f64());
+        oracle = Some(report);
+    }
+    let oracle = oracle.expect("at least one oracle rep");
+    let calls = oracle.calls;
+    eprintln!("serial replay oracle: {oracle_drive:.3}s drive");
+
+    let sched = LoadSchedule::new(db.records(), rcfg.freeze_minutes);
+
+    // best-of-reps wall time per engine variant; equivalence on every rep
+    let best_of = |threads: Option<usize>| -> (DriveOutcome, FineHistogram) {
+        let mut best: Option<(DriveOutcome, FineHistogram)> = None;
+        for _ in 0..reps {
+            let engine = Engine::new(&sd0.latmap, &artifact, &EngineConfig::default());
+            let out = match threads {
+                None => drive_serial(&engine, db.records(), &sched),
+                Some(t) => drive_concurrent(&engine, db.records(), &sched, t),
+            };
+            assert_eq!(
+                engine.selector_stats(),
+                oracle.stats().selector,
+                "engine drive (threads={threads:?}) diverged from the serial replay oracle"
+            );
+            assert_eq!(
+                engine.per_dc_tallies(),
+                oracle.stats().per_dc_tallies,
+                "per-DC tallies diverged (threads={threads:?})"
+            );
+            if best.as_ref().is_none_or(|(b, _)| out.wall < b.wall) {
+                best = Some((out, engine.op_latency()));
+            }
+        }
+        best.expect("at least one rep")
+    };
+
+    let (serial_out, _) = best_of(None);
+    eprintln!(
+        "engine serial: {:.3}s, {:.2}M ops/s",
+        serial_out.wall.as_secs_f64(),
+        serial_out.ops_per_sec() / 1e6
+    );
+    let mut variants: Vec<(String, DriveOutcome)> = vec![("engine-serial".to_string(), serial_out)];
+    let mut hist = FineHistogram::new();
+    for &t in &THREAD_COUNTS {
+        let (out, h) = best_of(Some(t));
+        eprintln!(
+            "engine {t}-thread: {:.3}s, {:.2}M ops/s",
+            out.wall.as_secs_f64(),
+            out.ops_per_sec() / 1e6
+        );
+        variants.push((format!("engine-{t}t"), out));
+        hist = h;
+    }
+
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let best8 = variants.last().unwrap().1;
+    let speedup8 = oracle_drive / best8.wall.as_secs_f64();
+    let p50 = hist.quantile(0.5);
+    let p99 = hist.quantile(0.99);
+    let p999 = hist.quantile(0.999);
+
+    println!("== Engine load: open-loop drive of sb-engine vs serial replay oracle ==\n");
+    println!(
+        "APAC, {calls} calls, {} scheduled events, best of {reps}, \
+         {hardware} hardware thread(s); selector stats and per-DC tallies \
+         equal to the oracle on every run\n",
+        sched.len()
+    );
+    let rows: Vec<Vec<String>> = std::iter::once(vec![
+        "replay-oracle".to_string(),
+        format!("{oracle_drive:.3}"),
+        "-".to_string(),
+        "1.00x".to_string(),
+    ])
+    .chain(variants.iter().map(|(name, out)| {
+        vec![
+            name.clone(),
+            format!("{:.3}", out.wall.as_secs_f64()),
+            format!("{:.2}", out.ops_per_sec() / 1e6),
+            format!("{:.2}x", oracle_drive / out.wall.as_secs_f64()),
+        ]
+    }))
+    .collect();
+    print_table(&["variant", "drive(s)", "Mops/s", "speedup"], &rows);
+    println!("\nselector op latency (8-thread run): p50 {p50:?}, p99 {p99:?}, p999 {p999:?}");
+    println!("8-thread speedup over serial replay: {speedup8:.2}x");
+
+    if !smoke {
+        if hardware >= 8 {
+            assert!(
+                speedup8 >= 3.0,
+                "expected >= 3x speedup over the serial replay drive at 8 threads, \
+                 measured {speedup8:.2}x"
+            );
+            let mops = best8.ops_per_sec();
+            assert!(
+                mops > 10_000_000.0,
+                "expected > 10M selector ops/s at 8 threads, measured {:.2}M",
+                mops / 1e6
+            );
+        } else {
+            println!(
+                "note: host has only {hardware} hardware thread(s) — the >= 3x \
+                 speedup and > 10M ops/s assertions need 8 and were skipped; \
+                 equivalence was still asserted on every run"
+            );
+        }
+    }
+
+    // machine-readable dump
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"engine_load\",\n");
+    out.push_str("  \"topology\": \"apac\",\n");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"calls\": {calls},");
+    let _ = writeln!(out, "  \"events\": {},", sched.len());
+    let _ = writeln!(out, "  \"hardware_threads\": {hardware},");
+    out.push_str("  \"stats_identical\": true,\n");
+    let _ = writeln!(out, "  \"oracle_drive_s\": {oracle_drive:.6},");
+    out.push_str("  \"variants\": [\n");
+    for (i, (name, o)) in variants.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{name}\", \"drive_s\": {:.6}, \
+             \"ops_per_sec\": {:.1}, \"speedup_vs_oracle\": {:.4}}}{}",
+            o.wall.as_secs_f64(),
+            o.ops_per_sec(),
+            oracle_drive / o.wall.as_secs_f64(),
+            if i + 1 < variants.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"op_latency_ns\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}}},",
+        p50.as_nanos(),
+        p99.as_nanos(),
+        p999.as_nanos()
+    );
+    let _ = writeln!(out, "  \"speedup_8_thread\": {speedup8:.4}");
+    out.push_str("}\n");
+    match std::fs::write(&json_path, &out) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("failed to write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !smoke {
+        let mut txt = String::new();
+        let _ = writeln!(
+            txt,
+            "Engine load — APAC, {calls} calls, best of {reps}, \
+             {hardware} hardware thread(s)\n"
+        );
+        let _ = writeln!(
+            txt,
+            "{:<14} {:>9} {:>8} {:>8}",
+            "variant", "drive(s)", "Mops/s", "speedup"
+        );
+        let _ = writeln!(
+            txt,
+            "{:<14} {oracle_drive:>9.3} {:>8} {:>7.2}x",
+            "replay-oracle", "-", 1.0
+        );
+        for (name, o) in &variants {
+            let _ = writeln!(
+                txt,
+                "{name:<14} {:>9.3} {:>8.2} {:>7.2}x",
+                o.wall.as_secs_f64(),
+                o.ops_per_sec() / 1e6,
+                oracle_drive / o.wall.as_secs_f64()
+            );
+        }
+        let _ = writeln!(
+            txt,
+            "\nop latency p50 {p50:?} p99 {p99:?} p999 {p999:?}; \
+             stats equal to the serial replay oracle on every run"
+        );
+        if let Err(e) = std::fs::write("results/engine_load.txt", txt) {
+            eprintln!("failed to write results/engine_load.txt: {e}");
+        } else {
+            eprintln!("wrote results/engine_load.txt");
+        }
+    }
+}

@@ -30,10 +30,7 @@ use sb_bench::common::{build_eval, dump_metrics, metrics_path_from_args, print_t
 use sb_core::formulation::{PlanningInputs, ScenarioData, SolveOptions};
 use sb_core::{PlanArtifact, PlanDelta, ReplanReport, SlotPlanner};
 use sb_net::{DcId, FailureScenario, ProvisionedCapacity};
-use sb_sim::{
-    chaos_replay, chaos_replay_replanned, chaos_replay_replanned_concurrent, ChaosConfig,
-    FaultEvent, FaultTimeline, ReplanRequest, Replanner,
-};
+use sb_sim::{ChaosConfig, FaultEvent, FaultTimeline, ReplanRequest, Replanner, ReplayDriver};
 use sb_workload::Generator;
 
 /// Re-plan latency the drill models (minutes between trigger and install).
@@ -226,14 +223,10 @@ fn main() {
     let quotas = initial.artifact.quotas.clone();
 
     // without a replanner the plan stays stale to the end of the trace
-    let bare = chaos_replay(
-        &data.topo,
-        &data.catalog,
-        &db,
-        &timeline,
-        quotas.clone(),
-        &chaos_cfg,
-    );
+    let bare = ReplayDriver::new(&data.topo, &data.catalog, &db, quotas.clone())
+        .config(chaos_cfg.clone())
+        .faults(timeline.clone())
+        .run();
 
     // with one: re-plan the remaining slots under the outage, install after
     // the modeled latency; record the artifacts so the concurrent run can
@@ -249,15 +242,11 @@ fn main() {
         Some(art)
     };
     let mut rp = Replanner::new(REPLAN_LATENCY_MIN, &mut build);
-    let replanned = chaos_replay_replanned(
-        &data.topo,
-        &data.catalog,
-        &db,
-        &timeline,
-        quotas.clone(),
-        &chaos_cfg,
-        &mut rp,
-    );
+    let replanned = ReplayDriver::new(&data.topo, &data.catalog, &db, quotas.clone())
+        .config(chaos_cfg.clone())
+        .faults(timeline.clone())
+        .replanner(&mut rp)
+        .run();
     drop(rp);
     assert!(
         replanned.plan_installs >= 1,
@@ -290,16 +279,12 @@ fn main() {
             a
         };
         let mut rp = Replanner::new(REPLAN_LATENCY_MIN, &mut replay_build);
-        let conc = chaos_replay_replanned_concurrent(
-            &data.topo,
-            &data.catalog,
-            &db,
-            &timeline,
-            quotas.clone(),
-            &chaos_cfg,
-            threads,
-            &mut rp,
-        );
+        let conc = ReplayDriver::new(&data.topo, &data.catalog, &db, quotas.clone())
+            .config(chaos_cfg.clone())
+            .faults(timeline.clone())
+            .threads(threads)
+            .replanner(&mut rp)
+            .run();
         assert_eq!(
             replanned.stats(),
             conc.stats(),

@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use sb_bench::common::print_table;
 use sb_core::formulation::ScenarioData;
-use sb_core::{AllocationShares, PlannedQuotas, RealtimeSelector};
+use sb_core::{AllocationShares, PlanArtifact, PlannedQuotas, RealtimeSelector};
 use sb_net::FailureScenario;
 use sb_sim::{replay, replay_concurrent, ReplayConfig, ReplayReport};
 use sb_workload::{Generator, UniverseParams, WorkloadParams};
@@ -91,7 +91,8 @@ fn main() {
     let cfg = ReplayConfig::default();
 
     let run = |threads: Option<usize>| -> ReplayReport {
-        let selector = RealtimeSelector::new(&sd0.latmap, quotas.clone());
+        let selector =
+            RealtimeSelector::from_artifact(&sd0.latmap, &PlanArtifact::seed(quotas.clone()));
         match threads {
             None => replay(
                 &topo,

@@ -16,7 +16,7 @@ use sb_core::formulation::{PlanningInputs, ScenarioData, SolveOptions};
 use sb_core::provision::{provision, ProvisionerParams};
 use sb_core::{allocation_plan, PlannedQuotas};
 use sb_net::{FailureScenario, Node, ProvisionedCapacity, RoutingTable, Topology};
-use sb_sim::{chaos_replay, ChaosConfig, ChaosReport, FaultTimeline};
+use sb_sim::{ChaosConfig, ChaosReport, FaultTimeline, ReplayDriver};
 use sb_workload::{CallRecordsDb, ConfigCatalog, Generator, UniverseParams, WorkloadParams};
 
 fn node_name(topo: &Topology, n: Node) -> String {
@@ -178,14 +178,10 @@ fn run_one(d: &Drill, sc: FailureScenario, capacity: &ProvisionedCapacity) -> Ch
         window_minutes: 60,
         ..ChaosConfig::default()
     };
-    chaos_replay(
-        &d.topo,
-        &d.catalog,
-        &d.db,
-        &timeline,
-        d.quotas.clone(),
-        &cfg,
-    )
+    ReplayDriver::new(&d.topo, &d.catalog, &d.db, d.quotas.clone())
+        .config(cfg)
+        .faults(timeline)
+        .run()
 }
 
 fn main() {

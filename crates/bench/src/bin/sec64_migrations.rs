@@ -7,7 +7,7 @@ use sb_bench::common::print_table;
 use sb_core::allocation::allocation_plan;
 use sb_core::formulation::{PlanningInputs, ScenarioData, SolveOptions};
 use sb_core::provision::{provision, ProvisionerParams};
-use sb_core::{baselines, BaselinePolicy, PlannedQuotas, RealtimeSelector};
+use sb_core::{baselines, BaselinePolicy, PlanArtifact, PlannedQuotas, RealtimeSelector};
 use sb_net::FailureScenario;
 use sb_sim::{replay, ReplayConfig};
 use sb_workload::{Generator, UniverseParams, WorkloadParams};
@@ -83,7 +83,7 @@ fn main() {
     let mut rows = Vec::new();
     for (name, shares) in [("SB", &sb_shares), ("LF", &lf_shares)] {
         let quotas = PlannedQuotas::from_plan(shares, &planned_demand);
-        let selector = RealtimeSelector::new(&sd0.latmap, quotas);
+        let selector = RealtimeSelector::from_artifact(&sd0.latmap, &PlanArtifact::seed(quotas));
         let report = replay(
             &topo,
             &sd0.routing,

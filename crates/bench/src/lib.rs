@@ -6,3 +6,4 @@
 //! reduction — lives in [`common`].
 
 pub mod common;
+pub mod load;

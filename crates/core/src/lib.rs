@@ -6,7 +6,7 @@
 //! * [`latency`] — `Lat(x,u)` maps and `ACL(x,c)` math (Table 2);
 //! * [`formulation`] — the provisioning LP (Eq. 3–9) built per failure
 //!   scenario;
-//! * [`provision`] — the scenario sweep (Eq. 7–8) producing a
+//! * [`mod@provision`] — the scenario sweep (Eq. 7–8) producing a
 //!   [`ProvisioningPlan`];
 //! * [`allocation`] — the daily latency-optimal allocation plan (Eq. 10);
 //! * [`realtime`] — the real-time MP selector with the first-joiner

@@ -113,10 +113,9 @@ pub(crate) struct RealtimeMetrics {
     pub(crate) shard_ops: Vec<Counter>,
     /// Stat merges from worker shards into the shared selector.
     pub(crate) shard_flushes: Counter,
-    /// Quota-pool lock acquisitions that found the stripe contended.
+    /// Quota-cell CAS debits lost to a concurrent debit (each one forces a
+    /// re-rank of the pool's candidates).
     pub(crate) pool_contention: Counter,
-    /// Time spent blocked on a contended quota-pool stripe.
-    pub(crate) pool_wait_ns: Histogram,
 }
 
 /// Columns of the `plan.slot_solves` table: one row per slot re-solved (or
@@ -184,7 +183,6 @@ pub(crate) fn realtime_metrics() -> &'static RealtimeMetrics {
             shard_ops: reg.counter_family("realtime.shard.ops", SELECTOR_SHARD_METRICS),
             shard_flushes: reg.counter("realtime.shard.flushes"),
             pool_contention: reg.counter("realtime.pool_contention"),
-            pool_wait_ns: reg.histogram("realtime.pool_wait_ns"),
         }
     })
 }

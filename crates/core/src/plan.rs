@@ -107,6 +107,18 @@ impl PlanArtifact {
         self.epoch = epoch;
         self
     }
+
+    /// Wrap bare quotas as an epoch-0 artifact with empty shares and
+    /// default provenance — the seed plan a selector boots from when no LP
+    /// solve produced the quotas (tests, baselines, hand-written plans).
+    pub fn seed(quotas: PlannedQuotas) -> PlanArtifact {
+        PlanArtifact::new(
+            0,
+            AllocationShares::new(quotas.num_slots()),
+            quotas,
+            PlanProvenance::default(),
+        )
+    }
 }
 
 /// One quota change between two plan epochs.

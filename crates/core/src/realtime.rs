@@ -19,15 +19,19 @@
 //!
 //! * call → DC state lives in an [`sb_store::ShardedMap`] keyed by call id
 //!   (the same store abstraction the §6.6 controller writes call state to);
-//! * quota pools live behind striped mutexes — two freezes contend only when
-//!   their `(config, slot)` keys hash to the same stripe;
+//! * quota pools are a *dense table* of `AtomicU32` cells — one cell per
+//!   `(config, slot, DC)` plan entry, resolved to a contiguous index range
+//!   per `(config, slot)` pool at plan install — debited by CAS loops, so
+//!   freezes never take a lock and contend only on the exact cell they race;
 //! * per-DC freeze tallies are relaxed atomics;
 //! * the topology view (latency map + per-DC health + closest-DC cache) is
 //!   an immutable snapshot behind `RwLock<Arc<…>>`, swapped wholesale by
-//!   [`RealtimeSelector::update_topology`];
-//! * aggregate [`SelectorStats`] sit behind a mutex that worker threads
-//!   never touch per-event: workers drive a [`SelectorShard`], which batches
-//!   stats locally and merges them on [`SelectorShard::flush`] (or drop).
+//!   [`RealtimeSelector::update_topology`]; the quota table is swapped the
+//!   same way by [`RealtimeSelector::install_plan`];
+//! * aggregate [`SelectorStats`] accumulate in per-field atomics that worker
+//!   threads never touch per-event: workers drive a [`SelectorShard`], which
+//!   batches stats locally and merges the whole delta on
+//!   [`SelectorShard::flush`] (or drop).
 //!
 //! All public methods take `&self` and are safe to call from any thread. A
 //! serial driver calling the methods in trace order remains the correctness
@@ -36,11 +40,11 @@
 //! that module for the equivalence argument).
 
 use std::collections::HashMap;
-use std::hash::{BuildHasher, RandomState};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard, RwLock};
+use parking_lot::RwLock;
 use sb_net::{CountryId, DcId};
 use sb_store::ShardedMap;
 use sb_workload::{ConfigId, DemandMatrix};
@@ -328,6 +332,72 @@ impl SelectorStats {
     }
 }
 
+/// Shared stats sink: one relaxed `AtomicU64` per [`SelectorStats`] field,
+/// so merging a shard's batched delta is a handful of `fetch_add`s instead
+/// of a global mutex. Counts are order-insensitive, so any merge
+/// interleaving yields the serial totals.
+#[derive(Default)]
+struct StatsSink {
+    calls: AtomicU64,
+    freezes: AtomicU64,
+    migrations: AtomicU64,
+    unplanned: AtomicU64,
+    overflow: AtomicU64,
+    stranded: AtomicU64,
+    forced_migrations: AtomicU64,
+    rehomed_plan: AtomicU64,
+    degraded_any: AtomicU64,
+    plan_stale: AtomicU64,
+    duplicate_freezes: AtomicU64,
+    unknown_freezes: AtomicU64,
+    unknown_ends: AtomicU64,
+    unknown_rehomes: AtomicU64,
+}
+
+impl StatsSink {
+    /// Add a batched delta; zero fields skip the atomic entirely.
+    fn merge(&self, d: &SelectorStats) {
+        fn add(sink: &AtomicU64, v: u64) {
+            if v != 0 {
+                sink.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        add(&self.calls, d.calls);
+        add(&self.freezes, d.freezes);
+        add(&self.migrations, d.migrations);
+        add(&self.unplanned, d.unplanned);
+        add(&self.overflow, d.overflow);
+        add(&self.stranded, d.stranded);
+        add(&self.forced_migrations, d.forced_migrations);
+        add(&self.rehomed_plan, d.rehomed_plan);
+        add(&self.degraded_any, d.degraded_any);
+        add(&self.plan_stale, d.plan_stale);
+        add(&self.duplicate_freezes, d.duplicate_freezes);
+        add(&self.unknown_freezes, d.unknown_freezes);
+        add(&self.unknown_ends, d.unknown_ends);
+        add(&self.unknown_rehomes, d.unknown_rehomes);
+    }
+
+    fn snapshot(&self) -> SelectorStats {
+        SelectorStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            freezes: self.freezes.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            unplanned: self.unplanned.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            stranded: self.stranded.load(Ordering::Relaxed),
+            forced_migrations: self.forced_migrations.load(Ordering::Relaxed),
+            rehomed_plan: self.rehomed_plan.load(Ordering::Relaxed),
+            degraded_any: self.degraded_any.load(Ordering::Relaxed),
+            plan_stale: self.plan_stale.load(Ordering::Relaxed),
+            duplicate_freezes: self.duplicate_freezes.load(Ordering::Relaxed),
+            unknown_freezes: self.unknown_freezes.load(Ordering::Relaxed),
+            unknown_ends: self.unknown_ends.load(Ordering::Relaxed),
+            unknown_rehomes: self.unknown_rehomes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct ActiveCall {
     dc: DcId,
@@ -380,23 +450,123 @@ impl TopologyView {
     }
 }
 
-/// Number of mutex stripes the quota pools are spread over.
-const POOL_STRIPES: usize = 32;
 /// Shards of the active call → DC map.
 const CALL_SHARDS: usize = 64;
 
-/// One per-DC quota pool entry. `consumed` is the number of freezes already
-/// debited against this entry in the *current* plan epoch; it is what
-/// [`RealtimeSelector::install_plan`] carries across a swap so a freeze is
-/// never double-counted and exhausted quota is never resurrected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct PoolEntry {
-    dc: DcId,
-    remaining: u32,
-    consumed: u32,
+/// Contiguous cell range of one `(config, slot)` pool inside a
+/// [`QuotaTable`]. `start` doubles as the pool's stable token for
+/// [`RealtimeSelector::quota_pool_token`] — unique per pool within an epoch.
+#[derive(Clone, Copy, Debug)]
+struct PoolRange {
+    start: u32,
+    len: u32,
 }
 
-type QuotaPools = Vec<PoolEntry>;
+/// One plan epoch's quota pools, flattened to dense parallel arrays: cell
+/// `i` is one `(config, slot, DC)` plan entry, and a `(config, slot)` pool
+/// is the contiguous range `index[(cfg, slot)]`, in plan-entry order (order
+/// is tie-breaking-relevant). `remaining` is debited by CAS loops on the
+/// freeze hot path; `consumed` counts the debits recognized in *this* epoch
+/// and is what [`RealtimeSelector::install_plan`] carries across a swap so a
+/// freeze is never double-counted and exhausted quota never resurrected.
+///
+/// The table is immutable in shape: plan swaps build a fresh table and swap
+/// the `Arc` wholesale (same discipline as `TopologyView`).
+#[derive(Debug)]
+struct QuotaTable {
+    geom: PlanGeom,
+    index: HashMap<(ConfigId, usize), PoolRange>,
+    dcs: Vec<DcId>,
+    remaining: Vec<AtomicU32>,
+    consumed: Vec<AtomicU32>,
+}
+
+/// A freshly built [`QuotaTable`] plus the carry-over accounting
+/// [`PlanSwapStats`] reports.
+struct TableBuild {
+    table: QuotaTable,
+    carried: u64,
+    quota_initial: u64,
+    quota_after: u64,
+}
+
+impl QuotaTable {
+    /// Flatten `quotas` into dense cells, carrying `consumed` tallies from
+    /// `prev` (the table being replaced) per the
+    /// [`RealtimeSelector::install_plan`] swap semantics.
+    fn build(epoch: u64, quotas: &PlannedQuotas, prev: Option<&QuotaTable>) -> TableBuild {
+        let mut index = HashMap::new();
+        let mut dcs: Vec<DcId> = Vec::new();
+        let mut remaining = Vec::new();
+        let mut consumed = Vec::new();
+        let (mut carried, mut quota_initial, mut quota_after) = (0u64, 0u64, 0u64);
+        for (key, counts) in quotas.iter() {
+            let start = dcs.len() as u32;
+            let prev_range = prev.and_then(|t| t.range(key.0, key.1));
+            for &(dc, q) in counts {
+                // first old entry for this DC in the same pool, as the
+                // striped-map swap did with `iter().find(|e| e.dc == dc)`
+                let was = prev_range
+                    .clone()
+                    .and_then(|r| {
+                        let t = prev.expect("prev_range implies prev");
+                        r.clone()
+                            .find(|&i| t.dcs[i] == dc)
+                            .map(|i| t.consumed[i].load(Ordering::Relaxed))
+                    })
+                    .unwrap_or(0);
+                let recognized = was.min(q);
+                carried += recognized as u64;
+                quota_initial += q as u64;
+                quota_after += (q - recognized) as u64;
+                dcs.push(dc);
+                remaining.push(AtomicU32::new(q - recognized));
+                consumed.push(AtomicU32::new(was));
+            }
+            let len = dcs.len() as u32 - start;
+            index.insert(key, PoolRange { start, len });
+        }
+        TableBuild {
+            table: QuotaTable {
+                geom: PlanGeom::of(epoch, quotas),
+                index,
+                dcs,
+                remaining,
+                consumed,
+            },
+            carried,
+            quota_initial,
+            quota_after,
+        }
+    }
+
+    /// Cell range of a `(config, slot)` pool, if planned.
+    fn range(&self, cfg: ConfigId, slot: usize) -> Option<Range<usize>> {
+        self.index
+            .get(&(cfg, slot))
+            .map(|p| p.start as usize..(p.start + p.len) as usize)
+    }
+
+    /// CAS-debit one unit from cell `i`; `false` when the cell is exhausted.
+    /// A successful debit also bumps the cell's `consumed` tally.
+    fn try_debit(&self, i: usize) -> bool {
+        let won = self.remaining[i]
+            .fetch_update(Ordering::AcqRel, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok();
+        if won {
+            self.consumed[i].fetch_add(1, Ordering::Relaxed);
+        }
+        won
+    }
+
+    /// Quota not yet debited, summed over every cell.
+    fn remaining_total(&self) -> u64 {
+        self.remaining
+            .iter()
+            .map(|r| r.load(Ordering::Relaxed) as u64)
+            .sum()
+    }
+}
 
 /// Plan geometry + version, swapped atomically alongside the quota pools by
 /// [`RealtimeSelector::install_plan`] (the same snapshot-swap discipline as
@@ -458,50 +628,49 @@ pub struct PlanSwapStats {
 pub struct RealtimeSelector {
     topo: RwLock<Arc<TopologyView>>,
     plan_valid: AtomicBool,
-    plan: RwLock<PlanGeom>,
-    pools: Vec<Mutex<HashMap<(ConfigId, usize), QuotaPools>>>,
-    pool_hasher: RandomState,
+    plan: RwLock<Arc<QuotaTable>>,
     quota_initial: AtomicU64,
     active: ShardedMap<u64, ActiveCall>,
     dc_tally: Vec<AtomicU64>,
-    stats: Mutex<SelectorStats>,
+    stats: StatsSink,
     shard_seq: AtomicUsize,
 }
 
 impl RealtimeSelector {
-    /// Build a selector for one planning horizon. All DCs start healthy and
-    /// the plan starts valid, at epoch 0.
+    /// Build a selector from a plan artifact: the boot plan is the same
+    /// first-class [`PlanArtifact`] that [`RealtimeSelector::install_plan`]
+    /// swaps in later, so the epoch-0 state needs no special case. All DCs
+    /// start healthy and the plan starts valid, at the artifact's epoch.
+    ///
+    /// [`PlanArtifact`]: crate::plan::PlanArtifact
+    pub fn from_artifact(
+        latmap: &LatencyMap,
+        artifact: &crate::plan::PlanArtifact,
+    ) -> RealtimeSelector {
+        Self::from_quotas(latmap, artifact.epoch, &artifact.quotas)
+    }
+
+    /// Build a selector from bare quotas at epoch 0.
+    #[deprecated(
+        note = "wrap the quotas in an artifact (`PlanArtifact::seed(quotas)`) and use \
+                `RealtimeSelector::from_artifact` instead"
+    )]
     pub fn new(latmap: &LatencyMap, quotas: PlannedQuotas) -> RealtimeSelector {
+        Self::from_quotas(latmap, 0, &quotas)
+    }
+
+    fn from_quotas(latmap: &LatencyMap, epoch: u64, quotas: &PlannedQuotas) -> RealtimeSelector {
         let dc_up = vec![true; latmap.num_dcs()];
         let view = TopologyView::build(latmap, &dc_up);
-        let pool_hasher = RandomState::new();
-        let mut pools: Vec<Mutex<HashMap<(ConfigId, usize), QuotaPools>>> = (0..POOL_STRIPES)
-            .map(|_| Mutex::new(HashMap::new()))
-            .collect();
-        let mut quota_initial = 0u64;
-        for (key, rem) in quotas.quotas.iter() {
-            quota_initial += rem.iter().map(|&(_, n)| n as u64).sum::<u64>();
-            let entries: QuotaPools = rem
-                .iter()
-                .map(|&(dc, n)| PoolEntry {
-                    dc,
-                    remaining: n,
-                    consumed: 0,
-                })
-                .collect();
-            let idx = pool_hasher.hash_one(key) as usize % POOL_STRIPES;
-            pools[idx].get_mut().insert(*key, entries);
-        }
+        let built = QuotaTable::build(epoch, quotas, None);
         RealtimeSelector {
             topo: RwLock::new(Arc::new(view)),
             plan_valid: AtomicBool::new(true),
-            plan: RwLock::new(PlanGeom::of(0, &quotas)),
-            pools,
-            pool_hasher,
-            quota_initial: AtomicU64::new(quota_initial),
+            plan: RwLock::new(Arc::new(built.table)),
+            quota_initial: AtomicU64::new(built.quota_initial),
             active: ShardedMap::new(CALL_SHARDS),
             dc_tally: (0..latmap.num_dcs()).map(|_| AtomicU64::new(0)).collect(),
-            stats: Mutex::new(SelectorStats::default()),
+            stats: StatsSink::default(),
             shard_seq: AtomicUsize::new(0),
         }
     }
@@ -532,65 +701,41 @@ impl RealtimeSelector {
     pub fn install_plan(&self, artifact: &crate::plan::PlanArtifact) -> PlanSwapStats {
         let m = crate::metrics::plan_metrics();
         let _t = m.swap_ns.start_timer();
-        let from_epoch = self.plan.read().epoch;
-        let quota_before = self.quota_remaining_total();
-        // Drain every pool, remembering consumed tallies (barrier contract:
-        // no concurrent freeze can race this).
-        let mut old: HashMap<(ConfigId, usize), QuotaPools> = HashMap::new();
-        for p in &self.pools {
-            old.extend(p.lock().drain());
-        }
-        let mut carried = 0u64;
-        let mut quota_after = 0u64;
-        let mut quota_initial = 0u64;
-        let mut pools_n = 0usize;
-        for (key, counts) in artifact.quotas.iter() {
-            let prev = old.get(&key);
-            let entries: QuotaPools = counts
-                .iter()
-                .map(|&(dc, q)| {
-                    let consumed = prev
-                        .and_then(|es| es.iter().find(|e| e.dc == dc))
-                        .map(|e| e.consumed)
-                        .unwrap_or(0);
-                    let recognized = consumed.min(q);
-                    carried += recognized as u64;
-                    quota_initial += q as u64;
-                    quota_after += (q - recognized) as u64;
-                    PoolEntry {
-                        dc,
-                        remaining: q - recognized,
-                        consumed,
-                    }
-                })
-                .collect();
-            pools_n += 1;
-            let idx = self.pool_hasher.hash_one(key) as usize % POOL_STRIPES;
-            self.pools[idx].lock().insert(key, entries);
-        }
-        self.quota_initial.store(quota_initial, Ordering::Relaxed);
-        *self.plan.write() = PlanGeom::of(artifact.epoch, &artifact.quotas);
+        // Build the new table from the old one's consumed tallies (barrier
+        // contract: no concurrent freeze can race this), then swap the Arc.
+        let old = self.table();
+        let from_epoch = old.geom.epoch;
+        let quota_before = old.remaining_total();
+        let built = QuotaTable::build(artifact.epoch, &artifact.quotas, Some(&old));
+        let pools_n = built.table.index.len();
+        self.quota_initial
+            .store(built.quota_initial, Ordering::Relaxed);
+        *self.plan.write() = Arc::new(built.table);
         self.plan_valid.store(true, Ordering::Relaxed);
         m.epochs_installed.inc();
-        m.carryover_quota.add(carried);
+        m.carryover_quota.add(built.carried);
         PlanSwapStats {
             from_epoch,
             to_epoch: artifact.epoch,
-            carried_consumed: carried,
+            carried_consumed: built.carried,
             quota_before,
-            quota_after,
+            quota_after: built.quota_after,
             pools: pools_n,
         }
     }
 
-    /// Epoch of the currently installed plan (0 until the first
-    /// [`RealtimeSelector::install_plan`]).
+    /// Epoch of the currently installed plan (the boot artifact's epoch
+    /// until the first [`RealtimeSelector::install_plan`]).
     pub fn plan_epoch(&self) -> u64 {
-        self.plan.read().epoch
+        self.table().geom.epoch
     }
 
     fn topo_view(&self) -> Arc<TopologyView> {
         self.topo.read().clone()
+    }
+
+    fn table(&self) -> Arc<QuotaTable> {
+        self.plan.read().clone()
     }
 
     /// Swap in a new topology view (latency map + per-DC health), e.g. after
@@ -627,7 +772,23 @@ impl RealtimeSelector {
     /// Slot of the quota plan containing `minute` (replay drivers use this
     /// to group freeze events by the quota pool they will debit).
     pub fn plan_slot_of_minute(&self, minute: u64) -> Option<usize> {
-        self.plan.read().slot_of_minute(minute)
+        self.table().geom.slot_of_minute(minute)
+    }
+
+    /// Stable token of the quota pool a freeze for `(cfg, call_start_minute)`
+    /// would debit under the current plan, or `None` when such a freeze
+    /// resolves without touching quota (no slot for the minute, or the pool
+    /// is absent from the plan → [`FreezeDecision::Unplanned`]).
+    ///
+    /// Concurrent drivers partition call lifecycles by this token so every
+    /// pool's freeze sequence is driven by one worker in trace order — the
+    /// serial-equivalence requirement — without any cross-worker barrier.
+    /// Tokens are only comparable within one plan epoch; re-resolve after
+    /// [`RealtimeSelector::install_plan`].
+    pub fn quota_pool_token(&self, cfg: ConfigId, call_start_minute: u64) -> Option<u64> {
+        let t = self.table();
+        let slot = t.geom.slot_of_minute(call_start_minute)?;
+        t.index.get(&(cfg, slot)).map(|p| p.start as u64)
     }
 
     /// Total planned quota across all pools of the current plan epoch.
@@ -637,15 +798,7 @@ impl RealtimeSelector {
 
     /// Quota not yet debited, summed across all pools.
     pub fn quota_remaining_total(&self) -> u64 {
-        self.pools
-            .iter()
-            .map(|p| {
-                p.lock()
-                    .values()
-                    .flat_map(|rem| rem.iter().map(|e| e.remaining as u64))
-                    .sum::<u64>()
-            })
-            .sum()
+        self.table().remaining_total()
     }
 
     /// Freezes debited against the current plan epoch and recognized by it
@@ -666,20 +819,49 @@ impl RealtimeSelector {
             .collect()
     }
 
-    fn lock_pool(
-        &self,
-        cfg: ConfigId,
-        slot: usize,
-    ) -> MutexGuard<'_, HashMap<(ConfigId, usize), QuotaPools>> {
-        let idx = self.pool_hasher.hash_one((cfg, slot)) as usize % POOL_STRIPES;
-        match self.pools[idx].try_lock() {
-            Some(g) => g,
-            None => {
-                let m = crate::metrics::realtime_metrics();
-                m.pool_contention.inc();
-                let _t = m.pool_wait_ns.start_timer();
-                self.pools[idx].lock()
+    /// Best live candidate cell of `pool` that passes `keep`: maximum
+    /// `remaining`, later cells winning ties (exactly `max_by_key` over the
+    /// old striped entries, whose `max` kept the *last* maximum).
+    fn best_cell(
+        table: &QuotaTable,
+        topo: &TopologyView,
+        pool: Range<usize>,
+        keep: impl Fn(DcId) -> bool,
+    ) -> Option<(usize, u32)> {
+        let mut best: Option<(usize, u32)> = None;
+        for i in pool {
+            let dc = table.dcs[i];
+            if !topo.dc_up[dc.index()] || !keep(dc) {
+                continue;
             }
+            let r = table.remaining[i].load(Ordering::Relaxed);
+            if r > 0 && best.is_none_or(|(_, br)| r >= br) {
+                best = Some((i, r));
+            }
+        }
+        best
+    }
+
+    /// CAS-debit the best candidate of `pool`, rescanning when a racing
+    /// debit wins the cell first. Returns the debited DC, or `None` when no
+    /// candidate has quota left.
+    fn debit_best(
+        table: &QuotaTable,
+        topo: &TopologyView,
+        pool: Range<usize>,
+        keep: impl Fn(DcId) -> bool,
+    ) -> Option<DcId> {
+        loop {
+            let (i, r) = Self::best_cell(table, topo, pool.clone(), &keep)?;
+            if table.remaining[i]
+                .compare_exchange(r, r - 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                table.consumed[i].fetch_add(1, Ordering::Relaxed);
+                return Some(table.dcs[i]);
+            }
+            // lost the cell to a concurrent debit: re-rank and retry
+            crate::metrics::realtime_metrics().pool_contention.inc();
         }
     }
 
@@ -728,11 +910,12 @@ impl RealtimeSelector {
     }
 
     /// Quota consultation for one freeze. Caller holds the call's shard
-    /// lock; this takes the pool stripe lock (lock order: call shard →
-    /// pool stripe, everywhere).
+    /// lock; quota cells are debited lock-free by CAS, so there is no pool
+    /// lock to order against.
     fn decide_freeze(
         &self,
         topo: &TopologyView,
+        table: &QuotaTable,
         st: &mut SelectorStats,
         current: DcId,
         cfg: ConfigId,
@@ -750,30 +933,23 @@ impl RealtimeSelector {
             m.unplanned.inc();
             return FreezeDecision::Unplanned(current);
         };
-        let mut pool = self.lock_pool(cfg, slot);
-        let Some(rem) = pool.get_mut(&(cfg, slot)) else {
+        let Some(pool) = table.range(cfg, slot) else {
             st.unplanned += 1;
             m.unplanned.inc();
             return FreezeDecision::Unplanned(current);
         };
-        // current DC still has quota → debit and stay
+        // current DC still has quota → debit and stay (first cell of the
+        // current DC with quota, in plan-entry order, as before)
         if topo.dc_up[current.index()] {
-            if let Some(entry) = rem.iter_mut().find(|e| e.dc == current && e.remaining > 0) {
-                entry.remaining -= 1;
-                entry.consumed += 1;
-                return FreezeDecision::Stay(current);
+            for i in pool.clone() {
+                if table.dcs[i] == current && table.try_debit(i) {
+                    return FreezeDecision::Stay(current);
+                }
             }
         }
         // otherwise migrate to the up planned DC with the most remaining
         // quota (failed DCs hold dead quota — skip them)
-        if let Some(entry) = rem
-            .iter_mut()
-            .filter(|e| e.remaining > 0 && topo.dc_up[e.dc.index()])
-            .max_by_key(|e| e.remaining)
-        {
-            entry.remaining -= 1;
-            entry.consumed += 1;
-            let to = entry.dc;
+        if let Some(to) = Self::debit_best(table, topo, pool, |_| true) {
             st.migrations += 1;
             m.migrations.inc();
             return FreezeDecision::Migrate { from: current, to };
@@ -786,6 +962,7 @@ impl RealtimeSelector {
     fn freeze_core(
         &self,
         topo: &TopologyView,
+        table: &QuotaTable,
         st: &mut SelectorStats,
         call_id: u64,
         cfg: ConfigId,
@@ -794,7 +971,7 @@ impl RealtimeSelector {
         let m = crate::metrics::realtime_metrics();
         let _t = m.selection_ns.start_timer();
         m.freezes.inc();
-        let slot = self.plan.read().slot_of_minute(call_start_minute);
+        let slot = table.geom.slot_of_minute(call_start_minute);
         let mut decision = None;
         let known = self.active.update(&call_id, |call| {
             if call.frozen.is_some() {
@@ -805,7 +982,7 @@ impl RealtimeSelector {
             if let Some(s) = slot {
                 call.frozen = Some((cfg, s));
             }
-            let d = self.decide_freeze(topo, st, current, cfg, slot);
+            let d = self.decide_freeze(topo, table, st, current, cfg, slot);
             if let FreezeDecision::Migrate { to, .. } = d {
                 call.dc = to;
             }
@@ -838,6 +1015,7 @@ impl RealtimeSelector {
     fn rehome_core(
         &self,
         topo: &TopologyView,
+        table: &QuotaTable,
         st: &mut SelectorStats,
         call_id: u64,
     ) -> SelectorOutcome {
@@ -851,17 +1029,10 @@ impl RealtimeSelector {
             // plan rung: only for frozen calls with live quota at an up DC
             let mut out = None;
             if self.plan_valid.load(Ordering::Relaxed) {
-                if let Some(key) = frozen {
-                    let mut pool = self.lock_pool(key.0, key.1);
-                    if let Some(entry) = pool.get_mut(&key).and_then(|rem| {
-                        rem.iter_mut()
-                            .filter(|e| e.remaining > 0 && e.dc != old && topo.dc_up[e.dc.index()])
-                            .max_by_key(|e| e.remaining)
-                    }) {
-                        entry.remaining -= 1;
-                        entry.consumed += 1;
+                if let Some(pool) = frozen.and_then(|key| table.range(key.0, key.1)) {
+                    if let Some(dc) = Self::debit_best(table, topo, pool, |dc| dc != old) {
                         out = Some(SelectorOutcome::Placed {
-                            dc: entry.dc,
+                            dc,
                             rung: SelectorRung::Plan,
                         });
                     }
@@ -909,8 +1080,10 @@ impl RealtimeSelector {
     /// and the call is not tracked.
     pub fn call_start(&self, call_id: u64, first_joiner: CountryId) -> SelectorOutcome {
         let topo = self.topo_view();
-        let mut st = self.stats.lock();
-        self.start_core(&topo, &mut st, call_id, first_joiner)
+        let mut st = SelectorStats::default();
+        let out = self.start_core(&topo, &mut st, call_id, first_joiner);
+        self.stats.merge(&st);
+        out
     }
 
     /// The call's config froze (A minutes in): tally against the plan and
@@ -928,8 +1101,11 @@ impl RealtimeSelector {
         call_start_minute: u64,
     ) -> FreezeDecision {
         let topo = self.topo_view();
-        let mut st = self.stats.lock();
-        self.freeze_core(&topo, &mut st, call_id, cfg, call_start_minute)
+        let table = self.table();
+        let mut st = SelectorStats::default();
+        let d = self.freeze_core(&topo, &table, &mut st, call_id, cfg, call_start_minute);
+        self.stats.merge(&st);
+        d
     }
 
     /// A failure displaced this call (its hosting DC went down): re-home it
@@ -938,15 +1114,19 @@ impl RealtimeSelector {
     /// a *forced* migration; [`SelectorOutcome::Stranded`] drops the call.
     pub fn rehome_call(&self, call_id: u64) -> SelectorOutcome {
         let topo = self.topo_view();
-        let mut st = self.stats.lock();
-        self.rehome_core(&topo, &mut st, call_id)
+        let table = self.table();
+        let mut st = SelectorStats::default();
+        let out = self.rehome_core(&topo, &table, &mut st, call_id);
+        self.stats.merge(&st);
+        out
     }
 
     /// The call ended; release its bookkeeping. Unknown ids are counted
     /// no-ops (the call may have been stranded and dropped mid-flight).
     pub fn call_end(&self, call_id: u64) {
-        let mut st = self.stats.lock();
-        self.end_core(&mut st, call_id)
+        let mut st = SelectorStats::default();
+        self.end_core(&mut st, call_id);
+        self.stats.merge(&st);
     }
 
     /// DC currently hosting a call.
@@ -975,17 +1155,19 @@ impl RealtimeSelector {
     /// Snapshot of the statistics so far (shared totals; un-flushed
     /// [`SelectorShard`] deltas are not yet included).
     pub fn stats(&self) -> SelectorStats {
-        self.stats.lock().clone()
+        self.stats.snapshot()
     }
 
-    /// A worker handle for one replay thread: caches the topology snapshot
-    /// and batches statistics locally so per-event work never touches the
-    /// shared stats mutex. Merge explicitly with [`SelectorShard::flush`];
-    /// dropping the shard flushes too.
+    /// A worker handle for one replay thread: caches the topology and
+    /// quota-table snapshots and batches statistics locally so per-event
+    /// work never touches shared selector state beyond the CAS cells it
+    /// debits. Merge explicitly with [`SelectorShard::flush`]; dropping the
+    /// shard flushes too.
     pub fn shard(&self) -> SelectorShard<'_> {
         SelectorShard {
             sel: self,
             topo: self.topo_view(),
+            table: self.table(),
             stats: SelectorStats::default(),
             id: self.shard_seq.fetch_add(1, Ordering::Relaxed),
         }
@@ -1000,12 +1182,15 @@ impl RealtimeSelector {
 ///
 /// * one call's events must be driven in trace order (start → freeze → end);
 /// * freezes debiting the same `(config, slot)` pool must be driven in
-///   trace order relative to each other;
-/// * topology updates and plan validity flips must happen at barriers, with
-///   [`SelectorShard::refresh_topology`] called before the next window.
+///   trace order relative to each other (partition calls by
+///   [`RealtimeSelector::quota_pool_token`]);
+/// * topology updates, plan swaps, and plan validity flips must happen at
+///   barriers, with [`SelectorShard::refresh_topology`] called (or fresh
+///   shards created) before the next segment.
 pub struct SelectorShard<'a> {
     sel: &'a RealtimeSelector,
     topo: Arc<TopologyView>,
+    table: Arc<QuotaTable>,
     stats: SelectorStats,
     id: usize,
 }
@@ -1015,10 +1200,12 @@ impl SelectorShard<'_> {
         self.id % SELECTOR_SHARD_METRICS
     }
 
-    /// Re-read the selector's topology snapshot (call after
-    /// [`RealtimeSelector::update_topology`], at a window barrier).
+    /// Re-read the selector's topology and quota-table snapshots (call
+    /// after [`RealtimeSelector::update_topology`] or
+    /// [`RealtimeSelector::install_plan`], at a segment barrier).
     pub fn refresh_topology(&mut self) {
         self.topo = self.sel.topo_view();
+        self.table = self.sel.table();
     }
 
     /// Shard-local [`RealtimeSelector::call_start`].
@@ -1040,8 +1227,14 @@ impl SelectorShard<'_> {
         let m = crate::metrics::realtime_metrics();
         m.shard_ops[self.metric_slot()].inc();
         let _t = m.shard_selection_ns[self.metric_slot()].start_timer();
-        self.sel
-            .freeze_core(&self.topo, &mut self.stats, call_id, cfg, call_start_minute)
+        self.sel.freeze_core(
+            &self.topo,
+            &self.table,
+            &mut self.stats,
+            call_id,
+            cfg,
+            call_start_minute,
+        )
     }
 
     /// Shard-local [`RealtimeSelector::rehome_call`].
@@ -1049,7 +1242,8 @@ impl SelectorShard<'_> {
         let m = crate::metrics::realtime_metrics();
         m.shard_ops[self.metric_slot()].inc();
         let _t = m.shard_selection_ns[self.metric_slot()].start_timer();
-        self.sel.rehome_core(&self.topo, &mut self.stats, call_id)
+        self.sel
+            .rehome_core(&self.topo, &self.table, &mut self.stats, call_id)
     }
 
     /// Shard-local [`RealtimeSelector::call_end`].
@@ -1064,12 +1258,13 @@ impl SelectorShard<'_> {
         self.sel.current_dc(call_id)
     }
 
-    /// Merge this shard's batched stats into the selector's shared totals.
+    /// Merge this shard's batched stats into the selector's shared totals
+    /// (per-field atomic adds; no lock).
     pub fn flush(&mut self) {
         let local = std::mem::take(&mut self.stats);
         if local != SelectorStats::default() {
             crate::metrics::realtime_metrics().shard_flushes.inc();
-            self.sel.stats.lock().merge(&local);
+            self.sel.stats.merge(&local);
         }
     }
 }
@@ -1107,6 +1302,10 @@ mod tests {
         PlannedQuotas::from_plan(&shares, &demand)
     }
 
+    fn selector_of(lm: &LatencyMap, q: PlannedQuotas) -> RealtimeSelector {
+        RealtimeSelector::from_artifact(lm, &crate::plan::PlanArtifact::seed(q))
+    }
+
     #[test]
     fn largest_remainder_preserves_total() {
         let (_, cfg) = catalog();
@@ -1126,7 +1325,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 2.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         assert_eq!(sel.quota_initial_total(), 2);
         let out = sel.call_start(1, CountryId(0));
         assert_eq!(
@@ -1150,7 +1349,7 @@ mod tests {
         let (_, cfg) = catalog();
         // plan puts everything on DC1 but the first joiner is closest to DC0
         let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         sel.call_start(7, CountryId(0));
         let d = sel.config_frozen(7, cfg, 10);
         assert_eq!(
@@ -1172,7 +1371,7 @@ mod tests {
         let (_, cfg) = catalog();
         // plan: 2 calls at DC0, 1 at DC1
         let q = quotas_for(cfg, vec![(DcId(0), 2.0 / 3.0), (DcId(1), 1.0 / 3.0)], 3.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         for id in 0..3u64 {
             sel.call_start(id, CountryId(0));
         }
@@ -1201,7 +1400,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         sel.call_start(1, CountryId(1));
         // a config id the plan never saw
         let other = ConfigId(42);
@@ -1217,7 +1416,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         assert_eq!(sel.config_frozen(99, cfg, 0), FreezeDecision::UnknownCall);
         assert_eq!(sel.config_frozen(99, cfg, 0).final_dc(), None);
         sel.call_end(99);
@@ -1234,7 +1433,7 @@ mod tests {
         // plan on DC1: the first freeze migrates, the duplicate must not
         // debit quota, tally, or migrate again
         let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         sel.call_start(1, CountryId(0));
         assert!(sel.config_frozen(1, cfg, 0).migrated());
         let remaining = sel.quota_remaining_total();
@@ -1255,7 +1454,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 2.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         sel.call_start(1, CountryId(0));
         sel.config_frozen(1, cfg, 0);
         sel.call_end(1);
@@ -1275,7 +1474,7 @@ mod tests {
         let (_, cfg) = catalog();
         // quota at both DCs, slightly more at DC0
         let q = quotas_for(cfg, vec![(DcId(0), 0.6), (DcId(1), 0.4)], 10.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         sel.call_start(1, CountryId(0));
         assert_eq!(sel.current_dc(1), Some(DcId(0)));
         // DC0 fails between start and freeze: the freeze must skip DC0's
@@ -1298,7 +1497,7 @@ mod tests {
         let (_, cfg) = catalog();
         // the plan would migrate this call to DC1 — but it is stale
         let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         sel.set_plan_valid(false);
         assert!(!sel.plan_valid());
         sel.call_start(1, CountryId(0));
@@ -1318,7 +1517,7 @@ mod tests {
         let (_, cfg) = catalog();
         // all quota on DC1, which is down → freeze overflows in place
         let q = quotas_for(cfg, vec![(DcId(1), 1.0)], 5.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         sel.update_topology(&lm, &[true, false]);
         sel.call_start(1, CountryId(0));
         let d = sel.config_frozen(1, cfg, 0);
@@ -1332,7 +1531,7 @@ mod tests {
         // country 1 can only reach DC1
         let lm = LatencyMap::from_matrix(vec![vec![Some(5.0), Some(50.0)], vec![None, Some(5.0)]]);
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         // DC1 down: country 1 has no latency row to an up DC → any-reachable
         sel.update_topology(&lm, &[true, false]);
         let out = sel.call_start(1, CountryId(1));
@@ -1359,7 +1558,7 @@ mod tests {
         let (_, cfg) = catalog();
         // plan: quota at DC0 (closest) and DC2 (far)
         let q = quotas_for(cfg, vec![(DcId(0), 0.5), (DcId(2), 0.5)], 4.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         sel.call_start(1, CountryId(0));
         assert_eq!(sel.config_frozen(1, cfg, 0), FreezeDecision::Stay(DcId(0)));
         // DC0 fails → plan rung re-homes to DC2 (has quota), not DC1
@@ -1396,7 +1595,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 1.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         sel.call_start(1, CountryId(0));
         sel.update_topology(&lm, &[false, false]);
         assert!(sel.rehome_call(1).is_stranded());
@@ -1411,7 +1610,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 8.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         // DC0 down: country 0's calls land on DC1
         sel.update_topology(&lm, &[false, true]);
         assert_eq!(sel.call_start(1, CountryId(0)).dc(), Some(DcId(1)));
@@ -1426,7 +1625,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 0.5), (DcId(1), 0.5)], 8.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         {
             let mut a = sel.shard();
             let mut b = sel.shard();
@@ -1467,7 +1666,7 @@ mod tests {
         let lm = latmap();
         let (_, cfg) = catalog();
         let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 4.0);
-        let sel = RealtimeSelector::new(&lm, q);
+        let sel = selector_of(&lm, q);
         let mut shard = sel.shard();
         assert_eq!(shard.call_start(1, CountryId(0)).dc(), Some(DcId(0)));
         sel.update_topology(&lm, &[false, true]);
@@ -1475,5 +1674,53 @@ mod tests {
         assert_eq!(shard.call_start(2, CountryId(0)).dc(), Some(DcId(0)));
         shard.refresh_topology();
         assert_eq!(shard.call_start(3, CountryId(0)).dc(), Some(DcId(1)));
+    }
+
+    #[test]
+    fn from_artifact_boots_at_artifact_epoch() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 1.0)], 3.0);
+        let art = crate::plan::PlanArtifact::seed(q).with_epoch(7);
+        let sel = RealtimeSelector::from_artifact(&lm, &art);
+        assert_eq!(sel.plan_epoch(), 7);
+        assert_eq!(sel.quota_initial_total(), 3);
+        assert!(sel.plan_valid());
+        // the boot plan behaves exactly like an installed one
+        sel.call_start(1, CountryId(0));
+        assert_eq!(sel.config_frozen(1, cfg, 0), FreezeDecision::Stay(DcId(0)));
+        assert_eq!(sel.quota_remaining_total(), 2);
+    }
+
+    #[test]
+    fn pool_tokens_identify_pools_and_unplanned_freezes() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let q = quotas_for(cfg, vec![(DcId(0), 0.5), (DcId(1), 0.5)], 4.0);
+        let sel = selector_of(&lm, q);
+        let tok = sel.quota_pool_token(cfg, 0);
+        assert!(tok.is_some());
+        // same pool → same token; both freezes of slot 0 debit it
+        assert_eq!(sel.quota_pool_token(cfg, 29), tok);
+        // outside the horizon or an unplanned config → no pool
+        assert_eq!(sel.quota_pool_token(cfg, 10_000), None);
+        assert_eq!(sel.quota_pool_token(ConfigId(999), 0), None);
+    }
+
+    #[test]
+    fn shard_sees_new_plan_after_refresh() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        let sel = selector_of(&lm, quotas_for(cfg, vec![(DcId(0), 1.0)], 2.0));
+        let mut shard = sel.shard();
+        shard.call_start(1, CountryId(0));
+        // swap in a plan that forces a migration to DC1
+        let art = crate::plan::PlanArtifact::seed(quotas_for(cfg, vec![(DcId(1), 1.0)], 2.0))
+            .with_epoch(1);
+        sel.install_plan(&art);
+        shard.refresh_topology();
+        assert!(shard.config_frozen(1, cfg, 0).migrated());
+        shard.flush();
+        assert_eq!(sel.stats().migrations, 1);
     }
 }

@@ -5,7 +5,9 @@
 //! `Stranded` exactly when no DC is up.
 
 use proptest::prelude::*;
-use sb_core::{FreezeDecision, LatencyMap, PlannedQuotas, RealtimeSelector, SelectorOutcome};
+use sb_core::{
+    FreezeDecision, LatencyMap, PlanArtifact, PlannedQuotas, RealtimeSelector, SelectorOutcome,
+};
 use sb_net::{FailureScenario, GeoPoint, Node, RoutingTable, Topology, TopologyBuilder};
 use sb_workload::{CallConfig, ConfigCatalog, ConfigId, DemandMatrix, MediaType};
 
@@ -113,7 +115,7 @@ proptest! {
         let any_up = dc_up.iter().any(|&u| u);
 
         let quotas = make_quotas(&topo, cfg, with_plan);
-        let selector = RealtimeSelector::new(&latmap, quotas);
+        let selector = RealtimeSelector::from_artifact(&latmap, &PlanArtifact::seed(quotas));
         selector.update_topology(&latmap, &dc_up);
 
         let mut started = 0u64;

@@ -14,7 +14,7 @@
 //!   no-ops under contention (`unknown_*` match the expectation exactly).
 
 use proptest::prelude::*;
-use sb_core::{LatencyMap, PlannedQuotas, RealtimeSelector};
+use sb_core::{LatencyMap, PlanArtifact, PlannedQuotas, RealtimeSelector};
 use sb_net::{FailureScenario, RoutingTable};
 use sb_workload::{CallConfig, ConfigCatalog, ConfigId, DemandMatrix, MediaType};
 
@@ -112,7 +112,11 @@ fn selector(per_slot: f64) -> (sb_net::Topology, ConfigId, RealtimeSelector) {
         demand.set(cfg, s, per_slot);
     }
     let quotas = PlannedQuotas::from_plan(&shares, &demand);
-    (topo, cfg, RealtimeSelector::new(&latmap, quotas))
+    (
+        topo,
+        cfg,
+        RealtimeSelector::from_artifact(&latmap, &PlanArtifact::seed(quotas)),
+    )
 }
 
 proptest! {

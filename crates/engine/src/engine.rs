@@ -1,0 +1,449 @@
+//! The service-shaped orchestration layer over the `sb-core` selector.
+//!
+//! `sb-core` owns the placement *primitives* (closest-DC assignment, quota
+//! debits, the degradation ladder); this module owns everything a
+//! long-running service wraps around them: admission control, the call
+//! lifecycle persisted through the `sb-store` call-state store, plan
+//! hot-swap, and graceful drain. Keeping the two apart is deliberate — see
+//! DESIGN.md §Layering for the separation-of-concerns lesson this encodes.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sb_core::{
+    FreezeDecision, LatencyMap, PlanArtifact, PlanSwapStats, RealtimeSelector, SelectorOutcome,
+    SelectorStats,
+};
+use sb_net::CountryId;
+use sb_store::{CallEvent, CallStateStore, LatencyHistogram, MediaFlag};
+use sb_workload::ConfigId;
+
+use crate::latency::FineHistogram;
+
+/// Engine construction knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Shard count of the call-state store.
+    pub store_shards: usize,
+    /// Simulated per-write store round trip (§6.6; zero = in-process map).
+    pub store_rtt: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            store_shards: 64,
+            store_rtt: Duration::ZERO,
+        }
+    }
+}
+
+/// Outcome of an admission request.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Admission {
+    /// The call was admitted and placed (the outcome says where and via
+    /// which rung). A placement of `None` means every DC was unreachable —
+    /// admitted but stranded, mirroring the selector's ladder.
+    Granted(SelectorOutcome),
+    /// The engine is draining: no new calls.
+    Draining,
+}
+
+impl Admission {
+    /// The assigned DC, if any.
+    pub fn dc(self) -> Option<sb_net::DcId> {
+        match self {
+            Admission::Granted(o) => o.dc(),
+            Admission::Draining => None,
+        }
+    }
+}
+
+/// Aggregate engine counters (one consistent snapshot).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Selector-side statistics (assignments, freezes, migrations, …).
+    pub selector: SelectorStats,
+    /// Calls admitted (placed or stranded — the selector saw them).
+    pub admitted: u64,
+    /// Admissions rejected because the engine was draining.
+    pub rejected_draining: u64,
+    /// Calls ended.
+    pub ended: u64,
+    /// Plans hot-swapped in over the engine's lifetime.
+    pub plans_installed: u64,
+    /// Currently live calls (selector view).
+    pub active_calls: usize,
+    /// Call-state writes persisted to the store.
+    pub store_writes: u64,
+}
+
+/// A long-running selector service: admission, call lifecycle via the
+/// sharded call-state store, plan hot-swap, graceful drain.
+///
+/// All methods take `&self`; workers drive a per-thread [`EngineWorker`]
+/// (from [`Engine::worker`]) so stats and latency samples batch locally and
+/// merge on flush/drop.
+pub struct Engine {
+    selector: RealtimeSelector,
+    store: CallStateStore,
+    draining: AtomicBool,
+    admitted: AtomicU64,
+    rejected_draining: AtomicU64,
+    ended: AtomicU64,
+    plans_installed: AtomicU64,
+    op_latency: Mutex<FineHistogram>,
+    store_latency: Mutex<LatencyHistogram>,
+}
+
+impl Engine {
+    /// Boot the engine from a topology view and an initial plan artifact.
+    pub fn new(latmap: &LatencyMap, artifact: &PlanArtifact, cfg: &EngineConfig) -> Engine {
+        Engine {
+            selector: RealtimeSelector::from_artifact(latmap, artifact),
+            store: CallStateStore::with_simulated_rtt(cfg.store_shards, cfg.store_rtt),
+            draining: AtomicBool::new(false),
+            admitted: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            ended: AtomicU64::new(0),
+            plans_installed: AtomicU64::new(0),
+            op_latency: Mutex::new(FineHistogram::new()),
+            store_latency: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+
+    /// A worker handle batching selector stats and latency samples locally.
+    pub fn worker(&self) -> EngineWorker<'_> {
+        EngineWorker {
+            engine: self,
+            shard: self.selector.shard(),
+            ops: FineHistogram::new(),
+            store_hist: LatencyHistogram::new(),
+        }
+    }
+
+    /// Hot-swap a new plan into the selector (carrying consumed quota over,
+    /// see [`RealtimeSelector::install_plan`]).
+    pub fn install_plan(&self, artifact: &PlanArtifact) -> PlanSwapStats {
+        let swap = self.selector.install_plan(artifact);
+        self.plans_installed.fetch_add(1, Ordering::Relaxed);
+        swap
+    }
+
+    /// Push a fresh topology view (latency map + per-DC health).
+    pub fn update_topology(&self, latmap: &LatencyMap, dc_up: &[bool]) {
+        self.selector.update_topology(latmap, dc_up);
+    }
+
+    /// Stop admitting new calls; in-flight calls keep running to completion.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Is the engine refusing new admissions?
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drained = draining and no live calls remain.
+    pub fn drained(&self) -> bool {
+        self.draining() && self.selector.active_calls() == 0
+    }
+
+    /// Block until drained or `timeout` elapses; returns whether the drain
+    /// completed. (Callers must keep feeding `end` events — the engine never
+    /// hangs up calls itself.)
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        let t0 = Instant::now();
+        while !self.drained() {
+            if t0.elapsed() >= timeout {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Installed plan epoch.
+    pub fn plan_epoch(&self) -> u64 {
+        self.selector.plan_epoch()
+    }
+
+    /// Opaque token identifying the quota pool a `(config, start-minute)`
+    /// freeze will debit, for partitioning work across workers (same token →
+    /// same pool). `None` when the freeze would be unplanned.
+    pub fn pool_token(&self, config: ConfigId, start_minute: u64) -> Option<u64> {
+        self.selector.quota_pool_token(config, start_minute)
+    }
+
+    /// Selector-side statistics (includes deltas from flushed workers only).
+    pub fn selector_stats(&self) -> SelectorStats {
+        self.selector.stats()
+    }
+
+    /// Per-DC frozen-call tallies.
+    pub fn per_dc_tallies(&self) -> Vec<u64> {
+        self.selector.per_dc_tallies()
+    }
+
+    /// One consistent counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            selector: self.selector.stats(),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
+            ended: self.ended.load(Ordering::Relaxed),
+            plans_installed: self.plans_installed.load(Ordering::Relaxed),
+            active_calls: self.selector.active_calls(),
+            store_writes: self.store_latency.lock().count(),
+        }
+    }
+
+    /// Selector-op latency distribution merged from flushed workers.
+    pub fn op_latency(&self) -> FineHistogram {
+        self.op_latency.lock().clone()
+    }
+
+    /// Store write-latency distribution merged from flushed workers.
+    pub fn store_latency(&self) -> LatencyHistogram {
+        self.store_latency.lock().clone()
+    }
+
+    /// The call-state store (shared, cheap to clone).
+    pub fn store(&self) -> &CallStateStore {
+        &self.store
+    }
+}
+
+/// Per-thread engine handle: wraps a [`sb_core::SelectorShard`] plus local
+/// latency histograms; everything merges back into the [`Engine`] on
+/// [`flush`](EngineWorker::flush) or drop.
+pub struct EngineWorker<'a> {
+    engine: &'a Engine,
+    shard: sb_core::SelectorShard<'a>,
+    ops: FineHistogram,
+    store_hist: LatencyHistogram,
+}
+
+impl EngineWorker<'_> {
+    /// Admit a new call: place it via the selector's ladder and persist the
+    /// `Start` record. Rejected outright while the engine drains.
+    pub fn admit(&mut self, call: u64, first_joiner: CountryId) -> Admission {
+        if self.engine.draining.load(Ordering::Relaxed) {
+            self.engine
+                .rejected_draining
+                .fetch_add(1, Ordering::Relaxed);
+            return Admission::Draining;
+        }
+        let t = Instant::now();
+        let outcome = self.shard.call_start(call, first_joiner);
+        self.ops.record(t.elapsed());
+        self.engine.admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(dc) = outcome.dc() {
+            self.engine.store.apply(
+                CallEvent::Start {
+                    call,
+                    country: first_joiner.0,
+                    dc: dc.index() as u16,
+                },
+                &mut self.store_hist,
+            );
+        }
+        Admission::Granted(outcome)
+    }
+
+    /// A participant joined an admitted call.
+    pub fn join(&mut self, call: u64, country: CountryId) {
+        self.engine.store.apply(
+            CallEvent::Join {
+                call,
+                country: country.0,
+            },
+            &mut self.store_hist,
+        );
+    }
+
+    /// The call's media classification changed.
+    pub fn set_media(&mut self, call: u64, media: MediaFlag) {
+        self.engine
+            .store
+            .apply(CallEvent::Media { call, media }, &mut self.store_hist);
+    }
+
+    /// The call's config froze (A minutes in): tally it against the plan,
+    /// migrating if the plan disagrees with the initial placement, and
+    /// persist the freeze.
+    pub fn freeze(&mut self, call: u64, config: ConfigId, start_minute: u64) -> FreezeDecision {
+        let t = Instant::now();
+        let decision = self.shard.config_frozen(call, config, start_minute);
+        self.ops.record(t.elapsed());
+        if !matches!(decision, FreezeDecision::UnknownCall) {
+            self.engine
+                .store
+                .apply(CallEvent::Freeze { call }, &mut self.store_hist);
+        }
+        decision
+    }
+
+    /// The call ended: release selector state and delete the store record.
+    pub fn end(&mut self, call: u64) {
+        let t = Instant::now();
+        self.shard.call_end(call);
+        self.ops.record(t.elapsed());
+        self.engine
+            .store
+            .apply(CallEvent::End { call }, &mut self.store_hist);
+        self.engine.ended.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current DC hosting `call`, if live.
+    pub fn current_dc(&self, call: u64) -> Option<sb_net::DcId> {
+        self.shard.current_dc(call)
+    }
+
+    /// Re-read the engine's topology + plan snapshots (after
+    /// [`Engine::install_plan`] / [`Engine::update_topology`]).
+    pub fn refresh(&mut self) {
+        self.shard.refresh_topology();
+    }
+
+    /// Merge local stats and latency samples into the engine.
+    pub fn flush(&mut self) {
+        self.shard.flush();
+        self.engine.op_latency.lock().merge(&self.ops);
+        self.ops = FineHistogram::new();
+        self.engine.store_latency.lock().merge(&self.store_hist);
+        self.store_hist = LatencyHistogram::new();
+    }
+}
+
+impl Drop for EngineWorker<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_core::{AllocationShares, PlannedQuotas};
+    use sb_net::{FailureScenario, RoutingTable};
+    use sb_workload::DemandMatrix;
+
+    fn world() -> (sb_net::Topology, LatencyMap, PlanArtifact, ConfigId) {
+        let topo = sb_net::presets::toy_three_dc();
+        let routing = RoutingTable::compute(&topo, FailureScenario::None);
+        let latmap = LatencyMap::from_routing(&topo, &routing);
+        let cfg = ConfigId(0);
+        let tokyo = topo.dc_by_name("Tokyo");
+        let slots = 4;
+        let mut shares = AllocationShares::new(slots);
+        let mut demand = DemandMatrix::zero(1, slots, 30, 0);
+        for s in 0..slots {
+            shares.set(cfg, s, vec![(tokyo, 1.0)]);
+            demand.set(cfg, s, 10.0);
+        }
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        (topo, latmap, PlanArtifact::seed(quotas), cfg)
+    }
+
+    #[test]
+    fn lifecycle_persists_through_store() {
+        let (topo, latmap, artifact, cfg) = world();
+        let engine = Engine::new(&latmap, &artifact, &EngineConfig::default());
+        let jp = topo.country_by_name("JP");
+        let mut w = engine.worker();
+        let adm = w.admit(7, jp);
+        let dc = adm.dc().expect("healthy topology places the call");
+        assert_eq!(
+            engine.store().get(7).map(|st| st.dc),
+            Some(dc.index() as u16)
+        );
+        w.join(7, jp);
+        w.set_media(7, MediaFlag::Video);
+        let d = w.freeze(7, cfg, 0);
+        assert!(!matches!(d, FreezeDecision::UnknownCall));
+        assert!(engine.store().get(7).unwrap().frozen);
+        w.end(7);
+        assert!(engine.store().get(7).is_none());
+        drop(w);
+        let stats = engine.stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.ended, 1);
+        assert_eq!(stats.active_calls, 0);
+        assert_eq!(stats.selector.calls, 1);
+        assert_eq!(stats.selector.freezes, 1);
+        assert_eq!(stats.store_writes, 5);
+        assert_eq!(engine.op_latency().count(), 3);
+    }
+
+    #[test]
+    fn drain_rejects_new_calls_but_finishes_old_ones() {
+        let (topo, latmap, artifact, _) = world();
+        let engine = Engine::new(&latmap, &artifact, &EngineConfig::default());
+        let jp = topo.country_by_name("JP");
+        let mut w = engine.worker();
+        assert!(matches!(w.admit(1, jp), Admission::Granted(_)));
+        engine.begin_drain();
+        assert_eq!(w.admit(2, jp), Admission::Draining);
+        assert!(!engine.drained(), "call 1 is still live");
+        assert!(!engine.wait_drained(Duration::from_millis(5)));
+        w.end(1);
+        assert!(engine.drained());
+        assert!(engine.wait_drained(Duration::from_millis(5)));
+        drop(w);
+        let stats = engine.stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.rejected_draining, 1);
+        // the rejected call never reached the selector or the store
+        assert_eq!(stats.selector.calls, 1);
+        assert!(engine.store().get(2).is_none());
+    }
+
+    #[test]
+    fn plan_hot_swap_changes_freeze_decisions() {
+        let (topo, latmap, artifact, cfg) = world();
+        let engine = Engine::new(&latmap, &artifact, &EngineConfig::default());
+        let jp = topo.country_by_name("JP");
+        let pune = topo.dc_by_name("Pune");
+
+        // epoch 0 plan pins quota at Tokyo (closest): freezes stay
+        let mut w = engine.worker();
+        assert!(w.admit(1, jp).dc().is_some());
+        assert!(matches!(w.freeze(1, cfg, 0), FreezeDecision::Stay(_)));
+
+        // hot-swap a plan that moves all quota to Pune
+        let slots = 4;
+        let mut shares = AllocationShares::new(slots);
+        let mut demand = DemandMatrix::zero(1, slots, 30, 0);
+        for s in 0..slots {
+            shares.set(cfg, s, vec![(pune, 1.0)]);
+            demand.set(cfg, s, 10.0);
+        }
+        let quotas = PlannedQuotas::from_plan(&shares, &demand);
+        let v2 = PlanArtifact::seed(quotas).with_epoch(1);
+        engine.install_plan(&v2);
+        assert_eq!(engine.plan_epoch(), 1);
+        w.refresh();
+
+        assert!(w.admit(2, jp).dc().is_some());
+        match w.freeze(2, cfg, 0) {
+            FreezeDecision::Migrate { to, .. } => assert_eq!(to, pune),
+            other => panic!("expected a migration to Pune, got {other:?}"),
+        }
+        drop(w);
+        assert_eq!(engine.stats().plans_installed, 1);
+    }
+
+    #[test]
+    fn pool_token_matches_selector_partitioning() {
+        let (_topo, latmap, artifact, cfg) = world();
+        let engine = Engine::new(&latmap, &artifact, &EngineConfig::default());
+        // same slot → same pool; different slot → different pool
+        assert_eq!(engine.pool_token(cfg, 0), engine.pool_token(cfg, 29));
+        assert_ne!(engine.pool_token(cfg, 0), engine.pool_token(cfg, 30));
+        // unknown config → unplanned → no token
+        assert_eq!(engine.pool_token(ConfigId(99), 0), None);
+    }
+}

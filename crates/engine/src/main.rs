@@ -1,0 +1,377 @@
+//! `sb-engine` — the Switchboard selector as a long-running service.
+//!
+//! Boots an [`sb_engine::Engine`] over a preset topology and a synthetic
+//! day-one plan, then serves a line-oriented text protocol on stdin/stdout
+//! (or a TCP listener with `--listen`). One command per line; every command
+//! gets exactly one reply line (`stats` replies with a block ending in a
+//! blank line). Commands:
+//!
+//! ```text
+//! admit <id> <country>          place a new call (country name or index)
+//! join <id> <country>           record a participant join
+//! media <id> audio|video|screen record a media change
+//! freeze <id> <config> <minute> freeze the config, tally against the plan
+//! end <id>                      end the call
+//! install <path>                hot-swap a plan artifact (.tsv or .ndjson)
+//! drain                         stop admitting; in-flight calls finish
+//! stats                         counter + latency snapshot
+//! ping                          liveness probe
+//! quit                          exit
+//! ```
+//!
+//! Usage: `sb-engine [--topology apac|toy] [--configs N] [--slot-minutes M]
+//! [--store-shards N] [--store-rtt-us U] [--listen ADDR:PORT]`
+
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+use sb_core::{
+    AllocationShares, FreezeDecision, LatencyMap, PlanArtifact, PlannedQuotas, SelectorOutcome,
+    SelectorRung,
+};
+use sb_engine::{Admission, Engine, EngineConfig};
+use sb_net::{FailureScenario, RoutingTable, Topology};
+use sb_store::MediaFlag;
+use sb_workload::{ConfigId, Generator, UniverseParams, WorkloadParams};
+
+struct Opts {
+    topology: String,
+    configs: usize,
+    slot_minutes: u32,
+    store_shards: usize,
+    store_rtt: Duration,
+    listen: Option<String>,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        topology: "apac".to_string(),
+        configs: 300,
+        slot_minutes: 120,
+        store_shards: 64,
+        store_rtt: Duration::ZERO,
+        listen: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--topology" => opts.topology = take("--topology"),
+            "--configs" => opts.configs = take("--configs").parse().expect("--configs"),
+            "--slot-minutes" => {
+                opts.slot_minutes = take("--slot-minutes").parse().expect("--slot-minutes")
+            }
+            "--store-shards" => {
+                opts.store_shards = take("--store-shards").parse().expect("--store-shards")
+            }
+            "--store-rtt-us" => {
+                opts.store_rtt =
+                    Duration::from_micros(take("--store-rtt-us").parse().expect("--store-rtt-us"))
+            }
+            "--listen" => opts.listen = Some(take("--listen")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: sb-engine [--topology apac|toy] [--configs N] \
+                     [--slot-minutes M] [--store-shards N] [--store-rtt-us U] \
+                     [--listen ADDR:PORT]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// A synthetic day-one plan spreading every generated config across all DCs
+/// — the same construction the replay benches use, so the service boots
+/// without an LP solve. Plans produced by the full pipeline hot-swap in via
+/// `install`.
+fn seed_plan(topo: &Topology, generator: &Generator) -> PlanArtifact {
+    let expected = generator.expected_demand(2, 1);
+    let selected = expected.top_configs_covering(0.97);
+    let planned = expected.filtered(&selected).scaled(1.3);
+    let slots = planned.num_slots();
+    let mut shares = AllocationShares::new(slots);
+    let n = topo.dcs.len() as f64;
+    let spread: Vec<_> = topo.dc_ids().map(|d| (d, 1.0 / n)).collect();
+    for &cfg in &selected {
+        for s in 0..slots {
+            shares.set(cfg, s, spread.clone());
+        }
+    }
+    PlanArtifact::seed(PlannedQuotas::from_plan(&shares, &planned))
+}
+
+fn rung_name(rung: SelectorRung) -> &'static str {
+    match rung {
+        SelectorRung::Plan => "plan",
+        SelectorRung::Locality => "locality",
+        SelectorRung::AnyReachable => "any-reachable",
+    }
+}
+
+struct Service {
+    topo: Topology,
+    engine: Engine,
+}
+
+impl Service {
+    fn country(&self, token: &str) -> Result<sb_net::CountryId, String> {
+        if let Ok(idx) = token.parse::<u16>() {
+            return Ok(sb_net::CountryId(idx));
+        }
+        self.topo
+            .countries
+            .iter()
+            .find(|c| c.name == token)
+            .map(|c| c.id)
+            .ok_or_else(|| format!("unknown country {token}"))
+    }
+
+    /// Handle one command line; returns the reply, or `None` to quit.
+    fn handle(&self, worker: &mut sb_engine::EngineWorker<'_>, line: &str) -> Option<String> {
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("").to_ascii_lowercase();
+        let args: Vec<&str> = parts.collect();
+        let reply = match (cmd.as_str(), args.as_slice()) {
+            ("", []) => return Some(String::new()),
+            ("ping", []) => "ok pong".to_string(),
+            ("quit" | "exit", []) => return None,
+            ("admit", [id, country]) => match (id.parse::<u64>(), self.country(country)) {
+                (Ok(id), Ok(c)) => match worker.admit(id, c) {
+                    Admission::Draining => "err draining".to_string(),
+                    Admission::Granted(SelectorOutcome::Stranded) => {
+                        format!("ok admit {id} stranded")
+                    }
+                    Admission::Granted(SelectorOutcome::Placed { dc, rung }) => {
+                        format!(
+                            "ok admit {id} dc={} rung={}",
+                            self.topo.dcs[dc.index()].name,
+                            rung_name(rung)
+                        )
+                    }
+                },
+                (Err(e), _) => format!("err bad call id: {e}"),
+                (_, Err(e)) => format!("err {e}"),
+            },
+            ("join", [id, country]) => match (id.parse::<u64>(), self.country(country)) {
+                (Ok(id), Ok(c)) => {
+                    worker.join(id, c);
+                    format!("ok join {id}")
+                }
+                (Err(e), _) => format!("err bad call id: {e}"),
+                (_, Err(e)) => format!("err {e}"),
+            },
+            ("media", [id, flag]) => match (id.parse::<u64>(), *flag) {
+                (Ok(id), "audio") => {
+                    worker.set_media(id, MediaFlag::Audio);
+                    format!("ok media {id}")
+                }
+                (Ok(id), "video") => {
+                    worker.set_media(id, MediaFlag::Video);
+                    format!("ok media {id}")
+                }
+                (Ok(id), "screen") => {
+                    worker.set_media(id, MediaFlag::ScreenShare);
+                    format!("ok media {id}")
+                }
+                (Ok(_), other) => format!("err unknown media flag {other}"),
+                (Err(e), _) => format!("err bad call id: {e}"),
+            },
+            ("freeze", [id, config, minute]) => {
+                match (
+                    id.parse::<u64>(),
+                    config.parse::<u32>(),
+                    minute.parse::<u64>(),
+                ) {
+                    (Ok(id), Ok(cfg), Ok(min)) => {
+                        let dc_name = |d: sb_net::DcId| self.topo.dcs[d.index()].name.clone();
+                        match worker.freeze(id, ConfigId(cfg), min) {
+                            FreezeDecision::Stay(d) => {
+                                format!("ok freeze {id} stay dc={}", dc_name(d))
+                            }
+                            FreezeDecision::Migrate { from, to } => format!(
+                                "ok freeze {id} migrate from={} to={}",
+                                dc_name(from),
+                                dc_name(to)
+                            ),
+                            FreezeDecision::Unplanned(d) => {
+                                format!("ok freeze {id} unplanned dc={}", dc_name(d))
+                            }
+                            FreezeDecision::Overflow(d) => {
+                                format!("ok freeze {id} overflow dc={}", dc_name(d))
+                            }
+                            FreezeDecision::AlreadyFrozen(d) => {
+                                format!("ok freeze {id} already-frozen dc={}", dc_name(d))
+                            }
+                            FreezeDecision::UnknownCall => {
+                                format!("err freeze {id} unknown-call")
+                            }
+                        }
+                    }
+                    _ => "err usage: freeze <id> <config> <minute>".to_string(),
+                }
+            }
+            ("end", [id]) => match id.parse::<u64>() {
+                Ok(id) => {
+                    worker.end(id);
+                    format!("ok end {id}")
+                }
+                Err(e) => format!("err bad call id: {e}"),
+            },
+            ("install", [path]) => match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let parsed = if path.ends_with(".ndjson") {
+                        PlanArtifact::from_ndjson(&text)
+                    } else {
+                        PlanArtifact::from_tsv(&text)
+                    };
+                    match parsed {
+                        Ok(artifact) => {
+                            let swap = self.engine.install_plan(&artifact);
+                            worker.refresh();
+                            format!(
+                                "ok install epoch={} pools={} carried={} quota={}",
+                                swap.to_epoch, swap.pools, swap.carried_consumed, swap.quota_after
+                            )
+                        }
+                        Err(e) => format!("err plan parse: {e:?}"),
+                    }
+                }
+                Err(e) => format!("err read {path}: {e}"),
+            },
+            ("drain", []) => {
+                self.engine.begin_drain();
+                format!("ok drain active={}", self.engine.stats().active_calls)
+            }
+            ("stats", []) => {
+                worker.flush();
+                let st = self.engine.stats();
+                let ops = self.engine.op_latency();
+                let mut out = String::new();
+                out.push_str("ok stats\n");
+                out.push_str(&format!(
+                    "  admitted={} rejected_draining={} ended={} active={}\n",
+                    st.admitted, st.rejected_draining, st.ended, st.active_calls
+                ));
+                out.push_str(&format!(
+                    "  freezes={} migrations={} unplanned={} overflow={}\n",
+                    st.selector.freezes,
+                    st.selector.migrations,
+                    st.selector.unplanned,
+                    st.selector.overflow
+                ));
+                out.push_str(&format!(
+                    "  plan_epoch={} plans_installed={} draining={} store_writes={}\n",
+                    self.engine.plan_epoch(),
+                    st.plans_installed,
+                    self.engine.draining(),
+                    st.store_writes
+                ));
+                out.push_str(&format!(
+                    "  op_latency count={} p50={:?} p99={:?} p999={:?} max={:?}\n",
+                    ops.count(),
+                    ops.quantile(0.5),
+                    ops.quantile(0.99),
+                    ops.quantile(0.999),
+                    ops.max()
+                ));
+                out
+            }
+            _ => format!("err unknown command: {line}"),
+        };
+        Some(reply)
+    }
+
+    fn serve<R: BufRead, W: Write>(&self, input: R, mut output: W) -> std::io::Result<()> {
+        let mut worker = self.engine.worker();
+        for line in input.lines() {
+            let line = line?;
+            match self.handle(&mut worker, &line) {
+                Some(reply) => writeln!(output, "{reply}")?,
+                None => {
+                    writeln!(output, "ok bye")?;
+                    break;
+                }
+            }
+            output.flush()?;
+        }
+        Ok(())
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let topo = match opts.topology.as_str() {
+        "apac" => sb_net::presets::apac(),
+        "toy" => sb_net::presets::toy_three_dc(),
+        other => {
+            eprintln!("unknown topology {other} (expected apac|toy)");
+            std::process::exit(2);
+        }
+    };
+    let params = WorkloadParams {
+        universe: UniverseParams {
+            num_configs: opts.configs,
+            ..Default::default()
+        },
+        slot_minutes: opts.slot_minutes,
+        ..Default::default()
+    };
+    let generator = Generator::new(&topo, params);
+    let artifact = seed_plan(&topo, &generator);
+    let routing = RoutingTable::compute(&topo, FailureScenario::None);
+    let latmap = LatencyMap::from_routing(&topo, &routing);
+    let engine = Engine::new(
+        &latmap,
+        &artifact,
+        &EngineConfig {
+            store_shards: opts.store_shards,
+            store_rtt: opts.store_rtt,
+        },
+    );
+    eprintln!(
+        "sb-engine ready: topology={} dcs={} plan_pools={} quota={}",
+        opts.topology,
+        topo.dcs.len(),
+        artifact.quotas.iter().count(),
+        artifact.quotas.total_quota(),
+    );
+    let service = Service { topo, engine };
+
+    match &opts.listen {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            service
+                .serve(stdin.lock(), stdout.lock())
+                .expect("stdin/stdout service loop");
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr).expect("bind --listen address");
+            eprintln!("sb-engine listening on {addr}");
+            for conn in listener.incoming() {
+                let conn = conn.expect("accept");
+                let peer = conn.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+                eprintln!("sb-engine: connection from {peer}");
+                let reader = BufReader::new(conn.try_clone().expect("clone socket"));
+                if let Err(e) = service.serve(reader, conn) {
+                    eprintln!("sb-engine: connection {peer} errored: {e}");
+                }
+                if service.engine.drained() {
+                    eprintln!("sb-engine: drained — shutting down");
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -76,7 +76,7 @@ impl GuardedSimplex {
     /// 3. dense tableau engine, subject to `fallback_to_dense` and
     ///    `dense_var_limit`.
     ///
-    /// The winning rung is recorded in [`SolveStats::rung`] and the ladder
+    /// The winning rung is recorded in [`crate::SolveStats::rung`] and the ladder
     /// metrics.
     pub fn solve_with_basis(
         &self,

@@ -6,7 +6,7 @@
 //! mid-flight and never lets a fault recover. This module closes that gap: a
 //! [`FaultTimeline`] schedules faults (`DcDown`, `LinkDown`, `LinkFlap`,
 //! `CapacityDegraded`, `PlanStale`) over absolute minutes, and
-//! [`chaos_replay`] drives a trace through the real-time selector while the
+//! [`ReplayDriver`] drives a trace through the real-time selector while the
 //! fault state evolves:
 //!
 //! * at every fault transition the routing table and latency map are
@@ -18,13 +18,17 @@
 //! * per-window stranded/violation/ACL stats are accumulated and emitted
 //!   through `sb-obs` (`chaos.*` counters and the `chaos.windows` table).
 //!
-//! [`chaos_replay`] is the serial oracle. [`chaos_replay_concurrent`] drives
-//! the same engine across worker threads: fault transitions are the window
-//! barriers, each fault-free segment runs the three-phase drive of
-//! [`crate::replay`] (starts ∥, freezes grouped by quota pool, ends ∥), and
-//! all bookkeeping — interval flushes, re-homes, window stats — happens on
-//! the coordinating thread in exact trace order, so the aggregate
-//! [`ChaosStats`] comes out identical to the serial run, floats included.
+//! The default drive is the serial oracle. [`ReplayDriver::threads`] drives
+//! the same engine across worker threads with **no intra-segment barriers**:
+//! fault transitions and plan installs bound the fault-free segments, and
+//! within a segment every record's whole lifecycle (start → freeze → end) is
+//! pinned to one worker by its quota pool
+//! (`lifecycle_worker` in `replay`), so per-call event order and
+//! per-pool freeze order — the only orders quota debits are sensitive to —
+//! are preserved without synchronization. All bookkeeping — interval
+//! flushes, re-homes, window stats — happens on the coordinating thread in
+//! exact trace order, so the aggregate [`ChaosStats`] comes out identical to
+//! the serial run, floats included.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
@@ -40,7 +44,7 @@ use sb_obs::{Counter, Histogram, Table, Value};
 use sb_workload::joins::CONFIG_FREEZE_SECONDS;
 use sb_workload::{CallRecord, CallRecordsDb, ConfigCatalog};
 
-use crate::replay::{build_events, group_freezes_by_pool, EV_FREEZE, EV_START};
+use crate::replay::{build_events, lifecycle_worker, EV_FREEZE, EV_START};
 
 /// Columns of the `chaos.windows` table: one row per stats window.
 pub const CHAOS_WINDOW_COLUMNS: [&str; 11] = [
@@ -643,9 +647,15 @@ fn drive_segment_serial(
     out
 }
 
-/// Concurrent segment drive: the topology is constant within a segment, so
-/// the three-phase schedule of [`crate::replay`] applies — starts chunked,
-/// freezes grouped by quota pool (each pool in trace order), ends chunked.
+/// Concurrent segment drive: the topology and plan are constant within a
+/// segment, so no intra-segment barriers are needed. Every record's whole
+/// lifecycle is pinned to one worker by its quota pool
+/// (`lifecycle_worker` in `replay`), which preserves both the per-call
+/// event order and the per-pool freeze order that quota debits depend on.
+/// Each worker resolves aliveness from a local overlay (it owns *all* of a
+/// call's events this segment) falling back to the shared `alive` snapshot;
+/// the coordinator then replays the segment's events in trace order to fold
+/// the overlays back into `alive`.
 fn drive_segment_concurrent(
     selector: &RealtimeSelector,
     records: &[CallRecord],
@@ -654,71 +664,59 @@ fn drive_segment_concurrent(
     threads: usize,
 ) -> SegmentOutcomes {
     let threads = threads.max(1);
-    let mut starts: Vec<usize> = Vec::new();
-    let mut freezes: Vec<usize> = Vec::new();
-    let mut ends: Vec<usize> = Vec::new();
+    let mut lists: Vec<Vec<(u8, usize)>> = vec![Vec::new(); threads];
     for &(_, kind, i) in events {
-        match kind {
-            EV_START => starts.push(i),
-            EV_FREEZE => freezes.push(i),
-            _ => ends.push(i),
-        }
+        lists[lifecycle_worker(selector, &records[i], threads)].push((kind, i));
     }
+
     let mut out = SegmentOutcomes::default();
-
-    // Phase S
-    let chunk = starts.len().div_ceil(threads).max(1);
-    let start_results: Vec<Vec<(usize, SelectorOutcome)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = starts
-            .chunks(chunk)
-            .map(|ch| {
-                let mut shard = selector.shard();
-                s.spawn(move || {
-                    ch.iter()
-                        .map(|&i| {
-                            let r = &records[i];
-                            (i, shard.call_start(r.id, r.first_joiner))
-                        })
-                        .collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_default())
-            .collect()
-    });
-    for (i, o) in start_results.into_iter().flatten() {
-        if o.dc().is_some() {
-            alive.insert(records[i].id);
-        }
-        out.starts.insert(i, o);
-    }
-
-    // Phase F: only calls still tracked freeze (serial skips the rest too)
-    let eligible: Vec<usize> = freezes
-        .iter()
-        .copied()
-        .filter(|&i| alive.contains(&records[i].id))
-        .collect();
-    let groups = group_freezes_by_pool(selector, records, &eligible);
-    let mut assign: Vec<Vec<usize>> = vec![Vec::new(); threads];
-    for (gi, g) in groups.iter().enumerate() {
-        assign[gi % threads].extend_from_slice(g);
-    }
-    let freeze_results: Vec<Vec<(usize, FreezeDecision)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = assign
+    type WorkerOut = (Vec<(usize, SelectorOutcome)>, Vec<(usize, FreezeDecision)>);
+    let results: Vec<WorkerOut> = std::thread::scope(|s| {
+        let alive = &*alive;
+        let handles: Vec<_> = lists
             .iter()
-            .filter(|work| !work.is_empty())
-            .map(|work| {
+            .filter(|list| !list.is_empty())
+            .map(|list| {
                 let mut shard = selector.shard();
                 s.spawn(move || {
-                    work.iter()
-                        .map(|&i| {
-                            let r = &records[i];
-                            (i, shard.config_frozen(r.id, r.config, r.start_minute))
-                        })
-                        .collect()
+                    let mut starts = Vec::new();
+                    let mut freezes = Vec::new();
+                    // aliveness overlay: exact because this worker owns every
+                    // event of these calls for the whole segment
+                    let mut local: HashMap<u64, bool> = HashMap::new();
+                    for &(kind, i) in list {
+                        let r = &records[i];
+                        match kind {
+                            EV_START => {
+                                let o = shard.call_start(r.id, r.first_joiner);
+                                local.insert(r.id, o.dc().is_some());
+                                starts.push((i, o));
+                            }
+                            EV_FREEZE => {
+                                let up = local
+                                    .get(&r.id)
+                                    .copied()
+                                    .unwrap_or_else(|| alive.contains(&r.id));
+                                if up {
+                                    freezes.push((
+                                        i,
+                                        shard.config_frozen(r.id, r.config, r.start_minute),
+                                    ));
+                                }
+                            }
+                            _ => {
+                                let up = local
+                                    .get(&r.id)
+                                    .copied()
+                                    .unwrap_or_else(|| alive.contains(&r.id));
+                                if up {
+                                    shard.call_end(r.id);
+                                }
+                                local.insert(r.id, false);
+                            }
+                        }
+                    }
+                    (starts, freezes)
                 })
             })
             .collect();
@@ -727,26 +725,30 @@ fn drive_segment_concurrent(
             .map(|h| h.join().unwrap_or_default())
             .collect()
     });
-    for (i, d) in freeze_results.into_iter().flatten() {
-        out.freezes.insert(i, d);
+    for (starts, freezes) in results {
+        for (i, o) in starts {
+            out.starts.insert(i, o);
+        }
+        for (i, d) in freezes {
+            out.freezes.insert(i, d);
+        }
     }
 
-    // Phase E
-    let eligible_ends: Vec<u64> = ends
-        .iter()
-        .filter_map(|&i| alive.remove(&records[i].id).then_some(records[i].id))
-        .collect();
-    let chunk = eligible_ends.len().div_ceil(threads).max(1);
-    std::thread::scope(|s| {
-        for ch in eligible_ends.chunks(chunk) {
-            let mut shard = selector.shard();
-            s.spawn(move || {
-                for &id in ch {
-                    shard.call_end(id);
+    // fold the worker-local aliveness back into the shared set, trace order
+    for &(_, kind, i) in events {
+        let r = &records[i];
+        match kind {
+            EV_START => {
+                if out.starts.get(&i).is_some_and(|o| o.dc().is_some()) {
+                    alive.insert(r.id);
                 }
-            });
+            }
+            EV_FREEZE => {}
+            _ => {
+                alive.remove(&r.id);
+            }
         }
-    });
+    }
     out
 }
 
@@ -772,7 +774,7 @@ fn chaos_replay_impl(
     let records = db.records();
     let healthy_routing = RoutingTable::compute(topo, FailureScenario::None);
     let healthy_latmap = LatencyMap::from_routing(topo, &healthy_routing);
-    let selector = RealtimeSelector::new(&healthy_latmap, quotas);
+    let selector = RealtimeSelector::from_artifact(&healthy_latmap, &PlanArtifact::seed(quotas));
     if records.is_empty() {
         return ChaosReport {
             calls: 0,
@@ -1170,14 +1172,105 @@ fn chaos_replay_impl(
     }
 }
 
-/// Replay `db` while injecting `timeline` — the serial oracle.
+/// One-stop builder over the chaos/replay engine, replacing the
+/// `chaos_replay` / `chaos_replay_concurrent` /
+/// `chaos_replay_replanned(_concurrent)` free-function family.
+///
+/// Defaults: serial oracle drive, empty fault timeline (chaos replay
+/// degenerates to a plain replay), no replanner, [`ChaosConfig::default`].
 ///
 /// The selector is constructed internally (its topology view changes over
-/// the run). Usage accounting matches [`crate::replay`]: per-minute compute
+/// the run). Usage accounting matches [`crate::replay()`]: per-minute compute
 /// at the hosting DC and per-leg traffic on routed links — except that
 /// hosting intervals are additionally flushed at every fault transition, so
 /// re-routed traffic and re-homed calls are charged to the right resources
 /// minute by minute. Stranded calls stop consuming resources when dropped.
+///
+/// With [`threads`](ReplayDriver::threads) the selector is driven by worker
+/// threads inside each fault-free segment (fault transitions and plan
+/// installs are the only barriers); the aggregate [`ChaosStats`] matches the
+/// serial engine exactly, floats included. With a
+/// [`replanner`](ReplayDriver::replanner), triggers from the timeline (and
+/// the replanner's schedule) produce fresh plan artifacts that are
+/// hot-swapped into the selector after the re-plan latency, at barrier
+/// windows; staleness windows close when the re-plan lands.
+pub struct ReplayDriver<'a, 'p> {
+    topo: &'a Topology,
+    catalog: &'a ConfigCatalog,
+    db: &'a CallRecordsDb,
+    quotas: PlannedQuotas,
+    cfg: ChaosConfig,
+    timeline: FaultTimeline,
+    threads: Option<usize>,
+    replanner: Option<&'a mut Replanner<'p>>,
+}
+
+impl<'a, 'p> ReplayDriver<'a, 'p> {
+    /// A driver replaying `db` against the epoch-0 plan seeded from
+    /// `quotas`, serially, with no faults.
+    pub fn new(
+        topo: &'a Topology,
+        catalog: &'a ConfigCatalog,
+        db: &'a CallRecordsDb,
+        quotas: PlannedQuotas,
+    ) -> ReplayDriver<'a, 'p> {
+        ReplayDriver {
+            topo,
+            catalog,
+            db,
+            quotas,
+            cfg: ChaosConfig::default(),
+            timeline: FaultTimeline::new(),
+            threads: None,
+            replanner: None,
+        }
+    }
+
+    /// Replace the [`ChaosConfig`] (freeze offset, capacity check, window
+    /// width).
+    pub fn config(mut self, cfg: ChaosConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Inject this fault timeline during the replay.
+    pub fn faults(mut self, timeline: FaultTimeline) -> Self {
+        self.timeline = timeline;
+        self
+    }
+
+    /// Drive the selector with `threads` worker threads per fault-free
+    /// segment instead of the serial oracle (0 is clamped to 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Attach a mid-replay re-planning hook.
+    pub fn replanner(mut self, replanner: &'a mut Replanner<'p>) -> Self {
+        self.replanner = Some(replanner);
+        self
+    }
+
+    /// Run the replay and produce the report.
+    pub fn run(self) -> ChaosReport {
+        chaos_replay_impl(
+            self.topo,
+            self.catalog,
+            self.db,
+            &self.timeline,
+            self.quotas,
+            &self.cfg,
+            self.threads,
+            self.replanner,
+        )
+    }
+}
+
+/// Replay `db` while injecting `timeline` — the serial oracle.
+#[deprecated(
+    note = "use `ReplayDriver::new(topo, catalog, db, quotas).faults(timeline).config(cfg).run()` instead"
+)]
 pub fn chaos_replay(
     topo: &Topology,
     catalog: &ConfigCatalog,
@@ -1186,12 +1279,17 @@ pub fn chaos_replay(
     quotas: PlannedQuotas,
     cfg: &ChaosConfig,
 ) -> ChaosReport {
-    chaos_replay_impl(topo, catalog, db, timeline, quotas, cfg, None, None)
+    ReplayDriver::new(topo, catalog, db, quotas)
+        .faults(timeline.clone())
+        .config(cfg.clone())
+        .run()
 }
 
 /// [`chaos_replay`] with the selector driven by `threads` worker threads
-/// inside each fault-free segment (fault transitions are barriers). The
-/// aggregate [`ChaosStats`] matches the serial engine exactly.
+/// inside each fault-free segment.
+#[deprecated(
+    note = "use `ReplayDriver::new(topo, catalog, db, quotas).faults(timeline).config(cfg).threads(n).run()` instead"
+)]
 pub fn chaos_replay_concurrent(
     topo: &Topology,
     catalog: &ConfigCatalog,
@@ -1201,22 +1299,17 @@ pub fn chaos_replay_concurrent(
     cfg: &ChaosConfig,
     threads: usize,
 ) -> ChaosReport {
-    chaos_replay_impl(
-        topo,
-        catalog,
-        db,
-        timeline,
-        quotas,
-        cfg,
-        Some(threads),
-        None,
-    )
+    ReplayDriver::new(topo, catalog, db, quotas)
+        .faults(timeline.clone())
+        .config(cfg.clone())
+        .threads(threads)
+        .run()
 }
 
-/// [`chaos_replay`] with a [`Replanner`] attached: triggers from the
-/// timeline (and the replanner's schedule) produce fresh plan artifacts
-/// that are hot-swapped into the selector after the re-plan latency, at
-/// barrier windows. Staleness windows close when the re-plan lands.
+/// [`chaos_replay`] with a [`Replanner`] attached.
+#[deprecated(
+    note = "use `ReplayDriver::new(topo, catalog, db, quotas).faults(timeline).config(cfg).replanner(r).run()` instead"
+)]
 pub fn chaos_replay_replanned(
     topo: &Topology,
     catalog: &ConfigCatalog,
@@ -1226,21 +1319,18 @@ pub fn chaos_replay_replanned(
     cfg: &ChaosConfig,
     replanner: &mut Replanner<'_>,
 ) -> ChaosReport {
-    chaos_replay_impl(
-        topo,
-        catalog,
-        db,
-        timeline,
-        quotas,
-        cfg,
-        None,
-        Some(replanner),
-    )
+    ReplayDriver::new(topo, catalog, db, quotas)
+        .faults(timeline.clone())
+        .config(cfg.clone())
+        .replanner(replanner)
+        .run()
 }
 
 /// [`chaos_replay_replanned`] driven by `threads` worker threads per
-/// segment. Installs happen at barriers on the coordinating thread, so the
-/// serial-oracle stats equality holds across plan swaps too.
+/// segment.
+#[deprecated(
+    note = "use `ReplayDriver::new(topo, catalog, db, quotas).faults(timeline).config(cfg).threads(n).replanner(r).run()` instead"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn chaos_replay_replanned_concurrent(
     topo: &Topology,
@@ -1252,16 +1342,12 @@ pub fn chaos_replay_replanned_concurrent(
     threads: usize,
     replanner: &mut Replanner<'_>,
 ) -> ChaosReport {
-    chaos_replay_impl(
-        topo,
-        catalog,
-        db,
-        timeline,
-        quotas,
-        cfg,
-        Some(threads),
-        Some(replanner),
-    )
+    ReplayDriver::new(topo, catalog, db, quotas)
+        .faults(timeline.clone())
+        .config(cfg.clone())
+        .threads(threads)
+        .replanner(replanner)
+        .run()
 }
 
 #[cfg(test)]
@@ -1310,14 +1396,7 @@ mod tests {
             db.push(record(i, id, i, 30, jp));
         }
         let quotas = all_at(id, tokyo, 2, 30.0);
-        let report = chaos_replay(
-            &topo,
-            &cat,
-            &db,
-            &FaultTimeline::new(),
-            quotas,
-            &ChaosConfig::default(),
-        );
+        let report = ReplayDriver::new(&topo, &cat, &db, quotas).run();
         assert_eq!(report.calls, 10);
         assert_eq!(report.stranded, 0);
         assert_eq!(report.forced_migrations, 0);
@@ -1343,7 +1422,10 @@ mod tests {
             window_minutes: 60,
             ..ChaosConfig::default()
         };
-        let report = chaos_replay(&topo, &cat, &db, &timeline, quotas, &cfg);
+        let report = ReplayDriver::new(&topo, &cat, &db, quotas)
+            .faults(timeline)
+            .config(cfg)
+            .run();
         assert_eq!(report.stranded, 0, "two DCs survive — nobody strands");
         // the ~29 calls in flight at minute 60 are forcibly re-homed
         assert!(
@@ -1387,7 +1469,9 @@ mod tests {
             });
         }
         let quotas = all_at(id, tokyo, 2, 10.0);
-        let report = chaos_replay(&topo, &cat, &db, &timeline, quotas, &ChaosConfig::default());
+        let report = ReplayDriver::new(&topo, &cat, &db, quotas)
+            .faults(timeline)
+            .run();
         assert_eq!(report.stranded, 10, "every in-flight call strands");
         // dropped calls stop consuming: peak equals the pre-outage level and
         // usage after minute 20 is zero (peaks reflect [0,20) only)
@@ -1470,7 +1554,10 @@ mod tests {
             capacity: Some(cap),
             ..ChaosConfig::default()
         };
-        let report = chaos_replay(&topo, &cat, &db, &timeline, quotas, &cfg);
+        let report = ReplayDriver::new(&topo, &cat, &db, quotas)
+            .faults(timeline)
+            .config(cfg)
+            .run();
         assert_eq!(report.forced_migrations, 0, "DC never went down");
         assert_eq!(report.capacity_violations, 10, "one per degraded minute");
         assert!(report.worst_overshoot > 0.0);
@@ -1496,7 +1583,9 @@ mod tests {
             from: 0,
             until: Some(30),
         });
-        let report = chaos_replay(&topo, &cat, &db, &timeline, quotas, &ChaosConfig::default());
+        let report = ReplayDriver::new(&topo, &cat, &db, quotas)
+            .faults(timeline)
+            .run();
         // stale window: 5 calls stay local; refreshed plan: 5 migrate
         assert_eq!(report.plan_migrations, 5);
         assert_eq!(report.selector.plan_stale, 5);
@@ -1547,7 +1636,10 @@ mod tests {
             ..ChaosConfig::default()
         };
         // without a replanner every freeze is unplanned
-        let bare = chaos_replay(&topo, &cat, &db, &timeline, quotas.clone(), &cfg);
+        let bare = ReplayDriver::new(&topo, &cat, &db, quotas.clone())
+            .faults(timeline.clone())
+            .config(cfg.clone())
+            .run();
         assert_eq!(bare.plan_migrations, 0);
         assert_eq!(bare.selector.plan_stale, 10);
         assert_eq!(bare.plan_installs, 0);
@@ -1558,7 +1650,11 @@ mod tests {
             seen_requests.push((req.trigger_minute, req.install_minute, req.epoch));
             Some(Arc::new(plan_all_at(id, pune, 4, 10.0, req.epoch)))
         });
-        let report = chaos_replay_replanned(&topo, &cat, &db, &timeline, quotas, &cfg, &mut rp);
+        let report = ReplayDriver::new(&topo, &cat, &db, quotas)
+            .faults(timeline)
+            .config(cfg)
+            .replanner(&mut rp)
+            .run();
         drop(rp);
         assert_eq!(seen_requests, vec![(0, 15, 1)]);
         assert_eq!(report.plan_installs, 1);
@@ -1594,14 +1690,9 @@ mod tests {
         });
         // no recovery minute: without a replanner the drifted plan never
         // becomes trustworthy again
-        let bare = chaos_replay(
-            &topo,
-            &cat,
-            &db,
-            &timeline,
-            quotas.clone(),
-            &ChaosConfig::default(),
-        );
+        let bare = ReplayDriver::new(&topo, &cat, &db, quotas.clone())
+            .faults(timeline.clone())
+            .run();
         assert_eq!(bare.plan_migrations, 4);
         assert_eq!(bare.selector.plan_stale, 8);
         // a replanner triggered by the drift re-plans against the drifted
@@ -1611,15 +1702,10 @@ mod tests {
             drift_seen = req.state.demand_factor;
             Some(Arc::new(plan_all_at(id, pune, 5, 15.0, req.epoch)))
         });
-        let report = chaos_replay_replanned(
-            &topo,
-            &cat,
-            &db,
-            &timeline,
-            quotas,
-            &ChaosConfig::default(),
-            &mut rp,
-        );
+        let report = ReplayDriver::new(&topo, &cat, &db, quotas)
+            .faults(timeline)
+            .replanner(&mut rp)
+            .run();
         drop(rp);
         assert_eq!(drift_seen, 1.5);
         assert_eq!(report.plan_installs, 1);
@@ -1665,22 +1751,22 @@ mod tests {
         };
         let serial = {
             let mut rp = Replanner::new(15, build);
-            chaos_replay_replanned(&topo, &cat, &db, &timeline, quotas.clone(), &cfg, &mut rp)
+            ReplayDriver::new(&topo, &cat, &db, quotas.clone())
+                .faults(timeline.clone())
+                .config(cfg.clone())
+                .replanner(&mut rp)
+                .run()
         };
         assert!(serial.plan_installs >= 1);
         assert!(serial.forced_migrations > 0);
         for threads in [1usize, 4] {
             let mut rp = Replanner::new(15, build);
-            let conc = chaos_replay_replanned_concurrent(
-                &topo,
-                &cat,
-                &db,
-                &timeline,
-                quotas.clone(),
-                &cfg,
-                threads,
-                &mut rp,
-            );
+            let conc = ReplayDriver::new(&topo, &cat, &db, quotas.clone())
+                .faults(timeline.clone())
+                .config(cfg.clone())
+                .threads(threads)
+                .replanner(&mut rp)
+                .run();
             assert_eq!(serial.stats(), conc.stats(), "threads={threads}");
         }
     }
@@ -1700,15 +1786,47 @@ mod tests {
             window_minutes: 60,
             ..ChaosConfig::default()
         };
-        let serial = chaos_replay(&topo, &cat, &db, &timeline, quotas.clone(), &cfg);
+        let serial = ReplayDriver::new(&topo, &cat, &db, quotas.clone())
+            .faults(timeline.clone())
+            .config(cfg.clone())
+            .run();
         for threads in [1usize, 4] {
-            let conc =
-                chaos_replay_concurrent(&topo, &cat, &db, &timeline, quotas.clone(), &cfg, threads);
+            let conc = ReplayDriver::new(&topo, &cat, &db, quotas.clone())
+                .faults(timeline.clone())
+                .config(cfg.clone())
+                .threads(threads)
+                .run();
             assert_eq!(serial.stats(), conc.stats(), "threads={threads}");
         }
         assert!(
             serial.forced_migrations > 0,
             "outage must exercise re-homes"
         );
+    }
+
+    /// The deprecated free-function family must stay behaviour-identical to
+    /// the [`ReplayDriver`] it wraps.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_driver() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..60 {
+            db.push(record(i, id, i, 30, jp));
+        }
+        let quotas = all_at(id, tokyo, 6, 40.0);
+        let timeline = FaultTimeline::from_scenario(FailureScenario::DcDown(tokyo), 20, Some(40));
+        let cfg = ChaosConfig::default();
+        let via_driver = ReplayDriver::new(&topo, &cat, &db, quotas.clone())
+            .faults(timeline.clone())
+            .config(cfg.clone())
+            .run();
+        let via_fn = chaos_replay(&topo, &cat, &db, &timeline, quotas.clone(), &cfg);
+        assert_eq!(via_driver.stats(), via_fn.stats());
+        let via_fn_conc =
+            chaos_replay_concurrent(&topo, &cat, &db, &timeline, quotas.clone(), &cfg, 4);
+        assert_eq!(via_driver.stats(), via_fn_conc.stats());
     }
 }

@@ -3,7 +3,7 @@
 //! Drives the Switchboard controller the way production traffic would and
 //! measures what §6 measures:
 //!
-//! * [`replay`] — event-driven trace replay through the real-time selector
+//! * [`mod@replay`] — event-driven trace replay through the real-time selector
 //!   (per-call ACL, per-minute usage peaks, migrations, capacity violations);
 //! * [`estimator`] — the §6.2 median leg-latency estimator (counterfactual
 //!   `Lat(x,u)` from pooled measurements);
@@ -38,10 +38,14 @@ pub mod estimator;
 pub mod failures;
 pub mod replay;
 
+#[allow(deprecated)]
 pub use chaos::{
     chaos_replay, chaos_replay_concurrent, chaos_replay_replanned,
-    chaos_replay_replanned_concurrent, ChaosConfig, ChaosReport, ChaosState, ChaosStats,
-    FaultEvent, FaultTimeline, ReplanRequest, Replanner, WindowStats,
+    chaos_replay_replanned_concurrent,
+};
+pub use chaos::{
+    ChaosConfig, ChaosReport, ChaosState, ChaosStats, FaultEvent, FaultTimeline, ReplanRequest,
+    Replanner, ReplayDriver, WindowStats,
 };
 pub use estimator::{estimate_from_trace, sample_leg_latency, LatencyEstimator};
 pub use failures::{drill, DrillReport};

@@ -8,25 +8,27 @@
 //! * [`replay`] — the serial oracle: one thread applies every event in trace
 //!   order. Simple enough to audit, and the reference the concurrent engine
 //!   is differential-tested against.
-//! * [`replay_concurrent`] — partitions the event timeline into fixed-width
-//!   windows and drives each window in three phases (starts ∥, freezes
-//!   grouped by quota pool, ends ∥) across worker threads, each holding a
-//!   [`sb_core::SelectorShard`]. Produces *identical* aggregate results:
+//! * [`replay_concurrent`] — partitions whole call lifecycles across worker
+//!   threads (each holding a [`sb_core::SelectorShard`]) by the quota pool
+//!   their freeze will debit, and lets every worker walk its events in trace
+//!   order with *no barriers* except at plan-swap minutes. Produces
+//!   *identical* aggregate results:
 //!
-//!   - call starts and ends are mutually independent (no shared selector
+//!   - a call's start, freeze, and end all ride with the call, so one worker
+//!     drives them in trace order (starts and ends touch no shared selector
 //!     state beyond the sharded call map, keyed by distinct ids);
-//!   - a freeze decision depends only on the call's own state, the (fixed,
-//!     per-window) topology/plan validity, and its `(config, slot)` quota
-//!     pool — so freezes are grouped by pool and each pool's freezes run in
-//!     trace order (pools in parallel with each other);
-//!   - a call's start ≤ freeze ≤ end in trace time, so the per-window
-//!     start→freeze→end phase order preserves per-call event order;
+//!   - a freeze decision depends only on the call's own state, the (fixed
+//!     between barriers) topology/plan validity, and its `(config, slot)`
+//!     quota pool — and all lifecycles debiting one pool map to one worker
+//!     (via [`sb_core::RealtimeSelector::quota_pool_token`]), so each pool's
+//!     freeze sequence runs in trace order; distinct pools never interact;
+//!   - plan swaps rebuild the pool table, so they stay barriers: the drive
+//!     joins all workers before an install and re-partitions after it;
 //!   - every statistic is a count (order-insensitive sum), and the float
 //!     outputs (peaks, ACL, overshoot) are computed *after* the drive by
-//!     [`account`], which walks placements in record order — the identical
+//!     `account`, which walks placements in record order — the identical
 //!     code path for both drivers, hence byte-identical floats.
 
-use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -58,14 +60,11 @@ fn replay_metrics() -> &'static ReplayMetrics {
     })
 }
 
-/// Width of the concurrent driver's barrier windows, in trace minutes.
-const DRIVE_WINDOW_MINUTES: u64 = 360;
-
 /// A scheduled mid-replay plan hot-swap: `artifact` is installed into the
 /// selector just before the first event at or after `at_minute`.
 ///
 /// Swaps are barriers in both drivers: the serial drive installs between
-/// two consecutive events, and the concurrent drive ends its current window
+/// two consecutive events, and the concurrent drive joins every worker
 /// before the swap minute — so no selector operation ever races an install
 /// and the serial-oracle stats equality holds across swaps.
 #[derive(Clone, Debug)]
@@ -169,16 +168,20 @@ impl ReplayReport {
 }
 
 /// Event kinds, ordered so same-minute events sort start < freeze < end.
-pub(crate) const EV_START: u8 = 0;
+pub const EV_START: u8 = 0;
 /// Freeze event kind.
-pub(crate) const EV_FREEZE: u8 = 1;
+pub const EV_FREEZE: u8 = 1;
 /// End event kind.
-pub(crate) const EV_END: u8 = 2;
+pub const EV_END: u8 = 2;
 
 /// Build the `(minute, kind, record)` event list for a trace, sorted by
 /// `(minute, kind)` with the stable record order breaking ties — the
 /// canonical serial order both replay drivers are defined against.
-pub(crate) fn build_events(records: &[CallRecord], freeze_minutes: u64) -> Vec<(u64, u8, usize)> {
+///
+/// Public so external load generators (the `engine_load` bench drives
+/// `sb-engine` with exactly this schedule) stay bitwise-comparable with the
+/// serial replay oracle.
+pub fn build_events(records: &[CallRecord], freeze_minutes: u64) -> Vec<(u64, u8, usize)> {
     let mut events: Vec<(u64, u8, usize)> = Vec::with_capacity(records.len() * 3);
     for (i, r) in records.iter().enumerate() {
         let freeze = r.start_minute + freeze_minutes.min(r.duration_min as u64);
@@ -334,42 +337,28 @@ fn drive_serial(
     placements
 }
 
-/// Split `items` into at most `threads` contiguous chunks, preserving order.
-fn chunk_count(len: usize, threads: usize) -> usize {
-    len.div_ceil(threads.max(1)).max(1)
-}
-
-/// Group a window's freeze events by the quota pool they will debit,
-/// preserving trace order within each group. Freezes outside the plan
-/// horizon never touch a pool, so each becomes its own singleton group.
-pub(crate) fn group_freezes_by_pool(
+/// Worker owning a record's whole lifecycle: the quota pool its freeze will
+/// debit under the current plan, or (for pool-less lifecycles, whose freeze
+/// resolves `Unplanned` without touching quota) the call id. Either way the
+/// key is fixed for the whole record, so one worker drives its start →
+/// freeze → end in trace order.
+pub(crate) fn lifecycle_worker(
     selector: &RealtimeSelector,
-    records: &[CallRecord],
-    freezes: &[usize],
-) -> Vec<Vec<usize>> {
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    let mut by_key: HashMap<(sb_workload::ConfigId, usize), usize> = HashMap::new();
-    for &i in freezes {
-        let r = &records[i];
-        match selector.plan_slot_of_minute(r.start_minute) {
-            Some(slot) => {
-                let g = *by_key.entry((r.config, slot)).or_insert_with(|| {
-                    groups.push(Vec::new());
-                    groups.len() - 1
-                });
-                groups[g].push(i);
-            }
-            None => groups.push(vec![i]),
-        }
+    r: &CallRecord,
+    threads: usize,
+) -> usize {
+    match selector.quota_pool_token(r.config, r.start_minute) {
+        Some(token) => token as usize % threads,
+        None => r.id as usize % threads,
     }
-    groups
 }
 
-/// Drive the event timeline across `threads` workers, window by window.
-/// Each window runs three phases with a join barrier between them: starts
-/// (chunked), freezes (grouped by quota pool; each pool in trace order),
-/// ends (chunked). See the module docs for why this reproduces the serial
-/// drive exactly.
+/// Drive the event timeline across `threads` workers with no phase or
+/// window barriers: record lifecycles are partitioned by
+/// [`lifecycle_worker`] and every worker walks its own event subsequence in
+/// trace order. The only joins are at plan-swap minutes (the pool table is
+/// rebuilt there, so lifecycles re-partition against the new epoch). See
+/// the module docs for why this reproduces the serial drive exactly.
 fn drive_concurrent(
     selector: &RealtimeSelector,
     records: &[CallRecord],
@@ -379,81 +368,56 @@ fn drive_concurrent(
 ) -> Vec<Option<Placement>> {
     let threads = threads.max(1);
     let mut placements: Vec<Option<Placement>> = vec![None; records.len()];
-    let Some(&(t0, _, _)) = events.first() else {
-        for s in swaps {
-            selector.install_plan(&s.artifact);
-        }
-        return placements;
-    };
-
     let mut swap_at = 0usize;
     let mut at = 0usize;
     while at < events.len() {
-        // install swaps due before the next event — a window never spans a
-        // swap minute, so installs happen at barriers only (matching where
-        // the serial drive installs them)
+        // install swaps due before the next event — matching where the
+        // serial drive installs them
         while swap_at < swaps.len() && swaps[swap_at].at_minute <= events[at].0 {
             selector.install_plan(&swaps[swap_at].artifact);
             swap_at += 1;
         }
-        let win = (events[at].0 - t0) / DRIVE_WINDOW_MINUTES;
+        // segment = all events before the next pending swap minute
         let mut end = at;
-        let mut starts: Vec<usize> = Vec::new();
-        let mut freezes: Vec<usize> = Vec::new();
-        let mut ends: Vec<usize> = Vec::new();
         while end < events.len()
-            && (events[end].0 - t0) / DRIVE_WINDOW_MINUTES == win
             && (swap_at >= swaps.len() || events[end].0 < swaps[swap_at].at_minute)
         {
-            let (_, kind, i) = events[end];
-            match kind {
-                EV_START => starts.push(i),
-                EV_FREEZE => freezes.push(i),
-                _ => ends.push(i),
-            }
             end += 1;
+        }
+
+        let mut lists: Vec<Vec<(u8, usize)>> = vec![Vec::new(); threads];
+        for &(_, kind, i) in &events[at..end] {
+            lists[lifecycle_worker(selector, &records[i], threads)].push((kind, i));
         }
         at = end;
 
-        // Phase S: starts are independent — contiguous chunks
-        std::thread::scope(|s| {
-            for chunk in starts.chunks(chunk_count(starts.len(), threads)) {
-                let mut shard = selector.shard();
-                s.spawn(move || {
-                    for &i in chunk {
-                        let r = &records[i];
-                        shard.call_start(r.id, r.first_joiner);
-                    }
-                });
-            }
-        });
-
-        // Phase F: freezes contend only within a quota pool — pools run in
-        // parallel, each pool's freezes in trace order
-        let groups = group_freezes_by_pool(selector, records, &freezes);
-        let mut assign: Vec<Vec<usize>> = vec![Vec::new(); threads];
-        for (gi, g) in groups.iter().enumerate() {
-            assign[gi % threads].extend_from_slice(g);
-        }
-        let freeze_results: Vec<Vec<(usize, Option<Placement>)>> = std::thread::scope(|s| {
-            let handles: Vec<_> = assign
+        let results: Vec<Vec<(usize, Placement)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = lists
                 .iter()
                 .filter(|work| !work.is_empty())
                 .map(|work| {
                     let mut shard = selector.shard();
                     s.spawn(move || {
-                        let mut out = Vec::with_capacity(work.len());
-                        for &i in work {
+                        let mut out = Vec::new();
+                        for &(kind, i) in work {
                             let r = &records[i];
-                            let Some(initial) = shard.current_dc(r.id) else {
-                                out.push((i, None));
-                                continue;
-                            };
-                            let decision = shard.config_frozen(r.id, r.config, r.start_minute);
-                            let p = decision
-                                .final_dc()
-                                .map(|final_dc| Placement { initial, final_dc });
-                            out.push((i, p));
+                            match kind {
+                                EV_START => {
+                                    shard.call_start(r.id, r.first_joiner);
+                                }
+                                EV_FREEZE => {
+                                    // a stranded call never started tracking
+                                    let Some(initial) = shard.current_dc(r.id) else {
+                                        continue;
+                                    };
+                                    let decision =
+                                        shard.config_frozen(r.id, r.config, r.start_minute);
+                                    if let Some(final_dc) = decision.final_dc() {
+                                        out.push((i, Placement { initial, final_dc }));
+                                    }
+                                }
+                                _ => shard.call_end(r.id),
+                            }
                         }
                         out
                     })
@@ -464,21 +428,9 @@ fn drive_concurrent(
                 .map(|h| h.join().unwrap_or_default())
                 .collect()
         });
-        for (i, p) in freeze_results.into_iter().flatten() {
-            placements[i] = p;
+        for (i, p) in results.into_iter().flatten() {
+            placements[i] = Some(p);
         }
-
-        // Phase E: ends are independent — contiguous chunks
-        std::thread::scope(|s| {
-            for chunk in ends.chunks(chunk_count(ends.len(), threads)) {
-                let mut shard = selector.shard();
-                s.spawn(move || {
-                    for &i in chunk {
-                        shard.call_end(records[i].id);
-                    }
-                });
-            }
-        });
     }
     for s in &swaps[swap_at..] {
         selector.install_plan(&s.artifact);
@@ -661,7 +613,7 @@ mod tests {
         demand.set(id, 0, 30.0);
         demand.set(id, 1, 30.0);
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
-        let sel = RealtimeSelector::new(&lm, quotas);
+        let sel = RealtimeSelector::from_artifact(&lm, &PlanArtifact::seed(quotas));
         let report = replay(&topo, &rt, &lm, &cat, &db, &sel, &ReplayConfig::default());
         assert_eq!(report.calls, 10);
         assert_eq!(report.selector.migrations, 0);
@@ -696,7 +648,7 @@ mod tests {
         let mut demand = DemandMatrix::zero(1, 1, 30, 0);
         demand.set(id, 0, 10.0);
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
-        let sel = RealtimeSelector::new(&lm, quotas);
+        let sel = RealtimeSelector::from_artifact(&lm, &PlanArtifact::seed(quotas));
         let report = replay(&topo, &rt, &lm, &cat, &db, &sel, &ReplayConfig::default());
         assert_eq!(report.selector.migrations, 10);
         assert!((report.selector.migration_rate() - 1.0).abs() < 1e-12);
@@ -726,7 +678,7 @@ mod tests {
             demand.set(id, s, 10.0);
         }
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
-        let sel = RealtimeSelector::new(&lm, quotas);
+        let sel = RealtimeSelector::from_artifact(&lm, &PlanArtifact::seed(quotas));
         let report = replay(&topo, &rt, &lm, &cat, &db, &sel, &ReplayConfig::default());
         let cl = cat.config(id).compute_load();
         assert!((report.peaks.cores[tokyo.index()] - 5.0 * cl).abs() < 1e-9);
@@ -746,7 +698,7 @@ mod tests {
         let mut demand = DemandMatrix::zero(1, 1, 30, 0);
         demand.set(id, 0, 4.0);
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
-        let sel = RealtimeSelector::new(&lm, quotas);
+        let sel = RealtimeSelector::from_artifact(&lm, &PlanArtifact::seed(quotas));
         let mut cap = ProvisionedCapacity::zero(&topo);
         cap.cores = vec![0.01; topo.dcs.len()];
         cap.gbps = vec![1e9; topo.links.len()];
@@ -766,7 +718,7 @@ mod tests {
         let quotas =
             PlannedQuotas::from_plan(&AllocationShares::new(1), &DemandMatrix::zero(1, 1, 30, 0));
         let _ = id;
-        let sel = RealtimeSelector::new(&lm, quotas);
+        let sel = RealtimeSelector::from_artifact(&lm, &PlanArtifact::seed(quotas));
         let report = replay(&topo, &rt, &lm, &cat, &db, &sel, &ReplayConfig::default());
         assert_eq!(report.calls, 0);
         assert_eq!(report.mean_acl_ms, 0.0);
@@ -792,11 +744,11 @@ mod tests {
         demand.set(id, 0, 25.0);
         let quotas = PlannedQuotas::from_plan(&shares, &demand);
         let serial = {
-            let sel = RealtimeSelector::new(&lm, quotas.clone());
+            let sel = RealtimeSelector::from_artifact(&lm, &PlanArtifact::seed(quotas.clone()));
             replay(&topo, &rt, &lm, &cat, &db, &sel, &ReplayConfig::default())
         };
         for threads in [1, 4] {
-            let sel = RealtimeSelector::new(&lm, quotas.clone());
+            let sel = RealtimeSelector::from_artifact(&lm, &PlanArtifact::seed(quotas.clone()));
             let conc = replay_concurrent(
                 &topo,
                 &rt,

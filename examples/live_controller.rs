@@ -1,15 +1,17 @@
-//! The real-time path (§5.4): drive the MP selector with a day of call
-//! events — first-joiner assignment, config freeze at A = 300 s, plan
-//! tallying, migrations — while worker threads persist evolving call state
-//! into the sharded store.
+//! The real-time path (§5.4) as a service: plan offline, then run the day
+//! through `sb-engine` — admission, config freeze at A = 300 s, plan
+//! tallying, migrations — with call state persisted into the sharded store
+//! and per-op latency collected by the engine, finishing with a graceful
+//! drain.
 //!
 //! ```sh
 //! cargo run --release --example live_controller
 //! ```
 
 use switchboard::core::formulation::{ScenarioData, SolveOptions};
+use switchboard::prelude::engine::{Admission, Engine, EngineConfig};
 use switchboard::prelude::*;
-use switchboard::store::{CallEvent, LatencyHistogram};
+use switchboard::sim::replay::{build_events, EV_FREEZE, EV_START};
 
 fn main() {
     let topo = switchboard::net::presets::apac();
@@ -42,61 +44,58 @@ fn main() {
     let shares =
         allocation_plan(&inputs, &sd0, &plan.capacity, &SolveOptions::default()).expect("plan");
 
-    // online: replay the day's trace through the selector
+    // online: boot the engine on the plan artifact and offer the day's
+    // trace to its admission path in canonical event order
     let db = generator.sample_records(day, 1, 3);
     let quotas = PlannedQuotas::from_plan(&shares, &planned);
-    let selector = RealtimeSelector::new(&sd0.latmap, quotas);
-    let report = replay(
-        &topo,
-        &sd0.routing,
-        &sd0.latmap,
-        &generator.universe().catalog,
-        &db,
-        &selector,
-        &ReplayConfig::default(),
-    );
-    println!(
-        "replayed {} calls through the real-time selector:",
-        report.calls
-    );
-    println!("  mean ACL            {:.1} ms", report.mean_acl_ms);
-    println!(
-        "  migrations          {} ({:.2}%)",
-        report.selector.migrations,
-        100.0 * report.selector.migration_rate()
-    );
-    println!("  unplanned configs   {}", report.selector.unplanned);
-    println!("  quota overflows     {}", report.selector.overflow);
-    println!("  peak cores observed {:.1}", report.peaks.total_cores());
-
-    // meanwhile, the controller's state writes land in the sharded store
-    let store = CallStateStore::new(64);
-    let mut hist = LatencyHistogram::new();
-    for r in db.records().iter().take(1_000) {
-        store.apply(
-            CallEvent::Start {
-                call: r.id,
-                country: r.first_joiner.0,
-                dc: 0,
-            },
-            &mut hist,
-        );
-        for _ in 1..r.join_offsets_s.len() {
-            store.apply(
-                CallEvent::Join {
-                    call: r.id,
-                    country: r.first_joiner.0,
-                },
-                &mut hist,
-            );
+    let artifact = PlanArtifact::seed(quotas);
+    let engine = Engine::new(&sd0.latmap, &artifact, &EngineConfig::default());
+    let records = db.records();
+    let mut worker = engine.worker();
+    let mut stranded = 0u64;
+    for (_, kind, i) in build_events(records, 5) {
+        let r = &records[i];
+        match kind {
+            EV_START => {
+                if let Admission::Granted(outcome) = worker.admit(r.id, r.first_joiner) {
+                    if outcome.dc().is_none() {
+                        stranded += 1;
+                    }
+                }
+            }
+            EV_FREEZE => {
+                if worker.current_dc(r.id).is_some() {
+                    worker.freeze(r.id, r.config, r.start_minute);
+                }
+            }
+            _ => worker.end(r.id),
         }
-        store.apply(CallEvent::Freeze { call: r.id }, &mut hist);
     }
+    worker.flush();
+
+    let stats = engine.stats();
     println!(
-        "\nstore: {} active calls, {} writes, mean write {:?}, p99 {:?}",
-        store.active_calls(),
-        hist.count(),
-        hist.mean(),
-        hist.quantile(0.99)
+        "engine served {} calls ({stranded} stranded):",
+        stats.admitted
     );
+    println!("  migrations          {}", stats.selector.migrations);
+    println!("  unplanned configs   {}", stats.selector.unplanned);
+    println!("  quota overflows     {}", stats.selector.overflow);
+    println!("  store writes        {}", stats.store_writes);
+    let ops = engine.op_latency();
+    println!(
+        "  selector op latency p50 {:?}, p99 {:?}, p999 {:?}",
+        ops.quantile(0.5),
+        ops.quantile(0.99),
+        ops.quantile(0.999)
+    );
+
+    // end of day: drain — no new admissions, in-flight calls finish
+    engine.begin_drain();
+    assert!(matches!(
+        worker.admit(u64::MAX, records[0].first_joiner),
+        Admission::Draining
+    ));
+    assert!(engine.drained(), "all calls ended, the drain completes");
+    println!("\nengine drained: {} calls ended cleanly", stats.ended);
 }

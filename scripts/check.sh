@@ -10,6 +10,31 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> deprecated-API gate: workspace code must use the layered API"
+# The deprecated compat surface (chaos_replay*, RealtimeSelector::new, the
+# prelude-root aliases) exists for downstream migration only; inside the
+# workspace everything must be on ReplayDriver / from_artifact / layered
+# preludes. Sanctioned exceptions: the defining modules and the compat tests
+# that pin the deprecated spellings to their replacements.
+deprecated_use=$(grep -rn \
+    -e 'chaos_replay[a-z_]*(' \
+    -e 'RealtimeSelector::new(' \
+    --include='*.rs' \
+    src crates tests examples benches 2>/dev/null \
+  | grep -v 'crates/sim/src/chaos.rs' \
+  | grep -v 'crates/core/src/realtime.rs' \
+  | grep -v 'src/lib.rs' \
+  | grep -v 'tests/api_surface.rs' \
+  || true)
+if [ -n "$deprecated_use" ]; then
+    echo "deprecated APIs used inside the workspace:" >&2
+    echo "$deprecated_use" >&2
+    exit 1
+fi
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
@@ -30,6 +55,9 @@ cargo test -q --test replay_differential
 
 echo "==> replay equivalence smoke: replay_throughput --smoke"
 cargo run --release -q -p sb-bench --bin replay_throughput -- --smoke --json /tmp/BENCH_replay_smoke.json
+
+echo "==> engine equivalence smoke: engine_load --smoke"
+cargo run --release -q -p sb-bench --bin engine_load -- --smoke --json /tmp/BENCH_engine_smoke.json
 
 echo "==> plan-swap differential: identical-plan hot-swap is a no-op"
 cargo test -q --test plan_swap_differential

@@ -240,7 +240,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count specification for [`vec`]: an exact count, a
+    /// Element-count specification for [`vec()`]: an exact count, a
     /// half-open range, or an inclusive range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
@@ -283,7 +283,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -17,6 +17,7 @@
 //! | [`core`] | `sb-core` | provisioning LP, allocation plan, realtime selector, baselines |
 //! | [`sim`] | `sb-sim` | trace replay, latency estimation, failure drills |
 //! | [`store`] | `sb-store` | sharded call-state store + throughput harness |
+//! | [`engine`] | `sb-engine` | selector-as-a-service: admission, lifecycle, hot-swap, drain |
 //! | [`predict`] | `sb-predict` | MOMC + logistic-regression config predictor |
 //! | [`obs`] | `sb-obs` | metrics registry: counters, histograms, run reports |
 //!
@@ -49,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub use sb_core as core;
+pub use sb_engine as engine;
 pub use sb_forecast as forecast;
 pub use sb_lp as lp;
 pub use sb_net as net;
@@ -126,32 +128,151 @@ pub type Result<T> = std::result::Result<T, Error>;
 
 /// The types most programs need, importable with one `use`.
 ///
-/// Covers the full pipeline: build a topology and workload, provision
-/// capacity, plan the daily allocation, drive the real-time selector,
-/// replay a trace, and collect metrics.
+/// The prelude is layered by audience:
+///
+/// * `prelude` (this module) — the end-user planning pipeline: build a
+///   topology and workload, provision capacity, plan the daily allocation,
+///   export/parse plan artifacts, collect metrics.
+/// * [`prelude::solver`] — LP internals
+///   ([`RevisedSimplex`](prelude::solver::RevisedSimplex),
+///   [`GuardedSimplex`](prelude::solver::GuardedSimplex),
+///   [`Basis`](prelude::solver::Basis), …) for programs that drive the
+///   simplex engines directly.
+/// * [`prelude::engine`] — real-time selector, replay/chaos orchestration,
+///   and the `sb-engine` service layer.
+///
+/// The selector and LP items that used to live at the prelude root remain
+/// as `#[deprecated]` aliases for one release; import them from the layered
+/// module instead.
 pub mod prelude {
     pub use crate::{Error, Result};
     pub use sb_core::{
-        allocation_plan, provision, AllocationShares, BaselinePlan, BaselinePolicy, FreezeDecision,
-        LatencyMap, PlanArtifact, PlanDelta, PlanProvenance, PlanSwapStats, PlannedQuotas,
-        PlanningInputs, ProvisionError, ProvisionerParams, ProvisioningPlan, RealtimeSelector,
-        ReplanReport, ScenarioSolution, SelectorOutcome, SelectorRung, SelectorShard,
-        SelectorStats, SlotPlanner,
+        allocation_plan, provision, AllocationShares, BaselinePlan, BaselinePolicy, LatencyMap,
+        PlanArtifact, PlanDelta, PlanProvenance, PlannedQuotas, PlanningInputs, ProvisionError,
+        ProvisionerParams, ProvisioningPlan, ReplanReport, ScenarioSolution, SlotPlanner,
     };
-    pub use sb_lp::{
-        DenseSimplex, GuardedSimplex, LpError, LpProblem, RevisedSimplex, Solution, SolveStats,
-        Solver,
-    };
+    pub use sb_lp::LpError;
     pub use sb_net::{FailureMask, FailureScenario, ProvisionedCapacity, RoutingTable, Topology};
     pub use sb_obs::{MetricsRegistry, ScopedTimer};
-    pub use sb_sim::{
-        chaos_replay, chaos_replay_concurrent, chaos_replay_replanned, replay, replay_concurrent,
-        ChaosConfig, ChaosReport, ChaosStats, FaultEvent, FaultTimeline, PlanSwap, ReplanRequest,
-        Replanner, ReplayConfig, ReplayReport, ReplayStats,
-    };
     pub use sb_store::{measure_throughput, CallStateStore, ShardedMap};
     pub use sb_workload::{
         CallConfig, CallRecordsDb, ConfigCatalog, DemandMatrix, Generator, MediaType,
         UniverseParams, WorkloadParams,
     };
+
+    /// LP internals: the simplex engines and the problem/solution types
+    /// they share. Import this layer only when driving the solvers
+    /// directly; [`provision()`] and [`SlotPlanner`] wrap them for the
+    /// pipeline use case.
+    pub mod solver {
+        pub use sb_lp::{
+            Basis, Constraint, DenseSimplex, GuardedSimplex, LpError, LpProblem, Pricing,
+            RevisedSimplex, Solution, SolveRung, SolveStats, Solver, Var, VarStatus,
+        };
+    }
+
+    /// Real-time selector primitives, replay/chaos orchestration, and the
+    /// `sb-engine` service layer.
+    pub mod engine {
+        pub use sb_core::{
+            FreezeDecision, PlanSwapStats, RealtimeSelector, SelectorOutcome, SelectorRung,
+            SelectorShard, SelectorStats,
+        };
+        pub use sb_engine::{
+            Admission, Engine, EngineConfig, EngineStats, EngineWorker, FineHistogram,
+        };
+        #[allow(deprecated)]
+        pub use sb_sim::{
+            chaos_replay, chaos_replay_concurrent, chaos_replay_replanned,
+            chaos_replay_replanned_concurrent,
+        };
+        pub use sb_sim::{
+            replay, replay_concurrent, ChaosConfig, ChaosReport, ChaosStats, FaultEvent,
+            FaultTimeline, PlanSwap, ReplanRequest, Replanner, ReplayConfig, ReplayDriver,
+            ReplayReport, ReplayStats, WindowStats,
+        };
+    }
+
+    // Migration aliases for items that moved into the layered preludes.
+    // (`#[deprecated]` on a `pub use` has no effect — rustc ignores it — so
+    // these are type aliases / wrapper fns, which do warn at use sites.)
+    macro_rules! moved {
+        ($note:literal: $($name:ident = $($target:ident)::+),+ $(,)?) => {$(
+            #[doc = $note]
+            #[deprecated(note = $note)]
+            pub type $name = $($target)::+;
+        )+};
+    }
+    moved!("import from `switchboard::prelude::solver`":
+        DenseSimplex = sb_lp::DenseSimplex,
+        GuardedSimplex = sb_lp::GuardedSimplex,
+        LpProblem = sb_lp::LpProblem,
+        RevisedSimplex = sb_lp::RevisedSimplex,
+        Solution = sb_lp::Solution,
+        SolveStats = sb_lp::SolveStats,
+    );
+    moved!("import from `switchboard::prelude::engine`":
+        FreezeDecision = sb_core::FreezeDecision,
+        PlanSwapStats = sb_core::PlanSwapStats,
+        RealtimeSelector = sb_core::RealtimeSelector,
+        SelectorOutcome = sb_core::SelectorOutcome,
+        SelectorRung = sb_core::SelectorRung,
+        SelectorStats = sb_core::SelectorStats,
+        ChaosConfig = sb_sim::ChaosConfig,
+        ChaosReport = sb_sim::ChaosReport,
+        ChaosStats = sb_sim::ChaosStats,
+        FaultEvent = sb_sim::FaultEvent,
+        FaultTimeline = sb_sim::FaultTimeline,
+        PlanSwap = sb_sim::PlanSwap,
+        ReplanRequest = sb_sim::ReplanRequest,
+        ReplayConfig = sb_sim::ReplayConfig,
+        ReplayReport = sb_sim::ReplayReport,
+        ReplayStats = sb_sim::ReplayStats,
+    );
+    /// Moved: import from `switchboard::prelude::engine`.
+    #[deprecated(note = "import from `switchboard::prelude::engine`")]
+    pub type SelectorShard<'a> = sb_core::SelectorShard<'a>;
+    /// Moved: import from `switchboard::prelude::engine`.
+    #[deprecated(note = "import from `switchboard::prelude::engine`")]
+    pub type Replanner<'a> = sb_sim::Replanner<'a>;
+
+    // `Solver` is a trait, which cannot be aliased on stable; it stays
+    // re-exported here un-deprecated alongside its `solver` home.
+    pub use sb_lp::Solver;
+
+    /// Moved: import from [`prelude::engine`](self::engine).
+    #[deprecated(note = "import from `switchboard::prelude::engine`")]
+    pub fn replay(
+        topo: &Topology,
+        routing: &RoutingTable,
+        latmap: &LatencyMap,
+        catalog: &ConfigCatalog,
+        db: &CallRecordsDb,
+        selector: &sb_core::RealtimeSelector,
+        cfg: &sb_sim::ReplayConfig,
+    ) -> sb_sim::ReplayReport {
+        sb_sim::replay(topo, routing, latmap, catalog, db, selector, cfg)
+    }
+
+    /// Moved: import from [`prelude::engine`](self::engine).
+    #[deprecated(note = "import from `switchboard::prelude::engine`")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_concurrent(
+        topo: &Topology,
+        routing: &RoutingTable,
+        latmap: &LatencyMap,
+        catalog: &ConfigCatalog,
+        db: &CallRecordsDb,
+        selector: &sb_core::RealtimeSelector,
+        cfg: &sb_sim::ReplayConfig,
+        threads: usize,
+    ) -> sb_sim::ReplayReport {
+        sb_sim::replay_concurrent(topo, routing, latmap, catalog, db, selector, cfg, threads)
+    }
+
+    // The chaos_replay* functions are deprecated at their definition in
+    // `sb-sim` (in favor of `engine::ReplayDriver`), so these re-exports
+    // already warn at every use site.
+    #[allow(deprecated)]
+    pub use sb_sim::{chaos_replay, chaos_replay_concurrent, chaos_replay_replanned};
 }

@@ -4,8 +4,8 @@
 //! whole §5 design running end to end.
 
 use switchboard::core::{
-    allocation_plan, mean_acl, placed_fraction, provision, PlannedQuotas, PlanningInputs,
-    ProvisionerParams, RealtimeSelector, ScenarioData, SolveOptions,
+    allocation_plan, mean_acl, placed_fraction, provision, PlanArtifact, PlannedQuotas,
+    PlanningInputs, ProvisionerParams, RealtimeSelector, ScenarioData, SolveOptions,
 };
 use switchboard::net::FailureScenario;
 use switchboard::sim::{replay, ReplayConfig};
@@ -73,7 +73,7 @@ fn provision_allocate_replay() {
     let db = generator.sample_records(day, 1, 13);
     assert!(db.len() > 300, "trace too small");
     let quotas = PlannedQuotas::from_plan(&shares, &planned);
-    let selector = RealtimeSelector::new(&sd0.latmap, quotas);
+    let selector = RealtimeSelector::from_artifact(&sd0.latmap, &PlanArtifact::seed(quotas));
     let report = replay(
         &topo,
         &sd0.routing,
@@ -129,7 +129,7 @@ fn replayed_usage_stays_within_capacity_envelope() {
         .expect("allocation plan");
     let db = generator.sample_records(day, 1, 17);
     let quotas = PlannedQuotas::from_plan(&shares, &planned);
-    let selector = RealtimeSelector::new(&sd0.latmap, quotas);
+    let selector = RealtimeSelector::from_artifact(&sd0.latmap, &PlanArtifact::seed(quotas));
     // §5.2: the deployed capacity carries a cushion over the head-config
     // plan, covering unplanned tail configs and their traffic on links the
     // plan itself never exercised.

@@ -72,7 +72,8 @@ fn world(seed: u64, daily_calls: f64, coverage: f64, quota_scale: f64) -> World 
 }
 
 fn run_serial(w: &World, cfg: &ReplayConfig) -> ReplayStats {
-    let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
+    let selector =
+        RealtimeSelector::from_artifact(&w.sd0.latmap, &PlanArtifact::seed(w.quotas.clone()));
     let report = replay(
         &w.topo,
         &w.sd0.routing,
@@ -86,7 +87,8 @@ fn run_serial(w: &World, cfg: &ReplayConfig) -> ReplayStats {
 }
 
 fn run_concurrent(w: &World, cfg: &ReplayConfig, threads: usize) -> ReplayStats {
-    let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
+    let selector =
+        RealtimeSelector::from_artifact(&w.sd0.latmap, &PlanArtifact::seed(w.quotas.clone()));
     let report = replay_concurrent(
         &w.topo,
         &w.sd0.routing,

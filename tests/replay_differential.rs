@@ -4,14 +4,23 @@
 //! including the f64 peaks/ACL (both engines share the record-order
 //! accounting pass, so the floats are bitwise-identical, not merely close)
 //! and the final per-DC freeze tallies. A fourth workload drives the chaos
-//! engine through a DC outage plus a stale-plan window and holds
-//! `chaos_replay_concurrent` to the same standard on `ChaosStats`.
+//! engine through a DC outage plus a stale-plan window and holds the
+//! concurrent `ReplayDriver` to the same standard on `ChaosStats`.
+//!
+//! The same four seeded workloads are then offered to `sb-engine`'s
+//! admission path (`Engine::worker` → admit/freeze/end in the canonical
+//! replay event order): the engine must land on selector stats and per-DC
+//! tallies equal to the serial oracle, serially and across lifecycle-
+//! partitioned worker threads.
 
-use switchboard::core::{AllocationShares, PlannedQuotas, RealtimeSelector, ScenarioData};
+use switchboard::core::{
+    AllocationShares, PlanArtifact, PlannedQuotas, RealtimeSelector, ScenarioData,
+};
 use switchboard::net::{FailureScenario, Topology};
+use switchboard::prelude::engine::{Engine, EngineConfig};
+use switchboard::sim::replay::{build_events, EV_FREEZE, EV_START};
 use switchboard::sim::{
-    chaos_replay, chaos_replay_concurrent, replay, replay_concurrent, ChaosConfig, FaultEvent,
-    FaultTimeline, ReplayConfig,
+    replay, replay_concurrent, ChaosConfig, FaultEvent, FaultTimeline, ReplayConfig, ReplayDriver,
 };
 use switchboard::workload::{
     CallRecordsDb, DemandMatrix, Generator, UniverseParams, WorkloadParams,
@@ -24,6 +33,16 @@ struct World {
     db: CallRecordsDb,
     quotas: PlannedQuotas,
     sd0: ScenarioData,
+}
+
+impl World {
+    fn artifact(&self) -> PlanArtifact {
+        PlanArtifact::seed(self.quotas.clone())
+    }
+
+    fn selector(&self) -> RealtimeSelector {
+        RealtimeSelector::from_artifact(&self.sd0.latmap, &self.artifact())
+    }
 }
 
 /// A seeded APAC day: sampled trace + a synthetic plan spreading each
@@ -70,9 +89,9 @@ fn world(seed: u64, daily_calls: f64, coverage: f64, quota_scale: f64) -> World 
     }
 }
 
-fn assert_replay_equivalence(w: &World, cfg: &ReplayConfig, label: &str) {
-    let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
-    let serial = replay(
+fn serial_replay(w: &World, cfg: &ReplayConfig) -> switchboard::sim::ReplayReport {
+    let selector = w.selector();
+    replay(
         &w.topo,
         &w.sd0.routing,
         &w.sd0.latmap,
@@ -80,10 +99,14 @@ fn assert_replay_equivalence(w: &World, cfg: &ReplayConfig, label: &str) {
         &w.db,
         &selector,
         cfg,
-    );
+    )
+}
+
+fn assert_replay_equivalence(w: &World, cfg: &ReplayConfig, label: &str) {
+    let serial = serial_replay(w, cfg);
     assert!(serial.calls > 0);
     for threads in THREADS {
-        let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
+        let selector = w.selector();
         let conc = replay_concurrent(
             &w.topo,
             &w.sd0.routing,
@@ -114,6 +137,64 @@ fn assert_replay_equivalence(w: &World, cfg: &ReplayConfig, label: &str) {
     }
 }
 
+/// Offer the workload to `sb-engine`'s admission path in the canonical
+/// replay event order — serially and across lifecycle-partitioned workers —
+/// and hold the engine's selector stats to the serial replay oracle.
+fn assert_engine_equivalence(w: &World, cfg: &ReplayConfig, label: &str) {
+    let oracle = serial_replay(w, cfg);
+    let records = w.db.records();
+    let events = build_events(records, cfg.freeze_minutes);
+    let artifact = w.artifact();
+    for threads in [1usize, 4] {
+        let engine = Engine::new(&w.sd0.latmap, &artifact, &EngineConfig::default());
+        let mut lists: Vec<Vec<(u8, usize)>> = vec![Vec::new(); threads];
+        for &(_, kind, i) in &events {
+            let r = &records[i];
+            let t = match engine.pool_token(r.config, r.start_minute) {
+                Some(t) => t as usize % threads,
+                None => r.id as usize % threads,
+            };
+            lists[t].push((kind, i));
+        }
+        let engine_ref = &engine;
+        std::thread::scope(|s| {
+            for list in &lists {
+                let list = list.as_slice();
+                s.spawn(move || {
+                    let mut worker = engine_ref.worker();
+                    for &(kind, i) in list {
+                        let r = &records[i];
+                        match kind {
+                            EV_START => {
+                                worker.admit(r.id, r.first_joiner);
+                            }
+                            EV_FREEZE => {
+                                if worker.current_dc(r.id).is_some() {
+                                    worker.freeze(r.id, r.config, r.start_minute);
+                                }
+                            }
+                            _ => worker.end(r.id),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            engine.selector_stats(),
+            oracle.stats().selector,
+            "{label}: engine admission path diverged from the oracle, threads={threads}"
+        );
+        assert_eq!(
+            engine.per_dc_tallies(),
+            oracle.stats().per_dc_tallies,
+            "{label}: engine per-DC tallies, threads={threads}"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.admitted, oracle.calls, "{label}: admitted != calls");
+        assert_eq!(stats.active_calls, 0, "{label}: engine must drain");
+    }
+}
+
 #[test]
 fn concurrent_replay_matches_serial_on_ample_quotas() {
     // quotas cushioned over expectation: the plan rung dominates
@@ -125,16 +206,7 @@ fn concurrent_replay_matches_serial_on_ample_quotas() {
 fn concurrent_replay_matches_serial_under_quota_pressure() {
     // quotas at 40% of expectation: pools drain, overflow + contention paths
     let w = world(23, 8_000.0, 0.90, 0.4);
-    let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
-    let report = replay(
-        &w.topo,
-        &w.sd0.routing,
-        &w.sd0.latmap,
-        w.db.catalog(),
-        &w.db,
-        &selector,
-        &ReplayConfig::default(),
-    );
+    let report = serial_replay(&w, &ReplayConfig::default());
     assert!(
         report.selector.overflow > 0,
         "workload must actually exhaust quota pools"
@@ -146,16 +218,7 @@ fn concurrent_replay_matches_serial_under_quota_pressure() {
 fn concurrent_replay_matches_serial_with_capacity_accounting() {
     // tight capacity so the violation/overshoot floats are exercised too
     let w = world(37, 5_000.0, 0.92, 1.0);
-    let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
-    let probe = replay(
-        &w.topo,
-        &w.sd0.routing,
-        &w.sd0.latmap,
-        w.db.catalog(),
-        &w.db,
-        &selector,
-        &ReplayConfig::default(),
-    );
+    let probe = serial_replay(&w, &ReplayConfig::default());
     let mut cap = probe.peaks.clone();
     for c in cap.cores.iter_mut() {
         *c *= 0.8; // guarantee violations
@@ -167,16 +230,7 @@ fn concurrent_replay_matches_serial_with_capacity_accounting() {
         capacity: Some(cap),
         ..Default::default()
     };
-    let selector = RealtimeSelector::new(&w.sd0.latmap, w.quotas.clone());
-    let serial = replay(
-        &w.topo,
-        &w.sd0.routing,
-        &w.sd0.latmap,
-        w.db.catalog(),
-        &w.db,
-        &selector,
-        &cfg,
-    );
+    let serial = serial_replay(&w, &cfg);
     assert!(
         serial.capacity_violations > 0,
         "capacity must actually bind"
@@ -185,7 +239,7 @@ fn concurrent_replay_matches_serial_with_capacity_accounting() {
 }
 
 #[test]
-fn concurrent_chaos_replay_matches_serial_through_faults() {
+fn concurrent_chaos_driver_matches_serial_through_faults() {
     let w = world(53, 5_000.0, 0.92, 1.2);
     let t0 = w.db.records().iter().map(|r| r.start_minute).min().unwrap();
     let victim = w.topo.dcs[0].id;
@@ -206,32 +260,33 @@ fn concurrent_chaos_replay_matches_serial_through_faults() {
         window_minutes: 120,
         ..ChaosConfig::default()
     };
-    let serial = chaos_replay(
-        &w.topo,
-        w.db.catalog(),
-        &w.db,
-        &timeline,
-        w.quotas.clone(),
-        &cfg,
-    );
+    let serial = ReplayDriver::new(&w.topo, w.db.catalog(), &w.db, w.quotas.clone())
+        .config(cfg.clone())
+        .faults(timeline.clone())
+        .run();
     assert!(
         serial.forced_migrations > 0,
         "the outage must re-home in-flight calls"
     );
     for threads in THREADS {
-        let conc = chaos_replay_concurrent(
-            &w.topo,
-            w.db.catalog(),
-            &w.db,
-            &timeline,
-            w.quotas.clone(),
-            &cfg,
-            threads,
-        );
+        let conc = ReplayDriver::new(&w.topo, w.db.catalog(), &w.db, w.quotas.clone())
+            .config(cfg.clone())
+            .faults(timeline.clone())
+            .threads(threads)
+            .run();
         assert_eq!(
             serial.stats(),
             conc.stats(),
             "chaos ChaosStats, threads={threads}"
         );
     }
+}
+
+#[test]
+fn engine_admission_path_matches_oracle_on_all_seeded_workloads() {
+    let cfg = ReplayConfig::default();
+    assert_engine_equivalence(&world(11, 6_000.0, 0.95, 1.3), &cfg, "ample");
+    assert_engine_equivalence(&world(23, 8_000.0, 0.90, 0.4), &cfg, "pressure");
+    assert_engine_equivalence(&world(37, 5_000.0, 0.92, 1.0), &cfg, "capacity");
+    assert_engine_equivalence(&world(53, 5_000.0, 0.92, 1.2), &cfg, "chaos-seed");
 }
