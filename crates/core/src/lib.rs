@@ -68,8 +68,8 @@ pub use plan::{
 };
 pub use provision::{provision, ProvisionerParams, ProvisioningPlan};
 pub use realtime::{
-    FreezeDecision, PlanSwapStats, PlannedQuotas, RealtimeSelector, SelectorOutcome, SelectorRung,
-    SelectorShard, SelectorStats,
+    CallExport, FreezeDecision, PlanSwapStats, PlannedQuotas, QuotaCellExport, RealtimeSelector,
+    RestoreDebit, SelectorOutcome, SelectorRung, SelectorShard, SelectorStateExport, SelectorStats,
 };
 pub use shares::AllocationShares;
 pub use usage::{compute_usage, mean_acl, placed_fraction, UsageTimeline};

@@ -728,7 +728,38 @@ fn export_table(artifact: &PlanArtifact) -> Table {
     let t = Table::standalone(&PLAN_EXPORT_COLUMNS);
     let mut pools: Vec<Pool<'_>> = artifact.shares.iter().collect();
     pools.sort_by_key(|&(cfg, slot, _)| (cfg.index(), slot));
+    // Pools that exist only as quotas (seed artifacts carry no shares) are
+    // exported as quota-only rows (`share` = "-"), so a round-trip never
+    // silently drops quota.
+    let mut quota_only: Vec<(ConfigId, usize)> = artifact
+        .quotas
+        .iter()
+        .filter(|&((cfg, slot), _)| artifact.shares.get(cfg, slot).is_empty())
+        .map(|(k, _)| k)
+        .collect();
+    quota_only.sort_by_key(|&(cfg, slot)| (cfg.index(), slot));
+    let mut quota_only = quota_only.into_iter().peekable();
+    let emit_quota_only = |t: &Table, cfg: ConfigId, slot: usize| {
+        for &(dc, n) in artifact.quotas.get(cfg, slot) {
+            t.push(vec![
+                Value::from(cfg.index()),
+                Value::from(slot),
+                Value::from(dc.index()),
+                Value::from("-"),
+                Value::from(n),
+            ]);
+        }
+    };
     for (cfg, slot, fracs) in pools {
+        // interleave pending quota-only pools that sort before this one so
+        // row order stays sorted by (config, slot)
+        while quota_only
+            .peek()
+            .is_some_and(|&(qc, qs)| (qc.index(), qs) < (cfg.index(), slot))
+        {
+            let (qc, qs) = quota_only.next().unwrap_or((cfg, slot));
+            emit_quota_only(&t, qc, qs);
+        }
         let counts = artifact.quotas.get(cfg, slot);
         for (i, &(dc, share)) in fracs.iter().enumerate() {
             let quota: Value = counts
@@ -745,6 +776,9 @@ fn export_table(artifact: &PlanArtifact) -> Table {
                 quota,
             ]);
         }
+    }
+    for (qc, qs) in quota_only {
+        emit_quota_only(&t, qc, qs);
     }
     t
 }
@@ -767,10 +801,11 @@ fn meta_of(artifact: &PlanArtifact) -> MetaFields {
     }
 }
 
-fn rebuild(
-    meta: MetaFields,
-    rows: Vec<(usize, usize, usize, f64, Option<u32>)>,
-) -> Result<PlanArtifact, PlanParseError> {
+/// One parsed plan row: `(config, slot, dc, share, quota)` — share is `None`
+/// for quota-only pools, quota is `None` for share-only rows.
+type PlanRow = (usize, usize, usize, Option<f64>, Option<u32>);
+
+fn rebuild(meta: MetaFields, rows: Vec<PlanRow>) -> Result<PlanArtifact, PlanParseError> {
     let mut shares = AllocationShares::new(meta.num_slots);
     let mut quotas: HashMap<(ConfigId, usize), Vec<(DcId, u32)>> = HashMap::new();
     let mut i = 0usize;
@@ -786,7 +821,9 @@ fn rebuild(
         while i < rows.len() && rows[i].0 == cfg && rows[i].1 == slot {
             let (_, _, dc, share, quota) = rows[i];
             let dc = DcId(u16::try_from(dc).map_err(|_| err("dc id out of range"))?);
-            fracs.push((dc, share));
+            if let Some(s) = share {
+                fracs.push((dc, s));
+            }
             if let Some(q) = quota {
                 in_plan = true;
                 counts.push((dc, q));
@@ -795,7 +832,9 @@ fn rebuild(
             }
             i += 1;
         }
-        shares.set(cfg_id, slot, fracs);
+        if !fracs.is_empty() {
+            shares.set(cfg_id, slot, fracs);
+        }
         if in_plan {
             quotas.insert((cfg_id, slot), counts);
         }
@@ -896,6 +935,10 @@ impl PlanArtifact {
                 "-" => None,
                 q => Some(q.parse().map_err(|_| err(format!("bad quota {q:?}")))?),
             };
+            let share = match cells[3] {
+                "-" => None,
+                s => Some(s.parse().map_err(|_| err(format!("bad share {s:?}")))?),
+            };
             rows.push((
                 cells[0]
                     .parse()
@@ -906,9 +949,7 @@ impl PlanArtifact {
                 cells[2]
                     .parse()
                     .map_err(|_| err(format!("bad dc {:?}", cells[2])))?,
-                cells[3]
-                    .parse()
-                    .map_err(|_| err(format!("bad share {:?}", cells[3])))?,
+                share,
                 quota,
             ));
         }
@@ -1009,11 +1050,15 @@ impl PlanArtifact {
                 "-" => None,
                 q => Some(q.parse().map_err(|_| err(format!("bad quota {q:?}")))?),
             };
+            let share = match raw_field(line, "share")?.as_str() {
+                "-" => None,
+                s => Some(s.parse().map_err(|_| err(format!("bad share {s:?}")))?),
+            };
             rows.push((
                 num_field(line, "config")?,
                 num_field(line, "slot")?,
                 num_field(line, "dc")?,
-                num_field(line, "share")?,
+                share,
                 quota,
             ));
         }
@@ -1196,6 +1241,28 @@ mod tests {
         let back = PlanArtifact::from_ndjson(&nd).unwrap();
         assert_eq!(back, *report.artifact);
         assert_eq!(back.provenance.scenario, format!("{:?}", down.scenario));
+    }
+
+    /// Regression: seed artifacts carry quotas with *no* shares; the export
+    /// used to iterate shares pools only, so a round-trip silently dropped
+    /// every quota. Quota-only pools now persist as `share`="-" rows.
+    #[test]
+    fn seed_artifact_round_trips_quota_only_pools() {
+        let cfg = ConfigId(0);
+        let slots = 4;
+        let mut shares = AllocationShares::new(slots);
+        let mut demand = DemandMatrix::zero(1, slots, 30, 0);
+        for s in 0..slots {
+            shares.set(cfg, s, vec![(DcId(0), 1.0)]);
+            demand.set(cfg, s, 10.0);
+        }
+        let artifact = PlanArtifact::seed(PlannedQuotas::from_plan(&shares, &demand));
+        assert_eq!(artifact.shares.iter().count(), 0, "seed drops shares");
+        let nd_back = PlanArtifact::from_ndjson(&artifact.to_ndjson()).unwrap();
+        assert_eq!(nd_back, artifact);
+        let tsv_back = PlanArtifact::from_tsv(&artifact.to_tsv()).unwrap();
+        assert_eq!(tsv_back, artifact);
+        assert_eq!(nd_back.quotas.get(cfg, 0), &[(DcId(0), 10)]);
     }
 
     #[test]

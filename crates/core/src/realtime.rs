@@ -619,6 +619,74 @@ pub struct PlanSwapStats {
     pub pools: usize,
 }
 
+/// One active call, exported for a recovery cross-check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallExport {
+    /// Call id.
+    pub id: u64,
+    /// DC currently hosting the call.
+    pub dc: DcId,
+    /// First joiner's country (drives the locality rung).
+    pub country: CountryId,
+    /// `(config, slot)` recorded at freeze, if the call has frozen.
+    pub frozen: Option<(ConfigId, usize)>,
+}
+
+/// One quota cell (a `(config, slot, DC)` plan entry), exported for a
+/// recovery cross-check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuotaCellExport {
+    /// Config the cell belongs to.
+    pub config: ConfigId,
+    /// Plan slot the cell belongs to.
+    pub slot: usize,
+    /// DC the quota is granted at.
+    pub dc: DcId,
+    /// Quota not yet debited.
+    pub remaining: u32,
+    /// Debits recognized in this epoch.
+    pub consumed: u32,
+}
+
+/// A deterministic snapshot of everything a crash-recovery path must
+/// rebuild: plan epoch/validity, the live call map, every quota cell's
+/// debit state, per-DC tallies, and aggregate stats. Two selectors that
+/// compare equal here are behaviorally indistinguishable to every future
+/// operation — the recovery differential's definition of "bitwise
+/// identical".
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectorStateExport {
+    /// Epoch of the installed plan.
+    pub plan_epoch: u64,
+    /// Whether the plan is currently trusted.
+    pub plan_valid: bool,
+    /// Active calls, sorted by id.
+    pub calls: Vec<CallExport>,
+    /// Quota cells, sorted by `(config, slot)` pool; cell order within a
+    /// pool preserved (it is tie-breaking-relevant).
+    pub cells: Vec<QuotaCellExport>,
+    /// Completed freeze tallies per DC.
+    pub per_dc_tallies: Vec<u64>,
+    /// Aggregate selector statistics.
+    pub stats: SelectorStats,
+}
+
+/// How [`RealtimeSelector::restore_freeze`] should re-apply a recovered
+/// freeze's quota debit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestoreDebit {
+    /// No quota was debited (unplanned / overflow / stale-plan freezes).
+    None,
+    /// Debit the first cell of this DC with quota left, in plan-entry order
+    /// — the [`FreezeDecision::Stay`] debit rule.
+    FirstOf(DcId),
+    /// Debit the max-remaining cell of this DC, later ties winning — the
+    /// [`FreezeDecision::Migrate`] debit rule, restricted to the recorded
+    /// winner's DC (the global maximum lived there, so the restriction
+    /// picks the same cell).
+    BestOf(DcId),
+}
+
 /// The real-time selector state machine.
 ///
 /// Owns its topology view (latency map + per-DC health) so the chaos engine
@@ -1156,6 +1224,122 @@ impl RealtimeSelector {
     /// [`SelectorShard`] deltas are not yet included).
     pub fn stats(&self) -> SelectorStats {
         self.stats.snapshot()
+    }
+
+    /// Export a deterministic snapshot of the selector's entire mutable
+    /// state (see [`SelectorStateExport`]). Not linearizable under
+    /// concurrent mutation — call it quiesced, as recovery cross-checks do.
+    pub fn export_state(&self) -> SelectorStateExport {
+        let table = self.table();
+        let mut calls: Vec<CallExport> = Vec::new();
+        self.active.for_each(|&id, c| {
+            calls.push(CallExport {
+                id,
+                dc: c.dc,
+                country: c.country,
+                frozen: c.frozen,
+            });
+        });
+        calls.sort_unstable_by_key(|c| c.id);
+        let mut pools: Vec<(ConfigId, usize)> = table.index.keys().copied().collect();
+        pools.sort_unstable_by_key(|&(cfg, slot)| (cfg.index(), slot));
+        let mut cells = Vec::new();
+        for (cfg, slot) in pools {
+            if let Some(range) = table.range(cfg, slot) {
+                for i in range {
+                    cells.push(QuotaCellExport {
+                        config: cfg,
+                        slot,
+                        dc: table.dcs[i],
+                        remaining: table.remaining[i].load(Ordering::Relaxed),
+                        consumed: table.consumed[i].load(Ordering::Relaxed),
+                    });
+                }
+            }
+        }
+        SelectorStateExport {
+            plan_epoch: table.geom.epoch,
+            plan_valid: self.plan_valid(),
+            calls,
+            cells,
+            per_dc_tallies: self.per_dc_tallies(),
+            stats: self.stats(),
+        }
+    }
+
+    /// Recovery: re-insert an admitted call exactly as a journaled
+    /// [`RealtimeSelector::call_start`] left it — no placement logic runs
+    /// and no statistics move (the recovery driver replays the recorded
+    /// decision and accounts stats separately).
+    pub fn restore_call(&self, call_id: u64, first_joiner: CountryId, dc: DcId) {
+        self.active.insert(
+            call_id,
+            ActiveCall {
+                dc,
+                country: first_joiner,
+                frozen: None,
+            },
+        );
+    }
+
+    /// Recovery: re-apply a journaled freeze *decision* — mark the call
+    /// frozen at `frozen`, move it to `final_dc`, re-debit quota per
+    /// `debit`, and bump the per-DC tally when `tally`. Returns `false`
+    /// when the call is not live (an inconsistent journal). Statistics do
+    /// not move; the recovery driver accounts them from the record.
+    pub fn restore_freeze(
+        &self,
+        call_id: u64,
+        frozen: Option<(ConfigId, usize)>,
+        final_dc: DcId,
+        debit: RestoreDebit,
+        tally: bool,
+    ) -> bool {
+        let table = self.table();
+        let known = self.active.update(&call_id, |call| {
+            call.frozen = frozen;
+            call.dc = final_dc;
+        });
+        if !known {
+            return false;
+        }
+        let pool = frozen.and_then(|(cfg, s)| table.range(cfg, s));
+        match (debit, pool) {
+            (RestoreDebit::None, _) | (_, None) => {}
+            (RestoreDebit::FirstOf(dc), Some(pool)) => {
+                for i in pool {
+                    if table.dcs[i] == dc && table.try_debit(i) {
+                        break;
+                    }
+                }
+            }
+            (RestoreDebit::BestOf(dc), Some(pool)) => {
+                let mut best: Option<(usize, u32)> = None;
+                for i in pool {
+                    if table.dcs[i] != dc {
+                        continue;
+                    }
+                    let r = table.remaining[i].load(Ordering::Relaxed);
+                    if r > 0 && best.is_none_or(|(_, br)| r >= br) {
+                        best = Some((i, r));
+                    }
+                }
+                if let Some((i, _)) = best {
+                    table.try_debit(i);
+                }
+            }
+        }
+        if tally {
+            self.dc_tally[final_dc.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Merge a statistics delta straight into the aggregate counters —
+    /// recovery drivers rebuild stats from journaled decisions and land
+    /// them here in one shot.
+    pub fn add_stats(&self, delta: &SelectorStats) {
+        self.stats.merge(delta);
     }
 
     /// A worker handle for one replay thread: caches the topology and
@@ -1722,5 +1906,63 @@ mod tests {
         assert!(shard.config_frozen(1, cfg, 0).migrated());
         shard.flush();
         assert_eq!(sel.stats().migrations, 1);
+    }
+
+    #[test]
+    fn restore_apis_rebuild_an_identical_export() {
+        let lm = latmap();
+        let (_, cfg) = catalog();
+        // DC0 quota 1, DC1 quota 2: call 1 stays, call 2 must migrate
+        let mk = || quotas_for(cfg, vec![(DcId(0), 1.0 / 3.0), (DcId(1), 2.0 / 3.0)], 3.0);
+        let live = selector_of(&lm, mk());
+        live.call_start(1, CountryId(0));
+        live.call_start(2, CountryId(0));
+        live.call_start(3, CountryId(1));
+        assert_eq!(live.config_frozen(1, cfg, 0), FreezeDecision::Stay(DcId(0)));
+        assert_eq!(
+            live.config_frozen(2, cfg, 0),
+            FreezeDecision::Migrate {
+                from: DcId(0),
+                to: DcId(1)
+            }
+        );
+        live.call_end(3);
+        assert_eq!(live.config_frozen(99, cfg, 0), FreezeDecision::UnknownCall);
+
+        // recovery: re-apply the recorded decisions, stats in one delta
+        let rec = selector_of(&lm, mk());
+        rec.restore_call(1, CountryId(0), DcId(0));
+        rec.restore_call(2, CountryId(0), DcId(0));
+        rec.restore_call(3, CountryId(1), DcId(1));
+        assert!(rec.restore_freeze(
+            1,
+            Some((cfg, 0)),
+            DcId(0),
+            RestoreDebit::FirstOf(DcId(0)),
+            true
+        ));
+        assert!(rec.restore_freeze(
+            2,
+            Some((cfg, 0)),
+            DcId(1),
+            RestoreDebit::BestOf(DcId(1)),
+            true
+        ));
+        rec.call_end(3);
+        assert!(!rec.restore_freeze(99, Some((cfg, 0)), DcId(0), RestoreDebit::None, false));
+        let delta = SelectorStats {
+            calls: 3,
+            freezes: 2,
+            migrations: 1,
+            unknown_freezes: 1,
+            ..SelectorStats::default()
+        };
+        rec.add_stats(&delta);
+
+        let (a, b) = (live.export_state(), rec.export_state());
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a, b);
+        assert_eq!(a.calls.len(), 2);
+        assert_eq!(a.per_dc_tallies, vec![1, 1]);
     }
 }

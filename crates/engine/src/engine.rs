@@ -7,19 +7,57 @@
 //! hot-swap, and graceful drain. Keeping the two apart is deliberate — see
 //! DESIGN.md §Layering for the separation-of-concerns lesson this encodes.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sb_core::{
-    FreezeDecision, LatencyMap, PlanArtifact, PlanSwapStats, RealtimeSelector, SelectorOutcome,
-    SelectorStats,
+    FreezeDecision, LatencyMap, PlanArtifact, PlanSwapStats, RealtimeSelector, RestoreDebit,
+    SelectorOutcome, SelectorRung, SelectorStats,
 };
-use sb_net::CountryId;
-use sb_store::{CallEvent, CallStateStore, LatencyHistogram, MediaFlag};
+use sb_net::{CountryId, DcId};
+use sb_store::{
+    CallEvent, CallStateStore, Journal, JournalConfig, JournalReadError, LatencyHistogram,
+    MediaFlag,
+};
 use sb_workload::ConfigId;
 
 use crate::latency::FineHistogram;
+use crate::wal::{self, freeze_kind, WalRecord};
+
+/// Overload-protection knobs: watermarks that turn admissions into typed
+/// [`Admission::Shed`] outcomes instead of letting the engine collapse.
+///
+/// The default disables both watermarks (existing callers see no behavior
+/// change) while keeping the store-write backoff armed — a healthy store
+/// never triggers it.
+#[derive(Clone, Debug)]
+pub struct OverloadConfig {
+    /// Shed admissions while live calls ≥ this watermark (queue-depth
+    /// protection). `None` disables.
+    pub active_watermark: Option<usize>,
+    /// Per-admission deadline: shed while the EWMA of recent admit
+    /// latencies exceeds it, and cap store-write backoff so one admission
+    /// never sleeps past it. `None` disables.
+    pub admit_deadline: Option<Duration>,
+    /// First store-write retry backoff; doubles per attempt (bounded
+    /// exponential).
+    pub store_retry_base: Duration,
+    /// Store-write retry attempts before declaring the store degraded.
+    pub store_retry_limit: u32,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            active_watermark: None,
+            admit_deadline: None,
+            store_retry_base: Duration::from_micros(100),
+            store_retry_limit: 3,
+        }
+    }
+}
 
 /// Engine construction knobs.
 #[derive(Clone, Debug)]
@@ -28,6 +66,8 @@ pub struct EngineConfig {
     pub store_shards: usize,
     /// Simulated per-write store round trip (§6.6; zero = in-process map).
     pub store_rtt: Duration,
+    /// Overload-protection watermarks and deadlines.
+    pub overload: OverloadConfig,
 }
 
 impl Default for EngineConfig {
@@ -35,7 +75,29 @@ impl Default for EngineConfig {
         EngineConfig {
             store_shards: 64,
             store_rtt: Duration::ZERO,
+            overload: OverloadConfig::default(),
         }
+    }
+}
+
+/// Why an admission was shed instead of placed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Live calls crossed [`OverloadConfig::active_watermark`].
+    QueueDepth,
+    /// The admit-latency EWMA exceeded [`OverloadConfig::admit_deadline`].
+    LatencyWatermark,
+    /// Store writes are failing after bounded exponential backoff.
+    StoreBackoff,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShedReason::QueueDepth => "queue-depth",
+            ShedReason::LatencyWatermark => "latency-watermark",
+            ShedReason::StoreBackoff => "store-backoff",
+        })
     }
 }
 
@@ -48,6 +110,12 @@ pub enum Admission {
     Granted(SelectorOutcome),
     /// The engine is draining: no new calls.
     Draining,
+    /// The engine is overloaded: the call was shed before touching the
+    /// selector or the store (typed, counted, never a panic).
+    Shed {
+        /// Which watermark tripped.
+        reason: ShedReason,
+    },
 }
 
 impl Admission {
@@ -55,7 +123,7 @@ impl Admission {
     pub fn dc(self) -> Option<sb_net::DcId> {
         match self {
             Admission::Granted(o) => o.dc(),
-            Admission::Draining => None,
+            Admission::Draining | Admission::Shed { .. } => None,
         }
     }
 }
@@ -77,6 +145,18 @@ pub struct EngineStats {
     pub active_calls: usize,
     /// Call-state writes persisted to the store.
     pub store_writes: u64,
+    /// Admissions shed at the queue-depth watermark.
+    pub shed_queue_depth: u64,
+    /// Admissions shed at the latency watermark.
+    pub shed_latency: u64,
+    /// Admissions shed while the store was degraded.
+    pub shed_store: u64,
+    /// Store-write retries performed (bounded exponential backoff).
+    pub store_retries: u64,
+    /// Store writes abandoned after exhausting the retry budget.
+    pub store_write_failures: u64,
+    /// Journal appends that failed (injected faults or I/O errors).
+    pub journal_failures: u64,
 }
 
 /// A long-running selector service: admission, call lifecycle via the
@@ -88,11 +168,22 @@ pub struct EngineStats {
 pub struct Engine {
     selector: RealtimeSelector,
     store: CallStateStore,
+    journal: Option<Journal>,
+    overload: OverloadConfig,
     draining: AtomicBool,
     admitted: AtomicU64,
     rejected_draining: AtomicU64,
     ended: AtomicU64,
     plans_installed: AtomicU64,
+    shed_queue: AtomicU64,
+    shed_latency: AtomicU64,
+    shed_store: AtomicU64,
+    store_retries: AtomicU64,
+    store_write_failures: AtomicU64,
+    store_degraded: AtomicBool,
+    journal_failures: AtomicU64,
+    /// EWMA of recent admit latencies, in nanoseconds (α = 1/8).
+    ewma_admit_ns: AtomicU64,
     op_latency: Mutex<FineHistogram>,
     store_latency: Mutex<LatencyHistogram>,
 }
@@ -103,14 +194,46 @@ impl Engine {
         Engine {
             selector: RealtimeSelector::from_artifact(latmap, artifact),
             store: CallStateStore::with_simulated_rtt(cfg.store_shards, cfg.store_rtt),
+            journal: None,
+            overload: cfg.overload.clone(),
             draining: AtomicBool::new(false),
             admitted: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
             ended: AtomicU64::new(0),
             plans_installed: AtomicU64::new(0),
+            shed_queue: AtomicU64::new(0),
+            shed_latency: AtomicU64::new(0),
+            shed_store: AtomicU64::new(0),
+            store_retries: AtomicU64::new(0),
+            store_write_failures: AtomicU64::new(0),
+            store_degraded: AtomicBool::new(false),
+            journal_failures: AtomicU64::new(0),
+            ewma_admit_ns: AtomicU64::new(0),
             op_latency: Mutex::new(FineHistogram::new()),
             store_latency: Mutex::new(LatencyHistogram::new()),
         }
+    }
+
+    /// Boot a journaled engine: every lifecycle operation is appended to
+    /// `journal` (write-ahead, group-committed), starting with the boot
+    /// plan artifact as record 0 — synced immediately, so a recovering
+    /// engine always finds its plan.
+    pub fn with_journal(
+        latmap: &LatencyMap,
+        artifact: &PlanArtifact,
+        cfg: &EngineConfig,
+        journal: Journal,
+    ) -> Result<Engine, sb_store::JournalError> {
+        journal.append(
+            &WalRecord::PlanInstall {
+                ndjson: artifact.to_ndjson(),
+            }
+            .encode(),
+        )?;
+        journal.sync()?;
+        let mut engine = Engine::new(latmap, artifact, cfg);
+        engine.journal = Some(journal);
+        Ok(engine)
     }
 
     /// A worker handle batching selector stats and latency samples locally.
@@ -124,11 +247,53 @@ impl Engine {
     }
 
     /// Hot-swap a new plan into the selector (carrying consumed quota over,
-    /// see [`RealtimeSelector::install_plan`]).
+    /// see [`RealtimeSelector::install_plan`]). Journaled and synced
+    /// eagerly when the engine is journaled — a plan install is never lost
+    /// to the group-commit window.
     pub fn install_plan(&self, artifact: &PlanArtifact) -> PlanSwapStats {
+        self.journal_append(&WalRecord::PlanInstall {
+            ndjson: artifact.to_ndjson(),
+        });
+        if let Some(j) = &self.journal {
+            if j.sync().is_err() {
+                self.journal_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let swap = self.selector.install_plan(artifact);
         self.plans_installed.fetch_add(1, Ordering::Relaxed);
         swap
+    }
+
+    /// Append one WAL record, if journaled. Append failures (injected
+    /// drops, I/O errors) are counted and the engine keeps serving —
+    /// availability wins over durability, and a later crash surfaces the
+    /// gap as a typed realignment error instead of silent divergence.
+    fn journal_append(&self, rec: &WalRecord) {
+        if let Some(j) = &self.journal {
+            if j.append(&rec.encode()).is_err() {
+                self.journal_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The write-ahead journal, when this engine was booted with one.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Force the journal's group commit (no-op when un-journaled).
+    pub fn sync_journal(&self) {
+        if let Some(j) = &self.journal {
+            if j.sync().is_err() {
+                self.journal_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Is the store currently considered degraded (admissions shed with
+    /// [`ShedReason::StoreBackoff`])? Cleared by the next successful write.
+    pub fn store_degraded(&self) -> bool {
+        self.store_degraded.load(Ordering::Relaxed)
     }
 
     /// Push a fresh topology view (latency map + per-DC health).
@@ -170,6 +335,12 @@ impl Engine {
         self.selector.plan_epoch()
     }
 
+    /// Whether the installed plan is currently trusted (mirrors
+    /// [`RealtimeSelector::plan_valid`]; journaled on every freeze record).
+    pub fn plan_valid(&self) -> bool {
+        self.selector.plan_valid()
+    }
+
     /// Opaque token identifying the quota pool a `(config, start-minute)`
     /// freeze will debit, for partitioning work across workers (same token →
     /// same pool). `None` when the freeze would be unplanned.
@@ -197,6 +368,12 @@ impl Engine {
             plans_installed: self.plans_installed.load(Ordering::Relaxed),
             active_calls: self.selector.active_calls(),
             store_writes: self.store_latency.lock().count(),
+            shed_queue_depth: self.shed_queue.load(Ordering::Relaxed),
+            shed_latency: self.shed_latency.load(Ordering::Relaxed),
+            shed_store: self.shed_store.load(Ordering::Relaxed),
+            store_retries: self.store_retries.load(Ordering::Relaxed),
+            store_write_failures: self.store_write_failures.load(Ordering::Relaxed),
+            journal_failures: self.journal_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -214,7 +391,281 @@ impl Engine {
     pub fn store(&self) -> &CallStateStore {
         &self.store
     }
+
+    /// Deterministic snapshot of the selector's entire mutable state — the
+    /// recovery differential's equality witness.
+    pub fn export_selector_state(&self) -> sb_core::SelectorStateExport {
+        self.selector.export_state()
+    }
+
+    /// Rebuild an engine from its journal: scan the log (truncating a torn
+    /// tail), re-install the boot plan from record 0, then re-apply every
+    /// durable operation's *recorded decision* — selector call state, quota
+    /// debits, per-DC tallies, statistics, store writes, and the plan epoch
+    /// all land bitwise-identical to an uninterrupted run over the same
+    /// durable prefix. The returned engine appends to the same journal,
+    /// resuming at the next sequence number.
+    pub fn recover(
+        latmap: &LatencyMap,
+        cfg: &EngineConfig,
+        jcfg: JournalConfig,
+        path: &Path,
+    ) -> Result<(Engine, RecoveryReport), RecoveryError> {
+        let (journal, scan) = Journal::recover(path, jcfg).map_err(RecoveryError::Journal)?;
+        let mut ops = Vec::with_capacity(scan.records.len());
+        for (i, payload) in scan.records.iter().enumerate() {
+            ops.push(
+                WalRecord::decode(payload)
+                    .map_err(|_| RecoveryError::BadRecord { index: i as u64 })?,
+            );
+        }
+        let Some(WalRecord::PlanInstall { ndjson }) = ops.first() else {
+            return Err(RecoveryError::NoBootPlan);
+        };
+        let boot =
+            PlanArtifact::from_ndjson(ndjson).map_err(|_| RecoveryError::PlanParse { index: 0 })?;
+        let mut engine = Engine::new(latmap, &boot, cfg);
+        let mut report = RecoveryReport {
+            records: ops.len() as u64,
+            torn_tail_bytes: scan.torn_tail_bytes,
+            ..RecoveryReport::default()
+        };
+        let mut delta = SelectorStats::default();
+        let mut hist = LatencyHistogram::new();
+        for (i, rec) in ops.iter().enumerate().skip(1) {
+            let index = i as u64;
+            match rec {
+                WalRecord::PlanInstall { ndjson } => {
+                    let art = PlanArtifact::from_ndjson(ndjson)
+                        .map_err(|_| RecoveryError::PlanParse { index })?;
+                    engine.selector.install_plan(&art);
+                    engine.plans_installed.fetch_add(1, Ordering::Relaxed);
+                    report.plans += 1;
+                }
+                WalRecord::Admit {
+                    call,
+                    country,
+                    dc,
+                    rung,
+                } => {
+                    engine.admitted.fetch_add(1, Ordering::Relaxed);
+                    report.admits += 1;
+                    delta.calls += 1;
+                    match wal::decode_outcome(*dc, *rung) {
+                        SelectorOutcome::Placed { dc: place, rung } => {
+                            match rung {
+                                SelectorRung::Plan => delta.rehomed_plan += 1,
+                                SelectorRung::Locality => {}
+                                SelectorRung::AnyReachable => delta.degraded_any += 1,
+                            }
+                            engine
+                                .selector
+                                .restore_call(*call, CountryId(*country), place);
+                            engine.store.apply(
+                                CallEvent::Start {
+                                    call: *call,
+                                    country: *country,
+                                    dc: place.index() as u16,
+                                },
+                                &mut hist,
+                            );
+                        }
+                        SelectorOutcome::Stranded => delta.stranded += 1,
+                    }
+                }
+                WalRecord::Join { call, country } => {
+                    engine.store.apply(
+                        CallEvent::Join {
+                            call: *call,
+                            country: *country,
+                        },
+                        &mut hist,
+                    );
+                }
+                WalRecord::Media { call, media } => {
+                    engine.store.apply(
+                        CallEvent::Media {
+                            call: *call,
+                            media: wal_media(*media),
+                        },
+                        &mut hist,
+                    );
+                }
+                WalRecord::Freeze {
+                    call,
+                    config,
+                    start_minute,
+                    stale,
+                    kind,
+                    from: _,
+                    to,
+                } => {
+                    report.freezes += 1;
+                    match *kind {
+                        freeze_kind::STAY
+                        | freeze_kind::MIGRATE
+                        | freeze_kind::UNPLANNED
+                        | freeze_kind::OVERFLOW => {
+                            let cfg_id = ConfigId(*config);
+                            let frozen = engine
+                                .selector
+                                .plan_slot_of_minute(*start_minute)
+                                .map(|s| (cfg_id, s));
+                            let final_dc = DcId(*to);
+                            let debit = match *kind {
+                                freeze_kind::STAY => RestoreDebit::FirstOf(final_dc),
+                                freeze_kind::MIGRATE => RestoreDebit::BestOf(final_dc),
+                                _ => RestoreDebit::None,
+                            };
+                            if !engine
+                                .selector
+                                .restore_freeze(*call, frozen, final_dc, debit, true)
+                            {
+                                return Err(RecoveryError::Inconsistent { index });
+                            }
+                            delta.freezes += 1;
+                            match *kind {
+                                freeze_kind::MIGRATE => delta.migrations += 1,
+                                freeze_kind::UNPLANNED => {
+                                    delta.unplanned += 1;
+                                    if *stale {
+                                        delta.plan_stale += 1;
+                                    }
+                                }
+                                freeze_kind::OVERFLOW => delta.overflow += 1,
+                                _ => {}
+                            }
+                            engine
+                                .store
+                                .apply(CallEvent::Freeze { call: *call }, &mut hist);
+                        }
+                        freeze_kind::ALREADY_FROZEN => {
+                            delta.duplicate_freezes += 1;
+                            engine
+                                .store
+                                .apply(CallEvent::Freeze { call: *call }, &mut hist);
+                        }
+                        freeze_kind::UNKNOWN => delta.unknown_freezes += 1,
+                        _ => return Err(RecoveryError::BadRecord { index }),
+                    }
+                }
+                WalRecord::End { call } => {
+                    // `call_end` accounts unknown ends itself, and the live
+                    // set evolves identically to the original run, so the
+                    // tallies match without a recorded flag
+                    engine.selector.call_end(*call);
+                    engine
+                        .store
+                        .apply(CallEvent::End { call: *call }, &mut hist);
+                    engine.ended.fetch_add(1, Ordering::Relaxed);
+                    report.ends += 1;
+                }
+            }
+        }
+        engine.selector.add_stats(&delta);
+        engine.store_latency.lock().merge(&hist);
+        engine.journal = Some(journal);
+        report.live_calls = engine.selector.active_calls();
+        report.plan_epoch = engine.plan_epoch();
+        report.ops = ops;
+        Ok((engine, report))
+    }
 }
+
+/// Decode a wire media code back to a [`MediaFlag`].
+fn wal_media(code: u8) -> MediaFlag {
+    match code {
+        1 => MediaFlag::ScreenShare,
+        2 => MediaFlag::Video,
+        _ => MediaFlag::Audio,
+    }
+}
+
+/// Encode a [`MediaFlag`] as its wire code.
+pub(crate) fn media_code(media: MediaFlag) -> u8 {
+    match media {
+        MediaFlag::Audio => 0,
+        MediaFlag::ScreenShare => 1,
+        MediaFlag::Video => 2,
+    }
+}
+
+/// What [`Engine::recover`] rebuilt.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Durable records replayed (including the boot plan).
+    pub records: u64,
+    /// Bytes truncated off a half-written journal tail.
+    pub torn_tail_bytes: u64,
+    /// Admissions replayed.
+    pub admits: u64,
+    /// Freezes replayed.
+    pub freezes: u64,
+    /// Ends replayed.
+    pub ends: u64,
+    /// Post-boot plan installs replayed.
+    pub plans: u64,
+    /// Calls live after replay.
+    pub live_calls: usize,
+    /// Plan epoch after replay.
+    pub plan_epoch: u64,
+    /// The decoded records, in journal order — crash harnesses realign
+    /// their event cursor against these.
+    pub ops: Vec<WalRecord>,
+}
+
+/// Why a recovery failed. Every variant is a typed, diagnosable refusal —
+/// recovery never silently diverges from the journaled history.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecoveryError {
+    /// The journal itself failed to scan (corruption, duplicated frames,
+    /// bad magic, I/O).
+    Journal(JournalReadError),
+    /// Frame `index` is durable and CRC-valid but not a decodable record.
+    BadRecord {
+        /// 0-based record index.
+        index: u64,
+    },
+    /// Record 0 is not a plan install — the engine cannot know its plan.
+    NoBootPlan,
+    /// A journaled plan artifact failed to parse.
+    PlanParse {
+        /// 0-based record index.
+        index: u64,
+    },
+    /// A record references state the journal prefix never created (e.g. a
+    /// freeze for a call that is not live).
+    Inconsistent {
+        /// 0-based record index.
+        index: u64,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Journal(e) => write!(f, "journal scan failed: {e}"),
+            RecoveryError::BadRecord { index } => {
+                write!(f, "undecodable wal record at index {index}")
+            }
+            RecoveryError::NoBootPlan => write!(f, "journal does not start with a plan install"),
+            RecoveryError::PlanParse { index } => {
+                write!(
+                    f,
+                    "journaled plan artifact at index {index} failed to parse"
+                )
+            }
+            RecoveryError::Inconsistent { index } => {
+                write!(
+                    f,
+                    "wal record at index {index} references state never created"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// Per-thread engine handle: wraps a [`sb_core::SelectorShard`] plus local
 /// latency histograms; everything merges back into the [`Engine`] on
@@ -227,8 +678,57 @@ pub struct EngineWorker<'a> {
 }
 
 impl EngineWorker<'_> {
-    /// Admit a new call: place it via the selector's ladder and persist the
-    /// `Start` record. Rejected outright while the engine drains.
+    /// Persist one store event with bounded exponential backoff: retries
+    /// [`OverloadConfig::store_retry_limit`] times (doubling from
+    /// [`OverloadConfig::store_retry_base`], never sleeping past the admit
+    /// deadline's remaining budget), then abandons the write, marks the
+    /// store degraded, and lets the selector remain the source of truth —
+    /// the store is a stale-read cache until it heals. Any successful write
+    /// clears the degraded flag.
+    fn persist(&mut self, ev: CallEvent, started: Instant) {
+        let ov = &self.engine.overload;
+        let mut attempt: u32 = 0;
+        loop {
+            if self
+                .engine
+                .store
+                .try_apply(ev, &mut self.store_hist)
+                .is_ok()
+            {
+                self.engine.store_degraded.store(false, Ordering::Relaxed);
+                return;
+            }
+            if attempt >= ov.store_retry_limit {
+                self.engine
+                    .store_write_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                self.engine.store_degraded.store(true, Ordering::Relaxed);
+                return;
+            }
+            let mut backoff = ov.store_retry_base * 2u32.saturating_pow(attempt);
+            if let Some(deadline) = ov.admit_deadline {
+                let budget = deadline.saturating_sub(started.elapsed());
+                if budget.is_zero() {
+                    self.engine
+                        .store_write_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.engine.store_degraded.store(true, Ordering::Relaxed);
+                    return;
+                }
+                backoff = backoff.min(budget);
+            }
+            self.engine.store_retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(backoff);
+            attempt += 1;
+        }
+    }
+
+    /// Admit a new call: place it via the selector's ladder, journal the
+    /// decision, and persist the `Start` record. Rejected outright while
+    /// the engine drains; shed (typed, never a panic) past an overload
+    /// watermark. Admit latency — selector + journal + store, sheds
+    /// included — lands in [`Engine::op_latency`], so the p99 there is the
+    /// deadline the engine is held to.
     pub fn admit(&mut self, call: u64, first_joiner: CountryId) -> Admission {
         if self.engine.draining.load(Ordering::Relaxed) {
             self.engine
@@ -237,51 +737,111 @@ impl EngineWorker<'_> {
             return Admission::Draining;
         }
         let t = Instant::now();
+        let ov = &self.engine.overload;
+        if let Some(reason) = {
+            if ov
+                .active_watermark
+                .is_some_and(|w| self.engine.selector.active_calls() >= w)
+            {
+                Some(ShedReason::QueueDepth)
+            } else if ov.admit_deadline.is_some_and(|d| {
+                self.engine.ewma_admit_ns.load(Ordering::Relaxed) > d.as_nanos() as u64
+            }) {
+                Some(ShedReason::LatencyWatermark)
+            } else if self.engine.store_degraded.load(Ordering::Relaxed) {
+                Some(ShedReason::StoreBackoff)
+            } else {
+                None
+            }
+        } {
+            match reason {
+                ShedReason::QueueDepth => &self.engine.shed_queue,
+                ShedReason::LatencyWatermark => &self.engine.shed_latency,
+                ShedReason::StoreBackoff => &self.engine.shed_store,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            self.ops.record(t.elapsed());
+            return Admission::Shed { reason };
+        }
         let outcome = self.shard.call_start(call, first_joiner);
-        self.ops.record(t.elapsed());
+        let (dc16, rung) = wal::encode_outcome(outcome);
+        self.engine.journal_append(&WalRecord::Admit {
+            call,
+            country: first_joiner.0,
+            dc: dc16,
+            rung,
+        });
         self.engine.admitted.fetch_add(1, Ordering::Relaxed);
         if let Some(dc) = outcome.dc() {
-            self.engine.store.apply(
+            self.persist(
                 CallEvent::Start {
                     call,
                     country: first_joiner.0,
                     dc: dc.index() as u16,
                 },
-                &mut self.store_hist,
+                t,
             );
         }
+        let elapsed = t.elapsed();
+        self.ops.record(elapsed);
+        // EWMA with α = 1/8: cheap, monotone-decaying admission pressure
+        let sample = elapsed.as_nanos() as u64;
+        let _ =
+            self.engine
+                .ewma_admit_ns
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                    Some(if old == 0 {
+                        sample
+                    } else {
+                        old - old / 8 + sample / 8
+                    })
+                });
         Admission::Granted(outcome)
     }
 
     /// A participant joined an admitted call.
     pub fn join(&mut self, call: u64, country: CountryId) {
-        self.engine.store.apply(
+        self.engine.journal_append(&WalRecord::Join {
+            call,
+            country: country.0,
+        });
+        self.persist(
             CallEvent::Join {
                 call,
                 country: country.0,
             },
-            &mut self.store_hist,
+            Instant::now(),
         );
     }
 
     /// The call's media classification changed.
     pub fn set_media(&mut self, call: u64, media: MediaFlag) {
-        self.engine
-            .store
-            .apply(CallEvent::Media { call, media }, &mut self.store_hist);
+        self.engine.journal_append(&WalRecord::Media {
+            call,
+            media: media_code(media),
+        });
+        self.persist(CallEvent::Media { call, media }, Instant::now());
     }
 
     /// The call's config froze (A minutes in): tally it against the plan,
-    /// migrating if the plan disagrees with the initial placement, and
-    /// persist the freeze.
+    /// migrating if the plan disagrees with the initial placement, journal
+    /// the decision, and persist the freeze.
     pub fn freeze(&mut self, call: u64, config: ConfigId, start_minute: u64) -> FreezeDecision {
         let t = Instant::now();
         let decision = self.shard.config_frozen(call, config, start_minute);
         self.ops.record(t.elapsed());
+        let (kind, from, to) = wal::encode_freeze(decision);
+        self.engine.journal_append(&WalRecord::Freeze {
+            call,
+            config: config.0,
+            start_minute,
+            stale: !self.engine.selector.plan_valid(),
+            kind,
+            from,
+            to,
+        });
         if !matches!(decision, FreezeDecision::UnknownCall) {
-            self.engine
-                .store
-                .apply(CallEvent::Freeze { call }, &mut self.store_hist);
+            self.persist(CallEvent::Freeze { call }, t);
         }
         decision
     }
@@ -291,9 +851,8 @@ impl EngineWorker<'_> {
         let t = Instant::now();
         self.shard.call_end(call);
         self.ops.record(t.elapsed());
-        self.engine
-            .store
-            .apply(CallEvent::End { call }, &mut self.store_hist);
+        self.engine.journal_append(&WalRecord::End { call });
+        self.persist(CallEvent::End { call }, t);
         self.engine.ended.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -445,5 +1004,125 @@ mod tests {
         assert_ne!(engine.pool_token(cfg, 0), engine.pool_token(cfg, 30));
         // unknown config → unplanned → no token
         assert_eq!(engine.pool_token(ConfigId(99), 0), None);
+    }
+
+    fn temp_journal_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sb-engine-test-{tag}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn crash_recovery_rebuilds_identical_state() {
+        let (topo, latmap, artifact, cfg) = world();
+        let path = temp_journal_path("recover");
+        let jcfg = JournalConfig {
+            sync_every: 1, // sync every record: crash loses nothing
+            ..JournalConfig::default()
+        };
+        let journal = Journal::create(&path, jcfg).unwrap();
+        let engine =
+            Engine::with_journal(&latmap, &artifact, &EngineConfig::default(), journal).unwrap();
+        let jp = topo.country_by_name("JP");
+        let mut w = engine.worker();
+        // a frozen-and-live call, an ended call, an unknown-call freeze
+        assert!(w.admit(1, jp).dc().is_some());
+        w.join(1, jp);
+        w.set_media(1, MediaFlag::Video);
+        assert!(!matches!(w.freeze(1, cfg, 0), FreezeDecision::UnknownCall));
+        assert!(w.admit(2, jp).dc().is_some());
+        w.end(2);
+        assert!(matches!(w.freeze(99, cfg, 0), FreezeDecision::UnknownCall));
+        drop(w);
+        let before_state = engine.export_selector_state();
+        let before = engine.stats();
+
+        let lost = engine.journal().unwrap().crash();
+        assert_eq!(lost, 0, "sync_every=1 leaves no unsynced tail");
+        drop(engine);
+
+        let (recovered, report) =
+            Engine::recover(&latmap, &EngineConfig::default(), jcfg, &path).unwrap();
+        assert_eq!(report.torn_tail_bytes, 0);
+        assert_eq!(report.admits, 2);
+        assert_eq!(report.freezes, 2);
+        assert_eq!(report.ends, 1);
+        assert_eq!(report.live_calls, 1);
+        let after = recovered.stats();
+        assert_eq!(after.selector, before.selector, "selector stats diverged");
+        assert_eq!(after.active_calls, before.active_calls);
+        assert_eq!(recovered.export_selector_state(), before_state);
+        // the store holds the live call again
+        assert!(recovered.store().get(1).unwrap().frozen);
+        assert!(recovered.store().get(2).is_none());
+        // recovered engine keeps journaling: a new op appends past the tail
+        // with a dense sequence (a fresh scan sees old + new records)
+        let mut w = recovered.worker();
+        assert!(w.admit(3, jp).dc().is_some());
+        drop(w);
+        recovered.sync_journal();
+        let rescan = Journal::scan(&path).unwrap();
+        assert_eq!(rescan.records.len() as u64, report.records + 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn queue_depth_watermark_sheds_typed() {
+        let (topo, latmap, artifact, _) = world();
+        let mut cfg = EngineConfig::default();
+        cfg.overload.active_watermark = Some(1);
+        let engine = Engine::new(&latmap, &artifact, &cfg);
+        let jp = topo.country_by_name("JP");
+        let mut w = engine.worker();
+        assert!(matches!(w.admit(1, jp), Admission::Granted(_)));
+        assert_eq!(
+            w.admit(2, jp),
+            Admission::Shed {
+                reason: ShedReason::QueueDepth
+            }
+        );
+        // shed before touching selector or store
+        assert!(engine.store().get(2).is_none());
+        w.end(1);
+        assert!(matches!(w.admit(3, jp), Admission::Granted(_)));
+        drop(w);
+        let stats = engine.stats();
+        assert_eq!(stats.shed_queue_depth, 1);
+        assert_eq!(stats.selector.calls, 2);
+        assert_eq!(stats.admitted, 2);
+    }
+
+    #[test]
+    fn store_backoff_degrades_then_heals() {
+        let (topo, latmap, artifact, _) = world();
+        let cfg = EngineConfig {
+            store_shards: 1, // one shard: failing it fails every write
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(&latmap, &artifact, &cfg);
+        let jp = topo.country_by_name("JP");
+        let mut w = engine.worker();
+        engine.store().fail_shard(0, true);
+        // this admission is placed, but its store write exhausts the backoff
+        assert!(matches!(w.admit(1, jp), Admission::Granted(_)));
+        assert!(engine.store_degraded());
+        // the next admission sheds on the degraded store — typed, no panic
+        assert_eq!(
+            w.admit(2, jp),
+            Admission::Shed {
+                reason: ShedReason::StoreBackoff
+            }
+        );
+        engine.store().fail_shard(0, false);
+        // a successful write (any op) clears the flag; admissions resume
+        w.join(1, jp);
+        assert!(!engine.store_degraded());
+        assert!(matches!(w.admit(3, jp), Admission::Granted(_)));
+        drop(w);
+        let stats = engine.stats();
+        assert_eq!(stats.shed_store, 1);
+        assert!(stats.store_retries >= 1);
+        assert_eq!(stats.store_write_failures, 1);
     }
 }

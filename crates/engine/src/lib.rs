@@ -45,6 +45,13 @@
 
 pub mod engine;
 pub mod latency;
+pub mod protocol;
+pub mod wal;
 
-pub use engine::{Admission, Engine, EngineConfig, EngineStats, EngineWorker};
+pub use engine::{
+    Admission, Engine, EngineConfig, EngineStats, EngineWorker, OverloadConfig, RecoveryError,
+    RecoveryReport, ShedReason,
+};
 pub use latency::FineHistogram;
+pub use protocol::{Command, ProtocolError, MAX_LINE_BYTES};
+pub use wal::{WalDecodeError, WalRecord};

@@ -29,9 +29,8 @@ use sb_core::{
     AllocationShares, FreezeDecision, LatencyMap, PlanArtifact, PlannedQuotas, SelectorOutcome,
     SelectorRung,
 };
-use sb_engine::{Admission, Engine, EngineConfig};
+use sb_engine::{Admission, Command, Engine, EngineConfig, MAX_LINE_BYTES};
 use sb_net::{FailureScenario, RoutingTable, Topology};
-use sb_store::MediaFlag;
 use sb_workload::{ConfigId, Generator, UniverseParams, WorkloadParams};
 
 struct Opts {
@@ -41,6 +40,14 @@ struct Opts {
     store_shards: usize,
     store_rtt: Duration,
     listen: Option<String>,
+}
+
+/// Parse a numeric flag value or exit(2) with a message — never panics.
+fn flag_num<T: std::str::FromStr>(name: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{name}: {value:?} is not a valid value");
+        std::process::exit(2);
+    })
 }
 
 fn parse_opts() -> Opts {
@@ -62,16 +69,16 @@ fn parse_opts() -> Opts {
         };
         match a.as_str() {
             "--topology" => opts.topology = take("--topology"),
-            "--configs" => opts.configs = take("--configs").parse().expect("--configs"),
+            "--configs" => opts.configs = flag_num("--configs", &take("--configs")),
             "--slot-minutes" => {
-                opts.slot_minutes = take("--slot-minutes").parse().expect("--slot-minutes")
+                opts.slot_minutes = flag_num("--slot-minutes", &take("--slot-minutes"))
             }
             "--store-shards" => {
-                opts.store_shards = take("--store-shards").parse().expect("--store-shards")
+                opts.store_shards = flag_num("--store-shards", &take("--store-shards"))
             }
             "--store-rtt-us" => {
                 opts.store_rtt =
-                    Duration::from_micros(take("--store-rtt-us").parse().expect("--store-rtt-us"))
+                    Duration::from_micros(flag_num("--store-rtt-us", &take("--store-rtt-us")))
             }
             "--listen" => opts.listen = Some(take("--listen")),
             "--help" | "-h" => {
@@ -137,18 +144,16 @@ impl Service {
             .ok_or_else(|| format!("unknown country {token}"))
     }
 
-    /// Handle one command line; returns the reply, or `None` to quit.
-    fn handle(&self, worker: &mut sb_engine::EngineWorker<'_>, line: &str) -> Option<String> {
-        let mut parts = line.split_whitespace();
-        let cmd = parts.next().unwrap_or("").to_ascii_lowercase();
-        let args: Vec<&str> = parts.collect();
-        let reply = match (cmd.as_str(), args.as_slice()) {
-            ("", []) => return Some(String::new()),
-            ("ping", []) => "ok pong".to_string(),
-            ("quit" | "exit", []) => return None,
-            ("admit", [id, country]) => match (id.parse::<u64>(), self.country(country)) {
-                (Ok(id), Ok(c)) => match worker.admit(id, c) {
+    /// Handle one parsed command; returns the reply, or `None` to quit.
+    fn handle(&self, worker: &mut sb_engine::EngineWorker<'_>, cmd: Command) -> Option<String> {
+        let reply = match cmd {
+            Command::Empty => String::new(),
+            Command::Ping => "ok pong".to_string(),
+            Command::Quit => return None,
+            Command::Admit { id, country } => match self.country(&country) {
+                Ok(c) => match worker.admit(id, c) {
                     Admission::Draining => "err draining".to_string(),
+                    Admission::Shed { reason } => format!("err shed {reason}"),
                     Admission::Granted(SelectorOutcome::Stranded) => {
                         format!("ok admit {id} stranded")
                     }
@@ -160,75 +165,49 @@ impl Service {
                         )
                     }
                 },
-                (Err(e), _) => format!("err bad call id: {e}"),
-                (_, Err(e)) => format!("err {e}"),
+                Err(e) => format!("err {e}"),
             },
-            ("join", [id, country]) => match (id.parse::<u64>(), self.country(country)) {
-                (Ok(id), Ok(c)) => {
+            Command::Join { id, country } => match self.country(&country) {
+                Ok(c) => {
                     worker.join(id, c);
                     format!("ok join {id}")
                 }
-                (Err(e), _) => format!("err bad call id: {e}"),
-                (_, Err(e)) => format!("err {e}"),
+                Err(e) => format!("err {e}"),
             },
-            ("media", [id, flag]) => match (id.parse::<u64>(), *flag) {
-                (Ok(id), "audio") => {
-                    worker.set_media(id, MediaFlag::Audio);
-                    format!("ok media {id}")
-                }
-                (Ok(id), "video") => {
-                    worker.set_media(id, MediaFlag::Video);
-                    format!("ok media {id}")
-                }
-                (Ok(id), "screen") => {
-                    worker.set_media(id, MediaFlag::ScreenShare);
-                    format!("ok media {id}")
-                }
-                (Ok(_), other) => format!("err unknown media flag {other}"),
-                (Err(e), _) => format!("err bad call id: {e}"),
-            },
-            ("freeze", [id, config, minute]) => {
-                match (
-                    id.parse::<u64>(),
-                    config.parse::<u32>(),
-                    minute.parse::<u64>(),
-                ) {
-                    (Ok(id), Ok(cfg), Ok(min)) => {
-                        let dc_name = |d: sb_net::DcId| self.topo.dcs[d.index()].name.clone();
-                        match worker.freeze(id, ConfigId(cfg), min) {
-                            FreezeDecision::Stay(d) => {
-                                format!("ok freeze {id} stay dc={}", dc_name(d))
-                            }
-                            FreezeDecision::Migrate { from, to } => format!(
-                                "ok freeze {id} migrate from={} to={}",
-                                dc_name(from),
-                                dc_name(to)
-                            ),
-                            FreezeDecision::Unplanned(d) => {
-                                format!("ok freeze {id} unplanned dc={}", dc_name(d))
-                            }
-                            FreezeDecision::Overflow(d) => {
-                                format!("ok freeze {id} overflow dc={}", dc_name(d))
-                            }
-                            FreezeDecision::AlreadyFrozen(d) => {
-                                format!("ok freeze {id} already-frozen dc={}", dc_name(d))
-                            }
-                            FreezeDecision::UnknownCall => {
-                                format!("err freeze {id} unknown-call")
-                            }
-                        }
+            Command::Media { id, media } => {
+                worker.set_media(id, media);
+                format!("ok media {id}")
+            }
+            Command::Freeze { id, config, minute } => {
+                let dc_name = |d: sb_net::DcId| self.topo.dcs[d.index()].name.clone();
+                match worker.freeze(id, ConfigId(config), minute) {
+                    FreezeDecision::Stay(d) => {
+                        format!("ok freeze {id} stay dc={}", dc_name(d))
                     }
-                    _ => "err usage: freeze <id> <config> <minute>".to_string(),
+                    FreezeDecision::Migrate { from, to } => format!(
+                        "ok freeze {id} migrate from={} to={}",
+                        dc_name(from),
+                        dc_name(to)
+                    ),
+                    FreezeDecision::Unplanned(d) => {
+                        format!("ok freeze {id} unplanned dc={}", dc_name(d))
+                    }
+                    FreezeDecision::Overflow(d) => {
+                        format!("ok freeze {id} overflow dc={}", dc_name(d))
+                    }
+                    FreezeDecision::AlreadyFrozen(d) => {
+                        format!("ok freeze {id} already-frozen dc={}", dc_name(d))
+                    }
+                    FreezeDecision::UnknownCall => {
+                        format!("err freeze {id} unknown-call")
+                    }
                 }
             }
-            ("end", [id]) => match id.parse::<u64>() {
-                Ok(id) => {
-                    worker.end(id);
-                    format!("ok end {id}")
-                }
-                Err(e) => format!("err bad call id: {e}"),
-            },
-            ("install", [path]) => match std::fs::read_to_string(path) {
+            Command::End { id } => {
+                worker.end(id);
+                format!("ok end {id}")
+            }
+            Command::Install { path } => match std::fs::read_to_string(&path) {
                 Ok(text) => {
                     let parsed = if path.ends_with(".ndjson") {
                         PlanArtifact::from_ndjson(&text)
@@ -249,11 +228,11 @@ impl Service {
                 }
                 Err(e) => format!("err read {path}: {e}"),
             },
-            ("drain", []) => {
+            Command::Drain => {
                 self.engine.begin_drain();
                 format!("ok drain active={}", self.engine.stats().active_calls)
             }
-            ("stats", []) => {
+            Command::Stats => {
                 worker.flush();
                 let st = self.engine.stats();
                 let ops = self.engine.op_latency();
@@ -269,6 +248,16 @@ impl Service {
                     st.selector.migrations,
                     st.selector.unplanned,
                     st.selector.overflow
+                ));
+                out.push_str(&format!(
+                    "  shed_queue={} shed_latency={} shed_store={} store_retries={} \
+                     store_write_failures={} journal_failures={}\n",
+                    st.shed_queue_depth,
+                    st.shed_latency,
+                    st.shed_store,
+                    st.store_retries,
+                    st.store_write_failures,
+                    st.journal_failures
                 ));
                 out.push_str(&format!(
                     "  plan_epoch={} plans_installed={} draining={} store_writes={}\n",
@@ -287,22 +276,34 @@ impl Service {
                 ));
                 out
             }
-            _ => format!("err unknown command: {line}"),
         };
         Some(reply)
     }
 
-    fn serve<R: BufRead, W: Write>(&self, input: R, mut output: W) -> std::io::Result<()> {
+    fn serve<R: BufRead, W: Write>(&self, mut input: R, mut output: W) -> std::io::Result<()> {
         let mut worker = self.engine.worker();
-        for line in input.lines() {
-            let line = line?;
-            match self.handle(&mut worker, &line) {
-                Some(reply) => writeln!(output, "{reply}")?,
-                None => {
-                    writeln!(output, "ok bye")?;
-                    break;
-                }
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if input.read_until(b'\n', &mut buf)? == 0 {
+                break;
             }
+            while buf.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+                buf.pop();
+            }
+            // A malformed, truncated, oversized, or non-UTF-8 line gets a
+            // typed reply on the wire; the connection stays open.
+            let reply = match Command::parse_bytes(&buf, MAX_LINE_BYTES) {
+                Ok(cmd) => match self.handle(&mut worker, cmd) {
+                    Some(reply) => reply,
+                    None => {
+                        writeln!(output, "ok bye")?;
+                        break;
+                    }
+                },
+                Err(e) => format!("err protocol: {e}"),
+            };
+            writeln!(output, "{reply}")?;
             output.flush()?;
         }
         Ok(())
@@ -337,6 +338,7 @@ fn main() {
         &EngineConfig {
             store_shards: opts.store_shards,
             store_rtt: opts.store_rtt,
+            ..EngineConfig::default()
         },
     );
     eprintln!(
@@ -352,18 +354,37 @@ fn main() {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            service
-                .serve(stdin.lock(), stdout.lock())
-                .expect("stdin/stdout service loop");
+            if let Err(e) = service.serve(stdin.lock(), stdout.lock()) {
+                eprintln!("sb-engine: stdin/stdout service loop errored: {e}");
+                std::process::exit(1);
+            }
         }
         Some(addr) => {
-            let listener = std::net::TcpListener::bind(addr).expect("bind --listen address");
+            let listener = match std::net::TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("sb-engine: cannot bind {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
             eprintln!("sb-engine listening on {addr}");
             for conn in listener.incoming() {
-                let conn = conn.expect("accept");
+                let conn = match conn {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("sb-engine: accept failed: {e}");
+                        continue;
+                    }
+                };
                 let peer = conn.peer_addr().map(|a| a.to_string()).unwrap_or_default();
                 eprintln!("sb-engine: connection from {peer}");
-                let reader = BufReader::new(conn.try_clone().expect("clone socket"));
+                let reader = match conn.try_clone() {
+                    Ok(c) => BufReader::new(c),
+                    Err(e) => {
+                        eprintln!("sb-engine: cannot clone socket for {peer}: {e}");
+                        continue;
+                    }
+                };
                 if let Err(e) = service.serve(reader, conn) {
                     eprintln!("sb-engine: connection {peer} errored: {e}");
                 }

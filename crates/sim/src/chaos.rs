@@ -44,6 +44,7 @@ use sb_obs::{Counter, Histogram, Table, Value};
 use sb_workload::joins::CONFIG_FREEZE_SECONDS;
 use sb_workload::{CallRecord, CallRecordsDb, ConfigCatalog};
 
+use crate::crash::ServiceFault;
 use crate::replay::{build_events, lifecycle_worker, EV_FREEZE, EV_START};
 
 /// Columns of the `chaos.windows` table: one row per stats window.
@@ -536,6 +537,11 @@ pub struct ChaosReport {
     pub plan_installs: u64,
     /// Epochs installed, in install order.
     pub installed_epochs: Vec<u64>,
+    /// Injected [`ServiceFault::WorkerDeath`]s that fired (concurrent
+    /// drive only; the serial oracle has no workers to kill).
+    pub worker_deaths: u64,
+    /// Orphaned operations the coordinator drove after worker deaths.
+    pub takeover_ops: u64,
     /// Per-window breakdown.
     pub windows: Vec<WindowStats>,
 }
@@ -647,6 +653,53 @@ fn drive_segment_serial(
     out
 }
 
+/// Scheduled [`ServiceFault::WorkerDeath`]s for the concurrent drive:
+/// per-slot cumulative op counters plus the pending schedule. `after_ops`
+/// counts against the worker *slot*'s whole op stream across segments
+/// (a replacement worker inherits its predecessor's counter).
+struct DeathState {
+    /// `(worker slot, cumulative after_ops)`, sorted by `after_ops`.
+    pending: Vec<(usize, u64)>,
+    /// Ops assigned to each worker slot so far (takeovers included).
+    driven: Vec<u64>,
+    deaths: u64,
+    takeover_ops: u64,
+}
+
+impl DeathState {
+    fn new(threads: usize, faults: &[ServiceFault]) -> DeathState {
+        let threads = threads.max(1);
+        let mut pending: Vec<(usize, u64)> = faults
+            .iter()
+            .filter_map(|f| match *f {
+                ServiceFault::WorkerDeath { worker, after_ops } => {
+                    Some((worker % threads, after_ops))
+                }
+                _ => None,
+            })
+            .collect();
+        pending.sort_by_key(|&(_, after)| after);
+        DeathState {
+            pending,
+            driven: vec![0; threads],
+            deaths: 0,
+            takeover_ops: 0,
+        }
+    }
+
+    /// If worker slot `w` (assigned `len` ops this segment) dies
+    /// mid-segment, consume the earliest due death and return the index to
+    /// cut its op list at.
+    fn consume(&mut self, w: usize, len: u64) -> Option<usize> {
+        let pos = self
+            .pending
+            .iter()
+            .position(|&(slot, after)| slot == w && after.saturating_sub(self.driven[w]) <= len)?;
+        let (_, after) = self.pending.remove(pos);
+        Some(after.saturating_sub(self.driven[w]) as usize)
+    }
+}
+
 /// Concurrent segment drive: the topology and plan are constant within a
 /// segment, so no intra-segment barriers are needed. Every record's whole
 /// lifecycle is pinned to one worker by its quota pool
@@ -656,17 +709,37 @@ fn drive_segment_serial(
 /// call's events this segment) falling back to the shared `alive` snapshot;
 /// the coordinator then replays the segment's events in trace order to fold
 /// the overlays back into `alive`.
+///
+/// Injected [`ServiceFault::WorkerDeath`]s cut the dying worker's op list
+/// at its death point; the coordinator serially drives the orphaned tail
+/// after every surviving worker joins. Pool-pinning makes the delayed tail
+/// just another valid interleaving — the aggregate [`ChaosStats`] still
+/// matches the serial oracle exactly.
 fn drive_segment_concurrent(
     selector: &RealtimeSelector,
     records: &[CallRecord],
     events: &[(u64, u8, usize)],
     alive: &mut HashSet<u64>,
     threads: usize,
+    deaths: &mut DeathState,
 ) -> SegmentOutcomes {
     let threads = threads.max(1);
     let mut lists: Vec<Vec<(u8, usize)>> = vec![Vec::new(); threads];
     for &(_, kind, i) in events {
         lists[lifecycle_worker(selector, &records[i], threads)].push((kind, i));
+    }
+
+    // split each dying worker's list at its death point
+    let mut tails: Vec<(usize, Vec<(u8, usize)>)> = Vec::new();
+    for (w, list) in lists.iter_mut().enumerate() {
+        let len = list.len() as u64;
+        if let Some(cut) = deaths.consume(w, len) {
+            let tail = list.split_off(cut);
+            deaths.deaths += 1;
+            deaths.takeover_ops += tail.len() as u64;
+            tails.push((w, tail));
+        }
+        deaths.driven[w] += len;
     }
 
     let mut out = SegmentOutcomes::default();
@@ -734,6 +807,55 @@ fn drive_segment_concurrent(
         }
     }
 
+    // coordinator takeover: drive each dead worker's orphaned tail
+    // serially, rebuilding its aliveness overlay from the head it did
+    // drive (whose outcomes are already merged into `out`)
+    for (w, tail) in &tails {
+        let mut local: HashMap<u64, bool> = HashMap::new();
+        for &(kind, i) in &lists[*w] {
+            let r = &records[i];
+            match kind {
+                EV_START => {
+                    local.insert(r.id, out.starts.get(&i).is_some_and(|o| o.dc().is_some()));
+                }
+                EV_FREEZE => {}
+                _ => {
+                    local.insert(r.id, false);
+                }
+            }
+        }
+        for &(kind, i) in tail {
+            let r = &records[i];
+            match kind {
+                EV_START => {
+                    let o = selector.call_start(r.id, r.first_joiner);
+                    local.insert(r.id, o.dc().is_some());
+                    out.starts.insert(i, o);
+                }
+                EV_FREEZE => {
+                    let up = local
+                        .get(&r.id)
+                        .copied()
+                        .unwrap_or_else(|| alive.contains(&r.id));
+                    if up {
+                        out.freezes
+                            .insert(i, selector.config_frozen(r.id, r.config, r.start_minute));
+                    }
+                }
+                _ => {
+                    let up = local
+                        .get(&r.id)
+                        .copied()
+                        .unwrap_or_else(|| alive.contains(&r.id));
+                    if up {
+                        selector.call_end(r.id);
+                    }
+                    local.insert(r.id, false);
+                }
+            }
+        }
+    }
+
     // fold the worker-local aliveness back into the shared set, trace order
     for &(_, kind, i) in events {
         let r = &records[i];
@@ -766,6 +888,7 @@ fn chaos_replay_impl(
     cfg: &ChaosConfig,
     threads: Option<usize>,
     mut replanner: Option<&mut Replanner<'_>>,
+    service_faults: &[ServiceFault],
 ) -> ChaosReport {
     let met = chaos_metrics();
     met.runs.inc();
@@ -789,6 +912,8 @@ fn chaos_replay_impl(
             mean_acl_ms: 0.0,
             plan_installs: 0,
             installed_epochs: Vec::new(),
+            worker_deaths: 0,
+            takeover_ops: 0,
             windows: Vec::new(),
         };
     }
@@ -913,6 +1038,7 @@ fn chaos_replay_impl(
         h.since = to;
     };
 
+    let mut death_state = DeathState::new(threads.unwrap_or(1), service_faults);
     let mut next_seg = 1usize;
     let mut ei = 0usize;
     while ei < events.len() {
@@ -1011,7 +1137,14 @@ fn chaos_replay_impl(
         // drive the selector …
         let outcomes = match threads {
             None => drive_segment_serial(&selector, records, seg_events, &mut alive),
-            Some(n) => drive_segment_concurrent(&selector, records, seg_events, &mut alive, n),
+            Some(n) => drive_segment_concurrent(
+                &selector,
+                records,
+                seg_events,
+                &mut alive,
+                n,
+                &mut death_state,
+            ),
         };
 
         // … then apply bookkeeping in exact trace order (shared by both
@@ -1168,6 +1301,8 @@ fn chaos_replay_impl(
         },
         plan_installs,
         installed_epochs,
+        worker_deaths: death_state.deaths,
+        takeover_ops: death_state.takeover_ops,
         windows,
     }
 }
@@ -1203,6 +1338,7 @@ pub struct ReplayDriver<'a, 'p> {
     timeline: FaultTimeline,
     threads: Option<usize>,
     replanner: Option<&'a mut Replanner<'p>>,
+    service_faults: Vec<ServiceFault>,
 }
 
 impl<'a, 'p> ReplayDriver<'a, 'p> {
@@ -1223,6 +1359,7 @@ impl<'a, 'p> ReplayDriver<'a, 'p> {
             timeline: FaultTimeline::new(),
             threads: None,
             replanner: None,
+            service_faults: Vec::new(),
         }
     }
 
@@ -1252,6 +1389,16 @@ impl<'a, 'p> ReplayDriver<'a, 'p> {
         self
     }
 
+    /// Inject service-layer faults. Only
+    /// [`ServiceFault::WorkerDeath`] applies here (and only with
+    /// [`threads`](ReplayDriver::threads) — the serial oracle has no
+    /// workers to kill); journal/crash faults belong to the journaled
+    /// crash drill ([`crate::crash::drive_with_crashes`]).
+    pub fn service_faults(mut self, faults: Vec<ServiceFault>) -> Self {
+        self.service_faults = faults;
+        self
+    }
+
     /// Run the replay and produce the report.
     pub fn run(self) -> ChaosReport {
         chaos_replay_impl(
@@ -1263,6 +1410,7 @@ impl<'a, 'p> ReplayDriver<'a, 'p> {
             &self.cfg,
             self.threads,
             self.replanner,
+            &self.service_faults,
         )
     }
 }
@@ -1802,6 +1950,38 @@ mod tests {
             serial.forced_migrations > 0,
             "outage must exercise re-homes"
         );
+    }
+
+    /// Killing engine workers mid-segment (the coordinator serially drives
+    /// the orphaned ops) must not change the aggregate stats: the delayed
+    /// tail is just another valid interleaving under pool-pinning.
+    #[test]
+    fn worker_deaths_with_takeover_match_serial_stats() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..120 {
+            db.push(record(i, id, i % 60, 30, jp));
+        }
+        let quotas = all_at(id, tokyo, 4, 120.0);
+        let serial = ReplayDriver::new(&topo, &cat, &db, quotas.clone()).run();
+        assert_eq!(serial.worker_deaths, 0);
+        // one scheduled death per worker slot: whichever slots actually
+        // receive op lists die mid-segment and hand their tail over
+        let deaths: Vec<ServiceFault> = (0..3)
+            .map(|w| ServiceFault::WorkerDeath {
+                worker: w,
+                after_ops: 7,
+            })
+            .collect();
+        let conc = ReplayDriver::new(&topo, &cat, &db, quotas)
+            .threads(3)
+            .service_faults(deaths)
+            .run();
+        assert_eq!(serial.stats(), conc.stats());
+        assert!(conc.worker_deaths >= 1, "{}", conc.worker_deaths);
+        assert!(conc.takeover_ops > 0, "{}", conc.takeover_ops);
     }
 
     /// The deprecated free-function family must stay behaviour-identical to

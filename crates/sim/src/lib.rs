@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod crash;
 pub mod estimator;
 pub mod failures;
 pub mod replay;
@@ -46,6 +47,9 @@ pub use chaos::{
 pub use chaos::{
     ChaosConfig, ChaosReport, ChaosState, ChaosStats, FaultEvent, FaultTimeline, ReplanRequest,
     Replanner, ReplayDriver, WindowStats,
+};
+pub use crash::{
+    drive_with_crashes, CrashDrillConfig, CrashDrillError, CrashOutcome, ServiceFault,
 };
 pub use estimator::{estimate_from_trace, sample_leg_latency, LatencyEstimator};
 pub use failures::{drill, DrillReport};

@@ -206,7 +206,7 @@ pub(crate) struct Placement {
 /// placements — this is what makes the float outputs byte-identical across
 /// serial and concurrent drives.
 #[allow(clippy::too_many_arguments)]
-fn account(
+pub(crate) fn account(
     topo: &Topology,
     routing: &RoutingTable,
     latmap: &LatencyMap,

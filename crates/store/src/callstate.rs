@@ -2,11 +2,37 @@
 //! as participants join a new call and media changes, worker threads write
 //! the evolving call config back to the store.
 
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::latency::LatencyHistogram;
 use crate::map::ShardedMap;
+
+/// A store write was dropped because the target shard is failed.
+///
+/// [`CallStateStore::apply`] keeps the original fire-and-forget semantics
+/// (drops are counted but silent); [`CallStateStore::try_apply`] surfaces
+/// them so an engine can back off and retry instead of losing state.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StoreWriteError {
+    /// The shard the rejected write was routed to.
+    pub shard: usize,
+    /// The call the rejected event belonged to.
+    pub call: u64,
+}
+
+impl fmt::Display for StoreWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store write for call {} dropped: shard {} is failed",
+            self.call, self.shard
+        )
+    }
+}
+
+impl std::error::Error for StoreWriteError {}
 
 /// Media flag recorded on a call (mirrors the §5.1 classification without
 /// depending on the workload crate).
@@ -160,6 +186,27 @@ impl CallStateStore {
         hist.record(t.elapsed());
     }
 
+    /// Like [`CallStateStore::apply`], but reports a dropped write as a
+    /// typed error instead of swallowing it. The latency of the attempt is
+    /// recorded either way (a failed round trip still costs the caller).
+    pub fn try_apply(
+        &self,
+        ev: CallEvent,
+        hist: &mut LatencyHistogram,
+    ) -> Result<(), StoreWriteError> {
+        let call = ev.call();
+        let failed = self.map.key_shard_failed(&call);
+        self.apply(ev, hist);
+        if failed {
+            Err(StoreWriteError {
+                shard: self.map.shard_index(&call),
+                call,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
     /// Snapshot a call's state.
     pub fn get(&self, call: u64) -> Option<CallState> {
         self.map.get(&call)
@@ -255,6 +302,48 @@ mod tests {
         );
         store.apply(CallEvent::End { call: 9 }, &mut h);
         assert_eq!(store.active_calls(), 0);
+    }
+
+    #[test]
+    fn try_apply_reports_failed_shards() {
+        let store = CallStateStore::new(1); // one shard: every call maps to it
+        let mut h = LatencyHistogram::new();
+        store
+            .try_apply(
+                CallEvent::Start {
+                    call: 4,
+                    country: 1,
+                    dc: 0,
+                },
+                &mut h,
+            )
+            .unwrap();
+        store.fail_shard(0, true);
+        let err = store
+            .try_apply(
+                CallEvent::Join {
+                    call: 4,
+                    country: 2,
+                },
+                &mut h,
+            )
+            .unwrap_err();
+        assert_eq!(err, StoreWriteError { shard: 0, call: 4 });
+        assert_eq!(store.dropped_writes(), 1);
+        // stale read still shows the pre-failure state
+        assert_eq!(store.get(4).unwrap().total_participants(), 1);
+        store.fail_shard(0, false);
+        store
+            .try_apply(
+                CallEvent::Join {
+                    call: 4,
+                    country: 2,
+                },
+                &mut h,
+            )
+            .unwrap();
+        assert_eq!(store.get(4).unwrap().total_participants(), 2);
+        assert_eq!(h.count(), 3); // failed attempts are timed too
     }
 
     #[test]

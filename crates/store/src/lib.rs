@@ -10,7 +10,10 @@
 //!   controller writes (start/join/media/freeze/end);
 //! * [`harness`] — multi-threaded replay with per-write latency histograms
 //!   and the trace-peak normalizer;
-//! * [`latency`] — log-bucket latency histograms.
+//! * [`latency`] — log-bucket latency histograms;
+//! * [`journal`] — the crash-safety write-ahead journal: CRC-framed
+//!   append-only records with fsync group commit, torn-tail truncation, and
+//!   fault injection (stall/drop) for chaos drills.
 
 //!
 //! ```
@@ -31,10 +34,14 @@
 
 pub mod callstate;
 pub mod harness;
+pub mod journal;
 pub mod latency;
 pub mod map;
 
-pub use callstate::{CallEvent, CallState, CallStateStore, MediaFlag};
+pub use callstate::{CallEvent, CallState, CallStateStore, MediaFlag, StoreWriteError};
 pub use harness::{measure_throughput, peak_event_rate, ThroughputResult};
+pub use journal::{
+    Journal, JournalConfig, JournalError, JournalFault, JournalReadError, JournalScan,
+};
 pub use latency::LatencyHistogram;
 pub use map::ShardedMap;

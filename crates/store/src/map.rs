@@ -97,6 +97,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.shards[idx].failed.store(down, Ordering::Relaxed);
     }
 
+    /// Whether the shard `key` hashes to is currently failed — the check a
+    /// caller needs to turn a silently-dropped write into a typed error.
+    pub fn key_shard_failed(&self, key: &K) -> bool {
+        self.shard(key).failed.load(Ordering::Relaxed)
+    }
+
     /// Indices of currently failed shards.
     pub fn failed_shards(&self) -> Vec<usize> {
         self.shards

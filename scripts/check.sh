@@ -65,4 +65,18 @@ cargo test -q --test plan_swap_differential
 echo "==> plan lifecycle smoke: replan_loop --smoke"
 cargo run --release -q -p sb-bench --bin replan_loop -- --smoke --json /tmp/BENCH_replan_smoke.json
 
+echo "==> crash-safety smoke: crash_recovery_drill --smoke"
+cargo run --release -q -p sb-bench --bin crash_recovery_drill -- --smoke --json /tmp/BENCH_crash_smoke.json
+
+echo "==> panic-free service gate: no unwrap/expect on the engine's serve path"
+# The line-protocol serve loop must degrade typed (protocol errors on the
+# wire, exit codes at startup) — a panicking unwrap/expect would let one
+# malformed frame or I/O hiccup kill the service.
+panics=$(grep -n -E '\.(unwrap|expect)\(' crates/engine/src/main.rs || true)
+if [ -n "$panics" ]; then
+    echo "unwrap/expect on the engine serve path:" >&2
+    echo "$panics" >&2
+    exit 1
+fi
+
 echo "all checks passed"
