@@ -1,32 +1,41 @@
 //! Solver perf harness for the provisioning-LP scenario sweep: cold vs
-//! warm-started solves × Dantzig vs candidate-list partial pricing, on the
-//! APAC failure-scenario set (`F₀` + every DC + every link down).
+//! warm-started solves × pricing rule × basis-factorization backend, on the
+//! APAC failure-scenario set (`F₀` + every DC + every link down), plus a
+//! planet-scale single-scenario leg that only the sparse path can solve.
 //!
 //! Every variant runs the same [`sb_core::provision::solve_scenarios`] sweep
 //! on one thread, so the wall times compare end to end: LP patching, basis
-//! injection, pricing and extraction included. The final provisioned
-//! capacity (component-wise max across scenarios) must be identical across
-//! variants — warm starts and pricing are pure performance knobs.
+//! injection, factorization, pricing and extraction included. The final
+//! provisioned capacity (component-wise max across scenarios) must be
+//! identical across variants to 1e-9 relative — warm starts, pricing and
+//! factorization are pure performance knobs.
 //!
-//! Usage: `lp_scenario_sweep [--smoke] [--json <path>]`
+//! Usage: `lp_scenario_sweep [--smoke] [--json <path>] [--baseline <path>]
+//! [--metrics <path>]`
 //!
-//! `--smoke` runs a single repetition (CI gate); the default takes the best
-//! of 3. Machine-readable numbers go to `BENCH_lp.json` (see README for the
-//! format); the human-readable table goes to stdout.
+//! `--smoke` (CI gate) runs the sparse variants for a single repetition and
+//! asserts their capacities match the committed dense-factorization baseline
+//! in `--baseline` (default `BENCH_lp.json`) to 1e-9 relative. The default
+//! (full) mode takes the best of 3, adds the dense-factorization baseline
+//! variant and the planet-scale leg, and rewrites `BENCH_lp.json` — capacity
+//! baseline included — with the measured numbers.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use sb_bench::common::{build_eval, print_table, EvalScale};
-use sb_core::formulation::{PlanningInputs, SolveOptions};
+use sb_bench::common::{
+    build_eval, build_eval_on, dump_metrics, metrics_path_from_args, print_table, EvalScale,
+};
+use sb_core::formulation::{PlanningInputs, ProvisionError, SolveOptions};
 use sb_core::provision::{solve_scenarios, ProvisionerParams};
 use sb_core::ScenarioSolution;
-use sb_lp::{Pricing, RevisedSimplex};
+use sb_lp::{FactorKind, LpError, Pricing, RevisedSimplex};
 use sb_net::{FailureScenario, ProvisionedCapacity};
 
 struct Variant {
     name: &'static str,
     warm_start: bool,
     pricing: Pricing,
+    factorization: FactorKind,
 }
 
 #[derive(Default)]
@@ -39,6 +48,11 @@ struct Aggregate {
     pricing_scans: u64,
     pricing_cols_scanned: u64,
     full_pricing_sweeps: u64,
+    refactorizations: u64,
+    eta_updates: u64,
+    devex_resets: u64,
+    max_basis_nnz: u64,
+    max_fill_ratio: f64,
 }
 
 fn aggregate(sols: &[ScenarioSolution], wall_s: f64) -> Aggregate {
@@ -54,6 +68,11 @@ fn aggregate(sols: &[ScenarioSolution], wall_s: f64) -> Aggregate {
         a.pricing_scans += s.stats.pricing_scans;
         a.pricing_cols_scanned += s.stats.pricing_cols_scanned;
         a.full_pricing_sweeps += s.stats.full_pricing_sweeps;
+        a.refactorizations += s.stats.refactorizations;
+        a.eta_updates += s.stats.eta_updates;
+        a.devex_resets += s.stats.devex_resets;
+        a.max_basis_nnz = a.max_basis_nnz.max(s.stats.basis_nnz);
+        a.max_fill_ratio = a.max_fill_ratio.max(s.stats.fill_ratio);
     }
     a
 }
@@ -80,27 +99,199 @@ fn capacity_rel_diff(a: &ProvisionedCapacity, b: &ProvisionedCapacity) -> f64 {
     worst
 }
 
+/// Same metric against flat baseline arrays read back from the committed
+/// JSON (cores then gbps).
+fn rel_diff_vs_baseline(cap: &ProvisionedCapacity, cores: &[f64], gbps: &[f64]) -> f64 {
+    assert_eq!(cap.cores.len(), cores.len(), "baseline cores length");
+    assert_eq!(cap.gbps.len(), gbps.len(), "baseline gbps length");
+    let mut worst: f64 = 0.0;
+    for (x, y) in cap.cores.iter().zip(cores).chain(cap.gbps.iter().zip(gbps)) {
+        worst = worst.max((x - y).abs() / x.abs().max(y.abs()).max(1.0));
+    }
+    worst
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Render a float array with `Display` (shortest round-trip) so the baseline
+/// survives a JSON round trip bit-exactly.
+fn json_f64_array(vals: &[f64]) -> String {
+    let cells: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+/// Extract a flat `"key": [1.0, 2.0, …]` array from a JSON text. Minimal on
+/// purpose: the file is machine-written by this binary, not arbitrary JSON.
+fn parse_f64_array(text: &str, key: &str) -> Option<Vec<f64>> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)?;
+    let rest = &text[at + needle.len()..];
+    let open = rest.find('[')?;
+    let close = rest[open..].find(']')? + open;
+    rest[open + 1..close]
+        .split(',')
+        .map(|c| c.trim().parse::<f64>().ok())
+        .collect()
+}
+
+fn pricing_name(p: Pricing) -> String {
+    match p {
+        Pricing::Dantzig => "dantzig".to_string(),
+        Pricing::Partial {
+            list_size,
+            full_sweep_every,
+        } => format!("partial({list_size},{full_sweep_every})"),
+        Pricing::Devex {
+            list_size,
+            full_sweep_every,
+        } => format!("devex({list_size},{full_sweep_every})"),
+    }
+}
+
+/// The planet-scale leg: one cold `F₀` solve of the synthetic-planet master
+/// LP (≥10⁴ rows) per factorization backend. Sparse must finish inside a
+/// generous budget; dense must exhaust a short one — that asymmetry *is*
+/// the result.
+struct PlanetResult {
+    dcs: usize,
+    links: usize,
+    lp_rows: usize,
+    lp_cols: usize,
+    sparse_wall_s: f64,
+    sparse_iterations: u64,
+    sparse_basis_nnz: u64,
+    sparse_fill_ratio: f64,
+    dense_budget_s: f64,
+    dense_timed_out: bool,
+}
+
+fn run_planet() -> PlanetResult {
+    let scale = EvalScale::planet();
+    eprintln!(
+        "planet leg: building workload ({} configs, {:.0} calls/day, {} days, {}-min slots) …",
+        scale.num_configs, scale.daily_calls, scale.days, scale.slot_minutes
+    );
+    let data = build_eval_on(sb_net::presets::synthetic_planet(), &scale);
+    let inputs = PlanningInputs {
+        topo: &data.topo,
+        catalog: &data.catalog,
+        demand: &data.demand_env,
+        latency_threshold_ms: 120.0,
+    };
+    let scenarios = [FailureScenario::None];
+    let params_for = |kind: FactorKind, budget: Duration| ProvisionerParams {
+        with_backup: true,
+        solve: SolveOptions {
+            warm_start: false,
+            fallback_to_dense: false,
+            solver: RevisedSimplex {
+                pricing: Pricing::devex(),
+                factorization: kind,
+                time_budget: Some(budget),
+                ..RevisedSimplex::new()
+            },
+            ..SolveOptions::default()
+        },
+        threads: 1,
+        refine_passes: 0,
+    };
+
+    let sparse_budget = Duration::from_secs(900);
+    let t0 = Instant::now();
+    let sols = solve_scenarios(
+        &inputs,
+        &scenarios,
+        None,
+        &params_for(FactorKind::SparseLu, sparse_budget),
+    )
+    .expect("sparse path solves the planet-scale LP in budget");
+    let sparse_wall_s = t0.elapsed().as_secs_f64();
+    let sol = &sols[0];
+    assert!(
+        sol.lp_rows >= 10_000,
+        "planet LP must have ≥10⁴ rows, got {}",
+        sol.lp_rows
+    );
+    eprintln!(
+        "planet sparse+devex: {} rows × {} cols, {:.3}s, {} iters, basis nnz {}",
+        sol.lp_rows, sol.lp_cols, sparse_wall_s, sol.iterations, sol.stats.basis_nnz
+    );
+
+    // Dense B⁻¹ is O(rows²) per pivot at this size; give it a budget the
+    // sparse path beats many times over and require a typed timeout.
+    let dense_budget = Duration::from_secs(20);
+    let dense = solve_scenarios(
+        &inputs,
+        &scenarios,
+        None,
+        &params_for(FactorKind::Dense, dense_budget),
+    );
+    let dense_timed_out = matches!(
+        dense,
+        Err(ProvisionError::Lp {
+            source: LpError::TimeLimit,
+            ..
+        })
+    );
+    assert!(
+        dense_timed_out,
+        "dense factorization should exhaust its {:.0}s budget on the planet LP, got {:?}",
+        dense_budget.as_secs_f64(),
+        dense.map(|s| s[0].objective)
+    );
+    eprintln!(
+        "planet dense: timed out after {:.0}s budget, as expected",
+        dense_budget.as_secs_f64()
+    );
+
+    PlanetResult {
+        dcs: data.topo.dcs.len(),
+        links: data.topo.links.len(),
+        lp_rows: sol.lp_rows,
+        lp_cols: sol.lp_cols,
+        sparse_wall_s,
+        sparse_iterations: sol.iterations,
+        sparse_basis_nnz: sol.stats.basis_nnz,
+        sparse_fill_ratio: sol.stats.fill_ratio,
+        dense_budget_s: dense_budget.as_secs_f64(),
+        dense_timed_out,
+    }
+}
+
 fn main() {
+    let metrics = metrics_path_from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let json_path = {
+    if std::env::args().any(|a| a == "--planet") {
+        // planet leg only (no JSON rewrite): the solver-scaling story in
+        // isolation, handy when iterating on the sparse core
+        run_planet();
+        if let Some(path) = metrics {
+            dump_metrics(&path);
+        }
+        return;
+    }
+    let mut json_path = String::from("BENCH_lp.json");
+    let mut baseline_path = String::from("BENCH_lp.json");
+    {
         let mut args = std::env::args().skip(1);
-        let mut path = String::from("BENCH_lp.json");
         while let Some(a) = args.next() {
+            let missing = |flag: &str| -> String {
+                eprintln!("{flag} requires a path argument");
+                std::process::exit(2);
+            };
             if a == "--json" {
-                path = args.next().unwrap_or_else(|| {
-                    eprintln!("--json requires a path argument");
-                    std::process::exit(2);
-                });
+                json_path = args.next().unwrap_or_else(|| missing("--json"));
             } else if let Some(p) = a.strip_prefix("--json=") {
-                path = p.to_string();
+                json_path = p.to_string();
+            } else if a == "--baseline" {
+                baseline_path = args.next().unwrap_or_else(|| missing("--baseline"));
+            } else if let Some(p) = a.strip_prefix("--baseline=") {
+                baseline_path = p.to_string();
             }
         }
-        path
-    };
+    }
     let reps = if smoke { 1 } else { 3 };
 
     let scale = EvalScale::quick();
@@ -126,28 +317,44 @@ fn main() {
         data.topo.links.len()
     );
 
-    let variants = [
+    // The dense-factorization baseline is the pre-sparse engine; the smoke
+    // gate skips it (slow) and instead checks the sparse capacities against
+    // the committed baseline arrays it produced.
+    let mut variants = Vec::new();
+    if !smoke {
+        variants.push(Variant {
+            name: "cold+dantzig+dense",
+            warm_start: false,
+            pricing: Pricing::Dantzig,
+            factorization: FactorKind::Dense,
+        });
+    }
+    variants.extend([
         Variant {
             name: "cold+dantzig",
             warm_start: false,
             pricing: Pricing::Dantzig,
+            factorization: FactorKind::SparseLu,
         },
         Variant {
-            name: "cold+partial",
+            name: "cold+devex",
             warm_start: false,
-            pricing: Pricing::partial(),
-        },
-        Variant {
-            name: "warm+dantzig",
-            warm_start: true,
-            pricing: Pricing::Dantzig,
+            pricing: Pricing::devex(),
+            factorization: FactorKind::SparseLu,
         },
         Variant {
             name: "warm+partial",
             warm_start: true,
             pricing: Pricing::partial(),
+            factorization: FactorKind::SparseLu,
         },
-    ];
+        Variant {
+            name: "warm+devex",
+            warm_start: true,
+            pricing: Pricing::devex(),
+            factorization: FactorKind::SparseLu,
+        },
+    ]);
 
     let mut aggs: Vec<Aggregate> = Vec::new();
     let mut caps: Vec<ProvisionedCapacity> = Vec::new();
@@ -160,6 +367,7 @@ fn main() {
                 warm_start: v.warm_start,
                 solver: RevisedSimplex {
                     pricing: v.pricing,
+                    factorization: v.factorization,
                     ..RevisedSimplex::new()
                 },
                 ..SolveOptions::default()
@@ -194,7 +402,7 @@ fn main() {
         caps.push(union_capacity(&data.topo, &sols));
         let a = aggregate(&sols, wall);
         eprintln!(
-            "{:<13} {:.3}s  iters {}  warm {}/{}  cost {:.1}",
+            "{:<18} {:.3}s  iters {}  warm {}/{}  cost {:.1}",
             v.name,
             wall,
             a.iterations,
@@ -205,15 +413,14 @@ fn main() {
         aggs.push(a);
     }
 
-    // warm starts and pricing must not change what gets provisioned
+    // warm starts, pricing and factorization must not change what gets
+    // provisioned — and sparse must reproduce the dense capacities to 1e-9
     let mut cap_diff: f64 = 0.0;
     for cap in &caps[1..] {
         cap_diff = cap_diff.max(capacity_rel_diff(&caps[0], cap));
     }
 
-    let speedup = aggs[0].wall_s / aggs[3].wall_s;
-
-    println!("== LP scenario sweep: warm start × pricing ablation ==\n");
+    println!("== LP scenario sweep: warm start × pricing × factorization ==\n");
     println!(
         "APAC, {} scenarios, master LP {} rows × {} cols, best of {reps}\n",
         scenarios.len(),
@@ -226,12 +433,14 @@ fn main() {
         .map(|(v, a)| {
             vec![
                 v.name.to_string(),
+                v.factorization.to_string(),
                 format!("{:.3}", a.wall_s),
                 a.iterations.to_string(),
                 a.phase1_iterations.to_string(),
                 format!("{}/{}", a.warm_started, scenarios.len()),
-                a.phase1_iterations_saved.to_string(),
-                a.pricing_cols_scanned.to_string(),
+                a.eta_updates.to_string(),
+                a.refactorizations.to_string(),
+                a.max_basis_nnz.to_string(),
                 format!("{:.2}x", aggs[0].wall_s / a.wall_s),
             ]
         })
@@ -239,30 +448,65 @@ fn main() {
     print_table(
         &[
             "variant",
+            "factor",
             "wall(s)",
             "iters",
             "phase1",
             "warm",
-            "p1_saved",
-            "cols_scanned",
+            "etas",
+            "refac",
+            "basis_nnz",
             "speedup",
         ],
         &rows,
     );
-    println!(
-        "\nwarm+partial vs cold+dantzig: {speedup:.2}x end-to-end; \
-         capacities identical (max rel diff {cap_diff:.1e})"
-    );
     assert!(
-        cap_diff <= 1e-6,
+        cap_diff <= 1e-9,
         "variants disagree on provisioned capacity (max rel diff {cap_diff:.3e})"
     );
-    if !smoke {
+
+    let mut speedup_sparse_cold = 0.0;
+    let mut speedup_warm = 0.0;
+    if smoke {
+        // CI gate: the sparse path must reproduce the committed
+        // dense-factorization capacities bit-for-near-bit.
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            panic!("smoke gate needs the committed baseline {baseline_path}: {e}")
+        });
+        let cores = parse_f64_array(&text, "baseline_capacity_cores")
+            .expect("baseline_capacity_cores array in baseline JSON");
+        let gbps = parse_f64_array(&text, "baseline_capacity_gbps")
+            .expect("baseline_capacity_gbps array in baseline JSON");
+        let vs_baseline = rel_diff_vs_baseline(&caps[0], &cores, &gbps);
+        println!(
+            "\nsparse vs committed dense baseline: max rel diff {vs_baseline:.1e} \
+             (gate 1e-9); variants mutually within {cap_diff:.1e}"
+        );
         assert!(
-            speedup >= 2.0,
-            "expected >= 2x end-to-end speedup, measured {speedup:.2}x"
+            vs_baseline <= 1e-9,
+            "sparse capacities drifted from the committed dense baseline \
+             (max rel diff {vs_baseline:.3e})"
+        );
+    } else {
+        // index 0 = dense baseline, 1 = cold+dantzig sparse, 3 = warm+partial
+        speedup_sparse_cold = aggs[0].wall_s / aggs[1].wall_s;
+        speedup_warm = aggs[0].wall_s / aggs[3].wall_s;
+        println!(
+            "\ncold sparse vs cold dense: {speedup_sparse_cold:.2}x; \
+             warm+partial vs cold dense: {speedup_warm:.2}x; \
+             capacities identical (max rel diff {cap_diff:.1e})"
+        );
+        assert!(
+            speedup_sparse_cold >= 3.0,
+            "expected >= 3x cold-solve speedup from sparse LU, measured {speedup_sparse_cold:.2}x"
+        );
+        assert!(
+            speedup_warm >= 2.0,
+            "expected >= 2x end-to-end warm speedup, measured {speedup_warm:.2}x"
         );
     }
+
+    let planet = if smoke { None } else { Some(run_planet()) };
 
     // machine-readable dump
     let mut out = String::new();
@@ -276,22 +520,19 @@ fn main() {
     out.push_str(&format!("  \"lp_cols\": {},\n", lp_dims.1));
     out.push_str("  \"variants\": [\n");
     for (i, (v, a)) in variants.iter().zip(&aggs).enumerate() {
-        let pricing = match v.pricing {
-            Pricing::Dantzig => "dantzig".to_string(),
-            Pricing::Partial {
-                list_size,
-                full_sweep_every,
-            } => format!("partial({list_size},{full_sweep_every})"),
-        };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"warm_start\": {}, \"pricing\": \"{}\", \
+             \"factorization\": \"{}\", \
              \"wall_s\": {:.6}, \"iterations\": {}, \"phase1_iterations\": {}, \
              \"warm_started\": {}, \"phase1_iterations_saved\": {}, \
              \"pricing_scans\": {}, \"pricing_cols_scanned\": {}, \
-             \"full_pricing_sweeps\": {}}}{}\n",
+             \"full_pricing_sweeps\": {}, \"refactorizations\": {}, \
+             \"eta_updates\": {}, \"devex_resets\": {}, \
+             \"max_basis_nnz\": {}, \"max_fill_ratio\": {:.4}}}{}\n",
             json_escape(v.name),
             v.warm_start,
-            json_escape(&pricing),
+            json_escape(&pricing_name(v.pricing)),
+            v.factorization,
             a.wall_s,
             a.iterations,
             a.phase1_iterations,
@@ -300,14 +541,65 @@ fn main() {
             a.pricing_scans,
             a.pricing_cols_scanned,
             a.full_pricing_sweeps,
+            a.refactorizations,
+            a.eta_updates,
+            a.devex_resets,
+            a.max_basis_nnz,
+            a.max_fill_ratio,
             if i + 1 < variants.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
+    if !smoke {
+        out.push_str(&format!(
+            "  \"speedup_sparse_cold_vs_dense_cold\": {speedup_sparse_cold:.4},\n"
+        ));
+        out.push_str(&format!(
+            "  \"speedup_warm_partial_vs_cold_dense\": {speedup_warm:.4},\n"
+        ));
+    }
+    out.push_str(&format!("  \"capacity_max_rel_diff\": {cap_diff:.3e},\n"));
+    if let Some(p) = &planet {
+        out.push_str("  \"planet\": {\n");
+        out.push_str("    \"topology\": \"synthetic_planet\",\n");
+        out.push_str(&format!("    \"dcs\": {},\n", p.dcs));
+        out.push_str(&format!("    \"links\": {},\n", p.links));
+        out.push_str(&format!("    \"lp_rows\": {},\n", p.lp_rows));
+        out.push_str(&format!("    \"lp_cols\": {},\n", p.lp_cols));
+        out.push_str(&format!("    \"sparse_wall_s\": {:.6},\n", p.sparse_wall_s));
+        out.push_str(&format!(
+            "    \"sparse_iterations\": {},\n",
+            p.sparse_iterations
+        ));
+        out.push_str(&format!(
+            "    \"sparse_basis_nnz\": {},\n",
+            p.sparse_basis_nnz
+        ));
+        out.push_str(&format!(
+            "    \"sparse_fill_ratio\": {:.4},\n",
+            p.sparse_fill_ratio
+        ));
+        out.push_str(&format!(
+            "    \"dense_budget_s\": {:.1},\n",
+            p.dense_budget_s
+        ));
+        out.push_str(&format!("    \"dense_timed_out\": {}\n", p.dense_timed_out));
+        out.push_str("  },\n");
+    }
+    // committed capacity baseline: produced by the dense-factorization
+    // variant in full mode, checked by the sparse smoke gate
     out.push_str(&format!(
-        "  \"speedup_warm_partial_vs_cold_dantzig\": {speedup:.4},\n"
+        "  \"baseline_factorization\": \"{}\",\n",
+        variants[0].factorization
     ));
-    out.push_str(&format!("  \"capacity_max_rel_diff\": {cap_diff:.3e}\n"));
+    out.push_str(&format!(
+        "  \"baseline_capacity_cores\": {},\n",
+        json_f64_array(&caps[0].cores)
+    ));
+    out.push_str(&format!(
+        "  \"baseline_capacity_gbps\": {}\n",
+        json_f64_array(&caps[0].gbps)
+    ));
     out.push_str("}\n");
     match std::fs::write(&json_path, out) {
         Ok(()) => eprintln!("wrote {json_path}"),
@@ -315,5 +607,8 @@ fn main() {
             eprintln!("failed to write {json_path}: {e}");
             std::process::exit(1);
         }
+    }
+    if let Some(path) = metrics {
+        dump_metrics(&path);
     }
 }

@@ -57,11 +57,28 @@ impl EvalScale {
             seed: 42,
         }
     }
+
+    /// Scale knobs for the planet-scale solver stress leg: the paper's
+    /// 30-minute slots over a one-week horizon. Paired with
+    /// [`sb_net::presets::synthetic_planet`] this induces a master LP with
+    /// tens of thousands of rows — the regime the sparse factorization
+    /// exists for.
+    pub fn planet() -> EvalScale {
+        EvalScale {
+            num_configs: 120,
+            daily_calls: 12_000.0,
+            start_day: 0,
+            days: 7,
+            coverage: 0.60,
+            slot_minutes: 30,
+            seed: 42,
+        }
+    }
 }
 
 /// Everything the table/figure binaries need.
 pub struct EvalData {
-    /// The provider topology (APAC preset).
+    /// The provider topology the universe was generated on.
     pub topo: Topology,
     /// Config catalog of the generated universe.
     pub catalog: ConfigCatalog,
@@ -79,7 +96,12 @@ pub struct EvalData {
 
 /// Build the evaluation pipeline on the APAC preset.
 pub fn build_eval(scale: &EvalScale) -> EvalData {
-    let topo = sb_net::presets::apac();
+    build_eval_on(sb_net::presets::apac(), scale)
+}
+
+/// Build the evaluation pipeline on an explicit topology (the planet-scale
+/// solver stress leg uses [`sb_net::presets::synthetic_planet`]).
+pub fn build_eval_on(topo: Topology, scale: &EvalScale) -> EvalData {
     let workload = WorkloadParams {
         universe: sb_workload::UniverseParams {
             num_configs: scale.num_configs,

@@ -7,6 +7,7 @@
 //! models are better served by the revised engine.
 
 use crate::problem::{LpError, LpProblem, Solution, SolveStats, Solver};
+use crate::ratio::{harris_ratio, RatioCandidate, RatioChoice};
 use crate::standard::StandardForm;
 use std::time::Instant;
 
@@ -132,26 +133,29 @@ fn run_phase(
         if enter == usize::MAX {
             return (PhaseOutcome::Optimal, iters);
         }
-        // leaving row: min ratio; prefer the smallest basis index on ties so
-        // that Bland's rule fully applies when stalled
-        let mut leave = usize::MAX;
-        let mut best_ratio = f64::INFINITY;
+        // leaving row: the shared Harris ratio test (largest pivot on ties,
+        // smallest basis index under Bland — same tie-breaking as the
+        // revised engine, so the GuardedSimplex rungs can't diverge on
+        // degenerate instances)
+        let mut cands: Vec<RatioCandidate> = Vec::new();
         for i in 0..t.rows.len() {
             let a = t.rows[i][enter];
             if a > eps {
-                let ratio = t.rhs[i] / a;
-                if ratio < best_ratio - eps
-                    || (ratio < best_ratio + eps
-                        && (leave == usize::MAX || t.basis[i] < t.basis[leave]))
-                {
-                    best_ratio = ratio.min(best_ratio);
-                    leave = i;
-                }
+                cands.push(RatioCandidate {
+                    row: i,
+                    limit: t.rhs[i] / a,
+                    pivot_abs: a,
+                    basis_col: t.basis[i],
+                    to_upper: false,
+                });
             }
         }
-        if leave == usize::MAX {
-            return (PhaseOutcome::Unbounded, iters);
-        }
+        // bound_flip_t = ∞: the tableau engine expands bounds into rows, so
+        // BoundFlip is unreachable here.
+        let leave = match harris_ratio(&cands, f64::INFINITY, eps, bland) {
+            RatioChoice::Leave { row, .. } => row,
+            _ => return (PhaseOutcome::Unbounded, iters),
+        };
         let prev_obj = obj;
         t.pivot(leave, enter);
         let rc = t.reduced_costs(cost);
@@ -175,26 +179,37 @@ impl Solver for DenseSimplex {
             return Err(LpError::BadModel("no variables".into()));
         }
         let wall_start = Instant::now();
-        let mut sf = StandardForm::build(lp);
+        let sf = StandardForm::build(lp);
         let mut is_artificial = vec![false; sf.n];
         for f in is_artificial.iter_mut().skip(sf.first_artificial) {
             *f = true;
         }
-        expand_upper_bounds(&mut sf, &mut is_artificial);
-        let m = sf.m;
-        let n = sf.n;
+        // Local, mutable copies of the standard form's column data — the
+        // upper-bound expansion adds rows and columns that must not leak
+        // into the shared (CSC) conversion.
+        let mut model = DenseModel {
+            cols: (0..sf.n).map(|j| sf.cols.iter_col(j).collect()).collect(),
+            cost: sf.cost.clone(),
+            upper: sf.upper.clone(),
+            b: sf.b.clone(),
+            basis0: sf.basis0.clone(),
+            m: sf.m,
+        };
+        expand_upper_bounds(&mut model, &mut is_artificial);
+        let m = model.m;
+        let n = model.cols.len();
 
         // dense tableau from column-sparse data
         let mut rows = vec![vec![0.0f64; n]; m];
-        for (j, col) in sf.cols.iter().enumerate() {
+        for (j, col) in model.cols.iter().enumerate() {
             for &(i, a) in col {
                 rows[i][j] = a;
             }
         }
         let mut t = Tableau {
             rows,
-            rhs: sf.b.clone(),
-            basis: sf.basis0.clone(),
+            rhs: model.b.clone(),
+            basis: model.basis0.clone(),
             n,
             eps: self.eps,
         };
@@ -231,8 +246,8 @@ impl Solver for DenseSimplex {
                 let j = t.basis[r];
                 if is_artificial[j] {
                     let v = t.rhs[r];
-                    let row = sf.cols[j][0].0;
-                    if v > 1e-7 * (1.0 + sf.b[row].abs()) {
+                    let row = model.cols[j][0].0;
+                    if v > 1e-7 * (1.0 + model.b[row].abs()) {
                         return Err(LpError::Infeasible);
                     }
                 }
@@ -253,8 +268,7 @@ impl Solver for DenseSimplex {
 
         // phase 2
         let phase1_iterations = total_iters;
-        let mut c2 = vec![0.0f64; n];
-        c2[..sf.cost.len()].copy_from_slice(&sf.cost);
+        let c2 = model.cost.clone();
         let (out, it) = run_phase(&mut t, &c2, &is_artificial, max_iter, self.eps);
         total_iters += it;
         match out {
@@ -288,10 +302,21 @@ impl Solver for DenseSimplex {
     }
 }
 
+/// The tableau engine's private, expandable copy of the standard-form data
+/// (the shared conversion keeps its columns in an immutable CSC matrix).
+struct DenseModel {
+    cols: Vec<Vec<(usize, f64)>>,
+    cost: Vec<f64>,
+    upper: Vec<f64>,
+    b: Vec<f64>,
+    basis0: Vec<usize>,
+    m: usize,
+}
+
 /// Rewrite finite column upper bounds as explicit `x_j + s = u` rows so the
 /// tableau engine only has to handle `x ≥ 0`.
-fn expand_upper_bounds(sf: &mut StandardForm, is_artificial: &mut Vec<bool>) {
-    let cols_with_ub: Vec<(usize, f64)> = sf
+fn expand_upper_bounds(model: &mut DenseModel, is_artificial: &mut Vec<bool>) {
+    let cols_with_ub: Vec<(usize, f64)> = model
         .upper
         .iter()
         .enumerate()
@@ -299,18 +324,17 @@ fn expand_upper_bounds(sf: &mut StandardForm, is_artificial: &mut Vec<bool>) {
         .map(|(j, &u)| (j, u))
         .collect();
     for (j, u) in cols_with_ub {
-        let row = sf.m;
-        sf.cols[j].push((row, 1.0));
-        let s = sf.cols.len();
-        sf.cols.push(vec![(row, 1.0)]);
-        sf.cost.push(0.0);
-        sf.upper.push(f64::INFINITY);
-        sf.upper[j] = f64::INFINITY;
+        let row = model.m;
+        model.cols[j].push((row, 1.0));
+        let s = model.cols.len();
+        model.cols.push(vec![(row, 1.0)]);
+        model.cost.push(0.0);
+        model.upper.push(f64::INFINITY);
+        model.upper[j] = f64::INFINITY;
         is_artificial.push(false);
-        sf.b.push(u);
-        sf.basis0.push(s);
-        sf.m += 1;
-        sf.n = sf.cols.len();
+        model.b.push(u);
+        model.basis0.push(s);
+        model.m += 1;
     }
 }
 

@@ -32,14 +32,18 @@
 
 mod dense;
 mod export;
+mod factor;
 mod guarded;
 mod metrics;
 mod problem;
+mod ratio;
 mod revised;
+mod sparse;
 mod standard;
 
 pub use dense::DenseSimplex;
 pub use export::to_lp_format;
+pub use factor::FactorKind;
 pub use guarded::GuardedSimplex;
 pub use problem::{
     Basis, Constraint, LpError, LpProblem, Relation, Solution, SolveRung, SolveStats, Solver, Var,

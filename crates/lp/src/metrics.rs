@@ -4,7 +4,7 @@
 //! disabled (the default) every record below is a single relaxed load.
 
 use crate::problem::{LpError, SolveStats};
-use sb_obs::{Counter, Histogram};
+use sb_obs::{Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 pub(crate) struct LpMetrics {
@@ -23,6 +23,10 @@ pub(crate) struct LpMetrics {
     pricing_scans: Counter,
     pricing_cols_scanned: Counter,
     full_pricing_sweeps: Counter,
+    eta_updates: Counter,
+    devex_resets: Counter,
+    basis_nnz: Gauge,
+    fill_ratio: Gauge,
 }
 
 impl LpMetrics {
@@ -37,6 +41,10 @@ impl LpMetrics {
         self.pricing_scans.add(stats.pricing_scans);
         self.pricing_cols_scanned.add(stats.pricing_cols_scanned);
         self.full_pricing_sweeps.add(stats.full_pricing_sweeps);
+        self.eta_updates.add(stats.eta_updates);
+        self.devex_resets.add(stats.devex_resets);
+        self.basis_nnz.set(stats.basis_nnz as f64);
+        self.fill_ratio.set(stats.fill_ratio);
     }
 
     pub(crate) fn record_fallback(&self, cause: &LpError) {
@@ -83,6 +91,10 @@ pub(crate) fn lp_metrics() -> &'static LpMetrics {
             pricing_scans: reg.counter("lp.pricing_scans"),
             pricing_cols_scanned: reg.counter("lp.pricing_cols_scanned"),
             full_pricing_sweeps: reg.counter("lp.full_pricing_sweeps"),
+            eta_updates: reg.counter("lp.eta_updates"),
+            devex_resets: reg.counter("lp.devex_resets"),
+            basis_nnz: reg.gauge("lp.basis_nnz"),
+            fill_ratio: reg.gauge("lp.fill_ratio"),
         }
     })
 }

@@ -411,6 +411,20 @@ pub struct SolveStats {
     pub full_pricing_sweeps: u64,
     /// Which solve-ladder rung produced this solution.
     pub rung: SolveRung,
+    /// Nonzeros held by the final basis factorization (`nnz(L)+nnz(U)+m`
+    /// plus the eta file for the sparse backend; `m²` for the dense
+    /// inverse; 0 for the dense tableau engine, which keeps no basis).
+    pub basis_nnz: u64,
+    /// Fill-in ratio of the final factorization: factorization nonzeros over
+    /// the nonzeros of the basis columns it was built from (≈1 means the LU
+    /// caused no fill; the dense inverse reports `m²/nnz(B)`).
+    pub fill_ratio: f64,
+    /// Basis updates (product-form etas / rank-1 inverse updates) applied
+    /// across the whole solve.
+    pub eta_updates: u64,
+    /// Times devex pricing reset its reference weights to all-ones after a
+    /// weight overflowed.
+    pub devex_resets: u64,
 }
 
 impl SolveStats {

@@ -5,20 +5,32 @@
 //! * upper bounds `0 ≤ x ≤ u` are handled natively (bound flips instead of
 //!   extra rows), which matters for the provisioning LPs where most
 //!   allocation-share variables carry a demand upper bound;
-//! * only the basis inverse `B⁻¹` (m×m, dense) is maintained, updated in
-//!   `O(m²)` per pivot with periodic refactorization for numerical hygiene;
-//! * the constraint matrix stays column-sparse, so pricing costs
-//!   `O(m² + nnz)` per iteration rather than `O(m·n)`.
+//! * the basis is represented by a [`Factorization`] backend — sparse LU
+//!   with product-form eta updates by default, an explicit dense `B⁻¹` as
+//!   the differential oracle — refactorized periodically and whenever the
+//!   backend's fill/accuracy triggers fire;
+//! * the constraint matrix stays column-sparse (CSC), so pricing costs
+//!   `O(solve + nnz)` per iteration rather than `O(m·n)`.
 //!
 //! Anti-cycling: Dantzig pricing normally, switching to Bland's rule after a
 //! run of degenerate pivots; this guarantees termination.
 
+use crate::factor::{make_factor, FactorKind, Factorization};
 use crate::metrics::lp_metrics;
 use crate::problem::{
     Basis, LpError, LpProblem, Solution, SolveRung, SolveStats, Solver, VarStatus,
 };
+use crate::ratio::{harris_ratio, RatioCandidate, RatioChoice};
+use crate::sparse::CsrView;
 use crate::standard::{PreparedProblem, StandardForm};
 use std::time::{Duration, Instant};
+
+/// A ratio-test pivot below this fraction of the entering column's largest
+/// `|w_i|` is not trusted until the basis has been refactorized (see `step`).
+/// The value mirrors the `1e-7` tiny-pivot refactorization latch in
+/// `factor.rs`: both mark the point where a pivot stops carrying trustworthy
+/// information.
+const PIVOT_STABILITY_REL: f64 = 1e-7;
 
 /// Column-selection strategy for the entering variable.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -40,6 +52,19 @@ pub enum Pricing {
         /// (keeps the list from going stale on degenerate stretches).
         full_sweep_every: u64,
     },
+    /// Devex pricing (Forrest–Goldfarb): columns are scored by
+    /// `d_j² / γ_j`, where the reference weight `γ_j` approximates the
+    /// steepest-edge norm `‖B⁻¹A_j‖²` and is maintained cheaply from each
+    /// pivot row. Layered on the same candidate-list machinery as
+    /// [`Pricing::Partial`], so each iteration still prices a short list;
+    /// the devex score just picks *better* columns, which on the
+    /// provisioning LPs cuts the pivot count well below Dantzig's.
+    Devex {
+        /// Candidate columns kept per full sweep.
+        list_size: usize,
+        /// Force a full sweep after this many candidate-list iterations.
+        full_sweep_every: u64,
+    },
 }
 
 impl Pricing {
@@ -48,6 +73,14 @@ impl Pricing {
     /// few hundred pivots).
     pub fn partial() -> Pricing {
         Pricing::Partial {
+            list_size: 64,
+            full_sweep_every: 64,
+        }
+    }
+
+    /// Devex pricing with the default candidate-list parameters.
+    pub fn devex() -> Pricing {
+        Pricing::Devex {
             list_size: 64,
             full_sweep_every: 64,
         }
@@ -68,10 +101,14 @@ pub struct RevisedSimplex {
     /// Primal feasibility tolerance used for the phase-1 decision and for
     /// accepting a warm-started basis.
     pub feas_eps: f64,
-    /// Refactorize (recompute `B⁻¹` from scratch) every this many pivots.
+    /// Refactorize (recompute the basis factorization from scratch) at least
+    /// every this many pivots; the sparse backend additionally refactorizes
+    /// when its own fill/accuracy triggers fire.
     pub refactor_every: u64,
     /// Entering-column selection strategy.
     pub pricing: Pricing,
+    /// Basis-factorization backend.
+    pub factorization: FactorKind,
 }
 
 impl Default for RevisedSimplex {
@@ -83,6 +120,7 @@ impl Default for RevisedSimplex {
             feas_eps: 1e-7,
             refactor_every: 2_000,
             pricing: Pricing::Dantzig,
+            factorization: FactorKind::default(),
         }
     }
 }
@@ -108,6 +146,22 @@ impl RevisedSimplex {
             ..Self::default()
         }
     }
+
+    /// Same engine with devex pricing (default parameters).
+    pub fn with_devex_pricing() -> Self {
+        RevisedSimplex {
+            pricing: Pricing::devex(),
+            ..Self::default()
+        }
+    }
+
+    /// Same engine with an explicit factorization backend.
+    pub fn with_factorization(kind: FactorKind) -> Self {
+        RevisedSimplex {
+            factorization: kind,
+            ..Self::default()
+        }
+    }
 }
 
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -125,8 +179,8 @@ struct Engine<'a> {
     cost: Vec<f64>,
     status: Vec<VStat>,
     basis: Vec<usize>,
-    /// Row-major `m × m` basis inverse.
-    binv: Vec<f64>,
+    /// Basis factorization backend (sparse LU or dense inverse).
+    factor: Box<dyn Factorization>,
     /// Values of basic variables, `xb[i]` belongs to column `basis[i]`.
     xb: Vec<f64>,
     m: usize,
@@ -144,12 +198,30 @@ struct Engine<'a> {
     pricing_scans: u64,
     pricing_cols_scanned: u64,
     full_pricing_sweeps: u64,
+    /// Basis updates applied since the last refactorization (summed across
+    /// the whole solve for stats).
+    eta_updates: u64,
+    /// Devex reference weights `γ_j` (1.0 outside devex pricing).
+    devex_w: Vec<f64>,
+    /// Times the devex reference framework was reset to all-ones.
+    devex_resets: u64,
+    /// Row-major view of the constraint matrix, built on first devex pivot.
+    csr: Option<CsrView>,
+    /// Scratch: pivot-row alphas per column (devex), zeroed between pivots.
+    alpha_buf: Vec<f64>,
+    /// Scratch: columns touched in `alpha_buf`.
+    touched_buf: Vec<usize>,
+    /// Scratch: btran of the pivot row (devex).
+    rho_buf: Vec<f64>,
 }
 
 enum StepOutcome {
     Optimal,
     Unbounded,
     Moved,
+    /// The selected pivot is too small relative to its column to trust under
+    /// the accumulated eta updates — refactorize and redo the iteration.
+    NeedsRefactor,
 }
 
 /// Why an injected warm basis could not be used.
@@ -163,23 +235,27 @@ enum WarmReject {
 }
 
 impl<'a> Engine<'a> {
-    fn new(sf: &'a StandardForm, eps: f64, refactor_every: u64, pricing: Pricing) -> Engine<'a> {
+    fn new(
+        sf: &'a StandardForm,
+        eps: f64,
+        refactor_every: u64,
+        pricing: Pricing,
+        factorization: FactorKind,
+    ) -> Engine<'a> {
         let m = sf.m;
         let mut status = vec![VStat::Lower; sf.n];
         for (i, &b) in sf.basis0.iter().enumerate() {
             status[b] = VStat::Basic(i as u32);
         }
-        let mut binv = vec![0.0f64; m * m];
-        for i in 0..m {
-            binv[i * m + i] = 1.0;
-        }
+        // `basis0` is one unit column per row, so B = I exactly: the backend
+        // starts at its identity state without a factorization pass.
         Engine {
             sf,
             upper: sf.upper.clone(),
             cost: vec![0.0; sf.n],
             status,
             basis: sf.basis0.clone(),
-            binv,
+            factor: make_factor(factorization, m),
             xb: sf.b.clone(),
             m,
             eps,
@@ -193,24 +269,33 @@ impl<'a> Engine<'a> {
             pricing_scans: 0,
             pricing_cols_scanned: 0,
             full_pricing_sweeps: 0,
+            eta_updates: 0,
+            devex_w: vec![1.0; sf.n],
+            devex_resets: 0,
+            csr: None,
+            alpha_buf: Vec::new(),
+            touched_buf: Vec::new(),
+            rho_buf: Vec::new(),
         }
     }
 
     /// Build an engine positioned at `warm` with artificials already pinned,
     /// ready for phase 2. Rejects bases that don't match the standard form,
     /// fail to factorize, or imply a primal-infeasible point.
+    #[allow(clippy::too_many_arguments)]
     fn from_basis(
         sf: &'a StandardForm,
         eps: f64,
         feas_eps: f64,
         refactor_every: u64,
         pricing: Pricing,
+        factorization: FactorKind,
         warm: &Basis,
     ) -> Result<Engine<'a>, WarmReject> {
         if warm.basic.len() != sf.m || warm.status.len() != sf.n {
             return Err(WarmReject::Singular);
         }
-        let mut eng = Engine::new(sf, eps, refactor_every, pricing);
+        let mut eng = Engine::new(sf, eps, refactor_every, pricing, factorization);
         // Pin artificials before positioning: a warm basis comes from a
         // finished solve, so any artificial it still carries must stay at 0.
         for j in sf.first_artificial..sf.n {
@@ -322,15 +407,18 @@ impl<'a> Engine<'a> {
                 }
                 return false;
             }
-            if self.pivots_since_refactor >= self.refactor_every && self.refactorize().is_err() {
+            if (self.pivots_since_refactor >= self.refactor_every || self.factor.wants_refactor())
+                && self.refactorize().is_err()
+            {
                 if std::env::var_os("SB_LP_RESTORE_DEBUG").is_some() {
                     eprintln!("restore refactor singular");
                 }
                 return false;
             }
-            // α_j = (B⁻¹ A_j)[leave_row]: one dense B⁻¹ row dotted with each
-            // sparse column, O(nnz) total.
-            let brow = self.binv[leave_row * m..(leave_row + 1) * m].to_vec();
+            // α_j = (B⁻¹ A_j)[leave_row]: one row of B⁻¹ (a btran of a unit
+            // vector) dotted with each sparse column, O(nnz) total.
+            let mut brow = vec![0.0f64; m];
+            self.factor.btran_unit(leave_row, &mut brow);
             let y = self.duals();
             let mut enter = usize::MAX;
             let mut best_ratio = f64::INFINITY;
@@ -344,7 +432,7 @@ impl<'a> Engine<'a> {
                     continue; // fixed column (pinned artificial or u = 0)
                 }
                 let mut alpha = 0.0;
-                for &(r, v) in &self.sf.cols[j] {
+                for (r, v) in self.sf.cols.iter_col(j) {
                     alpha += brow[r] * v;
                 }
                 if alpha.abs() <= 1e-9 {
@@ -407,7 +495,7 @@ impl<'a> Engine<'a> {
             self.xb[leave_row] = enter_from + delta;
             self.basis[leave_row] = enter;
             self.status[enter] = VStat::Basic(leave_row as u32);
-            self.update_binv(leave_row, &w);
+            self.apply_update(leave_row, &w);
             self.iterations += 1;
         }
     }
@@ -431,22 +519,18 @@ impl<'a> Engine<'a> {
     /// `y = c_Bᵀ B⁻¹`
     fn duals(&self) -> Vec<f64> {
         let m = self.m;
-        let mut y = vec![0.0f64; m];
-        for i in 0..m {
-            let cb = self.cost[self.basis[i]];
-            if cb != 0.0 {
-                let row = &self.binv[i * m..(i + 1) * m];
-                for (k, yk) in y.iter_mut().enumerate() {
-                    *yk += cb * row[k];
-                }
-            }
+        let mut cb = vec![0.0f64; m];
+        for (i, c) in cb.iter_mut().enumerate() {
+            *c = self.cost[self.basis[i]];
         }
+        let mut y = vec![0.0f64; m];
+        self.factor.btran_dense(&cb, &mut y);
         y
     }
 
     fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
         let mut d = self.cost[j];
-        for &(r, v) in &self.sf.cols[j] {
+        for (r, v) in self.sf.cols.iter_col(j) {
             d -= y[r] * v;
         }
         d
@@ -454,14 +538,9 @@ impl<'a> Engine<'a> {
 
     /// `w = B⁻¹ A_j`
     fn ftran(&self, j: usize) -> Vec<f64> {
-        let m = self.m;
-        let mut w = vec![0.0f64; m];
-        for &(r, v) in &self.sf.cols[j] {
-            // add v * column r of binv
-            for i in 0..m {
-                w[i] += v * self.binv[i * m + r];
-            }
-        }
+        let mut w = vec![0.0f64; self.m];
+        let (rows, vals) = self.sf.cols.col(j);
+        self.factor.ftran_sparse(rows, vals, &mut w);
         w
     }
 
@@ -478,63 +557,11 @@ impl<'a> Engine<'a> {
         obj
     }
 
-    /// Recompute `B⁻¹` and `xb` from scratch (numerical hygiene).
+    /// Recompute the basis factorization and `xb` from scratch (numerical
+    /// hygiene). Commits only on success — a singular basis leaves the
+    /// previous factorization in place.
     fn refactorize(&mut self) -> Result<(), LpError> {
-        let m = self.m;
-        // dense B from basis columns
-        let mut a = vec![0.0f64; m * m];
-        for (col_idx, &j) in self.basis.iter().enumerate() {
-            for &(r, v) in &self.sf.cols[j] {
-                a[r * m + col_idx] = v;
-            }
-        }
-        // Gauss-Jordan with partial pivoting: invert `a` into `inv`
-        let mut inv = vec![0.0f64; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        for col in 0..m {
-            // pivot search
-            let mut piv_row = col;
-            let mut piv_val = a[col * m + col].abs();
-            for r in (col + 1)..m {
-                let v = a[r * m + col].abs();
-                if v > piv_val {
-                    piv_val = v;
-                    piv_row = r;
-                }
-            }
-            if piv_val < 1e-12 {
-                return Err(LpError::BadModel(
-                    "singular basis during refactorization".into(),
-                ));
-            }
-            if piv_row != col {
-                for k in 0..m {
-                    a.swap(col * m + k, piv_row * m + k);
-                    inv.swap(col * m + k, piv_row * m + k);
-                }
-            }
-            let d = 1.0 / a[col * m + col];
-            for k in 0..m {
-                a[col * m + k] *= d;
-                inv[col * m + k] *= d;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = a[r * m + col];
-                if f == 0.0 {
-                    continue;
-                }
-                for k in 0..m {
-                    a[r * m + k] -= f * a[col * m + k];
-                    inv[r * m + k] -= f * inv[col * m + k];
-                }
-            }
-        }
-        self.binv = inv;
+        self.factor.refactorize(&self.sf.cols, &self.basis)?;
         self.recompute_xb();
         self.pivots_since_refactor = 0;
         self.refactorizations += 1;
@@ -549,97 +576,23 @@ impl<'a> Engine<'a> {
     /// The repaired point may violate bounds (an artificial forced in is
     /// pinned at 0); callers follow up with [`dual_restore`](Self::dual_restore).
     fn refactorize_repair(&mut self) -> Result<usize, LpError> {
-        let m = self.m;
-        let mut a = vec![0.0f64; m * m];
-        for (col_idx, &j) in self.basis.iter().enumerate() {
-            for &(r, v) in &self.sf.cols[j] {
-                a[r * m + col_idx] = v;
-            }
+        let old_basis = self.basis.clone();
+        let replacements = {
+            let Engine {
+                factor,
+                basis,
+                status,
+                sf,
+                ..
+            } = self;
+            let mut may_use = |col: usize| !matches!(status[col], VStat::Basic(_));
+            factor.refactorize_repair(&sf.cols, basis, &sf.basis0, &mut may_use)?
+        };
+        let repaired = replacements.len();
+        for (pos, unit) in replacements {
+            self.status[old_basis[pos]] = VStat::Lower;
+            self.status[unit] = VStat::Basic(pos as u32);
         }
-        let mut inv = vec![0.0f64; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        let mut repaired = 0usize;
-        for col in 0..m {
-            let mut piv_row = col;
-            let mut piv_val = a[col * m + col].abs();
-            for r in (col + 1)..m {
-                let v = a[r * m + col].abs();
-                if v > piv_val {
-                    piv_val = v;
-                    piv_row = r;
-                }
-            }
-            if piv_val < 1e-12 {
-                // Basis column `col` is dependent on the previous ones. Find
-                // an original row `r` whose unit column is (a) not already
-                // basic and (b) has usable support in the uneliminated rows:
-                // its reduced image under the accumulated row ops is column
-                // `r` of `inv`.
-                let mut best = 1e-8;
-                let (mut br, mut bpos) = (usize::MAX, col);
-                for r in 0..m {
-                    let unit = self.sf.basis0[r];
-                    if matches!(self.status[unit], VStat::Basic(_)) {
-                        continue;
-                    }
-                    for pos in col..m {
-                        let v = inv[pos * m + r].abs();
-                        if v > best {
-                            best = v;
-                            br = r;
-                            bpos = pos;
-                        }
-                    }
-                }
-                if br == usize::MAX {
-                    return Err(LpError::BadModel(
-                        "unrepairable singular basis during refactorization".into(),
-                    ));
-                }
-                let unit = self.sf.basis0[br];
-                let old = self.basis[col];
-                self.status[old] = VStat::Lower;
-                self.basis[col] = unit;
-                self.status[unit] = VStat::Basic(col as u32);
-                // Earlier Jordan steps zeroed columns < col everywhere and
-                // never touch them again (each pivot row is zero there), so
-                // overwriting the whole reduced column is safe.
-                for i in 0..m {
-                    a[i * m + col] = inv[i * m + br];
-                }
-                piv_row = bpos;
-                piv_val = a[bpos * m + col].abs();
-                repaired += 1;
-            }
-            debug_assert!(piv_val >= 1e-12);
-            if piv_row != col {
-                for k in 0..m {
-                    a.swap(col * m + k, piv_row * m + k);
-                    inv.swap(col * m + k, piv_row * m + k);
-                }
-            }
-            let d = 1.0 / a[col * m + col];
-            for k in 0..m {
-                a[col * m + k] *= d;
-                inv[col * m + k] *= d;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = a[r * m + col];
-                if f == 0.0 {
-                    continue;
-                }
-                for k in 0..m {
-                    a[r * m + k] -= f * a[col * m + k];
-                    inv[r * m + k] -= f * inv[col * m + k];
-                }
-            }
-        }
-        self.binv = inv;
         self.recompute_xb();
         self.pivots_since_refactor = 0;
         self.refactorizations += 1;
@@ -648,27 +601,19 @@ impl<'a> Engine<'a> {
 
     /// `xb = B⁻¹ (b − Σ_{j at upper} A_j u_j)`
     fn recompute_xb(&mut self) {
-        let m = self.m;
         let mut rhs = self.sf.b.clone();
         for j in 0..self.sf.n {
             if self.status[j] == VStat::Upper {
                 let u = self.upper[j];
                 if u != 0.0 {
-                    for &(r, v) in &self.sf.cols[j] {
+                    for (r, v) in self.sf.cols.iter_col(j) {
                         rhs[r] -= v * u;
                     }
                 }
             }
         }
-        let mut xb = vec![0.0f64; m];
-        for (i, x) in xb.iter_mut().enumerate() {
-            let row = &self.binv[i * m..(i + 1) * m];
-            let mut acc = 0.0;
-            for (k, &r) in rhs.iter().enumerate() {
-                acc += row[k] * r;
-            }
-            *x = acc;
-        }
+        let mut xb = vec![0.0f64; self.m];
+        self.factor.ftran_dense(&rhs, &mut xb);
         self.xb = xb;
     }
 
@@ -691,8 +636,17 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Full Dantzig/Bland sweep over every column. Under partial pricing it
-    /// also repopulates the candidate list with the `collect` most favorable
+    /// Pricing score of a favorable column: `|d|` under Dantzig/partial,
+    /// `d²/γ_j` under devex.
+    fn score_of(&self, j: usize, d_abs: f64) -> f64 {
+        match self.pricing {
+            Pricing::Devex { .. } => d_abs * d_abs / self.devex_w[j],
+            _ => d_abs,
+        }
+    }
+
+    /// Full pricing sweep over every column. Under partial/devex pricing it
+    /// also repopulates the candidate list with the `collect` best-scored
     /// columns. Returns the entering column and its direction.
     fn price_full(&mut self, y: &[f64], bland: bool, collect: usize) -> Option<(usize, f64)> {
         self.full_pricing_sweeps += 1;
@@ -701,7 +655,7 @@ impl<'a> Engine<'a> {
         let mut enter = usize::MAX;
         let mut enter_sigma = 1.0f64;
         let mut best = 0.0f64;
-        // (|d|, j) pairs of favorable columns, kept only when collecting.
+        // (score, j) pairs of favorable columns, kept only when collecting.
         let mut favorable: Vec<(f64, usize)> = Vec::new();
         for j in 0..self.sf.n {
             self.pricing_cols_scanned += 1;
@@ -712,11 +666,12 @@ impl<'a> Engine<'a> {
                 // Bland: first favorable column by index.
                 return Some((j, sigma));
             }
+            let score = self.score_of(j, d_abs);
             if collect > 0 {
-                favorable.push((d_abs, j));
+                favorable.push((score, j));
             }
-            if d_abs > best {
-                best = d_abs;
+            if score > best {
+                best = score;
                 enter = j;
                 enter_sigma = sigma;
             }
@@ -740,6 +695,10 @@ impl<'a> Engine<'a> {
             Pricing::Partial {
                 list_size,
                 full_sweep_every,
+            }
+            | Pricing::Devex {
+                list_size,
+                full_sweep_every,
             } if !bland => (list_size, full_sweep_every),
             _ => return self.price_full(y, bland, 0),
         };
@@ -755,8 +714,9 @@ impl<'a> Engine<'a> {
             self.pricing_cols_scanned += 1;
             if let Some((d_abs, sigma)) = self.favorability(j, y) {
                 keep.push(j);
-                if d_abs > best {
-                    best = d_abs;
+                let score = self.score_of(j, d_abs);
+                if score > best {
+                    best = score;
                     enter = j;
                     enter_sigma = sigma;
                 }
@@ -777,81 +737,85 @@ impl<'a> Engine<'a> {
             return StepOutcome::Optimal;
         };
 
-        // --- ratio test (two-pass Harris style) -----------------------------
+        // --- ratio test (shared two-pass Harris implementation) -------------
         let w = self.ftran(enter);
         let sigma = enter_sigma;
-        // entering var moves by t >= 0 in direction sigma; basic values change
-        // by −t·σ·w. Pass 1 finds the tightest limit; pass 2 picks, among the
-        // rows within a tolerance of it, the numerically best (largest) pivot
-        // — tiny pivots breed singular bases.
+        let winf = w.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        // entering var moves by t >= 0 in direction sigma; basic values
+        // change by −t·σ·w.
         let bound_flip_t = if self.upper[enter].is_finite() {
             self.upper[enter] // bound-to-bound distance (lower is 0)
         } else {
             f64::INFINITY
         };
-        let mut t_min = bound_flip_t;
-        let limit_of = |i: usize, this: &Self| -> Option<(f64, bool)> {
+        let mut cands: Vec<RatioCandidate> = Vec::new();
+        for i in 0..self.m {
             let wi = sigma * w[i];
-            let bi = this.basis[i];
-            if wi > this.eps {
-                Some(((this.xb[i]).max(0.0) / wi, false))
-            } else if wi < -this.eps {
-                let ub = this.upper[bi];
-                ub.is_finite()
-                    .then(|| ((ub - this.xb[i]).max(0.0) / (-wi), true))
-            } else {
-                None
-            }
-        };
-        for i in 0..self.m {
-            if let Some((lim, _)) = limit_of(i, self) {
-                t_min = t_min.min(lim);
-            }
-        }
-        if !t_min.is_finite() {
-            return StepOutcome::Unbounded;
-        }
-        let tie_tol = self.eps * 10.0 * (1.0 + t_min.abs());
-        let mut leave_row = usize::MAX;
-        let mut leave_to_upper = false;
-        let mut best_pivot = 0.0f64;
-        for i in 0..self.m {
-            if let Some((lim, to_upper)) = limit_of(i, self) {
-                if lim <= t_min + tie_tol {
-                    let piv = w[i].abs();
-                    let better = if bland {
-                        // Bland: smallest basis index among eligible rows
-                        leave_row == usize::MAX || self.basis[i] < self.basis[leave_row]
-                    } else {
-                        piv > best_pivot
-                    };
-                    if better {
-                        best_pivot = piv;
-                        leave_row = i;
-                        leave_to_upper = to_upper;
-                    }
+            let bi = self.basis[i];
+            if wi > self.eps {
+                cands.push(RatioCandidate {
+                    row: i,
+                    limit: self.xb[i].max(0.0) / wi,
+                    pivot_abs: w[i].abs(),
+                    basis_col: bi,
+                    to_upper: false,
+                });
+            } else if wi < -self.eps {
+                let ub = self.upper[bi];
+                if ub.is_finite() {
+                    cands.push(RatioCandidate {
+                        row: i,
+                        limit: (ub - self.xb[i]).max(0.0) / (-wi),
+                        pivot_abs: w[i].abs(),
+                        basis_col: bi,
+                        to_upper: true,
+                    });
                 }
             }
         }
-        let t_star = if leave_row == usize::MAX {
-            bound_flip_t
-        } else {
-            t_min
-        };
-        let t = t_star.max(0.0);
-
-        // --- apply ----------------------------------------------------------
-        if leave_row == usize::MAX {
-            // bound flip: entering var runs to its other bound
-            for i in 0..self.m {
-                self.xb[i] -= t * sigma * w[i];
-            }
-            self.status[enter] = if sigma > 0.0 {
-                VStat::Upper
-            } else {
-                VStat::Lower
+        let (leave_row, leave_to_upper, t) =
+            match harris_ratio(&cands, bound_flip_t, self.eps, bland) {
+                RatioChoice::Unbounded => return StepOutcome::Unbounded,
+                RatioChoice::BoundFlip(t) => {
+                    // bound flip: entering var runs to its other bound
+                    let t = t.max(0.0);
+                    for i in 0..self.m {
+                        self.xb[i] -= t * sigma * w[i];
+                    }
+                    self.status[enter] = if sigma > 0.0 {
+                        VStat::Upper
+                    } else {
+                        VStat::Lower
+                    };
+                    return StepOutcome::Moved;
+                }
+                RatioChoice::Leave { row, to_upper, t } => {
+                    // Pivot-stability guard: an entry that clears the absolute
+                    // eps but is tiny relative to the column's largest
+                    // magnitude may be rounding noise from the eta chain (true
+                    // coefficient exactly zero) — pivoting on it on a
+                    // degenerate row would make the next basis exactly
+                    // singular. Rather than second-guess the candidate (a real
+                    // small pivot may hold the binding limit, and dropping it
+                    // would overshoot its bound), distrust the *factorization*:
+                    // refactorize and redo the iteration. A fresh factor
+                    // reproduces true zeros below eps, so noise rows stop
+                    // being candidates; a pivot still small under a fresh
+                    // factor is genuine and is accepted (which also bounds the
+                    // retry to a single refactorization).
+                    if self.pivots_since_refactor > 0
+                        && w[row].abs() < self.eps.max(PIVOT_STABILITY_REL * winf)
+                    {
+                        return StepOutcome::NeedsRefactor;
+                    }
+                    (row, to_upper, t)
+                }
             };
-            return StepOutcome::Moved;
+
+        // devex reference weights read the pre-pivot basis; update them
+        // before any state changes
+        if matches!(self.pricing, Pricing::Devex { .. }) {
+            self.devex_update(enter, leave_row, &w);
         }
 
         // basis change
@@ -878,51 +842,99 @@ impl<'a> Engine<'a> {
         self.xb[leave_row] = enter_val;
         self.basis[leave_row] = enter;
         self.status[enter] = VStat::Basic(leave_row as u32);
-        self.update_binv(leave_row, &w);
+        self.apply_update(leave_row, &w);
         StepOutcome::Moved
     }
 
-    /// Rank-1 update of `B⁻¹` after swapping the basic column at `leave_row`
-    /// for a column whose ftran image is `w` (pivot element `w[leave_row]`).
-    fn update_binv(&mut self, leave_row: usize, w: &[f64]) {
-        let m = self.m;
-        let piv = w[leave_row];
-        debug_assert!(piv.abs() > 1e-12);
-        let inv_piv = 1.0 / piv;
-        // scale pivot row
-        {
-            let row = &mut self.binv[leave_row * m..(leave_row + 1) * m];
-            for v in row.iter_mut() {
-                *v *= inv_piv;
-            }
-        }
-        for i in 0..m {
-            if i == leave_row {
-                continue;
-            }
-            let f = w[i];
-            if f == 0.0 {
-                continue;
-            }
-            // binv[i] -= f * binv[leave_row] (already scaled)
-            let (head, tail) = self.binv.split_at_mut(leave_row.max(i) * m);
-            let (src, dst) = if i < leave_row {
-                (&tail[..m], &mut head[i * m..i * m + m])
-            } else {
-                (&head[leave_row * m..leave_row * m + m], &mut tail[..m])
-            };
-            for (d, s) in dst.iter_mut().zip(src.iter()) {
-                *d -= f * s;
-            }
-        }
+    /// Absorb one basis change into the factorization (the column at
+    /// `leave_row` was swapped for one whose ftran image is `w`).
+    fn apply_update(&mut self, leave_row: usize, w: &[f64]) {
+        self.factor.update(leave_row, w);
         self.pivots_since_refactor += 1;
+        self.eta_updates += 1;
+    }
+
+    /// Forrest–Goldfarb devex weight update for the pivot (enter `q`, leave
+    /// row `r`). Must run against the *pre-pivot* basis: with
+    /// `ρ = B⁻ᵀe_r` and `α_rj = ρᵀA_j`, every nonbasic `j` gets
+    /// `γ_j := max(γ_j, α_rj² · γ_q / α_rq²)`; the leaving variable inherits
+    /// `max(γ_q / α_rq², 1)`. When any weight blows past 1e10 the reference
+    /// framework is reset to all-ones (counted in `devex_resets`).
+    fn devex_update(&mut self, enter: usize, leave_row: usize, w: &[f64]) {
+        let alpha_rq = w[leave_row];
+        if alpha_rq.abs() <= self.eps {
+            return;
+        }
+        if self.csr.is_none() {
+            self.csr = Some(self.sf.cols.to_csr());
+        }
+        self.rho_buf.resize(self.m, 0.0);
+        self.alpha_buf.resize(self.sf.n, 0.0);
+        self.factor.btran_unit(leave_row, &mut self.rho_buf);
+        // α_rj accumulated column-wise over the nonzero rows of ρ
+        let csr = self.csr.as_ref().expect("csr built above");
+        for (r, &rv) in self.rho_buf.iter().enumerate() {
+            if rv == 0.0 {
+                continue;
+            }
+            let (cols, vals) = csr.row(r);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let j = j as usize;
+                if self.alpha_buf[j] == 0.0 {
+                    self.touched_buf.push(j);
+                }
+                self.alpha_buf[j] += rv * v;
+            }
+        }
+        let ratio_base = self.devex_w[enter] / (alpha_rq * alpha_rq);
+        let mut blown = false;
+        for idx in 0..self.touched_buf.len() {
+            let j = self.touched_buf[idx];
+            let a = self.alpha_buf[j];
+            self.alpha_buf[j] = 0.0;
+            if j == enter || matches!(self.status[j], VStat::Basic(_)) {
+                continue;
+            }
+            let cand = a * a * ratio_base;
+            if cand > self.devex_w[j] {
+                self.devex_w[j] = cand;
+            }
+            if self.devex_w[j] > 1e10 {
+                blown = true;
+            }
+        }
+        self.touched_buf.clear();
+        // the leaving variable joins the nonbasic set with the pivot-row
+        // weight; the entering one is basic (weight reset for its next exit)
+        let leaving = self.basis[leave_row];
+        self.devex_w[leaving] = ratio_base.max(1.0);
+        self.devex_w[enter] = 1.0;
+        if blown {
+            for g in self.devex_w.iter_mut() {
+                *g = 1.0;
+            }
+            self.devex_resets += 1;
+        }
     }
 
     fn run_phase(&mut self, max_iter: u64, deadline: Option<Instant>) -> Result<(), LpError> {
         let mut stalled: u64 = 0;
         let stall_limit = 4 * (self.m as u64 + self.sf.n as u64) + 64;
         let mut last_obj = self.current_objective();
+        let trace = std::env::var_os("SB_LP_PHASE_DEBUG").is_some();
+        let trace_start = Instant::now();
         loop {
+            if trace && self.iterations.is_multiple_of(1000) {
+                eprintln!(
+                    "phase trace: iter {} obj {:.6e} etas {} refacs {} factor_nnz {} elapsed {:.1}s",
+                    self.iterations,
+                    last_obj,
+                    self.eta_updates,
+                    self.refactorizations,
+                    self.factor.nnz(),
+                    trace_start.elapsed().as_secs_f64()
+                );
+            }
             if self.iterations >= max_iter {
                 return Err(LpError::IterationLimit);
             }
@@ -934,13 +946,20 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-            if self.pivots_since_refactor >= self.refactor_every {
+            if self.pivots_since_refactor >= self.refactor_every || self.factor.wants_refactor() {
                 self.refactorize()?;
             }
             let bland = stalled > stall_limit;
             match self.step(bland) {
                 StepOutcome::Optimal => return Ok(()),
                 StepOutcome::Unbounded => return Err(LpError::Unbounded),
+                StepOutcome::NeedsRefactor => {
+                    // No pivot was applied; a fresh factor either clears the
+                    // suspect entry (noise) or certifies it (accepted next
+                    // pass), so this cannot loop.
+                    self.refactorize()?;
+                    continue;
+                }
                 StepOutcome::Moved => {}
             }
             self.iterations += 1;
@@ -1023,6 +1042,7 @@ impl RevisedSimplex {
                     self.feas_eps,
                     self.refactor_every,
                     self.pricing,
+                    self.factorization,
                     basis,
                 ) {
                     Ok(eng) => {
@@ -1042,11 +1062,23 @@ impl RevisedSimplex {
                             );
                         }
                         lp_metrics().record_warm_rejected(matches!(reject, WarmReject::Singular));
-                        Engine::new(sf, self.eps, self.refactor_every, self.pricing)
+                        Engine::new(
+                            sf,
+                            self.eps,
+                            self.refactor_every,
+                            self.pricing,
+                            self.factorization,
+                        )
                     }
                 }
             }
-            None => Engine::new(sf, self.eps, self.refactor_every, self.pricing),
+            None => Engine::new(
+                sf,
+                self.eps,
+                self.refactor_every,
+                self.pricing,
+                self.factorization,
+            ),
         };
 
         // ---- phase 1 (cold starts only) -------------------------------------
@@ -1070,7 +1102,7 @@ impl RevisedSimplex {
                 (0..sf.m).any(|i| {
                     let j = eng.basis[i];
                     j >= sf.first_artificial && {
-                        let row = sf.cols[j][0].0;
+                        let row = sf.cols.col(j).0[0] as usize;
                         eng.xb[i] > self.feas_eps * (1.0 + sf.b[row].abs())
                     }
                 })
@@ -1191,6 +1223,13 @@ impl RevisedSimplex {
             } else {
                 SolveRung::ColdPrimary
             },
+            basis_nnz: eng.factor.nnz() as u64,
+            fill_ratio: {
+                let input_nnz: usize = eng.basis.iter().map(|&j| sf.cols.col_nnz(j)).sum();
+                eng.factor.nnz() as f64 / input_nnz.max(1) as f64
+            },
+            eta_updates: eng.eta_updates,
+            devex_resets: eng.devex_resets,
         };
         lp_metrics().record_solve(&stats);
         Ok(Solution {

@@ -14,6 +14,7 @@
 //!   the artificial otherwise, so `B = I` at the start of phase 1.
 
 use crate::problem::{LpProblem, Relation};
+use crate::sparse::CscMatrix;
 
 /// How one user variable maps onto standard-form columns.
 #[derive(Clone, Debug)]
@@ -33,8 +34,9 @@ pub(crate) struct StandardForm {
     pub m: usize,
     /// Total number of columns (structural + slack/surplus + artificial).
     pub n: usize,
-    /// Column-sparse constraint matrix: `cols[j]` = list of `(row, coeff)`.
-    pub cols: Vec<Vec<(usize, f64)>>,
+    /// Column-compressed sparse constraint matrix (structural columns first,
+    /// then slack/surplus in row order, then artificials in row order).
+    pub cols: CscMatrix,
     /// Phase-2 objective per column (0 for slacks and artificials).
     pub cost: Vec<f64>,
     /// Upper bound per column (∞ allowed; artificials get `0` after phase 1
@@ -188,32 +190,34 @@ impl StandardForm {
             }
         }
         let n_structural = cost.len();
-        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_structural];
 
         // --- rows ------------------------------------------------------------
         let mut b = Vec::with_capacity(m);
         let mut row_flip = vec![false; m];
         let mut row_rel = Vec::with_capacity(m);
-        let mut basis0 = vec![usize::MAX; m];
+        let mut row_entries: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
         for (i, row) in lp.rows.iter().enumerate() {
             let (entries, rhs, rel, flip) = map_row(row, &var_map);
             row_flip[i] = flip;
             row_rel.push(rel);
             b.push(rhs);
-            for (col, a) in entries {
-                cols[col].push((i, a));
-            }
-            // slack / surplus
+            row_entries.push(entries);
+        }
+        let mut cols = CscMatrix::new(m);
+        cols.assemble_structural(n_structural, &row_entries);
+
+        // --- slack / surplus columns, in row order ---------------------------
+        let mut basis0 = vec![usize::MAX; m];
+        for (i, rel) in row_rel.iter().enumerate() {
             match rel {
                 Relation::Le => {
-                    let s = cols.len();
-                    cols.push(vec![(i, 1.0)]);
+                    basis0[i] = cols.n();
+                    cols.push_unit_col(i, 1.0);
                     cost.push(0.0);
                     upper.push(f64::INFINITY);
-                    basis0[i] = s;
                 }
                 Relation::Ge => {
-                    cols.push(vec![(i, -1.0)]);
+                    cols.push_unit_col(i, -1.0);
                     cost.push(0.0);
                     upper.push(f64::INFINITY);
                     // needs an artificial too; assigned below
@@ -223,20 +227,19 @@ impl StandardForm {
         }
 
         // --- artificials -------------------------------------------------------
-        let first_artificial = cols.len();
+        let first_artificial = cols.n();
         for i in 0..m {
             if basis0[i] == usize::MAX {
-                let a = cols.len();
-                cols.push(vec![(i, 1.0)]);
+                basis0[i] = cols.n();
+                cols.push_unit_col(i, 1.0);
                 cost.push(0.0);
                 upper.push(f64::INFINITY);
-                basis0[i] = a;
             }
         }
 
         StandardForm {
             m,
-            n: cols.len(),
+            n: cols.n(),
             cols,
             cost,
             upper,
@@ -276,13 +279,15 @@ impl StandardForm {
         // --- layout pre-check: normalized row relations ----------------------
         // Mapping the rows is the bulk of the conversion work; keep the
         // results so the commit pass below does not redo it.
-        let mut mapped = Vec::with_capacity(self.m);
+        let mut row_entries = Vec::with_capacity(self.m);
+        let mut rhs_flip = Vec::with_capacity(self.m);
         for (i, row) in lp.rows.iter().enumerate() {
             let (entries, rhs, rel, flip) = map_row(row, &var_map);
             if rel != self.row_rel[i] {
                 return false;
             }
-            mapped.push((entries, rhs, flip));
+            row_entries.push(entries);
+            rhs_flip.push((rhs, flip));
         }
 
         // --- commit: refill buffers ------------------------------------------
@@ -314,17 +319,26 @@ impl StandardForm {
                 }
             }
         }
-        // structural columns are refilled from the mapped rows; slack,
-        // surplus and artificial columns are layout-stable and keep their
-        // single entry (cost/upper of non-structural columns never change)
-        for col in self.cols.iter_mut().take(next) {
-            col.clear();
-        }
-        for (i, (entries, rhs, flip)) in mapped.into_iter().enumerate() {
+        // structural columns are re-scattered from the mapped rows, then the
+        // slack/surplus/artificial tail is re-pushed in the exact layout the
+        // fingerprint checks above guarantee — so `basis0`,
+        // `first_artificial` and the tail's cost/upper entries stay valid
+        // (cost/upper of non-structural columns never change).
+        for (i, (rhs, flip)) in rhs_flip.into_iter().enumerate() {
             self.b[i] = rhs;
             self.row_flip[i] = flip;
-            for (col, a) in entries {
-                self.cols[col].push((i, a));
+        }
+        self.cols.assemble_structural(next, &row_entries);
+        for (i, rel) in self.row_rel.iter().enumerate() {
+            match rel {
+                Relation::Le => self.cols.push_unit_col(i, 1.0),
+                Relation::Ge => self.cols.push_unit_col(i, -1.0),
+                Relation::Eq => {}
+            }
+        }
+        for i in 0..self.m {
+            if self.basis0[i] >= self.first_artificial {
+                self.cols.push_unit_col(i, 1.0);
             }
         }
         true
@@ -496,6 +510,6 @@ mod tests {
         let x = lp.add_nonneg("x", 1.0);
         lp.add_constraint(Constraint::le(vec![(x, 1.0), (x, 2.5)], 7.0));
         let sf = StandardForm::build(&lp);
-        assert_eq!(sf.cols[0], vec![(0, 3.5)]);
+        assert_eq!(sf.cols.iter_col(0).collect::<Vec<_>>(), vec![(0, 3.5)]);
     }
 }

@@ -10,7 +10,10 @@
 //! move, and one site's shares get pinned to zero.
 
 use proptest::prelude::*;
-use sb_lp::{Basis, LpProblem, PatchOutcome, PreparedProblem, RevisedSimplex, Var, VarStatus};
+use sb_lp::{
+    Basis, FactorKind, LpProblem, PatchOutcome, PreparedProblem, Pricing, Relation, RevisedSimplex,
+    Solution, Var, VarStatus,
+};
 
 /// A miniature provisioning sweep: `slots × sites` share variables, one
 /// capacity variable per site.
@@ -147,6 +150,62 @@ fn solve_pair(r: &SweepLp, mangle: Option<fn(&mut Basis)>) -> (f64, f64, bool, L
     )
 }
 
+/// Full KKT audit of a claimed optimum: primal feasibility, dual signs,
+/// row complementary slackness, and reduced-cost complementarity against the
+/// variable bounds. Catches a solution that is feasible and has the right
+/// objective but whose duals (the warm-start `dual_restore` input) are junk.
+fn check_kkt(lp: &LpProblem, s: &Solution, label: &str) {
+    const TOL: f64 = 1e-6;
+    let x = s.values();
+    let violation = lp.max_violation(x);
+    assert!(violation < 1e-7, "{label}: infeasible by {violation}");
+    let mut reduced: Vec<f64> = lp.vars().map(|v| lp.var_cost(v)).collect();
+    for (i, row) in lp.rows().iter().enumerate() {
+        let y = s
+            .dual(i)
+            .unwrap_or_else(|| panic!("{label}: no dual for row {i}"));
+        match row.rel {
+            Relation::Le => assert!(y <= TOL, "{label}: ≤ row {i} has dual {y} > 0"),
+            Relation::Ge => assert!(y >= -TOL, "{label}: ≥ row {i} has dual {y} < 0"),
+            Relation::Eq => {}
+        }
+        let lhs: f64 = row.coeffs.iter().map(|&(v, c)| c * x[v.index()]).sum();
+        let slack = row.rhs - lhs;
+        assert!(
+            (y * slack).abs() < TOL,
+            "{label}: row {i} violates complementary slackness (y={y}, slack={slack})"
+        );
+        for &(v, c) in &row.coeffs {
+            reduced[v.index()] -= y * c;
+        }
+    }
+    for v in lp.vars() {
+        let (lo, up) = lp.var_bounds(v);
+        let (xv, r) = (x[v.index()], reduced[v.index()]);
+        if r > TOL {
+            assert!(
+                xv - lo < TOL,
+                "{label}: {} has reduced cost {r} > 0 but sits at {xv} above lower {lo}",
+                lp.var_name(v)
+            );
+        } else if r < -TOL {
+            assert!(
+                up - xv < TOL,
+                "{label}: {} has reduced cost {r} < 0 but sits at {xv} below upper {up}",
+                lp.var_name(v)
+            );
+        }
+    }
+}
+
+fn solver_with(kind: FactorKind, pricing: Pricing) -> RevisedSimplex {
+    RevisedSimplex {
+        factorization: kind,
+        pricing,
+        ..RevisedSimplex::new()
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -192,5 +251,62 @@ proptest! {
         let scale = 1.0 + cold_obj.abs();
         prop_assert!((warm_obj - cold_obj).abs() < 1e-6 * scale,
             "warm={warm_obj} cold={cold_obj}");
+    }
+
+    /// Sparse-LU (with devex pricing) and dense factorizations are
+    /// differential oracles for each other: on both the base and the patched
+    /// problem they must reach the same optimum, and each claimed optimum
+    /// must pass a full KKT audit (feasibility, dual signs, complementary
+    /// slackness, reduced-cost complementarity).
+    #[test]
+    fn sparse_and_dense_factorizations_agree(r in sweep_lp()) {
+        let sparse = solver_with(FactorKind::SparseLu, Pricing::devex());
+        let dense = solver_with(FactorKind::Dense, Pricing::Dantzig);
+        let mut b = build(&r);
+        let mut prep = PreparedProblem::new(&b.lp);
+        for stage in ["base", "patched"] {
+            let ss = sparse.solve_prepared(&b.lp, &prep, None).expect("sparse solves");
+            let sd = dense.solve_prepared(&b.lp, &prep, None).expect("dense solves");
+            let scale = 1.0 + sd.objective().abs();
+            prop_assert!((ss.objective() - sd.objective()).abs() < 1e-6 * scale,
+                "{stage}: sparse={} dense={}", ss.objective(), sd.objective());
+            check_kkt(&b.lp, &ss, &format!("{stage}/sparse"));
+            check_kkt(&b.lp, &sd, &format!("{stage}/dense"));
+            if stage == "base" {
+                patch(&mut b, &r);
+                prop_assert_eq!(prep.refresh(&b.lp), PatchOutcome::Patched);
+            }
+        }
+    }
+
+    /// A basis exported by one factorization backend warm-starts the other:
+    /// the sparse engine resumes from a dense-produced basis and vice versa,
+    /// and both reach the cold optimum of the patched problem.
+    #[test]
+    fn warm_starts_cross_factorization_backends(r in sweep_lp()) {
+        let sparse = solver_with(FactorKind::SparseLu, Pricing::partial());
+        let dense = solver_with(FactorKind::Dense, Pricing::Dantzig);
+        let mut b = build(&r);
+        let mut prep = PreparedProblem::new(&b.lp);
+        let basis_s = sparse.solve_prepared(&b.lp, &prep, None)
+            .expect("sparse base solve")
+            .basis().expect("sparse engine exports a basis").clone();
+        let basis_d = dense.solve_prepared(&b.lp, &prep, None)
+            .expect("dense base solve")
+            .basis().expect("dense-factor engine exports a basis").clone();
+        patch(&mut b, &r);
+        prop_assert_eq!(prep.refresh(&b.lp), PatchOutcome::Patched);
+        let cold = sparse.solve_prepared(&b.lp, &prep, None).expect("cold reference");
+        let warm_ds = dense.solve_prepared(&b.lp, &prep, Some(&basis_s))
+            .expect("dense engine accepts sparse-produced basis");
+        let warm_sd = sparse.solve_prepared(&b.lp, &prep, Some(&basis_d))
+            .expect("sparse engine accepts dense-produced basis");
+        let scale = 1.0 + cold.objective().abs();
+        prop_assert!((warm_ds.objective() - cold.objective()).abs() < 1e-6 * scale,
+            "dense-from-sparse={} cold={}", warm_ds.objective(), cold.objective());
+        prop_assert!((warm_sd.objective() - cold.objective()).abs() < 1e-6 * scale,
+            "sparse-from-dense={} cold={}", warm_sd.objective(), cold.objective());
+        check_kkt(&b.lp, &warm_ds, "warm dense-from-sparse");
+        check_kkt(&b.lp, &warm_sd, "warm sparse-from-dense");
     }
 }

@@ -207,6 +207,78 @@ pub fn world() -> Topology {
     p.build()
 }
 
+/// Planet-scale synthetic topology for solver stress tests: eight regional
+/// deployments of seven DCs each (56 DCs), fourteen edge countries per
+/// region (112 countries), sparse intra-region rings with chords, and an
+/// inter-region backbone ring — just over 300 links in total. Costs and
+/// country weights vary deterministically so no two sites are
+/// interchangeable and the provisioning LP has no accidental symmetry.
+///
+/// This is the topology behind the `lp_scenario_sweep --planet` leg: the
+/// master LP it induces (one-week horizon, 30-minute slots) has tens of
+/// thousands of rows, which only the sparse-factorization simplex path can
+/// solve within a sane budget.
+pub fn synthetic_planet() -> Topology {
+    // (name, center lat, center lon) per region; ordered so consecutive
+    // entries are geographic neighbours (the backbone is a ring over them)
+    const REGIONS: [(&str, f64, f64); 8] = [
+        ("NA-West", 40.0, -118.0),
+        ("NA-East", 40.0, -80.0),
+        ("SouthAmerica", -15.0, -55.0),
+        ("Europe", 48.0, 10.0),
+        ("MEA", 25.0, 45.0),
+        ("SouthAsia", 20.0, 78.0),
+        ("EastAsia", 32.0, 120.0),
+        ("Oceania", -28.0, 140.0),
+    ];
+    const DCS_PER_REGION: usize = 7;
+    const COUNTRIES_PER_REGION: usize = 14;
+
+    let mut p = PresetBuilder::new();
+    let mut hubs: Vec<DcId> = Vec::new();
+    for (r, &(name, clat, clon)) in REGIONS.iter().enumerate() {
+        let region = p.b.region(name);
+        let mut dcs = Vec::with_capacity(DCS_PER_REGION);
+        for i in 0..DCS_PER_REGION {
+            // DCs on a ring around the region center; deterministic radius
+            // wobble so spacings (and hence link costs) are irregular
+            let ang = std::f64::consts::TAU * (i as f64 + 0.3 * r as f64) / DCS_PER_REGION as f64;
+            let radius = 5.0 + ((r * 13 + i * 7) % 5) as f64;
+            let lat = (clat + radius * ang.sin()).clamp(-60.0, 65.0);
+            let lon = clon + radius * ang.cos();
+            let core_cost = 60.0 + ((r * 31 + i * 17) % 81) as f64;
+            dcs.push(p.dc(&format!("{name}-dc{i}"), region, lat, lon, core_cost));
+        }
+        for i in 0..COUNTRIES_PER_REGION {
+            let ang =
+                std::f64::consts::TAU * (i as f64 + 0.7 * r as f64) / COUNTRIES_PER_REGION as f64;
+            let radius = 6.0 + ((r * 11 + i * 5) % 8) as f64;
+            let lat = (clat + radius * ang.sin()).clamp(-60.0, 65.0);
+            let lon = clon + radius * ang.cos();
+            let utc = (lon / 15.0 * 2.0).round() / 2.0;
+            let weight = 0.25 + ((r * 29 + i * 37) % 100) as f64 / 100.0;
+            p.country(&format!("{name}-c{i}"), region, lat, lon, utc, weight);
+        }
+        // intra-region: ring plus two chords (sparser than a mesh, still
+        // 2-connected so single-link failures never strand a DC)
+        for i in 0..DCS_PER_REGION {
+            p.dc_link(dcs[i], dcs[(i + 1) % DCS_PER_REGION]);
+        }
+        p.dc_link(dcs[0], dcs[3]);
+        p.dc_link(dcs[2], dcs[5]);
+        hubs.push(dcs[0]);
+    }
+    // inter-region backbone: ring over the regional hubs plus two
+    // transoceanic chords
+    for r in 0..hubs.len() {
+        p.dc_link(hubs[r], hubs[(r + 1) % hubs.len()]);
+    }
+    p.dc_link(hubs[1], hubs[3]); // NA-East ↔ Europe
+    p.dc_link(hubs[0], hubs[6]); // NA-West ↔ EastAsia
+    p.connect_edges(2);
+    p.build()
+}
+
 /// Minimal three-site topology matching the Fig. 4 toy example: Japan,
 /// Hong Kong and India, each with a co-located DC, all mutually reachable
 /// within the latency bound.
@@ -303,6 +375,26 @@ mod tests {
                 let reachable = t.dc_ids().any(|d| rt.route(c, d).is_some());
                 assert!(reachable, "country {c:?} stranded when {dc:?} down");
             }
+        }
+    }
+
+    #[test]
+    fn synthetic_planet_shape_and_reachability() {
+        let t = synthetic_planet();
+        assert_eq!(t.dcs.len(), 56);
+        assert_eq!(t.countries.len(), 112);
+        // 8 × (ring 7 + 2 chords) intra-region, backbone ring 8 + 2 chords,
+        // 112 countries × 2 uplinks
+        assert_eq!(t.links.len(), 8 * 9 + 10 + 112 * 2);
+        // every country must have an in-region DC within the paper's 120 ms
+        // one-way bound, or the provisioning LP drops its configs
+        let rt = RoutingTable::compute(&t, FailureScenario::None);
+        for c in t.country_ids() {
+            let best = t
+                .dc_ids()
+                .filter_map(|d| rt.latency_ms(c, d))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 120.0, "country {c:?} has no close DC ({best} ms)");
         }
     }
 

@@ -47,8 +47,12 @@ cargo test --workspace -q
 echo "==> chaos smoke drill: sec63_failure_drills --smoke"
 cargo run --release -q -p sb-bench --bin sec63_failure_drills -- --smoke
 
-echo "==> solver perf smoke: lp_scenario_sweep --smoke"
-cargo run --release -q -p sb-bench --bin lp_scenario_sweep -- --smoke --json /tmp/BENCH_lp_smoke.json
+echo "==> solver smoke: lp_scenario_sweep --smoke (sparse vs committed dense baseline, 1e-9)"
+# Runs the sparse-factorization variants on the APAC sweep and asserts the
+# provisioned capacities match the committed dense-factorization baseline
+# arrays in BENCH_lp.json to 1e-9 relative.
+cargo run --release -q -p sb-bench --bin lp_scenario_sweep -- --smoke \
+    --json /tmp/BENCH_lp_smoke.json --baseline BENCH_lp.json
 
 echo "==> replay differential: serial oracle vs concurrent engine"
 cargo test -q --test replay_differential
