@@ -1335,6 +1335,45 @@ impl RealtimeSelector {
         true
     }
 
+    /// Recovery: re-apply a journaled forced re-home *decision* — move the
+    /// call to `dc` preserving its frozen key, re-debiting quota when the
+    /// recorded rung was the plan rung (the [`RestoreDebit::BestOf`]
+    /// mirror, matching what [`RealtimeSelector::rehome_call`] debited).
+    /// Returns the DC the call occupied before, or `None` when the call is
+    /// not live (an inconsistent journal). Statistics do not move; the
+    /// recovery driver accounts them from the record.
+    pub fn restore_rehome(&self, call_id: u64, dc: DcId, plan_rung: bool) -> Option<DcId> {
+        let mut old = None;
+        let mut frozen_key = None;
+        let known = self.active.update(&call_id, |call| {
+            old = Some(call.dc);
+            frozen_key = call.frozen;
+            call.dc = dc;
+        });
+        if !known {
+            return None;
+        }
+        if plan_rung {
+            let table = self.table();
+            if let Some(pool) = frozen_key.and_then(|(cfg, s)| table.range(cfg, s)) {
+                let mut best: Option<(usize, u32)> = None;
+                for i in pool {
+                    if table.dcs[i] != dc {
+                        continue;
+                    }
+                    let r = table.remaining[i].load(Ordering::Relaxed);
+                    if r > 0 && best.is_none_or(|(_, br)| r >= br) {
+                        best = Some((i, r));
+                    }
+                }
+                if let Some((i, _)) = best {
+                    table.try_debit(i);
+                }
+            }
+        }
+        old
+    }
+
     /// Merge a statistics delta straight into the aggregate counters —
     /// recovery drivers rebuild stats from journaled decisions and land
     /// them here in one shot.

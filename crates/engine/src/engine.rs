@@ -17,6 +17,10 @@ use sb_core::{
     SelectorOutcome, SelectorRung, SelectorStats,
 };
 use sb_net::{CountryId, DcId};
+use sb_pack::{
+    CostModel, FleetPacker, FleetSpec, GrowthModel, MoveDcOutcome, PackStateExport, PackStats,
+    PackerConfig, ServerId,
+};
 use sb_store::{
     CallEvent, CallStateStore, Journal, JournalConfig, JournalReadError, LatencyHistogram,
     MediaFlag,
@@ -59,6 +63,26 @@ impl Default for OverloadConfig {
     }
 }
 
+/// Two-level placement knobs: when present, every admitted call is also
+/// packed onto a media server of its DC's fleet, placements become
+/// `(DC, server)` pairs end-to-end, and [`Engine::kill_server`] gains a
+/// server-granular failure domain.
+#[derive(Clone, Debug)]
+pub struct EnginePackConfig {
+    /// Per-DC server fleet (must cover every DC of the topology).
+    pub spec: FleetSpec,
+    /// Packing policy knobs (scorer, hysteresis, eviction budget).
+    pub packer: PackerConfig,
+    /// Per-call CPU cost model.
+    pub cost: CostModel,
+    /// Optional growth predictor shaping reservations. The engine always
+    /// evaluates it on an empty history — a reservation must be a pure
+    /// function of the participant count so recovery can recompute it from
+    /// journaled state — so a fitted model degenerates to its base rate
+    /// here; [`GrowthModel::flat`] is the common choice.
+    pub growth: Option<GrowthModel>,
+}
+
 /// Engine construction knobs.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -68,6 +92,8 @@ pub struct EngineConfig {
     pub store_rtt: Duration,
     /// Overload-protection watermarks and deadlines.
     pub overload: OverloadConfig,
+    /// Two-level `(DC, server)` placement; `None` keeps DC-only placement.
+    pub pack: Option<EnginePackConfig>,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +102,35 @@ impl Default for EngineConfig {
             store_shards: 64,
             store_rtt: Duration::ZERO,
             overload: OverloadConfig::default(),
+            pack: None,
+        }
+    }
+}
+
+/// The engine's packing runtime: the fleet packer plus the models that
+/// derive a call's charge from its participant count.
+struct PackRuntime {
+    packer: FleetPacker,
+    cost: CostModel,
+    growth: Option<GrowthModel>,
+}
+
+impl PackRuntime {
+    fn from_config(cfg: &EnginePackConfig) -> PackRuntime {
+        PackRuntime {
+            packer: FleetPacker::new(cfg.spec.clone(), cfg.packer),
+            cost: cfg.cost,
+            growth: cfg.growth.clone(),
+        }
+    }
+
+    /// Reserved charge for a call of `participants` — actual cost plus the
+    /// predicted growth headroom. Deliberately a pure function of the
+    /// participant count (empty history) so recovery can recompute it.
+    fn reserve(&self, participants: u32) -> u32 {
+        match &self.growth {
+            Some(g) => g.reserve_mcpu(&self.cost, participants, &[]),
+            None => self.cost.cost_mcpu(participants),
         }
     }
 }
@@ -168,6 +223,7 @@ pub struct EngineStats {
 pub struct Engine {
     selector: RealtimeSelector,
     store: CallStateStore,
+    pack: Option<PackRuntime>,
     journal: Option<Journal>,
     overload: OverloadConfig,
     draining: AtomicBool,
@@ -194,6 +250,7 @@ impl Engine {
         Engine {
             selector: RealtimeSelector::from_artifact(latmap, artifact),
             store: CallStateStore::with_simulated_rtt(cfg.store_shards, cfg.store_rtt),
+            pack: cfg.pack.as_ref().map(PackRuntime::from_config),
             journal: None,
             overload: cfg.overload.clone(),
             draining: AtomicBool::new(false),
@@ -398,6 +455,131 @@ impl Engine {
         self.selector.export_state()
     }
 
+    /// The fleet packer, when two-level placement is enabled.
+    pub fn packer(&self) -> Option<&FleetPacker> {
+        self.pack.as_ref().map(|rt| &rt.packer)
+    }
+
+    /// Server currently hosting `call`, when the call is live and packed.
+    pub fn server_of(&self, call: u64) -> Option<ServerId> {
+        let dc = self.selector.current_dc(call)?;
+        self.pack.as_ref()?.packer.server_of(dc, call)
+    }
+
+    /// Fleet-wide packing counters (`None` when packing is disabled).
+    pub fn pack_stats(&self) -> Option<PackStats> {
+        self.pack.as_ref().map(|rt| rt.packer.stats())
+    }
+
+    /// Deterministic snapshot of every server's occupancy and every packed
+    /// call's slot — the pack half of the recovery equality witness
+    /// (`None` when packing is disabled).
+    pub fn export_pack_state(&self) -> Option<PackStateExport> {
+        self.pack.as_ref().map(|rt| rt.packer.export_state())
+    }
+
+    /// Declare one media server dead: journal the death, drain its calls
+    /// onto surviving servers of the same DC, and only for calls the DC
+    /// cannot absorb fall back to the selector's re-home ladder (plan →
+    /// locality → any-reachable), re-packing survivors at their new DC.
+    /// Every displaced call's destination is journaled as a
+    /// [`WalRecord::Pack`] record, so recovery replays the drain without
+    /// re-running any packing decision. A no-op (still counted) on an
+    /// empty server; a full no-op when packing is disabled or the server
+    /// was already dead.
+    pub fn kill_server(&self, server: ServerId) -> ServerDeathReport {
+        let mut report = ServerDeathReport::default();
+        let Some(rt) = &self.pack else {
+            report.already_dead = true;
+            return report;
+        };
+        let journal = |report: &mut ServerDeathReport, rec: WalRecord| {
+            self.journal_append(&rec);
+            report.records.push(rec);
+        };
+        journal(
+            &mut report,
+            WalRecord::ServerDeath {
+                dc: server.dc.0,
+                server: server.index,
+            },
+        );
+        let r = rt.packer.kill_server(server);
+        report.already_dead = r.already_dead;
+        report.was_empty = r.was_empty;
+        if r.already_dead {
+            return report;
+        }
+        for &(call, srv, cost) in &r.rehomed {
+            let participants = rt
+                .packer
+                .call_info(server.dc, call)
+                .map_or(0, |i| i.participants);
+            journal(
+                &mut report,
+                WalRecord::Pack {
+                    call,
+                    dc: server.dc.0,
+                    server: srv,
+                    participants,
+                    cost_mcpu: cost,
+                },
+            );
+            report.rehomed += 1;
+        }
+        for sp in &r.spilled {
+            let outcome = self.selector.rehome_call(sp.call);
+            let (dc16, rung) = wal::encode_outcome(outcome);
+            journal(
+                &mut report,
+                WalRecord::Rehome {
+                    call: sp.call,
+                    dc: dc16,
+                    rung,
+                },
+            );
+            match outcome.dc() {
+                Some(new_dc) => {
+                    let placed = rt.packer.place(
+                        new_dc,
+                        sp.call,
+                        sp.participants,
+                        sp.cost_mcpu,
+                        sp.reserve_mcpu,
+                    );
+                    if sp.frozen {
+                        rt.packer.freeze(new_dc, sp.call);
+                    }
+                    journal(
+                        &mut report,
+                        WalRecord::Pack {
+                            call: sp.call,
+                            dc: new_dc.0,
+                            server: placed.map_or(wal::NO_SERVER, |s| s.index),
+                            participants: sp.participants,
+                            cost_mcpu: sp.cost_mcpu,
+                        },
+                    );
+                    report.spilled_rehomed += 1;
+                }
+                None => {
+                    journal(
+                        &mut report,
+                        WalRecord::Pack {
+                            call: sp.call,
+                            dc: wal::NO_DC,
+                            server: wal::NO_SERVER,
+                            participants: sp.participants,
+                            cost_mcpu: sp.cost_mcpu,
+                        },
+                    );
+                    report.stranded += 1;
+                }
+            }
+        }
+        report
+    }
+
     /// Rebuild an engine from its journal: scan the log (truncating a torn
     /// tail), re-install the boot plan from record 0, then re-apply every
     /// durable operation's *recorded decision* — selector call state, quota
@@ -432,6 +614,11 @@ impl Engine {
         };
         let mut delta = SelectorStats::default();
         let mut hist = LatencyHistogram::new();
+        // Per-call packing view rebuilt from the records: hosting DC,
+        // charged participants, frozen flag. Reservations are recomputed
+        // (they are a pure function of the participant count by
+        // construction), so they are never journaled.
+        let mut pack_slots: std::collections::HashMap<u64, (u16, u32, bool)> = Default::default();
         for (i, rec) in ops.iter().enumerate().skip(1) {
             let index = i as u64;
             match rec {
@@ -447,6 +634,7 @@ impl Engine {
                     country,
                     dc,
                     rung,
+                    server,
                 } => {
                     engine.admitted.fetch_add(1, Ordering::Relaxed);
                     report.admits += 1;
@@ -461,6 +649,20 @@ impl Engine {
                             engine
                                 .selector
                                 .restore_call(*call, CountryId(*country), place);
+                            if *server != wal::NO_SERVER {
+                                if let Some(rt) = &engine.pack {
+                                    rt.packer.restore_set(
+                                        place,
+                                        *call,
+                                        *server,
+                                        1,
+                                        rt.cost.cost_mcpu(1),
+                                        rt.reserve(1),
+                                        false,
+                                    );
+                                    pack_slots.insert(*call, (place.0, 1, false));
+                                }
+                            }
                             engine.store.apply(
                                 CallEvent::Start {
                                     call: *call,
@@ -499,6 +701,7 @@ impl Engine {
                     kind,
                     from: _,
                     to,
+                    to_server,
                 } => {
                     report.freezes += 1;
                     match *kind {
@@ -522,6 +725,33 @@ impl Engine {
                                 .restore_freeze(*call, frozen, final_dc, debit, true)
                             {
                                 return Err(RecoveryError::Inconsistent { index });
+                            }
+                            if let Some(rt) = &engine.pack {
+                                // Re-apply the packed half of the decision:
+                                // freeze the slot in place, or carry it to
+                                // the journaled `(to, to_server)` location.
+                                if let Some(&(from_dc, p, _)) = pack_slots.get(call) {
+                                    if *to_server == wal::NO_SERVER {
+                                        // the DC move found no feasible
+                                        // server — the call left the fleet
+                                        rt.packer.restore_remove(DcId(from_dc), *call);
+                                        pack_slots.remove(call);
+                                    } else {
+                                        if from_dc != *to {
+                                            rt.packer.restore_remove(DcId(from_dc), *call);
+                                        }
+                                        rt.packer.restore_set(
+                                            DcId(*to),
+                                            *call,
+                                            *to_server,
+                                            p,
+                                            rt.cost.cost_mcpu(p),
+                                            rt.reserve(p),
+                                            true,
+                                        );
+                                        pack_slots.insert(*call, (*to, p, true));
+                                    }
+                                }
                             }
                             delta.freezes += 1;
                             match *kind {
@@ -550,6 +780,11 @@ impl Engine {
                     }
                 }
                 WalRecord::End { call } => {
+                    if let Some(rt) = &engine.pack {
+                        if let Some((dc, _, _)) = pack_slots.remove(call) {
+                            rt.packer.restore_remove(DcId(dc), *call);
+                        }
+                    }
                     // `call_end` accounts unknown ends itself, and the live
                     // set evolves identically to the original run, so the
                     // tallies match without a recorded flag
@@ -559,6 +794,78 @@ impl Engine {
                         .apply(CallEvent::End { call: *call }, &mut hist);
                     engine.ended.fetch_add(1, Ordering::Relaxed);
                     report.ends += 1;
+                }
+                WalRecord::Pack {
+                    call,
+                    dc,
+                    server,
+                    participants,
+                    cost_mcpu,
+                } => {
+                    report.packs += 1;
+                    if let Some(rt) = &engine.pack {
+                        let prev = pack_slots.get(call).copied();
+                        if let Some((old_dc, _, _)) = prev {
+                            if old_dc != *dc {
+                                rt.packer.restore_remove(DcId(old_dc), *call);
+                            }
+                        }
+                        if *dc == wal::NO_DC || *server == wal::NO_SERVER {
+                            // the call left the fleet (stranded or unpacked)
+                            if *dc != wal::NO_DC {
+                                rt.packer.restore_remove(DcId(*dc), *call);
+                            }
+                            pack_slots.remove(call);
+                        } else {
+                            let frozen = prev.is_some_and(|(_, _, f)| f);
+                            rt.packer.restore_set(
+                                DcId(*dc),
+                                *call,
+                                *server,
+                                *participants,
+                                *cost_mcpu,
+                                rt.reserve(*participants),
+                                frozen,
+                            );
+                            pack_slots.insert(*call, (*dc, *participants, frozen));
+                        }
+                    }
+                }
+                WalRecord::ServerDeath { dc, server } => {
+                    report.server_deaths += 1;
+                    if let Some(rt) = &engine.pack {
+                        rt.packer.restore_kill(ServerId {
+                            dc: DcId(*dc),
+                            index: *server,
+                        });
+                    }
+                }
+                WalRecord::Rehome { call, dc, rung } => {
+                    report.rehomes += 1;
+                    match wal::decode_outcome(*dc, *rung) {
+                        SelectorOutcome::Placed { dc: new_dc, rung } => {
+                            let Some(old) = engine.selector.restore_rehome(
+                                *call,
+                                new_dc,
+                                matches!(rung, SelectorRung::Plan),
+                            ) else {
+                                return Err(RecoveryError::Inconsistent { index });
+                            };
+                            match rung {
+                                SelectorRung::Plan => delta.rehomed_plan += 1,
+                                SelectorRung::Locality => {}
+                                SelectorRung::AnyReachable => delta.degraded_any += 1,
+                            }
+                            if old != new_dc {
+                                delta.forced_migrations += 1;
+                            }
+                        }
+                        SelectorOutcome::Stranded => {
+                            // the live run dropped the call down the ladder
+                            engine.selector.call_end(*call);
+                            delta.stranded += 1;
+                        }
+                    }
                 }
             }
         }
@@ -590,6 +897,26 @@ pub(crate) fn media_code(media: MediaFlag) -> u8 {
     }
 }
 
+/// What [`Engine::kill_server`] did with the dead server's calls.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServerDeathReport {
+    /// The server was already dead (or packing is disabled) — nothing was
+    /// drained or counted.
+    pub already_dead: bool,
+    /// The server hosted no calls; the death itself is still counted.
+    pub was_empty: bool,
+    /// Calls re-homed onto surviving servers in the same DC.
+    pub rehomed: usize,
+    /// Spilled calls the selector's ladder re-placed at a DC (possibly the
+    /// same one, unpacked, when nothing else is reachable).
+    pub spilled_rehomed: usize,
+    /// Spilled calls even the ladder could not place — dropped.
+    pub stranded: usize,
+    /// The exact WAL records this death appended, in order — crash
+    /// harnesses mirror these into their expected record stream.
+    pub records: Vec<WalRecord>,
+}
+
 /// What [`Engine::recover`] rebuilt.
 #[derive(Clone, Debug, Default)]
 pub struct RecoveryReport {
@@ -605,6 +932,12 @@ pub struct RecoveryReport {
     pub ends: u64,
     /// Post-boot plan installs replayed.
     pub plans: u64,
+    /// Pack (server-assignment) records replayed.
+    pub packs: u64,
+    /// Server deaths replayed.
+    pub server_deaths: u64,
+    /// Forced re-homes replayed.
+    pub rehomes: u64,
     /// Calls live after replay.
     pub live_calls: usize,
     /// Plan epoch after replay.
@@ -765,11 +1098,19 @@ impl EngineWorker<'_> {
         }
         let outcome = self.shard.call_start(call, first_joiner);
         let (dc16, rung) = wal::encode_outcome(outcome);
+        let server = match (outcome.dc(), &self.engine.pack) {
+            (Some(dc), Some(rt)) => rt
+                .packer
+                .place(dc, call, 1, rt.cost.cost_mcpu(1), rt.reserve(1))
+                .map_or(wal::NO_SERVER, |s| s.index),
+            _ => wal::NO_SERVER,
+        };
         self.engine.journal_append(&WalRecord::Admit {
             call,
             country: first_joiner.0,
             dc: dc16,
             rung,
+            server,
         });
         self.engine.admitted.fetch_add(1, Ordering::Relaxed);
         if let Some(dc) = outcome.dc() {
@@ -799,12 +1140,39 @@ impl EngineWorker<'_> {
         Admission::Granted(outcome)
     }
 
-    /// A participant joined an admitted call.
+    /// A participant joined an admitted call. With packing enabled the
+    /// call's charge grows, which may re-pack it (or evict unfrozen
+    /// neighbours when it is frozen in place); every touched call's
+    /// resulting `(server, cost)` is journaled as a [`WalRecord::Pack`].
     pub fn join(&mut self, call: u64, country: CountryId) {
         self.engine.journal_append(&WalRecord::Join {
             call,
             country: country.0,
         });
+        if let Some(rt) = &self.engine.pack {
+            if let Some(dc) = self.shard.current_dc(call) {
+                if let Some(info) = rt.packer.call_info(dc, call) {
+                    let p = info.participants.saturating_add(1);
+                    let out = rt
+                        .packer
+                        .grow(dc, call, p, rt.cost.cost_mcpu(p), rt.reserve(p));
+                    for &(c, srv, cost) in &out.changed {
+                        let participants = if c == call {
+                            p
+                        } else {
+                            rt.packer.call_info(dc, c).map_or(0, |i| i.participants)
+                        };
+                        self.engine.journal_append(&WalRecord::Pack {
+                            call: c,
+                            dc: dc.0,
+                            server: srv,
+                            participants,
+                            cost_mcpu: cost,
+                        });
+                    }
+                }
+            }
+        }
         self.persist(
             CallEvent::Join {
                 call,
@@ -831,6 +1199,21 @@ impl EngineWorker<'_> {
         let decision = self.shard.config_frozen(call, config, start_minute);
         self.ops.record(t.elapsed());
         let (kind, from, to) = wal::encode_freeze(decision);
+        let mut to_server = wal::NO_SERVER;
+        if let Some(rt) = &self.engine.pack {
+            if from != wal::NO_DC {
+                rt.packer.freeze(DcId(from), call);
+                if to != from {
+                    // selector migration: carry the packed slot to the new
+                    // DC's fleet (it may land unpacked if nothing fits)
+                    if let MoveDcOutcome::Moved(s) = rt.packer.move_dc(DcId(from), DcId(to), call) {
+                        to_server = s.index;
+                    }
+                } else if let Some(s) = rt.packer.server_of(DcId(to), call) {
+                    to_server = s.index;
+                }
+            }
+        }
         self.engine.journal_append(&WalRecord::Freeze {
             call,
             config: config.0,
@@ -839,6 +1222,7 @@ impl EngineWorker<'_> {
             kind,
             from,
             to,
+            to_server,
         });
         if !matches!(decision, FreezeDecision::UnknownCall) {
             self.persist(CallEvent::Freeze { call }, t);
@@ -849,6 +1233,11 @@ impl EngineWorker<'_> {
     /// The call ended: release selector state and delete the store record.
     pub fn end(&mut self, call: u64) {
         let t = Instant::now();
+        if let Some(rt) = &self.engine.pack {
+            if let Some(dc) = self.shard.current_dc(call) {
+                rt.packer.remove(dc, call);
+            }
+        }
         self.shard.call_end(call);
         self.ops.record(t.elapsed());
         self.engine.journal_append(&WalRecord::End { call });
@@ -1091,6 +1480,175 @@ mod tests {
         assert_eq!(stats.shed_queue_depth, 1);
         assert_eq!(stats.selector.calls, 2);
         assert_eq!(stats.admitted, 2);
+    }
+
+    /// Pack-enabled engine config: every DC of the toy topology gets the
+    /// same server capacities; reservations predict two extra participants.
+    fn pack_config(caps_per_dc: &[u32]) -> EngineConfig {
+        let mut spec = FleetSpec::empty(3); // toy_three_dc
+        for d in 0..3 {
+            for &c in caps_per_dc {
+                spec.push_server(DcId(d), c);
+            }
+        }
+        EngineConfig {
+            pack: Some(EnginePackConfig {
+                spec,
+                packer: PackerConfig::default(),
+                cost: CostModel {
+                    base_mcpu: 300,
+                    per_participant_mcpu: 250,
+                },
+                growth: Some(GrowthModel::flat(2)),
+            }),
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn server_death_between_start_and_freeze_rehomes_in_dc() {
+        let (topo, latmap, artifact, cfg) = world();
+        let engine = Engine::new(&latmap, &artifact, &pack_config(&[2_000, 2_000]));
+        let jp = topo.country_by_name("JP");
+        let mut w = engine.worker();
+        let dc = w.admit(1, jp).dc().expect("placed");
+        drop(w);
+        let home = engine.server_of(1).expect("admission packs the call");
+        assert_eq!(home.dc, dc);
+
+        // the hosting server dies before the call freezes: the call must be
+        // re-homed onto the surviving server of the same DC, not spilled
+        let rep = engine.kill_server(home);
+        assert!(!rep.already_dead && !rep.was_empty);
+        assert_eq!((rep.rehomed, rep.spilled_rehomed, rep.stranded), (1, 0, 0));
+        let moved = engine.server_of(1).expect("still packed");
+        assert_eq!(moved.dc, dc, "in-DC re-home must not change the DC");
+        assert_ne!(moved.index, home.index);
+
+        // the freeze then proceeds normally and lands on the new server
+        let mut w = engine.worker();
+        assert!(!matches!(w.freeze(1, cfg, 0), FreezeDecision::UnknownCall));
+        w.end(1);
+        drop(w);
+        let stats = engine.pack_stats().unwrap();
+        assert_eq!(stats.server_deaths, 1);
+        assert_eq!(stats.death_rehomes, 1);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(engine.packer().unwrap().capacity_violations(), 0);
+    }
+
+    #[test]
+    fn double_repack_of_same_call_stays_consistent() {
+        let (topo, latmap, artifact, _) = world();
+        let engine = Engine::new(&latmap, &artifact, &pack_config(&[2_000, 2_000, 2_000]));
+        let jp = topo.country_by_name("JP");
+        let mut w = engine.worker();
+        assert!(w.admit(1, jp).dc().is_some());
+        drop(w);
+
+        // kill the call's server twice in a row: each death re-packs the
+        // same call onto the next surviving server of the DC
+        let first = engine.server_of(1).unwrap();
+        let rep1 = engine.kill_server(first);
+        assert_eq!(rep1.rehomed, 1);
+        let second = engine.server_of(1).unwrap();
+        assert_ne!(second.index, first.index);
+        let rep2 = engine.kill_server(second);
+        assert_eq!(rep2.rehomed, 1);
+        let third = engine.server_of(1).unwrap();
+        assert!(third.index != first.index && third.index != second.index);
+
+        let stats = engine.pack_stats().unwrap();
+        assert_eq!(stats.server_deaths, 2);
+        assert_eq!(stats.death_rehomes, 2);
+        assert_eq!(stats.death_spills, 0);
+        assert_eq!(engine.packer().unwrap().capacity_violations(), 0);
+        // the doubly-re-packed call is still a perfectly normal call
+        let mut w = engine.worker();
+        w.end(1);
+        drop(w);
+        assert_eq!(engine.stats().active_calls, 0);
+    }
+
+    #[test]
+    fn server_death_on_empty_server_is_counted_noop() {
+        let (_topo, latmap, artifact, _) = world();
+        let engine = Engine::new(&latmap, &artifact, &pack_config(&[2_000, 2_000]));
+        let victim = ServerId {
+            dc: DcId(0),
+            index: 1,
+        };
+        let rep = engine.kill_server(victim);
+        assert!(!rep.already_dead);
+        assert!(rep.was_empty);
+        assert_eq!((rep.rehomed, rep.spilled_rehomed, rep.stranded), (0, 0, 0));
+        // the death is journaled and counted even though nothing drained
+        assert_eq!(rep.records.len(), 1);
+        assert!(matches!(rep.records[0], WalRecord::ServerDeath { .. }));
+        assert_eq!(engine.pack_stats().unwrap().server_deaths, 1);
+
+        // killing it again is a pure no-op: counted nowhere
+        let rep = engine.kill_server(victim);
+        assert!(rep.already_dead);
+        assert_eq!(engine.pack_stats().unwrap().server_deaths, 1);
+    }
+
+    #[test]
+    fn recovery_replays_wal_with_server_ids() {
+        let (topo, latmap, artifact, cfg) = world();
+        let path = temp_journal_path("pack-recover");
+        let jcfg = JournalConfig {
+            sync_every: 1,
+            ..JournalConfig::default()
+        };
+        let journal = Journal::create(&path, jcfg).unwrap();
+        // one small server per DC (fits both calls: 800 + 550 ≤ 1500): the
+        // death below can only spill, driving Rehome records through
+        // recovery too
+        let ecfg = pack_config(&[1_500]);
+        let engine = Engine::with_journal(&latmap, &artifact, &ecfg, journal).unwrap();
+        let jp = topo.country_by_name("JP");
+        let mut w = engine.worker();
+        assert!(w.admit(1, jp).dc().is_some());
+        w.join(1, jp); // grow → a Pack record with participants = 2
+        assert!(w.admit(2, jp).dc().is_some());
+        assert!(!matches!(w.freeze(1, cfg, 0), FreezeDecision::UnknownCall));
+        drop(w);
+        let home = engine.server_of(1).expect("packed");
+        // the only server of the DC dies: both calls spill down the ladder
+        // (re-placed at the same closest DC, unpacked)
+        let rep = engine.kill_server(home);
+        assert_eq!(rep.rehomed, 0);
+        assert_eq!(rep.spilled_rehomed + rep.stranded, 2);
+        let mut w = engine.worker();
+        assert!(w.admit(3, jp).dc().is_some()); // Admit with NO_SERVER
+        w.end(2);
+        drop(w);
+        assert!(engine.server_of(3).is_none(), "no live server to pack onto");
+
+        let pack_before = engine.export_pack_state().unwrap();
+        let selector_before = engine.export_selector_state();
+        let stats_before = engine.stats();
+        assert_eq!(engine.journal().unwrap().crash(), 0);
+        drop(engine);
+
+        let (recovered, report) = Engine::recover(&latmap, &ecfg, jcfg, &path).unwrap();
+        assert_eq!(report.admits, 3);
+        assert_eq!(report.server_deaths, 1);
+        assert_eq!(report.rehomes, 2, "both spilled calls journaled a Rehome");
+        assert!(
+            report.packs >= 3,
+            "join + spill re-placements journal Packs"
+        );
+        assert_eq!(recovered.export_pack_state().unwrap(), pack_before);
+        assert_eq!(recovered.export_selector_state(), selector_before);
+        assert_eq!(recovered.stats().selector, stats_before.selector);
+        assert_eq!(
+            recovered.packer().unwrap().capacity_violations(),
+            0,
+            "restored fleet must satisfy the hard invariants"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub mod protocol;
 pub mod wal;
 
 pub use engine::{
-    Admission, Engine, EngineConfig, EngineStats, EngineWorker, OverloadConfig, RecoveryError,
-    RecoveryReport, ShedReason,
+    Admission, Engine, EngineConfig, EnginePackConfig, EngineStats, EngineWorker, OverloadConfig,
+    RecoveryError, RecoveryReport, ServerDeathReport, ShedReason,
 };
 pub use latency::FineHistogram;
 pub use protocol::{Command, ProtocolError, MAX_LINE_BYTES};

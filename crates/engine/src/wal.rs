@@ -22,6 +22,10 @@ use sb_net::DcId;
 /// Sentinel DC index meaning "no DC" (stranded admission, unknown freeze).
 pub const NO_DC: u16 = u16::MAX;
 
+/// Sentinel server index meaning "no server slot" (packing disabled, or the
+/// call could not be packed). Same value as [`sb_pack::NO_SERVER`].
+pub const NO_SERVER: u16 = sb_pack::NO_SERVER;
+
 /// Freeze kind codes, mirroring [`FreezeDecision`]'s variants.
 pub mod freeze_kind {
     /// [`super::FreezeDecision::Stay`].
@@ -49,6 +53,9 @@ const TAG_JOIN: u8 = 3;
 const TAG_MEDIA: u8 = 4;
 const TAG_FREEZE: u8 = 5;
 const TAG_END: u8 = 6;
+const TAG_PACK: u8 = 7;
+const TAG_SERVER_DEATH: u8 = 8;
+const TAG_REHOME: u8 = 9;
 
 /// One journaled engine operation.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,7 +65,8 @@ pub enum WalRecord {
         /// The artifact, in its exact NDJSON export (round-trips bitwise).
         ndjson: String,
     },
-    /// A call was admitted; the recorded outcome is the selector's decision.
+    /// A call was admitted; the recorded outcome is the selector's decision
+    /// plus (when packing is enabled) the packer's server choice.
     Admit {
         /// Call id.
         call: u64,
@@ -68,6 +76,9 @@ pub enum WalRecord {
         dc: u16,
         /// Rung code of the placement ([`SelectorRung`]); 0 when stranded.
         rung: u8,
+        /// Assigned server index within the DC, [`NO_SERVER`] when packing
+        /// is disabled or no server fit.
+        server: u16,
     },
     /// A participant joined.
     Join {
@@ -100,11 +111,49 @@ pub enum WalRecord {
         from: u16,
         /// DC after the freeze, [`NO_DC`] for unknown calls.
         to: u16,
+        /// Server hosting the call after the freeze (it may change on a
+        /// migrate), [`NO_SERVER`] when unpacked.
+        to_server: u16,
     },
     /// A call ended.
     End {
         /// Call id.
         call: u64,
+    },
+    /// The packer (re-)assigned a call to a server: journaled after every
+    /// join and per call touched by an eviction or a server-death drain.
+    /// Captures the **resulting** state, so recovery applies it absolutely
+    /// (last record per call wins) without re-running any packing decision.
+    Pack {
+        /// Call id.
+        call: u64,
+        /// Hosting DC index, [`NO_DC`] when the call left the fleet.
+        dc: u16,
+        /// Hosting server index, [`NO_SERVER`] when unpacked.
+        server: u16,
+        /// Charged participant count at this point.
+        participants: u32,
+        /// Charged cost in millicores at this point.
+        cost_mcpu: u32,
+    },
+    /// A server was declared dead. The drained calls' destinations follow
+    /// as [`WalRecord::Pack`] records.
+    ServerDeath {
+        /// DC index.
+        dc: u16,
+        /// Server index within the DC.
+        server: u16,
+    },
+    /// A spilled call was forced down the selector's re-home ladder after
+    /// its DC could not absorb a server death. Captures the selector's
+    /// decision; the packer's follow-up is the next [`WalRecord::Pack`].
+    Rehome {
+        /// Call id.
+        call: u64,
+        /// New DC index, [`NO_DC`] when even the ladder stranded the call.
+        dc: u16,
+        /// Rung code of the re-placement; 0 when stranded.
+        rung: u8,
     },
 }
 
@@ -193,12 +242,14 @@ impl WalRecord {
                 country,
                 dc,
                 rung,
+                server,
             } => {
                 out.push(TAG_ADMIT);
                 out.extend_from_slice(&call.to_le_bytes());
                 out.extend_from_slice(&country.to_le_bytes());
                 out.extend_from_slice(&dc.to_le_bytes());
                 out.push(*rung);
+                out.extend_from_slice(&server.to_le_bytes());
             }
             WalRecord::Join { call, country } => {
                 out.push(TAG_JOIN);
@@ -218,6 +269,7 @@ impl WalRecord {
                 kind,
                 from,
                 to,
+                to_server,
             } => {
                 out.push(TAG_FREEZE);
                 out.extend_from_slice(&call.to_le_bytes());
@@ -227,10 +279,36 @@ impl WalRecord {
                 out.push(*kind);
                 out.extend_from_slice(&from.to_le_bytes());
                 out.extend_from_slice(&to.to_le_bytes());
+                out.extend_from_slice(&to_server.to_le_bytes());
             }
             WalRecord::End { call } => {
                 out.push(TAG_END);
                 out.extend_from_slice(&call.to_le_bytes());
+            }
+            WalRecord::Pack {
+                call,
+                dc,
+                server,
+                participants,
+                cost_mcpu,
+            } => {
+                out.push(TAG_PACK);
+                out.extend_from_slice(&call.to_le_bytes());
+                out.extend_from_slice(&dc.to_le_bytes());
+                out.extend_from_slice(&server.to_le_bytes());
+                out.extend_from_slice(&participants.to_le_bytes());
+                out.extend_from_slice(&cost_mcpu.to_le_bytes());
+            }
+            WalRecord::ServerDeath { dc, server } => {
+                out.push(TAG_SERVER_DEATH);
+                out.extend_from_slice(&dc.to_le_bytes());
+                out.extend_from_slice(&server.to_le_bytes());
+            }
+            WalRecord::Rehome { call, dc, rung } => {
+                out.push(TAG_REHOME);
+                out.extend_from_slice(&call.to_le_bytes());
+                out.extend_from_slice(&dc.to_le_bytes());
+                out.push(*rung);
             }
         }
         out
@@ -252,6 +330,7 @@ impl WalRecord {
                 country: r.u16()?,
                 dc: r.u16()?,
                 rung: r.u8()?,
+                server: r.u16()?,
             },
             TAG_JOIN => WalRecord::Join {
                 call: r.u64()?,
@@ -269,8 +348,25 @@ impl WalRecord {
                 kind: r.u8()?,
                 from: r.u16()?,
                 to: r.u16()?,
+                to_server: r.u16()?,
             },
             TAG_END => WalRecord::End { call: r.u64()? },
+            TAG_PACK => WalRecord::Pack {
+                call: r.u64()?,
+                dc: r.u16()?,
+                server: r.u16()?,
+                participants: r.u32()?,
+                cost_mcpu: r.u32()?,
+            },
+            TAG_SERVER_DEATH => WalRecord::ServerDeath {
+                dc: r.u16()?,
+                server: r.u16()?,
+            },
+            TAG_REHOME => WalRecord::Rehome {
+                call: r.u64()?,
+                dc: r.u16()?,
+                rung: r.u8()?,
+            },
             t => return Err(WalDecodeError::BadTag(t)),
         };
         if r.pos != r.body.len() {
@@ -333,12 +429,14 @@ mod tests {
                 country: 3,
                 dc: 1,
                 rung: RUNG_LOCALITY,
+                server: 4,
             },
             WalRecord::Admit {
                 call: 8,
                 country: 3,
                 dc: NO_DC,
                 rung: 0,
+                server: NO_SERVER,
             },
             WalRecord::Join {
                 call: 7,
@@ -353,8 +451,34 @@ mod tests {
                 kind: freeze_kind::MIGRATE,
                 from: 0,
                 to: 2,
+                to_server: 11,
             },
             WalRecord::End { call: 7 },
+            WalRecord::Pack {
+                call: 7,
+                dc: 2,
+                server: 11,
+                participants: 3,
+                cost_mcpu: 1_050,
+            },
+            WalRecord::Pack {
+                call: 9,
+                dc: NO_DC,
+                server: NO_SERVER,
+                participants: 0,
+                cost_mcpu: 0,
+            },
+            WalRecord::ServerDeath { dc: 2, server: 11 },
+            WalRecord::Rehome {
+                call: 9,
+                dc: 1,
+                rung: RUNG_ANY,
+            },
+            WalRecord::Rehome {
+                call: 10,
+                dc: NO_DC,
+                rung: 0,
+            },
         ];
         for rec in records {
             let bytes = rec.encode();

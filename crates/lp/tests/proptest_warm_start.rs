@@ -207,7 +207,11 @@ fn solver_with(kind: FactorKind, pricing: Pricing) -> RevisedSimplex {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    // 512 cases: the shim runner reports failing inputs unshrunk, so budget
+    // spent on more (deterministic) cases is the shrink budget — doubled
+    // here because the sparse-LU/devex paths added in the sparse-core PR
+    // widened the state space these properties guard.
+    #![proptest_config(ProptestConfig::with_cases(512))]
 
     /// Warm and cold solves of the patched problem agree on the optimum, and
     /// both report feasible points — even when the patch pinned variables the
@@ -309,4 +313,64 @@ proptest! {
         check_kkt(&b.lp, &warm_ds, "warm dense-from-sparse");
         check_kkt(&b.lp, &warm_sd, "warm sparse-from-dense");
     }
+}
+
+/// Regression seed for the degenerate-row tiny-pivot bug: pivoting on
+/// eta-chain noise over a degenerate row made the sparse-LU basis exactly
+/// singular; the fix latches `NeedsRefactor` when the selected ratio-test
+/// pivot falls below `PIVOT_STABILITY_REL` of the entering column's largest
+/// entry. This instance is maximally degenerate — identical demands, zero
+/// share costs (ties on every pivot), one pinned site — and larger than the
+/// random generator's `slots × sites` coverage. Scheduled refactorization is
+/// pushed out of reach so every pivot runs on eta updates, the exact regime
+/// the stability guard protects.
+#[test]
+fn degenerate_rows_with_stale_etas_stay_nonsingular() {
+    let r = SweepLp {
+        slots: 6,
+        sites: 5,
+        demand0: vec![8; 6],
+        demand1: vec![8; 6],
+        cap_cost: vec![1; 5],
+        share_cost: vec![0; 30],
+        fail_site: Some(0),
+    };
+    let sparse = RevisedSimplex {
+        refactor_every: u64::MAX,
+        ..solver_with(FactorKind::SparseLu, Pricing::devex())
+    };
+    let dense = solver_with(FactorKind::Dense, Pricing::Dantzig);
+
+    let mut b = build(&r);
+    let mut prep = PreparedProblem::new(&b.lp);
+    let base = sparse
+        .solve_prepared(&b.lp, &prep, None)
+        .expect("degenerate base instance must solve, not go singular");
+    let base_dense = dense.solve_prepared(&b.lp, &prep, None).expect("oracle");
+    let scale = 1.0 + base_dense.objective().abs();
+    assert!(
+        (base.objective() - base_dense.objective()).abs() < 1e-6 * scale,
+        "base: sparse={} dense={}",
+        base.objective(),
+        base_dense.objective()
+    );
+    check_kkt(&b.lp, &base, "degenerate-base/sparse");
+
+    // warm-start the patched problem from the degenerate basis: the pinned
+    // site forces pivots through the tied rows again
+    let basis = base.basis().expect("basis exported").clone();
+    patch(&mut b, &r);
+    assert_eq!(prep.refresh(&b.lp), PatchOutcome::Patched);
+    let warm = sparse
+        .solve_prepared(&b.lp, &prep, Some(&basis))
+        .expect("warm solve over degenerate rows must not go singular");
+    let cold = dense.solve_prepared(&b.lp, &prep, None).expect("oracle");
+    let scale = 1.0 + cold.objective().abs();
+    assert!(
+        (warm.objective() - cold.objective()).abs() < 1e-6 * scale,
+        "patched: warm sparse={} cold dense={}",
+        warm.objective(),
+        cold.objective()
+    );
+    check_kkt(&b.lp, &warm, "degenerate-patched/sparse-warm");
 }

@@ -1,0 +1,253 @@
+//! Heterogeneous per-DC server-fleet model.
+//!
+//! A fleet is a list of media-processing (MP) servers per data center, each
+//! with a CPU capacity expressed in **millicores** (`mcpu`). Calls consume an
+//! integer millicore cost that grows with participant count (see
+//! [`CostModel`]). Everything in this module is plain integer bookkeeping so
+//! the packing layer can be compared bitwise between serial and concurrent
+//! drivers.
+
+use sb_net::DcId;
+
+/// Sentinel server index meaning "this call holds no server slot".
+///
+/// Mirrors `sb_engine::wal::NO_DC`: WAL records and exports use it where a
+/// call was admitted at the DC level but could not be packed onto a server.
+pub const NO_SERVER: u16 = u16::MAX;
+
+/// A CPU capacity class: `count` identical servers of `capacity_mcpu` each.
+///
+/// Fleets are described as a list of classes per DC so heterogeneous
+/// deployments (a few big boxes plus many small ones) are one-liners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerClass {
+    /// Number of servers in this class.
+    pub count: u16,
+    /// Per-server CPU capacity in millicores.
+    pub capacity_mcpu: u32,
+}
+
+/// Fully-qualified server identity: `(DC, server index within the DC)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId {
+    /// Data center the server lives in.
+    pub dc: DcId,
+    /// Index of the server inside its DC's fleet (dense, starting at 0).
+    pub index: u16,
+}
+
+impl std::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dc{}/s{}", self.dc.0, self.index)
+    }
+}
+
+/// Static description of every server in every DC.
+///
+/// `per_dc[d][s]` is the capacity in millicores of server `s` in DC `d`.
+/// The spec is immutable once built; liveness (server death) is dynamic
+/// state owned by the packer, not the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    per_dc: Vec<Vec<u32>>,
+}
+
+impl FleetSpec {
+    /// A fleet where every one of `dcs` DCs has `count` servers of
+    /// `capacity_mcpu` millicores each.
+    pub fn uniform(dcs: usize, count: u16, capacity_mcpu: u32) -> Self {
+        let dc = vec![capacity_mcpu; count as usize];
+        Self {
+            per_dc: vec![dc; dcs],
+        }
+    }
+
+    /// A fleet where every DC has the same mix of capacity classes.
+    pub fn heterogeneous(dcs: usize, classes: &[ServerClass]) -> Self {
+        let mut dc = Vec::new();
+        for c in classes {
+            for _ in 0..c.count {
+                dc.push(c.capacity_mcpu);
+            }
+        }
+        Self {
+            per_dc: vec![dc; dcs],
+        }
+    }
+
+    /// An empty fleet with `dcs` DCs and no servers; populate with
+    /// [`FleetSpec::push_server`].
+    pub fn empty(dcs: usize) -> Self {
+        Self {
+            per_dc: vec![Vec::new(); dcs],
+        }
+    }
+
+    /// Append one server of `capacity_mcpu` to DC `dc` and return its id.
+    ///
+    /// # Panics
+    /// Panics if `dc` is out of range or the DC already holds
+    /// `NO_SERVER` (65535) servers.
+    pub fn push_server(&mut self, dc: DcId, capacity_mcpu: u32) -> ServerId {
+        let fleet = &mut self.per_dc[dc.0 as usize];
+        let index = fleet.len();
+        assert!(index < NO_SERVER as usize, "fleet too large for u16 index");
+        fleet.push(capacity_mcpu);
+        ServerId {
+            dc,
+            index: index as u16,
+        }
+    }
+
+    /// Number of DCs covered by the spec.
+    pub fn num_dcs(&self) -> usize {
+        self.per_dc.len()
+    }
+
+    /// Number of servers in DC `dc` (0 for out-of-range DCs).
+    pub fn servers_in(&self, dc: DcId) -> usize {
+        self.per_dc.get(dc.0 as usize).map_or(0, Vec::len)
+    }
+
+    /// Total number of servers across all DCs.
+    pub fn num_servers(&self) -> usize {
+        self.per_dc.iter().map(Vec::len).sum()
+    }
+
+    /// Per-server capacities of DC `dc`.
+    ///
+    /// # Panics
+    /// Panics if `dc` is out of range.
+    pub fn capacities(&self, dc: DcId) -> &[u32] {
+        &self.per_dc[dc.0 as usize]
+    }
+
+    /// Total capacity of DC `dc` in millicores.
+    pub fn dc_capacity_mcpu(&self, dc: DcId) -> u64 {
+        self.per_dc
+            .get(dc.0 as usize)
+            .map_or(0, |v| v.iter().map(|&c| c as u64).sum())
+    }
+
+    /// Flattened index of `server` across all DCs, in `(dc, index)` order.
+    ///
+    /// Used for dense per-server tally vectors in replay stats and benches.
+    ///
+    /// # Panics
+    /// Panics if the server does not exist in the spec.
+    pub fn flat_index(&self, server: ServerId) -> usize {
+        let dc = server.dc.0 as usize;
+        assert!(
+            (server.index as usize) < self.per_dc[dc].len(),
+            "server {server} not in fleet spec"
+        );
+        let before: usize = self.per_dc[..dc].iter().map(Vec::len).sum();
+        before + server.index as usize
+    }
+}
+
+/// Affine per-call CPU cost as a function of participant count.
+///
+/// `cost(p) = base_mcpu + per_participant_mcpu * p`, saturating. Tetris
+/// (arXiv 2508.00426) models MP load as roughly linear in participants with
+/// a fixed session overhead; the affine model keeps costs integral so the
+/// serial and concurrent packers agree bitwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Fixed session overhead in millicores.
+    pub base_mcpu: u32,
+    /// Marginal cost per participant in millicores.
+    pub per_participant_mcpu: u32,
+}
+
+impl CostModel {
+    /// Millicore cost of a call with `participants` participants.
+    pub fn cost_mcpu(&self, participants: u32) -> u32 {
+        self.base_mcpu
+            .saturating_add(self.per_participant_mcpu.saturating_mul(participants))
+    }
+}
+
+impl Default for CostModel {
+    /// 300 mcpu session overhead plus 250 mcpu per participant — a small
+    /// SFU-style media server where a ~30-party call saturates two cores.
+    fn default() -> Self {
+        Self {
+            base_mcpu: 300,
+            per_participant_mcpu: 250,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_heterogeneous_fleets() {
+        let u = FleetSpec::uniform(3, 4, 8_000);
+        assert_eq!(u.num_dcs(), 3);
+        assert_eq!(u.num_servers(), 12);
+        assert_eq!(u.dc_capacity_mcpu(DcId(1)), 32_000);
+
+        let h = FleetSpec::heterogeneous(
+            2,
+            &[
+                ServerClass {
+                    count: 2,
+                    capacity_mcpu: 16_000,
+                },
+                ServerClass {
+                    count: 3,
+                    capacity_mcpu: 4_000,
+                },
+            ],
+        );
+        assert_eq!(h.servers_in(DcId(0)), 5);
+        assert_eq!(
+            h.capacities(DcId(1)),
+            &[16_000, 16_000, 4_000, 4_000, 4_000]
+        );
+        assert_eq!(h.dc_capacity_mcpu(DcId(0)), 44_000);
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_ordered() {
+        let mut spec = FleetSpec::empty(3);
+        let a = spec.push_server(DcId(0), 1_000);
+        let b = spec.push_server(DcId(1), 1_000);
+        let c = spec.push_server(DcId(1), 2_000);
+        let d = spec.push_server(DcId(2), 3_000);
+        assert_eq!(spec.flat_index(a), 0);
+        assert_eq!(spec.flat_index(b), 1);
+        assert_eq!(spec.flat_index(c), 2);
+        assert_eq!(spec.flat_index(d), 3);
+        assert_eq!(spec.num_servers(), 4);
+    }
+
+    #[test]
+    fn cost_model_is_affine_and_saturating() {
+        let m = CostModel::default();
+        assert_eq!(m.cost_mcpu(1), 550);
+        assert_eq!(m.cost_mcpu(10), 2_800);
+        let big = CostModel {
+            base_mcpu: u32::MAX,
+            per_participant_mcpu: u32::MAX,
+        };
+        assert_eq!(big.cost_mcpu(7), u32::MAX);
+    }
+
+    #[test]
+    fn server_id_formats_and_orders() {
+        let s = ServerId {
+            dc: DcId(3),
+            index: 7,
+        };
+        assert_eq!(s.to_string(), "dc3/s7");
+        let t = ServerId {
+            dc: DcId(3),
+            index: 8,
+        };
+        assert!(s < t);
+    }
+}

@@ -1,0 +1,203 @@
+//! Call-size growth prediction for growth-aware packing.
+//!
+//! Reuses the `sb-predict` multi-order Markov chain ([`Momc`]) — the same
+//! machinery the selector uses for call-config attendance — but fits it on
+//! per-minute *"did this call gain a participant?"* histories derived from
+//! workload join offsets. The packer consults the model at placement and
+//! growth time to reserve headroom for calls that are likely to keep
+//! growing (the Tetris insight: hotspots come from calls that grow *after*
+//! placement, so score servers on predicted, not current, load).
+//!
+//! Predictions feed only the *scoring* side of the packer; the hard
+//! capacity invariant is always enforced on actual (not predicted) cost, so
+//! a wildly wrong model can cost migrations but never a capacity violation.
+
+use crate::fleet::CostModel;
+use sb_predict::Momc;
+use sb_workload::CallRecordsDb;
+
+/// Tuning for [`GrowthModel::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthConfig {
+    /// How many leading minutes of each call feed the training histories.
+    /// Growth is front-loaded (most joins land in the first minutes), so a
+    /// short horizon keeps the chain focused on the regime that matters.
+    pub horizon_minutes: usize,
+    /// Markov chain order (1..=16), as in [`Momc::fit`].
+    pub max_order: usize,
+    /// Minutes of future growth a reservation should cover.
+    pub lookahead_minutes: u32,
+}
+
+impl Default for GrowthConfig {
+    fn default() -> Self {
+        Self {
+            horizon_minutes: 10,
+            max_order: 3,
+            lookahead_minutes: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    /// Fitted Markov chain plus the mean number of joins observed in a
+    /// minute that had at least one join.
+    Fitted { momc: Momc, mean_joins: f64 },
+    /// Fixed prediction used by tests and as a model-free fallback.
+    Flat { extra: u32 },
+}
+
+/// Predictor of how many more participants a call is likely to gain.
+#[derive(Debug, Clone)]
+pub struct GrowthModel {
+    kind: Kind,
+    lookahead_minutes: u32,
+}
+
+impl GrowthModel {
+    /// Fit on a workload trace: each call becomes a per-minute binary
+    /// history where minute `m` is `true` iff some participant beyond the
+    /// first joined during `[m, m+1)` minutes after call start.
+    pub fn fit(db: &CallRecordsDb, cfg: GrowthConfig) -> Self {
+        let mut histories = Vec::with_capacity(db.records().len());
+        let mut joins_in_grow_minutes = 0u64;
+        let mut grow_minutes = 0u64;
+        for r in db.records() {
+            let minutes = (r.duration_min as usize).min(cfg.horizon_minutes);
+            if minutes == 0 {
+                continue;
+            }
+            let mut h = vec![false; minutes];
+            let mut per_minute = vec![0u64; minutes];
+            // offset 0 is the first joiner (the call existing), not growth
+            for &off in r.join_offsets_s.iter().skip(1) {
+                let m = (off / 60) as usize;
+                if m < minutes {
+                    h[m] = true;
+                    per_minute[m] += 1;
+                }
+            }
+            for m in 0..minutes {
+                if h[m] {
+                    grow_minutes += 1;
+                    joins_in_grow_minutes += per_minute[m];
+                }
+            }
+            histories.push(h);
+        }
+        let mean_joins = if grow_minutes > 0 {
+            joins_in_grow_minutes as f64 / grow_minutes as f64
+        } else {
+            1.0
+        };
+        Self {
+            kind: Kind::Fitted {
+                momc: Momc::fit(&histories, cfg.max_order),
+                mean_joins,
+            },
+            lookahead_minutes: cfg.lookahead_minutes,
+        }
+    }
+
+    /// A model that always predicts exactly `extra` more participants.
+    /// Handy in tests and as a conservative static reservation policy.
+    pub fn flat(extra: u32) -> Self {
+        Self {
+            kind: Kind::Flat { extra },
+            lookahead_minutes: 0,
+        }
+    }
+
+    /// Predicted number of additional participants over the lookahead
+    /// window, given the call's growth history so far (`history[m]` =
+    /// "minute `m` saw a join"; most recent minute last).
+    pub fn expected_extra(&self, history: &[bool]) -> u32 {
+        match &self.kind {
+            Kind::Flat { extra } => *extra,
+            Kind::Fitted { momc, mean_joins } => {
+                let k = history.len().clamp(1, momc.max_order());
+                let p = momc.order_prob(history, k);
+                (p * mean_joins * self.lookahead_minutes as f64).ceil() as u32
+            }
+        }
+    }
+
+    /// Millicores to *reserve* for a call that currently has
+    /// `participants` participants: its actual cost plus the cost delta of
+    /// the predicted extra participants. Always `>=` the actual cost.
+    pub fn reserve_mcpu(&self, cost: &CostModel, participants: u32, history: &[bool]) -> u32 {
+        cost.cost_mcpu(participants.saturating_add(self.expected_extra(history)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_net::CountryId;
+    use sb_workload::{CallConfig, CallRecord, CallRecordsDb, ConfigCatalog, MediaType};
+
+    fn db(specs: Vec<(u64, u16, Vec<u16>)>) -> CallRecordsDb {
+        let mut cat = ConfigCatalog::new();
+        let cfg = cat.intern(CallConfig::new(vec![(CountryId(0), 2)], MediaType::Audio));
+        let mut db = CallRecordsDb::new(cat);
+        for (id, duration_min, join_offsets_s) in specs {
+            db.push(CallRecord {
+                id,
+                config: cfg,
+                start_minute: 0,
+                duration_min,
+                first_joiner: CountryId(0),
+                join_offsets_s,
+            });
+        }
+        db
+    }
+
+    #[test]
+    fn flat_model_is_constant() {
+        let m = GrowthModel::flat(3);
+        assert_eq!(m.expected_extra(&[]), 3);
+        assert_eq!(m.expected_extra(&[true, false]), 3);
+        let cost = CostModel::default();
+        assert_eq!(m.reserve_mcpu(&cost, 2, &[]), cost.cost_mcpu(5));
+    }
+
+    #[test]
+    fn reserve_never_below_actual_cost() {
+        let m = GrowthModel::flat(0);
+        let cost = CostModel::default();
+        for p in 0..20 {
+            assert!(m.reserve_mcpu(&cost, p, &[]) >= cost.cost_mcpu(p));
+        }
+    }
+
+    #[test]
+    fn fitted_model_separates_growers_from_stable_calls() {
+        // Growers gain a participant every minute for 8 minutes; stable
+        // calls never grow after the first joiner.
+        let mut specs = Vec::new();
+        for i in 0..40u64 {
+            let offs: Vec<u16> = std::iter::once(0)
+                .chain((0..8).map(|m| m * 60 + 5))
+                .collect();
+            specs.push((i, 10, offs));
+            specs.push((100 + i, 10, vec![0, 1]));
+        }
+        let m = GrowthModel::fit(&db(specs), GrowthConfig::default());
+        let grew = m.expected_extra(&[true, true, true]);
+        let idle = m.expected_extra(&[false, false, false]);
+        assert!(
+            grew > idle,
+            "growth streak should predict more joins: {grew} vs {idle}"
+        );
+        assert!(grew >= 1);
+    }
+
+    #[test]
+    fn empty_trace_still_fits() {
+        let m = GrowthModel::fit(&db(Vec::new()), GrowthConfig::default());
+        // base-rate fallback path; any finite prediction is fine
+        let _ = m.expected_extra(&[]);
+    }
+}

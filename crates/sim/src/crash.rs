@@ -40,18 +40,30 @@
 //!   worker dies mid-segment and the coordinator takes over its remaining
 //!   ops); honored by [`crate::chaos::ReplayDriver`], a no-op in this
 //!   serial harness.
+//! * [`ServiceFault::ServerDeath`] — one media server dies (requires
+//!   packing, [`sb_engine::EngineConfig::pack`]): the engine drains its
+//!   calls onto surviving in-DC servers first and only spills down the
+//!   PR-2 degradation ladder. The death's WAL records (death + per-call
+//!   re-pack decisions) are synced eagerly, so a later crash can never
+//!   split the sequence — realignment stays op-granular even though a
+//!   death journals many records.
 
 use std::path::Path;
 use std::time::Duration;
 
 use sb_core::{LatencyMap, PlanArtifact};
 use sb_engine::wal;
-use sb_engine::{Admission, Engine, EngineConfig, EngineStats, RecoveryError, WalRecord};
-use sb_net::{FailureScenario, RoutingTable, Topology};
+use sb_engine::{
+    Admission, Engine, EngineConfig, EngineStats, RecoveryError, ServerDeathReport, WalRecord,
+};
+use sb_net::{DcId, FailureScenario, RoutingTable, Topology};
+use sb_pack::{PackStats, ServerId};
 use sb_store::{Journal, JournalConfig, JournalError, JournalFault};
 use sb_workload::{CallRecordsDb, ConfigCatalog};
 
-use crate::replay::{account, build_events, Placement, ReplayConfig, ReplayStats, EV_START};
+use crate::replay::{
+    account, build_events, pack_pass, Placement, ReplayConfig, ReplayStats, EV_START,
+};
 
 /// One injected service-layer fault, scheduled over the trace's canonical
 /// serial operation index (0-based; swaps and skipped freezes do not count).
@@ -89,6 +101,17 @@ pub enum ServiceFault {
     /// journal's unsynced group-commit tail, then recover and resume.
     CrashAtOp {
         /// Operation index the crash lands on.
+        at_op: u64,
+    },
+    /// Kill one media server just before operation `at_op` (see
+    /// [`Engine::kill_server`]). Requires the engine config to enable
+    /// packing; a silent no-op otherwise.
+    ServerDeath {
+        /// DC index of the dying server.
+        dc: u16,
+        /// Server index within the DC.
+        server: u16,
+        /// Operation index the death lands on.
         at_op: u64,
     },
 }
@@ -169,6 +192,17 @@ pub struct CrashOutcome {
     pub journal_lost_records: u64,
     /// Final engine counters (shed/retry/journal-failure visibility).
     pub engine_stats: EngineStats,
+    /// Per-death drain reports, in firing order (empty without
+    /// [`ServiceFault::ServerDeath`] faults).
+    pub death_reports: Vec<ServerDeathReport>,
+    /// The engine's live fleet-packing counters (`None` when the engine
+    /// ran without packing). Unlike [`ReplayStats::pack`] — the shared
+    /// post-drive pack-pass oracle — these reflect the engine's actual
+    /// online decisions, server deaths included.
+    pub pack_stats: Option<PackStats>,
+    /// Capacity violations in the engine's final fleet state (always 0:
+    /// the packer never overcommits actual cost).
+    pub pack_violations: u64,
 }
 
 /// What one processed step contributed to the journal: which trace event or
@@ -178,6 +212,7 @@ pub struct CrashOutcome {
 enum Step {
     Event(usize),
     Swap(usize),
+    Death(usize),
 }
 
 /// The journal fault that applies to operation `op` (later windows win).
@@ -217,6 +252,7 @@ pub fn drive_with_crashes(
     // fault schedule over the canonical serial op index
     let mut windows: Vec<(u64, u64, JournalFault)> = Vec::new();
     let mut crash_ops: Vec<u64> = Vec::new();
+    let mut deaths: Vec<(u64, ServerId)> = Vec::new();
     for f in &cfg.faults {
         match *f {
             ServiceFault::JournalStall { at_op, ops, stall } => {
@@ -226,11 +262,19 @@ pub fn drive_with_crashes(
                 windows.push((at_op, at_op.saturating_add(ops), JournalFault::Drop));
             }
             ServiceFault::CrashAtOp { at_op } => crash_ops.push(at_op),
+            ServiceFault::ServerDeath { dc, server, at_op } => deaths.push((
+                at_op,
+                ServerId {
+                    dc: DcId(dc),
+                    index: server,
+                },
+            )),
             ServiceFault::WorkerDeath { .. } => {} // concurrent-driver fault
         }
     }
     crash_ops.sort_unstable();
     crash_ops.dedup();
+    deaths.sort_by_key(|&(at, _)| at);
 
     let _ = std::fs::remove_file(journal_path);
     let journal = Journal::create(journal_path, cfg.journal).map_err(CrashDrillError::Boot)?;
@@ -249,9 +293,11 @@ pub fn drive_with_crashes(
     let mut swap_at = 0usize; // next plan swap
     let mut op_count = 0u64; // cumulative ops driven (redrives included)
     let mut next_crash = 0usize;
+    let mut next_death = 0usize;
     let mut crashes = 0u64;
     let mut redriven_ops = 0u64;
     let mut lost_records = 0u64;
+    let mut death_reports: Vec<ServerDeathReport> = Vec::new();
 
     loop {
         let mut crash_now = false;
@@ -275,6 +321,17 @@ pub fn drive_with_crashes(
                     swap_at += 1;
                     continue;
                 }
+                // server deaths due at this op fire before it, like crashes;
+                // their records sync eagerly so a crash never splits them
+                while next_death < deaths.len() && deaths[next_death].0 <= op_count {
+                    let (_, server) = deaths[next_death];
+                    let rep = engine.kill_server(server);
+                    engine.sync_journal();
+                    expected.extend(rep.records.iter().cloned());
+                    history.push((Step::Death(next_death), expected.len() as u64));
+                    death_reports.push(rep);
+                    next_death += 1;
+                }
                 if next_crash < crash_ops.len() && crash_ops[next_crash] <= op_count {
                     next_crash += 1;
                     crash_now = true;
@@ -293,11 +350,13 @@ pub fn drive_with_crashes(
                     EV_START => {
                         if let Admission::Granted(outcome) = w.admit(r.id, r.first_joiner) {
                             let (dc, rung) = wal::encode_outcome(outcome);
+                            let server = engine.server_of(r.id).map_or(wal::NO_SERVER, |s| s.index);
                             expected.push(WalRecord::Admit {
                                 call: r.id,
                                 country: r.first_joiner.0,
                                 dc,
                                 rung,
+                                server,
                             });
                         }
                     }
@@ -306,6 +365,8 @@ pub fn drive_with_crashes(
                         if let Some(initial) = w.current_dc(r.id) {
                             let decision = w.freeze(r.id, r.config, r.start_minute);
                             let (kind, from, to) = wal::encode_freeze(decision);
+                            let to_server =
+                                engine.server_of(r.id).map_or(wal::NO_SERVER, |s| s.index);
                             expected.push(WalRecord::Freeze {
                                 call: r.id,
                                 config: r.config.0,
@@ -314,6 +375,7 @@ pub fn drive_with_crashes(
                                 kind,
                                 from,
                                 to,
+                                to_server,
                             });
                             placements[i] = decision
                                 .final_dc()
@@ -372,6 +434,12 @@ pub fn drive_with_crashes(
                     redriven_ops += 1;
                 }
                 Step::Swap(s) => swap_at = swap_at.min(s),
+                // unreachable in practice — death records sync eagerly —
+                // but popping one re-fires it identically if it ever dies
+                Step::Death(k) => {
+                    next_death = next_death.min(k);
+                    death_reports.truncate(k);
+                }
             }
         }
         let durable_base = history.last().map_or(1, |&(_, after)| after);
@@ -401,6 +469,11 @@ pub fn drive_with_crashes(
         t0,
         horizon,
     );
+    let pack = cfg
+        .replay
+        .pack
+        .as_ref()
+        .map(|s| pack_pass(records, &placements, &cfg.replay, s));
     Ok(CrashOutcome {
         stats: ReplayStats {
             calls: records.len() as u64,
@@ -411,11 +484,15 @@ pub fn drive_with_crashes(
             peak_gbps: peaks.gbps,
             capacity_violations: violations,
             worst_overshoot: worst,
+            pack,
         },
         crashes,
         redriven_ops,
         journal_lost_records: lost_records,
+        pack_stats: engine.pack_stats(),
+        pack_violations: engine.packer().map_or(0, |p| p.capacity_violations()),
         engine_stats: engine.stats(),
+        death_reports,
     })
 }
 
@@ -508,6 +585,75 @@ mod tests {
         // its whole tail — the drill really exercised redrive
         assert!(out.redriven_ops > 0, "{}", out.redriven_ops);
         assert_eq!(out.journal_lost_records, out.redriven_ops);
+    }
+
+    #[test]
+    fn server_deaths_rehome_in_dc_and_recover_through_crashes() {
+        let (topo, cat, id) = world();
+        let jp = topo.country_by_name("JP");
+        let tokyo = topo.dc_by_name("Tokyo");
+        let mut db = CallRecordsDb::new(cat.clone());
+        for i in 0..40 {
+            db.push(record(i, id, i, 15, jp));
+        }
+        let artifact = PlanArtifact::seed(all_at(id, tokyo, 3, 40.0));
+        // two of Tokyo's three servers die mid-trace, then the engine
+        // crashes: the drill must drain every call in-DC (no ladder spills,
+        // no strands), recover the death records from the journal, and
+        // still land on the no-crash oracle
+        let mut cfg = CrashDrillConfig::with_faults(vec![
+            ServiceFault::ServerDeath {
+                dc: tokyo.index() as u16,
+                server: 0,
+                at_op: 20,
+            },
+            ServiceFault::ServerDeath {
+                dc: tokyo.index() as u16,
+                server: 1,
+                at_op: 50,
+            },
+            ServiceFault::CrashAtOp { at_op: 70 },
+        ]);
+        let mut spec = sb_pack::FleetSpec::empty(topo.dcs.len());
+        for d in 0..topo.dcs.len() {
+            for _ in 0..3 {
+                spec.push_server(DcId(d as u16), 16_000);
+            }
+        }
+        cfg.engine.pack = Some(sb_engine::EnginePackConfig {
+            spec,
+            packer: sb_pack::PackerConfig::default(),
+            cost: sb_pack::CostModel::default(),
+            growth: Some(sb_pack::GrowthModel::flat(2)),
+        });
+        let path = temp_journal("server-death");
+        let out =
+            drive_with_crashes(&topo, &cat, &db, &artifact, &cfg, &path).expect("drill completes");
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(out.crashes, 1);
+        assert_eq!(out.death_reports.len(), 2);
+        for (i, rep) in out.death_reports.iter().enumerate() {
+            assert!(!rep.already_dead, "death {i} must hit a live server");
+            assert_eq!(rep.stranded, 0, "death {i} stranded calls");
+            assert_eq!(rep.spilled_rehomed, 0, "death {i} escalated to the ladder");
+        }
+        assert!(
+            out.death_reports.iter().any(|r| r.rehomed > 0),
+            "at least one death must actually drain calls"
+        );
+        // the final engine recovered from the crash, and recovery restores
+        // *state*, not stats — so the death counters live in the reports
+        // above, while the recovered fleet must still satisfy the hard
+        // invariants (dead servers empty, live servers within capacity)
+        assert!(out.pack_stats.is_some(), "packing was enabled");
+        assert_eq!(out.pack_violations, 0, "hard capacity invariant");
+        // with every drain absorbed in-DC, selector-level stats are
+        // untouched by the deaths: the oracle equality still holds
+        assert_eq!(
+            out.stats,
+            oracle_stats(&topo, &cat, &db, &artifact, &cfg.replay)
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 use sb_core::{LatencyMap, PlanArtifact, RealtimeSelector, SelectorStats};
 use sb_net::{DcId, ProvisionedCapacity, RoutingTable, Topology};
 use sb_obs::{Counter, Histogram};
+use sb_pack::{CostModel, FleetPacker, FleetSpec, GrowthModel, PackStats, PackerConfig, ServerId};
 use sb_workload::joins::CONFIG_FREEZE_SECONDS;
 use sb_workload::{CallRecord, CallRecordsDb, ConfigCatalog};
 
@@ -75,6 +76,39 @@ pub struct PlanSwap {
     pub artifact: Arc<PlanArtifact>,
 }
 
+/// Two-level placement add-on for a replay: when set, every accounted call
+/// is additionally packed onto a server inside its hosting DC by a shared
+/// deterministic pack pass (see [`ReplayStats::pack`]).
+#[derive(Debug)]
+pub struct PackSetup {
+    /// Per-DC server fleet (must cover every DC of the replayed topology).
+    pub spec: FleetSpec,
+    /// Packer policy and tuning.
+    pub packer: PackerConfig,
+    /// Per-call cost as a function of participant count.
+    pub cost: CostModel,
+    /// Optional growth predictor; `None` reserves exactly the actual cost.
+    pub growth: Option<GrowthModel>,
+    /// Scheduled server deaths `(minute, server)`, applied before any
+    /// same-minute placement ops.
+    pub server_deaths: Vec<(u64, ServerId)>,
+}
+
+/// The order-insensitive aggregate of the pack pass — integer throughout,
+/// so the differential harness compares it bitwise like everything else.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackReplayStats {
+    /// Packer op counters summed over DCs.
+    pub stats: PackStats,
+    /// Peak observed occupancy per server, flattened in `(dc, index)` order.
+    pub per_server_peak_mcpu: Vec<u32>,
+    /// Initial placements per server, flattened in `(dc, index)` order.
+    pub per_server_placed: Vec<u64>,
+    /// Hard-invariant violations observed at end of pass (always 0: the
+    /// packer never overcommits actual cost).
+    pub violations: u64,
+}
+
 /// Replay configuration.
 #[derive(Clone, Debug)]
 pub struct ReplayConfig {
@@ -84,6 +118,8 @@ pub struct ReplayConfig {
     pub capacity: Option<ProvisionedCapacity>,
     /// Mid-replay plan hot-swaps (installed in `at_minute` order).
     pub swaps: Vec<PlanSwap>,
+    /// Optional intra-DC packing leg (shared across clones of the config).
+    pub pack: Option<Arc<PackSetup>>,
 }
 
 impl Default for ReplayConfig {
@@ -92,6 +128,7 @@ impl Default for ReplayConfig {
             freeze_minutes: (CONFIG_FREEZE_SECONDS / 60) as u64,
             capacity: None,
             swaps: Vec::new(),
+            pack: None,
         }
     }
 }
@@ -128,6 +165,9 @@ pub struct ReplayStats {
     pub capacity_violations: u64,
     /// Worst relative overshoot across all violations.
     pub worst_overshoot: f64,
+    /// Intra-DC packing aggregate (present iff [`ReplayConfig::pack`] was
+    /// set), including per-server tallies.
+    pub pack: Option<PackReplayStats>,
 }
 
 /// Replay results.
@@ -147,6 +187,9 @@ pub struct ReplayReport {
     pub worst_overshoot: f64,
     /// Number of calls replayed.
     pub calls: u64,
+    /// Intra-DC packing aggregate (present iff [`ReplayConfig::pack`] was
+    /// set).
+    pub pack: Option<PackReplayStats>,
     /// Wall-clock breakdown (drive vs accounting).
     pub timing: ReplayTiming,
 }
@@ -163,6 +206,7 @@ impl ReplayReport {
             peak_gbps: self.peaks.gbps.clone(),
             capacity_violations: self.capacity_violations,
             worst_overshoot: self.worst_overshoot,
+            pack: self.pack.clone(),
         }
     }
 }
@@ -292,6 +336,114 @@ pub(crate) fn account(
         0.0
     };
     (peaks, violations, worst, mean_acl)
+}
+
+// Pack-pass op kinds, ordered so same-minute ops apply as
+// kill < place < grow < freeze < remove.
+const PK_KILL: u8 = 0;
+const PK_PLACE: u8 = 1;
+const PK_GROW: u8 = 2;
+const PK_FREEZE: u8 = 3;
+const PK_REMOVE: u8 = 4;
+
+/// The shared intra-DC packing pass: walk every accounted call's lifecycle
+/// (place at start, grow per late joiner, freeze + DC move, remove at end,
+/// plus scheduled server deaths) against a fresh [`FleetPacker`], in a
+/// total deterministic order.
+///
+/// Like `account`, this runs *after* the drive, over the final placements,
+/// on one thread — the identical code path for the serial oracle and every
+/// concurrent drive, which is what makes [`PackReplayStats`] bitwise
+/// comparable across drivers. Calls without a placement (stranded before
+/// freezing) are skipped, matching the accounting semantics.
+pub(crate) fn pack_pass(
+    records: &[CallRecord],
+    placements: &[Option<Placement>],
+    cfg: &ReplayConfig,
+    setup: &PackSetup,
+) -> PackReplayStats {
+    let packer = FleetPacker::new(setup.spec.clone(), setup.packer);
+    // (minute, kind, record index, seq) — seq orders multiple joins of one
+    // record inside one minute
+    let mut ops: Vec<(u64, u8, usize, u32)> = Vec::with_capacity(records.len() * 4);
+    for (i, (r, p)) in records.iter().zip(placements).enumerate() {
+        if p.is_none() {
+            continue;
+        }
+        let freeze = r.start_minute + cfg.freeze_minutes.min(r.duration_min as u64);
+        ops.push((r.start_minute, PK_PLACE, i, 0));
+        for (seq, &off) in r.join_offsets_s.iter().enumerate().skip(1) {
+            let minute = (r.start_minute + (off / 60) as u64).min(r.end_minute());
+            ops.push((minute, PK_GROW, i, seq as u32));
+        }
+        ops.push((freeze, PK_FREEZE, i, 0));
+        ops.push((r.end_minute(), PK_REMOVE, i, 0));
+    }
+    for (k, &(minute, _)) in setup.server_deaths.iter().enumerate() {
+        ops.push((minute, PK_KILL, usize::MAX, k as u32));
+    }
+    ops.sort_unstable_by_key(|&(t, kind, i, seq)| (t, kind, i, seq));
+
+    // per-record pack state: current DC, charged participants, and the
+    // per-minute growth history feeding the predictor
+    let mut cur_dc: Vec<DcId> = placements
+        .iter()
+        .map(|p| p.map_or(DcId(0), |p| p.initial))
+        .collect();
+    let mut participants = vec![1u32; records.len()];
+    let mut hist: Vec<Vec<bool>> = vec![Vec::new(); records.len()];
+    let reserve = |participants: u32, hist: &[bool]| match &setup.growth {
+        Some(g) => g.reserve_mcpu(&setup.cost, participants, hist),
+        None => setup.cost.cost_mcpu(participants),
+    };
+    for &(minute, kind, i, seq) in &ops {
+        if kind == PK_KILL {
+            packer.kill_server(setup.server_deaths[seq as usize].1);
+            continue;
+        }
+        let r = &records[i];
+        let id = r.id;
+        match kind {
+            PK_PLACE => {
+                packer.place(cur_dc[i], id, 1, setup.cost.cost_mcpu(1), reserve(1, &[]));
+            }
+            PK_GROW => {
+                let rel = (minute - r.start_minute) as usize;
+                if hist[i].len() <= rel {
+                    hist[i].resize(rel + 1, false);
+                }
+                hist[i][rel] = true;
+                participants[i] += 1;
+                let cost = setup.cost.cost_mcpu(participants[i]);
+                packer.grow(
+                    cur_dc[i],
+                    id,
+                    participants[i],
+                    cost,
+                    reserve(participants[i], &hist[i]),
+                );
+            }
+            PK_FREEZE => {
+                packer.freeze(cur_dc[i], id);
+                let p = placements[i].unwrap();
+                if p.final_dc != p.initial {
+                    packer.move_dc(p.initial, p.final_dc, id);
+                }
+                cur_dc[i] = p.final_dc;
+            }
+            _ => {
+                packer.remove(cur_dc[i], id);
+            }
+        }
+    }
+    let violations = packer.capacity_violations();
+    let _ = packer.utilization(); // publish the gauge
+    PackReplayStats {
+        stats: packer.stats(),
+        per_server_peak_mcpu: packer.per_server_peak_mcpu(),
+        per_server_placed: packer.per_server_placed(),
+        violations,
+    }
 }
 
 /// Drive every event in trace order on the calling thread (the oracle).
@@ -462,6 +614,7 @@ fn replay_impl(
             capacity_violations: 0,
             worst_overshoot: 0.0,
             calls: 0,
+            pack: cfg.pack.as_ref().map(|s| pack_pass(&[], &[], cfg, s)),
             timing: ReplayTiming::default(),
         };
     }
@@ -492,6 +645,10 @@ fn replay_impl(
         t0,
         horizon,
     );
+    let pack = cfg
+        .pack
+        .as_ref()
+        .map(|s| pack_pass(records, &placements, cfg, s));
     let timing = ReplayTiming {
         drive,
         account: account_started.elapsed(),
@@ -507,6 +664,7 @@ fn replay_impl(
         capacity_violations: violations,
         worst_overshoot: worst,
         calls: records.len() as u64,
+        pack,
         timing,
     }
 }

@@ -72,6 +72,9 @@ cargo run --release -q -p sb-bench --bin replan_loop -- --smoke --json /tmp/BENC
 echo "==> crash-safety smoke: crash_recovery_drill --smoke"
 cargo run --release -q -p sb-bench --bin crash_recovery_drill -- --smoke --json /tmp/BENCH_crash_smoke.json
 
+echo "==> packing efficiency smoke: pack_efficiency --smoke (serial vs 8-thread tallies)"
+cargo run --release -q -p sb-bench --bin pack_efficiency -- --smoke --json /tmp/BENCH_pack_smoke.json
+
 echo "==> panic-free service gate: no unwrap/expect on the engine's serve path"
 # The line-protocol serve loop must degrade typed (protocol errors on the
 # wire, exit codes at startup) — a panicking unwrap/expect would let one

@@ -19,6 +19,7 @@
 //! | [`store`] | `sb-store` | sharded call-state store + throughput harness |
 //! | [`engine`] | `sb-engine` | selector-as-a-service: admission, lifecycle, hot-swap, drain |
 //! | [`predict`] | `sb-predict` | MOMC + logistic-regression config predictor |
+//! | [`pack`] | `sb-pack` | intra-DC call packing onto heterogeneous server fleets |
 //! | [`obs`] | `sb-obs` | metrics registry: counters, histograms, run reports |
 //!
 //! Most programs only need [`prelude`]:
@@ -55,6 +56,7 @@ pub use sb_forecast as forecast;
 pub use sb_lp as lp;
 pub use sb_net as net;
 pub use sb_obs as obs;
+pub use sb_pack as pack;
 pub use sb_predict as predict;
 pub use sb_sim as sim;
 pub use sb_store as store;
@@ -179,7 +181,12 @@ pub mod prelude {
             SelectorShard, SelectorStats,
         };
         pub use sb_engine::{
-            Admission, Engine, EngineConfig, EngineStats, EngineWorker, FineHistogram,
+            Admission, Engine, EngineConfig, EnginePackConfig, EngineStats, EngineWorker,
+            FineHistogram, ServerDeathReport,
+        };
+        pub use sb_pack::{
+            CostModel, FleetPacker, FleetSpec, GrowthModel, PackPolicy, PackStats, PackerConfig,
+            ServerClass, ServerId,
         };
         #[allow(deprecated)]
         pub use sb_sim::{
@@ -188,8 +195,8 @@ pub mod prelude {
         };
         pub use sb_sim::{
             replay, replay_concurrent, ChaosConfig, ChaosReport, ChaosStats, FaultEvent,
-            FaultTimeline, PlanSwap, ReplanRequest, Replanner, ReplayConfig, ReplayDriver,
-            ReplayReport, ReplayStats, WindowStats,
+            FaultTimeline, PackReplayStats, PackSetup, PlanSwap, ReplanRequest, Replanner,
+            ReplayConfig, ReplayDriver, ReplayReport, ReplayStats, WindowStats,
         };
     }
 

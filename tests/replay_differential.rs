@@ -13,14 +13,21 @@
 //! tallies equal to the serial oracle, serially and across lifecycle-
 //! partitioned worker threads.
 
+use std::sync::Arc;
+
 use switchboard::core::{
     AllocationShares, PlanArtifact, PlannedQuotas, RealtimeSelector, ScenarioData,
 };
 use switchboard::net::{FailureScenario, Topology};
+use switchboard::pack::{
+    CostModel, FleetSpec, GrowthConfig, GrowthModel, PackPolicy, PackerConfig, ServerClass,
+    ServerId,
+};
 use switchboard::prelude::engine::{Engine, EngineConfig};
 use switchboard::sim::replay::{build_events, EV_FREEZE, EV_START};
 use switchboard::sim::{
-    replay, replay_concurrent, ChaosConfig, FaultEvent, FaultTimeline, ReplayConfig, ReplayDriver,
+    replay, replay_concurrent, ChaosConfig, FaultEvent, FaultTimeline, PackSetup, ReplayConfig,
+    ReplayDriver,
 };
 use switchboard::workload::{
     CallRecordsDb, DemandMatrix, Generator, UniverseParams, WorkloadParams,
@@ -133,6 +140,10 @@ fn assert_replay_equivalence(w: &World, cfg: &ReplayConfig, label: &str) {
             c.mean_acl_ms.to_bits(),
             "{label}: mean ACL not bitwise-identical, threads={threads}"
         );
+        assert_eq!(
+            s.pack, c.pack,
+            "{label}: packed placements (incl. per-server tallies), threads={threads}"
+        );
         assert_eq!(s, c, "{label}: ReplayStats, threads={threads}");
     }
 }
@@ -192,6 +203,86 @@ fn assert_engine_equivalence(w: &World, cfg: &ReplayConfig, label: &str) {
         let stats = engine.stats();
         assert_eq!(stats.admitted, oracle.calls, "{label}: admitted != calls");
         assert_eq!(stats.active_calls, 0, "{label}: engine must drain");
+    }
+}
+
+/// A two-level placement add-on: a heterogeneous fleet in every APAC DC, a
+/// growth predictor fitted on the replayed trace itself, and two scheduled
+/// server deaths mid-day so the kill/rehome path is part of the diff.
+fn packed_config(w: &World) -> ReplayConfig {
+    let dcs = w.topo.dcs.len();
+    let spec = FleetSpec::heterogeneous(
+        dcs,
+        &[
+            ServerClass {
+                count: 4,
+                capacity_mcpu: 32_000,
+            },
+            ServerClass {
+                count: 8,
+                capacity_mcpu: 8_000,
+            },
+        ],
+    );
+    let t0 = w.db.records().iter().map(|r| r.start_minute).min().unwrap();
+    let server_deaths = vec![
+        (
+            t0 + 300,
+            ServerId {
+                dc: w.topo.dcs[0].id,
+                index: 0,
+            },
+        ),
+        (
+            t0 + 420,
+            ServerId {
+                dc: w.topo.dcs[1 % dcs].id,
+                index: 5,
+            },
+        ),
+    ];
+    ReplayConfig {
+        pack: Some(Arc::new(PackSetup {
+            spec,
+            packer: PackerConfig {
+                policy: PackPolicy::GrowthAware,
+                hysteresis_mcpu: 256,
+                max_evictions: 4,
+            },
+            cost: CostModel::default(),
+            growth: Some(GrowthModel::fit(&w.db, GrowthConfig::default())),
+            server_deaths,
+        })),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn concurrent_replay_matches_serial_with_packed_placements() {
+    // the four seeded APAC workloads of this suite, with the packing leg on:
+    // serial oracle ≡ 1-thread ≡ 8-thread, bitwise on every stats field
+    // including the per-server peak/placement tallies
+    for (seed, daily, cov, scale, label) in [
+        (11, 6_000.0, 0.95, 1.3, "pack-ample"),
+        (23, 8_000.0, 0.90, 0.4, "pack-pressure"),
+        (37, 5_000.0, 0.92, 1.0, "pack-capacity"),
+        (53, 5_000.0, 0.92, 1.2, "pack-chaos-seed"),
+    ] {
+        let w = world(seed, daily, cov, scale);
+        let cfg = packed_config(&w);
+        let serial = serial_replay(&w, &cfg);
+        let pack = serial.pack.as_ref().expect("pack leg must run");
+        assert!(pack.stats.placed > 0, "{label}: packing must bite");
+        assert!(
+            pack.stats.grow_events > 0,
+            "{label}: joins must grow packed calls"
+        );
+        assert_eq!(
+            pack.stats.server_deaths, 2,
+            "{label}: scheduled deaths must fire"
+        );
+        assert_eq!(pack.violations, 0, "{label}: hard capacity invariant");
+        assert_replay_equivalence(&w, &cfg, label);
     }
 }
 
