@@ -718,15 +718,6 @@ impl RealtimeSelector {
         Self::from_quotas(latmap, artifact.epoch, &artifact.quotas)
     }
 
-    /// Build a selector from bare quotas at epoch 0.
-    #[deprecated(
-        note = "wrap the quotas in an artifact (`PlanArtifact::seed(quotas)`) and use \
-                `RealtimeSelector::from_artifact` instead"
-    )]
-    pub fn new(latmap: &LatencyMap, quotas: PlannedQuotas) -> RealtimeSelector {
-        Self::from_quotas(latmap, 0, &quotas)
-    }
-
     fn from_quotas(latmap: &LatencyMap, epoch: u64, quotas: &PlannedQuotas) -> RealtimeSelector {
         let dc_up = vec![true; latmap.num_dcs()];
         let view = TopologyView::build(latmap, &dc_up);

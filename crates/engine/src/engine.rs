@@ -16,6 +16,7 @@ use sb_core::{
     FreezeDecision, LatencyMap, PlanArtifact, PlanSwapStats, RealtimeSelector, RestoreDebit,
     SelectorOutcome, SelectorRung, SelectorStats,
 };
+use sb_forecast::{Observation, StreamingForecaster, StreamingParams};
 use sb_net::{CountryId, DcId};
 use sb_pack::{
     CostModel, FleetPacker, FleetSpec, GrowthModel, MoveDcOutcome, PackStateExport, PackStats,
@@ -94,6 +95,11 @@ pub struct EngineConfig {
     pub overload: OverloadConfig,
     /// Two-level `(DC, server)` placement; `None` keeps DC-only placement.
     pub pack: Option<EnginePackConfig>,
+    /// Closed-loop service mode: run a streaming demand forecaster inside
+    /// the engine. Every [`Engine::observe_demand`] bucket is journaled as
+    /// a [`WalRecord::ForecastMark`] so recovery restores the controller's
+    /// models bitwise. `None` keeps the engine purely reactive.
+    pub forecast: Option<StreamingParams>,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +109,28 @@ impl Default for EngineConfig {
             store_rtt: Duration::ZERO,
             overload: OverloadConfig::default(),
             pack: None,
+            forecast: None,
+        }
+    }
+}
+
+/// The engine's closed-loop forecasting runtime: streaming models plus the
+/// per-config bucket cursors that order the journaled marks.
+struct ForecastState {
+    fc: StreamingForecaster,
+    marks: u64,
+    /// Next expected bucket index per config — journaled with each mark and
+    /// checked at recovery, so a reordered or dropped mark surfaces as a
+    /// typed inconsistency instead of silently divergent models.
+    next_bucket: std::collections::HashMap<u32, u64>,
+}
+
+impl ForecastState {
+    fn new(params: StreamingParams) -> ForecastState {
+        ForecastState {
+            fc: StreamingForecaster::new(params),
+            marks: 0,
+            next_bucket: Default::default(),
         }
     }
 }
@@ -212,6 +240,15 @@ pub struct EngineStats {
     pub store_write_failures: u64,
     /// Journal appends that failed (injected faults or I/O errors).
     pub journal_failures: u64,
+    /// Realized-demand buckets absorbed by the streaming forecaster
+    /// (0 when forecast mode is off).
+    pub forecast_marks: u64,
+    /// Configs the forecaster tracks.
+    pub forecast_configs: u64,
+    /// Configs whose model grid has seeded (past the warmup prefix).
+    pub forecast_seeded: u64,
+    /// Drift events the forecaster has signalled.
+    pub forecast_drifts: u64,
 }
 
 /// A long-running selector service: admission, call lifecycle via the
@@ -224,6 +261,7 @@ pub struct Engine {
     selector: RealtimeSelector,
     store: CallStateStore,
     pack: Option<PackRuntime>,
+    forecast: Option<Mutex<ForecastState>>,
     journal: Option<Journal>,
     overload: OverloadConfig,
     draining: AtomicBool,
@@ -251,6 +289,7 @@ impl Engine {
             selector: RealtimeSelector::from_artifact(latmap, artifact),
             store: CallStateStore::with_simulated_rtt(cfg.store_shards, cfg.store_rtt),
             pack: cfg.pack.as_ref().map(PackRuntime::from_config),
+            forecast: cfg.forecast.map(|p| Mutex::new(ForecastState::new(p))),
             journal: None,
             overload: cfg.overload.clone(),
             draining: AtomicBool::new(false),
@@ -405,6 +444,39 @@ impl Engine {
         self.selector.quota_pool_token(config, start_minute)
     }
 
+    /// Feed one realized-demand bucket for `config` into the engine's
+    /// streaming forecaster (service mode). The observation is journaled as
+    /// a [`WalRecord::ForecastMark`] *before* the models advance — the
+    /// write-ahead contract — so [`Engine::recover`] replays the exact
+    /// observation sequence and restores the controller bitwise. Returns
+    /// `None` when the engine was built without
+    /// [`EngineConfig::forecast`].
+    pub fn observe_demand(&self, config: u32, value: f64) -> Option<Observation> {
+        let st = self.forecast.as_ref()?;
+        let mut st = st.lock();
+        let bucket = st.next_bucket.get(&config).copied().unwrap_or(0);
+        self.journal_append(&WalRecord::ForecastMark {
+            config,
+            bucket,
+            value_bits: value.to_bits(),
+        });
+        st.next_bucket.insert(config, bucket + 1);
+        st.marks += 1;
+        Some(st.fc.observe(config, value))
+    }
+
+    /// Horizon forecast for `config` from the engine's streaming models
+    /// (`None` without forecast mode or before the config's grid seeds).
+    pub fn forecast(&self, config: u32, horizon: usize) -> Option<Vec<f64>> {
+        self.forecast.as_ref()?.lock().fc.forecast(config, horizon)
+    }
+
+    /// Snapshot of the streaming forecaster — the recovery differential's
+    /// equality witness for the controller ([`StreamingForecaster::models_eq`]).
+    pub fn export_forecaster(&self) -> Option<StreamingForecaster> {
+        Some(self.forecast.as_ref()?.lock().fc.clone())
+    }
+
     /// Selector-side statistics (includes deltas from flushed workers only).
     pub fn selector_stats(&self) -> SelectorStats {
         self.selector.stats()
@@ -417,6 +489,18 @@ impl Engine {
 
     /// One consistent counter snapshot.
     pub fn stats(&self) -> EngineStats {
+        let (fm, fc_n, fs, fd) = match &self.forecast {
+            Some(st) => {
+                let st = st.lock();
+                (
+                    st.marks,
+                    st.fc.num_configs() as u64,
+                    st.fc.num_seeded() as u64,
+                    st.fc.drifts(),
+                )
+            }
+            None => (0, 0, 0, 0),
+        };
         EngineStats {
             selector: self.selector.stats(),
             admitted: self.admitted.load(Ordering::Relaxed),
@@ -431,6 +515,10 @@ impl Engine {
             store_retries: self.store_retries.load(Ordering::Relaxed),
             store_write_failures: self.store_write_failures.load(Ordering::Relaxed),
             journal_failures: self.journal_failures.load(Ordering::Relaxed),
+            forecast_marks: fm,
+            forecast_configs: fc_n,
+            forecast_seeded: fs,
+            forecast_drifts: fd,
         }
     }
 
@@ -867,6 +955,29 @@ impl Engine {
                         }
                     }
                 }
+                WalRecord::ForecastMark {
+                    config,
+                    bucket,
+                    value_bits,
+                } => {
+                    report.forecast_marks += 1;
+                    // replay the observation sequence through a fresh
+                    // forecaster — the streaming path is deterministic in
+                    // its inputs, so the rebuilt models are bitwise-equal
+                    // to the pre-crash ones. Marks in a journal written
+                    // without forecast mode configured cannot be replayed
+                    // meaningfully (no season length), so cfg must ask.
+                    if let Some(st) = &engine.forecast {
+                        let mut st = st.lock();
+                        let expect = st.next_bucket.get(config).copied().unwrap_or(0);
+                        if *bucket != expect {
+                            return Err(RecoveryError::Inconsistent { index });
+                        }
+                        st.next_bucket.insert(*config, expect + 1);
+                        st.marks += 1;
+                        st.fc.observe(*config, f64::from_bits(*value_bits));
+                    }
+                }
             }
         }
         engine.selector.add_stats(&delta);
@@ -938,6 +1049,8 @@ pub struct RecoveryReport {
     pub server_deaths: u64,
     /// Forced re-homes replayed.
     pub rehomes: u64,
+    /// Forecast marks replayed through the streaming forecaster.
+    pub forecast_marks: u64,
     /// Calls live after replay.
     pub live_calls: usize,
     /// Plan epoch after replay.
@@ -1454,6 +1567,69 @@ mod tests {
         let rescan = Journal::scan(&path).unwrap();
         assert_eq!(rescan.records.len() as u64, report.records + 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn forecast_marks_recover_bitwise() {
+        let (topo, latmap, artifact, cfg) = world();
+        let path = temp_journal_path("forecast");
+        let jcfg = JournalConfig {
+            sync_every: 1,
+            ..JournalConfig::default()
+        };
+        let journal = Journal::create(&path, jcfg).unwrap();
+        let mut ecfg = EngineConfig::default();
+        let season = 6usize;
+        ecfg.forecast = Some(StreamingParams::new(season));
+        let engine = Engine::with_journal(&latmap, &artifact, &ecfg, journal).unwrap();
+        let jp = topo.country_by_name("JP");
+        // interleave lifecycle ops with demand buckets: the journal holds
+        // both record families and recovery replays each through its own
+        // state machine
+        let mut w = engine.worker();
+        assert!(w.admit(1, jp).dc().is_some());
+        assert!(!matches!(w.freeze(1, cfg, 0), FreezeDecision::UnknownCall));
+        drop(w);
+        for t in 0..season * 3 {
+            let y0 =
+                20.0 + 5.0 * ((t % season) as f64 / season as f64 * std::f64::consts::TAU).sin();
+            engine.observe_demand(0, y0);
+            engine.observe_demand(7, y0 * 0.5 + 1.0);
+        }
+        let before_fc = engine.export_forecaster().unwrap();
+        let before = engine.stats();
+        assert_eq!(before.forecast_marks, season as u64 * 6);
+        assert_eq!(before.forecast_configs, 2);
+        assert_eq!(
+            before.forecast_seeded, 2,
+            "3 seasons passes 2-season warmup"
+        );
+
+        assert_eq!(engine.journal().unwrap().crash(), 0);
+        drop(engine);
+
+        let (recovered, report) = Engine::recover(&latmap, &ecfg, jcfg, &path).unwrap();
+        assert_eq!(report.forecast_marks, season as u64 * 6);
+        let after_fc = recovered.export_forecaster().unwrap();
+        assert!(
+            after_fc.models_eq(&before_fc),
+            "recovered forecaster must be bitwise-identical"
+        );
+        let after = recovered.stats();
+        assert_eq!(after.forecast_marks, before.forecast_marks);
+        assert_eq!(after.forecast_configs, before.forecast_configs);
+        assert_eq!(after.forecast_seeded, before.forecast_seeded);
+        assert_eq!(after.forecast_drifts, before.forecast_drifts);
+        // forecasts from the recovered engine match bitwise too
+        assert_eq!(
+            recovered.forecast(0, season),
+            engine_forecast(&before_fc, 0, season)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn engine_forecast(fc: &StreamingForecaster, config: u32, h: usize) -> Option<Vec<f64>> {
+        fc.forecast(config, h)
     }
 
     #[test]

@@ -56,6 +56,7 @@ const TAG_END: u8 = 6;
 const TAG_PACK: u8 = 7;
 const TAG_SERVER_DEATH: u8 = 8;
 const TAG_REHOME: u8 = 9;
+const TAG_FORECAST_MARK: u8 = 10;
 
 /// One journaled engine operation.
 #[derive(Clone, Debug, PartialEq)]
@@ -154,6 +155,20 @@ pub enum WalRecord {
         dc: u16,
         /// Rung code of the re-placement; 0 when stranded.
         rung: u8,
+    },
+    /// The streaming forecaster absorbed one realized-demand bucket.
+    /// Recovery replays marks through a fresh forecaster in journal order,
+    /// which (the streaming path being deterministic in its inputs) restores
+    /// the controller's models bitwise.
+    ForecastMark {
+        /// Config index the observation belongs to.
+        config: u32,
+        /// Bucket index within the config's series (0-based, journaled for
+        /// order sanity checks at recovery).
+        bucket: u64,
+        /// The observed value as raw IEEE-754 bits (`f64::to_bits` — the
+        /// codec must not round-trip through decimal).
+        value_bits: u64,
     },
 }
 
@@ -310,6 +325,16 @@ impl WalRecord {
                 out.extend_from_slice(&dc.to_le_bytes());
                 out.push(*rung);
             }
+            WalRecord::ForecastMark {
+                config,
+                bucket,
+                value_bits,
+            } => {
+                out.push(TAG_FORECAST_MARK);
+                out.extend_from_slice(&config.to_le_bytes());
+                out.extend_from_slice(&bucket.to_le_bytes());
+                out.extend_from_slice(&value_bits.to_le_bytes());
+            }
         }
         out
     }
@@ -366,6 +391,11 @@ impl WalRecord {
                 call: r.u64()?,
                 dc: r.u16()?,
                 rung: r.u8()?,
+            },
+            TAG_FORECAST_MARK => WalRecord::ForecastMark {
+                config: r.u32()?,
+                bucket: r.u64()?,
+                value_bits: r.u64()?,
             },
             t => return Err(WalDecodeError::BadTag(t)),
         };
@@ -478,6 +508,16 @@ mod tests {
                 call: 10,
                 dc: NO_DC,
                 rung: 0,
+            },
+            WalRecord::ForecastMark {
+                config: 42,
+                bucket: 336,
+                value_bits: 17.25f64.to_bits(),
+            },
+            WalRecord::ForecastMark {
+                config: 0,
+                bucket: 0,
+                value_bits: f64::NAN.to_bits(),
             },
         ];
         for rec in records {

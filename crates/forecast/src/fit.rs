@@ -9,25 +9,38 @@ const ALPHAS: [f64; 4] = [0.1, 0.25, 0.5, 0.8];
 const BETAS: [f64; 3] = [0.0, 0.01, 0.1];
 const GAMMAS: [f64; 3] = [0.05, 0.15, 0.4];
 
-/// Fit with the best parameters from a coarse grid (additive seasonality),
-/// selected by in-sample one-step-ahead MSE.
-pub fn fit_auto(series: &[f64], season_len: usize) -> Result<HoltWinters, FitError> {
-    let mut best: Option<HoltWinters> = None;
+/// The full parameter grid [`fit_auto`] searches, in search order.
+///
+/// The order is part of the contract: [`fit_auto`] breaks MSE ties by
+/// keeping the *earlier* grid entry, and the streaming forecaster
+/// ([`crate::streaming::StreamingForecaster`]) reproduces the selection by
+/// walking the same grid in the same order.
+pub fn grid_params(season_len: usize) -> Vec<HwParams> {
+    let mut out = Vec::with_capacity(ALPHAS.len() * BETAS.len() * GAMMAS.len());
     for &alpha in &ALPHAS {
         for &beta in &BETAS {
             for &gamma in &GAMMAS {
-                let params = HwParams {
+                out.push(HwParams {
                     alpha,
                     beta,
                     gamma,
                     season_len,
                     seasonal: Seasonal::Additive,
-                };
-                let model = HoltWinters::fit(series, params)?;
-                if best.as_ref().is_none_or(|b| model.mse() < b.mse()) {
-                    best = Some(model);
-                }
+                });
             }
+        }
+    }
+    out
+}
+
+/// Fit with the best parameters from a coarse grid (additive seasonality),
+/// selected by in-sample one-step-ahead MSE.
+pub fn fit_auto(series: &[f64], season_len: usize) -> Result<HoltWinters, FitError> {
+    let mut best: Option<HoltWinters> = None;
+    for params in grid_params(season_len) {
+        let model = HoltWinters::fit(series, params)?;
+        if best.as_ref().is_none_or(|b| model.mse() < b.mse()) {
+            best = Some(model);
         }
     }
     Ok(best.expect("grid is non-empty"))

@@ -75,6 +75,13 @@ pub struct HoltWinters {
 impl HoltWinters {
     /// Fit to `series` with the given parameters. Requires at least two full
     /// seasons of data.
+    ///
+    /// The initial components are estimated from the *first two seasons
+    /// only* (a fixed prefix), so fitting a longer series is exactly the
+    /// two-season fit advanced by [`HoltWinters::observe`] over the extra
+    /// points. This is what lets the streaming path
+    /// ([`crate::streaming::StreamingForecaster`]) stay bitwise-identical
+    /// to a batch re-fit on the same prefix.
     pub fn fit(series: &[f64], params: HwParams) -> Result<HoltWinters, FitError> {
         let m = params.season_len;
         if m == 0
@@ -88,9 +95,10 @@ impl HoltWinters {
         if series.len() < 2 * m {
             return Err(FitError::TooShort);
         }
-        let seasons = series.len() / m;
+        let seasons = 2;
 
-        // --- initial components (classical decomposition) -------------------
+        // --- initial components (classical decomposition over the fixed
+        // two-season prefix) --------------------------------------------------
         let season_mean: Vec<f64> = (0..seasons)
             .map(|k| series[k * m..(k + 1) * m].iter().sum::<f64>() / m as f64)
             .collect();
@@ -143,6 +151,17 @@ impl HoltWinters {
 
     /// Advance the model with an observation (online update).
     pub fn update(&mut self, y: f64) {
+        let _ = self.observe(y);
+    }
+
+    /// Advance the model with an observation and return the one-step-ahead
+    /// error (`prediction − y`) the model made on it.
+    ///
+    /// This is the streaming entry point: a model fit on a prefix and then
+    /// fed every later point through `observe` is **bitwise identical** to
+    /// [`HoltWinters::fit`] on the longer series (same recurrences, same
+    /// fixed two-season initialization).
+    pub fn observe(&mut self, y: f64) -> f64 {
         let HwParams {
             alpha,
             beta,
@@ -179,6 +198,7 @@ impl HoltWinters {
             }
         };
         self.phase = (self.phase + 1) % self.params.season_len;
+        pred - y
     }
 
     /// Forecast `h` steps ahead; counts are clamped at zero.
@@ -208,6 +228,49 @@ impl HoltWinters {
     /// Fitted smoothing parameters.
     pub fn params(&self) -> HwParams {
         self.params
+    }
+
+    /// Current level component.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Current trend component.
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+
+    /// Current seasonal components (length = season length).
+    pub fn seasonals(&self) -> &[f64] {
+        &self.seasonals
+    }
+
+    /// Index into the seasonals of the next time step.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Number of observations the model has absorbed (fit + online).
+    pub fn n_observed(&self) -> usize {
+        self.n_fit
+    }
+
+    /// Exact state equality: every component bitwise-identical. This is the
+    /// invariant the streaming forecaster maintains against batch re-fits
+    /// (`==` on floats is intentional — approximate equality would hide
+    /// divergence that compounds over a multi-week replay).
+    pub fn state_eq(&self, other: &HoltWinters) -> bool {
+        self.level.to_bits() == other.level.to_bits()
+            && self.trend.to_bits() == other.trend.to_bits()
+            && self.phase == other.phase
+            && self.n_fit == other.n_fit
+            && self.sse.to_bits() == other.sse.to_bits()
+            && self.seasonals.len() == other.seasonals.len()
+            && self
+                .seasonals
+                .iter()
+                .zip(&other.seasonals)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
     }
 }
 
@@ -298,17 +361,30 @@ mod tests {
     }
 
     #[test]
-    fn online_update_matches_batch_fit() {
+    fn online_observe_matches_batch_fit_bitwise() {
         let m = 12;
         let series = synth(m * 6, m);
         let batch = HoltWinters::fit(&series, HwParams::new(m)).unwrap();
         let mut online = HoltWinters::fit(&series[..m * 4], HwParams::new(m)).unwrap();
         for &y in &series[m * 4..] {
-            online.update(y);
+            online.observe(y);
         }
-        // same recurrences → identical states
-        assert!((batch.level - online.level).abs() < 1e-9);
-        assert!((batch.trend - online.trend).abs() < 1e-9);
+        // fixed-prefix initialization + identical recurrences → the online
+        // path reproduces the batch fit exactly, not approximately
+        assert!(batch.state_eq(&online));
+        assert_eq!(batch.forecast(m * 2), online.forecast(m * 2));
+    }
+
+    #[test]
+    fn observe_returns_one_step_error() {
+        let m = 8;
+        let series = synth(m * 4, m);
+        let mut model = HoltWinters::fit(&series[..m * 2], HwParams::new(m)).unwrap();
+        for &y in &series[m * 2..] {
+            let pred = model.predict_next();
+            let err = model.observe(y);
+            assert_eq!(err, pred - y);
+        }
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! Holt–Winters (triple exponential) smoothing as used by Switchboard's
 //! call-count forecaster (§5.2): one model per call config over 30-minute
 //! buckets, weekly seasonality, forecasting months ahead. Includes automatic
-//! parameter selection ([`fit::fit_auto`]) and the §6.5 evaluation metrics
-//! (peak-normalized RMSE/MAE, CDFs) in [`eval`].
+//! parameter selection ([`fit::fit_auto`]), the §6.5 evaluation metrics
+//! (peak-normalized RMSE/MAE, CDFs) in [`eval`], and the online path
+//! ([`streaming::StreamingForecaster`]) that keeps the whole grid updated
+//! incrementally — bitwise-equal to a batch re-fit on the same prefix —
+//! with peak-normalized rolling-RMSE drift detection.
 
 //!
 //! ```
@@ -26,7 +29,9 @@
 pub mod eval;
 pub mod fit;
 pub mod holt_winters;
+pub mod streaming;
 
 pub use eval::{mae, peak_normalized, rmse, Cdf};
-pub use fit::{fit_auto, forecast_auto};
+pub use fit::{fit_auto, forecast_auto, grid_params};
 pub use holt_winters::{FitError, HoltWinters, HwParams, Seasonal};
+pub use streaming::{Observation, StreamingForecaster, StreamingParams};

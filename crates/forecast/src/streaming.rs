@@ -1,0 +1,446 @@
+//! Streaming Holt–Winters: the online half of the closed autoscaling loop.
+//!
+//! The batch pipeline (§5.2) re-fits [`fit_auto`](crate::fit::fit_auto) on a
+//! materialized history whenever a new plan is needed. The
+//! [`StreamingForecaster`] replaces that with one incremental pass: every
+//! closed demand bucket is [`observe`](StreamingForecaster::observe)d once,
+//! each grid candidate advances by one `O(1)` recurrence step, and the
+//! refreshed horizon forecast plus a drift verdict come back immediately.
+//!
+//! Two properties make it a drop-in replacement rather than an
+//! approximation:
+//!
+//! * **Differential equality.** After observing a prefix, every candidate
+//!   model — and therefore the selected model and its forecasts — is
+//!   *bitwise identical* to `fit_auto` on the same prefix. This holds
+//!   because [`HoltWinters::fit`] initializes from a fixed two-season
+//!   prefix and `observe` runs the identical recurrence, in the identical
+//!   grid order with the identical strict-`<` tie-break.
+//! * **Bounded state.** Per config the forecaster keeps the grid models
+//!   (`36 × (2 + season_len)` floats) and a rolling error window — no
+//!   history is retained after seeding, so memory stays flat over a
+//!   multi-week stream.
+//!
+//! Drift detection follows the paper's §6.5 normalization: the rolling RMSE
+//! of the selected model's one-step errors, divided by the running peak of
+//! the observed truth. When that crosses the configured watermark the
+//! observation reports [`Observation::Drift`] and the window resets, which
+//! is the signal the `sb-sim` autoscale loop turns into a warm re-plan.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::fit::grid_params;
+use crate::holt_winters::HoltWinters;
+
+/// Tuning for a [`StreamingForecaster`].
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingParams {
+    /// Season length in buckets (336 = one week of 30-minute buckets).
+    pub season_len: usize,
+    /// Buckets of rolling one-step error feeding the drift watermark.
+    pub error_window: usize,
+    /// Peak-normalized rolling-RMSE threshold above which a config is
+    /// declared drifted (the paper's real-data median is ~0.13; the default
+    /// fires only on genuine regime changes, not sampling noise).
+    pub watermark: f64,
+}
+
+impl StreamingParams {
+    /// Defaults for a given season length: a half-season error window and a
+    /// 0.25 peak-normalized watermark.
+    pub fn new(season_len: usize) -> StreamingParams {
+        StreamingParams {
+            season_len,
+            error_window: (season_len / 2).max(4),
+            watermark: 0.25,
+        }
+    }
+}
+
+/// What one [`StreamingForecaster::observe`] call saw.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Observation {
+    /// Still buffering the two-season warmup prefix; `remaining` more
+    /// buckets until the grid seeds.
+    Warmup {
+        /// Buckets still needed before the models exist.
+        remaining: usize,
+    },
+    /// This bucket completed the warmup prefix and seeded the grid.
+    Seeded,
+    /// Tracked normally. `err` is the selected model's one-step error on
+    /// this bucket; `nrmse` is the peak-normalized rolling RMSE (`None`
+    /// until the truth peak is positive).
+    Tracked {
+        /// One-step-ahead error (`prediction − y`) of the selected model.
+        err: f64,
+        /// Peak-normalized rolling RMSE after absorbing this bucket.
+        nrmse: Option<f64>,
+    },
+    /// The rolling error crossed the watermark: the config's demand has
+    /// drifted from what the models learned. The error window resets so the
+    /// signal re-arms instead of firing every bucket.
+    Drift {
+        /// One-step-ahead error on the bucket that crossed the watermark.
+        err: f64,
+        /// The peak-normalized rolling RMSE that crossed it.
+        nrmse: f64,
+    },
+}
+
+/// Per-config streaming state: the grid candidates plus drift bookkeeping.
+#[derive(Clone, Debug)]
+struct ConfigState {
+    /// Warmup buffer; drained (and never refilled) once the grid seeds.
+    warmup: Vec<f64>,
+    /// All grid candidates, in [`grid_params`] order. Empty until seeded.
+    models: Vec<HoltWinters>,
+    /// Rolling squared one-step errors of the selected model.
+    sq_errors: VecDeque<f64>,
+    /// Running peak of the observed truth (the §6.5 normalizer).
+    peak: f64,
+    /// Observations absorbed (warmup + streamed).
+    observed: u64,
+    /// Drift events signalled so far.
+    drifts: u64,
+}
+
+impl ConfigState {
+    fn new() -> ConfigState {
+        ConfigState {
+            warmup: Vec::new(),
+            models: Vec::new(),
+            sq_errors: VecDeque::new(),
+            peak: 0.0,
+            observed: 0,
+            drifts: 0,
+        }
+    }
+
+    /// Index of the minimum-MSE model, mirroring `fit_auto`'s selection:
+    /// grid order with strict `<`, so ties keep the earlier entry.
+    fn best_index(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, m) in self.models.iter().enumerate() {
+            if best.is_none_or(|b| m.mse() < self.models[b].mse()) {
+                best = Some(i);
+            }
+        }
+        best
+    }
+}
+
+/// Incremental per-config Holt–Winters with drift detection.
+///
+/// ```
+/// use sb_forecast::streaming::{Observation, StreamingForecaster, StreamingParams};
+///
+/// let m = 24; // daily season, hourly buckets
+/// let mut fc = StreamingForecaster::new(StreamingParams::new(m));
+/// let series: Vec<f64> = (0..m * 4)
+///     .map(|t| 40.0 + 10.0 * ((t % m) as f64 / m as f64 * std::f64::consts::TAU).sin())
+///     .collect();
+/// for (t, &y) in series.iter().enumerate() {
+///     let obs = fc.observe(0, y);
+///     if t + 1 == 2 * m {
+///         assert_eq!(obs, Observation::Seeded);
+///     }
+/// }
+/// // once seeded, the horizon forecast refreshes after every bucket
+/// let horizon = fc.forecast(0, m).unwrap();
+/// assert_eq!(horizon.len(), m);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamingForecaster {
+    params: StreamingParams,
+    configs: BTreeMap<u32, ConfigState>,
+}
+
+impl StreamingForecaster {
+    /// New forecaster; configs appear lazily on first observation.
+    pub fn new(params: StreamingParams) -> StreamingForecaster {
+        assert!(params.season_len > 0, "season length must be positive");
+        assert!(params.error_window > 0, "error window must be positive");
+        StreamingForecaster {
+            params,
+            configs: BTreeMap::new(),
+        }
+    }
+
+    /// The forecaster's tuning.
+    pub fn params(&self) -> StreamingParams {
+        self.params
+    }
+
+    /// Absorb one closed bucket of config `config`'s demand.
+    ///
+    /// Buckets must arrive in time order per config (each call advances that
+    /// config's series by exactly one step); configs are independent.
+    pub fn observe(&mut self, config: u32, y: f64) -> Observation {
+        let m = self.params.season_len;
+        let window = self.params.error_window;
+        let watermark = self.params.watermark;
+        let state = self.configs.entry(config).or_insert_with(ConfigState::new);
+        state.observed += 1;
+        state.peak = state.peak.max(y);
+
+        if state.models.is_empty() {
+            state.warmup.push(y);
+            if state.warmup.len() < 2 * m {
+                return Observation::Warmup {
+                    remaining: 2 * m - state.warmup.len(),
+                };
+            }
+            // Two full seasons buffered: fit every grid candidate on the
+            // prefix (2m points never fail TooShort, and the grid contains
+            // no invalid parameters, so the expects are structural).
+            state.models = grid_params(m)
+                .into_iter()
+                .map(|p| HoltWinters::fit(&state.warmup, p).expect("warmup prefix is two seasons"))
+                .collect();
+            state.warmup = Vec::new();
+            return Observation::Seeded;
+        }
+
+        // Advance every candidate; the selected model's error (selection as
+        // of *before* this bucket, matching what a forecast consumer saw)
+        // drives the drift watermark.
+        let best = state.best_index().expect("seeded grid is non-empty");
+        let mut err = 0.0;
+        for (i, model) in state.models.iter_mut().enumerate() {
+            let e = model.observe(y);
+            if i == best {
+                err = e;
+            }
+        }
+        state.sq_errors.push_back(err * err);
+        while state.sq_errors.len() > window {
+            state.sq_errors.pop_front();
+        }
+        let nrmse = (state.peak > 0.0).then(|| {
+            let mean = state.sq_errors.iter().sum::<f64>() / state.sq_errors.len() as f64;
+            mean.sqrt() / state.peak
+        });
+        if state.sq_errors.len() == window {
+            if let Some(nrmse) = nrmse {
+                if nrmse > watermark {
+                    state.drifts += 1;
+                    state.sq_errors.clear();
+                    return Observation::Drift { err, nrmse };
+                }
+            }
+        }
+        Observation::Tracked { err, nrmse }
+    }
+
+    /// The selected (minimum-MSE) model for `config`, `None` until seeded.
+    pub fn best(&self, config: u32) -> Option<&HoltWinters> {
+        let state = self.configs.get(&config)?;
+        state.best_index().map(|i| &state.models[i])
+    }
+
+    /// Forecast `h` buckets ahead for `config` from the selected model;
+    /// `None` until the config has seeded. Bitwise-identical to
+    /// `fit_auto(prefix, season_len).forecast(h)` on the observed prefix.
+    pub fn forecast(&self, config: u32, h: usize) -> Option<Vec<f64>> {
+        self.best(config).map(|m| m.forecast(h))
+    }
+
+    /// Has `config` seeded its grid (two seasons observed)?
+    pub fn is_seeded(&self, config: u32) -> bool {
+        self.configs
+            .get(&config)
+            .is_some_and(|s| !s.models.is_empty())
+    }
+
+    /// Peak-normalized rolling RMSE for `config` (`None` until the config
+    /// has seeded, observed at least one tracked bucket, and seen a
+    /// positive truth peak).
+    pub fn nrmse(&self, config: u32) -> Option<f64> {
+        let state = self.configs.get(&config)?;
+        if state.sq_errors.is_empty() || state.peak <= 0.0 {
+            return None;
+        }
+        let mean = state.sq_errors.iter().sum::<f64>() / state.sq_errors.len() as f64;
+        Some(mean.sqrt() / state.peak)
+    }
+
+    /// Total observations absorbed across all configs.
+    pub fn observed(&self) -> u64 {
+        self.configs.values().map(|s| s.observed).sum()
+    }
+
+    /// Total drift events signalled across all configs.
+    pub fn drifts(&self) -> u64 {
+        self.configs.values().map(|s| s.drifts).sum()
+    }
+
+    /// Number of configs tracked (seeded or warming up).
+    pub fn num_configs(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Number of configs whose grids have seeded.
+    pub fn num_seeded(&self) -> usize {
+        self.configs
+            .values()
+            .filter(|s| !s.models.is_empty())
+            .count()
+    }
+
+    /// Exact state equality of the *model* state (every grid candidate of
+    /// every config, bitwise). Drift bookkeeping is excluded: it is
+    /// derived, not part of the forecast contract.
+    pub fn models_eq(&self, other: &StreamingForecaster) -> bool {
+        self.configs.len() == other.configs.len()
+            && self.configs.iter().zip(&other.configs).all(|(a, b)| {
+                a.0 == b.0
+                    && a.1.warmup.len() == b.1.warmup.len()
+                    && a.1
+                        .warmup
+                        .iter()
+                        .zip(&b.1.warmup)
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+                    && a.1.models.len() == b.1.models.len()
+                    && a.1
+                        .models
+                        .iter()
+                        .zip(&b.1.models)
+                        .all(|(x, y)| x.state_eq(y))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::fit_auto;
+
+    fn synth(n: usize, m: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let season = ((t % m) as f64 / m as f64 * std::f64::consts::TAU).sin() * 10.0;
+                50.0 + 0.05 * t as f64 + season + ((t * 2654435761) % 5) as f64 * 0.4
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_batch_fit_auto_bitwise_at_every_prefix() {
+        let m = 12;
+        let series = synth(m * 5, m);
+        let mut fc = StreamingForecaster::new(StreamingParams::new(m));
+        for (t, &y) in series.iter().enumerate() {
+            fc.observe(7, y);
+            if t + 1 >= 2 * m {
+                let batch = fit_auto(&series[..t + 1], m).unwrap();
+                let best = fc.best(7).unwrap();
+                assert!(best.state_eq(&batch), "diverged at prefix {}", t + 1);
+                assert_eq!(best.forecast(m), batch.forecast(m));
+            } else {
+                assert!(fc.best(7).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_counts_down_then_seeds() {
+        let m = 8;
+        let mut fc = StreamingForecaster::new(StreamingParams::new(m));
+        for t in 0..2 * m {
+            let obs = fc.observe(0, t as f64);
+            if t + 1 < 2 * m {
+                assert_eq!(
+                    obs,
+                    Observation::Warmup {
+                        remaining: 2 * m - t - 1
+                    }
+                );
+            } else {
+                assert_eq!(obs, Observation::Seeded);
+            }
+        }
+        assert!(fc.is_seeded(0));
+        assert_eq!(fc.num_seeded(), 1);
+    }
+
+    #[test]
+    fn drift_fires_on_regime_change_and_rearms() {
+        let m = 8;
+        let mut params = StreamingParams::new(m);
+        params.watermark = 0.2;
+        let mut fc = StreamingForecaster::new(params);
+        // clean seasonal regime
+        for t in 0..m * 6 {
+            let y = 20.0 + 10.0 * ((t % m) as f64 / m as f64 * std::f64::consts::TAU).sin();
+            let obs = fc.observe(3, y);
+            assert!(
+                !matches!(obs, Observation::Drift { .. }),
+                "no drift on the learned regime (t={t}): {obs:?}"
+            );
+        }
+        // demand triples: the rolling error must cross the watermark
+        let mut drifted = false;
+        for t in 0..m * 4 {
+            let y = 60.0 + 30.0 * ((t % m) as f64 / m as f64 * std::f64::consts::TAU).sin();
+            if let Observation::Drift { nrmse, .. } = fc.observe(3, y) {
+                assert!(nrmse > params.watermark);
+                drifted = true;
+                break;
+            }
+        }
+        assert!(drifted, "tripled demand must cross the watermark");
+        assert_eq!(fc.drifts(), 1);
+        // the window reset re-arms the signal instead of firing every bucket
+        assert!(fc.nrmse(3).is_none());
+    }
+
+    #[test]
+    fn configs_are_independent() {
+        let m = 8;
+        let mut fc = StreamingForecaster::new(StreamingParams::new(m));
+        let series = synth(m * 3, m);
+        for &y in &series {
+            fc.observe(1, y);
+        }
+        assert!(fc.is_seeded(1));
+        assert!(!fc.is_seeded(2));
+        assert_eq!(fc.num_configs(), 1);
+        fc.observe(2, 1.0);
+        assert_eq!(fc.num_configs(), 2);
+        assert_eq!(fc.num_seeded(), 1);
+    }
+
+    #[test]
+    fn replayed_stream_is_bitwise_equal() {
+        // the crash-recovery contract: re-observing the same stream from
+        // scratch reproduces the controller exactly
+        let m = 10;
+        let series = synth(m * 4, m);
+        let mut a = StreamingForecaster::new(StreamingParams::new(m));
+        let mut b = StreamingForecaster::new(StreamingParams::new(m));
+        for &y in &series {
+            a.observe(0, y);
+            a.observe(5, y * 2.0);
+        }
+        for &y in &series {
+            b.observe(0, y);
+            b.observe(5, y * 2.0);
+        }
+        assert!(a.models_eq(&b));
+        assert_eq!(a.forecast(5, m), b.forecast(5, m));
+    }
+
+    #[test]
+    fn memory_is_bounded_after_seeding() {
+        let m = 6;
+        let mut fc = StreamingForecaster::new(StreamingParams::new(m));
+        for t in 0..m * 100 {
+            fc.observe(0, (t % m) as f64);
+        }
+        let s = fc.configs.get(&0).unwrap();
+        assert!(s.warmup.is_empty(), "warmup buffer must drain at seeding");
+        assert!(s.sq_errors.len() <= fc.params.error_window);
+    }
+}

@@ -12,9 +12,11 @@
 //! capacity invariant is always enforced on actual (not predicted) cost, so
 //! a wildly wrong model can cost migrations but never a capacity violation.
 
+use std::collections::HashMap;
+
 use crate::fleet::CostModel;
 use sb_predict::Momc;
-use sb_workload::CallRecordsDb;
+use sb_workload::{CallRecord, CallRecordsDb, ConfigId};
 
 /// Tuning for [`GrowthModel::fit`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +29,10 @@ pub struct GrowthConfig {
     pub max_order: usize,
     /// Minutes of future growth a reservation should cover.
     pub lookahead_minutes: u32,
+    /// Calls a config must contribute before
+    /// [`GrowthModel::fit_per_config`] trusts a dedicated per-config chain;
+    /// thinner configs fall back to the empirical all-calls model.
+    pub min_config_calls: usize,
 }
 
 impl Default for GrowthConfig {
@@ -35,8 +41,17 @@ impl Default for GrowthConfig {
             horizon_minutes: 10,
             max_order: 3,
             lookahead_minutes: 4,
+            min_config_calls: 25,
         }
     }
+}
+
+/// A fitted chain plus the mean number of joins observed in a minute that
+/// had at least one join.
+#[derive(Debug, Clone)]
+struct FittedChain {
+    momc: Momc,
+    mean_joins: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -46,6 +61,14 @@ enum Kind {
     Fitted { momc: Momc, mean_joins: f64 },
     /// Fixed prediction used by tests and as a model-free fallback.
     Flat { extra: u32 },
+    /// Per-config growth priors: call configs differ systematically in how
+    /// they grow (a 2-person audio call and a 40-person webinar are
+    /// different processes), so each config with enough training calls gets
+    /// its own chain; the rest share the empirical all-calls fallback.
+    Predicted {
+        per_config: HashMap<ConfigId, FittedChain>,
+        fallback: FittedChain,
+    },
 }
 
 /// Predictor of how many more participants a call is likely to gain.
@@ -55,46 +78,86 @@ pub struct GrowthModel {
     lookahead_minutes: u32,
 }
 
-impl GrowthModel {
-    /// Fit on a workload trace: each call becomes a per-minute binary
-    /// history where minute `m` is `true` iff some participant beyond the
-    /// first joined during `[m, m+1)` minutes after call start.
-    pub fn fit(db: &CallRecordsDb, cfg: GrowthConfig) -> Self {
-        let mut histories = Vec::with_capacity(db.records().len());
-        let mut joins_in_grow_minutes = 0u64;
-        let mut grow_minutes = 0u64;
-        for r in db.records() {
-            let minutes = (r.duration_min as usize).min(cfg.horizon_minutes);
-            if minutes == 0 {
-                continue;
-            }
-            let mut h = vec![false; minutes];
-            let mut per_minute = vec![0u64; minutes];
-            // offset 0 is the first joiner (the call existing), not growth
-            for &off in r.join_offsets_s.iter().skip(1) {
-                let m = (off / 60) as usize;
-                if m < minutes {
-                    h[m] = true;
-                    per_minute[m] += 1;
-                }
-            }
-            for m in 0..minutes {
-                if h[m] {
-                    grow_minutes += 1;
-                    joins_in_grow_minutes += per_minute[m];
-                }
-            }
-            histories.push(h);
+/// Fit one chain on an iterator of calls: each call becomes a per-minute
+/// binary history where minute `m` is `true` iff some participant beyond
+/// the first joined during `[m, m+1)` minutes after call start.
+fn fit_chain<'a>(records: impl Iterator<Item = &'a CallRecord>, cfg: &GrowthConfig) -> FittedChain {
+    let mut histories = Vec::new();
+    let mut joins_in_grow_minutes = 0u64;
+    let mut grow_minutes = 0u64;
+    for r in records {
+        let minutes = (r.duration_min as usize).min(cfg.horizon_minutes);
+        if minutes == 0 {
+            continue;
         }
-        let mean_joins = if grow_minutes > 0 {
-            joins_in_grow_minutes as f64 / grow_minutes as f64
-        } else {
-            1.0
-        };
+        let mut h = vec![false; minutes];
+        let mut per_minute = vec![0u64; minutes];
+        // offset 0 is the first joiner (the call existing), not growth
+        for &off in r.join_offsets_s.iter().skip(1) {
+            let m = (off / 60) as usize;
+            if m < minutes {
+                h[m] = true;
+                per_minute[m] += 1;
+            }
+        }
+        for m in 0..minutes {
+            if h[m] {
+                grow_minutes += 1;
+                joins_in_grow_minutes += per_minute[m];
+            }
+        }
+        histories.push(h);
+    }
+    let mean_joins = if grow_minutes > 0 {
+        joins_in_grow_minutes as f64 / grow_minutes as f64
+    } else {
+        1.0
+    };
+    FittedChain {
+        momc: Momc::fit(&histories, cfg.max_order),
+        mean_joins,
+    }
+}
+
+impl GrowthModel {
+    /// Fit on a workload trace, one chain over all calls: per-call join
+    /// histories (one bool per minute: did anyone join?) feed a MOMC
+    /// chain, plus the empirical mean joins-per-growth-minute.
+    pub fn fit(db: &CallRecordsDb, cfg: GrowthConfig) -> Self {
+        let chain = fit_chain(db.records().iter(), &cfg);
         Self {
             kind: Kind::Fitted {
-                momc: Momc::fit(&histories, cfg.max_order),
-                mean_joins,
+                momc: chain.momc,
+                mean_joins: chain.mean_joins,
+            },
+            lookahead_minutes: cfg.lookahead_minutes,
+        }
+    }
+
+    /// Fit per-config growth priors: every config contributing at least
+    /// [`GrowthConfig::min_config_calls`] calls gets a dedicated chain;
+    /// calls of every other config are predicted by the empirical all-calls
+    /// fallback chain. Query with [`GrowthModel::expected_extra_for`] /
+    /// [`GrowthModel::reserve_mcpu_for`]; the config-less accessors use the
+    /// fallback only.
+    pub fn fit_per_config(db: &CallRecordsDb, cfg: GrowthConfig) -> Self {
+        let fallback = fit_chain(db.records().iter(), &cfg);
+        let mut counts: HashMap<ConfigId, usize> = HashMap::new();
+        for r in db.records() {
+            *counts.entry(r.config).or_insert(0) += 1;
+        }
+        let per_config = counts
+            .into_iter()
+            .filter(|&(_, n)| n >= cfg.min_config_calls.max(1))
+            .map(|(id, _)| {
+                let chain = fit_chain(db.records().iter().filter(|r| r.config == id), &cfg);
+                (id, chain)
+            })
+            .collect();
+        Self {
+            kind: Kind::Predicted {
+                per_config,
+                fallback,
             },
             lookahead_minutes: cfg.lookahead_minutes,
         }
@@ -111,16 +174,41 @@ impl GrowthModel {
 
     /// Predicted number of additional participants over the lookahead
     /// window, given the call's growth history so far (`history[m]` =
-    /// "minute `m` saw a join"; most recent minute last).
+    /// "minute `m` saw a join"; most recent minute last). A
+    /// [`GrowthModel::fit_per_config`] model answers from its empirical
+    /// fallback here; use [`GrowthModel::expected_extra_for`] to consult
+    /// the per-config prior.
     pub fn expected_extra(&self, history: &[bool]) -> u32 {
         match &self.kind {
             Kind::Flat { extra } => *extra,
-            Kind::Fitted { momc, mean_joins } => {
-                let k = history.len().clamp(1, momc.max_order());
-                let p = momc.order_prob(history, k);
-                (p * mean_joins * self.lookahead_minutes as f64).ceil() as u32
+            Kind::Fitted { momc, mean_joins } => self.predict(momc, *mean_joins, history),
+            Kind::Predicted { fallback, .. } => {
+                self.predict(&fallback.momc, fallback.mean_joins, history)
             }
         }
+    }
+
+    /// Like [`GrowthModel::expected_extra`], but consults the per-config
+    /// prior when this model was fit with [`GrowthModel::fit_per_config`]
+    /// and `config` cleared the training floor; other models (and unknown
+    /// configs) ignore `config`.
+    pub fn expected_extra_for(&self, config: ConfigId, history: &[bool]) -> u32 {
+        match &self.kind {
+            Kind::Predicted {
+                per_config,
+                fallback,
+            } => {
+                let chain = per_config.get(&config).unwrap_or(fallback);
+                self.predict(&chain.momc, chain.mean_joins, history)
+            }
+            _ => self.expected_extra(history),
+        }
+    }
+
+    fn predict(&self, momc: &Momc, mean_joins: f64, history: &[bool]) -> u32 {
+        let k = history.len().clamp(1, momc.max_order());
+        let p = momc.order_prob(history, k);
+        (p * mean_joins * self.lookahead_minutes as f64).ceil() as u32
     }
 
     /// Millicores to *reserve* for a call that currently has
@@ -128,6 +216,19 @@ impl GrowthModel {
     /// the predicted extra participants. Always `>=` the actual cost.
     pub fn reserve_mcpu(&self, cost: &CostModel, participants: u32, history: &[bool]) -> u32 {
         cost.cost_mcpu(participants.saturating_add(self.expected_extra(history)))
+    }
+
+    /// Config-aware form of [`GrowthModel::reserve_mcpu`]: reservations for
+    /// a [`GrowthModel::fit_per_config`] model use that config's growth
+    /// prior. Still always `>=` the actual cost.
+    pub fn reserve_mcpu_for(
+        &self,
+        cost: &CostModel,
+        config: ConfigId,
+        participants: u32,
+        history: &[bool],
+    ) -> u32 {
+        cost.cost_mcpu(participants.saturating_add(self.expected_extra_for(config, history)))
     }
 }
 
@@ -199,5 +300,83 @@ mod tests {
         let m = GrowthModel::fit(&db(Vec::new()), GrowthConfig::default());
         // base-rate fallback path; any finite prediction is fine
         let _ = m.expected_extra(&[]);
+    }
+
+    /// Build a db with two configs whose growth regimes differ: config 0
+    /// calls grow every minute, config 1 calls never grow.
+    fn two_config_db(calls_each: usize) -> (CallRecordsDb, ConfigId, ConfigId) {
+        let mut cat = ConfigCatalog::new();
+        let grower = cat.intern(CallConfig::new(vec![(CountryId(0), 8)], MediaType::Video));
+        let idle = cat.intern(CallConfig::new(vec![(CountryId(0), 2)], MediaType::Audio));
+        let mut db = CallRecordsDb::new(cat);
+        for i in 0..calls_each as u64 {
+            let offs: Vec<u16> = std::iter::once(0)
+                .chain((0..8).map(|m| m * 60 + 5))
+                .collect();
+            db.push(CallRecord {
+                id: i,
+                config: grower,
+                start_minute: 0,
+                duration_min: 10,
+                first_joiner: CountryId(0),
+                join_offsets_s: offs,
+            });
+            db.push(CallRecord {
+                id: 1000 + i,
+                config: idle,
+                start_minute: 0,
+                duration_min: 10,
+                first_joiner: CountryId(0),
+                join_offsets_s: vec![0, 1],
+            });
+        }
+        (db, grower, idle)
+    }
+
+    #[test]
+    fn per_config_priors_separate_configs() {
+        let (db, grower, idle) = two_config_db(40);
+        let m = GrowthModel::fit_per_config(&db, GrowthConfig::default());
+        // identical (empty) history, different priors: the growing config
+        // must reserve more than the idle one
+        let g = m.expected_extra_for(grower, &[]);
+        let i = m.expected_extra_for(idle, &[]);
+        assert!(g > i, "per-config priors should separate: {g} vs {i}");
+        let cost = CostModel::default();
+        assert!(m.reserve_mcpu_for(&cost, grower, 2, &[]) >= cost.cost_mcpu(2));
+        assert!(m.reserve_mcpu_for(&cost, idle, 2, &[]) >= cost.cost_mcpu(2));
+    }
+
+    #[test]
+    fn thin_configs_use_empirical_fallback() {
+        // below the training floor every config answers from the fallback,
+        // which is also what the config-less accessor exposes
+        let (db, grower, idle) = two_config_db(5);
+        let cfg = GrowthConfig {
+            min_config_calls: 25,
+            ..GrowthConfig::default()
+        };
+        let m = GrowthModel::fit_per_config(&db, cfg);
+        for h in [&[][..], &[true, true][..], &[false, false, false][..]] {
+            assert_eq!(m.expected_extra_for(grower, h), m.expected_extra(h));
+            assert_eq!(m.expected_extra_for(idle, h), m.expected_extra(h));
+        }
+        // an id the trace never produced also falls back
+        assert_eq!(
+            m.expected_extra_for(ConfigId(999), &[true]),
+            m.expected_extra(&[true])
+        );
+    }
+
+    #[test]
+    fn non_predicted_models_ignore_config() {
+        let m = GrowthModel::flat(3);
+        assert_eq!(m.expected_extra_for(ConfigId(7), &[true]), 3);
+        let (db, grower, _) = two_config_db(40);
+        let fitted = GrowthModel::fit(&db, GrowthConfig::default());
+        assert_eq!(
+            fitted.expected_extra_for(grower, &[true]),
+            fitted.expected_extra(&[true])
+        );
     }
 }

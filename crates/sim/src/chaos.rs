@@ -391,10 +391,43 @@ impl Default for ChaosConfig {
     }
 }
 
+/// Why a re-plan was requested. Fault-reactive triggers (the chaos
+/// timeline) and proactive triggers (the streaming forecaster's drift
+/// watermark, periodic schedules) flow through the same install machinery;
+/// this enum is the single taxonomy both the [`Replanner`] and the
+/// [`crate::autoscale`] control loop speak.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReplanTrigger {
+    /// A DC-down fault onset ([`FaultEvent::DcDown`]).
+    Fault,
+    /// A staleness onset in the fault timeline ([`FaultEvent::PlanStale`]
+    /// or [`FaultEvent::DemandDrift`]).
+    Stale,
+    /// The streaming forecaster's peak-normalized rolling-RMSE watermark
+    /// fired (closed-loop autoscaling; never produced by the timeline).
+    Drift,
+    /// An explicit scheduled re-plan minute.
+    Schedule,
+}
+
+impl ReplanTrigger {
+    /// Short stable label for logs and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplanTrigger::Fault => "fault",
+            ReplanTrigger::Stale => "stale",
+            ReplanTrigger::Drift => "drift",
+            ReplanTrigger::Schedule => "schedule",
+        }
+    }
+}
+
 /// What a [`Replanner`] is asked to do: produce a fresh plan for the
 /// remainder of the horizon, to be installed at `install_minute`.
 #[derive(Clone, Debug)]
 pub struct ReplanRequest {
+    /// What kind of event requested this re-plan.
+    pub trigger: ReplanTrigger,
     /// Minute of the fault/drift/schedule entry that triggered the re-plan.
     pub trigger_minute: u64,
     /// Minute the produced plan will be installed (trigger + latency).
@@ -613,14 +646,16 @@ struct Hosting {
 /// Selector outcomes for one fault-free segment, keyed by record index.
 /// The drive (serial in-order, or three-phase concurrent) fills these; the
 /// coordinating thread then applies all bookkeeping in trace order.
+/// Crate-visible so the [`crate::autoscale`] loop drives its windowed
+/// segments through the exact same engines.
 #[derive(Default)]
-struct SegmentOutcomes {
-    starts: HashMap<usize, SelectorOutcome>,
-    freezes: HashMap<usize, FreezeDecision>,
+pub(crate) struct SegmentOutcomes {
+    pub(crate) starts: HashMap<usize, SelectorOutcome>,
+    pub(crate) freezes: HashMap<usize, FreezeDecision>,
 }
 
 /// Serial segment drive: every selector op in trace order (the oracle).
-fn drive_segment_serial(
+pub(crate) fn drive_segment_serial(
     selector: &RealtimeSelector,
     records: &[CallRecord],
     events: &[(u64, u8, usize)],
@@ -657,17 +692,17 @@ fn drive_segment_serial(
 /// per-slot cumulative op counters plus the pending schedule. `after_ops`
 /// counts against the worker *slot*'s whole op stream across segments
 /// (a replacement worker inherits its predecessor's counter).
-struct DeathState {
+pub(crate) struct DeathState {
     /// `(worker slot, cumulative after_ops)`, sorted by `after_ops`.
     pending: Vec<(usize, u64)>,
     /// Ops assigned to each worker slot so far (takeovers included).
     driven: Vec<u64>,
-    deaths: u64,
-    takeover_ops: u64,
+    pub(crate) deaths: u64,
+    pub(crate) takeover_ops: u64,
 }
 
 impl DeathState {
-    fn new(threads: usize, faults: &[ServiceFault]) -> DeathState {
+    pub(crate) fn new(threads: usize, faults: &[ServiceFault]) -> DeathState {
         let threads = threads.max(1);
         let mut pending: Vec<(usize, u64)> = faults
             .iter()
@@ -715,7 +750,7 @@ impl DeathState {
 /// after every surviving worker joins. Pool-pinning makes the delayed tail
 /// just another valid interleaving — the aggregate [`ChaosStats`] still
 /// matches the serial oracle exactly.
-fn drive_segment_concurrent(
+pub(crate) fn drive_segment_concurrent(
     selector: &RealtimeSelector,
     records: &[CallRecord],
     events: &[(u64, u8, usize)],
@@ -936,34 +971,42 @@ fn chaos_replay_impl(
 
     // re-plan installs: trigger minutes (fault onsets, staleness onsets,
     // explicit schedule) plus the re-plan latency, landing at barriers
-    let mut installs: Vec<(u64, u64)> = Vec::new(); // (install, trigger)
+    let mut installs: Vec<(u64, u64, ReplanTrigger)> = Vec::new(); // (install, trigger minute, kind)
     if let Some(rp) = replanner.as_deref() {
-        let mut triggers: Vec<u64> = Vec::new();
+        let mut triggers: Vec<(u64, ReplanTrigger)> = Vec::new();
         for ev in timeline.events() {
             match *ev {
-                FaultEvent::DcDown { at, .. } if rp.on_dc_down => triggers.push(at),
-                FaultEvent::PlanStale { from, .. } if rp.on_stale => triggers.push(from),
-                FaultEvent::DemandDrift { at, .. } if rp.on_stale => triggers.push(at),
+                FaultEvent::DcDown { at, .. } if rp.on_dc_down => {
+                    triggers.push((at, ReplanTrigger::Fault))
+                }
+                FaultEvent::PlanStale { from, .. } if rp.on_stale => {
+                    triggers.push((from, ReplanTrigger::Stale))
+                }
+                FaultEvent::DemandDrift { at, .. } if rp.on_stale => {
+                    triggers.push((at, ReplanTrigger::Stale))
+                }
                 _ => {}
             }
         }
-        triggers.extend(rp.schedule.iter().copied());
-        triggers.sort_unstable();
-        triggers.dedup();
-        for tr in triggers {
+        triggers.extend(rp.schedule.iter().map(|&m| (m, ReplanTrigger::Schedule)));
+        // sort faults ahead of schedule entries at the same minute so the
+        // dedup below keeps the more specific trigger kind
+        triggers.sort_unstable_by_key(|&(m, k)| (m, k as u8));
+        triggers.dedup_by_key(|p| p.0);
+        for (tr, kind) in triggers {
             let inst = tr.saturating_add(rp.latency_min).max(t0 + 1);
             if inst <= t1 {
-                installs.push((inst, tr));
+                installs.push((inst, tr, kind));
             }
         }
-        installs.sort_unstable();
+        installs.sort_unstable_by_key(|&(inst, tr, k)| (inst, tr, k as u8));
         installs.dedup_by_key(|p| p.0);
     }
 
     // fault-state segments: [t0, cp1), [cp1, cp2), … — plan installs are
     // additional barriers
     let mut barriers = timeline.change_points(t0, t1);
-    barriers.extend(installs.iter().map(|&(m, _)| m));
+    barriers.extend(installs.iter().map(|&(m, _, _)| m));
     barriers.sort_unstable();
     barriers.dedup();
     let mut seg_starts = vec![t0];
@@ -1064,12 +1107,13 @@ fn chaos_replay_impl(
             // install a due re-plan BEFORE re-homing, so displaced calls
             // land against the fresh quota pools
             while next_install < installs.len() && installs[next_install].0 == tr {
-                let (inst, trigger) = installs[next_install];
+                let (inst, trigger, kind) = installs[next_install];
                 next_install += 1;
                 let rp = replanner
                     .as_deref_mut()
                     .expect("installs only exist with a replanner");
                 let req = ReplanRequest {
+                    trigger: kind,
                     trigger_minute: trigger,
                     install_minute: inst,
                     epoch: selector.plan_epoch() + 1,
@@ -1413,89 +1457,6 @@ impl<'a, 'p> ReplayDriver<'a, 'p> {
             &self.service_faults,
         )
     }
-}
-
-/// Replay `db` while injecting `timeline` — the serial oracle.
-#[deprecated(
-    note = "use `ReplayDriver::new(topo, catalog, db, quotas).faults(timeline).config(cfg).run()` instead"
-)]
-pub fn chaos_replay(
-    topo: &Topology,
-    catalog: &ConfigCatalog,
-    db: &CallRecordsDb,
-    timeline: &FaultTimeline,
-    quotas: PlannedQuotas,
-    cfg: &ChaosConfig,
-) -> ChaosReport {
-    ReplayDriver::new(topo, catalog, db, quotas)
-        .faults(timeline.clone())
-        .config(cfg.clone())
-        .run()
-}
-
-/// [`chaos_replay`] with the selector driven by `threads` worker threads
-/// inside each fault-free segment.
-#[deprecated(
-    note = "use `ReplayDriver::new(topo, catalog, db, quotas).faults(timeline).config(cfg).threads(n).run()` instead"
-)]
-pub fn chaos_replay_concurrent(
-    topo: &Topology,
-    catalog: &ConfigCatalog,
-    db: &CallRecordsDb,
-    timeline: &FaultTimeline,
-    quotas: PlannedQuotas,
-    cfg: &ChaosConfig,
-    threads: usize,
-) -> ChaosReport {
-    ReplayDriver::new(topo, catalog, db, quotas)
-        .faults(timeline.clone())
-        .config(cfg.clone())
-        .threads(threads)
-        .run()
-}
-
-/// [`chaos_replay`] with a [`Replanner`] attached.
-#[deprecated(
-    note = "use `ReplayDriver::new(topo, catalog, db, quotas).faults(timeline).config(cfg).replanner(r).run()` instead"
-)]
-pub fn chaos_replay_replanned(
-    topo: &Topology,
-    catalog: &ConfigCatalog,
-    db: &CallRecordsDb,
-    timeline: &FaultTimeline,
-    quotas: PlannedQuotas,
-    cfg: &ChaosConfig,
-    replanner: &mut Replanner<'_>,
-) -> ChaosReport {
-    ReplayDriver::new(topo, catalog, db, quotas)
-        .faults(timeline.clone())
-        .config(cfg.clone())
-        .replanner(replanner)
-        .run()
-}
-
-/// [`chaos_replay_replanned`] driven by `threads` worker threads per
-/// segment.
-#[deprecated(
-    note = "use `ReplayDriver::new(topo, catalog, db, quotas).faults(timeline).config(cfg).threads(n).replanner(r).run()` instead"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn chaos_replay_replanned_concurrent(
-    topo: &Topology,
-    catalog: &ConfigCatalog,
-    db: &CallRecordsDb,
-    timeline: &FaultTimeline,
-    quotas: PlannedQuotas,
-    cfg: &ChaosConfig,
-    threads: usize,
-    replanner: &mut Replanner<'_>,
-) -> ChaosReport {
-    ReplayDriver::new(topo, catalog, db, quotas)
-        .faults(timeline.clone())
-        .config(cfg.clone())
-        .threads(threads)
-        .replanner(replanner)
-        .run()
 }
 
 #[cfg(test)]
@@ -1982,31 +1943,5 @@ mod tests {
         assert_eq!(serial.stats(), conc.stats());
         assert!(conc.worker_deaths >= 1, "{}", conc.worker_deaths);
         assert!(conc.takeover_ops > 0, "{}", conc.takeover_ops);
-    }
-
-    /// The deprecated free-function family must stay behaviour-identical to
-    /// the [`ReplayDriver`] it wraps.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_driver() {
-        let (topo, cat, id) = world();
-        let jp = topo.country_by_name("JP");
-        let tokyo = topo.dc_by_name("Tokyo");
-        let mut db = CallRecordsDb::new(cat.clone());
-        for i in 0..60 {
-            db.push(record(i, id, i, 30, jp));
-        }
-        let quotas = all_at(id, tokyo, 6, 40.0);
-        let timeline = FaultTimeline::from_scenario(FailureScenario::DcDown(tokyo), 20, Some(40));
-        let cfg = ChaosConfig::default();
-        let via_driver = ReplayDriver::new(&topo, &cat, &db, quotas.clone())
-            .faults(timeline.clone())
-            .config(cfg.clone())
-            .run();
-        let via_fn = chaos_replay(&topo, &cat, &db, &timeline, quotas.clone(), &cfg);
-        assert_eq!(via_driver.stats(), via_fn.stats());
-        let via_fn_conc =
-            chaos_replay_concurrent(&topo, &cat, &db, &timeline, quotas.clone(), &cfg, 4);
-        assert_eq!(via_driver.stats(), via_fn_conc.stats());
     }
 }

@@ -5,6 +5,13 @@
 //!
 //! * [`mod@replay`] — event-driven trace replay through the real-time selector
 //!   (per-call ACL, per-minute usage peaks, migrations, capacity violations);
+//! * [`chaos`] — timed mid-replay fault injection (`ReplayDriver` +
+//!   `FaultTimeline`) with fault-triggered re-planning;
+//! * [`crash`] — crash/recovery drills for the journaled engine, plus the
+//!   `ServiceFault` vocabulary (worker deaths, journal stalls);
+//! * [`autoscale`] — the closed-loop autoscaler: streamed windows through the
+//!   selector, an online forecaster fed at every bucket close, and warm
+//!   re-plans on drift/schedule/fault triggers;
 //! * [`estimator`] — the §6.2 median leg-latency estimator (counterfactual
 //!   `Lat(x,u)` from pooled measurements);
 //! * [`failures`] — failure drills validating that backup capacity absorbs a
@@ -33,20 +40,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod chaos;
 pub mod crash;
 pub mod estimator;
 pub mod failures;
 pub mod replay;
 
-#[allow(deprecated)]
-pub use chaos::{
-    chaos_replay, chaos_replay_concurrent, chaos_replay_replanned,
-    chaos_replay_replanned_concurrent,
+pub use autoscale::{
+    AutoscaleConfig, AutoscaleLoop, AutoscaleReport, AutoscaleStats, AutoscaleWindow,
 };
 pub use chaos::{
     ChaosConfig, ChaosReport, ChaosState, ChaosStats, FaultEvent, FaultTimeline, ReplanRequest,
-    Replanner, ReplayDriver, WindowStats,
+    ReplanTrigger, Replanner, ReplayDriver, WindowStats,
 };
 pub use crash::{
     drive_with_crashes, CrashDrillConfig, CrashDrillError, CrashOutcome, ServiceFault,

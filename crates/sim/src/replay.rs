@@ -392,8 +392,8 @@ pub(crate) fn pack_pass(
         .collect();
     let mut participants = vec![1u32; records.len()];
     let mut hist: Vec<Vec<bool>> = vec![Vec::new(); records.len()];
-    let reserve = |participants: u32, hist: &[bool]| match &setup.growth {
-        Some(g) => g.reserve_mcpu(&setup.cost, participants, hist),
+    let reserve = |config, participants: u32, hist: &[bool]| match &setup.growth {
+        Some(g) => g.reserve_mcpu_for(&setup.cost, config, participants, hist),
         None => setup.cost.cost_mcpu(participants),
     };
     for &(minute, kind, i, seq) in &ops {
@@ -405,7 +405,13 @@ pub(crate) fn pack_pass(
         let id = r.id;
         match kind {
             PK_PLACE => {
-                packer.place(cur_dc[i], id, 1, setup.cost.cost_mcpu(1), reserve(1, &[]));
+                packer.place(
+                    cur_dc[i],
+                    id,
+                    1,
+                    setup.cost.cost_mcpu(1),
+                    reserve(r.config, 1, &[]),
+                );
             }
             PK_GROW => {
                 let rel = (minute - r.start_minute) as usize;
@@ -420,7 +426,7 @@ pub(crate) fn pack_pass(
                     id,
                     participants[i],
                     cost,
-                    reserve(participants[i], &hist[i]),
+                    reserve(r.config, participants[i], &hist[i]),
                 );
             }
             PK_FREEZE => {

@@ -11,6 +11,7 @@ use crate::diurnal::{activity_at, MINUTES_PER_DAY};
 use crate::joins::sample_join_offsets;
 use crate::records::{CallRecord, CallRecordsDb};
 use crate::sampling::{lognormal, poisson, weighted_index};
+use crate::stream::WindowStream;
 use crate::universe::{growth_multiplier, Universe, UniverseParams};
 
 /// Workload generation parameters.
@@ -205,6 +206,52 @@ impl<'t> Generator<'t> {
                 base * shape * growth_multiplier(day, spec.annual_growth)
             })
             .collect()
+    }
+
+    /// Per-config expected (fractional) demand for one slot-wide window of
+    /// a stream starting at `stream_start_minute`: window `w` covers
+    /// `[stream_start_minute + w·slot, +slot)`. Entry `ci` is the same
+    /// λ value [`Generator::expected_demand`] would put at that slot —
+    /// computed for just this window, so streaming callers never build the
+    /// full matrix.
+    pub fn expected_window(&self, stream_start_minute: u64, w: u64) -> Vec<f64> {
+        let slot_minutes = self.params.slot_minutes as u64;
+        let start = stream_start_minute + w * slot_minutes;
+        let mid = start + slot_minutes / 2;
+        let day = (start / MINUTES_PER_DAY) as f64;
+        let activity: Vec<f64> = self
+            .topo
+            .countries
+            .iter()
+            .map(|c| activity_at(mid, c.utc_offset_hours))
+            .collect();
+        self.universe
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(ci, spec)| {
+                let base = self.params.daily_calls * spec.weight / self.day_norm[ci];
+                let shape: f64 = spec
+                    .country_mix
+                    .iter()
+                    .map(|&(c, share)| share * activity[c.index()])
+                    .sum();
+                base * shape * growth_multiplier(day, spec.annual_growth)
+            })
+            .collect()
+    }
+
+    /// Open a seeded, resumable windowed stream over
+    /// `[start_day, start_day+days)` — the incremental alternative to
+    /// [`Generator::sample_records`] for multi-week replays (one slot-wide
+    /// [`crate::stream::WindowBatch`] in memory at a time).
+    pub fn window_stream(
+        &self,
+        start_day: u32,
+        days: u32,
+        seed_offset: u64,
+    ) -> WindowStream<'_, 't> {
+        WindowStream::new(self, start_day, days, seed_offset)
     }
 
     /// Poisson-sampled call counts for one config over a window.

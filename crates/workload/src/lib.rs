@@ -49,10 +49,12 @@ pub mod persist;
 pub mod records;
 pub mod sampling;
 pub mod series;
+pub mod stream;
 pub mod universe;
 
 pub use config::{CallConfig, ConfigCatalog, ConfigId, MediaType};
 pub use demand::DemandMatrix;
 pub use generator::{Generator, WorkloadParams};
 pub use records::{CallRecord, CallRecordsDb};
+pub use stream::{WindowBatch, WindowStream};
 pub use universe::{Universe, UniverseParams};

@@ -1,0 +1,288 @@
+//! Windowed trace streaming: generate a multi-week trace one window at a
+//! time instead of materializing the whole [`crate::CallRecordsDb`].
+//!
+//! [`Generator::sample_records`] walks configs×slots with one sequential
+//! RNG, so producing minute 40,000 requires producing every minute before
+//! it — and holding the result. A [`WindowStream`] derives an independent
+//! RNG for every `(window, config)` pair instead, which buys two
+//! properties the closed autoscale loop needs:
+//!
+//! * **Flat memory.** Only the current window's records exist at once; a
+//!   4-week million-call world streams through a few megabytes.
+//! * **Resumability.** [`WindowStream::batch`] is a pure function of
+//!   `(generator, seed, window index)`: a stream re-opened at window `k`
+//!   emits bitwise-identical batches to a fresh stream skipped to `k`,
+//!   which is what lets a recovered engine rejoin a live replay.
+//!
+//! One window is one demand slot (`slot_minutes` wide) — the same bucket
+//! the streaming forecaster observes, so batch counts double as the
+//! realized-demand truth series.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::Generator;
+use crate::joins::sample_join_offsets;
+use crate::records::CallRecord;
+use crate::sampling::{lognormal, poisson, weighted_index};
+
+/// One window's worth of generated calls.
+#[derive(Clone, Debug)]
+pub struct WindowBatch {
+    /// Window index within the stream (0-based).
+    pub index: u64,
+    /// First absolute UTC minute of the window (inclusive).
+    pub start_minute: u64,
+    /// Last absolute UTC minute of the window (exclusive).
+    pub end_minute: u64,
+    /// Calls starting inside `[start_minute, end_minute)`, sorted by
+    /// `(start_minute, id)`. Calls may *end* far beyond the window.
+    pub records: Vec<CallRecord>,
+}
+
+impl WindowBatch {
+    /// Count of calls per config index (length = catalog size): the
+    /// realized demand this window, i.e. the truth series the streaming
+    /// forecaster observes at bucket close.
+    pub fn demand_counts(&self, num_configs: usize) -> Vec<f64> {
+        let mut counts = vec![0.0; num_configs];
+        for r in &self.records {
+            counts[r.config.index()] += 1.0;
+        }
+        counts
+    }
+}
+
+/// An incremental, resumable trace generator over `[start_day,
+/// start_day+days)`, one slot-wide window at a time.
+pub struct WindowStream<'g, 't> {
+    generator: &'g Generator<'t>,
+    seed_offset: u64,
+    start_minute: u64,
+    num_windows: u64,
+    cursor: u64,
+}
+
+impl<'g, 't> WindowStream<'g, 't> {
+    pub(crate) fn new(
+        generator: &'g Generator<'t>,
+        start_day: u32,
+        days: u32,
+        seed_offset: u64,
+    ) -> WindowStream<'g, 't> {
+        let windows_per_day = generator.slots_per_day() as u64;
+        WindowStream {
+            generator,
+            seed_offset,
+            start_minute: start_day as u64 * crate::diurnal::MINUTES_PER_DAY,
+            num_windows: windows_per_day * days as u64,
+            cursor: 0,
+        }
+    }
+
+    /// Total windows the stream will emit.
+    pub fn num_windows(&self) -> u64 {
+        self.num_windows
+    }
+
+    /// Window width in minutes (= the generator's slot width).
+    pub fn window_minutes(&self) -> u64 {
+        self.generator.params().slot_minutes as u64
+    }
+
+    /// First absolute minute of window `w`.
+    pub fn window_start_minute(&self, w: u64) -> u64 {
+        self.start_minute + w * self.window_minutes()
+    }
+
+    /// Reposition the cursor so the next [`Iterator::next`] yields window
+    /// `w`. Seeking is O(1): no skipped window is generated.
+    pub fn seek(&mut self, w: u64) {
+        self.cursor = w.min(self.num_windows);
+    }
+
+    /// Stable RNG seed for `(window, config)` — each pair draws from its
+    /// own stream, so any window regenerates without its predecessors.
+    fn pair_seed(&self, w: u64, config: u64) -> u64 {
+        let base = self.generator.params().seed ^ self.seed_offset.rotate_left(17);
+        base ^ (w + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (config + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
+    }
+
+    /// Generate window `w` from scratch (pure in `(self, w)`): the
+    /// resumability contract is that this never depends on the cursor or on
+    /// any other window having been generated.
+    pub fn batch(&self, w: u64) -> WindowBatch {
+        assert!(w < self.num_windows, "window {w} out of range");
+        let g = self.generator;
+        let params = g.params();
+        let slot_minutes = self.window_minutes();
+        let start_minute = self.window_start_minute(w);
+        let dur_sigma = 0.7f64;
+        let dur_mu = params.duration_mean_min.ln() - dur_sigma * dur_sigma / 2.0;
+        let mut records = Vec::new();
+        for (ci, lambda) in g
+            .expected_window(self.start_minute, w)
+            .into_iter()
+            .enumerate()
+        {
+            if lambda <= 0.0 {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(self.pair_seed(w, ci as u64));
+            let n = poisson(&mut rng, lambda);
+            if n == 0 {
+                continue;
+            }
+            let spec_id = g.universe().specs[ci].id;
+            let cfg = g.universe().catalog.config(spec_id);
+            let majority = cfg.majority_country();
+            let n_participants = cfg.total_participants();
+            let country_weights: Vec<f64> =
+                cfg.participants().iter().map(|&(_, n)| n as f64).collect();
+            let countries: Vec<_> = cfg.participants().iter().map(|&(c, _)| c).collect();
+            for k in 0..n {
+                let start = start_minute + rng.gen_range(0..slot_minutes);
+                let duration = lognormal(&mut rng, dur_mu, dur_sigma).clamp(2.0, 8.0 * 60.0) as u16;
+                let first_joiner = if rng.gen::<f64>() < params.first_joiner_majority_prob
+                    || countries.len() == 1
+                {
+                    majority
+                } else {
+                    countries[weighted_index(&mut rng, &country_weights)]
+                };
+                let join_offsets_s = sample_join_offsets(&mut rng, n_participants);
+                records.push(CallRecord {
+                    // ids are window-scoped so they stay unique across the
+                    // stream without any cross-window counter
+                    id: (w << 32) | ((ci as u64) << 16) | k,
+                    config: spec_id,
+                    start_minute: start,
+                    duration_min: duration.max(2),
+                    first_joiner,
+                    join_offsets_s,
+                });
+            }
+        }
+        records.sort_by_key(|r| (r.start_minute, r.id));
+        WindowBatch {
+            index: w,
+            start_minute,
+            end_minute: start_minute + slot_minutes,
+            records,
+        }
+    }
+}
+
+impl Iterator for WindowStream<'_, '_> {
+    type Item = WindowBatch;
+
+    fn next(&mut self) -> Option<WindowBatch> {
+        if self.cursor >= self.num_windows {
+            return None;
+        }
+        let batch = self.batch(self.cursor);
+        self.cursor += 1;
+        Some(batch)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.num_windows - self.cursor) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for WindowStream<'_, '_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Generator, UniverseParams, WorkloadParams};
+    use sb_net::presets;
+
+    fn small_params() -> WorkloadParams {
+        WorkloadParams {
+            universe: UniverseParams {
+                num_configs: 60,
+                seed: 3,
+                ..Default::default()
+            },
+            daily_calls: 800.0,
+            seed: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stream_totals_track_expected_demand() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let expected = g.expected_demand(0, 2).total_calls();
+        let total: usize = g.window_stream(0, 2, 1).map(|b| b.records.len()).sum();
+        assert!(
+            (total as f64 - expected).abs() < 0.1 * expected,
+            "expected {expected} streamed {total}"
+        );
+    }
+
+    #[test]
+    fn windows_are_time_bounded_and_sorted() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        for batch in g.window_stream(3, 1, 2) {
+            let mut prev = 0;
+            for r in &batch.records {
+                assert!((batch.start_minute..batch.end_minute).contains(&r.start_minute));
+                assert!(r.start_minute >= prev);
+                prev = r.start_minute;
+                assert!(r.duration_min >= 2);
+                assert_eq!(r.join_offsets_s[0], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_is_bitwise_identical() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let full: Vec<_> = g.window_stream(0, 1, 7).collect();
+        let mut resumed = g.window_stream(0, 1, 7);
+        resumed.seek(full.len() as u64 / 2);
+        for (a, b) in full.iter().skip(full.len() / 2).zip(resumed) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.records.len(), b.records.len());
+            for (ra, rb) in a.records.iter().zip(&b.records) {
+                assert_eq!(ra.id, rb.id);
+                assert_eq!(ra.start_minute, rb.start_minute);
+                assert_eq!(ra.duration_min, rb.duration_min);
+                assert_eq!(ra.config, rb.config);
+                assert_eq!(ra.first_joiner, rb.first_joiner);
+                assert_eq!(ra.join_offsets_s, rb.join_offsets_s);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_unique_across_the_stream() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let mut seen = std::collections::HashSet::new();
+        for batch in g.window_stream(0, 1, 3) {
+            for r in &batch.records {
+                assert!(seen.insert(r.id), "duplicate id {}", r.id);
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn demand_counts_match_batch_contents() {
+        let topo = presets::apac();
+        let g = Generator::new(&topo, small_params());
+        let stream = g.window_stream(0, 1, 3);
+        let n = g.universe().catalog.len();
+        for batch in stream {
+            let counts = batch.demand_counts(n);
+            assert_eq!(counts.iter().sum::<f64>() as usize, batch.records.len());
+        }
+    }
+}

@@ -13,28 +13,6 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "==> deprecated-API gate: workspace code must use the layered API"
-# The deprecated compat surface (chaos_replay*, RealtimeSelector::new, the
-# prelude-root aliases) exists for downstream migration only; inside the
-# workspace everything must be on ReplayDriver / from_artifact / layered
-# preludes. Sanctioned exceptions: the defining modules and the compat tests
-# that pin the deprecated spellings to their replacements.
-deprecated_use=$(grep -rn \
-    -e 'chaos_replay[a-z_]*(' \
-    -e 'RealtimeSelector::new(' \
-    --include='*.rs' \
-    src crates tests examples benches 2>/dev/null \
-  | grep -v 'crates/sim/src/chaos.rs' \
-  | grep -v 'crates/core/src/realtime.rs' \
-  | grep -v 'src/lib.rs' \
-  | grep -v 'tests/api_surface.rs' \
-  || true)
-if [ -n "$deprecated_use" ]; then
-    echo "deprecated APIs used inside the workspace:" >&2
-    echo "$deprecated_use" >&2
-    exit 1
-fi
-
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
@@ -68,6 +46,13 @@ cargo test -q --test plan_swap_differential
 
 echo "==> plan lifecycle smoke: replan_loop --smoke"
 cargo run --release -q -p sb-bench --bin replan_loop -- --smoke --json /tmp/BENCH_replan_smoke.json
+
+echo "==> closed-loop autoscaling smoke: autoscale_loop --smoke"
+# Streams a one-week world through the control loop and asserts the loop's
+# contract: every drift-induced stale window closes at its install with 0
+# stranded, re-plans land warm, and the threaded drive matches the serial
+# oracle stats bit for bit.
+cargo run --release -q -p sb-bench --bin autoscale_loop -- --smoke --json /tmp/BENCH_autoscale_smoke.json
 
 echo "==> crash-safety smoke: crash_recovery_drill --smoke"
 cargo run --release -q -p sb-bench --bin crash_recovery_drill -- --smoke --json /tmp/BENCH_crash_smoke.json

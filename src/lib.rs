@@ -141,11 +141,7 @@ pub type Result<T> = std::result::Result<T, Error>;
 ///   [`Basis`](prelude::solver::Basis), …) for programs that drive the
 ///   simplex engines directly.
 /// * [`prelude::engine`] — real-time selector, replay/chaos orchestration,
-///   and the `sb-engine` service layer.
-///
-/// The selector and LP items that used to live at the prelude root remain
-/// as `#[deprecated]` aliases for one release; import them from the layered
-/// module instead.
+///   the closed-loop autoscaler, and the `sb-engine` service layer.
 pub mod prelude {
     pub use crate::{Error, Result};
     pub use sb_core::{
@@ -188,98 +184,11 @@ pub mod prelude {
             CostModel, FleetPacker, FleetSpec, GrowthModel, PackPolicy, PackStats, PackerConfig,
             ServerClass, ServerId,
         };
-        #[allow(deprecated)]
         pub use sb_sim::{
-            chaos_replay, chaos_replay_concurrent, chaos_replay_replanned,
-            chaos_replay_replanned_concurrent,
-        };
-        pub use sb_sim::{
-            replay, replay_concurrent, ChaosConfig, ChaosReport, ChaosStats, FaultEvent,
-            FaultTimeline, PackReplayStats, PackSetup, PlanSwap, ReplanRequest, Replanner,
-            ReplayConfig, ReplayDriver, ReplayReport, ReplayStats, WindowStats,
+            replay, replay_concurrent, AutoscaleConfig, AutoscaleLoop, AutoscaleReport,
+            AutoscaleStats, AutoscaleWindow, ChaosConfig, ChaosReport, ChaosStats, FaultEvent,
+            FaultTimeline, PackReplayStats, PackSetup, PlanSwap, ReplanRequest, ReplanTrigger,
+            Replanner, ReplayConfig, ReplayDriver, ReplayReport, ReplayStats, WindowStats,
         };
     }
-
-    // Migration aliases for items that moved into the layered preludes.
-    // (`#[deprecated]` on a `pub use` has no effect — rustc ignores it — so
-    // these are type aliases / wrapper fns, which do warn at use sites.)
-    macro_rules! moved {
-        ($note:literal: $($name:ident = $($target:ident)::+),+ $(,)?) => {$(
-            #[doc = $note]
-            #[deprecated(note = $note)]
-            pub type $name = $($target)::+;
-        )+};
-    }
-    moved!("import from `switchboard::prelude::solver`":
-        DenseSimplex = sb_lp::DenseSimplex,
-        GuardedSimplex = sb_lp::GuardedSimplex,
-        LpProblem = sb_lp::LpProblem,
-        RevisedSimplex = sb_lp::RevisedSimplex,
-        Solution = sb_lp::Solution,
-        SolveStats = sb_lp::SolveStats,
-    );
-    moved!("import from `switchboard::prelude::engine`":
-        FreezeDecision = sb_core::FreezeDecision,
-        PlanSwapStats = sb_core::PlanSwapStats,
-        RealtimeSelector = sb_core::RealtimeSelector,
-        SelectorOutcome = sb_core::SelectorOutcome,
-        SelectorRung = sb_core::SelectorRung,
-        SelectorStats = sb_core::SelectorStats,
-        ChaosConfig = sb_sim::ChaosConfig,
-        ChaosReport = sb_sim::ChaosReport,
-        ChaosStats = sb_sim::ChaosStats,
-        FaultEvent = sb_sim::FaultEvent,
-        FaultTimeline = sb_sim::FaultTimeline,
-        PlanSwap = sb_sim::PlanSwap,
-        ReplanRequest = sb_sim::ReplanRequest,
-        ReplayConfig = sb_sim::ReplayConfig,
-        ReplayReport = sb_sim::ReplayReport,
-        ReplayStats = sb_sim::ReplayStats,
-    );
-    /// Moved: import from `switchboard::prelude::engine`.
-    #[deprecated(note = "import from `switchboard::prelude::engine`")]
-    pub type SelectorShard<'a> = sb_core::SelectorShard<'a>;
-    /// Moved: import from `switchboard::prelude::engine`.
-    #[deprecated(note = "import from `switchboard::prelude::engine`")]
-    pub type Replanner<'a> = sb_sim::Replanner<'a>;
-
-    // `Solver` is a trait, which cannot be aliased on stable; it stays
-    // re-exported here un-deprecated alongside its `solver` home.
-    pub use sb_lp::Solver;
-
-    /// Moved: import from [`prelude::engine`](self::engine).
-    #[deprecated(note = "import from `switchboard::prelude::engine`")]
-    pub fn replay(
-        topo: &Topology,
-        routing: &RoutingTable,
-        latmap: &LatencyMap,
-        catalog: &ConfigCatalog,
-        db: &CallRecordsDb,
-        selector: &sb_core::RealtimeSelector,
-        cfg: &sb_sim::ReplayConfig,
-    ) -> sb_sim::ReplayReport {
-        sb_sim::replay(topo, routing, latmap, catalog, db, selector, cfg)
-    }
-
-    /// Moved: import from [`prelude::engine`](self::engine).
-    #[deprecated(note = "import from `switchboard::prelude::engine`")]
-    #[allow(clippy::too_many_arguments)]
-    pub fn replay_concurrent(
-        topo: &Topology,
-        routing: &RoutingTable,
-        latmap: &LatencyMap,
-        catalog: &ConfigCatalog,
-        db: &CallRecordsDb,
-        selector: &sb_core::RealtimeSelector,
-        cfg: &sb_sim::ReplayConfig,
-        threads: usize,
-    ) -> sb_sim::ReplayReport {
-        sb_sim::replay_concurrent(topo, routing, latmap, catalog, db, selector, cfg, threads)
-    }
-
-    // The chaos_replay* functions are deprecated at their definition in
-    // `sb-sim` (in favor of `engine::ReplayDriver`), so these re-exports
-    // already warn at every use site.
-    #[allow(deprecated)]
-    pub use sb_sim::{chaos_replay, chaos_replay_concurrent, chaos_replay_replanned};
 }

@@ -158,26 +158,3 @@ fn engine_prelude_covers_selector_replay_and_service() {
     engine.begin_drain();
     assert!(engine.drained());
 }
-
-/// The deprecated root-prelude aliases still compile (one release of
-/// migration headroom) and point at the same types.
-#[test]
-#[allow(deprecated)]
-fn deprecated_aliases_still_resolve() {
-    use switchboard::prelude;
-
-    // a deprecated alias and its layered home are the same type
-    fn same_type<T>(_: std::marker::PhantomData<T>, _: std::marker::PhantomData<T>) {}
-    same_type(
-        std::marker::PhantomData::<prelude::RealtimeSelector>,
-        std::marker::PhantomData::<prelude::engine::RealtimeSelector>,
-    );
-    same_type(
-        std::marker::PhantomData::<prelude::RevisedSimplex>,
-        std::marker::PhantomData::<prelude::solver::RevisedSimplex>,
-    );
-    same_type(
-        std::marker::PhantomData::<prelude::ReplayConfig>,
-        std::marker::PhantomData::<prelude::engine::ReplayConfig>,
-    );
-}
